@@ -1,0 +1,51 @@
+"""Shared fixtures for the figure/table regeneration harness.
+
+Every bench module regenerates one of the paper's evaluation artifacts:
+it prints the rows/series the paper reports (and saves them under
+``benchmarks/results/``), and times a representative kernel with
+pytest-benchmark so the harness doubles as a performance regression suite.
+
+Run everything with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.crc import ETHERNET_CRC32
+from repro.dream import DreamSystem
+from repro.mapping import map_crc
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_result(results_dir):
+    """Persist one artifact's text under benchmarks/results/<name>.txt."""
+
+    def _save(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}")
+
+    return _save
+
+
+@pytest.fixture(scope="session")
+def system() -> DreamSystem:
+    return DreamSystem()
+
+
+@pytest.fixture(scope="session")
+def crc_mappings():
+    """The paper's DREAM design points, compiled once per session."""
+    return {M: map_crc(ETHERNET_CRC32, M) for M in (8, 16, 32, 64, 128)}

@@ -1,0 +1,110 @@
+"""Architecture-scaling ablations (beyond the paper's fixed PiCoGA).
+
+Two what-if studies the paper's conclusions invite:
+
+* **Array scaling** — how the maximum feasible look-ahead factor (and thus
+  peak bandwidth) moves with the cell budget.  The shipped 24×16 array
+  tops out at M = 128 (the paper's number); a doubled array would unlock
+  M = 256.
+* **Interleave depth** — how many messages Fig. 5's interleaving needs
+  before short-message throughput saturates.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.crc import ETHERNET_CRC32
+from repro.mapping import DesignSpaceExplorer
+from repro.picoga import PicogaArchitecture
+
+SCALES = {
+    "half (12x16)": PicogaArchitecture(rows=12),
+    "paper (24x16)": PicogaArchitecture(),
+    "double (48x16)": PicogaArchitecture(rows=48),
+    "quad (96x16, wide I/O)": PicogaArchitecture(rows=96, input_ports=24),
+}
+FACTORS = (32, 64, 128, 256, 512)
+
+
+@pytest.fixture(scope="module")
+def scaling_results():
+    results = {}
+    for label, arch in SCALES.items():
+        explorer = DesignSpaceExplorer(ETHERNET_CRC32, arch)
+        results[label] = {
+            "max_m": explorer.max_feasible_m(FACTORS),
+            "arch": arch,
+        }
+    return results
+
+
+def test_ablation_array_scaling_regenerate(scaling_results, save_result):
+    rows = []
+    for label, entry in scaling_results.items():
+        arch = entry["arch"]
+        max_m = entry["max_m"]
+        rows.append(
+            [label, arch.total_cells, max_m, f"{max_m * arch.clock_hz / 1e9:.1f}"]
+        )
+    text = format_table(
+        ["array", "cells", "max M", "peak Gbit/s"],
+        rows,
+        title="Ablation: array scaling vs maximum look-ahead (CRC-32)",
+    )
+    save_result("ablation_array_scaling", text)
+
+
+def test_paper_array_tops_at_128(scaling_results):
+    assert scaling_results["paper (24x16)"]["max_m"] == 128
+
+
+def test_half_array_loses_parallelism(scaling_results):
+    assert scaling_results["half (12x16)"]["max_m"] < 128
+
+
+def test_double_array_unlocks_more(scaling_results):
+    assert scaling_results["double (48x16)"]["max_m"] >= 256
+
+
+def test_max_m_monotone_in_cells(scaling_results):
+    ordered = sorted(scaling_results.values(), key=lambda e: e["arch"].total_cells)
+    max_ms = [e["max_m"] for e in ordered]
+    assert max_ms == sorted(max_ms)
+
+
+WAYS = (1, 2, 4, 8, 16, 32, 64)
+
+
+@pytest.fixture(scope="module")
+def interleave_curve(system, crc_mappings):
+    mapped = crc_mappings[128]
+    return {
+        w: system.crc_interleaved_performance(mapped, 368, w).throughput_gbps
+        for w in WAYS
+    }
+
+
+def test_ablation_interleave_depth_regenerate(interleave_curve, save_result):
+    rows = [[w, f"{g:.2f}"] for w, g in interleave_curve.items()]
+    text = format_table(
+        ["ways", "Gbit/s"],
+        rows,
+        title="Ablation: interleave depth at the 368-bit Ethernet minimum (M = 128)",
+    )
+    save_result("ablation_interleave_depth", text)
+
+
+def test_throughput_monotone_in_ways(interleave_curve):
+    values = [interleave_curve[w] for w in WAYS]
+    assert values == sorted(values)
+
+
+def test_paper_choice_of_32_near_saturation(interleave_curve):
+    """32 ways (the paper's setting) captures most of the available gain."""
+    assert interleave_curve[32] > 0.8 * interleave_curve[64]
+
+
+def test_benchmark_explorer(benchmark):
+    explorer = DesignSpaceExplorer(ETHERNET_CRC32)
+    point = benchmark(explorer.evaluate, 16)
+    assert point.feasible

@@ -1,0 +1,95 @@
+"""Context-cache ablation: multi-standard working sets on one array.
+
+The paper's flexibility argument rests on the 4-context configuration
+cache: switching among resident personalities costs 2 cycles, while a
+working set larger than the cache pays bus reloads (hundreds of cycles).
+This bench sweeps the working-set size for a round-robin multi-standard
+workload and records where the cliff is.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.crc import ETHERNET_CRC32, get
+from repro.dream import Job, WorkloadScheduler
+from repro.mapping import map_crc, map_scrambler
+from repro.scrambler import IEEE80211, IEEE80216E
+
+STANDARD_NAMES = ["CRC-16/CCITT-FALSE", "CRC-16/X-25", "CRC-16/ARC"]
+
+
+@pytest.fixture(scope="module")
+def personalities():
+    mapped = {"eth": map_crc(ETHERNET_CRC32, 64)}
+    for name in STANDARD_NAMES:
+        mapped[name] = map_crc(get(name), 64)
+    mapped["wimax"] = map_scrambler(IEEE80216E, 64)
+    mapped["wifi"] = map_scrambler(IEEE80211, 64)
+    return mapped
+
+
+def _round_robin(names, jobs_per_name=8, bits=4096):
+    trace = []
+    for _ in range(jobs_per_name):
+        for name in names:
+            trace.append(Job(name, bits))
+    return trace
+
+
+@pytest.fixture(scope="module")
+def sweep(personalities):
+    """Working sets of growing size: scramblers (1 ctx) then CRCs (2)."""
+    orders = {
+        1: ["wimax"],
+        2: ["wimax", "wifi"],
+        3: ["wimax", "wifi", "eth"],  # 1+1+2 = 4 contexts: still resident
+        4: ["wimax", "wifi", "eth", "CRC-16/CCITT-FALSE"],  # 6 > 4: thrash
+        5: ["wimax", "wifi", "eth", "CRC-16/CCITT-FALSE", "CRC-16/X-25"],
+    }
+    results = {}
+    for size, names in orders.items():
+        scheduler = WorkloadScheduler({n: personalities[n] for n in names})
+        scheduler.run(_round_robin(names, jobs_per_name=1))  # warm the cache
+        report = scheduler.run(_round_robin(names))  # steady state
+        results[size] = report
+    return results
+
+
+def test_ablation_context_cache_regenerate(sweep, save_result):
+    rows = []
+    for size, report in sweep.items():
+        rows.append(
+            [size, report.jobs, report.switches, report.reloads,
+             f"{report.configuration_overhead:.1%}"]
+        )
+    text = format_table(
+        ["personalities", "jobs", "switches", "reloads", "config overhead"],
+        rows,
+        title="Ablation: working-set size vs the 4-context configuration cache",
+    )
+    save_result("ablation_context_cache", text)
+
+
+def test_resident_sets_never_reload_in_steady_state(sweep):
+    for size in (1, 2, 3):
+        assert sweep[size].reloads == 0
+
+
+def test_oversubscribed_sets_thrash(sweep):
+    assert sweep[4].reloads > 4
+    assert sweep[5].reloads > sweep[4].reloads
+
+
+def test_overhead_cliff(sweep):
+    """The cache cliff: overhead jumps by an order of magnitude once the
+    working set exceeds the four contexts."""
+    assert sweep[3].configuration_overhead < 0.05
+    assert sweep[4].configuration_overhead > 5 * sweep[3].configuration_overhead
+
+
+def test_benchmark_scheduler(benchmark, personalities):
+    names = ["wimax", "wifi", "eth"]
+    scheduler = WorkloadScheduler({n: personalities[n] for n in names})
+    trace = _round_robin(names, jobs_per_name=20)
+    report = benchmark(scheduler.run, trace)
+    assert report.jobs == len(trace)

@@ -1,0 +1,83 @@
+"""Data-movement ablation: when does DMA, not compute, set the ceiling?
+
+The throughput model assumes the local memory keeps the array fed; this
+bench stresses that assumption with the :class:`LocalMemoryModel`:
+
+* the default DREAM-like buffer (4 x 32-bit banks) sustains exactly
+  M = 128 — the same ceiling the cell budget gives, i.e. the paper's
+  design point is balanced;
+* sweeping the system-bus width shows single-message throughput saturating
+  against exposed DMA time once compute gets fast enough.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.dream import DREAM_MEMORY, LocalMemoryModel
+
+MESSAGE_BITS = 12144
+COMPUTE_CYCLES = {32: 457, 64: 269, 128: 179}  # Fig. 4 single-message points
+BUS_WIDTHS = (16, 32, 64, 128)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    results = {}
+    for width in BUS_WIDTHS:
+        model = LocalMemoryModel(dma_width_bits=width)
+        per_m = {}
+        for M, compute in COMPUTE_CYCLES.items():
+            per_m[M] = model.effective_throughput_bps(MESSAGE_BITS, compute) / 1e9
+        results[width] = per_m
+    return results
+
+
+def test_ablation_data_movement_regenerate(sweep, save_result):
+    rows = []
+    for width, per_m in sweep.items():
+        staging = LocalMemoryModel(dma_width_bits=width).staging_cycles(MESSAGE_BITS)
+        rows.append(
+            [width, staging] + [f"{per_m[M]:.2f}" for M in COMPUTE_CYCLES]
+        )
+    text = format_table(
+        ["bus bits/cycle", "staging cycles"] + [f"M={M} Gbit/s" for M in COMPUTE_CYCLES],
+        rows,
+        title=f"Ablation: DMA bus width vs effective throughput ({MESSAGE_BITS}-bit messages)",
+    )
+    save_result("ablation_data_movement", text)
+
+
+def test_balanced_design_point(sweep):
+    """Memory bandwidth and cell budget give the *same* M = 128 ceiling."""
+    assert DREAM_MEMORY.max_sustained_m() == 128
+
+
+def test_wide_bus_preserves_compute_bound(sweep):
+    """With a 128-bit bus, staging hides behind compute entirely."""
+    compute_bound = MESSAGE_BITS * 200e6 / COMPUTE_CYCLES[128] / 1e9
+    assert sweep[128][128] == pytest.approx(compute_bound)
+
+
+def test_narrow_bus_caps_fast_compute(sweep):
+    """A 16-bit bus exposes DMA time: the M = 128 point loses bandwidth
+    while the slow M = 32 point is barely affected."""
+    loss_128 = 1 - sweep[16][128] / sweep[128][128]
+    loss_32 = 1 - sweep[16][32] / sweep[128][32]
+    assert loss_128 > 0.5
+    assert loss_32 < 0.5
+
+
+def test_throughput_monotone_in_bus_width(sweep):
+    for M in COMPUTE_CYCLES:
+        series = [sweep[w][M] for w in BUS_WIDTHS]
+        assert series == sorted(series)
+
+
+def test_frame_fits_local_buffer():
+    assert DREAM_MEMORY.capacity_bits >= MESSAGE_BITS
+
+
+def test_benchmark_memory_model(benchmark):
+    model = LocalMemoryModel()
+    value = benchmark(model.effective_throughput_bps, MESSAGE_BITS, 179)
+    assert value > 0

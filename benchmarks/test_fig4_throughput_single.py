@@ -1,0 +1,89 @@
+"""Fig. 4 — throughput vs message length, single message.
+
+The paper sweeps the message length (marking the 368..12144-bit Ethernet
+window) for several look-ahead factors; the curves rise toward M × 200
+Mbit/s as the per-message control overhead and the configuration-switch
+pipeline break amortize.  The executed netlist is spot-checked against the
+analytic model inside the bench.
+"""
+
+import pytest
+
+from repro.analysis import (
+    ETHERNET_MAX_BITS,
+    ETHERNET_MIN_BITS,
+    format_multi_series,
+    message_length_sweep,
+)
+
+FACTORS = (8, 16, 32, 64, 128)
+LENGTHS = message_length_sweep(128, 65536, points_per_octave=1)
+
+
+@pytest.fixture(scope="module")
+def curves(system, crc_mappings):
+    return {
+        f"M={M}": {
+            bits: system.crc_single_performance(crc_mappings[M], bits).throughput_gbps
+            for bits in LENGTHS
+        }
+        for M in FACTORS
+    }
+
+
+def test_fig4_regenerate(curves, save_result):
+    text = format_multi_series(
+        LENGTHS,
+        curves,
+        "message bits",
+        title=(
+            "Fig. 4: single-message throughput (Gbit/s) vs message length\n"
+            f"(Ethernet window: {ETHERNET_MIN_BITS}..{ETHERNET_MAX_BITS} bits)"
+        ),
+    )
+    save_result("fig4_throughput_single", text)
+
+
+def test_curves_monotone_in_length(curves):
+    for name, series in curves.items():
+        values = [series[bits] for bits in LENGTHS]
+        assert values == sorted(values), name
+
+
+def test_gbit_within_ethernet_window(curves):
+    """§5: 'we can perform transfers at the Gbit/sec speed for M equal to
+    32, 64 and 128' inside the Ethernet window."""
+    for M in (32, 64, 128):
+        assert curves[f"M={M}"][ETHERNET_MIN_BITS] > 0.5
+        assert curves[f"M={M}"][ETHERNET_MAX_BITS] > 1.0
+
+
+def test_asymptote_is_m_times_clock(curves, system, crc_mappings):
+    """At long messages the throughput approaches M x 200 Mbit/s."""
+    perf = system.crc_single_performance(crc_mappings[128], 1 << 20)
+    assert perf.throughput_gbps == pytest.approx(25.6, rel=0.05)
+
+
+def test_overhead_dominates_short_messages(curves):
+    """The left side of Fig. 4: all factors collapse toward the overhead
+    floor — M=128 gains little over M=32 on a 368-bit message."""
+    ratio = curves["M=128"][ETHERNET_MIN_BITS] / curves["M=32"][ETHERNET_MIN_BITS]
+    assert ratio < 2.0
+
+
+def test_executed_matches_analytic(system, crc_mappings):
+    data = bytes(range(46))  # 368 bits
+    crc, executed = system.execute_crc(crc_mappings[64], data)
+    predicted = system.crc_single_performance(crc_mappings[64], 368)
+    assert executed.total_cycles == predicted.total_cycles
+
+
+def test_benchmark_fig4_sweep(benchmark, system, crc_mappings):
+    def sweep():
+        return [
+            system.crc_single_performance(crc_mappings[128], bits).throughput_gbps
+            for bits in LENGTHS
+        ]
+
+    values = benchmark(sweep)
+    assert len(values) == len(LENGTHS)

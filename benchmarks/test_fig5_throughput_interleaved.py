@@ -1,0 +1,86 @@
+"""Fig. 5 — throughput vs message length with 32 interleaved messages.
+
+Kong–Parhi interleaving [13] works on 32 messages concurrently, amortizing
+the configuration change and hiding per-message control: the short-message
+end of the curve lifts dramatically relative to Fig. 4.
+"""
+
+import pytest
+
+from repro.analysis import format_multi_series, message_length_sweep
+
+FACTORS = (8, 16, 32, 64, 128)
+WAYS = 32
+LENGTHS = message_length_sweep(128, 65536, points_per_octave=1)
+
+
+@pytest.fixture(scope="module")
+def curves(system, crc_mappings):
+    return {
+        f"M={M}": {
+            bits: system.crc_interleaved_performance(
+                crc_mappings[M], bits, WAYS
+            ).throughput_gbps
+            for bits in LENGTHS
+        }
+        for M in FACTORS
+    }
+
+
+def test_fig5_regenerate(curves, save_result):
+    text = format_multi_series(
+        LENGTHS,
+        curves,
+        "message bits",
+        title=f"Fig. 5: throughput (Gbit/s) with {WAYS} interleaved messages",
+    )
+    save_result("fig5_throughput_interleaved", text)
+
+
+def test_interleaving_dominates_single(curves, system, crc_mappings):
+    """Fig. 5 lies above Fig. 4 at every point."""
+    for M in FACTORS:
+        for bits in LENGTHS:
+            single = system.crc_single_performance(crc_mappings[M], bits)
+            assert curves[f"M={M}"][bits] >= single.throughput_gbps
+
+
+def test_short_message_lift(curves, system, crc_mappings):
+    """The paper's motivation for interleaving: at the 368-bit Ethernet
+    minimum the interleaved curve is several times the single-message one."""
+    single = system.crc_single_performance(crc_mappings[128], 368).throughput_gbps
+    assert curves["M=128"][368] > 4 * single
+
+
+def test_flat_curves(curves, system, crc_mappings):
+    """Interleaved throughput varies far less with message length than the
+    single-message curve does (the visual story of Fig. 5 vs Fig. 4)."""
+    series = curves["M=128"]
+    interleaved_ratio = series[max(LENGTHS)] / series[min(LENGTHS)]
+    single = {
+        bits: system.crc_single_performance(crc_mappings[128], bits).throughput_gbps
+        for bits in (min(LENGTHS), max(LENGTHS))
+    }
+    single_ratio = single[max(LENGTHS)] / single[min(LENGTHS)]
+    assert interleaved_ratio < single_ratio / 3
+
+
+def test_executed_batch_matches_analytic(system, crc_mappings):
+    batch = [bytes(range(46))] * WAYS
+    crcs, executed = system.execute_crc_interleaved(crc_mappings[32], batch)
+    predicted = system.crc_interleaved_performance(crc_mappings[32], 368, WAYS)
+    assert executed.total_cycles == predicted.total_cycles
+    assert len(set(crcs)) == 1  # identical messages, identical CRCs
+
+
+def test_benchmark_fig5_sweep(benchmark, system, crc_mappings):
+    def sweep():
+        return [
+            system.crc_interleaved_performance(
+                crc_mappings[128], bits, WAYS
+            ).throughput_gbps
+            for bits in LENGTHS
+        ]
+
+    values = benchmark(sweep)
+    assert len(values) == len(LENGTHS)

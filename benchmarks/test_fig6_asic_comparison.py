@@ -1,0 +1,94 @@
+"""Fig. 6 — application-specific CRC: throughput vs look-ahead factor.
+
+Four curves, kernel-only (no communication/configuration overhead,
+"infinite message"):
+
+* UCRC — the OpenCores parallel CRC, via the static-timing synthesis model;
+* M theory — Derby's method on a custom design (serial clock × M);
+* M/2 theory — Pei & Zukowski's bound (serial clock × M/2);
+* DREAM — M × 200 MHz, capped by the array at M = 128.
+
+The paper's punchlines, asserted below: DREAM is frequency-limited at
+small M, overtakes the UCRC synthesis near its own ceiling, and reaches
+~25 Gbit/s at M = 128.
+"""
+
+import pytest
+
+from repro.analysis import format_multi_series
+from repro.baselines import UcrcModel, theory_sweep
+from repro.crc import ETHERNET_CRC32
+from repro.mapping import DesignSpaceExplorer
+
+FACTORS = (2, 4, 8, 16, 32, 64, 128, 256, 512)
+DREAM_MAX_M = 128
+
+
+@pytest.fixture(scope="module")
+def ucrc():
+    return UcrcModel(ETHERNET_CRC32)
+
+
+@pytest.fixture(scope="module")
+def curves(ucrc, system, crc_mappings):
+    theory = theory_sweep(ucrc, FACTORS)
+    dream = {}
+    for M in FACTORS:
+        if M <= DREAM_MAX_M:
+            mapped = crc_mappings.get(M)
+            if mapped is None:
+                continue
+            perf = system.crc_kernel_performance(mapped, M * 100000)
+            dream[M] = perf.throughput_gbps
+    return {
+        "UCRC synth": {M: ucrc.throughput_bps(M) / 1e9 for M in FACTORS},
+        "M theory": {M: v / 1e9 for M, v in theory["m_theory"].items()},
+        "M/2 theory": {M: v / 1e9 for M, v in theory["m_half_theory"].items()},
+        "DREAM": dream,
+    }
+
+
+def test_fig6_regenerate(curves, save_result):
+    text = format_multi_series(
+        FACTORS,
+        curves,
+        "M",
+        title="Fig. 6: kernel throughput (Gbit/s) vs look-ahead factor",
+    )
+    save_result("fig6_asic_comparison", text)
+
+
+def test_dream_peak_25gbps(curves):
+    """§5: 'For M = 128, DREAM achieves a peak performance of ~25 Gbit/s'."""
+    assert curves["DREAM"][128] == pytest.approx(25.6, rel=0.02)
+
+
+def test_dream_beats_ucrc_at_max_m(curves):
+    """'...that is greater of the performance offered by UCRC'."""
+    assert curves["DREAM"][128] > curves["UCRC synth"][128]
+
+
+def test_dream_limited_at_small_m(curves):
+    """'for small parallelization, performance of DREAM is limited by the
+    fixed working frequency'."""
+    for M in (2, 4, 8):
+        if M in curves["DREAM"]:
+            assert curves["DREAM"][M] < curves["UCRC synth"][M]
+
+
+def test_theory_ordering(curves):
+    """M theory > M/2 theory > UCRC synthesis, at every factor."""
+    for M in FACTORS:
+        assert curves["M theory"][M] == pytest.approx(2 * curves["M/2 theory"][M])
+        assert curves["M theory"][M] > curves["UCRC synth"][M]
+
+
+def test_ucrc_saturates(curves):
+    """The synthesized curve grows sublinearly (wire/fan-in degradation)."""
+    series = curves["UCRC synth"]
+    assert series[512] < 2 * series[128]
+
+
+def test_benchmark_ucrc_sweep(benchmark, ucrc):
+    values = benchmark(ucrc.sweep, FACTORS)
+    assert len(values) == len(FACTORS)

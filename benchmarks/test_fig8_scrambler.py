@@ -1,0 +1,88 @@
+"""Fig. 8 — 802.16e scrambler throughput vs look-ahead factor and block
+length.
+
+The scrambler compiles to a single PGAOP (no anti-transformation, no
+configuration switch), so throughput climbs to the array's full output
+bandwidth; block length matters only through the per-burst setup and
+pipeline fill.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_multi_series
+from repro.mapping import map_scrambler
+from repro.scrambler import AdditiveScrambler, IEEE80216E
+
+FACTORS = (8, 16, 32, 64, 128)
+BLOCK_BITS = (96, 384, 1152, 4608, 18432)
+
+
+@pytest.fixture(scope="module")
+def scrambler_mappings():
+    return {M: map_scrambler(IEEE80216E, M) for M in FACTORS}
+
+
+@pytest.fixture(scope="module")
+def curves(system, scrambler_mappings):
+    return {
+        f"M={M}": {
+            bits: system.scrambler_performance(mapped, bits).throughput_gbps
+            for bits in BLOCK_BITS
+        }
+        for M, mapped in scrambler_mappings.items()
+    }
+
+
+def test_fig8_regenerate(curves, save_result):
+    text = format_multi_series(
+        BLOCK_BITS,
+        curves,
+        "block bits",
+        title="Fig. 8: 802.16e scrambler throughput (Gbit/s) vs block length",
+    )
+    save_result("fig8_scrambler", text)
+
+
+def test_single_operation_no_switch(system, scrambler_mappings):
+    """§5: 'The implementation requires a single operation on PiCoGA'."""
+    for M, mapped in scrambler_mappings.items():
+        assert mapped.op.initiation_interval == 1
+        perf = system.scrambler_performance(mapped, 1152)
+        assert "switch" not in perf.cycles
+
+
+def test_max_output_bandwidth(system, scrambler_mappings):
+    """'...up to 128 bit in parallel, thus reaching the max output
+    bandwidth achievable' — 25.6 Gbit/s kernel, approached at long blocks."""
+    mapped = scrambler_mappings[128]
+    perf = system.scrambler_performance(mapped, 1 << 22)
+    assert perf.throughput_gbps == pytest.approx(25.6, rel=0.02)
+
+
+def test_throughput_grows_with_block_length(curves):
+    for name, series in curves.items():
+        values = [series[bits] for bits in BLOCK_BITS]
+        assert values == sorted(values), name
+
+
+def test_larger_m_wins(curves):
+    for bits in BLOCK_BITS[1:]:
+        assert curves["M=128"][bits] > curves["M=16"][bits]
+
+
+def test_executed_matches_analytic_and_serial(system, scrambler_mappings):
+    rng = np.random.default_rng(88)
+    bits = [int(b) for b in rng.integers(0, 2, size=1152)]
+    mapped = scrambler_mappings[64]
+    out, executed = system.execute_scrambler(mapped, bits)
+    assert out == AdditiveScrambler(IEEE80216E).scramble_bits(bits)
+    predicted = system.scrambler_performance(mapped, 1152)
+    assert executed.total_cycles == predicted.total_cycles
+
+
+def test_benchmark_scrambler_netlist(benchmark, system, scrambler_mappings):
+    bits = [1, 0, 1, 1] * 288  # 1152 bits
+    mapped = scrambler_mappings[128]
+    out, _ = benchmark(system.execute_scrambler, mapped, bits)
+    assert len(out) == len(bits)

@@ -1,0 +1,78 @@
+"""§1 platform comparison, quantified.
+
+The paper's introduction positions four implementation options for
+parallel LFSR applications: general-purpose/embedded processors (word
+level, too slow), embedded FPGAs (bit level, reduced frequency),
+reconfigurable datapaths like PiCoGA (pipelined, the sweet spot) and
+ASICs (fast, inflexible).  This bench renders that narrative as one
+kernel-bandwidth table from the library's models.
+"""
+
+import pytest
+
+from repro.analysis import format_multi_series
+from repro.baselines import EmbeddedFpgaModel, RiscCostModel, UcrcModel
+from repro.crc import ETHERNET_CRC32
+
+FACTORS = (1, 2, 4, 8, 16, 32, 64, 128)
+DREAM_MAX_M = 128
+
+
+@pytest.fixture(scope="module")
+def curves(crc_mappings, system):
+    risc = RiscCostModel()
+    efpga = EmbeddedFpgaModel(ETHERNET_CRC32)
+    asic = UcrcModel(ETHERNET_CRC32)
+    dream = {}
+    for M in FACTORS:
+        if M in crc_mappings:
+            dream[M] = system.crc_kernel_performance(
+                crc_mappings[M], M * 10000
+            ).throughput_gbps
+    return {
+        "RISC sw (table)": {M: risc.peak_throughput_bps("table") / 1e9 for M in FACTORS},
+        "eFPGA": {M: efpga.throughput_bps(M) / 1e9 for M in FACTORS},
+        "DREAM": dream,
+        "ASIC (UCRC)": {M: asic.throughput_bps(M) / 1e9 for M in FACTORS},
+    }
+
+
+def test_platform_comparison_regenerate(curves, save_result):
+    text = format_multi_series(
+        FACTORS,
+        curves,
+        "M",
+        title="Platform comparison: CRC-32 kernel bandwidth (Gbit/s) — §1 narrative",
+    )
+    save_result("platform_comparison", text)
+
+
+def test_processors_are_orders_of_magnitude_behind(curves):
+    sw = curves["RISC sw (table)"][1]
+    assert curves["DREAM"][128] > 100 * sw
+
+
+def test_efpga_between_software_and_asic(curves):
+    for M in (8, 32, 128):
+        assert curves["RISC sw (table)"][M] < curves["eFPGA"][M] < curves["ASIC (UCRC)"][M]
+
+
+def test_dream_wins_among_programmable_at_design_point(curves):
+    """At M = 128 the pipelined reconfigurable datapath beats both
+    programmable alternatives and edges the ASIC synthesis."""
+    assert curves["DREAM"][128] > curves["eFPGA"][128]
+    assert curves["DREAM"][128] > curves["ASIC (UCRC)"][128]
+
+
+def test_flexibility_costs_frequency_at_small_m(curves):
+    """Below the knee every flexible platform trails the ASIC."""
+    for M in (1, 2, 4):
+        if M in curves["DREAM"]:
+            assert curves["DREAM"][M] < curves["ASIC (UCRC)"][M]
+        assert curves["eFPGA"][M] < curves["ASIC (UCRC)"][M]
+
+
+def test_benchmark_platform_sweep(benchmark):
+    efpga = EmbeddedFpgaModel(ETHERNET_CRC32)
+    values = benchmark(efpga.sweep, FACTORS)
+    assert len(values) == len(FACTORS)

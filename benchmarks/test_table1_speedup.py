@@ -1,0 +1,82 @@
+"""Table 1 — speed-up of DREAM vs fast software CRC on a 200 MHz RISC.
+
+The paper's table reports the speed-up for message lengths × look-ahead
+factors M ∈ {32, 64, 128}.  We regenerate it against the table-driven
+"fast software" baseline ([8]-style, 8 cycles/byte) and additionally
+record the kernel-level speed-up against the bit-serial software CRC,
+which is the paper's "roughly three orders of magnitude" claim.
+"""
+
+import pytest
+
+from repro.analysis import as_table, format_table, kernel_speedup, speedup_grid
+from repro.baselines import RiscCostModel
+
+MESSAGE_BITS = (512, 1024, 4096, 12144, 65536)
+FACTORS = (32, 64, 128)
+
+
+@pytest.fixture(scope="module")
+def grid(system, crc_mappings):
+    mappings = [crc_mappings[M] for M in FACTORS]
+    return speedup_grid(system, mappings, MESSAGE_BITS, algorithm="table")
+
+
+def test_table1_regenerate(grid, system, crc_mappings, save_result):
+    table = as_table(grid)
+    rows = [
+        [bits] + [f"{table[bits][M]:.1f}" for M in FACTORS] for bits in MESSAGE_BITS
+    ]
+    text = format_table(
+        ["message bits"] + [f"M={M}" for M in FACTORS],
+        rows,
+        title="Table 1: speed-up vs fast software CRC (table-driven, 200 MHz RISC)",
+    )
+    kernel = kernel_speedup(system, crc_mappings[128], algorithm="bitwise")
+    text += (
+        f"\n\nKernel speed-up vs bit-serial software CRC at M=128: {kernel:.0f}x "
+        "(the paper's 'roughly three orders of magnitude')"
+    )
+    save_result("table1_speedup", text)
+
+
+def test_speedup_shape_matches_paper(grid):
+    """Who wins and how: DREAM always wins, more at longer messages and
+    larger M."""
+    table = as_table(grid)
+    for bits in MESSAGE_BITS:
+        # Larger M never loses at equal length.
+        assert table[bits][128] >= table[bits][32] * 0.9
+        assert table[bits][32] > 1
+    # Longer messages amortize control overhead.
+    for M in FACTORS:
+        assert table[65536][M] > table[512][M]
+
+
+def test_three_orders_of_magnitude(system, crc_mappings):
+    s = kernel_speedup(system, crc_mappings[128], algorithm="bitwise")
+    assert 500 <= s <= 2000
+
+
+def test_area_increase_is_returned(system, crc_mappings):
+    """§5: 'the area increase ... estimated in 10x the area of a basic
+    processor, is returned by an adequate performance improvement' —
+    bandwidth per mm² favours DREAM over the plain RISC."""
+    from repro.analysis import AreaModel
+    from repro.baselines import RiscCostModel
+
+    model = AreaModel()
+    assert 8 <= model.area_ratio <= 13
+    mapped = crc_mappings[128]
+    for bits in (4096, 12144, 65536):
+        dream_bps = system.crc_single_performance(mapped, bits).throughput_bps
+        risc_bps = RiscCostModel().throughput_bps("table", bits)
+        assert model.area_returned(dream_bps, risc_bps), bits
+
+
+def test_benchmark_speedup_grid(benchmark, system, crc_mappings):
+    mappings = [crc_mappings[M] for M in FACTORS]
+    result = benchmark(
+        speedup_grid, system, mappings, MESSAGE_BITS, "table", RiscCostModel()
+    )
+    assert len(result) == len(FACTORS) * len(MESSAGE_BITS)

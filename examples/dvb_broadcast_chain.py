@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""DVB broadcast chain: energy dispersal + MPEG-2 CRC on one DREAM.
+
+The paper's §1 points at digital broadcasting as a natural home for
+reconfigurable LFSR hardware.  This script assembles the relevant chain
+from the library:
+
+* MPEG-2 transport packets get their PSI sections protected with
+  CRC-32/MPEG-2 (the paper notes Ethernet's generator "is the same
+  defined for MPEG-2");
+* the stream is energy-dispersal scrambled per DVB (superframes of 8
+  packets, inverted sync byte, PRBS 1 + x^14 + x^15);
+* a receiver joins mid-stream, resynchronizes on the inverted sync byte
+  and checks the section CRCs;
+* both LFSR kernels are mapped onto the same simulated DREAM, sharing the
+  configuration cache.
+
+Run:  python examples/dvb_broadcast_chain.py
+"""
+
+import numpy as np
+
+from repro.crc import BitwiseCRC, CodewordCodec, MPEG2_CRC32
+from repro.dream import Job, WorkloadScheduler
+from repro.mapping import map_crc, map_scrambler
+from repro.scrambler import DVB
+from repro.scrambler.dvb_ts import (
+    TS_PACKET_BYTES,
+    TransportStreamDescrambler,
+    TransportStreamScrambler,
+    make_transport_stream,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(2008)
+    codec = CodewordCodec(MPEG2_CRC32)
+
+    # --- transmitter -----------------------------------------------------
+    sections = [bytes(rng.integers(0, 256, size=183).tolist()) for _ in range(24)]
+    payloads = [codec.encode(s) for s in sections]  # 183 + 4 CRC bytes = 187
+    packets = make_transport_stream(payloads)
+    scrambled = TransportStreamScrambler().scramble_stream(packets)
+    print(f"TX: {len(packets)} packets x {TS_PACKET_BYTES} bytes, "
+          f"PSI sections protected with {MPEG2_CRC32.name}")
+
+    # --- receiver joins 5 packets late ------------------------------------
+    rx = TransportStreamDescrambler()
+    received = rx.descramble_stream(scrambled[5:])
+    good = 0
+    for packet in received:
+        if not rx.synchronized:
+            continue
+        payload = packet[1:]
+        _, ok = codec.decode(payload)
+        good += ok
+    print(f"RX joined 5 packets late: {good}/{len(received)} sections pass CRC "
+          "(packets before the first superframe marker are undecodable)")
+
+    # --- corrupt one byte; the CRC catches it -----------------------------
+    damaged = bytearray(scrambled[8])  # first packet of a superframe
+    damaged[100] ^= 0x20
+    rx2 = TransportStreamDescrambler()
+    out = rx2.descramble_packet(bytes(damaged))
+    _, ok = codec.decode(out[1:])
+    print(f"single corrupted byte detected by CRC: {not ok}")
+
+    # --- both kernels on one DREAM ---------------------------------------
+    personalities = {
+        "dispersal": map_scrambler(DVB, 64),
+        "mpeg-crc": map_crc(MPEG2_CRC32, 64),
+    }
+    scheduler = WorkloadScheduler(personalities)
+    trace = []
+    for _ in range(len(packets)):
+        trace.append(Job("dispersal", 8 * TS_PACKET_BYTES))
+        trace.append(Job("mpeg-crc", 8 * 187))
+    report = scheduler.run(trace)
+    print(
+        f"\nDREAM schedule: {report.jobs} jobs, {report.total_cycles} cycles, "
+        f"{report.switches} context switches, "
+        f"configuration overhead {report.configuration_overhead:.1%} "
+        "(both personalities stay cache-resident)"
+    )
+    bps = report.throughput_bps(len(packets) * 8 * TS_PACKET_BYTES, 200e6)
+    print(f"sustained chain throughput: {bps / 1e9:.2f} Gbit/s")
+
+    software = BitwiseCRC(MPEG2_CRC32)
+    for section, payload in zip(sections, payloads):
+        message, ok = codec.decode(payload)
+        assert ok and message == section and software.verify(section, codec.crc_from_bytes(payload[-4:]))
+    print("\nAll section CRCs verified against the software engine.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Multi-standard modem: the run-time flexibility the paper argues for.
+
+§1's case for reconfigurable LFSR hardware is the multi-mode device: ~25
+published CRC standards plus per-standard scramblers, each needed at a
+different moment, with ASIC-per-standard area prohibitive.  This script
+plays that scenario on one simulated DREAM:
+
+* compile accelerators for three protocol personalities (Ethernet,
+  Bluetooth-style CRC-16, WiMax scrambler + CRC-16/X-25);
+* "retune" the same array between them at run time (configuration cache);
+* verify every result against the software engines and report the cost of
+  each personality switch.
+
+Run:  python examples/multi_standard_modem.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.crc import BitwiseCRC, ETHERNET_CRC32, get
+from repro.dream import DreamSystem
+from repro.mapping import map_crc, map_scrambler
+from repro.picoga import BUS_LOAD_CYCLES
+from repro.scrambler import AdditiveScrambler, IEEE80216E
+
+PERSONALITIES = {
+    "ethernet": ETHERNET_CRC32,
+    "bluetooth-ish": get("CRC-16/KERMIT"),
+    "wimax-mac": get("CRC-16/X-25"),
+}
+
+
+def main() -> None:
+    system = DreamSystem()
+    rng = np.random.default_rng(1)
+
+    # --- compile all personalities once (offline, like firmware) --------
+    compiled = {name: map_crc(spec, 64) for name, spec in PERSONALITIES.items()}
+    scrambler = map_scrambler(IEEE80216E, 64)
+
+    rows = []
+    for name, mapped in compiled.items():
+        rows.append(
+            [name, mapped.spec.name, mapped.report.total_cells,
+             mapped.update_op.n_rows, f"{64 * 0.2:.1f}"]
+        )
+    rows.append(["wimax-phy", IEEE80216E.name, scrambler.report.update_cells,
+                 scrambler.op.n_rows, f"{64 * 0.2:.1f}"])
+    print(format_table(
+        ["personality", "standard", "cells", "rows", "kernel Gbit/s"],
+        rows, title="Compiled personalities (M = 64)",
+    ))
+
+    # --- run traffic through each personality in turn -------------------
+    print("\nRun-time retuning:")
+    for name, mapped in compiled.items():
+        payload = bytes(rng.integers(0, 256, size=200).tolist())
+        crc, perf = system.execute_crc(mapped, payload)
+        assert crc == BitwiseCRC(mapped.spec).compute(payload)
+        print(
+            f"  {name:14s} {mapped.spec.name:16s} crc=0x{crc:0{mapped.spec.width // 4}X} "
+            f"{perf.throughput_gbps:5.2f} Gbit/s"
+        )
+
+    bits = [int(b) for b in rng.integers(0, 2, size=640)]
+    out, perf = system.execute_scrambler(scrambler, bits)
+    assert out == AdditiveScrambler(IEEE80216E).scramble_bits(bits)
+    print(f"  {'wimax-phy':14s} {IEEE80216E.name:16s} scrambled 640 bits "
+          f"{perf.throughput_gbps:5.2f} Gbit/s")
+
+    # --- what a personality switch costs ---------------------------------
+    print(
+        f"\nSwitch cost: {2} cycles between the {4} cached contexts, "
+        f"{BUS_LOAD_CYCLES} cycles to stream a new personality from the bus — "
+        "versus a mask respin for an ASIC-per-standard design."
+    )
+    print("A software-programmable datapath covers the whole catalog; that is")
+    print("the flexibility x performance point the paper stakes out.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Netlist bring-up flow: compile, prove, inspect, waveform-dump.
+
+The EDA loop a developer porting the mapper (new polynomial, new cell
+library, new array geometry) would run:
+
+1. compile a CRC onto PiCoGA;
+2. **prove** the netlist equivalent to the specification matrices — the
+   linear-basis proof is a complete formal check for XOR netlists;
+3. inspect the placement (rows, loop highlighting, routing demand,
+   configuration size);
+4. dump a VCD of a short burst for waveform debugging;
+5. serialize the operation as a "firmware image" and reload it.
+
+Run:  python examples/netlist_bringup.py
+"""
+
+import os
+import tempfile
+
+import numpy as np
+
+from repro.crc import BitwiseCRC, get
+from repro.mapping import map_crc, verify_mapped_crc
+from repro.picoga import (
+    describe,
+    dump_burst_vcd,
+    estimate_routing,
+    op_dumps,
+    op_loads,
+    trace_burst,
+)
+
+SPEC = get("CRC-16/CCITT-FALSE")
+M = 32
+
+
+def main() -> None:
+    # 1. compile ----------------------------------------------------------
+    mapped = map_crc(SPEC, M)
+    print(f"compiled {SPEC.name} at M={M}: "
+          f"{mapped.report.total_cells} cells, II={mapped.report.update_ii}\n")
+
+    # 2. formal equivalence ------------------------------------------------
+    results = verify_mapped_crc(mapped)
+    for result in results:
+        print(f"  proof[{result.mode}]: checked {result.checked} vectors -> "
+              f"{'PASS' if result.passed else 'FAIL'}")
+    assert all(results)
+    print("netlist formally equivalent to the specification matrices\n")
+
+    # 3. physical inspection -----------------------------------------------
+    print(describe(mapped.update_op))
+    routing = estimate_routing(mapped.update_op)
+    print(f"\nrouting: peak {routing.peak_crossings} crossings "
+          f"({routing.peak_utilization:.0%} of channel), "
+          f"congested={routing.congested}")
+    trace = trace_burst(mapped.update_op, 20)
+    print(f"pipeline utilization over a 20-block burst: {trace.utilization():.0%}\n")
+
+    # 4. waveform dump -------------------------------------------------------
+    rng = np.random.default_rng(3)
+    blocks = [[int(b) for b in rng.integers(0, 2, size=M)] for _ in range(8)]
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "crc16_burst.vcd")
+        dump_burst_vcd(mapped.update_op, [0] * SPEC.width, blocks, path)
+        size = os.path.getsize(path)
+        print(f"VCD waveform written ({size} bytes) — open in GTKWave to see the")
+        print("single-level loop cells toggling once per block\n")
+
+    # 5. firmware round-trip ---------------------------------------------------
+    image = op_dumps(mapped.update_op)
+    clone = op_loads(image)
+    state = [0] * SPEC.width
+    for block in blocks:
+        _, state = clone.evaluate(state, block)
+    ref_state = [0] * SPEC.width
+    for block in blocks:
+        _, ref_state = mapped.update_op.evaluate(ref_state, block)
+    assert state == ref_state
+    print(f"firmware image: {len(image)} bytes JSON, reload verified")
+
+    # closing sanity: the whole thing still computes real CRCs
+    payload = bytes(rng.integers(0, 256, size=100).tolist())
+    assert mapped.compute(payload) == BitwiseCRC(SPEC).compute(payload)
+    print("end-to-end CRC check against software: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Stream ciphers from the paper's motivation (§1): A5/1, E0 and CSS.
+
+The paper motivates run-time-reconfigurable LFSR hardware with three
+security applications.  This script exercises all three on the library's
+LFSR substrate and demonstrates *why* they resist the look-ahead
+parallelization that works so well for CRCs and scramblers: irregular
+clocking (A5/1) and nonlinear combiners (E0's carries, CSS's
+add-with-carry) break the linear time-invariant structure the matrix
+method needs.
+
+Run:  python examples/stream_cipher_suite.py
+"""
+
+from repro.cipher import A51, CSS, E0
+
+
+def gsm_frame_encryption() -> None:
+    print("=== A5/1: GSM air-interface encryption ===")
+    key = bytes([0x12, 0x23, 0x45, 0x67, 0x89, 0xAB, 0xCD, 0xEF])
+    frame_number = 0x134
+    downlink, uplink = A51(key, frame_number).burst_pair()
+    print(f"Kc = {key.hex()}  frame = 0x{frame_number:06X}")
+    print(f"downlink keystream: {downlink.hex()}")
+    print(f"uplink   keystream: {uplink.hex()}")
+    # Encrypt a 114-bit burst: XOR with the keystream, decrypt likewise.
+    burst = bytes(15)  # silence frame
+    cipher = bytes(b ^ k for b, k in zip(burst, downlink))
+    assert bytes(c ^ k for c, k in zip(cipher, downlink)) == burst
+    print("burst encrypt/decrypt round-trip verified")
+
+    # The parallelization blocker: majority clocking stalls registers.
+    c = A51(key, frame_number)
+    stalled = 0
+    for _ in range(114):
+        before = (c.r1, c.r2, c.r3)
+        c.keystream(1)
+        stalled += sum(a == b for a, b in zip(before, (c.r1, c.r2, c.r3)))
+    print(f"register stalls in one burst: {stalled}/342 "
+          "(data-dependent clocking -> no A^M look-ahead)\n")
+
+
+def bluetooth_payload() -> None:
+    print("=== E0: Bluetooth payload keystream ===")
+    seed = bytes(range(16))
+    cipher = E0.from_seed(seed)
+    print(f"registers (25/31/33/39 bits): "
+          f"{[hex(r) for r in cipher.registers]}")
+    plaintext = b"DREAM @ 200 MHz"
+    ciphertext = E0.from_seed(seed).encrypt(plaintext)
+    recovered = E0.from_seed(seed).encrypt(ciphertext)
+    assert recovered == plaintext
+    print(f"plaintext : {plaintext!r}")
+    print(f"ciphertext: {ciphertext.hex()}")
+    print("the 2-bit carry FSM makes the combiner nonlinear -> the state-")
+    print("space method applies per-register but not to the keystream\n")
+
+
+def dvd_sector() -> None:
+    print("=== CSS: 40-bit content scrambling ===")
+    title_key = bytes([0x51, 0x67, 0x67, 0xC5, 0xE0])
+    sector = bytes(range(256)) * 8  # one 2048-byte DVD sector
+    scrambled = CSS(title_key, "data").scramble(sector)
+    restored = CSS(title_key, "data").descramble(scrambled)
+    assert restored == sector
+    changed = sum(a != b for a, b in zip(sector, scrambled))
+    print(f"sector scrambled: {changed}/2048 bytes changed, round-trip OK")
+    print("byte-wise add-with-carry couples the two LFSR outputs outside")
+    print("GF(2) — another structure the XOR look-ahead cannot absorb\n")
+
+
+def main() -> None:
+    gsm_frame_encryption()
+    bluetooth_payload()
+    dvd_sector()
+    print("All three ciphers verified on the LFSR substrate.")
+
+
+if __name__ == "__main__":
+    main()

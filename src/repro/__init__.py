@@ -1,0 +1,19 @@
+"""repro — reproduction of *Implementation of Parallel LFSR-based
+Applications on an Adaptive DSP featuring a Pipelined Configurable Gate
+Array* (Mucci et al., DATE 2008).
+
+Package map
+-----------
+``repro.gf2``        GF(2) matrices, polynomials, carry-less arithmetic.
+``repro.lfsr``       LFSR state-space theory, look-ahead, Derby transform.
+``repro.crc``        CRC spec catalog and six independent CRC engines.
+``repro.scrambler``  Additive/multiplicative scramblers and PRBS generators.
+``repro.cipher``     LFSR stream ciphers (A5/1, E0, CSS).
+``repro.picoga``     Functional + cycle-level PiCoGA simulator.
+``repro.mapping``    Matrix-to-PiCoGA mapping toolchain (the "Matlab program").
+``repro.dream``      DREAM system model (RISC control + PiCoGA execution).
+``repro.baselines``  Software-CRC, ASIC (UCRC) and theory baselines.
+``repro.analysis``   Throughput / speed-up / energy reporting helpers.
+"""
+
+__version__ = "1.0.0"

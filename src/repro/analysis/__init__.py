@@ -1,0 +1,40 @@
+"""Reporting helpers: throughput conventions, speed-up grids, the Fig. 7
+energy model and table formatting shared by benches and examples."""
+
+from repro.analysis.area import PICOGA_MM2, RISC_MM2, AreaModel
+from repro.analysis.energy import RISC_PJ_PER_BIT, EnergyModel
+from repro.analysis.speedup import SpeedupEntry, as_table, kernel_speedup, speedup_grid
+from repro.analysis.tables import format_multi_series, format_series, format_table
+from repro.analysis.throughput import (
+    ETHERNET_MAX_BITS,
+    ETHERNET_MIN_BITS,
+    PAPER_FACTORS,
+    bps_from_cycles,
+    efficiency,
+    gbps,
+    in_ethernet_window,
+    message_length_sweep,
+)
+
+__all__ = [
+    "AreaModel",
+    "ETHERNET_MAX_BITS",
+    "PICOGA_MM2",
+    "RISC_MM2",
+    "ETHERNET_MIN_BITS",
+    "EnergyModel",
+    "PAPER_FACTORS",
+    "RISC_PJ_PER_BIT",
+    "SpeedupEntry",
+    "as_table",
+    "bps_from_cycles",
+    "efficiency",
+    "format_multi_series",
+    "format_series",
+    "format_table",
+    "gbps",
+    "in_ethernet_window",
+    "kernel_speedup",
+    "message_length_sweep",
+    "speedup_grid",
+]

@@ -1,0 +1,73 @@
+"""Area-efficiency analysis (paper §3/§5).
+
+Two of the paper's quantitative side-claims live here:
+
+* PiCoGA occupies ~11 mm² in ST 90 nm and DREAM averages ~2 GOPS/mm²
+  (§3, figures of merit from [5]);
+* "the area increase due to a reconfigurable datapath, that can be
+  estimated in 10x the area of a basic processor, is returned by an
+  adequate performance improvement, also for short messages" (§5).
+
+:class:`AreaModel` makes the second claim checkable: compare
+bandwidth-per-area of DREAM (RISC + PiCoGA) against the same RISC running
+the software CRC.  Because DREAM's CRC speed-up exceeds 10x for all but
+the shortest messages (Table 1), the area is "returned".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: ST 90 nm figures: PiCoGA array area and a small embedded RISC core
+#: (STxP70-class with caches) — the paper's "basic processor" unit.
+PICOGA_MM2 = 11.0
+RISC_MM2 = 1.1
+
+
+@dataclass(frozen=True)
+class AreaModel:
+    """Silicon-area bookkeeping for the DREAM-vs-RISC comparison."""
+
+    picoga_mm2: float = PICOGA_MM2
+    risc_mm2: float = RISC_MM2
+
+    def __post_init__(self):
+        if self.picoga_mm2 <= 0 or self.risc_mm2 <= 0:
+            raise ValueError("areas must be positive")
+
+    @property
+    def dream_mm2(self) -> float:
+        """The full adaptive DSP: control core plus the array."""
+        return self.risc_mm2 + self.picoga_mm2
+
+    @property
+    def area_ratio(self) -> float:
+        """DREAM area over the basic processor — the paper's ~10x."""
+        return self.dream_mm2 / self.risc_mm2
+
+    # ------------------------------------------------------------------
+    def dream_bps_per_mm2(self, throughput_bps: float) -> float:
+        if throughput_bps < 0:
+            raise ValueError("throughput must be >= 0")
+        return throughput_bps / self.dream_mm2
+
+    def risc_bps_per_mm2(self, throughput_bps: float) -> float:
+        if throughput_bps < 0:
+            raise ValueError("throughput must be >= 0")
+        return throughput_bps / self.risc_mm2
+
+    def area_returned(self, dream_bps: float, risc_bps: float) -> bool:
+        """The §5 criterion: does DREAM deliver more bandwidth *per mm²*
+        than the plain processor, despite being ~10x larger?"""
+        return self.dream_bps_per_mm2(dream_bps) > self.risc_bps_per_mm2(risc_bps)
+
+    def speedup_needed(self) -> float:
+        """Minimum speed-up at which the extra area pays for itself."""
+        return self.area_ratio
+
+    def gops_per_mm2(self, xor2_ops_per_cycle: float, clock_hz: float = 200e6) -> float:
+        """Array compute density in 2-input-XOR-equivalent GOPS/mm²,
+        comparable to the §3 'average 2 GOPS/mm²' figure of merit."""
+        if xor2_ops_per_cycle < 0:
+            raise ValueError("ops per cycle must be >= 0")
+        return xor2_ops_per_cycle * clock_hz / 1e9 / self.picoga_mm2

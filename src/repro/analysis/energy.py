@@ -1,0 +1,87 @@
+"""Energy model for Fig. 7 (energy efficiency vs message length and M).
+
+The paper reports the RISC reference at ~400 pJ/bit (length-independent)
+and DREAM at 5-60× less in 90 nm, the ratio depending on message length and
+look-ahead factor.  We reproduce that with a three-component model:
+
+``E(message) = issue_cycles * active_cells * e_cell
+             + total_cycles * e_array_base
+             + control_cycles * e_risc_cycle``
+
+* ``e_cell`` — switching energy of one active RLC per issued block;
+* ``e_array_base`` — array-wide per-cycle cost (clock tree, pipeline
+  registers, idle cells);
+* ``e_risc_cycle`` — the control processor, also the anchor for the
+  400 pJ/bit software figure (8 cycles/bit × 50 pJ/cycle).
+
+Defaults are calibrated to land the best case (M = 128, long messages)
+near ~8 pJ/bit (≈50× better than the RISC) and short-message cases near
+~45 pJ/bit (≈9×), inside the paper's 5-60× band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dream.system import PerformanceResult
+from repro.mapping.mapper import MappedCRC, MappedScrambler
+
+#: The paper's reference figure for software CRC on an embedded RISC.
+RISC_PJ_PER_BIT = 400.0
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-event energy charges (90 nm calibration)."""
+
+    e_cell_pj: float = 3.0
+    e_array_base_pj: float = 100.0
+    e_risc_cycle_pj: float = 50.0
+
+    def dream_message_energy_pj(
+        self, active_cells: int, perf: PerformanceResult
+    ) -> float:
+        """Energy of one accelerated workload from its cycle breakdown."""
+        issue = perf.cycles.get("issue", 0) + perf.cycles.get("finalize", 0)
+        control = perf.cycles.get("control", 0)
+        return (
+            issue * active_cells * self.e_cell_pj
+            + perf.total_cycles * self.e_array_base_pj
+            + control * self.e_risc_cycle_pj
+        )
+
+    def dream_pj_per_bit(self, active_cells: int, perf: PerformanceResult) -> float:
+        if perf.payload_bits < 1:
+            raise ValueError("payload must contain at least one bit")
+        return self.dream_message_energy_pj(active_cells, perf) / perf.payload_bits
+
+    # ------------------------------------------------------------------
+    def crc_pj_per_bit(self, mapped: MappedCRC, perf: PerformanceResult) -> float:
+        cells = mapped.report.total_cells
+        return self.dream_pj_per_bit(cells, perf)
+
+    def measured_crc_pj_per_bit(self, mapped: MappedCRC, data: bytes,
+                                perf: PerformanceResult) -> float:
+        """Activity-measured variant: instead of charging every cell every
+        block, count the toggles the netlist actually produces on ``data``
+        (dynamic energy ∝ switching activity).  One toggle is charged
+        ``2 * e_cell`` so that the analytic model — which charges every
+        cell at the ~50% activity of random data — is its expectation."""
+        from repro.picoga.activity import measure_crc_activity
+
+        report = measure_crc_activity(mapped, data)
+        if perf.payload_bits < 1:
+            raise ValueError("payload must contain at least one bit")
+        dynamic = report.cell_toggles * 2.0 * self.e_cell_pj
+        base = perf.total_cycles * self.e_array_base_pj
+        control = perf.cycles.get("control", 0) * self.e_risc_cycle_pj
+        return (dynamic + base + control) / perf.payload_bits
+
+    def scrambler_pj_per_bit(self, mapped: MappedScrambler, perf: PerformanceResult) -> float:
+        return self.dream_pj_per_bit(mapped.report.update_cells, perf)
+
+    def advantage_vs_risc(self, dream_pj_per_bit: float) -> float:
+        """The paper's headline ratio (RISC ≈ 400 pJ/bit)."""
+        if dream_pj_per_bit <= 0:
+            raise ValueError("energy per bit must be positive")
+        return RISC_PJ_PER_BIT / dream_pj_per_bit

@@ -1,0 +1,63 @@
+"""Speed-up computations for Table 1."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.baselines.risc_crc import RiscCostModel
+from repro.dream.system import DreamSystem
+from repro.mapping.mapper import MappedCRC
+
+
+@dataclass(frozen=True)
+class SpeedupEntry:
+    """One Table 1 cell: message length × look-ahead factor."""
+
+    message_bits: int
+    M: int
+    dream_cycles: int
+    risc_cycles: float
+    speedup: float
+
+
+def speedup_grid(
+    system: DreamSystem,
+    mappings: Sequence[MappedCRC],
+    message_lengths: Sequence[int],
+    algorithm: str = "table",
+    cost: RiscCostModel = RiscCostModel(),
+) -> List[SpeedupEntry]:
+    """DREAM (single-message, all overheads) vs software on a 200 MHz RISC."""
+    entries: List[SpeedupEntry] = []
+    for mapped in mappings:
+        for bits in message_lengths:
+            perf = system.crc_single_performance(mapped, bits)
+            sw = cost.cycles(algorithm, bits)
+            entries.append(
+                SpeedupEntry(
+                    message_bits=bits,
+                    M=mapped.M,
+                    dream_cycles=perf.total_cycles,
+                    risc_cycles=sw,
+                    speedup=sw / perf.total_cycles,
+                )
+            )
+    return entries
+
+
+def kernel_speedup(system: DreamSystem, mapped: MappedCRC, algorithm: str = "bitwise",
+                   cost: RiscCostModel = RiscCostModel()) -> float:
+    """Overhead-free speed-up (the paper's 'three orders of magnitude' is
+    this number against the bit-serial software CRC)."""
+    bits_per_cycle = mapped.M / mapped.update_op.initiation_interval
+    dream_bps = bits_per_cycle * system.arch.clock_hz
+    return dream_bps / cost.peak_throughput_bps(algorithm)
+
+
+def as_table(entries: Sequence[SpeedupEntry]) -> Dict[int, Dict[int, float]]:
+    """{message_bits: {M: speedup}} — the Table 1 layout."""
+    table: Dict[int, Dict[int, float]] = {}
+    for e in entries:
+        table.setdefault(e.message_bits, {})[e.M] = e.speedup
+    return table

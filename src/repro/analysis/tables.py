@@ -1,0 +1,54 @@
+"""Plain-text table/series formatting shared by benches and examples."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Fixed-width ASCII table (the benches print paper-style rows)."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_series(series: Mapping[object, float], x_label: str, y_label: str, title: str = "") -> str:
+    """One (x, y) series as a two-column table (a paper figure's data)."""
+    rows = [[x, y] for x, y in series.items()]
+    return format_table([x_label, y_label], rows, title=title)
+
+
+def format_multi_series(
+    x_values: Sequence[object],
+    series: Mapping[str, Mapping[object, float]],
+    x_label: str,
+    title: str = "",
+) -> str:
+    """Several named series over a shared x-axis (a multi-curve figure)."""
+    headers = [x_label] + list(series.keys())
+    rows = []
+    for x in x_values:
+        rows.append([x] + [series[name].get(x, float("nan")) for name in series])
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,58 @@
+"""Throughput conventions shared by the benchmark harness.
+
+Includes the Ethernet message-length window the paper marks on Fig. 4:
+IEEE 802.3 frames span 46..1518 payload+header bytes — 368 to 12 144 bits —
+which is where the single-message overhead story plays out.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+#: IEEE 802.3 message-length window highlighted in the paper's Fig. 4.
+ETHERNET_MIN_BITS = 368
+ETHERNET_MAX_BITS = 12144
+
+#: Look-ahead factors the paper evaluates on DREAM.
+PAPER_FACTORS = (8, 16, 32, 64, 128)
+
+
+def bps_from_cycles(payload_bits: int, cycles: float, clock_hz: float) -> float:
+    """Sustained bandwidth for a payload processed in ``cycles`` clocks."""
+    if cycles <= 0:
+        raise ValueError("cycles must be positive")
+    return payload_bits * clock_hz / cycles
+
+
+def gbps(value_bps: float) -> float:
+    return value_bps / 1e9
+
+
+def efficiency(actual_bps: float, peak_bps: float) -> float:
+    """Fraction of the kernel (overhead-free) bandwidth achieved."""
+    if peak_bps <= 0:
+        raise ValueError("peak bandwidth must be positive")
+    return actual_bps / peak_bps
+
+
+def message_length_sweep(
+    start_bits: int = 64, stop_bits: int = 65536, points_per_octave: int = 2
+) -> List[int]:
+    """Geometric message-length grid, always including the Ethernet window
+    endpoints (the x-axis of Figs. 4/5/7)."""
+    if start_bits < 1 or stop_bits < start_bits:
+        raise ValueError("need 1 <= start <= stop")
+    lengths = []
+    value = float(start_bits)
+    ratio = 2 ** (1.0 / points_per_octave)
+    while value <= stop_bits:
+        lengths.append(int(round(value)))
+        value *= ratio
+    for marker in (ETHERNET_MIN_BITS, ETHERNET_MAX_BITS):
+        if start_bits <= marker <= stop_bits and marker not in lengths:
+            lengths.append(marker)
+    return sorted(set(lengths))
+
+
+def in_ethernet_window(length_bits: int) -> bool:
+    return ETHERNET_MIN_BITS <= length_bits <= ETHERNET_MAX_BITS

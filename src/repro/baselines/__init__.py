@@ -1,0 +1,34 @@
+"""Baselines the paper compares against (Table 1, Fig. 6, §5 text).
+
+* :mod:`repro.baselines.risc_crc` — software CRC cycle models on a 200 MHz
+  embedded RISC (bit-serial, Sarwate table, slicing-by-8);
+* :mod:`repro.baselines.ucrc` — static-timing model of the OpenCores
+  "Ultimate CRC" ASIC synthesis;
+* :mod:`repro.baselines.theory` — the M-theory (Derby) and M/2-theory
+  (Pei–Zukowski) bandwidth curves;
+* :mod:`repro.baselines.gfmac_processor` — the 16-GFMAC custom processor
+  of reference [10].
+"""
+
+from repro.baselines.efpga import EfpgaTimingModel, EmbeddedFpgaModel
+from repro.baselines.gfmac_processor import GfmacProcessorConfig, GfmacProcessorModel
+from repro.baselines.risc_crc import ALGORITHMS, RiscCostModel, RiscSoftwareCRC, speedup_table
+from repro.baselines.theory import m_half_theory_bps, m_theory_bps, theory_sweep
+from repro.baselines.ucrc import DEFAULT_FACTORS, UcrcModel, UcrcTimingModel
+
+__all__ = [
+    "ALGORITHMS",
+    "DEFAULT_FACTORS",
+    "EfpgaTimingModel",
+    "EmbeddedFpgaModel",
+    "GfmacProcessorConfig",
+    "GfmacProcessorModel",
+    "RiscCostModel",
+    "RiscSoftwareCRC",
+    "UcrcModel",
+    "UcrcTimingModel",
+    "m_half_theory_bps",
+    "m_theory_bps",
+    "speedup_table",
+    "theory_sweep",
+]

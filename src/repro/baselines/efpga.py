@@ -1,0 +1,93 @@
+"""Embedded-FPGA baseline (the paper's §1 platform comparison).
+
+"…the full bit-level programmability offered by embedded FPGAs shows the
+undeniable drawback to be paid for added flexibility: the possible working
+frequency is reduced."  This model positions an M2000-class embedded FPGA
+between the ASIC and PiCoGA points:
+
+* logic is 4-input LUTs, so an n-input parity costs ``ceil(log_4-ish)``
+  LUT levels (``depth = ceil(log(n)/log(4))`` for a balanced tree);
+* each LUT level costs LUT delay plus *programmable-interconnect* delay —
+  the dominant term, and the reason eFPGA clocks sit well below ASIC;
+* like the ASIC (and unlike PiCoGA's registered rows), the whole
+  look-ahead update is one combinational cone, so the loop depth of the
+  direct form sets the clock; the Derby form keeps the serial-depth loop.
+
+Defaults are calibrated to 90 nm embedded-FPGA reality: a serial CRC near
+250 MHz, dropping with look-ahead — slower than the 65 nm ASIC everywhere,
+faster than nothing, and below DREAM once DREAM's fixed 200 MHz × M
+kicks in.  Used by the platform-comparison bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, log
+from typing import Dict, Sequence
+
+from repro.crc.spec import CRCSpec
+from repro.lfsr.pei import pei_lookahead
+from repro.lfsr.statespace import crc_statespace
+
+DEFAULT_FACTORS = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+@dataclass(frozen=True)
+class EfpgaTimingModel:
+    """LUT4-fabric timing parameters (90 nm embedded FPGA)."""
+
+    lut_inputs: int = 4
+    t_reg_ns: float = 0.9  # FF + clock network on a programmable fabric
+    t_lut_ns: float = 0.55
+    t_route_ns: float = 1.6  # programmable interconnect per level
+    t_congestion_ns_per_m: float = 0.05  # routing degradation as the
+    # design (state broadcast, feed-forward bank) grows with look-ahead
+    f_max_hz: float = 400e6
+
+    def depth_luts(self, fanin: int) -> int:
+        if fanin <= 1:
+            return 1
+        return max(1, ceil(log(fanin) / log(self.lut_inputs)))
+
+    def frequency_hz(self, fanin: int, M: int = 1) -> float:
+        levels = self.depth_luts(fanin)
+        path_ns = (
+            self.t_reg_ns
+            + levels * (self.t_lut_ns + self.t_route_ns)
+            + self.t_congestion_ns_per_m * M
+        )
+        return min(1e9 / path_ns, self.f_max_hz)
+
+
+class EmbeddedFpgaModel:
+    """Bandwidth of a parallel CRC mapped on an embedded FPGA."""
+
+    def __init__(self, spec: CRCSpec, timing: EfpgaTimingModel = EfpgaTimingModel(),
+                 method: str = "derby"):
+        if method not in ("derby", "direct"):
+            raise ValueError("method must be 'derby' or 'direct'")
+        self.spec = spec
+        self.timing = timing
+        self.method = method
+        self._statespace = crc_statespace(spec.generator())
+        self._fanin_cache: Dict[int, int] = {}
+
+    def loop_fanin(self, M: int) -> int:
+        """Feedback-cone fan-in: the direct form carries A^M; the Derby
+        form keeps the serial 3-input loop (shift + tap + reduced input)."""
+        if self.method == "derby":
+            return 3
+        if M not in self._fanin_cache:
+            self._fanin_cache[M] = pei_lookahead(self._statespace, M).loop_fanin()
+        return self._fanin_cache[M]
+
+    def frequency_hz(self, M: int) -> float:
+        if M < 1:
+            raise ValueError("M must be >= 1")
+        return self.timing.frequency_hz(self.loop_fanin(M), M)
+
+    def throughput_bps(self, M: int) -> float:
+        return M * self.frequency_hz(M)
+
+    def sweep(self, factors: Sequence[int] = DEFAULT_FACTORS) -> Dict[int, float]:
+        return {M: self.throughput_bps(M) for M in factors}

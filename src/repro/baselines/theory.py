@@ -1,0 +1,41 @@
+"""Theoretical bandwidth curves for Fig. 6.
+
+The paper overlays two analytic curves on the UCRC synthesis points, both
+anchored to the *serial* UCRC bandwidth:
+
+* **M theory** — Derby's method applied to a custom design: the feedback
+  loop keeps its serial complexity, so the serial clock is retained and
+  the ideal speed-up is the full look-ahead factor M;
+* **M/2 theory** — Pei & Zukowski's direct exponentiation, whose optimized
+  feedback still limits the achievable speed-up to ~0.5·M.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.baselines.ucrc import DEFAULT_FACTORS, UcrcModel
+from repro.lfsr.pei import pei_speedup_bound
+
+
+def m_theory_bps(serial_bps: float, M: int) -> float:
+    """Derby-method ideal bandwidth: full M speed-up over serial."""
+    if M < 1:
+        raise ValueError("M must be >= 1")
+    return serial_bps * M
+
+
+def m_half_theory_bps(serial_bps: float, M: int) -> float:
+    """Pei-method bound: ~0.5·M speed-up over serial."""
+    return serial_bps * pei_speedup_bound(M)
+
+
+def theory_sweep(
+    ucrc: UcrcModel, factors: Sequence[int] = DEFAULT_FACTORS
+) -> Dict[str, Dict[int, float]]:
+    """Both theory curves anchored to the model's serial synthesis point."""
+    serial = ucrc.serial_throughput_bps()
+    return {
+        "m_theory": {M: m_theory_bps(serial, M) for M in factors},
+        "m_half_theory": {M: m_half_theory_bps(serial, M) for M in factors},
+    }

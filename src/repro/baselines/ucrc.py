@@ -1,0 +1,85 @@
+"""UCRC ASIC timing model (the paper's Fig. 6 comparison).
+
+The paper synthesized the OpenCores *Ultimate CRC* (a generic parallel CRC
+with look-ahead factors 2..512) with Synopsys Design Compiler on ST CMOS LP
+65 nm and compared the resulting bandwidth against DREAM.  Without the
+proprietary library we reproduce the comparison with a static-timing model
+driven by the *actual* feedback network of each design point:
+
+* the per-bit XOR fan-in of the direct look-ahead loop (rows of
+  ``[A^M | B_M]``) is computed with the library's own GF(2) machinery;
+* the critical path is ``t_reg + depth(fanin) * t_xor2 + t_wire(M)`` where
+  ``depth`` is a balanced 2-input XOR tree and ``t_wire`` grows linearly
+  with M, modelling the routing/fan-out degradation that dominates large
+  flat XOR fabrics on a low-power library;
+* bandwidth is ``M * f``.
+
+Default constants are calibrated so the curve reproduces the paper's
+qualitative result: a serial UCRC runs near 1 GHz, bandwidth saturates in
+the low-20-Gbit/s range, and DREAM's 25.6 Gbit/s at M = 128 edges it out
+while being software-programmable (see EXPERIMENTS.md for the recorded
+points).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, log2
+from typing import Dict, Sequence
+
+from repro.crc.spec import CRCSpec
+from repro.lfsr.pei import pei_lookahead
+from repro.lfsr.statespace import crc_statespace
+
+DEFAULT_FACTORS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
+
+
+@dataclass(frozen=True)
+class UcrcTimingModel:
+    """Static-timing parameters for the synthesized parallel CRC."""
+
+    t_reg_ns: float = 0.40  # clk->q + setup on the LP library
+    t_xor2_ns: float = 0.25  # one 2-input XOR level
+    t_wire_ns_per_m: float = 0.03  # routing/fan-out degradation per look-ahead bit
+    f_max_hz: float = 1.2e9  # library/clock-tree ceiling
+
+    def depth_xor2(self, fanin: int) -> int:
+        return max(1, ceil(log2(max(fanin, 2))))
+
+    def critical_path_ns(self, fanin: int, M: int) -> float:
+        return self.t_reg_ns + self.depth_xor2(fanin) * self.t_xor2_ns + self.t_wire_ns_per_m * M
+
+    def frequency_hz(self, fanin: int, M: int) -> float:
+        return min(1e9 / self.critical_path_ns(fanin, M), self.f_max_hz)
+
+
+class UcrcModel:
+    """Synthesis-style bandwidth estimates for a parallel CRC ASIC."""
+
+    def __init__(self, spec: CRCSpec, timing: UcrcTimingModel = UcrcTimingModel()):
+        self.spec = spec
+        self.timing = timing
+        self._statespace = crc_statespace(spec.generator())
+        self._fanin_cache: Dict[int, int] = {}
+
+    def loop_fanin(self, M: int) -> int:
+        """Worst-case XOR fan-in of the direct look-ahead feedback loop."""
+        if M not in self._fanin_cache:
+            self._fanin_cache[M] = pei_lookahead(self._statespace, M).loop_fanin()
+        return self._fanin_cache[M]
+
+    def frequency_hz(self, M: int) -> float:
+        return self.timing.frequency_hz(self.loop_fanin(M), M)
+
+    def throughput_bps(self, M: int) -> float:
+        return M * self.frequency_hz(M)
+
+    def serial_frequency_hz(self) -> float:
+        return self.frequency_hz(1)
+
+    def serial_throughput_bps(self) -> float:
+        return self.throughput_bps(1)
+
+    def sweep(self, factors: Sequence[int] = DEFAULT_FACTORS) -> Dict[int, float]:
+        """{M: throughput_bps} over the UCRC-supported look-ahead range."""
+        return {M: self.throughput_bps(M) for M in factors}

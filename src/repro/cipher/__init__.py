@@ -1,0 +1,20 @@
+"""Stream ciphers from the paper's motivation section (§1).
+
+* :class:`A51` — GSM A5/1 (majority-clocked triple LFSR), validated against
+  the published reference test vector.
+* :class:`E0` — Bluetooth summation combiner over four LFSRs.
+* :class:`CSS` — the 40-bit Content Scramble System (two LFSRs combined by
+  add-with-carry).
+
+These exercise the LFSR substrate beyond the linear time-invariant systems
+the PiCoGA mapping targets: A5/1's irregular clocking and E0's/CSS's
+nonlinear combiners are exactly the features that break pure look-ahead
+parallelization, which the library's documentation uses to delimit the
+method's applicability.
+"""
+
+from repro.cipher.a51 import A51
+from repro.cipher.css import CSS, LFSR17_POLY, LFSR25_POLY, MODES
+from repro.cipher.e0 import E0, STATE_BITS
+
+__all__ = ["A51", "CSS", "E0", "LFSR17_POLY", "LFSR25_POLY", "MODES", "STATE_BITS"]

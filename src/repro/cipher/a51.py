@@ -1,0 +1,126 @@
+"""A5/1 — the GSM air-interface stream cipher (paper §1, stream-cipher
+motivation).
+
+Three short LFSRs (19, 22 and 23 bits) with *majority-rule irregular
+clocking*: at each step, only the registers whose clocking bit agrees with
+the majority advance.  The keystream bit is the XOR of the three MSB taps.
+The irregular clocking is what makes A5/1 resist the pure look-ahead
+parallelization used for CRCs/scramblers — the state update is no longer
+linear time-invariant — which is why the paper treats ciphers as the
+flexibility-hungry end of the LFSR application spectrum.
+
+Implementation follows the Briceno/Goldberg/Wagner reference: the published
+test vector (key ``0x1223456789ABCDEF``, frame ``0x134``) is locked in by
+the test-suite.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+_R1_BITS, _R2_BITS, _R3_BITS = 19, 22, 23
+_R1_MASK = (1 << _R1_BITS) - 1
+_R2_MASK = (1 << _R2_BITS) - 1
+_R3_MASK = (1 << _R3_BITS) - 1
+# Feedback taps (bit indices) per the reference implementation.
+_R1_TAPS = (18, 17, 16, 13)
+_R2_TAPS = (21, 20)
+_R3_TAPS = (22, 21, 20, 7)
+# Clock-control bit of each register.
+_R1_CLK, _R2_CLK, _R3_CLK = 8, 10, 10
+
+KEY_BITS = 64
+FRAME_BITS = 22
+MIXING_CYCLES = 100
+BURST_BITS = 114
+
+
+def _parity_of(value: int, taps) -> int:
+    bit = 0
+    for t in taps:
+        bit ^= (value >> t) & 1
+    return bit
+
+
+class A51:
+    """A5/1 keystream generator."""
+
+    def __init__(self, key: bytes, frame: int):
+        """``key`` is the 8-byte session key Kc (byte 0 loaded first, bits
+        LSB-first within each byte, per the GSM convention); ``frame`` is
+        the 22-bit frame number."""
+        if len(key) != 8:
+            raise ValueError("key must be exactly 8 bytes")
+        if frame >> FRAME_BITS:
+            raise ValueError("frame number must fit in 22 bits")
+        self._key = bytes(key)
+        self._frame = frame
+        self.r1 = 0
+        self.r2 = 0
+        self.r3 = 0
+        self._setup()
+
+    # ------------------------------------------------------------------
+    def _clock_all(self, input_bit: int = 0) -> None:
+        """Regular clocking (used during key/frame load), with the input
+        bit XORed into each register's feedback."""
+        self.r1 = ((self.r1 << 1) & _R1_MASK) | (_parity_of(self.r1, _R1_TAPS) ^ input_bit)
+        self.r2 = ((self.r2 << 1) & _R2_MASK) | (_parity_of(self.r2, _R2_TAPS) ^ input_bit)
+        self.r3 = ((self.r3 << 1) & _R3_MASK) | (_parity_of(self.r3, _R3_TAPS) ^ input_bit)
+
+    def _majority(self) -> int:
+        a = (self.r1 >> _R1_CLK) & 1
+        b = (self.r2 >> _R2_CLK) & 1
+        c = (self.r3 >> _R3_CLK) & 1
+        return (a & b) | (a & c) | (b & c)
+
+    def _clock_majority(self) -> None:
+        """Irregular clocking: advance registers agreeing with the majority."""
+        maj = self._majority()
+        if ((self.r1 >> _R1_CLK) & 1) == maj:
+            self.r1 = ((self.r1 << 1) & _R1_MASK) | _parity_of(self.r1, _R1_TAPS)
+        if ((self.r2 >> _R2_CLK) & 1) == maj:
+            self.r2 = ((self.r2 << 1) & _R2_MASK) | _parity_of(self.r2, _R2_TAPS)
+        if ((self.r3 >> _R3_CLK) & 1) == maj:
+            self.r3 = ((self.r3 << 1) & _R3_MASK) | _parity_of(self.r3, _R3_TAPS)
+
+    def _setup(self) -> None:
+        # 64 key bits: byte 0 first, LSB-first within each byte.
+        for i in range(KEY_BITS):
+            self._clock_all((self._key[i // 8] >> (i % 8)) & 1)
+        # 22 frame bits, LSB first.
+        for i in range(FRAME_BITS):
+            self._clock_all((self._frame >> i) & 1)
+        # 100 mixing cycles with majority clocking, output discarded.
+        for _ in range(MIXING_CYCLES):
+            self._clock_majority()
+
+    # ------------------------------------------------------------------
+    def _output_bit(self) -> int:
+        return (
+            ((self.r1 >> (_R1_BITS - 1)) & 1)
+            ^ ((self.r2 >> (_R2_BITS - 1)) & 1)
+            ^ ((self.r3 >> (_R3_BITS - 1)) & 1)
+        )
+
+    def keystream(self, nbits: int) -> List[int]:
+        out = []
+        for _ in range(nbits):
+            self._clock_majority()
+            out.append(self._output_bit())
+        return out
+
+    def burst_pair(self) -> tuple:
+        """The 114-bit downlink and 114-bit uplink keystreams of one frame,
+        packed MSB-first into 15-byte blocks (reference-code format)."""
+        down = self.keystream(BURST_BITS)
+        up = self.keystream(BURST_BITS)
+        return _pack_burst(down), _pack_burst(up)
+
+
+def _pack_burst(bits: List[int]) -> bytes:
+    """114 bits -> 15 bytes, MSB-first, zero-padded (reference format)."""
+    out = bytearray(15)
+    for i, bit in enumerate(bits):
+        out[i // 8] |= (bit & 1) << (7 - (i % 8))
+    return bytes(out)

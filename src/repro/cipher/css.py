@@ -1,0 +1,107 @@
+"""CSS — the 40-bit Content Scramble System keystream (paper §1: the
+"content scramble system used for digital right management which uses a
+40-bit stream cipher").
+
+Structure per Stevenson's published cryptanalysis: two LFSRs of 17 and 25
+bits are seeded from the 5-byte key (with a forced 1 bit each so neither
+register can be null), clocked 8 bits at a time, and their output *bytes*
+are combined by 8-bit addition with carry propagation between bytes — the
+only non-GF(2) ingredient, and the reason CSS does not fit the paper's
+pure-XOR parallelization framework.  Mode flags optionally invert either
+LFSR's output byte (the four published operating modes).
+
+The exact historical tap sets were never formally published; this module
+uses the primitive polynomials from Stevenson's analysis
+(``x^17 + x^14 + 1`` and ``x^25 + x^12 + x^4 + x^3 + 1``), whose
+primitivity — hence the maximal keystream period structure — is verified
+by the test-suite with this library's own polynomial machinery.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.gf2.polynomial import GF2Polynomial
+
+LFSR17_POLY = GF2Polynomial.from_exponents([17, 14, 0])
+LFSR25_POLY = GF2Polynomial.from_exponents([25, 12, 4, 3, 0])
+
+#: The four CSS operating modes: (invert lfsr17 byte, invert lfsr25 byte).
+MODES: dict = {
+    "data": (True, False),
+    "key": (False, False),
+    "title": (False, True),
+    "challenge": (True, True),
+}
+
+
+class CSS:
+    """40-bit CSS keystream generator."""
+
+    def __init__(self, key: bytes, mode: str = "data"):
+        if len(key) != 5:
+            raise ValueError("CSS key must be exactly 5 bytes")
+        if mode not in MODES:
+            raise ValueError(f"unknown mode {mode!r}; choose from {sorted(MODES)}")
+        self._mode = mode
+        self._inv17, self._inv25 = MODES[mode]
+        # 17-bit register: key bytes 0-1 with a forced 1 wedged in at bit 8.
+        self._r17 = key[0] | 0x100 | (key[1] << 9)
+        # 25-bit register: key bytes 2-4 with a forced 1 wedged in at bit 3.
+        raw = key[2] | (key[3] << 8) | (key[4] << 16)
+        self._r25 = (raw & 0x7) | 0x8 | ((raw & 0xFFFFF8) << 1)
+        self._carry = 0
+
+    @property
+    def mode(self) -> str:
+        return self._mode
+
+    @property
+    def registers(self) -> Tuple[int, int]:
+        return self._r17, self._r25
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _clock(reg: int, poly: GF2Polynomial) -> Tuple[int, int]:
+        """Galois-style clock; returns (new_register, output_bit)."""
+        k = poly.degree
+        out = (reg >> (k - 1)) & 1
+        reg = (reg << 1) & ((1 << k) - 1)
+        if out:
+            reg ^= poly.coeffs & ((1 << k) - 1)
+        return reg, out
+
+    def _byte17(self) -> int:
+        value = 0
+        for i in range(8):
+            self._r17, bit = self._clock(self._r17, LFSR17_POLY)
+            value |= bit << i
+        return value ^ (0xFF if self._inv17 else 0)
+
+    def _byte25(self) -> int:
+        value = 0
+        for i in range(8):
+            self._r25, bit = self._clock(self._r25, LFSR25_POLY)
+            value |= bit << i
+        return value ^ (0xFF if self._inv25 else 0)
+
+    def keystream_bytes(self, nbytes: int) -> bytes:
+        """Combine the two LFSR byte streams by add-with-carry."""
+        out = bytearray()
+        for _ in range(nbytes):
+            total = self._byte17() + self._byte25() + self._carry
+            self._carry = total >> 8
+            out.append(total & 0xFF)
+        return bytes(out)
+
+    def keystream_bits(self, nbits: int) -> List[int]:
+        data = self.keystream_bytes((nbits + 7) // 8)
+        return [(data[i // 8] >> (i % 8)) & 1 for i in range(nbits)]
+
+    def scramble(self, data: bytes) -> bytes:
+        ks = self.keystream_bytes(len(data))
+        return bytes(d ^ k for d, k in zip(data, ks))
+
+    def descramble(self, data: bytes) -> bytes:
+        """XOR keystream ciphers are involutions (fresh generator needed)."""
+        return self.scramble(data)

@@ -1,0 +1,142 @@
+"""E0 — the Bluetooth baseband stream cipher (paper §1 motivation).
+
+Four LFSRs of lengths 25, 31, 33 and 39 (128 state bits total) drive a
+*summation combiner* with 4 bits of finite-state memory: the integer sum of
+the four LFSR output bits, plus a two-step carry recursion, makes the
+keystream a nonlinear function of the linear registers.  As with A5/1, the
+nonlinearity breaks pure look-ahead parallelization — these ciphers are the
+"flexibility" end of the paper's LFSR application spectrum.
+
+Feedback polynomials (Bluetooth Core spec, Vol 2 Part H §4.1):
+
+=====  =======  =====================================  ==========
+LFSR   length   feedback polynomial                    output tap
+1      25       t^25 + t^20 + t^12 + t^8  + 1          24
+2      31       t^31 + t^24 + t^16 + t^12 + 1          24
+3      33       t^33 + t^28 + t^24 + t^4  + 1          32
+4      39       t^39 + t^36 + t^28 + t^4  + 1          32
+=====  =======  =====================================  ==========
+
+Combiner (spec notation)::
+
+    y_t     = x1 + x2 + x3 + x4                     (integer, 0..4)
+    s_{t+1} = floor((y_t + c_t) / 2)                (2 bits)
+    z_t     = x1 ^ x2 ^ x3 ^ x4 ^ c_t[0]            (keystream bit)
+    c_{t+1} = s_{t+1} ^ T1(c_t) ^ T2(c_{t-1})
+
+with the linear bijections ``T1(a, b) = (a, b)`` and ``T2(a, b) = (b, a^b)``
+on the 2-bit carry.  This module implements the keystream core with direct
+register seeding; the two-level Kc payload-key schedule of the full
+Bluetooth link layer is out of scope (the paper's interest is the
+LFSR-plus-combiner datapath itself).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+# (length, feedback tap exponents, output tap index)
+_LFSR_PARAMS: Tuple = (
+    (25, (25, 20, 12, 8), 24),
+    (31, (31, 24, 16, 12), 24),
+    (33, (33, 28, 24, 4), 32),
+    (39, (39, 36, 28, 4), 32),
+)
+
+STATE_BITS = sum(p[0] for p in _LFSR_PARAMS)  # 128
+
+
+def _t1(c: int) -> int:
+    """Identity bijection on the 2-bit carry."""
+    return c & 0b11
+
+
+def _t2(c: int) -> int:
+    """(a, b) -> (b, a^b) on the 2-bit carry (a = MSB)."""
+    a = (c >> 1) & 1
+    b = c & 1
+    return (b << 1) | (a ^ b)
+
+
+class E0:
+    """E0 keystream core with explicit register/carry seeding."""
+
+    def __init__(self, registers: Sequence[int], carry: int = 0, carry_prev: int = 0):
+        if len(registers) != 4:
+            raise ValueError("E0 needs exactly four register values")
+        self._regs: List[int] = []
+        for value, (length, _, _) in zip(registers, _LFSR_PARAMS):
+            if value >> length:
+                raise ValueError(f"register value {value:#x} wider than {length} bits")
+            if value == 0:
+                raise ValueError("an all-zero LFSR never leaves the zero state")
+            self._regs.append(value)
+        if carry >> 2 or carry_prev >> 2:
+            raise ValueError("carries are 2-bit values")
+        self._c = carry
+        self._c_prev = carry_prev
+
+    @classmethod
+    def from_seed(cls, seed: bytes) -> "E0":
+        """Deterministically spread a 16-byte seed across the registers.
+
+        This replaces the Bluetooth two-level key schedule with a direct
+        fill (any zero register is patched with a 1 in its top bit).
+        """
+        if len(seed) != 16:
+            raise ValueError("seed must be 16 bytes (128 bits)")
+        bits = int.from_bytes(seed, "little")
+        regs = []
+        offset = 0
+        for length, _, _ in _LFSR_PARAMS:
+            value = (bits >> offset) & ((1 << length) - 1)
+            offset += length
+            regs.append(value or (1 << (length - 1)))
+        return cls(regs)
+
+    # ------------------------------------------------------------------
+    @property
+    def registers(self) -> List[int]:
+        return list(self._regs)
+
+    @property
+    def carry(self) -> int:
+        return self._c
+
+    def _clock_lfsr(self, index: int) -> int:
+        """Advance one register; return its output-tap bit (pre-shift)."""
+        length, taps, out_tap = _LFSR_PARAMS[index]
+        reg = self._regs[index]
+        out = (reg >> out_tap) & 1
+        # Feedback per polynomial: new bit = XOR of bits at length - t for
+        # every tap exponent t (the t = length term reads bit 0).
+        fb = 0
+        for t in taps:
+            fb ^= (reg >> (length - t)) & 1
+        self._regs[index] = (reg >> 1) | (fb << (length - 1))
+        return out
+
+    def clock(self) -> int:
+        """One combiner step; returns the keystream bit z_t."""
+        xs = [self._clock_lfsr(i) for i in range(4)]
+        y = sum(xs)
+        z = (xs[0] ^ xs[1] ^ xs[2] ^ xs[3]) ^ (self._c & 1)
+        s_next = (y + self._c) >> 1
+        c_next = (s_next ^ _t1(self._c) ^ _t2(self._c_prev)) & 0b11
+        self._c_prev = self._c
+        self._c = c_next
+        return z
+
+    def keystream(self, nbits: int) -> List[int]:
+        return [self.clock() for _ in range(nbits)]
+
+    def keystream_bytes(self, nbytes: int) -> bytes:
+        bits = self.keystream(8 * nbytes)
+        out = bytearray(nbytes)
+        for i, bit in enumerate(bits):
+            out[i // 8] |= bit << (i % 8)
+        return bytes(out)
+
+    def encrypt(self, data: bytes) -> bytes:
+        ks = self.keystream_bytes(len(data))
+        return bytes(d ^ k for d, k in zip(data, ks))

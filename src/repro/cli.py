@@ -1,0 +1,208 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``standards``
+    List the CRC standards in the catalog (name, width, polynomial, check).
+``crc``
+    Compute a CRC over hex/file/string input with any engine.
+``map``
+    Compile a CRC onto PiCoGA and print the placement report.
+``explore``
+    Sweep look-ahead factors for a standard (the paper's §4 study).
+``perf``
+    Predict DREAM throughput for a message length across factors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import format_table
+from repro.crc import (
+    BitwiseCRC,
+    CATALOG,
+    DerbyCRC,
+    GFMACCRC,
+    SlicingCRC,
+    TableCRC,
+    get,
+)
+
+ENGINES = {
+    "bitwise": BitwiseCRC,
+    "table": TableCRC,
+    "slicing": lambda spec: SlicingCRC(spec, 8),
+    "gfmac": lambda spec: GFMACCRC(spec, 32),
+    "derby": lambda spec: DerbyCRC(spec, 32),
+}
+
+
+def _read_payload(args: argparse.Namespace) -> bytes:
+    if args.hex is not None:
+        return bytes.fromhex(args.hex)
+    if args.file is not None:
+        with open(args.file, "rb") as handle:
+            return handle.read()
+    if args.text is not None:
+        return args.text.encode()
+    return b"123456789"  # the standard check input
+
+
+def cmd_standards(args: argparse.Namespace) -> int:
+    rows = [
+        [s.name, s.width, f"0x{s.poly:X}", "yes" if s.refin else "no",
+         f"0x{s.check:X}" if s.check is not None else "-"]
+        for s in CATALOG
+    ]
+    print(format_table(["name", "width", "poly", "reflected", "check"], rows,
+                       title=f"{len(CATALOG)} cataloged CRC standards"))
+    return 0
+
+
+def cmd_crc(args: argparse.Namespace) -> int:
+    spec = get(args.standard)
+    engine = ENGINES[args.engine](spec)
+    payload = _read_payload(args)
+    crc = engine.compute(payload)
+    digits = (spec.width + 3) // 4
+    print(f"{spec.name}({len(payload)} bytes) = 0x{crc:0{digits}X}")
+    if args.verify is not None:
+        expected = int(args.verify, 0)
+        ok = crc == expected
+        print("verify: OK" if ok else f"verify: MISMATCH (expected 0x{expected:X})")
+        return 0 if ok else 1
+    return 0
+
+
+def cmd_map(args: argparse.Namespace) -> int:
+    from repro.mapping import map_crc
+    from repro.picoga.report import describe
+
+    spec = get(args.standard)
+    mapped = map_crc(spec, args.m, method=args.method)
+    r = mapped.report
+    print(
+        f"{spec.name} @ M={r.M} ({r.method}): {r.total_cells} cells, "
+        f"II={r.update_ii}, CSE saved {r.cse_savings} taps "
+        f"({r.shared_patterns} shared patterns)"
+    )
+    if args.report:
+        print()
+        print(describe(mapped.update_op))
+        if mapped.output_op is not None:
+            print()
+            print(describe(mapped.output_op))
+    return 0
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    from repro.mapping import DesignSpaceExplorer
+
+    explorer = DesignSpaceExplorer(get(args.standard))
+    rows = []
+    for point in explorer.sweep(tuple(args.factors)):
+        if point.feasible:
+            rows.append([point.M, point.cells, point.rows,
+                         point.initiation_interval, f"{point.kernel_gbps:.1f}"])
+        else:
+            rows.append([point.M, "-", "-", "-", "infeasible"])
+    print(format_table(["M", "cells", "rows", "II", "kernel Gbit/s"], rows,
+                       title=f"Design space: {args.standard}"))
+    return 0
+
+
+def cmd_perf(args: argparse.Namespace) -> int:
+    from repro.dream import DreamSystem
+    from repro.mapping import map_crc
+
+    system = DreamSystem()
+    rows = []
+    for M in args.factors:
+        mapped = map_crc(get(args.standard), M)
+        single = system.crc_single_performance(mapped, args.bits)
+        batch = system.crc_interleaved_performance(mapped, args.bits, 32)
+        rows.append([M, single.total_cycles, f"{single.throughput_gbps:.2f}",
+                     f"{batch.throughput_gbps:.2f}"])
+    print(format_table(
+        ["M", "cycles", "single Gbit/s", "interleaved-32 Gbit/s"], rows,
+        title=f"{args.standard}, {args.bits}-bit messages on DREAM",
+    ))
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.crc.properties import generator_report
+
+    names = args.standards or [s.name for s in CATALOG if s.width <= 32]
+    rows = []
+    for name in names:
+        r = generator_report(get(name))
+        rows.append(
+            [r.name, r.width,
+             "+".join(str(d) for d in r.factor_degrees),
+             "yes" if r.primitive else "no",
+             "yes" if r.has_parity_factor else "no",
+             r.period]
+        )
+    print(format_table(
+        ["standard", "width", "factor degrees", "primitive", "parity", "period"],
+        rows,
+        title="Generator structure (factorization over GF(2))",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel LFSR applications on the DREAM/PiCoGA model (DATE 2008 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("standards", help="list cataloged CRC standards").set_defaults(
+        func=cmd_standards
+    )
+
+    p = sub.add_parser("crc", help="compute a CRC")
+    p.add_argument("--standard", default="CRC-32")
+    p.add_argument("--engine", choices=sorted(ENGINES), default="table")
+    p.add_argument("--hex", help="payload as hex digits")
+    p.add_argument("--file", help="payload from a file")
+    p.add_argument("--text", help="payload as UTF-8 text")
+    p.add_argument("--verify", help="expected CRC (exit 1 on mismatch)")
+    p.set_defaults(func=cmd_crc)
+
+    p = sub.add_parser("map", help="compile a CRC onto PiCoGA")
+    p.add_argument("--standard", default="CRC-32")
+    p.add_argument("-m", "--m", type=int, default=128, help="look-ahead factor")
+    p.add_argument("--method", choices=("derby", "direct"), default="derby")
+    p.add_argument("--report", action="store_true", help="print the placement report")
+    p.set_defaults(func=cmd_map)
+
+    p = sub.add_parser("explore", help="sweep look-ahead factors")
+    p.add_argument("--standard", default="CRC-32")
+    p.add_argument("--factors", type=int, nargs="+", default=[8, 16, 32, 64, 128, 256])
+    p.set_defaults(func=cmd_explore)
+
+    p = sub.add_parser("analyze", help="factor and characterize CRC generators")
+    p.add_argument("--standards", nargs="*", help="catalog names (default: all <= 32 bit)")
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("perf", help="predict DREAM throughput")
+    p.add_argument("--standard", default="CRC-32")
+    p.add_argument("--bits", type=int, default=12144)
+    p.add_argument("--factors", type=int, nargs="+", default=[32, 64, 128])
+    p.set_defaults(func=cmd_perf)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

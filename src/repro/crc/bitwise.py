@@ -1,0 +1,56 @@
+"""Bit-serial reference CRC engine.
+
+This is the ground truth every other engine is validated against: the
+classic MSB-first shift-register loop, one message bit per iteration —
+exactly one application of the paper's companion-matrix recurrence
+``x(n+1) = A x(n) + b u(n)`` per bit.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.crc.spec import CRCSpec
+
+
+class BitwiseCRC:
+    """Serial CRC computation straight from the spec definition."""
+
+    def __init__(self, spec: CRCSpec):
+        self._spec = spec
+
+    @property
+    def spec(self) -> CRCSpec:
+        return self._spec
+
+    # ------------------------------------------------------------------
+    def process_bit(self, register: int, bit: int) -> int:
+        """One serial clock of the direct (non-augmented) CRC circuit."""
+        spec = self._spec
+        feedback = ((register >> (spec.width - 1)) & 1) ^ (bit & 1)
+        register = (register << 1) & spec.mask
+        if feedback:
+            register ^= spec.poly
+        return register
+
+    def process_bits(self, register: int, bits: Iterable[int]) -> int:
+        for bit in bits:
+            register = self.process_bit(register, bit)
+        return register
+
+    def raw_register(self, data: bytes, register: int = None) -> int:
+        """Register contents after clocking ``data`` (no finalization)."""
+        reg = self._spec.init if register is None else register
+        return self.process_bits(reg, self._spec.message_bits(data))
+
+    # ------------------------------------------------------------------
+    def compute(self, data: bytes) -> int:
+        """The published CRC value of ``data``."""
+        return self._spec.finalize(self.raw_register(data))
+
+    def verify(self, data: bytes, crc: int) -> bool:
+        return self.compute(data) == crc
+
+    def compute_bits(self, bits: Iterable[int]) -> int:
+        """CRC of a raw bit stream (already in transmission order)."""
+        return self._spec.finalize(self.process_bits(self._spec.init, bits))

@@ -1,0 +1,114 @@
+"""Catalog of published CRC standards.
+
+The paper (§1) motivates reconfigurable CRC hardware with the ~25 published
+standards that differ in width, polynomial, reflection and presets, spanning
+Ethernet/SONET/Bluetooth-class protocols from Mbit/s to tens of Gbit/s.
+This module collects those parameter sets with their standard ``check``
+values (CRC of ``b"123456789"``) so every engine can be validated against
+published vectors.
+
+``ETHERNET_CRC32`` is the paper's main test case — the IEEE 802.3 CRC, whose
+generator is shared by MPEG-2 (as the paper notes, only the reflection and
+final-XOR conventions differ).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.crc.spec import CRCSpec
+
+# ---------------------------------------------------------------------------
+# The paper's test cases.
+# ---------------------------------------------------------------------------
+ETHERNET_CRC32 = CRCSpec(
+    name="CRC-32",  # IEEE 802.3 / Ethernet
+    width=32,
+    poly=0x04C11DB7,
+    init=0xFFFFFFFF,
+    refin=True,
+    refout=True,
+    xorout=0xFFFFFFFF,
+    check=0xCBF43926,
+)
+
+MPEG2_CRC32 = CRCSpec(
+    name="CRC-32/MPEG-2",  # same generator, no reflection, no final XOR
+    width=32,
+    poly=0x04C11DB7,
+    init=0xFFFFFFFF,
+    refin=False,
+    refout=False,
+    xorout=0x00000000,
+    check=0x0376E6E7,
+)
+
+# ---------------------------------------------------------------------------
+# The wider standard catalog.
+# ---------------------------------------------------------------------------
+CATALOG: List[CRCSpec] = [
+    ETHERNET_CRC32,
+    MPEG2_CRC32,
+    CRCSpec("CRC-32/BZIP2", 32, 0x04C11DB7, 0xFFFFFFFF, False, False, 0xFFFFFFFF, 0xFC891918),
+    CRCSpec("CRC-32/POSIX", 32, 0x04C11DB7, 0x00000000, False, False, 0xFFFFFFFF, 0x765E7680),
+    CRCSpec("CRC-32/JAMCRC", 32, 0x04C11DB7, 0xFFFFFFFF, True, True, 0x00000000, 0x340BC6D9),
+    CRCSpec("CRC-32C", 32, 0x1EDC6F41, 0xFFFFFFFF, True, True, 0xFFFFFFFF, 0xE3069283),
+    CRCSpec("CRC-32D", 32, 0xA833982B, 0xFFFFFFFF, True, True, 0xFFFFFFFF, 0x87315576),
+    CRCSpec("CRC-32Q", 32, 0x814141AB, 0x00000000, False, False, 0x00000000, 0x3010BF7F),
+    CRCSpec("CRC-32/XFER", 32, 0x000000AF, 0x00000000, False, False, 0x00000000, 0xBD0BE338),
+    # 16-bit family (SONET/SDH, Bluetooth, USB, X.25, Modbus ...)
+    CRCSpec("CRC-16/ARC", 16, 0x8005, 0x0000, True, True, 0x0000, 0xBB3D),
+    CRCSpec("CRC-16/CCITT-FALSE", 16, 0x1021, 0xFFFF, False, False, 0x0000, 0x29B1),
+    CRCSpec("CRC-16/KERMIT", 16, 0x1021, 0x0000, True, True, 0x0000, 0x2189),
+    CRCSpec("CRC-16/XMODEM", 16, 0x1021, 0x0000, False, False, 0x0000, 0x31C3),
+    CRCSpec("CRC-16/X-25", 16, 0x1021, 0xFFFF, True, True, 0xFFFF, 0x906E),
+    CRCSpec("CRC-16/MODBUS", 16, 0x8005, 0xFFFF, True, True, 0x0000, 0x4B37),
+    CRCSpec("CRC-16/USB", 16, 0x8005, 0xFFFF, True, True, 0xFFFF, 0xB4C8),
+    CRCSpec("CRC-16/MAXIM", 16, 0x8005, 0x0000, True, True, 0xFFFF, 0x44C2),
+    CRCSpec("CRC-16/GENIBUS", 16, 0x1021, 0xFFFF, False, False, 0xFFFF, 0xD64E),
+    CRCSpec("CRC-16/MCRF4XX", 16, 0x1021, 0xFFFF, True, True, 0x0000, 0x6F91),
+    CRCSpec("CRC-16/DNP", 16, 0x3D65, 0x0000, True, True, 0xFFFF, 0xEA82),
+    CRCSpec("CRC-16/EN-13757", 16, 0x3D65, 0x0000, False, False, 0xFFFF, 0xC2B7),
+    CRCSpec("CRC-16/DECT-X", 16, 0x0589, 0x0000, False, False, 0x0000, 0x007F),
+    CRCSpec("CRC-16/DECT-R", 16, 0x0589, 0x0000, False, False, 0x0001, 0x007E),
+    # 8-bit family (ATM HEC, 1-Wire, mobile ...)
+    CRCSpec("CRC-8", 8, 0x07, 0x00, False, False, 0x00, 0xF4),
+    CRCSpec("CRC-8/ITU", 8, 0x07, 0x00, False, False, 0x55, 0xA1),
+    CRCSpec("CRC-8/ROHC", 8, 0x07, 0xFF, True, True, 0x00, 0xD0),
+    CRCSpec("CRC-8/MAXIM", 8, 0x31, 0x00, True, True, 0x00, 0xA1),
+    CRCSpec("CRC-8/DARC", 8, 0x39, 0x00, True, True, 0x00, 0x15),
+    CRCSpec("CRC-8/CDMA2000", 8, 0x9B, 0xFF, False, False, 0x00, 0xDA),
+    # Odd widths (headers, telecom control channels)
+    CRCSpec("CRC-5/USB", 5, 0x05, 0x1F, True, True, 0x1F, 0x19),
+    CRCSpec("CRC-7/MMC", 7, 0x09, 0x00, False, False, 0x00, 0x75),
+    CRCSpec("CRC-10/ATM", 10, 0x233, 0x000, False, False, 0x000, 0x199),
+    CRCSpec("CRC-12/DECT", 12, 0x80F, 0x000, False, False, 0x000, 0xF5B),
+    # Mixed reflection (refin != refout) — exercises the engines' fallback.
+    CRCSpec("CRC-12/UMTS", 12, 0x80F, 0x000, False, True, 0x000, 0xDAF),
+    CRCSpec("CRC-15/CAN", 15, 0x4599, 0x0000, False, False, 0x0000, 0x059E),
+    # 24-bit family
+    CRCSpec("CRC-24/OPENPGP", 24, 0x864CFB, 0xB704CE, False, False, 0x000000, 0x21CF02),
+    CRCSpec("CRC-24/FLEXRAY-A", 24, 0x5D6DCB, 0xFEDCBA, False, False, 0x000000, 0x7979BD),
+    # 64-bit family (storage, compression containers)
+    CRCSpec("CRC-64/ECMA-182", 64, 0x42F0E1EBA9EA3693, 0, False, False, 0, 0x6C40DF5F0B497347),
+    CRCSpec(
+        "CRC-64/XZ",
+        64,
+        0x42F0E1EBA9EA3693,
+        0xFFFFFFFFFFFFFFFF,
+        True,
+        True,
+        0xFFFFFFFFFFFFFFFF,
+        0x995DC9BBDF1939FA,
+    ),
+]
+
+BY_NAME: Dict[str, CRCSpec] = {spec.name: spec for spec in CATALOG}
+
+
+def get(name: str) -> CRCSpec:
+    """Look up a catalog spec by its conventional name."""
+    try:
+        return BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown CRC standard {name!r}; known: {sorted(BY_NAME)}") from None

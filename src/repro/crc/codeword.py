@@ -1,0 +1,75 @@
+"""Codeword construction and verification — CRC as it is used on the wire.
+
+The engines in this package compute checksum values; real protocols
+*append* them to the message and receivers either recompute-and-compare or
+clock the whole codeword through the circuit and check the residue.  This
+module provides both receiver disciplines over any engine, with the
+byte-order conventions implied by the spec's reflection flags (reflected
+CRCs transmit the check sequence least-significant byte first, as Ethernet
+does).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.crc.bitwise import BitwiseCRC
+from repro.crc.spec import CRCSpec
+
+
+class CodewordCodec:
+    """Attach and verify CRC check sequences on byte-multiple specs."""
+
+    def __init__(self, spec: CRCSpec):
+        if spec.width % 8:
+            raise ValueError("codeword framing needs a byte-multiple CRC width")
+        self._spec = spec
+        self._engine = BitwiseCRC(spec)
+        self._crc_bytes = spec.width // 8
+
+    @property
+    def spec(self) -> CRCSpec:
+        return self._spec
+
+    @property
+    def overhead_bytes(self) -> int:
+        return self._crc_bytes
+
+    def crc_to_bytes(self, crc: int) -> bytes:
+        """Serialize a CRC value in wire order (LSB-first when reflected)."""
+        order = "little" if self._spec.refout else "big"
+        return crc.to_bytes(self._crc_bytes, order)
+
+    def crc_from_bytes(self, data: bytes) -> int:
+        if len(data) != self._crc_bytes:
+            raise ValueError(f"expected {self._crc_bytes} CRC bytes")
+        order = "little" if self._spec.refout else "big"
+        return int.from_bytes(data, order)
+
+    # ------------------------------------------------------------------
+    def encode(self, message: bytes) -> bytes:
+        """``message + CRC(message)`` in wire order."""
+        return message + self.crc_to_bytes(self._engine.compute(message))
+
+    def decode(self, codeword: bytes) -> Tuple[bytes, bool]:
+        """Split a codeword and recompute-and-compare.
+
+        Returns ``(message, ok)``; the message is returned even when the
+        check fails so callers can log/inspect it.
+        """
+        if len(codeword) < self._crc_bytes:
+            raise ValueError("codeword shorter than the check sequence")
+        message = codeword[: -self._crc_bytes]
+        received = self.crc_from_bytes(codeword[-self._crc_bytes :])
+        return message, self._engine.compute(message) == received
+
+    def check_residue(self, codeword: bytes) -> bool:
+        """Receiver discipline #2: clock the *whole* codeword through the
+        circuit and compare the register against the spec's constant
+        residue (no splitting needed) — only defined when input and output
+        reflection agree."""
+        if self._spec.refin != self._spec.refout:
+            raise ValueError("residue checking needs refin == refout")
+        if len(codeword) < self._crc_bytes:
+            return False
+        return self._engine.raw_register(codeword) == self._spec.residue()

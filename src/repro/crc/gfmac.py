@@ -1,0 +1,98 @@
+"""Chunked CRC via Galois-field multiply-accumulate (paper §2, [9][10]).
+
+Ji & Killian's formulation: with ``A(x)`` the message polynomial and
+``G(x)`` the order-W generator, ``CRC[A] = (A(x) · x^W) mod G(x)``, and the
+message can be cut into M-bit chunks ``W_i`` so that::
+
+    CRC[A] = Σ_i  W_i(x) · β_i  (mod G)
+
+where ``β_i = x^(W + bits-after-chunk-i) mod G`` depends only on the chunk
+position, the message length and the generator.  Each term is one
+Galois-field multiply-accumulate — the GFMAC primitive of a customizable
+processor ([10] reports 2-3 cycles for a 128-bit message on 16 GFMACs).
+
+The engine below extends the raw formulation to the full Rocksoft model:
+the ``init`` preset contributes the extra linear term ``I(x) · x^N mod G``
+(the register seen as a polynomial, advanced past the whole message), and
+reflection/xorout are applied by the shared spec hooks.  Functionally
+identical to every other engine in this package.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.crc.spec import CRCSpec
+from repro.gf2.clmul import clmulmod, clpowmod
+
+DEFAULT_CHUNK_BITS = 32
+
+
+def chunk_message_bits(bits: Sequence[int], chunk_bits: int) -> List[Tuple[int, int]]:
+    """Split a transmission-order bit stream into ``(value, weight)`` pairs.
+
+    ``value`` is the chunk polynomial (first-transmitted bit = highest
+    degree); ``weight`` is the number of message bits that follow the
+    chunk, i.e. the exponent by which the chunk must be advanced.
+    """
+    if chunk_bits < 1:
+        raise ValueError("chunk size must be >= 1")
+    n = len(bits)
+    chunks: List[Tuple[int, int]] = []
+    for off in range(0, n, chunk_bits):
+        piece = bits[off : off + chunk_bits]
+        value = 0
+        for bit in piece:
+            value = (value << 1) | (bit & 1)
+        chunks.append((value, n - off - len(piece)))
+    return chunks
+
+
+class GFMACCRC:
+    """CRC engine built from position-weighted GFMAC operations."""
+
+    def __init__(self, spec: CRCSpec, chunk_bits: int = DEFAULT_CHUNK_BITS):
+        if chunk_bits < 1:
+            raise ValueError("chunk size must be >= 1")
+        self._spec = spec
+        self._chunk_bits = chunk_bits
+        self._g = spec.generator().coeffs
+        self._gfmac_count = 0
+
+    @property
+    def spec(self) -> CRCSpec:
+        return self._spec
+
+    @property
+    def chunk_bits(self) -> int:
+        return self._chunk_bits
+
+    @property
+    def gfmac_count(self) -> int:
+        """GFMAC operations issued since construction (workload metric)."""
+        return self._gfmac_count
+
+    # ------------------------------------------------------------------
+    def beta(self, weight: int) -> int:
+        """``β = x^(W + weight) mod G`` — the chunk position constant."""
+        return clpowmod(2, self._spec.width + weight, self._g)
+
+    def raw_register(self, data: bytes, register: Optional[int] = None) -> int:
+        spec = self._spec
+        bits = spec.message_bits(data)
+        reg = spec.init if register is None else register
+        acc = 0
+        for value, weight in chunk_message_bits(bits, self._chunk_bits):
+            acc ^= clmulmod(value, self.beta(weight), self._g)
+            self._gfmac_count += 1
+        # init contribution: the preset register advanced past all N bits.
+        if reg:
+            acc ^= clmulmod(reg, clpowmod(2, len(bits), self._g), self._g)
+            self._gfmac_count += 1
+        return acc
+
+    def compute(self, data: bytes) -> int:
+        return self._spec.finalize(self.raw_register(data))
+
+    def verify(self, data: bytes, crc: int) -> bool:
+        return self.compute(data) == crc

@@ -1,0 +1,134 @@
+"""CRC algorithm parameterization (the Rocksoft^tm model).
+
+A :class:`CRCSpec` pins down everything needed to compute a published CRC:
+register width, generator polynomial (normal form, implicit ``x^width``
+term), initial register value, input/output reflection and the final XOR.
+The paper motivates flexibility with the ~25 published standards that differ
+exactly in these parameters (§1); :mod:`repro.crc.catalog` collects them.
+
+Every CRC engine in this package consumes a spec through the same two
+hooks so they are interchangeable and cross-checkable:
+
+* :meth:`CRCSpec.message_bits` — the serial bit stream actually clocked
+  into the LFSR (per-byte reflection applied when ``refin``);
+* :meth:`CRCSpec.finalize` — output reflection and final XOR applied to the
+  raw register.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.gf2.bits import bytes_to_bits, reflect_bits
+from repro.gf2.polynomial import GF2Polynomial
+
+
+@dataclass(frozen=True)
+class CRCSpec:
+    """Parameters of one CRC standard.
+
+    Attributes
+    ----------
+    name:
+        Conventional algorithm name, e.g. ``"CRC-32"``.
+    width:
+        Register width k in bits (the generator degree).
+    poly:
+        Generator in normal form: bit *i* = coefficient of ``x**i`` for
+        i < width; the ``x**width`` term is implicit (e.g. ``0x04C11DB7``).
+    init:
+        Register contents before the first message bit.
+    refin / refout:
+        Per-byte input reflection and whole-register output reflection.
+    xorout:
+        Value XORed into the (possibly reflected) register at the end.
+    check:
+        Expected CRC of the ASCII bytes ``b"123456789"`` — the standard
+        cross-implementation test vector (``None`` when unpublished).
+    """
+
+    name: str
+    width: int
+    poly: int
+    init: int = 0
+    refin: bool = False
+    refout: bool = False
+    xorout: int = 0
+    check: Optional[int] = None
+
+    def __post_init__(self):
+        if self.width < 1:
+            raise ValueError("width must be >= 1")
+        mask = self.mask
+        for field_name in ("poly", "init", "xorout"):
+            value = getattr(self, field_name)
+            if not 0 <= value <= mask:
+                raise ValueError(f"{field_name} {value:#x} does not fit in {self.width} bits")
+        if self.check is not None and not 0 <= self.check <= mask:
+            raise ValueError(f"check {self.check:#x} does not fit in {self.width} bits")
+
+    # ------------------------------------------------------------------
+    @property
+    def mask(self) -> int:
+        return (1 << self.width) - 1
+
+    @property
+    def top_bit(self) -> int:
+        return 1 << (self.width - 1)
+
+    def generator(self) -> GF2Polynomial:
+        """The full monic generator polynomial (with the x^width term)."""
+        return GF2Polynomial((1 << self.width) | self.poly)
+
+    def reflected_poly(self) -> int:
+        """The generator in reversed (LSB-first) form, e.g. ``0xEDB88320``."""
+        return reflect_bits(self.poly, self.width)
+
+    # ------------------------------------------------------------------
+    def message_bits(self, data: bytes) -> List[int]:
+        """The serial input bit stream for ``data`` under this spec."""
+        return bytes_to_bits(data, reflect=self.refin)
+
+    def finalize(self, register: int) -> int:
+        """Map the raw register value to the published CRC value."""
+        if not 0 <= register <= self.mask:
+            raise ValueError(f"register {register:#x} outside {self.width} bits")
+        if self.refout:
+            register = reflect_bits(register, self.width)
+        return register ^ self.xorout
+
+    def unfinalize(self, crc: int) -> int:
+        """Inverse of :meth:`finalize` — recover the raw register value."""
+        register = crc ^ self.xorout
+        if self.refout:
+            register = reflect_bits(register, self.width)
+        return register
+
+    # ------------------------------------------------------------------
+    def residue(self) -> int:
+        """The register value left after verifying ``message + crc``.
+
+        When a receiver clocks a valid codeword (message followed by its
+        CRC, with ``xorout`` re-applied on the wire) through the same
+        circuit, the register lands on a constant that depends only on the
+        spec.  Used by the codeword self-check tests.
+        """
+        from repro.crc.bitwise import BitwiseCRC  # local import avoids a cycle
+
+        if self.width % 8 != 0 or self.refin != self.refout:
+            raise ValueError(
+                "residue helper supports byte-multiple widths with refin == refout"
+            )
+        engine = BitwiseCRC(self)
+        message = b"\x01\x02\x03"  # arbitrary — the residue is message-independent
+        crc = engine.compute(message)
+        order = "little" if self.refout else "big"
+        codeword = message + crc.to_bytes(self.width // 8, order)
+        return engine.raw_register(codeword)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: width={self.width} poly={self.poly:#x} init={self.init:#x} "
+            f"refin={self.refin} refout={self.refout} xorout={self.xorout:#x}"
+        )

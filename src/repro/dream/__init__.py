@@ -1,0 +1,27 @@
+"""DREAM adaptive-DSP system model: RISC control core + PiCoGA array.
+
+* :mod:`repro.dream.processor` — control-overhead cost model (STxP70 side);
+* :mod:`repro.dream.system` — :class:`DreamSystem` with executed
+  (co-simulating) and analytic timing modes;
+* :mod:`repro.dream.drivers` — :class:`CRCAccelerator` /
+  :class:`ScramblerAccelerator`, the user-facing offload objects.
+"""
+
+from repro.dream.drivers import CRCAccelerator, ScramblerAccelerator
+from repro.dream.memory import DREAM_MEMORY, LocalMemoryModel
+from repro.dream.processor import RiscControlModel
+from repro.dream.scheduler import Job, ScheduleReport, WorkloadScheduler
+from repro.dream.system import DreamSystem, PerformanceResult
+
+__all__ = [
+    "CRCAccelerator",
+    "DREAM_MEMORY",
+    "DreamSystem",
+    "LocalMemoryModel",
+    "Job",
+    "ScheduleReport",
+    "WorkloadScheduler",
+    "PerformanceResult",
+    "RiscControlModel",
+    "ScramblerAccelerator",
+]

@@ -1,0 +1,98 @@
+"""High-level application drivers: accelerators a user would instantiate.
+
+:class:`CRCAccelerator` and :class:`ScramblerAccelerator` tie a protocol
+spec, a look-ahead factor and a DREAM system together: construction runs
+the mapper (matrices, pattern sharing, packing), and calls both execute the
+compiled netlists and return architecturally faithful timing.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.crc.spec import CRCSpec
+from repro.dream.system import DreamSystem, PerformanceResult
+from repro.mapping.mapper import MappedCRC, MappedScrambler, map_crc, map_scrambler
+from repro.picoga.architecture import DREAM_PICOGA, PicogaArchitecture
+from repro.scrambler.specs import ScramblerSpec
+
+
+class CRCAccelerator:
+    """A CRC standard offloaded onto DREAM at a chosen look-ahead factor."""
+
+    def __init__(
+        self,
+        spec: CRCSpec,
+        M: int = 128,
+        method: str = "derby",
+        arch: PicogaArchitecture = DREAM_PICOGA,
+        system: Optional[DreamSystem] = None,
+    ):
+        self.spec = spec
+        self.mapped: MappedCRC = map_crc(spec, M, method=method, arch=arch)
+        self.system = system or DreamSystem(arch)
+
+    @property
+    def M(self) -> int:
+        return self.mapped.M
+
+    # ------------------------------------------------------------------
+    def compute(self, data: bytes) -> int:
+        """CRC of ``data`` through the compiled netlists."""
+        crc, _ = self.system.execute_crc(self.mapped, data)
+        return crc
+
+    def compute_with_timing(self, data: bytes) -> Tuple[int, PerformanceResult]:
+        return self.system.execute_crc(self.mapped, data)
+
+    def compute_batch(self, messages: Sequence[bytes]) -> List[int]:
+        """Interleaved batch (Kong–Parhi mode)."""
+        crcs, _ = self.system.execute_crc_interleaved(self.mapped, messages)
+        return crcs
+
+    # ------------------------------------------------------------------
+    def predicted_performance(self, message_bits: int) -> PerformanceResult:
+        return self.system.crc_single_performance(self.mapped, message_bits)
+
+    def predicted_interleaved(self, message_bits: int, ways: int = 32) -> PerformanceResult:
+        return self.system.crc_interleaved_performance(self.mapped, message_bits, ways)
+
+    def kernel_bandwidth_gbps(self) -> float:
+        """Peak (infinite-message) bandwidth: M / II blocks per cycle."""
+        ii = self.mapped.update_op.initiation_interval
+        return self.M / ii * self.system.arch.clock_hz / 1e9
+
+
+class ScramblerAccelerator:
+    """An additive scrambler offloaded onto DREAM (single PGAOP)."""
+
+    def __init__(
+        self,
+        spec: ScramblerSpec,
+        M: int = 128,
+        arch: PicogaArchitecture = DREAM_PICOGA,
+        system: Optional[DreamSystem] = None,
+    ):
+        self.spec = spec
+        self.mapped: MappedScrambler = map_scrambler(spec, M, arch=arch)
+        self.system = system or DreamSystem(arch)
+
+    @property
+    def M(self) -> int:
+        return self.mapped.M
+
+    def scramble_bits(self, bits: Sequence[int], seed: Optional[int] = None) -> List[int]:
+        out, _ = self.system.execute_scrambler(self.mapped, bits, seed)
+        return out
+
+    def scramble_with_timing(
+        self, bits: Sequence[int], seed: Optional[int] = None
+    ) -> Tuple[List[int], PerformanceResult]:
+        return self.system.execute_scrambler(self.mapped, bits, seed)
+
+    def predicted_performance(self, block_bits: int, n_blocks: int = 1) -> PerformanceResult:
+        return self.system.scrambler_performance(self.mapped, block_bits, n_blocks)
+
+    def kernel_bandwidth_gbps(self) -> float:
+        ii = self.mapped.op.initiation_interval
+        return self.M / ii * self.system.arch.clock_hz / 1e9

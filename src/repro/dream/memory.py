@@ -1,0 +1,95 @@
+"""Local memory subsystem model (paper §3: "a Pipelined Configurable Gate
+Array (PiCoGA) directly accessing a local high-bandwidth memory
+sub-system").
+
+The throughput model elsewhere assumes the data movers keep the array's
+input ports full.  This module makes that assumption checkable: a banked
+local buffer with a per-cycle port width feeds the array, and messages are
+staged into it by a DMA engine.  Two questions it answers:
+
+* **Sustainment** — can the memory system source M bits/cycle for a given
+  look-ahead factor?  (The DREAM buffer is sized so that the answer is yes
+  up to M = 128 and no beyond — one more reason, besides cells, that the
+  paper's ceiling is 128.)
+* **Staging cost** — what does it cost to land a message in the local
+  buffer before compute starts, and can that DMA be overlapped with the
+  previous message's compute (double buffering)?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+
+@dataclass(frozen=True)
+class LocalMemoryModel:
+    """Banked local buffer + DMA front end."""
+
+    banks: int = 4
+    bank_width_bits: int = 32  # read width per bank per cycle
+    bank_words: int = 2048  # capacity per bank (32-bit words)
+    dma_width_bits: int = 64  # system-bus transfer width per cycle
+    dma_setup_cycles: int = 12
+    double_buffered: bool = True
+
+    def __post_init__(self):
+        for name in ("banks", "bank_width_bits", "bank_words", "dma_width_bits"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+        if self.dma_setup_cycles < 0:
+            raise ValueError("dma_setup_cycles must be >= 0")
+
+    # ------------------------------------------------------------------
+    @property
+    def read_bandwidth_bits_per_cycle(self) -> int:
+        return self.banks * self.bank_width_bits
+
+    @property
+    def capacity_bits(self) -> int:
+        return self.banks * self.bank_words * self.bank_width_bits
+
+    def sustains_lookahead(self, M: int) -> bool:
+        """Can the buffer feed M bits to the array every cycle?"""
+        if M < 1:
+            raise ValueError("M must be >= 1")
+        return M <= self.read_bandwidth_bits_per_cycle
+
+    def max_sustained_m(self) -> int:
+        return self.read_bandwidth_bits_per_cycle
+
+    # ------------------------------------------------------------------
+    def staging_cycles(self, message_bits: int) -> int:
+        """DMA cycles to land one message in the local buffer."""
+        if message_bits < 1:
+            raise ValueError("message must contain at least one bit")
+        if message_bits > self.capacity_bits:
+            raise ValueError(
+                f"{message_bits}-bit message exceeds the {self.capacity_bits}-bit buffer"
+            )
+        return self.dma_setup_cycles + ceil(message_bits / self.dma_width_bits)
+
+    def exposed_staging_cycles(self, message_bits: int, compute_cycles: int) -> int:
+        """Staging cycles that cannot hide behind compute.
+
+        With double buffering the DMA of message *n+1* overlaps the
+        compute of message *n*; only the excess beyond the compute time is
+        exposed.  Without it, the full staging cost serializes.
+        """
+        staging = self.staging_cycles(message_bits)
+        if not self.double_buffered:
+            return staging
+        return max(0, staging - compute_cycles)
+
+    def effective_throughput_bps(
+        self, message_bits: int, compute_cycles: int, clock_hz: float = 200e6
+    ) -> float:
+        """Steady-state bandwidth including exposed data movement."""
+        if compute_cycles < 1:
+            raise ValueError("compute cycles must be >= 1")
+        exposed = self.exposed_staging_cycles(message_bits, compute_cycles)
+        return message_bits * clock_hz / (compute_cycles + exposed)
+
+
+#: The DREAM-like default: 4 x 32-bit banks sustain exactly M = 128.
+DREAM_MEMORY = LocalMemoryModel()

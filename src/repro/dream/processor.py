@@ -1,0 +1,61 @@
+"""RISC control-core cost model (the STxP70 side of DREAM).
+
+The paper's Fig. 4 discussion attributes the single-message throughput loss
+to "the control overhead introduced by the processor and the pipeline break
+caused by the configuration switch".  This module models the processor side
+as explicit cycle charges; all values are parameters so the benches can
+calibrate or ablate them.
+
+The default numbers describe a tight hand-written control loop on a 200 MHz
+embedded RISC sharing the clock with PiCoGA:
+
+* ``message_setup_cycles`` — program the data movers, reset the state,
+  select the update context;
+* ``message_finish_cycles`` — trigger the anti-transformation, read the
+  32-bit result, apply the init/xorout correction;
+* ``interleave_batch_cycles`` / ``interleave_per_message_cycles`` — batch
+  bookkeeping for Kong–Parhi interleaved mode, where most per-message work
+  overlaps with array execution;
+* ``block_setup_cycles`` — per-burst cost for the scrambler (Fig. 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RiscControlModel:
+    """Cycle charges for DREAM's control processor."""
+
+    message_setup_cycles: int = 40
+    message_finish_cycles: int = 20
+    interleave_batch_cycles: int = 60
+    interleave_per_message_cycles: int = 3
+    block_setup_cycles: int = 10
+    clock_hz: float = 200e6
+
+    def __post_init__(self):
+        for name in (
+            "message_setup_cycles",
+            "message_finish_cycles",
+            "interleave_batch_cycles",
+            "interleave_per_message_cycles",
+            "block_setup_cycles",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        if self.clock_hz <= 0:
+            raise ValueError("clock_hz must be positive")
+
+    # ------------------------------------------------------------------
+    def single_message_control(self) -> int:
+        """Per-message control charge in single-message mode."""
+        return self.message_setup_cycles + self.message_finish_cycles
+
+    def interleaved_control(self, n_messages: int) -> int:
+        """Control charge for one interleaved batch: the batch setup plus a
+        small non-overlappable residue per message."""
+        if n_messages < 1:
+            raise ValueError("need at least one message")
+        return self.interleave_batch_cycles + n_messages * self.interleave_per_message_cycles

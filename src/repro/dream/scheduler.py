@@ -1,0 +1,144 @@
+"""Multi-personality workload scheduling on one DREAM instance.
+
+The flexibility story of the paper's introduction, made quantitative: a
+multi-standard device juggles several LFSR personalities (different CRC
+standards, scramblers) on one array.  The 4-context configuration cache
+absorbs switches between up to four resident personalities at 2 cycles
+each; a fifth personality forces a bus reload (hundreds of cycles).  The
+scheduler replays a job trace against this model and reports where the
+time went — the context-thrashing ablation bench sweeps working-set size
+against exactly this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.dream.processor import RiscControlModel
+from repro.mapping.mapper import MappedCRC, MappedScrambler
+from repro.picoga.architecture import DREAM_PICOGA, PicogaArchitecture
+from repro.picoga.config import BUS_LOAD_CYCLES
+
+Personality = Union[MappedCRC, MappedScrambler]
+
+
+@dataclass(frozen=True)
+class Job:
+    """One unit of work: a message/burst for a named personality."""
+
+    personality: str
+    payload_bits: int
+
+    def __post_init__(self):
+        if self.payload_bits < 1:
+            raise ValueError("payload must contain at least one bit")
+
+
+@dataclass
+class ScheduleReport:
+    """Cycle accounting for a replayed job trace."""
+
+    jobs: int = 0
+    compute_cycles: int = 0
+    control_cycles: int = 0
+    switch_cycles: int = 0
+    reload_cycles: int = 0
+    reloads: int = 0
+    switches: int = 0
+
+    @property
+    def total_cycles(self) -> int:
+        return (
+            self.compute_cycles
+            + self.control_cycles
+            + self.switch_cycles
+            + self.reload_cycles
+        )
+
+    @property
+    def configuration_overhead(self) -> float:
+        """Fraction of time lost to switches and reloads."""
+        total = self.total_cycles
+        return (self.switch_cycles + self.reload_cycles) / total if total else 0.0
+
+    def throughput_bps(self, payload_bits: int, clock_hz: float) -> float:
+        return payload_bits * clock_hz / self.total_cycles if self.total_cycles else 0.0
+
+
+class WorkloadScheduler:
+    """Replay job traces with LRU context management."""
+
+    def __init__(
+        self,
+        personalities: Dict[str, Personality],
+        arch: PicogaArchitecture = DREAM_PICOGA,
+        control: Optional[RiscControlModel] = None,
+    ):
+        if not personalities:
+            raise ValueError("need at least one personality")
+        self.arch = arch
+        self.control = control or RiscControlModel(clock_hz=arch.clock_hz)
+        self._personalities = dict(personalities)
+        for name, p in self._personalities.items():
+            if self._contexts_needed(p) > arch.contexts:
+                raise ValueError(f"{name} needs more contexts than the array has")
+        self._resident: List[str] = []  # LRU order, most recent last
+
+    @staticmethod
+    def _contexts_needed(p: Personality) -> int:
+        if isinstance(p, MappedCRC):
+            return 2 if p.output_op is not None else 1
+        return 1
+
+    def _job_cycles(self, p: Personality, payload_bits: int) -> tuple:
+        """(compute, control) cycles for one job on a resident personality."""
+        if isinstance(p, MappedCRC):
+            blocks = ceil(payload_bits / p.M)
+            compute = p.update_op.latency_cycles + blocks * p.update_op.initiation_interval
+            if p.output_op is not None:
+                compute += self.arch.context_switch_cycles
+                compute += p.output_op.latency_cycles + 1
+            return compute, self.control.single_message_control()
+        blocks = ceil(payload_bits / p.M)
+        compute = p.op.latency_cycles + blocks * p.op.initiation_interval
+        return compute, self.control.block_setup_cycles
+
+    def _touch(self, name: str, report: ScheduleReport) -> None:
+        """Bring a personality's contexts in; charge switch or reload."""
+        slots_needed = sum(
+            self._contexts_needed(self._personalities[n]) for n in self._resident
+        )
+        if name in self._resident:
+            if self._resident[-1] != name:
+                report.switch_cycles += self.arch.context_switch_cycles
+                report.switches += 1
+            self._resident.remove(name)
+            self._resident.append(name)
+            return
+        need = self._contexts_needed(self._personalities[name])
+        while self._resident and slots_needed + need > self.arch.contexts:
+            evicted = self._resident.pop(0)
+            slots_needed -= self._contexts_needed(self._personalities[evicted])
+        report.reload_cycles += need * BUS_LOAD_CYCLES
+        report.reloads += 1
+        self._resident.append(name)
+
+    # ------------------------------------------------------------------
+    def run(self, trace: Sequence[Job]) -> ScheduleReport:
+        report = ScheduleReport()
+        for job in trace:
+            if job.personality not in self._personalities:
+                raise KeyError(f"unknown personality {job.personality!r}")
+            self._touch(job.personality, report)
+            compute, control = self._job_cycles(
+                self._personalities[job.personality], job.payload_bits
+            )
+            report.compute_cycles += compute
+            report.control_cycles += control
+            report.jobs += 1
+        return report
+
+    def resident_personalities(self) -> List[str]:
+        return list(self._resident)

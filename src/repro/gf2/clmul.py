@@ -1,0 +1,74 @@
+"""Carry-less (polynomial) arithmetic on Python ints.
+
+An int represents a GF(2) polynomial with bit *i* holding the coefficient
+of ``x**i``.  These routines are the work-horses behind
+:class:`repro.gf2.GF2Polynomial`, the GFMAC chunked CRC and the Bareiss
+determinant used for characteristic polynomials.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+
+def clmul(a: int, b: int) -> int:
+    """Carry-less multiplication of two polynomial ints."""
+    if a < 0 or b < 0:
+        raise ValueError("polynomial ints must be non-negative")
+    result = 0
+    while b:
+        low = b & -b
+        result ^= a * low  # multiplying by a power of two is a shift
+        b ^= low
+    return result
+
+
+def cldeg(a: int) -> int:
+    """Degree of the polynomial (``-1`` for the zero polynomial)."""
+    return a.bit_length() - 1
+
+
+def cldivmod(a: int, b: int) -> Tuple[int, int]:
+    """Polynomial division: return ``(quotient, remainder)`` with
+    ``a = quotient*b ^ remainder`` and ``deg(remainder) < deg(b)``."""
+    if b == 0:
+        raise ZeroDivisionError("polynomial division by zero")
+    db = cldeg(b)
+    q = 0
+    r = a
+    while cldeg(r) >= db:
+        shift = cldeg(r) - db
+        q ^= 1 << shift
+        r ^= b << shift
+    return q, r
+
+
+def clmod(a: int, b: int) -> int:
+    """Polynomial remainder ``a mod b``."""
+    return cldivmod(a, b)[1]
+
+
+def clgcd(a: int, b: int) -> int:
+    """Greatest common divisor of two polynomial ints."""
+    while b:
+        a, b = b, clmod(a, b)
+    return a
+
+
+def clmulmod(a: int, b: int, mod: int) -> int:
+    """``(a * b) mod m`` over GF(2)[x]."""
+    return clmod(clmul(a, b), mod)
+
+
+def clpowmod(a: int, e: int, mod: int) -> int:
+    """``a**e mod m`` over GF(2)[x] by square-and-multiply."""
+    if e < 0:
+        raise ValueError("exponent must be non-negative")
+    result = clmod(1, mod)
+    base = clmod(a, mod)
+    while e:
+        if e & 1:
+            result = clmulmod(result, base, mod)
+        base = clmulmod(base, base, mod)
+        e >>= 1
+    return result

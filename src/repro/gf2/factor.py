@@ -1,0 +1,195 @@
+"""Polynomial factorization over GF(2).
+
+Complete factorization of GF(2)[x] polynomials via square-free reduction,
+distinct-degree factorization and char-2 Cantor–Zassenhaus (trace-based)
+equal-degree splitting.  Used to characterize CRC generators: e.g.
+CRC-16/ARC's ``0x18005`` factors as ``(x + 1)(x^15 + x + 1)`` — the
+``x + 1`` factor is what guarantees detection of all odd-weight errors —
+while the Ethernet CRC-32 generator is irreducible (indeed primitive).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from repro.gf2.clmul import cldeg, cldivmod, clgcd, clmod, clmul, clmulmod, clpowmod
+from repro.gf2.polynomial import GF2Polynomial
+
+
+def derivative(f: int) -> int:
+    """Formal derivative over GF(2): odd-exponent terms shift down once."""
+    out = 0
+    i = 1
+    while (f >> i) != 0:
+        if (f >> i) & 1:
+            out |= 1 << (i - 1)
+        i += 2
+    return out
+
+
+def poly_sqrt(f: int) -> int:
+    """Square root of a perfect square (all exponents even) over GF(2)."""
+    out = 0
+    i = 0
+    while (f >> i) != 0:
+        if (f >> i) & 1:
+            if i % 2:
+                raise ValueError("polynomial is not a perfect square")
+            out |= 1 << (i // 2)
+        i += 1
+    return out
+
+
+def _trace_split(f: int, d: int, rng: random.Random) -> Tuple[int, int]:
+    """Split a square-free product of >= 2 irreducibles of degree d.
+
+    Char-2 Cantor–Zassenhaus: for random u, the trace polynomial
+    ``T(u) = u + u^2 + u^4 + ... + u^(2^(d-1)) mod f`` evaluates to 0 or 1
+    in each irreducible component, so ``gcd(T(u), f)`` is non-trivial with
+    probability about 1/2.
+    """
+    n = cldeg(f)
+    while True:
+        u = rng.getrandbits(n) | 1
+        u = clmod(u, f)
+        if u == 0:
+            continue
+        trace = 0
+        term = u
+        for _ in range(d):
+            trace ^= term
+            term = clmulmod(term, term, f)
+        for candidate in (trace, trace ^ 1):
+            if candidate == 0:
+                continue
+            g = clgcd(candidate, f)
+            if 0 < cldeg(g) < n:
+                return g, cldivmod(f, g)[0]
+
+
+def _distinct_degree(f: int) -> List[Tuple[int, int]]:
+    """DDF on a square-free f: [(product_of_degree_d_factors, d), ...]."""
+    result = []
+    x = 0b10
+    h = x
+    d = 0
+    rest = f
+    while cldeg(rest) >= 2 * (d + 1):
+        d += 1
+        h = clpowmod(h, 2, rest)  # h = x^(2^d) mod rest
+        g = clgcd(h ^ clmod(x, rest), rest)
+        if cldeg(g) > 0:
+            result.append((g, d))
+            rest = cldivmod(rest, g)[0]
+            h = clmod(h, rest)
+    if cldeg(rest) > 0:
+        result.append((rest, cldeg(rest)))
+    return result
+
+
+def _factor_squarefree(f: int, rng: random.Random) -> List[int]:
+    """All irreducible factors of a square-free polynomial (deg >= 1)."""
+    factors: List[int] = []
+    for product, d in _distinct_degree(f):
+        stack = [product]
+        while stack:
+            g = stack.pop()
+            if cldeg(g) == d:
+                factors.append(g)
+                continue
+            a, b = _trace_split(g, d, rng)
+            stack.extend((a, b))
+    return factors
+
+
+def factorize(poly: GF2Polynomial, seed: int = 0xC0FFEE) -> Dict[GF2Polynomial, int]:
+    """Full factorization: {irreducible factor: multiplicity}.
+
+    Deterministic for a fixed ``seed`` (the randomness only steers the
+    equal-degree splits).  The product of ``factor**multiplicity`` equals
+    the input, which the test-suite verifies for every case.
+    """
+    f = poly.coeffs
+    if f == 0:
+        raise ValueError("cannot factor the zero polynomial")
+    rng = random.Random(seed)
+    result: Dict[int, int] = {}
+
+    def add(factor: int, count: int = 1) -> None:
+        result[factor] = result.get(factor, 0) + count
+
+    # Strip x^k.
+    while f and not (f & 1):
+        add(0b10)
+        f >>= 1
+
+    def recurse(g: int, multiplicity: int) -> None:
+        if cldeg(g) < 1:
+            return
+        d = derivative(g)
+        if d == 0:
+            recurse(poly_sqrt(g), 2 * multiplicity)
+            return
+        common = clgcd(g, d)
+        if cldeg(common) > 0:
+            recurse(common, multiplicity)
+            recurse(cldivmod(g, common)[0], multiplicity)
+            return
+        for factor in _factor_squarefree(g, rng):
+            add(factor, multiplicity)
+
+    recurse(f, 1)
+    # Consolidate: recursion may produce a factor via several branches.
+    return {GF2Polynomial(k): v for k, v in sorted(result.items())}
+
+
+def is_square_free(poly: GF2Polynomial) -> bool:
+    """True when no irreducible factor repeats."""
+    f = poly.coeffs
+    if f == 0:
+        raise ValueError("undefined for the zero polynomial")
+    d = derivative(f)
+    if d == 0:
+        return cldeg(f) == 0
+    return clgcd(f, d) == 1
+
+
+def divides(factor: GF2Polynomial, poly: GF2Polynomial) -> bool:
+    return clmod(poly.coeffs, factor.coeffs) == 0
+
+
+def polynomial_order(poly: GF2Polynomial) -> int:
+    """Multiplicative order of x modulo ``poly`` via its factorization.
+
+    Much faster than brute search for reducible polynomials: the order is
+    ``lcm_i(ord(p_i)) * 2^ceil(log2(max multiplicity))`` over the
+    irreducible factors ``p_i^m_i`` (char-2 lifting rule).  Requires a
+    non-zero constant term.
+    """
+    from math import gcd
+
+    if not poly.coefficient(0):
+        raise ValueError("x divides the polynomial; order undefined")
+    if poly.degree < 1:
+        raise ValueError("order requires degree >= 1")
+    factors = factorize(poly)
+    order = 1
+    max_mult = 1
+    for factor, mult in factors.items():
+        component = factor.order()  # irreducible -> fast path
+        order = order * component // gcd(order, component)
+        max_mult = max(max_mult, mult)
+    lift = 1
+    while lift < max_mult:
+        lift <<= 1
+    return order * lift
+
+
+def product(factors: Dict[GF2Polynomial, int]) -> GF2Polynomial:
+    """Multiply a factorization back together."""
+    acc = 1
+    for factor, mult in factors.items():
+        for _ in range(mult):
+            acc = clmul(acc, factor.coeffs)
+    return GF2Polynomial(acc)

@@ -1,0 +1,95 @@
+"""Extension fields GF(2^m) and the GFMAC primitive.
+
+The sub-word-parallel CRC method of Roy [9] and Ji & Killian [10] (paper
+§2) computes a CRC as a sum of Galois-field multiply-accumulates: the
+message is split into M-bit words ``W_i`` and ``CRC = Σ W_i · β_i`` where
+the ``β_i`` are per-position constants.  :class:`GF2mField` provides the
+field arithmetic those engines build on, mirroring a hardware GFMAC unit.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.gf2.clmul import clmod, clmul, clpowmod
+from repro.gf2.polynomial import GF2Polynomial
+
+
+class GF2mField:
+    """Arithmetic in GF(2^m) defined by an irreducible modulus polynomial.
+
+    Elements are ints in ``[0, 2^m)`` (bit *i* = coefficient of ``x**i``).
+    """
+
+    def __init__(self, modulus: GF2Polynomial, check_irreducible: bool = True):
+        if modulus.degree < 1:
+            raise ValueError("field modulus must have degree >= 1")
+        if check_irreducible and not modulus.is_irreducible():
+            raise ValueError(f"{modulus} is reducible; GF(2^m) needs an irreducible modulus")
+        self._modulus = modulus
+        self._m = modulus.degree
+
+    @property
+    def modulus(self) -> GF2Polynomial:
+        return self._modulus
+
+    @property
+    def degree(self) -> int:
+        return self._m
+
+    @property
+    def size(self) -> int:
+        return 1 << self._m
+
+    def _check(self, a: int) -> int:
+        if not 0 <= a < self.size:
+            raise ValueError(f"element {a:#x} outside GF(2^{self._m})")
+        return a
+
+    # ------------------------------------------------------------------
+    def add(self, a: int, b: int) -> int:
+        return self._check(a) ^ self._check(b)
+
+    def mul(self, a: int, b: int) -> int:
+        return clmod(clmul(self._check(a), self._check(b)), self._modulus.coeffs)
+
+    def mac(self, acc: int, a: int, b: int) -> int:
+        """Galois-field multiply-accumulate: ``acc + a*b`` (the GFMAC op)."""
+        return self._check(acc) ^ self.mul(a, b)
+
+    def pow(self, a: int, e: int) -> int:
+        return clpowmod(self._check(a), e, self._modulus.coeffs)
+
+    def inverse(self, a: int) -> int:
+        if self._check(a) == 0:
+            raise ZeroDivisionError("0 has no inverse in GF(2^m)")
+        # a^(2^m - 2) = a^{-1} in a field of size 2^m.
+        return self.pow(a, self.size - 2)
+
+    def x_power(self, e: int) -> int:
+        """``x**e mod modulus`` — the β constants of the chunked CRC."""
+        return clpowmod(2, e, self._modulus.coeffs)
+
+    def element_order(self, a: int) -> int:
+        """Multiplicative order of a non-zero element (search, small fields)."""
+        if self._check(a) == 0:
+            raise ValueError("0 has no multiplicative order")
+        acc = a
+        e = 1
+        while acc != 1:
+            acc = self.mul(acc, a)
+            e += 1
+            if e > self.size:
+                raise ArithmeticError("order search exceeded field size")
+        return e
+
+    def log_table(self, generator: int) -> List[int]:
+        """Discrete-log table base ``generator`` (small fields only)."""
+        table = [-1] * self.size
+        acc = 1
+        for e in range(self.size - 1):
+            if table[acc] != -1:
+                raise ValueError("generator does not generate the full group")
+            table[acc] = e
+            acc = self.mul(acc, generator)
+        return table

@@ -1,0 +1,318 @@
+"""Dense matrices over GF(2).
+
+:class:`GF2Matrix` stores its entries as a numpy ``uint8`` array of 0/1
+values.  The sizes used by this library are tiny by linear-algebra standards
+(k ≤ 64 state bits, M ≤ 512 look-ahead), so clarity wins over bit-packing;
+multiplication is performed with integer matmul followed by ``& 1``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+RowsLike = Union[np.ndarray, Sequence[Sequence[int]]]
+
+
+class GF2Matrix:
+    """An immutable-ish dense matrix over GF(2).
+
+    The underlying array is private; use :meth:`to_array` for a copy.
+    Operators: ``+`` (XOR), ``@`` (product), ``**`` (repeated squaring),
+    ``==``.  Matrix-vector products accept 1-D arrays/sequences and return
+    1-D numpy arrays.
+    """
+
+    __slots__ = ("_a",)
+
+    def __init__(self, rows: RowsLike):
+        a = np.array(rows, dtype=np.uint8)
+        if a.ndim != 2:
+            raise ValueError(f"expected a 2-D array, got shape {a.shape}")
+        if not np.isin(a, (0, 1)).all():
+            raise ValueError("entries must be 0 or 1")
+        self._a = a
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def zeros(cls, nrows: int, ncols: int) -> "GF2Matrix":
+        return cls(np.zeros((nrows, ncols), dtype=np.uint8))
+
+    @classmethod
+    def identity(cls, n: int) -> "GF2Matrix":
+        return cls(np.eye(n, dtype=np.uint8))
+
+    @classmethod
+    def from_columns(cls, columns: Iterable[Sequence[int]]) -> "GF2Matrix":
+        cols = [np.asarray(c, dtype=np.uint8) for c in columns]
+        if not cols:
+            raise ValueError("need at least one column")
+        return cls(np.stack(cols, axis=1))
+
+    @classmethod
+    def from_int_rows(cls, rows: Sequence[int], ncols: int) -> "GF2Matrix":
+        """Build from integers whose bit *j* is the entry in column *j*."""
+        data = np.zeros((len(rows), ncols), dtype=np.uint8)
+        for i, r in enumerate(rows):
+            if r >> ncols:
+                raise ValueError(f"row {i} value {r:#x} exceeds {ncols} columns")
+            for j in range(ncols):
+                data[i, j] = (r >> j) & 1
+        return cls(data)
+
+    @classmethod
+    def random(cls, nrows: int, ncols: int, rng: Optional[np.random.Generator] = None) -> "GF2Matrix":
+        rng = rng or np.random.default_rng()
+        return cls(rng.integers(0, 2, size=(nrows, ncols), dtype=np.uint8))
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self._a.shape
+
+    @property
+    def nrows(self) -> int:
+        return self._a.shape[0]
+
+    @property
+    def ncols(self) -> int:
+        return self._a.shape[1]
+
+    def is_square(self) -> bool:
+        return self.nrows == self.ncols
+
+    def to_array(self) -> np.ndarray:
+        return self._a.copy()
+
+    def row(self, i: int) -> np.ndarray:
+        return self._a[i].copy()
+
+    def column(self, j: int) -> np.ndarray:
+        return self._a[:, j].copy()
+
+    def row_as_int(self, i: int) -> int:
+        """Row *i* packed into an int (bit *j* = entry in column *j*)."""
+        return int(sum(int(v) << j for j, v in enumerate(self._a[i])))
+
+    def rows_as_ints(self) -> List[int]:
+        return [self.row_as_int(i) for i in range(self.nrows)]
+
+    def density(self) -> float:
+        """Fraction of ones — a complexity proxy for XOR-network size."""
+        return float(self._a.mean()) if self._a.size else 0.0
+
+    def nnz(self) -> int:
+        """Total number of ones (XOR taps before any sharing)."""
+        return int(self._a.sum())
+
+    def __getitem__(self, key):
+        result = self._a[key]
+        if isinstance(result, np.ndarray) and result.ndim == 2:
+            return GF2Matrix(result)
+        return result
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, GF2Matrix):
+            return NotImplemented
+        return self.shape == other.shape and bool((self._a == other._a).all())
+
+    def __hash__(self):
+        return hash((self.shape, self._a.tobytes()))
+
+    def __repr__(self) -> str:
+        return f"GF2Matrix({self.nrows}x{self.ncols}, nnz={self.nnz()})"
+
+    def __str__(self) -> str:
+        return "\n".join("".join(str(int(v)) for v in row) for row in self._a)
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: "GF2Matrix") -> "GF2Matrix":
+        if self.shape != other.shape:
+            raise ValueError(f"shape mismatch: {self.shape} vs {other.shape}")
+        return GF2Matrix(self._a ^ other._a)
+
+    __xor__ = __add__
+
+    def __matmul__(self, other: Union["GF2Matrix", np.ndarray, Sequence[int]]):
+        if isinstance(other, GF2Matrix):
+            if self.ncols != other.nrows:
+                raise ValueError(f"inner dimension mismatch: {self.shape} @ {other.shape}")
+            prod = (self._a.astype(np.int64) @ other._a.astype(np.int64)) & 1
+            return GF2Matrix(prod.astype(np.uint8))
+        vec = np.asarray(other, dtype=np.int64)
+        if vec.ndim != 1 or vec.size != self.ncols:
+            raise ValueError(f"vector of length {self.ncols} expected, got shape {vec.shape}")
+        return ((self._a.astype(np.int64) @ vec) & 1).astype(np.uint8)
+
+    def __pow__(self, exponent: int) -> "GF2Matrix":
+        if not self.is_square():
+            raise ValueError("matrix power requires a square matrix")
+        if exponent < 0:
+            return self.inverse() ** (-exponent)
+        result = GF2Matrix.identity(self.nrows)
+        base = self
+        e = exponent
+        while e:
+            if e & 1:
+                result = result @ base
+            base = base @ base
+            e >>= 1
+        return result
+
+    def transpose(self) -> "GF2Matrix":
+        return GF2Matrix(self._a.T)
+
+    def hstack(self, other: "GF2Matrix") -> "GF2Matrix":
+        if self.nrows != other.nrows:
+            raise ValueError("row count mismatch for hstack")
+        return GF2Matrix(np.hstack([self._a, other._a]))
+
+    def vstack(self, other: "GF2Matrix") -> "GF2Matrix":
+        if self.ncols != other.ncols:
+            raise ValueError("column count mismatch for vstack")
+        return GF2Matrix(np.vstack([self._a, other._a]))
+
+    # ------------------------------------------------------------------
+    # Gaussian elimination and friends
+    # ------------------------------------------------------------------
+    def _row_echelon(self) -> Tuple[np.ndarray, List[int]]:
+        """Return (reduced row-echelon form, pivot column list)."""
+        a = self._a.copy()
+        pivots: List[int] = []
+        r = 0
+        for c in range(self.ncols):
+            if r >= self.nrows:
+                break
+            pivot_rows = np.nonzero(a[r:, c])[0]
+            if pivot_rows.size == 0:
+                continue
+            p = r + int(pivot_rows[0])
+            if p != r:
+                a[[r, p]] = a[[p, r]]
+            # Eliminate this column from every other row.
+            mask = a[:, c].copy()
+            mask[r] = 0
+            a ^= np.outer(mask, a[r])
+            pivots.append(c)
+            r += 1
+        return a, pivots
+
+    def rank(self) -> int:
+        _, pivots = self._row_echelon()
+        return len(pivots)
+
+    def is_invertible(self) -> bool:
+        return self.is_square() and self.rank() == self.nrows
+
+    def inverse(self) -> "GF2Matrix":
+        """Inverse via Gauss-Jordan on the augmented matrix.
+
+        Raises :class:`ValueError` if the matrix is singular.
+        """
+        if not self.is_square():
+            raise ValueError("only square matrices can be inverted")
+        n = self.nrows
+        aug = np.hstack([self._a.copy(), np.eye(n, dtype=np.uint8)])
+        r = 0
+        for c in range(n):
+            pivot_rows = np.nonzero(aug[r:, c])[0]
+            if pivot_rows.size == 0:
+                raise ValueError("matrix is singular over GF(2)")
+            p = r + int(pivot_rows[0])
+            if p != r:
+                aug[[r, p]] = aug[[p, r]]
+            mask = aug[:, c].copy()
+            mask[r] = 0
+            aug ^= np.outer(mask, aug[r])
+            r += 1
+        return GF2Matrix(aug[:, n:])
+
+    def solve(self, rhs: Union[np.ndarray, Sequence[int]]) -> np.ndarray:
+        """Solve ``self @ x = rhs`` for square invertible ``self``."""
+        return self.inverse() @ np.asarray(rhs, dtype=np.uint8)
+
+    def null_space_basis(self) -> List[np.ndarray]:
+        """Basis vectors of the right null space."""
+        rref, pivots = self._row_echelon()
+        free_cols = [c for c in range(self.ncols) if c not in pivots]
+        basis = []
+        for fc in free_cols:
+            v = np.zeros(self.ncols, dtype=np.uint8)
+            v[fc] = 1
+            for r, pc in enumerate(pivots):
+                v[pc] = rref[r, fc]
+            basis.append(v)
+        return basis
+
+    # ------------------------------------------------------------------
+    # Structure predicates
+    # ------------------------------------------------------------------
+    def is_companion(self) -> bool:
+        """True if the matrix has the companion form used in the paper:
+
+        sub-diagonal of ones, arbitrary last column, zeros elsewhere.
+        """
+        if not self.is_square():
+            return False
+        n = self.nrows
+        a = self._a
+        for i in range(n):
+            for j in range(n - 1):
+                expected = 1 if i == j + 1 else 0
+                if a[i, j] != expected:
+                    return False
+        return True
+
+    def characteristic_polynomial(self) -> int:
+        """Characteristic polynomial as an int (bit i = coeff of x^i).
+
+        Computed by Hessenberg-free expansion via the Faddeev–LeVerrier
+        analogue over GF(2) being unavailable, we use the simple approach of
+        computing det(xI - A) by fraction-free elimination over GF(2)[x],
+        representing polynomial entries as Python ints.
+        """
+        if not self.is_square():
+            raise ValueError("characteristic polynomial requires a square matrix")
+        from repro.gf2.clmul import clmul, cldivmod
+
+        n = self.nrows
+        # Entries of xI + A (== xI - A over GF(2)) as polynomial ints.
+        m: List[List[int]] = [
+            [((2 if i == j else 0) ^ int(self._a[i, j])) for j in range(n)]
+            for i in range(n)
+        ]
+        # Fraction-free Gaussian elimination (Bareiss) over GF(2)[x].
+        prev_pivot = 1
+        for k in range(n - 1):
+            if m[k][k] == 0:
+                swap = next((r for r in range(k + 1, n) if m[r][k]), None)
+                if swap is None:
+                    prev_pivot = 1
+                    continue
+                m[k], m[swap] = m[swap], m[k]
+            for i in range(k + 1, n):
+                for j in range(k + 1, n):
+                    num = clmul(m[i][j], m[k][k]) ^ clmul(m[i][k], m[k][j])
+                    q, r = cldivmod(num, prev_pivot)
+                    if r:
+                        raise ArithmeticError("Bareiss division was not exact")
+                    m[i][j] = q
+                m[i][k] = 0
+            prev_pivot = m[k][k]
+        return m[n - 1][n - 1]
+
+    def is_similar_to(self, other: "GF2Matrix") -> bool:
+        """Necessary similarity check via characteristic polynomials."""
+        return (
+            self.is_square()
+            and other.is_square()
+            and self.nrows == other.nrows
+            and self.characteristic_polynomial() == other.characteristic_polynomial()
+        )

@@ -1,0 +1,224 @@
+"""Polynomials over GF(2) as first-class objects.
+
+:class:`GF2Polynomial` wraps a coefficient int (bit *i* = coefficient of
+``x**i``) with polynomial operations, irreducibility and primitivity tests
+and the multiplicative order computation used to reason about LFSR period.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+from repro.gf2.clmul import (
+    cldeg,
+    cldivmod,
+    clgcd,
+    clmod,
+    clmul,
+    clpowmod,
+)
+
+
+def _factorize(n: int) -> List[int]:
+    """Distinct prime factors of a positive integer (trial division)."""
+    factors = []
+    d = 2
+    while d * d <= n:
+        if n % d == 0:
+            factors.append(d)
+            while n % d == 0:
+                n //= d
+        d += 1 if d == 2 else 2
+    if n > 1:
+        factors.append(n)
+    return factors
+
+
+class GF2Polynomial:
+    """An immutable polynomial over GF(2)."""
+
+    __slots__ = ("_coeffs",)
+
+    def __init__(self, coeffs: int):
+        if coeffs < 0:
+            raise ValueError("coefficient int must be non-negative")
+        self._coeffs = coeffs
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_exponents(cls, exponents: Sequence[int]) -> "GF2Polynomial":
+        """Build from a tap list, e.g. ``[32, 26, 23, ..., 0]`` for CRC-32."""
+        value = 0
+        for e in exponents:
+            if e < 0:
+                raise ValueError("exponents must be non-negative")
+            value ^= 1 << e
+        return cls(value)
+
+    @classmethod
+    def x(cls) -> "GF2Polynomial":
+        return cls(2)
+
+    @classmethod
+    def one(cls) -> "GF2Polynomial":
+        return cls(1)
+
+    @classmethod
+    def zero(cls) -> "GF2Polynomial":
+        return cls(0)
+
+    # ------------------------------------------------------------------
+    @property
+    def coeffs(self) -> int:
+        return self._coeffs
+
+    @property
+    def degree(self) -> int:
+        return cldeg(self._coeffs)
+
+    def coefficient(self, i: int) -> int:
+        return (self._coeffs >> i) & 1
+
+    def exponents(self) -> List[int]:
+        """Exponents with non-zero coefficients, descending."""
+        return [i for i in range(self.degree, -1, -1) if self.coefficient(i)]
+
+    def is_zero(self) -> bool:
+        return self._coeffs == 0
+
+    def __iter__(self) -> Iterator[int]:
+        """Iterate coefficients LSB-first up to the degree."""
+        for i in range(self.degree + 1):
+            yield self.coefficient(i)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, GF2Polynomial):
+            return self._coeffs == other._coeffs
+        if isinstance(other, int):
+            return self._coeffs == other
+        return NotImplemented
+
+    def __hash__(self):
+        return hash(("GF2Polynomial", self._coeffs))
+
+    def __repr__(self) -> str:
+        return f"GF2Polynomial({self._coeffs:#x})"
+
+    def __str__(self) -> str:
+        if self.is_zero():
+            return "0"
+        terms = []
+        for e in self.exponents():
+            if e == 0:
+                terms.append("1")
+            elif e == 1:
+                terms.append("x")
+            else:
+                terms.append(f"x^{e}")
+        return " + ".join(terms)
+
+    # ------------------------------------------------------------------
+    def __add__(self, other: "GF2Polynomial") -> "GF2Polynomial":
+        return GF2Polynomial(self._coeffs ^ other._coeffs)
+
+    __sub__ = __add__
+
+    def __mul__(self, other: "GF2Polynomial") -> "GF2Polynomial":
+        return GF2Polynomial(clmul(self._coeffs, other._coeffs))
+
+    def __mod__(self, other: "GF2Polynomial") -> "GF2Polynomial":
+        return GF2Polynomial(clmod(self._coeffs, other._coeffs))
+
+    def __floordiv__(self, other: "GF2Polynomial") -> "GF2Polynomial":
+        return GF2Polynomial(cldivmod(self._coeffs, other._coeffs)[0])
+
+    def divmod(self, other: "GF2Polynomial"):
+        q, r = cldivmod(self._coeffs, other._coeffs)
+        return GF2Polynomial(q), GF2Polynomial(r)
+
+    def gcd(self, other: "GF2Polynomial") -> "GF2Polynomial":
+        return GF2Polynomial(clgcd(self._coeffs, other._coeffs))
+
+    def pow_mod(self, exponent: int, modulus: "GF2Polynomial") -> "GF2Polynomial":
+        return GF2Polynomial(clpowmod(self._coeffs, exponent, modulus._coeffs))
+
+    def evaluate(self, point: int) -> int:
+        """Evaluate at a GF(2) point (0 or 1)."""
+        if point == 0:
+            return self.coefficient(0)
+        if point == 1:
+            return bin(self._coeffs).count("1") & 1
+        raise ValueError("GF(2) points are 0 or 1")
+
+    # ------------------------------------------------------------------
+    def is_irreducible(self) -> bool:
+        """Rabin's irreducibility test over GF(2)."""
+        n = self.degree
+        if n <= 0:
+            return False
+        if n == 1:
+            return True
+        if not self.coefficient(0):
+            return False  # divisible by x
+        x = 2
+        # x^(2^n) == x (mod f) ...
+        t = x
+        for _ in range(n):
+            t = clpowmod(t, 2, self._coeffs)
+        if t != clmod(x, self._coeffs):
+            return False
+        # ... and gcd(x^(2^(n/p)) - x, f) == 1 for every prime p | n.
+        for p in _factorize(n):
+            t = x
+            for _ in range(n // p):
+                t = clpowmod(t, 2, self._coeffs)
+            if clgcd(t ^ clmod(x, self._coeffs), self._coeffs) != 1:
+                return False
+        return True
+
+    def order(self) -> int:
+        """Multiplicative order of x modulo this polynomial.
+
+        Requires gcd(x, f) == 1 (i.e. a non-zero constant term).  For a
+        primitive degree-k polynomial the order is ``2**k - 1`` — the
+        maximal LFSR period.
+        """
+        if self.degree < 1:
+            raise ValueError("order requires degree >= 1")
+        if not self.coefficient(0):
+            raise ValueError("x divides the polynomial; order undefined")
+        if not self.is_irreducible():
+            # Fall back to brute search bounded by lcm structure: walk
+            # powers until we return to 1.  Fine for the small degrees
+            # used in tests; irreducible polynomials take the fast path.
+            t = clmod(2, self._coeffs)
+            e = 1
+            acc = t
+            limit = 1 << (2 * self.degree)
+            while acc != 1:
+                acc = clmod(clmul(acc, 2), self._coeffs)
+                e += 1
+                if e > limit:
+                    raise ArithmeticError("order search exceeded bound")
+            return e
+        group = (1 << self.degree) - 1
+        order = group
+        for p in _factorize(group):
+            while order % p == 0 and clpowmod(2, order // p, self._coeffs) == 1:
+                order //= p
+        return order
+
+    def is_primitive(self) -> bool:
+        """True when x generates the full multiplicative group GF(2^k)*."""
+        if not self.is_irreducible():
+            return False
+        return self.order() == (1 << self.degree) - 1
+
+    def reciprocal(self) -> "GF2Polynomial":
+        """The reciprocal (bit-reversed) polynomial ``x^deg * f(1/x)``."""
+        n = self.degree
+        value = 0
+        for i in range(n + 1):
+            if self.coefficient(i):
+                value |= 1 << (n - i)
+        return GF2Polynomial(value)

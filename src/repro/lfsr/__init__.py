@@ -1,0 +1,72 @@
+"""LFSR state-space theory (paper §2).
+
+This package implements the mathematical core of the paper:
+
+* the serial state-space model ``x(n+1) = A x(n) + b u(n)``,
+  ``y(n) = C x(n) + d u(n)`` with ``A`` a companion matrix
+  (:mod:`repro.lfsr.companion`, :mod:`repro.lfsr.statespace`);
+* bit-serial Fibonacci/Galois reference LFSRs
+  (:mod:`repro.lfsr.reference`);
+* the M-level look-ahead expansion ``x(n+M) = A^M x(n) + B_M u_M(n)``
+  (:mod:`repro.lfsr.lookahead`);
+* Derby's state-space transformation, which restores companion form to the
+  feedback matrix of the look-ahead system (:mod:`repro.lfsr.transform`);
+* the Pei–Zukowski direct look-ahead baseline whose feedback complexity
+  limits speed-up to ~M/2 (:mod:`repro.lfsr.pei`).
+"""
+
+from repro.lfsr.berlekamp import (
+    LFSRSynthesis,
+    berlekamp_massey,
+    linear_complexity,
+    linear_complexity_profile,
+)
+from repro.lfsr.companion import companion_matrix, companion_taps, poly_from_companion
+from repro.lfsr.lookahead import LookaheadSystem, expand_lookahead, scrambler_output_matrix
+from repro.lfsr.correlation import (
+    GolombReport,
+    autocorrelation_profile,
+    golomb_check,
+    periodic_autocorrelation,
+    periodic_cross_correlation,
+    run_lengths,
+)
+from repro.lfsr.jump import jump_back, jump_state, keystream_slice, lfsr_at
+from repro.lfsr.pei import PeiLookahead, pei_lookahead, pei_speedup_bound
+from repro.lfsr.reference import FibonacciLFSR, GaloisLFSR
+from repro.lfsr.statespace import LFSRStateSpace, crc_statespace, scrambler_statespace
+from repro.lfsr.transform import DerbyTransform, TransformError, derby_transform
+
+__all__ = [
+    "DerbyTransform",
+    "LFSRSynthesis",
+    "berlekamp_massey",
+    "linear_complexity",
+    "linear_complexity_profile",
+    "FibonacciLFSR",
+    "GolombReport",
+    "autocorrelation_profile",
+    "golomb_check",
+    "periodic_autocorrelation",
+    "periodic_cross_correlation",
+    "run_lengths",
+    "GaloisLFSR",
+    "LFSRStateSpace",
+    "LookaheadSystem",
+    "PeiLookahead",
+    "TransformError",
+    "companion_matrix",
+    "companion_taps",
+    "crc_statespace",
+    "derby_transform",
+    "expand_lookahead",
+    "jump_back",
+    "jump_state",
+    "keystream_slice",
+    "lfsr_at",
+    "pei_lookahead",
+    "pei_speedup_bound",
+    "poly_from_companion",
+    "scrambler_output_matrix",
+    "scrambler_statespace",
+]

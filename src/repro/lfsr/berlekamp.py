@@ -1,0 +1,131 @@
+"""Berlekamp–Massey LFSR synthesis over GF(2).
+
+Given an output sequence, find the *shortest* LFSR that generates it —
+the sequence's linear complexity.  This is the classic analysis tool for
+the paper's application domains: a scrambler's keystream has linear
+complexity equal to its register length (which is why scramblers are not
+ciphers), while stream-cipher constructions (A5/1's irregular clocking,
+E0's combiner memory) exist precisely to push linear complexity far above
+the total register length.  The library's cipher tests use this module to
+demonstrate that property quantitatively.
+
+Conventions
+-----------
+The synthesized recurrence is ``s[n] = sum_{i=1..L} c_i * s[n-i]`` over
+GF(2); the *connection polynomial* is ``C(x) = 1 + c_1 x + ... + c_L x^L``.
+For a Fibonacci LFSR built from a degree-k generator ``g`` (as in
+:class:`repro.lfsr.FibonacciLFSR`), a full-complexity output sequence
+yields ``C = reciprocal(g)`` normalized to ``C(0) = 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.gf2.polynomial import GF2Polynomial
+
+
+@dataclass(frozen=True)
+class LFSRSynthesis:
+    """Result of Berlekamp–Massey: connection polynomial and complexity."""
+
+    connection: GF2Polynomial  # C(x), C(0) = 1
+    linear_complexity: int
+
+    def feedback_taps(self) -> List[int]:
+        """The recurrence lags: i with c_i = 1 (1 <= i <= L)."""
+        return [
+            i
+            for i in range(1, self.linear_complexity + 1)
+            if self.connection.coefficient(i)
+        ]
+
+    def generator(self) -> GF2Polynomial:
+        """The monic degree-L generator polynomial ``x^L * C(1/x)``.
+
+        For a maximal-complexity m-sequence this recovers the LFSR's
+        generator (up to the reciprocal convention noted above).
+        """
+        L = self.linear_complexity
+        value = 0
+        for i in range(L + 1):
+            if self.connection.coefficient(i):
+                value |= 1 << (L - i)
+        return GF2Polynomial(value)
+
+    def predict(self, history: Sequence[int], count: int) -> List[int]:
+        """Extend a sequence by ``count`` bits using the recurrence.
+
+        ``history`` must contain at least ``linear_complexity`` bits.
+        """
+        L = self.linear_complexity
+        if L == 0:
+            return [0] * count
+        if len(history) < L:
+            raise ValueError(f"need at least {L} history bits")
+        window = [b & 1 for b in history]
+        out: List[int] = []
+        for _ in range(count):
+            nxt = 0
+            for i in self.feedback_taps():
+                nxt ^= window[-i]
+            window.append(nxt)
+            out.append(nxt)
+        return out
+
+
+def berlekamp_massey(sequence: Sequence[int]) -> LFSRSynthesis:
+    """Synthesize the shortest LFSR generating ``sequence``.
+
+    Runs in O(N^2) bit operations — fine for the keystream lengths used in
+    analysis (a few thousand bits).
+    """
+    s = [b & 1 for b in sequence]
+    n = len(s)
+    # C and B as coefficient ints (bit i = coeff of x^i).
+    c, b = 1, 1
+    L, m = 0, -1
+    for i in range(n):
+        # Discrepancy: s[i] + sum_{j=1..L} c_j s[i-j].
+        d = s[i]
+        for j in range(1, L + 1):
+            if (c >> j) & 1:
+                d ^= s[i - j]
+        if d == 0:
+            continue
+        t = c
+        c ^= b << (i - m)
+        if 2 * L <= i:
+            L = i + 1 - L
+            m = i
+            b = t
+    return LFSRSynthesis(connection=GF2Polynomial(c), linear_complexity=L)
+
+
+def linear_complexity(sequence: Sequence[int]) -> int:
+    """Shorthand: just the complexity number."""
+    return berlekamp_massey(sequence).linear_complexity
+
+
+def linear_complexity_profile(sequence: Sequence[int]) -> List[int]:
+    """L_n for every prefix length n — the profile used in randomness
+    testing (a good keystream tracks n/2)."""
+    profile = []
+    s = [b & 1 for b in sequence]
+    c, b = 1, 1
+    L, m = 0, -1
+    for i in range(len(s)):
+        d = s[i]
+        for j in range(1, L + 1):
+            if (c >> j) & 1:
+                d ^= s[i - j]
+        if d:
+            t = c
+            c ^= b << (i - m)
+            if 2 * L <= i:
+                L = i + 1 - L
+                m = i
+                b = t
+        profile.append(L)
+    return profile

@@ -1,0 +1,59 @@
+"""Companion matrices for LFSR polynomials (paper §2).
+
+For a degree-k generator ``g(x) = x^k + g_{k-1} x^{k-1} + ... + g_1 x + g_0``
+the paper's companion matrix is::
+
+    A = [ 0 0 ... 0 g_0     ]
+        [ 1 0 ... 0 g_1     ]
+        [ 0 1 ... 0 g_2     ]
+        [ ...              ]
+        [ 0 0 ... 1 g_{k-1} ]
+
+i.e. a sub-diagonal of ones with the low-order generator coefficients in the
+last column.  One application of ``A`` is one clock of a Galois-configured
+LFSR whose state integer has ``x_{k-1}`` as its MSB — the classic MSB-first
+CRC shift.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gf2.matrix import GF2Matrix
+from repro.gf2.polynomial import GF2Polynomial
+
+
+def companion_matrix(poly: GF2Polynomial) -> GF2Matrix:
+    """The k×k companion matrix of a monic degree-k polynomial."""
+    k = poly.degree
+    if k < 1:
+        raise ValueError("polynomial must have degree >= 1")
+    a = np.zeros((k, k), dtype=np.uint8)
+    for i in range(1, k):
+        a[i, i - 1] = 1
+    for i in range(k):
+        a[i, k - 1] = poly.coefficient(i)
+    return GF2Matrix(a)
+
+
+def companion_taps(poly: GF2Polynomial) -> np.ndarray:
+    """The feedback column ``g = [g_0 ... g_{k-1}]^T`` as a vector.
+
+    This is both the last column of the companion matrix and the paper's
+    input vector ``b`` for the CRC system.
+    """
+    k = poly.degree
+    return np.array([poly.coefficient(i) for i in range(k)], dtype=np.uint8)
+
+
+def poly_from_companion(matrix: GF2Matrix) -> GF2Polynomial:
+    """Recover the monic polynomial from a companion matrix."""
+    if not matrix.is_companion():
+        raise ValueError("matrix is not in companion form")
+    k = matrix.nrows
+    value = 1 << k
+    last = matrix.column(k - 1)
+    for i in range(k):
+        if last[i]:
+            value |= 1 << i
+    return GF2Polynomial(value)

@@ -1,0 +1,131 @@
+"""Sequence statistics: correlation and Golomb's randomness postulates.
+
+The paper motivates scrambling/spreading with the "statistical properties"
+of LFSR sequences (§1).  This module makes those properties measurable:
+
+* **periodic autocorrelation** — for a maximal-length (m-)sequence of
+  period N the normalized autocorrelation is two-valued: 1 at zero shift,
+  −1/N at every other shift — the property that makes PN sequences usable
+  as spreading codes and for synchronization;
+* **cross-correlation** — between different sequences (or different phases
+  of the same family), bounding multi-user interference;
+* **Golomb's postulates** — balance, run-length distribution and the
+  two-valued autocorrelation, checked exactly.
+
+All functions take plain 0/1 bit sequences (one full period for the
+periodic measures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+
+def _to_pm1(bits: Sequence[int]) -> List[int]:
+    return [1 - 2 * (b & 1) for b in bits]  # 0 -> +1, 1 -> -1
+
+
+def periodic_autocorrelation(bits: Sequence[int], shift: int) -> float:
+    """Normalized periodic autocorrelation at the given shift."""
+    n = len(bits)
+    if n == 0:
+        raise ValueError("empty sequence")
+    s = _to_pm1(bits)
+    shift %= n
+    total = sum(s[i] * s[(i + shift) % n] for i in range(n))
+    return total / n
+
+
+def autocorrelation_profile(bits: Sequence[int]) -> List[float]:
+    """Autocorrelation at every shift 0..N-1."""
+    return [periodic_autocorrelation(bits, k) for k in range(len(bits))]
+
+
+def periodic_cross_correlation(a: Sequence[int], b: Sequence[int], shift: int) -> float:
+    """Normalized periodic cross-correlation of equal-length sequences."""
+    if len(a) != len(b):
+        raise ValueError("sequences must have equal length")
+    n = len(a)
+    if n == 0:
+        raise ValueError("empty sequences")
+    sa, sb = _to_pm1(a), _to_pm1(b)
+    shift %= n
+    return sum(sa[i] * sb[(i + shift) % n] for i in range(n)) / n
+
+
+def run_lengths(bits: Sequence[int]) -> Dict[int, int]:
+    """Cyclic run-length histogram {length: count} over one period."""
+    n = len(bits)
+    if n == 0:
+        raise ValueError("empty sequence")
+    if all(b == bits[0] for b in bits):
+        return {n: 1}
+    # Rotate so the sequence starts at a run boundary.
+    start = next(i for i in range(n) if bits[i] != bits[i - 1])
+    rotated = [bits[(start + i) % n] for i in range(n)]
+    hist: Dict[int, int] = {}
+    current = rotated[0]
+    length = 0
+    for b in rotated:
+        if b == current:
+            length += 1
+        else:
+            hist[length] = hist.get(length, 0) + 1
+            current = b
+            length = 1
+    hist[length] = hist.get(length, 0) + 1
+    return hist
+
+
+@dataclass(frozen=True)
+class GolombReport:
+    """Outcome of checking Golomb's three postulates on one period."""
+
+    balanced: bool  # G1: |#ones - #zeros| <= 1
+    run_distribution_ok: bool  # G2: half the runs length 1, quarter length 2, ...
+    two_valued_autocorrelation: bool  # G3
+    ones: int
+    zeros: int
+    total_runs: int
+
+    @property
+    def is_pseudo_noise(self) -> bool:
+        return self.balanced and self.run_distribution_ok and self.two_valued_autocorrelation
+
+
+def golomb_check(bits: Sequence[int]) -> GolombReport:
+    """Exact check of Golomb's postulates over one full period."""
+    n = len(bits)
+    if n < 3:
+        raise ValueError("need at least one period of length >= 3")
+    ones = sum(b & 1 for b in bits)
+    zeros = n - ones
+    balanced = abs(ones - zeros) <= 1
+
+    hist = run_lengths(bits)
+    total_runs = sum(hist.values())
+    # G2: for each length l (while counts allow), runs of length l are
+    # about half the runs of length l-1.
+    run_ok = True
+    expected = total_runs / 2
+    length = 1
+    while expected >= 1:
+        count = hist.get(length, 0)
+        if abs(count - expected) > 1:
+            run_ok = False
+            break
+        length += 1
+        expected /= 2
+
+    off_peak = {round(periodic_autocorrelation(bits, k), 9) for k in range(1, n)}
+    two_valued = len(off_peak) == 1
+
+    return GolombReport(
+        balanced=balanced,
+        run_distribution_ok=run_ok,
+        two_valued_autocorrelation=two_valued,
+        ones=ones,
+        zeros=zeros,
+        total_runs=total_runs,
+    )

@@ -1,0 +1,61 @@
+"""LFSR jump-ahead: advance a register N steps in O(log N) field ops.
+
+Since one Galois-LFSR clock multiplies the state polynomial by x modulo
+the generator, N clocks multiply by ``x^N mod g`` — one carry-less
+modular exponentiation plus one modular multiply, regardless of N.  Used
+for scrambler seek (jump to the middle of a burst), keystream slicing
+across parallel workers, and the interleaved-CRC init correction.
+
+This is the *polynomial-domain* twin of the matrix-domain look-ahead
+(``A^N`` acting on the state vector); the tests confirm the two agree.
+"""
+
+from __future__ import annotations
+
+from repro.gf2.clmul import clmulmod, clpowmod
+from repro.gf2.polynomial import GF2Polynomial
+from repro.lfsr.reference import GaloisLFSR
+
+
+def jump_state(poly: GF2Polynomial, state: int, steps: int) -> int:
+    """The register contents after ``steps`` autonomous clocks."""
+    if steps < 0:
+        raise ValueError("cannot jump backwards; use jump_back")
+    if state >> poly.degree:
+        raise ValueError(f"state {state:#x} wider than degree {poly.degree}")
+    g = poly.coeffs
+    return clmulmod(state, clpowmod(2, steps, g), g)
+
+
+def jump_back(poly: GF2Polynomial, state: int, steps: int) -> int:
+    """Rewind ``steps`` clocks (needs an invertible register, i.e. a
+    generator with a non-zero constant term)."""
+    if steps < 0:
+        raise ValueError("steps must be >= 0")
+    if not poly.coefficient(0):
+        raise ValueError("x divides the generator; the LFSR is not reversible")
+    order = _order_cache(poly)
+    return jump_state(poly, state, (-steps) % order)
+
+
+_ORDER_CACHE = {}
+
+
+def _order_cache(poly: GF2Polynomial) -> int:
+    key = poly.coeffs
+    if key not in _ORDER_CACHE:
+        from repro.gf2.factor import polynomial_order
+
+        _ORDER_CACHE[key] = polynomial_order(poly)
+    return _ORDER_CACHE[key]
+
+
+def lfsr_at(poly: GF2Polynomial, seed: int, position: int) -> GaloisLFSR:
+    """A Galois LFSR pre-advanced to an absolute stream position."""
+    return GaloisLFSR(poly, jump_state(poly, seed, position))
+
+
+def keystream_slice(poly: GF2Polynomial, seed: int, start: int, length: int):
+    """Bits [start, start+length) of the keystream, without generating the
+    prefix — the parallel-worker decomposition."""
+    return lfsr_at(poly, seed, start).keystream(length)

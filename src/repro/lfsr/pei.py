@@ -1,0 +1,66 @@
+"""Pei–Zukowski direct look-ahead baseline (paper §2, method [6]).
+
+Pei & Zukowski parallelize the CRC by exponentiating the companion matrix
+and implementing ``A^M`` directly inside the feedback loop.  The loop logic
+then contains a dense XOR network whose depth grows with M; the paper cites
+a resulting speed-up bound of ~0.5·M for 32-bit CRCs.
+
+This module provides the functional engine (identical results to the plain
+look-ahead — it *is* the plain look-ahead) plus the loop-complexity metrics
+used by the Fig. 6 "M/2 theory" curve and the mapper ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, log2
+from typing import Sequence
+
+import numpy as np
+
+from repro.gf2.matrix import GF2Matrix
+from repro.lfsr.lookahead import LookaheadSystem, expand_lookahead
+from repro.lfsr.statespace import LFSRStateSpace
+
+
+@dataclass(frozen=True)
+class PeiLookahead:
+    """Direct (untransformed) M-level look-ahead CRC engine."""
+
+    lookahead: LookaheadSystem
+
+    @property
+    def M(self) -> int:
+        return self.lookahead.M
+
+    def run(self, state: np.ndarray, bits: Sequence[int]) -> np.ndarray:
+        return self.lookahead.run(state, bits)
+
+    # ------------------------------------------------------------------
+    def loop_fanin(self) -> int:
+        """Worst-case XOR fan-in inside the feedback loop.
+
+        Each next-state bit XORs the taps of one row of ``A^M`` (state
+        feedback) and one row of ``B_M`` (input injection); the loop-timing
+        path is set by the state-feedback row plus one input term.
+        """
+        a_rows = self.lookahead.A_M.to_array().sum(axis=1)
+        b_rows = self.lookahead.B_M.to_array().sum(axis=1)
+        return int((a_rows + np.minimum(b_rows, 1)).max())
+
+    def loop_depth_xor2(self) -> int:
+        """Depth of the loop in 2-input XOR levels (balanced tree)."""
+        fanin = self.loop_fanin()
+        return max(1, ceil(log2(max(fanin, 2))))
+
+
+def pei_lookahead(base: LFSRStateSpace, M: int) -> PeiLookahead:
+    return PeiLookahead(lookahead=expand_lookahead(base, M))
+
+
+def pei_speedup_bound(M: int) -> float:
+    """The paper's cited bound: optimized A^M exponentiation limits the
+    achievable speed-up over the serial circuit to ~0.5·M."""
+    if M < 1:
+        raise ValueError("M must be >= 1")
+    return 0.5 * M

@@ -1,0 +1,162 @@
+"""Bit-serial reference LFSRs (Fibonacci and Galois configurations).
+
+These are the plain shift-register implementations every other engine in the
+library is validated against.  They are deliberately naive — one bit per
+call, integer state — because their correctness is self-evident.
+
+Conventions match :mod:`repro.lfsr.companion`: the register integer holds
+state bit ``x_i`` in bit position *i*, the feedback tap is ``x_{k-1}``
+(the MSB), and the generator polynomial is
+``g(x) = x^k + g_{k-1} x^{k-1} + ... + g_0``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.gf2.polynomial import GF2Polynomial
+
+
+class GaloisLFSR:
+    """Galois (one-to-many) configuration.
+
+    Each clock shifts left by one and, when the feedback bit is set, XORs
+    the low-order generator coefficients into the register.  This is the
+    exact integer-register equivalent of applying the paper's companion
+    matrix ``A``; with an input bit XORed into the feedback it is the
+    serial CRC step.
+    """
+
+    def __init__(self, poly: GF2Polynomial, state: int = 0):
+        if poly.degree < 1:
+            raise ValueError("polynomial degree must be >= 1")
+        self._poly = poly
+        self._k = poly.degree
+        self._mask = (1 << self._k) - 1
+        self._taps = poly.coeffs & self._mask  # g_0 .. g_{k-1}
+        self.state = state
+
+    @property
+    def poly(self) -> GF2Polynomial:
+        return self._poly
+
+    @property
+    def width(self) -> int:
+        return self._k
+
+    @property
+    def state(self) -> int:
+        return self._state
+
+    @state.setter
+    def state(self, value: int) -> None:
+        if value >> self._k:
+            raise ValueError(f"state {value:#x} wider than {self._k} bits")
+        self._state = value
+
+    def clock(self, u: int = 0) -> int:
+        """One serial step with optional input bit; returns the feedback bit."""
+        fb = ((self._state >> (self._k - 1)) & 1) ^ (u & 1)
+        self._state = ((self._state << 1) & self._mask) ^ (self._taps if fb else 0)
+        return fb
+
+    def keystream(self, nbits: int) -> List[int]:
+        """Autonomous output bits (the feedback tap ``x_{k-1}``)."""
+        out = []
+        for _ in range(nbits):
+            out.append((self._state >> (self._k - 1)) & 1)
+            self.clock(0)
+        return out
+
+    def iter_states(self, steps: int) -> Iterator[int]:
+        for _ in range(steps):
+            yield self._state
+            self.clock(0)
+
+    def period(self, limit: int = 1 << 24) -> int:
+        """Cycle length from the current (non-zero) state."""
+        if self._state == 0:
+            raise ValueError("zero state never leaves the origin")
+        start = self._state
+        probe = GaloisLFSR(self._poly, start)
+        count = 0
+        while True:
+            probe.clock(0)
+            count += 1
+            if probe.state == start:
+                return count
+            if count > limit:
+                raise ArithmeticError("period search exceeded limit")
+
+
+class FibonacciLFSR:
+    """Fibonacci (many-to-one) configuration.
+
+    The new bit entering the register is the XOR of the tapped positions.
+    For the same polynomial it produces the same output sequence as the
+    Galois form (up to a state relabeling), which the test-suite checks.
+
+    Here the register shifts toward the MSB: the freshly computed feedback
+    bit enters at position 0 and the output bit leaves from position k-1.
+    Tap exponent ``t`` (from the polynomial) reads register bit ``k - t``
+    for t in 1..k.
+    """
+
+    def __init__(self, poly: GF2Polynomial, state: int = 0):
+        if poly.degree < 1:
+            raise ValueError("polynomial degree must be >= 1")
+        if not poly.coefficient(0):
+            raise ValueError("Fibonacci form needs a non-zero constant term")
+        self._poly = poly
+        self._k = poly.degree
+        self._mask = (1 << self._k) - 1
+        # Register bit j holds the sequence bit produced j+1 clocks ago, so
+        # the recurrence a(n) = sum_t g_t a(n-t) reads position t-1 for each
+        # tap exponent t (the mandatory x^k term reads position k-1, which
+        # keeps the state update invertible).
+        self._tap_positions = [t - 1 for t in range(1, self._k + 1) if t == self._k or poly.coefficient(t)]
+        self.state = state
+
+    @property
+    def poly(self) -> GF2Polynomial:
+        return self._poly
+
+    @property
+    def width(self) -> int:
+        return self._k
+
+    @property
+    def state(self) -> int:
+        return self._state
+
+    @state.setter
+    def state(self, value: int) -> None:
+        if value >> self._k:
+            raise ValueError(f"state {value:#x} wider than {self._k} bits")
+        self._state = value
+
+    def clock(self) -> int:
+        """One autonomous step; returns the output bit (position k-1)."""
+        out = (self._state >> (self._k - 1)) & 1
+        fb = 0
+        for pos in self._tap_positions:
+            fb ^= (self._state >> pos) & 1
+        self._state = ((self._state << 1) & self._mask) | fb
+        return out
+
+    def keystream(self, nbits: int) -> List[int]:
+        return [self.clock() for _ in range(nbits)]
+
+    def period(self, limit: int = 1 << 24) -> int:
+        if self._state == 0:
+            raise ValueError("zero state never leaves the origin")
+        start = self._state
+        probe = FibonacciLFSR(self._poly, start)
+        count = 0
+        while True:
+            probe.clock()
+            count += 1
+            if probe.state == start:
+                return count
+            if count > limit:
+                raise ArithmeticError("period search exceeded limit")

@@ -1,0 +1,140 @@
+"""The unified LFSR state-space model (paper §2, Fig. 1).
+
+The paper expresses both the CRC and the scrambler as one linear system over
+GF(2)::
+
+    x(n+1) = A x(n) + b u(n)
+    y(n)   = C x(n) + d u(n)
+
+* CRC:       ``b = g`` (the generator taps), ``C = I``, ``d = 0`` — input
+  bits are folded into the feedback; the checksum is the final state.
+* Scrambler: ``b = 0`` (autonomous register), ``C`` selects a state bit,
+  ``d = [1]`` — the output correlates the keystream bit with the input.
+
+:class:`LFSRStateSpace` holds (A, b, C, d) and provides serial stepping and
+simulation; the look-ahead and Derby machinery operate on these objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.gf2.bits import bits_to_int, int_to_bits
+from repro.gf2.matrix import GF2Matrix
+from repro.gf2.polynomial import GF2Polynomial
+from repro.lfsr.companion import companion_matrix, companion_taps
+
+
+@dataclass(frozen=True)
+class LFSRStateSpace:
+    """The quadruple (A, b, C, d) of the paper's generic LFSR application.
+
+    ``A`` is k×k, ``b`` length-k, ``C`` is p×k (p output bits per step,
+    usually 1 or k), ``d`` length-p.
+    """
+
+    A: GF2Matrix
+    b: np.ndarray
+    C: GF2Matrix
+    d: np.ndarray
+    poly: Optional[GF2Polynomial] = None
+
+    def __post_init__(self):
+        k = self.A.nrows
+        if not self.A.is_square():
+            raise ValueError("A must be square")
+        if self.b.shape != (k,):
+            raise ValueError(f"b must have shape ({k},)")
+        if self.C.ncols != k:
+            raise ValueError(f"C must have {k} columns")
+        if self.d.shape != (self.C.nrows,):
+            raise ValueError(f"d must have shape ({self.C.nrows},)")
+
+    # ------------------------------------------------------------------
+    @property
+    def order(self) -> int:
+        """State dimension k (degree of the generator polynomial)."""
+        return self.A.nrows
+
+    @property
+    def output_width(self) -> int:
+        return self.C.nrows
+
+    # ------------------------------------------------------------------
+    def step(self, state: np.ndarray, u: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+        """One serial clock: returns ``(next_state, output_bits)``."""
+        state = np.asarray(state, dtype=np.uint8)
+        y = (self.C @ state) ^ (self.d * (u & 1))
+        nxt = (self.A @ state) ^ (self.b * (u & 1))
+        return nxt.astype(np.uint8), y.astype(np.uint8)
+
+    def simulate(
+        self, state: np.ndarray, inputs: Sequence[int]
+    ) -> Tuple[np.ndarray, List[np.ndarray]]:
+        """Run the serial recurrence over an input bit sequence.
+
+        Returns the final state and the per-step output vectors.
+        """
+        outputs: List[np.ndarray] = []
+        s = np.asarray(state, dtype=np.uint8)
+        for u in inputs:
+            s, y = self.step(s, u)
+            outputs.append(y)
+        return s, outputs
+
+    def run_autonomous(self, state: np.ndarray, steps: int) -> Tuple[np.ndarray, List[np.ndarray]]:
+        """Clock the register ``steps`` times with u = 0 (keystream mode)."""
+        return self.simulate(state, [0] * steps)
+
+    # ------------------------------------------------------------------
+    def state_from_int(self, value: int) -> np.ndarray:
+        """Unpack a register integer into a state vector (bit i -> x_i)."""
+        return np.array(int_to_bits(value, self.order), dtype=np.uint8)
+
+    def state_to_int(self, state: np.ndarray) -> int:
+        return bits_to_int([int(v) for v in state])
+
+
+def crc_statespace(poly: GF2Polynomial) -> LFSRStateSpace:
+    """CRC system: ``x(n+1) = A x(n) + g u(n)``, ``y(n) = x(n)``.
+
+    One :meth:`LFSRStateSpace.step` is the textbook MSB-first CRC update
+    ``fb = msb ^ u; reg = (reg << 1) ^ (fb ? poly : 0)`` on the state
+    integer.
+    """
+    A = companion_matrix(poly)
+    b = companion_taps(poly)
+    k = poly.degree
+    return LFSRStateSpace(
+        A=A,
+        b=b,
+        C=GF2Matrix.identity(k),
+        d=np.zeros(k, dtype=np.uint8),
+        poly=poly,
+    )
+
+
+def scrambler_statespace(poly: GF2Polynomial, output_tap: Optional[int] = None) -> LFSRStateSpace:
+    """Additive scrambler system: autonomous register, 1-bit output.
+
+    ``y(n) = x_tap(n) + u(n)`` — the keystream bit XORed with the data bit.
+    By default the tap is ``k-1`` (the bit that feeds the LFSR feedback),
+    matching the single-1 diagonal selection described in the paper.
+    """
+    A = companion_matrix(poly)
+    k = poly.degree
+    tap = (k - 1) if output_tap is None else output_tap
+    if not 0 <= tap < k:
+        raise ValueError(f"output tap {tap} out of range for degree {k}")
+    c = np.zeros((1, k), dtype=np.uint8)
+    c[0, tap] = 1
+    return LFSRStateSpace(
+        A=A,
+        b=np.zeros(k, dtype=np.uint8),
+        C=GF2Matrix(c),
+        d=np.ones(1, dtype=np.uint8),
+        poly=poly,
+    )

@@ -1,0 +1,60 @@
+"""Matrix-to-PiCoGA mapping toolchain (the paper's §4 design flow).
+
+* :mod:`repro.mapping.xor_network` — parity equations from GF(2) matrices;
+* :mod:`repro.mapping.cse` — 10-bit common-pattern sharing across rows;
+* :mod:`repro.mapping.packing` — fan-in-10 cell packing with single-cell
+  feedback loops for companion-form updates;
+* :mod:`repro.mapping.mapper` — :func:`map_crc` (Derby or direct method)
+  and :func:`map_scrambler`, producing executable PGAOP netlists;
+* :mod:`repro.mapping.explorer` — the M-sweep / feasibility study and the
+  f-vector sensitivity ablation.
+"""
+
+from repro.mapping.cse import CSEResult, extract_common_patterns, no_cse
+from repro.mapping.explorer import DEFAULT_SWEEP, DesignPoint, DesignSpaceExplorer
+from repro.mapping.mapper import (
+    MappedCRC,
+    MappedScrambler,
+    MappingReport,
+    map_crc,
+    map_scrambler,
+)
+from repro.mapping.packing import PackedNetlist, pack_equations
+from repro.mapping.verify import (
+    VerificationResult,
+    verify_exhaustive,
+    verify_linear_basis,
+    verify_mapped_crc,
+    verify_random,
+)
+from repro.mapping.xor_network import (
+    XorEquation,
+    equations_from_matrix,
+    recurrence_equations,
+    total_xor_taps,
+)
+
+__all__ = [
+    "CSEResult",
+    "DEFAULT_SWEEP",
+    "DesignPoint",
+    "DesignSpaceExplorer",
+    "MappedCRC",
+    "MappedScrambler",
+    "MappingReport",
+    "PackedNetlist",
+    "VerificationResult",
+    "verify_exhaustive",
+    "verify_linear_basis",
+    "verify_mapped_crc",
+    "verify_random",
+    "XorEquation",
+    "equations_from_matrix",
+    "extract_common_patterns",
+    "map_crc",
+    "map_scrambler",
+    "no_cse",
+    "pack_equations",
+    "recurrence_equations",
+    "total_xor_taps",
+]

@@ -1,0 +1,134 @@
+"""Common-pattern extraction across XOR equations (paper §4).
+
+The authors' design flow "maps the required matrices on 10-bit XORs, by an
+algorithm that reduces the number of required XORs detecting 10-bit common
+patterns among the rows of B_Mt and T".  This module reproduces that step:
+
+1. :func:`extract_common_patterns` — repeatedly find the leaf subset
+   (width 2..``max_width``) shared by the most equations, replace every
+   occurrence with a fresh intermediate net, and record its definition.
+   Candidate patterns are generated from pairwise row intersections, which
+   is where multi-leaf sharing actually lives for these matrices.
+2. A final greedy *pairwise* pass mops up remaining 2-leaf sharings.
+
+The result is a DAG: intermediate definitions (pure XOR of existing nets)
+plus rewritten equations, ready for fan-in-limited cell packing.  Sharing
+is restricted to non-STATE leaves by default so the feedback loop of a
+Derby-mapped update never deepens (state taps stay at the final level).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from repro.mapping.xor_network import XorEquation
+from repro.picoga.cell import Net, NetKind
+
+#: Virtual net kind index space for CSE intermediates: they are emitted as
+#: CELL nets later; during optimization we track them as ("shared", id).
+Pattern = FrozenSet[Net]
+
+
+@dataclass
+class SharedTerm:
+    """One extracted pattern: the new net and its operand set."""
+
+    net: Net
+    operands: Pattern
+
+
+@dataclass
+class CSEResult:
+    """Rewritten equations plus the intermediate DAG and statistics."""
+
+    equations: List[XorEquation]
+    shared: List[SharedTerm]
+    taps_before: int
+    taps_after: int
+
+    @property
+    def savings(self) -> int:
+        return self.taps_before - self.taps_after
+
+    def total_taps(self) -> int:
+        return self.taps_after
+
+
+def _taps(equations: Sequence[XorEquation], shared: Sequence[SharedTerm]) -> int:
+    eq_taps = sum(max(len(e.leaves) - 1, 0) for e in equations)
+    sh_taps = sum(max(len(s.operands) - 1, 0) for s in shared)
+    return eq_taps + sh_taps
+
+
+def _shareable(leaves: FrozenSet[Net], share_state: bool) -> FrozenSet[Net]:
+    if share_state:
+        return leaves
+    return frozenset(n for n in leaves if n.kind is not NetKind.STATE)
+
+
+def extract_common_patterns(
+    equations: Sequence[XorEquation],
+    max_width: int = 10,
+    share_state: bool = False,
+    min_occurrences: int = 2,
+) -> CSEResult:
+    """Greedy shared-pattern extraction (see module docstring)."""
+    if max_width < 2:
+        raise ValueError("patterns need width >= 2")
+    work: List[Set[Net]] = [set(e.leaves) for e in equations]
+    shared: List[SharedTerm] = []
+    taps_before = sum(max(len(s) - 1, 0) for s in work)
+    next_id = 1_000_000  # private index space for shared intermediates
+
+    while True:
+        best: Tuple[int, Pattern] = (0, frozenset())
+        # Candidate patterns: pairwise intersections of the shareable parts.
+        candidates: Dict[Pattern, int] = {}
+        shareable = [_shareable(frozenset(s), share_state) for s in work]
+        for (i, a), (j, b) in combinations(enumerate(shareable), 2):
+            inter = a & b
+            if len(inter) < 2:
+                continue
+            if len(inter) > max_width:
+                inter = frozenset(sorted(inter, key=lambda n: (n.kind.value, n.index))[:max_width])
+            candidates[inter] = 0
+        if not candidates:
+            break
+        for pattern in candidates:
+            candidates[pattern] = sum(1 for s in shareable if pattern <= s)
+        for pattern, occurrences in candidates.items():
+            if occurrences < min_occurrences:
+                continue
+            saving = (len(pattern) - 1) * (occurrences - 1)
+            if saving > best[0]:
+                best = (saving, pattern)
+        if best[0] <= 0:
+            break
+        pattern = best[1]
+        new_net = Net(NetKind.CELL, next_id)
+        next_id += 1
+        shared.append(SharedTerm(net=new_net, operands=pattern))
+        for s in work:
+            if pattern <= s:
+                s -= pattern
+                s.add(new_net)
+
+    result_eqs = [
+        XorEquation(name=e.name, leaves=frozenset(s)) for e, s in zip(equations, work)
+    ]
+    return CSEResult(
+        equations=result_eqs,
+        shared=shared,
+        taps_before=taps_before,
+        taps_after=_taps(result_eqs, shared),
+    )
+
+
+def no_cse(equations: Sequence[XorEquation]) -> CSEResult:
+    """Identity pass — the ablation baseline."""
+    taps = sum(max(e.weight - 1, 0) for e in equations)
+    return CSEResult(
+        equations=list(equations), shared=[], taps_before=taps, taps_after=taps
+    )

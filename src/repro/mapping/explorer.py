@@ -1,0 +1,133 @@
+"""Design-space exploration over the look-ahead factor (paper §4).
+
+The authors "generated PiCoGA operations for different values of M, finding
+that PiCoGA is able to elaborate up to 128 bit per cycle".  The explorer
+automates that investigation: it sweeps M, compiles each point, checks
+array feasibility (rows, cells, I/O) and reports resources, II and kernel
+bandwidth, plus the empirical f-vector sensitivity study the paper
+describes (different choices of the transformation seed f barely change the
+complexity of T — they settled on f = e_0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.crc.spec import CRCSpec
+from repro.lfsr.statespace import crc_statespace
+from repro.lfsr.transform import TransformError, derby_transform
+from repro.mapping.mapper import MappedCRC, map_crc
+from repro.picoga.architecture import DREAM_PICOGA, PicogaArchitecture
+
+DEFAULT_SWEEP = (2, 4, 8, 16, 32, 64, 128, 256)
+
+
+@dataclass
+class DesignPoint:
+    """One (M, method) compilation outcome."""
+
+    M: int
+    method: str
+    feasible: bool
+    reason: str = ""
+    cells: int = 0
+    rows: int = 0
+    initiation_interval: int = 0
+    bits_per_cycle: float = 0.0
+    kernel_gbps: float = 0.0
+    mapped: Optional[MappedCRC] = None
+
+
+class DesignSpaceExplorer:
+    """Sweep look-ahead factors for a CRC on a given array."""
+
+    def __init__(self, spec: CRCSpec, arch: PicogaArchitecture = DREAM_PICOGA):
+        self.spec = spec
+        self.arch = arch
+
+    def evaluate(self, M: int, method: str = "derby", keep_mapping: bool = False) -> DesignPoint:
+        try:
+            mapped = map_crc(self.spec, M, method=method, arch=self.arch)
+        except ValueError as exc:
+            return DesignPoint(M=M, method=method, feasible=False, reason=str(exc))
+        report = mapped.report
+        total_cells = report.total_cells
+        if total_cells > self.arch.total_cells:
+            return DesignPoint(
+                M=M,
+                method=method,
+                feasible=False,
+                reason=f"{total_cells} cells exceed the {self.arch.total_cells}-cell array",
+                cells=total_cells,
+                rows=report.update_rows,
+                initiation_interval=report.update_ii,
+            )
+        ii = report.update_ii
+        bits_per_cycle = M / ii
+        return DesignPoint(
+            M=M,
+            method=method,
+            feasible=True,
+            cells=total_cells,
+            rows=report.update_rows,
+            initiation_interval=ii,
+            bits_per_cycle=bits_per_cycle,
+            kernel_gbps=bits_per_cycle * self.arch.clock_hz / 1e9,
+            mapped=mapped if keep_mapping else None,
+        )
+
+    def sweep(
+        self, factors: Sequence[int] = DEFAULT_SWEEP, method: str = "derby"
+    ) -> List[DesignPoint]:
+        return [self.evaluate(M, method=method) for M in factors]
+
+    def max_feasible_m(
+        self, factors: Sequence[int] = DEFAULT_SWEEP, method: str = "derby"
+    ) -> int:
+        best = 0
+        for point in self.sweep(factors, method=method):
+            if point.feasible:
+                best = max(best, point.M)
+        return best
+
+    # ------------------------------------------------------------------
+    def f_vector_study(self, M: int, candidates: int = 8) -> Dict[str, int]:
+        """Complexity of T for different transformation vectors f.
+
+        Returns {label: nnz(T) + nnz(B_Mt)} for each usable candidate —
+        the paper's empirical finding is that the spread is negligible,
+        justifying f = e_0.
+        """
+        ss = crc_statespace(self.spec.generator())
+        k = self.spec.width
+        results: Dict[str, int] = {}
+        tried = 0
+        # Unit vectors first.
+        for i in range(k):
+            if tried >= candidates:
+                break
+            f = np.zeros(k, dtype=np.uint8)
+            f[i] = 1
+            try:
+                dt = derby_transform(ss, M, f=f)
+            except TransformError:
+                continue
+            results[f"e{i}"] = dt.T.nnz() + dt.B_Mt.nnz()
+            tried += 1
+        rng = np.random.default_rng(0xF0)
+        attempts = 0
+        while tried < candidates and attempts < 10 * candidates:
+            attempts += 1
+            f = rng.integers(0, 2, size=k, dtype=np.uint8)
+            if not f.any():
+                continue
+            try:
+                dt = derby_transform(ss, M, f=f)
+            except TransformError:
+                continue
+            results[f"rand{tried}"] = dt.T.nnz() + dt.B_Mt.nnz()
+            tried += 1
+        return results

@@ -1,0 +1,318 @@
+"""The matrix-to-PiCoGA mapper (the paper's §4 design flow).
+
+Reproduces the authors' "Matlab program": starting from a CRC size and
+polynomial (or a scrambler spec) and a look-ahead factor M it
+
+1. generates all the necessary matrices (A^M, B_M, and the Derby-transformed
+   A_Mt, B_Mt, T);
+2. extracts the XOR equations and shares common 10-bit patterns
+   (:mod:`repro.mapping.cse`);
+3. packs them into fan-in-10 cells and emits :class:`PicogaOperation`
+   netlists.
+
+Two CRC mapping methods are offered, matching the paper's §2 alternatives:
+
+* ``"derby"`` — the selected approach: op1 updates the *transformed* state
+  with a companion-form (single-row, II = 1) loop; op2 applies the
+  anti-transformation ``T`` once per message (the configuration switch).
+* ``"direct"`` — the Pei-style single-operation mapping with ``A^M`` in
+  the loop; functional but with a deeper loop, hence II > 1 at large M —
+  the mapper ablation benches quantify exactly this trade.
+
+The scrambler mapping is a single operation: the Derby-transformed
+autonomous update keeps the loop in one row, while the output matrix
+(absorbing ``T``) and the data XOR are pure feed-forward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.crc.bitwise import BitwiseCRC
+from repro.crc.spec import CRCSpec
+from repro.gf2.matrix import GF2Matrix
+from repro.lfsr.lookahead import expand_lookahead, scrambler_output_matrix
+from repro.lfsr.statespace import crc_statespace, scrambler_statespace
+from repro.lfsr.transform import DerbyTransform, derby_transform
+from repro.mapping.cse import CSEResult, extract_common_patterns, no_cse
+from repro.mapping.packing import pack_equations
+from repro.mapping.xor_network import (
+    XorEquation,
+    equations_from_matrix,
+    recurrence_equations,
+)
+from repro.picoga.architecture import DREAM_PICOGA, PicogaArchitecture
+from repro.picoga.cell import Net, NetKind
+from repro.picoga.op import PicogaOperation
+from repro.scrambler.specs import ScramblerSpec
+
+
+def _stream_order_columns(matrix: GF2Matrix) -> GF2Matrix:
+    """Reverse columns: the paper's u_M is latest-bit-first, the op's input
+    ports carry the chunk in stream order (u(n) at input 0)."""
+    arr = matrix.to_array()[:, ::-1]
+    return GF2Matrix(arr.copy())
+
+
+@dataclass
+class MappingReport:
+    """What the mapper did, for the resource tables and ablations."""
+
+    method: str
+    M: int
+    taps_before_cse: int
+    taps_after_cse: int
+    shared_patterns: int
+    update_cells: int
+    update_rows: int
+    update_ii: int
+    output_cells: int = 0
+    output_rows: int = 0
+
+    @property
+    def cse_savings(self) -> int:
+        return self.taps_before_cse - self.taps_after_cse
+
+    @property
+    def total_cells(self) -> int:
+        return self.update_cells + self.output_cells
+
+
+@dataclass
+class MappedCRC:
+    """A CRC compiled onto PiCoGA: one or two operations plus metadata."""
+
+    spec: CRCSpec
+    M: int
+    method: str
+    update_op: PicogaOperation
+    output_op: Optional[PicogaOperation]
+    transform: Optional[DerbyTransform]
+    report: MappingReport
+
+    # ------------------------------------------------------------------
+    def initial_state_bits(self, register: Optional[int] = None) -> List[int]:
+        """The update-op state bits corresponding to a raw CRC register."""
+        reg = self.spec.init if register is None else register
+        ss = crc_statespace(self.spec.generator())
+        natural = ss.state_from_int(reg)
+        if self.transform is not None:
+            return [int(b) for b in self.transform.to_transformed(natural)]
+        return [int(b) for b in natural]
+
+    def register_from_state(self, state_bits: Sequence[int]) -> int:
+        """Recover the raw CRC register from update-op state bits, running
+        the anti-transformation netlist when the mapping is transformed."""
+        if self.output_op is not None:
+            outs, _ = self.output_op.evaluate([], list(state_bits))
+            bits = outs
+        else:
+            bits = list(state_bits)
+        value = 0
+        for i, bit in enumerate(bits):
+            value |= (bit & 1) << i
+        return value
+
+    # ------------------------------------------------------------------
+    def compute(self, data: bytes) -> int:
+        """Functional CRC through the compiled netlists (co-simulation)."""
+        spec = self.spec
+        bits = spec.message_bits(data)
+        full = len(bits) - (len(bits) % self.M)
+        state = self.initial_state_bits()
+        for off in range(0, full, self.M):
+            _, state = self.update_op.evaluate(state, bits[off : off + self.M])
+        register = self.register_from_state(state)
+        register = BitwiseCRC(spec).process_bits(register, bits[full:])
+        return spec.finalize(register)
+
+    def chunks_for(self, message_bits: int) -> int:
+        return message_bits // self.M
+
+
+def map_crc(
+    spec: CRCSpec,
+    M: int,
+    method: str = "derby",
+    arch: PicogaArchitecture = DREAM_PICOGA,
+    use_cse: bool = True,
+    f: Optional[np.ndarray] = None,
+) -> MappedCRC:
+    """Compile an M-bit-parallel CRC onto the array (see module docstring)."""
+    if method not in ("derby", "direct"):
+        raise ValueError("method must be 'derby' or 'direct'")
+    if M < 1:
+        raise ValueError("M must be >= 1")
+    ss = crc_statespace(spec.generator())
+    k = spec.width
+
+    if method == "derby":
+        dt = derby_transform(ss, M, f=f)
+        state_matrix, input_matrix = dt.A_Mt, _stream_order_columns(dt.B_Mt)
+        t_matrix: Optional[GF2Matrix] = dt.T
+        transform: Optional[DerbyTransform] = dt
+    else:
+        la = expand_lookahead(ss, M)
+        state_matrix, input_matrix = la.A_M, _stream_order_columns(la.B_M)
+        t_matrix = None
+        transform = None
+
+    update_eqs = recurrence_equations(state_matrix, input_matrix)
+    cse = extract_common_patterns(update_eqs, max_width=arch.xor_fanin) if use_cse else no_cse(update_eqs)
+    packed = pack_equations(cse, fanin=arch.xor_fanin)
+    outputs: List[Net] = [] if method == "derby" else list(packed.output_nets)
+    update_op = PicogaOperation(
+        name=f"crc{k}_update_M{M}_{method}",
+        n_inputs=M,
+        n_state=k,
+        cells=packed.cells,
+        outputs=outputs,
+        next_state=packed.output_nets,
+        arch=arch,
+    )
+
+    output_op = None
+    out_cells = out_rows = 0
+    out_taps_before = out_taps_after = 0
+    out_shared = 0
+    if t_matrix is not None:
+        t_eqs = equations_from_matrix(t_matrix, NetKind.INPUT, "y")
+        t_cse = extract_common_patterns(t_eqs, max_width=arch.xor_fanin) if use_cse else no_cse(t_eqs)
+        t_packed = pack_equations(t_cse, fanin=arch.xor_fanin)
+        output_op = PicogaOperation(
+            name=f"crc{k}_output_M{M}",
+            n_inputs=k,
+            n_state=0,
+            cells=t_packed.cells,
+            outputs=t_packed.output_nets,
+            next_state=[],
+            arch=arch,
+        )
+        out_cells, out_rows = output_op.n_cells, output_op.n_rows
+        out_taps_before, out_taps_after = t_cse.taps_before, t_cse.taps_after
+        out_shared = len(t_cse.shared)
+
+    report = MappingReport(
+        method=method,
+        M=M,
+        taps_before_cse=cse.taps_before + out_taps_before,
+        taps_after_cse=cse.taps_after + out_taps_after,
+        shared_patterns=len(cse.shared) + out_shared,
+        update_cells=update_op.n_cells,
+        update_rows=update_op.n_rows,
+        update_ii=update_op.initiation_interval,
+        output_cells=out_cells,
+        output_rows=out_rows,
+    )
+    return MappedCRC(
+        spec=spec,
+        M=M,
+        method=method,
+        update_op=update_op,
+        output_op=output_op,
+        transform=transform,
+        report=report,
+    )
+
+
+@dataclass
+class MappedScrambler:
+    """An additive scrambler compiled to a single PGAOP."""
+
+    spec: ScramblerSpec
+    M: int
+    transformed: bool
+    op: PicogaOperation
+    transform: Optional[DerbyTransform]
+    report: MappingReport
+
+    def initial_state_bits(self, seed: Optional[int] = None) -> List[int]:
+        ss = scrambler_statespace(self.spec.poly)
+        natural = ss.state_from_int(self.spec.seed if seed is None else seed)
+        if self.transform is not None:
+            return [int(b) for b in self.transform.to_transformed(natural)]
+        return [int(b) for b in natural]
+
+    def scramble_bits(self, bits: Sequence[int], seed: Optional[int] = None) -> List[int]:
+        """Functional block scrambling through the compiled netlist."""
+        state = self.initial_state_bits(seed)
+        out: List[int] = []
+        n = len(bits)
+        for off in range(0, n, self.M):
+            chunk = list(bits[off : off + self.M])
+            pad = self.M - len(chunk)
+            outs, state = self.op.evaluate(state, chunk + [0] * pad)
+            out.extend(outs[: len(chunk)])
+        return out
+
+
+def map_scrambler(
+    spec: ScramblerSpec,
+    M: int,
+    arch: PicogaArchitecture = DREAM_PICOGA,
+    use_transform: bool = True,
+    use_cse: bool = True,
+) -> MappedScrambler:
+    """Compile an M-bit additive scrambler (data in -> scrambled data out)."""
+    if M < 1:
+        raise ValueError("M must be >= 1")
+    ss = scrambler_statespace(spec.poly)
+    k = spec.degree
+    Y = scrambler_output_matrix(ss, M)  # M x k, natural basis
+    if use_transform:
+        dt = derby_transform(ss, M)
+        state_matrix = dt.A_Mt
+        out_matrix = Y @ dt.T  # absorb the anti-transformation
+        transform: Optional[DerbyTransform] = dt
+    else:
+        state_matrix = ss.A ** M
+        out_matrix = Y
+        transform = None
+
+    # State-update equations (loop) stay raw; only the feed-forward output
+    # bank goes through pattern sharing.
+    state_eqs = equations_from_matrix(state_matrix, NetKind.STATE, "x")
+    out_state_eqs = equations_from_matrix(out_matrix, NetKind.STATE, "ks")
+    out_eqs = [
+        XorEquation(name=f"y{j}", leaves=eq.leaves | {Net(NetKind.INPUT, j)})
+        for j, eq in enumerate(out_state_eqs)
+    ]
+    out_cse = (
+        extract_common_patterns(out_eqs, max_width=arch.xor_fanin, share_state=True)
+        if use_cse
+        else no_cse(out_eqs)
+    )
+    combined = CSEResult(
+        equations=list(out_cse.equations) + state_eqs,
+        shared=out_cse.shared,
+        taps_before=out_cse.taps_before + sum(max(e.weight - 1, 0) for e in state_eqs),
+        taps_after=out_cse.taps_after + sum(max(e.weight - 1, 0) for e in state_eqs),
+    )
+    packed = pack_equations(combined, fanin=arch.xor_fanin)
+    out_nets = packed.output_nets[: len(out_eqs)]
+    state_nets = packed.output_nets[len(out_eqs) :]
+    op = PicogaOperation(
+        name=f"scrambler{k}_M{M}" + ("_t" if use_transform else ""),
+        n_inputs=M,
+        n_state=k,
+        cells=packed.cells,
+        outputs=out_nets,
+        next_state=state_nets,
+        arch=arch,
+    )
+    report = MappingReport(
+        method="derby" if use_transform else "direct",
+        M=M,
+        taps_before_cse=combined.taps_before,
+        taps_after_cse=combined.taps_after,
+        shared_patterns=len(combined.shared),
+        update_cells=op.n_cells,
+        update_rows=op.n_rows,
+        update_ii=op.initiation_interval,
+    )
+    return MappedScrambler(
+        spec=spec, M=M, transformed=use_transform, op=op, transform=transform, report=report
+    )

@@ -1,0 +1,89 @@
+"""Symbolic XOR networks extracted from GF(2) matrices.
+
+A matrix-vector product over GF(2) is a bank of parity equations: output
+bit *i* XORs together the leaves selected by row *i*.  The mapper first
+expresses the block recurrence as such equations over two leaf kinds —
+``STATE`` (loop-carried register bits) and ``INPUT`` (message-chunk bits) —
+then optimizes and packs them onto PiCoGA cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from repro.gf2.matrix import GF2Matrix
+from repro.picoga.cell import Net, NetKind
+
+Leaves = FrozenSet[Net]
+
+
+@dataclass
+class XorEquation:
+    """One output bit as a parity of leaf nets."""
+
+    name: str
+    leaves: Leaves
+
+    @property
+    def weight(self) -> int:
+        return len(self.leaves)
+
+
+def equations_from_matrix(
+    matrix: GF2Matrix, leaf_kind: NetKind, name_prefix: str
+) -> List[XorEquation]:
+    """Row *i* of ``matrix`` -> equation over ``leaf_kind`` leaves."""
+    equations = []
+    arr = matrix.to_array()
+    for i in range(matrix.nrows):
+        leaves = frozenset(
+            Net(leaf_kind, j) for j in range(matrix.ncols) if arr[i, j]
+        )
+        equations.append(XorEquation(name=f"{name_prefix}{i}", leaves=leaves))
+    return equations
+
+
+def merge_equations(
+    a: Sequence[XorEquation], b: Sequence[XorEquation], name_prefix: str
+) -> List[XorEquation]:
+    """Pairwise union: output i = a_i XOR b_i (e.g. A·x plus B·u)."""
+    if len(a) != len(b):
+        raise ValueError("equation banks must have equal length")
+    return [
+        XorEquation(name=f"{name_prefix}{i}", leaves=ea.leaves | eb.leaves)
+        for i, (ea, eb) in enumerate(zip(a, b))
+    ]
+
+
+def recurrence_equations(
+    state_matrix: GF2Matrix, input_matrix: GF2Matrix, name_prefix: str = "x"
+) -> List[XorEquation]:
+    """Equations for ``x' = S x + B u`` with STATE and INPUT leaves."""
+    if state_matrix.nrows != input_matrix.nrows:
+        raise ValueError("state and input matrices must agree on row count")
+    state_eqs = equations_from_matrix(state_matrix, NetKind.STATE, "_s")
+    input_eqs = equations_from_matrix(input_matrix, NetKind.INPUT, "_u")
+    return merge_equations(state_eqs, input_eqs, name_prefix)
+
+
+def total_xor_taps(equations: Sequence[XorEquation]) -> int:
+    """Total 2-input XOR count before sharing: sum of (weight - 1)."""
+    return sum(max(eq.weight - 1, 0) for eq in equations)
+
+
+def split_by_kind(leaves: Leaves) -> Tuple[List[Net], List[Net]]:
+    """Partition leaves into (state, non-state) groups, sorted."""
+    state = sorted((n for n in leaves if n.kind is NetKind.STATE), key=lambda n: n.index)
+    other = sorted(
+        (n for n in leaves if n.kind is not NetKind.STATE),
+        key=lambda n: (n.kind.value, n.index),
+    )
+    return state, other
+
+
+def weight_histogram(equations: Sequence[XorEquation]) -> Dict[int, int]:
+    hist: Dict[int, int] = {}
+    for eq in equations:
+        hist[eq.weight] = hist.get(eq.weight, 0) + 1
+    return hist

@@ -1,0 +1,61 @@
+"""Functional + cycle-level simulator of the PiCoGA pipelined gate array.
+
+The paper's evaluation platform is proprietary silicon; this package models
+it at the level its results depend on (see DESIGN.md §2):
+
+* :mod:`repro.picoga.architecture` — the PiCoGA-III parameters (24×16
+  cells, 10-input XOR per cell, 12×32/4×32-bit I/O, 4 contexts, 200 MHz);
+* :mod:`repro.picoga.cell` / :mod:`repro.picoga.op` — netlist primitives
+  and compiled PGAOPs with level/loop (initiation-interval) analysis;
+* :mod:`repro.picoga.config` — the configuration cache (2-cycle switch);
+* :mod:`repro.picoga.array` — the executor with per-cause cycle ledger.
+"""
+
+from repro.picoga.activity import ActivityMonitor, ActivityReport, measure_crc_activity
+from repro.picoga.architecture import DREAM_PICOGA, PicogaArchitecture
+from repro.picoga.array import CycleLedger, PicogaArray
+from repro.picoga.cell import Cell, CellKind, Net, NetKind, lut_cell, xor_cell
+from repro.picoga.config import BUS_LOAD_CYCLES, ConfigCache
+from repro.picoga.op import OperationStats, PicogaOperation
+from repro.picoga.report import RowOccupancy, config_size_bytes, describe, placement, utilization
+from repro.picoga.serialize import dumps as op_dumps
+from repro.picoga.serialize import loads as op_loads
+from repro.picoga.serialize import operation_from_dict, operation_to_dict
+from repro.picoga.routing import RoutingReport, estimate_routing
+from repro.picoga.trace import PipelineTrace, trace_burst
+from repro.picoga.vcd import VcdWriter, dump_burst_vcd
+
+__all__ = [
+    "ActivityMonitor",
+    "ActivityReport",
+    "BUS_LOAD_CYCLES",
+    "Cell",
+    "CellKind",
+    "ConfigCache",
+    "CycleLedger",
+    "DREAM_PICOGA",
+    "Net",
+    "NetKind",
+    "OperationStats",
+    "PicogaArchitecture",
+    "PicogaArray",
+    "PicogaOperation",
+    "RowOccupancy",
+    "config_size_bytes",
+    "describe",
+    "lut_cell",
+    "measure_crc_activity",
+    "op_dumps",
+    "op_loads",
+    "operation_from_dict",
+    "operation_to_dict",
+    "PipelineTrace",
+    "RoutingReport",
+    "estimate_routing",
+    "placement",
+    "trace_burst",
+    "utilization",
+    "VcdWriter",
+    "dump_burst_vcd",
+    "xor_cell",
+]

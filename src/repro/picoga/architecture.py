@@ -1,0 +1,77 @@
+"""PiCoGA architecture parameters (paper §3).
+
+The numbers below model the PiCoGA-III instance embedded in the DREAM
+adaptive DSP:
+
+* a pipelined matrix of mixed-grain reconfigurable logic cells (RLCs),
+  each offering a 4-bit ALU and a 64-bit LUT; the paper's key primitive is
+  the **10-input XOR computable in a single cell**;
+* each array *row* is the unit of one pipeline stage, sequenced by a
+  dedicated programmable pipeline control unit;
+* 12 × 32-bit primary input ports and 4 × 32-bit output ports (enough for
+  the 128-bit look-ahead CRC: 128 input bits per cycle, 32-bit state out);
+* a 4-context configuration cache whose active layer swaps in 2 clock
+  cycles;
+* a fixed 200 MHz clock and ~11 mm² in ST 90 nm CMOS, with the DREAM-level
+  efficiency figures (≈2 GOPS/mm², ≈0.2 GOPS/mW) used by the energy model.
+
+All parameters live in one frozen dataclass so experiments can instantiate
+hypothetical arrays (bigger row counts, wider I/O) for ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PicogaArchitecture:
+    """Static parameters of one PiCoGA instance."""
+
+    rows: int = 24
+    cells_per_row: int = 16
+    xor_fanin: int = 10  # parity of up to 10 bits in one RLC
+    lut_inputs: int = 6  # 64-bit LUT = 2^6 single-bit configurations
+    input_ports: int = 12  # 32-bit words
+    output_ports: int = 4  # 32-bit words
+    port_width: int = 32
+    contexts: int = 4
+    context_switch_cycles: int = 2
+    clock_hz: float = 200e6
+    area_mm2: float = 11.0
+    technology: str = "ST CMOS 90nm"
+
+    def __post_init__(self):
+        for name in ("rows", "cells_per_row", "xor_fanin", "lut_inputs",
+                     "input_ports", "output_ports", "port_width", "contexts"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+        if self.context_switch_cycles < 0:
+            raise ValueError("context_switch_cycles must be >= 0")
+        if self.clock_hz <= 0:
+            raise ValueError("clock_hz must be positive")
+
+    # ------------------------------------------------------------------
+    @property
+    def total_cells(self) -> int:
+        return self.rows * self.cells_per_row
+
+    @property
+    def input_bits(self) -> int:
+        return self.input_ports * self.port_width
+
+    @property
+    def output_bits(self) -> int:
+        return self.output_ports * self.port_width
+
+    @property
+    def cycle_seconds(self) -> float:
+        return 1.0 / self.clock_hz
+
+    def peak_bandwidth_bps(self, bits_per_cycle: int) -> float:
+        """Bandwidth at one block per cycle (the paper's kernel numbers)."""
+        return bits_per_cycle * self.clock_hz
+
+
+#: The DREAM-integrated PiCoGA instance used throughout the reproduction.
+DREAM_PICOGA = PicogaArchitecture()

@@ -1,0 +1,162 @@
+"""The PiCoGA array executor: functional + cycle-level co-simulation.
+
+:class:`PicogaArray` executes resident :class:`PicogaOperation` netlists on
+real data while charging architecturally faithful cycle costs:
+
+* the first block of a burst pays the pipeline *fill* (one cycle per row);
+* subsequent blocks issue every ``initiation_interval`` cycles;
+* switching between cached operations costs 2 cycles **and drains the
+  pipeline** (the "pipeline break" of the paper's Fig. 4 discussion);
+* a :class:`CycleLedger` keeps an auditable breakdown that the DREAM
+  system model and the benchmark harness both consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.picoga.architecture import DREAM_PICOGA, PicogaArchitecture
+from repro.picoga.config import ConfigCache
+from repro.picoga.op import PicogaOperation
+
+
+@dataclass
+class CycleLedger:
+    """Cycle accounting, by cause."""
+
+    fill: int = 0
+    issue: int = 0
+    switch: int = 0
+    load: int = 0
+    control: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.fill + self.issue + self.switch + self.load + self.control
+
+    def __add__(self, other: "CycleLedger") -> "CycleLedger":
+        return CycleLedger(
+            fill=self.fill + other.fill,
+            issue=self.issue + other.issue,
+            switch=self.switch + other.switch,
+            load=self.load + other.load,
+            control=self.control + other.control,
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "fill": self.fill,
+            "issue": self.issue,
+            "switch": self.switch,
+            "load": self.load,
+            "control": self.control,
+            "total": self.total,
+        }
+
+
+class PicogaArray:
+    """One PiCoGA instance with its configuration cache and state registers."""
+
+    def __init__(self, arch: PicogaArchitecture = DREAM_PICOGA):
+        self.arch = arch
+        self.cache = ConfigCache(arch)
+        self.ledger = CycleLedger()
+        self._state: Dict[str, List[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def load_operation(self, op: PicogaOperation, slot: Optional[int] = None) -> None:
+        if op.arch is not self.arch and op.arch != self.arch:
+            raise ValueError("operation compiled for a different architecture")
+        self.ledger.load += self.cache.load(op, slot)
+        self._state.setdefault(op.name, [0] * op.n_state)
+
+    def set_state(self, op_name: str, state: Sequence[int]) -> None:
+        op = self._resident(op_name)
+        if len(state) != op.n_state:
+            raise ValueError(f"{op_name} holds {op.n_state} state bits")
+        self._state[op_name] = [b & 1 for b in state]
+
+    def get_state(self, op_name: str) -> List[int]:
+        self._resident(op_name)
+        return list(self._state[op_name])
+
+    def _resident(self, name: str) -> PicogaOperation:
+        slot = self.cache.slot_of(name)
+        if slot is None:
+            raise KeyError(f"operation {name!r} is not resident")
+        return self.cache._slots[slot]
+
+    def _activate(self, name: str) -> PicogaOperation:
+        cost = self.cache.activate(name)
+        self.ledger.switch += cost
+        return self.cache.active_op
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_burst(
+        self, op_name: str, blocks: Sequence[Sequence[int]]
+    ) -> List[List[int]]:
+        """Execute consecutive input blocks through one operation.
+
+        Charges fill once, then II cycles per block; returns the per-block
+        output bits.  The operation's loop state persists in the array
+        between calls (until :meth:`set_state` resets it).
+        """
+        op = self._activate(op_name)
+        outputs: List[List[int]] = []
+        if not blocks:
+            return outputs
+        self.ledger.fill += op.latency_cycles
+        state = self._state[op.name]
+        for block in blocks:
+            outs, nxt = op.evaluate(state, block)
+            if nxt:
+                state = nxt
+            outputs.append(outs)
+            self.ledger.issue += op.initiation_interval
+        self._state[op.name] = state
+        return outputs
+
+    def run_interleaved_burst(
+        self,
+        op_name: str,
+        slot_blocks: Sequence[Tuple[int, Sequence[int]]],
+        slot_states: Dict[int, List[int]],
+    ) -> List[Tuple[int, List[int]]]:
+        """Execute blocks tagged with message-slot ids (Kong–Parhi mode).
+
+        Each slot carries its own loop state (``slot_states`` is updated in
+        place).  Because consecutive blocks belong to different messages,
+        issue proceeds at one block per cycle even if the operation's own
+        loop is deeper — the hardware rationale for interleaving.
+        """
+        op = self._activate(op_name)
+        results: List[Tuple[int, List[int]]] = []
+        if not slot_blocks:
+            return results
+        self.ledger.fill += op.latency_cycles
+        for slot, block in slot_blocks:
+            state = slot_states[slot]
+            outs, nxt = op.evaluate(state, block)
+            if nxt:
+                slot_states[slot] = nxt
+            results.append((slot, outs))
+            self.ledger.issue += 1  # interleaving hides the loop latency
+        return results
+
+    def charge_control(self, cycles: int) -> None:
+        """RISC-side control overhead attributed to the array timeline."""
+        if cycles < 0:
+            raise ValueError("control cycles must be >= 0")
+        self.ledger.control += cycles
+
+    # ------------------------------------------------------------------
+    def elapsed_seconds(self) -> float:
+        return self.ledger.total * self.arch.cycle_seconds
+
+    def reset_ledger(self) -> None:
+        self.ledger = CycleLedger()

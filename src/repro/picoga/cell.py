@@ -1,0 +1,113 @@
+"""Reconfigurable logic cell (RLC) netlist primitives.
+
+A compiled PiCoGA operation is a DAG of single-output cells.  Nets are
+identified by :class:`Net` values with three source kinds:
+
+* ``INPUT`` — a primary-input bit (index into the operation's input word);
+* ``STATE`` — a loop-carried state register bit (previous block's value);
+* ``CELL``  — the output of another cell.
+
+Two cell kinds cover everything the LFSR mapping needs:
+
+* ``XOR`` — parity of up to ``xor_fanin`` inputs (the paper's 10-bit XOR,
+  one RLC);
+* ``LUT`` — arbitrary boolean function of up to ``lut_inputs`` bits, given
+  as a truth table (used for the non-linear helpers in the examples).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+
+class NetKind(enum.Enum):
+    INPUT = "input"
+    STATE = "state"
+    CELL = "cell"
+
+
+@dataclass(frozen=True)
+class Net:
+    """A single-bit signal reference."""
+
+    kind: NetKind
+    index: int
+
+    def __post_init__(self):
+        if self.index < 0:
+            raise ValueError("net index must be >= 0")
+
+    @classmethod
+    def input(cls, index: int) -> "Net":
+        return cls(NetKind.INPUT, index)
+
+    @classmethod
+    def state(cls, index: int) -> "Net":
+        return cls(NetKind.STATE, index)
+
+    @classmethod
+    def cell(cls, index: int) -> "Net":
+        return cls(NetKind.CELL, index)
+
+    def __repr__(self) -> str:
+        return f"{self.kind.value}[{self.index}]"
+
+
+class CellKind(enum.Enum):
+    XOR = "xor"
+    LUT = "lut"
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One RLC configuration: a single-output logic function."""
+
+    index: int
+    kind: CellKind
+    inputs: Tuple[Net, ...]
+    truth_table: Optional[int] = None  # LUT only: bit i = output for input pattern i
+
+    def __post_init__(self):
+        if self.index < 0:
+            raise ValueError("cell index must be >= 0")
+        if not self.inputs:
+            raise ValueError("a cell needs at least one input")
+        if self.kind is CellKind.LUT:
+            if self.truth_table is None:
+                raise ValueError("LUT cells need a truth table")
+            if self.truth_table >> (1 << len(self.inputs)):
+                raise ValueError("truth table wider than 2^inputs bits")
+        elif self.truth_table is not None:
+            raise ValueError("only LUT cells carry a truth table")
+
+    @property
+    def fanin(self) -> int:
+        return len(self.inputs)
+
+    def evaluate(self, input_values: Sequence[int]) -> int:
+        """Compute the cell output from its input bit values."""
+        if len(input_values) != len(self.inputs):
+            raise ValueError("input value count mismatch")
+        if self.kind is CellKind.XOR:
+            out = 0
+            for v in input_values:
+                out ^= v & 1
+            return out
+        pattern = 0
+        for i, v in enumerate(input_values):
+            pattern |= (v & 1) << i
+        return (self.truth_table >> pattern) & 1
+
+    def output_net(self) -> Net:
+        return Net.cell(self.index)
+
+
+def xor_cell(index: int, inputs: Sequence[Net]) -> Cell:
+    """Convenience constructor for the paper's 10-bit XOR primitive."""
+    return Cell(index=index, kind=CellKind.XOR, inputs=tuple(inputs))
+
+
+def lut_cell(index: int, inputs: Sequence[Net], truth_table: int) -> Cell:
+    return Cell(index=index, kind=CellKind.LUT, inputs=tuple(inputs), truth_table=truth_table)

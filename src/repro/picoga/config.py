@@ -1,0 +1,88 @@
+"""PiCoGA configuration-context cache (paper §3).
+
+PiCoGA keeps four configuration layers resident; swapping the active layer
+costs only 2 clock cycles, while loading a new configuration from the bus
+is far slower.  The paper's CRC uses two contexts (the state-update PGAOP
+and the anti-transformation PGAOP); the 2-cycle switch plus the pipeline
+break it causes is exactly the per-message overhead that Figs. 4/5 measure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.picoga.architecture import DREAM_PICOGA, PicogaArchitecture
+from repro.picoga.op import PicogaOperation
+
+#: Cycles to load one configuration layer from the system bus (not from
+#: the cache).  The paper's flows always run from the cache; this cost
+#: only appears when more operations than contexts are used.
+BUS_LOAD_CYCLES = 600
+
+
+class ConfigCache:
+    """The 4-context configuration store with switch/load accounting."""
+
+    def __init__(self, arch: PicogaArchitecture = DREAM_PICOGA):
+        self.arch = arch
+        self._slots: List[Optional[PicogaOperation]] = [None] * arch.contexts
+        self._active: Optional[int] = None
+        self.switch_count = 0
+        self.load_count = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def active_slot(self) -> Optional[int]:
+        return self._active
+
+    @property
+    def active_op(self) -> Optional[PicogaOperation]:
+        return self._slots[self._active] if self._active is not None else None
+
+    def slot_of(self, name: str) -> Optional[int]:
+        for i, op in enumerate(self._slots):
+            if op is not None and op.name == name:
+                return i
+        return None
+
+    def loaded_ops(self) -> Dict[int, str]:
+        return {i: op.name for i, op in enumerate(self._slots) if op is not None}
+
+    # ------------------------------------------------------------------
+    def load(self, op: PicogaOperation, slot: Optional[int] = None) -> int:
+        """Install an operation into a context slot; returns cycle cost.
+
+        Loading from the bus is expensive; it evicts whatever the slot held.
+        """
+        if slot is None:
+            slot = self._pick_victim()
+        if not 0 <= slot < self.arch.contexts:
+            raise ValueError(f"slot {slot} out of range")
+        self._slots[slot] = op
+        self.load_count += 1
+        return BUS_LOAD_CYCLES
+
+    def _pick_victim(self) -> int:
+        for i, op in enumerate(self._slots):
+            if op is None:
+                return i
+        # Evict the first non-active slot.
+        for i in range(self.arch.contexts):
+            if i != self._active:
+                return i
+        return 0
+
+    def activate(self, name: str) -> int:
+        """Make a cached operation active; returns the cycle cost
+        (0 if already active, 2 for a cached switch)."""
+        slot = self.slot_of(name)
+        if slot is None:
+            raise KeyError(f"operation {name!r} is not resident in any context")
+        if slot == self._active:
+            return 0
+        first_activation = self._active is None
+        self._active = slot
+        if first_activation:
+            return 0  # initial context selection overlaps with setup
+        self.switch_count += 1
+        return self.arch.context_switch_cycles

@@ -1,0 +1,310 @@
+"""Compiled PiCoGA operations (PGAOPs).
+
+A :class:`PicogaOperation` is the unit the RISC core issues to the array:
+a registered dataflow graph of RLC cells with
+
+* ``n_inputs`` primary-input bits (from the 12×32-bit input ports),
+* ``n_state`` loop-carried state bits (the LFSR register, block to block),
+* ``outputs`` — nets driven onto the output ports, and
+* ``next_state`` — nets that overwrite the state registers each block.
+
+The class performs the two analyses the paper's design flow hinges on:
+
+* **levelization** — cells are grouped into dataflow levels; one level maps
+  to one or more physical rows (16 cells each), and the row count is the
+  pipeline latency;
+* **initiation-interval analysis** — the subgraph that both depends on and
+  feeds the state registers is the *feedback loop*; its depth in rows
+  bounds how often a new block can be issued.  Derby-mapped CRCs have a
+  single-row loop (II = 1); direct Pei-style mappings have XOR trees in the
+  loop and a correspondingly larger II.
+
+Functional evaluation executes the netlist cell by cell, which is how the
+test-suite co-simulates mapped CRCs against the software engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.picoga.architecture import DREAM_PICOGA, PicogaArchitecture
+from repro.picoga.cell import Cell, CellKind, Net, NetKind
+
+
+@dataclass(frozen=True)
+class OperationStats:
+    """Resource/timing summary of one compiled operation."""
+
+    name: str
+    n_cells: int
+    n_levels: int
+    n_rows: int
+    loop_levels: int
+    loop_rows: int
+    initiation_interval: int
+    latency_cycles: int
+    n_inputs: int
+    n_state: int
+    n_outputs: int
+    max_fanin: int
+
+
+class PicogaOperation:
+    """One PGAOP: validated netlist + level/loop analyses + evaluation."""
+
+    def __init__(
+        self,
+        name: str,
+        n_inputs: int,
+        n_state: int,
+        cells: Sequence[Cell],
+        outputs: Sequence[Net],
+        next_state: Sequence[Net],
+        arch: PicogaArchitecture = DREAM_PICOGA,
+    ):
+        self.name = name
+        self.arch = arch
+        self._n_inputs = n_inputs
+        self._n_state = n_state
+        self._cells = list(cells)
+        self._outputs = list(outputs)
+        self._next_state = list(next_state)
+        if n_inputs < 0 or n_state < 0:
+            raise ValueError("input/state counts must be >= 0")
+        if len(next_state) not in (0, n_state):
+            raise ValueError("next_state must be empty or one net per state bit")
+        self._validate_netlist()
+        self._levels = self._levelize()
+        self._loop_cells = self._find_loop_cells()
+        self._validate_resources()
+
+    # ------------------------------------------------------------------
+    # Validation and analysis
+    # ------------------------------------------------------------------
+    def _check_net(self, net: Net, max_cell: int) -> None:
+        if net.kind is NetKind.INPUT:
+            if net.index >= self._n_inputs:
+                raise ValueError(f"{net} out of range ({self._n_inputs} inputs)")
+        elif net.kind is NetKind.STATE:
+            if net.index >= self._n_state:
+                raise ValueError(f"{net} out of range ({self._n_state} state bits)")
+        else:
+            if net.index >= max_cell:
+                raise ValueError(f"{net} references cell {net.index} before definition")
+
+    def _validate_netlist(self) -> None:
+        for i, cell in enumerate(self._cells):
+            if cell.index != i:
+                raise ValueError(f"cell {i} carries index {cell.index}; must be topological")
+            max_allowed = cell.fanin
+            limit = self.arch.xor_fanin if cell.kind is CellKind.XOR else self.arch.lut_inputs
+            if max_allowed > limit:
+                raise ValueError(
+                    f"cell {i} fan-in {cell.fanin} exceeds {cell.kind.value} limit {limit}"
+                )
+            for net in cell.inputs:
+                self._check_net(net, i)
+        n = len(self._cells)
+        for net in self._outputs:
+            self._check_net(net, n)
+        for net in self._next_state:
+            self._check_net(net, n)
+
+    def _levelize(self) -> List[int]:
+        """ASAP dataflow level of each cell (level 0 = reads only I/O/state)."""
+        levels: List[int] = []
+        for cell in self._cells:
+            lvl = 0
+            for net in cell.inputs:
+                if net.kind is NetKind.CELL:
+                    lvl = max(lvl, levels[net.index] + 1)
+            levels.append(lvl)
+        return levels
+
+    def _find_loop_cells(self) -> Set[int]:
+        """Cells on a state-to-state path (depend on STATE, feed next_state)."""
+        if not self._next_state:
+            return set()
+        n = len(self._cells)
+        depends_on_state = [False] * n
+        for i, cell in enumerate(self._cells):
+            for net in cell.inputs:
+                if net.kind is NetKind.STATE or (
+                    net.kind is NetKind.CELL and depends_on_state[net.index]
+                ):
+                    depends_on_state[i] = True
+                    break
+        feeds_state = [False] * n
+        frontier = [net.index for net in self._next_state if net.kind is NetKind.CELL]
+        for i in frontier:
+            feeds_state[i] = True
+        for i in range(n - 1, -1, -1):
+            if not feeds_state[i]:
+                continue
+            for net in self._cells[i].inputs:
+                if net.kind is NetKind.CELL:
+                    feeds_state[net.index] = True
+        return {i for i in range(n) if depends_on_state[i] and feeds_state[i]}
+
+    def _rows_for(self, cell_indices: Sequence[int]) -> int:
+        """Physical rows needed by a set of cells, level by level."""
+        per_level: Dict[int, int] = {}
+        for i in cell_indices:
+            per_level[self._levels[i]] = per_level.get(self._levels[i], 0) + 1
+        return sum(ceil(count / self.arch.cells_per_row) for count in per_level.values())
+
+    def _validate_resources(self) -> None:
+        if self._n_inputs > self.arch.input_bits:
+            raise ValueError(
+                f"{self._n_inputs} input bits exceed the {self.arch.input_bits}-bit ports"
+            )
+        if len(self._outputs) > self.arch.output_bits:
+            raise ValueError(
+                f"{len(self._outputs)} output bits exceed the {self.arch.output_bits}-bit ports"
+            )
+        rows = self.n_rows
+        if rows > self.arch.rows:
+            raise ValueError(f"operation needs {rows} rows; the array has {self.arch.rows}")
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def cells(self) -> List[Cell]:
+        return list(self._cells)
+
+    @property
+    def outputs(self) -> List[Net]:
+        return list(self._outputs)
+
+    @property
+    def next_state(self) -> List[Net]:
+        return list(self._next_state)
+
+    @property
+    def n_inputs(self) -> int:
+        return self._n_inputs
+
+    @property
+    def n_state(self) -> int:
+        return self._n_state
+
+    @property
+    def n_cells(self) -> int:
+        return len(self._cells)
+
+    @property
+    def levels(self) -> List[int]:
+        """ASAP dataflow level of each cell, by cell index."""
+        return list(self._levels)
+
+    @property
+    def n_levels(self) -> int:
+        return (max(self._levels) + 1) if self._levels else 0
+
+    @property
+    def n_rows(self) -> int:
+        """Pipeline depth in physical rows (the operation latency)."""
+        return self._rows_for(range(len(self._cells))) if self._cells else 0
+
+    @property
+    def loop_cells(self) -> Set[int]:
+        return set(self._loop_cells)
+
+    @property
+    def loop_levels(self) -> int:
+        if not self._loop_cells:
+            return 0
+        lvls = {self._levels[i] for i in self._loop_cells}
+        return max(lvls) - min(lvls) + 1
+
+    @property
+    def loop_rows(self) -> int:
+        return self._rows_for(sorted(self._loop_cells)) if self._loop_cells else 0
+
+    @property
+    def loop_depth(self) -> int:
+        """Longest state-to-state path, in cells.
+
+        This is the retiming bound on the initiation interval: every
+        feedback cycle through the state registers spans one block, so the
+        maximum number of cells on any STATE-leaf -> next_state path limits
+        how often blocks can be issued.  Stream-side logic (pure functions
+        of the block inputs) never counts — it pipelines ahead of the loop.
+        """
+        if not self._loop_cells:
+            return 0
+        depth: Dict[int, int] = {}
+        for i in sorted(self._loop_cells):
+            d = 1
+            for net in self._cells[i].inputs:
+                if net.kind is NetKind.CELL and net.index in self._loop_cells:
+                    d = max(d, depth[net.index] + 1)
+            depth[i] = d
+        terminal = [
+            depth[n.index]
+            for n in self._next_state
+            if n.kind is NetKind.CELL and n.index in self._loop_cells
+        ]
+        return max(terminal, default=0)
+
+    @property
+    def initiation_interval(self) -> int:
+        """Cycles between successive blocks (1 when every feedback path
+        fits a single cell, as in Derby-mapped updates)."""
+        return max(1, self.loop_depth)
+
+    @property
+    def latency_cycles(self) -> int:
+        """Input-to-output latency of one block through the pipeline."""
+        return max(1, self.n_rows)
+
+    def stats(self) -> OperationStats:
+        return OperationStats(
+            name=self.name,
+            n_cells=self.n_cells,
+            n_levels=self.n_levels,
+            n_rows=self.n_rows,
+            loop_levels=self.loop_levels,
+            loop_rows=self.loop_rows,
+            initiation_interval=self.initiation_interval,
+            latency_cycles=self.latency_cycles,
+            n_inputs=self._n_inputs,
+            n_state=self._n_state,
+            n_outputs=len(self._outputs),
+            max_fanin=max((c.fanin for c in self._cells), default=0),
+        )
+
+    # ------------------------------------------------------------------
+    # Functional simulation
+    # ------------------------------------------------------------------
+    def evaluate(
+        self, state: Sequence[int], inputs: Sequence[int]
+    ) -> Tuple[List[int], List[int]]:
+        """Run one block: returns ``(output_bits, next_state_bits)``."""
+        if len(state) != self._n_state:
+            raise ValueError(f"expected {self._n_state} state bits, got {len(state)}")
+        if len(inputs) != self._n_inputs:
+            raise ValueError(f"expected {self._n_inputs} input bits, got {len(inputs)}")
+        cell_values: List[int] = []
+
+        def value(net: Net) -> int:
+            if net.kind is NetKind.INPUT:
+                return inputs[net.index] & 1
+            if net.kind is NetKind.STATE:
+                return state[net.index] & 1
+            return cell_values[net.index]
+
+        for cell in self._cells:
+            cell_values.append(cell.evaluate([value(n) for n in cell.inputs]))
+        outs = [value(n) for n in self._outputs]
+        nxt = [value(n) for n in self._next_state]
+        return outs, nxt
+
+    def __repr__(self) -> str:
+        return (
+            f"PicogaOperation({self.name!r}, cells={self.n_cells}, rows={self.n_rows}, "
+            f"II={self.initiation_interval})"
+        )

@@ -1,0 +1,106 @@
+"""Human-readable placement/resource reports for compiled operations.
+
+The paper's §4 walks through resource trade-offs (cells per row, rows per
+operation, I/O budget); this module renders a compiled
+:class:`PicogaOperation` the way a place-and-route report would — per-row
+occupancy, loop highlighting, utilization against the array, and a
+configuration-size estimate for the context cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+from typing import Dict, List
+
+from repro.picoga.architecture import PicogaArchitecture
+from repro.picoga.cell import CellKind
+from repro.picoga.op import PicogaOperation
+
+#: Rough per-cell configuration payload: function select, 10 input routes,
+#: output route — modelled as 16 bytes/cell (order-of-magnitude realistic
+#: for mid-grain fabrics; used only for relative comparisons).
+CONFIG_BYTES_PER_CELL = 16
+CONFIG_BYTES_PER_ROW = 32  # pipeline-control words
+
+
+@dataclass(frozen=True)
+class RowOccupancy:
+    """One physical row of the placed operation."""
+
+    row: int
+    level: int
+    cells: int
+    loop_cells: int
+
+    @property
+    def is_loop_row(self) -> bool:
+        return self.loop_cells > 0
+
+
+def placement(op: PicogaOperation) -> List[RowOccupancy]:
+    """Level-ordered greedy placement: levels map to consecutive rows,
+    splitting a level when it exceeds the row width."""
+    levels = op.levels
+    per_level: Dict[int, List[int]] = {}
+    for i, _ in enumerate(op.cells):
+        per_level.setdefault(levels[i], []).append(i)
+    loop = op.loop_cells
+    rows: List[RowOccupancy] = []
+    row_index = 0
+    width = op.arch.cells_per_row
+    for level in sorted(per_level):
+        members = per_level[level]
+        for off in range(0, len(members), width):
+            chunk = members[off : off + width]
+            rows.append(
+                RowOccupancy(
+                    row=row_index,
+                    level=level,
+                    cells=len(chunk),
+                    loop_cells=sum(1 for c in chunk if c in loop),
+                )
+            )
+            row_index += 1
+    return rows
+
+
+def utilization(op: PicogaOperation) -> Dict[str, float]:
+    """Fractions of the array the operation consumes."""
+    arch = op.arch
+    return {
+        "cells": op.n_cells / arch.total_cells,
+        "rows": op.n_rows / arch.rows,
+        "inputs": op.n_inputs / arch.input_bits,
+        "outputs": len(op.outputs) / arch.output_bits if arch.output_bits else 0.0,
+    }
+
+
+def config_size_bytes(op: PicogaOperation) -> int:
+    """Estimated configuration payload for one context layer."""
+    return op.n_cells * CONFIG_BYTES_PER_CELL + op.n_rows * CONFIG_BYTES_PER_ROW
+
+
+def describe(op: PicogaOperation) -> str:
+    """A full placement report as text."""
+    stats = op.stats()
+    lines = [
+        f"operation {op.name}",
+        f"  inputs={stats.n_inputs} state={stats.n_state} outputs={stats.n_outputs}",
+        f"  cells={stats.n_cells} levels={stats.n_levels} rows={stats.n_rows} "
+        f"II={stats.initiation_interval} latency={stats.latency_cycles}",
+        f"  max fan-in={stats.max_fanin} config~{config_size_bytes(op)} bytes",
+        "  row  level  cells  kind",
+    ]
+    for row in placement(op):
+        kind = "LOOP" if row.is_loop_row else "ff"
+        bar = "#" * row.cells
+        lines.append(f"  {row.row:3d}  {row.level:5d}  {row.cells:5d}  {kind:4s} {bar}")
+    util = utilization(op)
+    lines.append(
+        "  utilization: "
+        + " ".join(f"{k}={v:.0%}" for k, v in util.items())
+    )
+    xor_cells = sum(1 for c in op.cells if c.kind is CellKind.XOR)
+    lines.append(f"  cell mix: {xor_cells} XOR, {op.n_cells - xor_cells} LUT")
+    return "\n".join(lines)

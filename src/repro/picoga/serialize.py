@@ -1,0 +1,94 @@
+"""Serialization of compiled operations ("configuration bitstreams").
+
+A deployed DREAM system stores compiled PGAOPs as configuration data and
+streams them into the context cache at run time.  This module provides the
+software analogue: a compiled :class:`PicogaOperation` round-trips through
+a plain-JSON-compatible dict, so mappings can be compiled once (the slow
+matrix + CSE step) and reloaded instantly — the library's "firmware image"
+format, used by the multi-standard-modem example.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.picoga.architecture import DREAM_PICOGA, PicogaArchitecture
+from repro.picoga.cell import Cell, CellKind, Net, NetKind
+from repro.picoga.op import PicogaOperation
+
+FORMAT_VERSION = 1
+
+_KIND_CODES = {NetKind.INPUT: "i", NetKind.STATE: "s", NetKind.CELL: "c"}
+_KIND_FROM_CODE = {v: k for k, v in _KIND_CODES.items()}
+
+
+def _net_to_token(net: Net) -> str:
+    return f"{_KIND_CODES[net.kind]}{net.index}"
+
+
+def _net_from_token(token: str) -> Net:
+    kind = _KIND_FROM_CODE.get(token[:1])
+    if kind is None:
+        raise ValueError(f"bad net token {token!r}")
+    return Net(kind, int(token[1:]))
+
+
+def operation_to_dict(op: PicogaOperation) -> Dict:
+    """A JSON-compatible description of one compiled operation."""
+    cells: List[Dict] = []
+    for cell in op.cells:
+        entry: Dict = {
+            "k": "x" if cell.kind is CellKind.XOR else "l",
+            "in": [_net_to_token(n) for n in cell.inputs],
+        }
+        if cell.truth_table is not None:
+            entry["tt"] = cell.truth_table
+        cells.append(entry)
+    return {
+        "version": FORMAT_VERSION,
+        "name": op.name,
+        "n_inputs": op.n_inputs,
+        "n_state": op.n_state,
+        "cells": cells,
+        "outputs": [_net_to_token(n) for n in op.outputs],
+        "next_state": [_net_to_token(n) for n in op.next_state],
+    }
+
+
+def operation_from_dict(
+    data: Dict, arch: PicogaArchitecture = DREAM_PICOGA
+) -> PicogaOperation:
+    """Rebuild (and revalidate) an operation from its dict form."""
+    if data.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported format version {data.get('version')!r}")
+    cells = []
+    for i, entry in enumerate(data["cells"]):
+        kind = CellKind.XOR if entry["k"] == "x" else CellKind.LUT
+        cells.append(
+            Cell(
+                index=i,
+                kind=kind,
+                inputs=tuple(_net_from_token(t) for t in entry["in"]),
+                truth_table=entry.get("tt"),
+            )
+        )
+    return PicogaOperation(
+        name=data["name"],
+        n_inputs=data["n_inputs"],
+        n_state=data["n_state"],
+        cells=cells,
+        outputs=[_net_from_token(t) for t in data["outputs"]],
+        next_state=[_net_from_token(t) for t in data["next_state"]],
+        arch=arch,
+    )
+
+
+def dumps(op: PicogaOperation) -> str:
+    """Operation -> JSON text."""
+    return json.dumps(operation_to_dict(op), separators=(",", ":"))
+
+
+def loads(text: str, arch: PicogaArchitecture = DREAM_PICOGA) -> PicogaOperation:
+    """JSON text -> validated operation."""
+    return operation_from_dict(json.loads(text), arch=arch)

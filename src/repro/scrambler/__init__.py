@@ -1,0 +1,55 @@
+"""Scramblers, randomizers and PRBS generators on the LFSR substrate.
+
+* :class:`AdditiveScrambler` — frame-synchronous (the paper's Fig. 1 right).
+* :class:`MultiplicativeScrambler` — self-synchronizing variant.
+* :class:`ParallelScrambler` — M-bit block engine (paper §5 / Fig. 8).
+* :mod:`repro.scrambler.prbs` — ITU-T O.150 pattern generation/checking.
+* :mod:`repro.scrambler.specs` — 802.16e, 802.11, DVB, SONET, PRBS catalog.
+"""
+
+from repro.scrambler.additive import AdditiveScrambler
+from repro.scrambler.multiplicative import MultiplicativeScrambler
+from repro.scrambler.parallel import ParallelScrambler
+from repro.scrambler.spreading import DespreadResult, DirectSequenceSpreader
+from repro.scrambler.prbs import PRBSChecker, PRBSCheckResult, prbs_sequence
+from repro.scrambler.specs import (
+    BY_NAME,
+    CATALOG,
+    DVB,
+    IEEE80211,
+    IEEE80216E,
+    PRBS7,
+    PRBS9,
+    PRBS11,
+    PRBS15,
+    PRBS23,
+    PRBS31,
+    SONET,
+    ScramblerSpec,
+    get,
+)
+
+__all__ = [
+    "AdditiveScrambler",
+    "BY_NAME",
+    "DespreadResult",
+    "DirectSequenceSpreader",
+    "CATALOG",
+    "DVB",
+    "IEEE80211",
+    "IEEE80216E",
+    "MultiplicativeScrambler",
+    "PRBS11",
+    "PRBS15",
+    "PRBS23",
+    "PRBS31",
+    "PRBS7",
+    "PRBS9",
+    "PRBSCheckResult",
+    "PRBSChecker",
+    "ParallelScrambler",
+    "SONET",
+    "ScramblerSpec",
+    "get",
+    "prbs_sequence",
+]

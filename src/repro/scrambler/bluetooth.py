@@ -1,0 +1,52 @@
+"""Bluetooth data whitening (Core spec Vol 6, Part B §3.2 style).
+
+Bluetooth whitens packet headers and payloads with the 7-bit LFSR
+``1 + x^4 + x^7`` — the same generator as 802.11's scrambler — seeded from
+the channel/clock so both ends derive it independently: position 6 is set
+to 1 and positions 5..0 carry the channel index (BLE) or clock bits
+(BR/EDR).  A thin, protocol-flavoured layer over the additive scrambler.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.lfsr.reference import GaloisLFSR
+from repro.scrambler.specs import IEEE80211 as _WHITENING_SPEC  # same polynomial
+
+
+def whitening_seed(channel: int) -> int:
+    """BLE rule: register = 1 at position 6, channel index in 5..0."""
+    if not 0 <= channel <= 39:
+        raise ValueError("BLE channel index is 0..39")
+    return (1 << 6) | channel
+
+
+def whitening_sequence(channel: int, nbits: int) -> List[int]:
+    return GaloisLFSR(_WHITENING_SPEC.poly, whitening_seed(channel)).keystream(nbits)
+
+
+def whiten_bits(bits: Sequence[int], channel: int) -> List[int]:
+    ks = whitening_sequence(channel, len(bits))
+    return [(b ^ k) & 1 for b, k in zip(bits, ks)]
+
+
+def dewhiten_bits(bits: Sequence[int], channel: int) -> List[int]:
+    """Identical to whitening (XOR involution)."""
+    return whiten_bits(bits, channel)
+
+
+def whiten_bytes(data: bytes, channel: int) -> bytes:
+    """Byte interface, LSB-first per byte (the air order)."""
+    ks = whitening_sequence(channel, 8 * len(data))
+    out = bytearray(len(data))
+    for i, byte in enumerate(data):
+        value = 0
+        for j in range(8):
+            value |= ((byte >> j) & 1 ^ ks[8 * i + j]) << j
+        out[i] = value
+    return bytes(out)
+
+
+def dewhiten_bytes(data: bytes, channel: int) -> bytes:
+    return whiten_bytes(data, channel)

@@ -1,0 +1,138 @@
+"""DVB/MPEG-2 transport-stream energy dispersal (ETSI EN 300 429 / DVB).
+
+The paper's §1 names Digital Video Broadcasting among the standards whose
+randomizers motivate reconfigurable LFSR hardware.  DVB's layer has real
+protocol structure beyond the raw LFSR:
+
+* the PRBS generator is ``1 + x^14 + x^15`` seeded with ``100101010000000``;
+* it is re-initialized every **8 transport packets** (an 8-packet
+  superframe);
+* the first sync byte of the superframe is transmitted *inverted*
+  (0x47 -> 0xB8) to mark the re-initialization point;
+* sync bytes themselves are never scrambled, but the PRBS **keeps
+  clocking** during them (the generator output is discarded for those
+  8 bit periods... except on the sync byte of the first packet, where the
+  generator has just been reloaded and only starts after it).
+
+This module implements that framing over :class:`AdditiveScrambler`'s
+polynomial machinery, giving the library a faithful broadcast-chain
+workload.  The descrambler is the same operation (XOR involution) plus
+sync-byte restoration.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.lfsr.reference import GaloisLFSR
+from repro.scrambler.specs import DVB
+
+TS_PACKET_BYTES = 188
+SYNC_BYTE = 0x47
+INVERTED_SYNC_BYTE = 0xB8
+SUPERFRAME_PACKETS = 8
+#: DVB loads the shift register with the fixed word 100101010000000.
+DVB_SEED = DVB.seed
+
+
+class TransportStreamScrambler:
+    """Energy-dispersal scrambler/descrambler for 188-byte TS packets."""
+
+    def __init__(self):
+        self._lfsr = GaloisLFSR(DVB.poly, DVB_SEED)
+        self._packet_in_superframe = 0
+
+    # ------------------------------------------------------------------
+    def _prbs_byte(self, use: bool) -> int:
+        """Eight generator clocks; returns the byte when ``use`` else 0.
+
+        The generator always advances — DVB keeps the PRBS running during
+        sync bytes so the packet payloads stay aligned to the sequence.
+        """
+        value = 0
+        for i in range(8):
+            bit = (self._lfsr.state >> (self._lfsr.width - 1)) & 1
+            self._lfsr.clock(0)
+            value |= bit << (7 - i)
+        return value if use else 0
+
+    def _reset_superframe(self) -> None:
+        self._lfsr.state = DVB_SEED
+        self._packet_in_superframe = 0
+
+    # ------------------------------------------------------------------
+    def scramble_packet(self, packet: bytes) -> bytes:
+        """Scramble one 188-byte TS packet (call in stream order)."""
+        if len(packet) != TS_PACKET_BYTES:
+            raise ValueError(f"TS packets are {TS_PACKET_BYTES} bytes")
+        if packet[0] != SYNC_BYTE:
+            raise ValueError(f"packet must start with sync byte 0x{SYNC_BYTE:02X}")
+        first = self._packet_in_superframe == 0
+        if first:
+            self._reset_superframe()
+        out = bytearray(packet)
+        if first:
+            out[0] = INVERTED_SYNC_BYTE  # marks the re-initialization
+            # Generator starts with the first payload byte.
+        else:
+            self._prbs_byte(use=False)  # clock through the sync byte
+        for i in range(1, TS_PACKET_BYTES):
+            out[i] ^= self._prbs_byte(use=True)
+        self._packet_in_superframe = (self._packet_in_superframe + 1) % SUPERFRAME_PACKETS
+        return bytes(out)
+
+    def scramble_stream(self, packets: Sequence[bytes]) -> List[bytes]:
+        return [self.scramble_packet(p) for p in packets]
+
+
+class TransportStreamDescrambler:
+    """Self-aligning receiver: synchronizes on the inverted sync byte."""
+
+    def __init__(self):
+        self._lfsr = GaloisLFSR(DVB.poly, DVB_SEED)
+        self._packet_in_superframe = None  # unsynchronized until 0xB8 seen
+
+    def _prbs_byte(self, use: bool) -> int:
+        value = 0
+        for i in range(8):
+            bit = (self._lfsr.state >> (self._lfsr.width - 1)) & 1
+            self._lfsr.clock(0)
+            value |= bit << (7 - i)
+        return value if use else 0
+
+    @property
+    def synchronized(self) -> bool:
+        return self._packet_in_superframe is not None
+
+    def descramble_packet(self, packet: bytes) -> bytes:
+        if len(packet) != TS_PACKET_BYTES:
+            raise ValueError(f"TS packets are {TS_PACKET_BYTES} bytes")
+        if packet[0] == INVERTED_SYNC_BYTE:
+            self._lfsr.state = DVB_SEED
+            self._packet_in_superframe = 0
+        elif not self.synchronized:
+            return packet  # cannot descramble before the superframe marker
+        out = bytearray(packet)
+        if self._packet_in_superframe == 0:
+            out[0] = SYNC_BYTE  # restore the inverted sync
+        else:
+            self._prbs_byte(use=False)
+        for i in range(1, TS_PACKET_BYTES):
+            out[i] ^= self._prbs_byte(use=True)
+        self._packet_in_superframe = (
+            self._packet_in_superframe + 1
+        ) % SUPERFRAME_PACKETS
+        return bytes(out)
+
+    def descramble_stream(self, packets: Sequence[bytes]) -> List[bytes]:
+        return [self.descramble_packet(p) for p in packets]
+
+
+def make_transport_stream(payloads: Sequence[bytes]) -> List[bytes]:
+    """Frame raw 187-byte payloads into sync-byte-prefixed TS packets."""
+    packets = []
+    for payload in payloads:
+        if len(payload) != TS_PACKET_BYTES - 1:
+            raise ValueError(f"payloads must be {TS_PACKET_BYTES - 1} bytes")
+        packets.append(bytes([SYNC_BYTE]) + payload)
+    return packets

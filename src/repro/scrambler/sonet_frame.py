@@ -1,0 +1,99 @@
+"""SONET/SDH frame-synchronous section scrambling (GR-253 / G.707).
+
+The paper's §1 lists SONET among the CRC/scrambler protocol family.  Its
+section scrambler has frame structure worth modelling:
+
+* the scrambler is the 7-bit LFSR ``1 + x^6 + x^7``, reset to all-ones at
+  the first byte *after* the framing overhead of each frame;
+* the first row's framing bytes — A1s (0xF6), A2s (0x28) and the J0/Z0
+  section-trace bytes — are transmitted **unscrambled** so receivers can
+  hunt for frame alignment on the wire;
+* everything else in the frame (9 rows x 90·N columns for STS-N) is XORed
+  with the keystream, MSB-first per byte.
+
+:class:`SonetFrameScrambler` implements both directions plus the receiver
+alignment hunt on the A1/A2 boundary.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.lfsr.reference import GaloisLFSR
+from repro.scrambler.specs import SONET
+
+A1 = 0xF6
+A2 = 0x28
+ROWS = 9
+COLUMNS_PER_STS1 = 90
+
+
+def frame_bytes(sts_n: int) -> int:
+    return ROWS * COLUMNS_PER_STS1 * sts_n
+
+
+def framing_overhead_bytes(sts_n: int) -> int:
+    """A1 x N, A2 x N, J0/Z0 x N — the unscrambled prefix of row 1."""
+    return 3 * sts_n
+
+
+def build_frame(sts_n: int, payload: bytes) -> bytes:
+    """Assemble one STS-N frame: framing bytes + payload."""
+    size = frame_bytes(sts_n)
+    overhead = framing_overhead_bytes(sts_n)
+    if len(payload) != size - overhead:
+        raise ValueError(f"payload must be {size - overhead} bytes for STS-{sts_n}")
+    framing = bytes([A1] * sts_n + [A2] * sts_n + list(range(1, sts_n + 1)))
+    return framing + payload
+
+
+class SonetFrameScrambler:
+    """Scramble/descramble STS-N frames with the section scrambler."""
+
+    def __init__(self, sts_n: int = 1):
+        if sts_n < 1:
+            raise ValueError("STS level must be >= 1")
+        self.sts_n = sts_n
+
+    # ------------------------------------------------------------------
+    def _keystream_bytes(self, count: int) -> List[int]:
+        lfsr = GaloisLFSR(SONET.poly, SONET.seed)  # reset to all-ones
+        out = []
+        for _ in range(count):
+            value = 0
+            for i in range(8):
+                bit = (lfsr.state >> (SONET.degree - 1)) & 1
+                lfsr.clock(0)
+                value |= bit << (7 - i)
+            out.append(value)
+        return out
+
+    def process_frame(self, frame: bytes) -> bytes:
+        """Scramble or descramble (self-inverse) one frame."""
+        size = frame_bytes(self.sts_n)
+        if len(frame) != size:
+            raise ValueError(f"STS-{self.sts_n} frames are {size} bytes")
+        overhead = framing_overhead_bytes(self.sts_n)
+        ks = self._keystream_bytes(size - overhead)
+        out = bytearray(frame)
+        for i, k in enumerate(ks):
+            out[overhead + i] ^= k
+        return bytes(out)
+
+    scramble_frame = process_frame
+    descramble_frame = process_frame
+
+    # ------------------------------------------------------------------
+    def find_frame_alignment(self, stream: Sequence[int]) -> Optional[int]:
+        """Receiver hunt: locate the A1->A2 transition in a byte stream.
+
+        Returns the offset of the first A1 byte of a full framing pattern,
+        or None.  Works on scrambled streams because framing bytes are
+        transmitted in the clear."""
+        n = self.sts_n
+        pattern = [A1] * n + [A2] * n
+        limit = len(stream) - len(pattern)
+        for off in range(limit + 1):
+            if all(stream[off + i] == pattern[i] for i in range(len(pattern))):
+                return off
+        return None

@@ -1,0 +1,106 @@
+"""Catalog of published scrambler / randomizer parameter sets.
+
+The paper's second application domain (§1): digital broadcasting and
+communication standards randomize their bit streams with LFSR-generated
+pseudo-random sequences — frame-synchronously (*scrambling*) or at chip
+rate (*spreading*).  The Fig. 8 test case is the IEEE 802.16e randomizer
+(generator ``1 + x^14 + x^15``).
+
+Seeds are given in the library's state convention: state bit *i* of the
+register integer is ``x_i``, with ``x_{k-1}`` (the MSB) feeding both the
+feedback and — by default — the keystream output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.gf2.polynomial import GF2Polynomial
+
+
+@dataclass(frozen=True)
+class ScramblerSpec:
+    """Parameters of one additive (frame-synchronous) scrambler."""
+
+    name: str
+    poly: GF2Polynomial
+    seed: int
+    description: str = ""
+
+    def __post_init__(self):
+        if self.poly.degree < 1:
+            raise ValueError("scrambler polynomial must have degree >= 1")
+        if self.seed >> self.poly.degree:
+            raise ValueError(
+                f"seed {self.seed:#x} wider than degree {self.poly.degree}"
+            )
+        if self.seed == 0:
+            raise ValueError("an all-zero seed locks the LFSR at zero")
+
+    @property
+    def degree(self) -> int:
+        return self.poly.degree
+
+
+def _poly(*exponents: int) -> GF2Polynomial:
+    return GF2Polynomial.from_exponents(list(exponents))
+
+
+IEEE80216E = ScramblerSpec(
+    name="IEEE-802.16e",
+    poly=_poly(15, 14, 0),
+    seed=(1 << 15) - 1,  # per-burst initialization vector; all-ones default
+    description="WiMax PHY randomizer, 1 + x^14 + x^15 — the paper's Fig. 8 case",
+)
+
+DVB = ScramblerSpec(
+    name="DVB",
+    poly=_poly(15, 14, 0),
+    seed=0b100101010000000,
+    description="DVB/MPEG-2 transport randomizer, same generator as 802.16",
+)
+
+IEEE80211 = ScramblerSpec(
+    name="IEEE-802.11",
+    poly=_poly(7, 4, 0),
+    seed=(1 << 7) - 1,
+    description="WiFi PHY data scrambler, 1 + x^4 + x^7",
+)
+
+SONET = ScramblerSpec(
+    name="SONET",
+    poly=_poly(7, 6, 0),
+    seed=(1 << 7) - 1,
+    description="SONET/SDH frame-synchronous scrambler, 1 + x^6 + x^7",
+)
+
+# ITU-T O.150 pseudo-random binary sequences (test patterns).
+PRBS7 = ScramblerSpec("PRBS7", _poly(7, 6, 0), 0x7F, "ITU-T O.150 2^7-1 pattern")
+PRBS9 = ScramblerSpec("PRBS9", _poly(9, 5, 0), 0x1FF, "ITU-T O.150 2^9-1 pattern")
+PRBS11 = ScramblerSpec("PRBS11", _poly(11, 9, 0), 0x7FF, "ITU-T O.150 2^11-1 pattern")
+PRBS15 = ScramblerSpec("PRBS15", _poly(15, 14, 0), 0x7FFF, "ITU-T O.150 2^15-1 pattern")
+PRBS23 = ScramblerSpec("PRBS23", _poly(23, 18, 0), 0x7FFFFF, "ITU-T O.150 2^23-1 pattern")
+PRBS31 = ScramblerSpec("PRBS31", _poly(31, 28, 0), 0x7FFFFFFF, "ITU-T O.150 2^31-1 pattern")
+
+CATALOG: List[ScramblerSpec] = [
+    IEEE80216E,
+    DVB,
+    IEEE80211,
+    SONET,
+    PRBS7,
+    PRBS9,
+    PRBS11,
+    PRBS15,
+    PRBS23,
+    PRBS31,
+]
+
+BY_NAME: Dict[str, ScramblerSpec] = {spec.name: spec for spec in CATALOG}
+
+
+def get(name: str) -> ScramblerSpec:
+    try:
+        return BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown scrambler {name!r}; known: {sorted(BY_NAME)}") from None

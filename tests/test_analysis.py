@@ -1,0 +1,148 @@
+"""Unit tests for repro.analysis (throughput, speedup, energy, tables)."""
+
+import pytest
+
+from repro.analysis import (
+    ETHERNET_MAX_BITS,
+    ETHERNET_MIN_BITS,
+    EnergyModel,
+    RISC_PJ_PER_BIT,
+    as_table,
+    bps_from_cycles,
+    efficiency,
+    format_multi_series,
+    format_series,
+    format_table,
+    gbps,
+    in_ethernet_window,
+    kernel_speedup,
+    message_length_sweep,
+    speedup_grid,
+)
+from repro.crc import ETHERNET_CRC32
+from repro.dream import DreamSystem
+from repro.mapping import map_crc
+
+
+@pytest.fixture(scope="module")
+def system():
+    return DreamSystem()
+
+
+@pytest.fixture(scope="module")
+def mapped():
+    return map_crc(ETHERNET_CRC32, 32)
+
+
+class TestThroughputHelpers:
+    def test_ethernet_window_constants(self):
+        """Fig. 4 marks the 368..12144-bit Ethernet message window."""
+        assert ETHERNET_MIN_BITS == 368
+        assert ETHERNET_MAX_BITS == 12144
+
+    def test_bps_from_cycles(self):
+        assert bps_from_cycles(1000, 100, 200e6) == pytest.approx(2e9)
+
+    def test_bps_rejects_zero_cycles(self):
+        with pytest.raises(ValueError):
+            bps_from_cycles(1, 0, 1e6)
+
+    def test_gbps(self):
+        assert gbps(25.6e9) == pytest.approx(25.6)
+
+    def test_efficiency(self):
+        assert efficiency(12.8e9, 25.6e9) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            efficiency(1.0, 0.0)
+
+    def test_sweep_includes_window_markers(self):
+        lengths = message_length_sweep(64, 65536)
+        assert ETHERNET_MIN_BITS in lengths
+        assert ETHERNET_MAX_BITS in lengths
+        assert lengths == sorted(lengths)
+
+    def test_sweep_validation(self):
+        with pytest.raises(ValueError):
+            message_length_sweep(100, 50)
+
+    def test_window_predicate(self):
+        assert in_ethernet_window(368)
+        assert in_ethernet_window(1500)
+        assert not in_ethernet_window(100)
+
+
+class TestSpeedup:
+    def test_grid_entries(self, system, mapped):
+        entries = speedup_grid(system, [mapped], [1024, 12144])
+        assert len(entries) == 2
+        for e in entries:
+            assert e.speedup == pytest.approx(e.risc_cycles / e.dream_cycles)
+            assert e.speedup > 1
+
+    def test_speedup_grows_with_length(self, system, mapped):
+        entries = speedup_grid(system, [mapped], [368, 12144, 65536])
+        speeds = [e.speedup for e in entries]
+        assert speeds == sorted(speeds)
+
+    def test_kernel_speedup_three_orders(self, system):
+        """§1/§5: kernel vs bit-serial software is ~3 orders of magnitude."""
+        m128 = map_crc(ETHERNET_CRC32, 128)
+        s = kernel_speedup(system, m128, algorithm="bitwise")
+        assert 500 <= s <= 2000
+        assert s == pytest.approx(1024)
+
+    def test_as_table_layout(self, system, mapped):
+        entries = speedup_grid(system, [mapped], [1024])
+        table = as_table(entries)
+        assert 32 in table[1024]
+
+
+class TestEnergy:
+    def test_band_matches_paper(self, system):
+        """Fig. 7: DREAM is 5-60x more efficient than the 400 pJ/bit RISC."""
+        model = EnergyModel()
+        advantages = []
+        for M in (32, 64, 128):
+            mapped = map_crc(ETHERNET_CRC32, M)
+            for bits in (368, 12144, 262144):
+                perf = system.crc_single_performance(mapped, bits)
+                pj = model.crc_pj_per_bit(mapped, perf)
+                advantages.append(model.advantage_vs_risc(pj))
+        assert all(5 <= a <= 60 for a in advantages), advantages
+        assert max(advantages) > 40  # long messages, M = 128
+        assert min(advantages) < 12  # short messages
+
+    def test_energy_decreases_with_length(self, system):
+        model = EnergyModel()
+        mapped = map_crc(ETHERNET_CRC32, 128)
+        pj = [
+            model.crc_pj_per_bit(mapped, system.crc_single_performance(mapped, bits))
+            for bits in (368, 4096, 65536)
+        ]
+        assert pj == sorted(pj, reverse=True)
+
+    def test_risc_reference(self):
+        assert RISC_PJ_PER_BIT == 400.0
+
+    def test_validation(self):
+        model = EnergyModel()
+        with pytest.raises(ValueError):
+            model.advantage_vs_risc(0)
+
+
+class TestTables:
+    def test_format_table(self):
+        text = format_table(["a", "b"], [[1, 2.5], [30, 0.001]], title="T")
+        assert "T" in text
+        assert "2.50" in text
+        assert "30" in text
+
+    def test_format_series(self):
+        text = format_series({1: 2.0}, "x", "y")
+        assert "x" in text and "y" in text
+
+    def test_format_multi_series(self):
+        text = format_multi_series([1, 2], {"s": {1: 1.0, 2: 2.0}}, "M")
+        assert "s" in text
+        lines = text.strip().splitlines()
+        assert len(lines) == 4  # header, separator, two rows

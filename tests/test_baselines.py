@@ -1,0 +1,142 @@
+"""Unit tests for repro.baselines (software, ASIC and theory models)."""
+
+import pytest
+
+from repro.baselines import (
+    GfmacProcessorConfig,
+    GfmacProcessorModel,
+    RiscCostModel,
+    RiscSoftwareCRC,
+    UcrcModel,
+    UcrcTimingModel,
+    m_half_theory_bps,
+    m_theory_bps,
+    speedup_table,
+    theory_sweep,
+)
+from repro.crc import BitwiseCRC, ETHERNET_CRC32
+
+
+class TestRiscSoftware:
+    def test_functional_correctness(self):
+        bw = BitwiseCRC(ETHERNET_CRC32)
+        for algorithm in ("bitwise", "table", "slicing8"):
+            sw = RiscSoftwareCRC(ETHERNET_CRC32, algorithm)
+            assert sw.compute(b"123456789") == bw.compute(b"123456789")
+
+    def test_cycle_ordering(self):
+        cost = RiscCostModel()
+        bits = 12144
+        assert cost.cycles("bitwise", bits) > cost.cycles("table", bits) > cost.cycles(
+            "slicing8", bits
+        )
+
+    def test_peak_throughputs(self):
+        cost = RiscCostModel()
+        assert cost.peak_throughput_bps("bitwise") == pytest.approx(25e6)
+        assert cost.peak_throughput_bps("table") == pytest.approx(200e6)
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            RiscCostModel().cycles("quantum", 100)
+        with pytest.raises(ValueError):
+            RiscSoftwareCRC(ETHERNET_CRC32, "quantum")
+
+    def test_energy_anchor(self):
+        """8 cycles/bit × 50 pJ/cycle ≈ the paper's 400 pJ/bit figure."""
+        sw = RiscSoftwareCRC(ETHERNET_CRC32, "bitwise")
+        bits = 100000
+        assert sw.energy_pj(bits) / bits == pytest.approx(400, rel=0.01)
+
+    def test_speedup_table(self):
+        table = speedup_table({1024: 100.0}, algorithm="table")
+        expected = RiscCostModel().cycles("table", 1024) / 100.0
+        assert table[1024] == pytest.approx(expected)
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ValueError):
+            RiscCostModel().cycles("table", -1)
+
+
+class TestUcrc:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return UcrcModel(ETHERNET_CRC32)
+
+    def test_serial_near_1ghz(self, model):
+        assert 0.8e9 < model.serial_frequency_hz() < 1.2e9
+
+    def test_frequency_decreases_with_m(self, model):
+        freqs = [model.frequency_hz(M) for M in (1, 8, 32, 128, 512)]
+        assert freqs == sorted(freqs, reverse=True)
+
+    def test_throughput_grows_sublinearly(self, model):
+        """Doubling M never doubles the bandwidth at large M."""
+        t128, t256 = model.throughput_bps(128), model.throughput_bps(256)
+        assert t256 > t128
+        assert t256 < 2 * t128
+
+    def test_dream_beats_ucrc_at_m128(self, model):
+        """The paper's Fig. 6 punchline: 25.6 Gbit/s > UCRC at M = 128."""
+        assert 25.6e9 > model.throughput_bps(128)
+
+    def test_ucrc_beats_dream_at_small_m(self, model):
+        """... while DREAM's fixed 200 MHz loses at small parallelization."""
+        dream_m8 = 8 * 200e6
+        assert model.throughput_bps(8) > dream_m8
+
+    def test_fanin_uses_real_matrices(self, model):
+        assert model.loop_fanin(1) == 3  # shift + tap + input
+        assert model.loop_fanin(64) > model.loop_fanin(4)
+
+    def test_fmax_cap(self):
+        fast = UcrcModel(ETHERNET_CRC32, UcrcTimingModel(t_reg_ns=0.01, t_xor2_ns=0.01, t_wire_ns_per_m=0.0))
+        assert fast.frequency_hz(1) == pytest.approx(1.2e9)
+
+    def test_sweep_keys(self, model):
+        sweep = model.sweep((2, 4, 8))
+        assert set(sweep) == {2, 4, 8}
+
+
+class TestTheory:
+    def test_m_theory_linear(self):
+        assert m_theory_bps(1e9, 64) == pytest.approx(64e9)
+
+    def test_m_half_theory(self):
+        assert m_half_theory_bps(1e9, 64) == pytest.approx(32e9)
+
+    def test_m_theory_dominates(self):
+        model = UcrcModel(ETHERNET_CRC32)
+        curves = theory_sweep(model, (16, 64, 256))
+        for M in (16, 64, 256):
+            assert curves["m_theory"][M] == 2 * curves["m_half_theory"][M]
+            assert curves["m_theory"][M] > model.throughput_bps(M)
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            m_theory_bps(1e9, 0)
+
+
+class TestGfmacProcessor:
+    def test_functional(self):
+        model = GfmacProcessorModel(ETHERNET_CRC32)
+        assert model.compute(b"123456789") == 0xCBF43926
+
+    def test_cited_figure(self):
+        """[10]: 2-3 cycles for a 128-bit message on 16 GFMACs."""
+        assert GfmacProcessorModel(ETHERNET_CRC32).matches_cited_figure()
+
+    def test_cycles_scale_with_length(self):
+        model = GfmacProcessorModel(ETHERNET_CRC32)
+        assert model.cycles(1280) > model.cycles(128)
+
+    def test_throughput(self):
+        model = GfmacProcessorModel(ETHERNET_CRC32)
+        # 128 bits / 3 cycles at 200 MHz ≈ 8.5 Gbit/s kernel rate.
+        assert model.throughput_bps(128) == pytest.approx(128 * 200e6 / 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GfmacProcessorConfig(units=0)
+        with pytest.raises(ValueError):
+            GfmacProcessorModel(ETHERNET_CRC32).cycles(0)

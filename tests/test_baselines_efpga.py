@@ -1,0 +1,74 @@
+"""Unit tests for the embedded-FPGA baseline and the §1 platform ordering."""
+
+import pytest
+
+from repro.baselines import EmbeddedFpgaModel, RiscCostModel, UcrcModel
+from repro.crc import ETHERNET_CRC32
+
+
+@pytest.fixture(scope="module")
+def efpga():
+    return EmbeddedFpgaModel(ETHERNET_CRC32)
+
+
+@pytest.fixture(scope="module")
+def efpga_direct():
+    return EmbeddedFpgaModel(ETHERNET_CRC32, method="direct")
+
+
+@pytest.fixture(scope="module")
+def asic():
+    return UcrcModel(ETHERNET_CRC32)
+
+
+class TestModel:
+    def test_serial_frequency_band(self, efpga):
+        """90 nm embedded FPGA serial CRC: a few hundred MHz."""
+        assert 150e6 < efpga.frequency_hz(1) < 400e6
+
+    def test_frequency_decreases_with_m(self, efpga):
+        freqs = [efpga.frequency_hz(M) for M in (1, 8, 32, 128)]
+        assert freqs == sorted(freqs, reverse=True)
+
+    def test_derby_loop_fanin_constant(self, efpga):
+        assert efpga.loop_fanin(1) == efpga.loop_fanin(128) == 3
+
+    def test_direct_loop_fanin_grows(self, efpga_direct):
+        assert efpga_direct.loop_fanin(64) > efpga_direct.loop_fanin(4)
+
+    def test_derby_beats_direct_on_fpga_too(self, efpga, efpga_direct):
+        for M in (16, 64, 128):
+            assert efpga.throughput_bps(M) > efpga_direct.throughput_bps(M)
+
+    def test_invalid_method(self):
+        with pytest.raises(ValueError):
+            EmbeddedFpgaModel(ETHERNET_CRC32, method="fancy")
+
+    def test_invalid_m(self, efpga):
+        with pytest.raises(ValueError):
+            efpga.frequency_hz(0)
+
+    def test_sweep_keys(self, efpga):
+        assert set(efpga.sweep((2, 4))) == {2, 4}
+
+
+class TestPaperPlatformOrdering:
+    """§1's positioning: processors << eFPGA < reconfigurable datapath
+    (DREAM) / ASIC at the interesting design points."""
+
+    def test_efpga_slower_than_asic_everywhere(self, efpga, asic):
+        for M in (1, 8, 32, 128):
+            assert efpga.throughput_bps(M) < asic.throughput_bps(M), M
+
+    def test_efpga_beats_processors(self, efpga):
+        sw_peak = RiscCostModel().peak_throughput_bps("slicing8")
+        assert efpga.throughput_bps(8) > sw_peak
+
+    def test_dream_beats_efpga_at_the_design_point(self, efpga):
+        dream_m128 = 128 * 200e6
+        assert dream_m128 > efpga.throughput_bps(128)
+
+    def test_efpga_competitive_at_small_m(self, efpga):
+        """Below DREAM's fixed-frequency knee, the eFPGA's higher serial
+        clock makes it the faster programmable option."""
+        assert efpga.throughput_bps(2) > 2 * 200e6

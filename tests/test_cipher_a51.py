@@ -1,0 +1,81 @@
+"""Unit tests for repro.cipher.a51 — including the published test vector."""
+
+import pytest
+
+from repro.cipher import A51
+
+# The reference test vector shipped with the Briceno/Goldberg/Wagner
+# implementation: Kc = 12 23 45 67 89 AB CD EF, frame number 0x134.
+REF_KEY = bytes([0x12, 0x23, 0x45, 0x67, 0x89, 0xAB, 0xCD, 0xEF])
+REF_FRAME = 0x134
+REF_ATOB = bytes.fromhex("534eaa582fe8151ab6e1855a728c00")
+REF_BTOA = bytes.fromhex("24fd35a35d5fb6526d32f906df1ac0")
+
+
+class TestReferenceVector:
+    def test_downlink_burst(self):
+        down, _ = A51(REF_KEY, REF_FRAME).burst_pair()
+        assert down == REF_ATOB
+
+    def test_uplink_burst(self):
+        _, up = A51(REF_KEY, REF_FRAME).burst_pair()
+        assert up == REF_BTOA
+
+    def test_burst_lengths(self):
+        down, up = A51(REF_KEY, REF_FRAME).burst_pair()
+        assert len(down) == len(up) == 15
+        # 114 bits -> the last 6 bits of byte 15 are padding zeros.
+        assert down[-1] & 0x3F == 0
+        assert up[-1] & 0x3F == 0
+
+
+class TestValidation:
+    def test_key_length(self):
+        with pytest.raises(ValueError):
+            A51(b"\x00" * 7, 0)
+
+    def test_frame_range(self):
+        with pytest.raises(ValueError):
+            A51(REF_KEY, 1 << 22)
+
+
+class TestKeystreamBehaviour:
+    def test_deterministic(self):
+        a = A51(REF_KEY, REF_FRAME).keystream(100)
+        b = A51(REF_KEY, REF_FRAME).keystream(100)
+        assert a == b
+
+    def test_frame_changes_keystream(self):
+        a = A51(REF_KEY, 0x134).keystream(100)
+        b = A51(REF_KEY, 0x135).keystream(100)
+        assert a != b
+
+    def test_key_changes_keystream(self):
+        a = A51(REF_KEY, REF_FRAME).keystream(100)
+        b = A51(b"\x00" * 8, REF_FRAME).keystream(100)
+        assert a != b
+
+    def test_register_widths_respected(self):
+        c = A51(REF_KEY, REF_FRAME)
+        c.keystream(500)
+        assert c.r1 < (1 << 19)
+        assert c.r2 < (1 << 22)
+        assert c.r3 < (1 << 23)
+
+    def test_keystream_roughly_balanced(self):
+        ks = A51(REF_KEY, REF_FRAME).keystream(2000)
+        assert 800 < sum(ks) < 1200
+
+    def test_irregular_clocking_occurs(self):
+        """Majority clocking must sometimes hold a register still —
+        the property that defeats linear look-ahead."""
+        c = A51(REF_KEY, REF_FRAME)
+        stalls = 0
+        for _ in range(200):
+            before = (c.r1, c.r2, c.r3)
+            c.keystream(1)
+            after = (c.r1, c.r2, c.r3)
+            stalls += sum(1 for x, y in zip(before, after) if x == y)
+        assert stalls > 0
+        # On average each register stalls 1/4 of the time.
+        assert 50 < stalls < 250

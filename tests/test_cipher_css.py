@@ -1,0 +1,83 @@
+"""Unit tests for repro.cipher.css (40-bit Content Scramble System)."""
+
+import pytest
+
+from repro.cipher import CSS, LFSR17_POLY, LFSR25_POLY, MODES
+
+KEY = bytes([0x51, 0x67, 0x67, 0xC5, 0xE0])
+
+
+class TestPolynomials:
+    def test_lfsr17_primitive(self):
+        """Maximal period 2^17 - 1 — verified with our own machinery."""
+        assert LFSR17_POLY.is_primitive()
+
+    def test_lfsr25_primitive(self):
+        assert LFSR25_POLY.is_primitive()
+
+    def test_degrees(self):
+        assert LFSR17_POLY.degree == 17
+        assert LFSR25_POLY.degree == 25
+
+
+class TestSeeding:
+    def test_key_length(self):
+        with pytest.raises(ValueError):
+            CSS(b"\x00" * 4)
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            CSS(KEY, mode="bogus")
+
+    def test_forced_bits_prevent_null_registers(self):
+        cipher = CSS(b"\x00" * 5)
+        r17, r25 = cipher.registers
+        assert r17 == 0x100  # forced 1 at bit 8
+        assert r25 == 0x8  # forced 1 at bit 3
+
+    def test_registers_in_range(self):
+        r17, r25 = CSS(b"\xff" * 5).registers
+        assert r17 < (1 << 17)
+        assert r25 < (1 << 25)
+
+    def test_modes_enumerated(self):
+        assert set(MODES) == {"data", "key", "title", "challenge"}
+
+
+class TestKeystream:
+    def test_deterministic(self):
+        assert CSS(KEY).keystream_bytes(64) == CSS(KEY).keystream_bytes(64)
+
+    def test_key_sensitivity(self):
+        other = bytes([0x51, 0x67, 0x67, 0xC5, 0xE1])
+        assert CSS(KEY).keystream_bytes(64) != CSS(other).keystream_bytes(64)
+
+    def test_modes_differ(self):
+        streams = {mode: CSS(KEY, mode).keystream_bytes(32) for mode in MODES}
+        assert len(set(streams.values())) == 4
+
+    def test_carry_propagates(self):
+        """The add-with-carry combiner is not byte-wise independent: the
+        keystream differs from carry-free addition somewhere."""
+        cipher = CSS(KEY)
+        with_carry = cipher.keystream_bytes(256)
+        c2 = CSS(KEY)
+        free = bytes((c2._byte17() + c2._byte25()) & 0xFF for _ in range(256))
+        assert with_carry != free
+
+    def test_keystream_bits_packing(self):
+        bits = CSS(KEY).keystream_bits(16)
+        data = CSS(KEY).keystream_bytes(2)
+        assert bits == [(data[i // 8] >> (i % 8)) & 1 for i in range(16)]
+
+
+class TestScrambling:
+    def test_roundtrip(self):
+        sector = bytes(range(256)) * 8  # 2048-byte DVD sector
+        scrambled = CSS(KEY, "data").scramble(sector)
+        assert scrambled != sector
+        assert CSS(KEY, "data").descramble(scrambled) == sector
+
+    def test_title_mode_roundtrip(self):
+        payload = b"title key payload"
+        assert CSS(KEY, "title").descramble(CSS(KEY, "title").scramble(payload)) == payload

@@ -1,0 +1,105 @@
+"""Unit tests for repro.cipher.e0 (Bluetooth summation combiner)."""
+
+import pytest
+
+from repro.cipher import E0, STATE_BITS
+from repro.cipher.e0 import _t1, _t2
+
+
+class TestStructure:
+    def test_total_state_bits(self):
+        """Bluetooth spec: 25 + 31 + 33 + 39 = 128 LFSR state bits."""
+        assert STATE_BITS == 128
+
+    def test_t1_identity(self):
+        assert [_t1(c) for c in range(4)] == [0, 1, 2, 3]
+
+    def test_t2_bijection(self):
+        assert sorted(_t2(c) for c in range(4)) == [0, 1, 2, 3]
+
+    def test_t2_mapping(self):
+        # (a, b) -> (b, a ^ b): 0b10 -> (0, 1) = 0b01
+        assert _t2(0b10) == 0b01
+        assert _t2(0b01) == 0b11
+        assert _t2(0b11) == 0b10
+        assert _t2(0b00) == 0b00
+
+
+class TestValidation:
+    def test_needs_four_registers(self):
+        with pytest.raises(ValueError):
+            E0([1, 2, 3])
+
+    def test_rejects_zero_register(self):
+        with pytest.raises(ValueError):
+            E0([0, 1, 1, 1])
+
+    def test_rejects_wide_register(self):
+        with pytest.raises(ValueError):
+            E0([1 << 25, 1, 1, 1])
+
+    def test_rejects_wide_carry(self):
+        with pytest.raises(ValueError):
+            E0([1, 1, 1, 1], carry=4)
+
+    def test_seed_length(self):
+        with pytest.raises(ValueError):
+            E0.from_seed(b"\x00" * 15)
+
+    def test_zero_seed_patched(self):
+        cipher = E0.from_seed(b"\x00" * 16)
+        assert all(r != 0 for r in cipher.registers)
+
+
+class TestKeystream:
+    def test_deterministic(self):
+        seed = bytes(range(16))
+        assert E0.from_seed(seed).keystream(256) == E0.from_seed(seed).keystream(256)
+
+    def test_seed_sensitivity(self):
+        a = E0.from_seed(bytes(range(16))).keystream(256)
+        b = E0.from_seed(bytes(range(1, 17))).keystream(256)
+        assert a != b
+
+    def test_carry_state_affects_output(self):
+        regs = [0x1234, 0x5678, 0x9ABC, 0xDEF0]
+        a = E0(regs, carry=0).keystream(64)
+        b = E0(regs, carry=3).keystream(64)
+        assert a != b
+
+    def test_registers_stay_in_range(self):
+        cipher = E0.from_seed(bytes(range(16)))
+        cipher.keystream(1000)
+        for value, length in zip(cipher.registers, (25, 31, 33, 39)):
+            assert 0 < value < (1 << length)
+
+    def test_roughly_balanced(self):
+        ks = E0.from_seed(b"\xa5" * 16).keystream(4000)
+        assert 1700 < sum(ks) < 2300
+
+    def test_nonlinearity(self):
+        """The summation combiner is *not* GF(2)-linear in the registers:
+        keystream(r ^ s) != keystream(r) ^ keystream(s) in general."""
+        r = [0x000001, 0x000001, 0x000001, 0x000001]
+        s = [0x100000, 0x200000, 0x300000, 0x400000]
+        xor_regs = [a ^ b for a, b in zip(r, s)]
+        k_r = E0(r).keystream(128)
+        k_s = E0(s).keystream(128)
+        k_x = E0(xor_regs).keystream(128)
+        assert k_x != [a ^ b for a, b in zip(k_r, k_s)]
+
+
+class TestEncryption:
+    def test_encrypt_decrypt_roundtrip(self):
+        seed = bytes(range(16))
+        plaintext = b"The PiCoGA runs at 200 MHz."
+        ciphertext = E0.from_seed(seed).encrypt(plaintext)
+        assert ciphertext != plaintext
+        assert E0.from_seed(seed).encrypt(ciphertext) == plaintext
+
+    def test_keystream_bytes_packing(self):
+        seed = b"\x55" * 16
+        bits = E0.from_seed(seed).keystream(16)
+        data = E0.from_seed(seed).keystream_bytes(2)
+        packed = [(data[i // 8] >> (i % 8)) & 1 for i in range(16)]
+        assert packed == bits

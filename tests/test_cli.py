@@ -1,0 +1,93 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestStandards:
+    def test_lists_catalog(self, capsys):
+        assert main(["standards"]) == 0
+        out = capsys.readouterr().out
+        assert "CRC-32" in out
+        assert "CRC-16/X-25" in out
+
+
+class TestCrcCommand:
+    def test_default_check_input(self, capsys):
+        assert main(["crc"]) == 0
+        assert "0xCBF43926" in capsys.readouterr().out
+
+    def test_hex_payload(self, capsys):
+        assert main(["crc", "--hex", "313233343536373839"]) == 0
+        assert "0xCBF43926" in capsys.readouterr().out
+
+    def test_text_payload(self, capsys):
+        assert main(["crc", "--text", "123456789", "--standard", "CRC-16/XMODEM"]) == 0
+        assert "0x31C3" in capsys.readouterr().out
+
+    def test_file_payload(self, tmp_path, capsys):
+        path = tmp_path / "payload.bin"
+        path.write_bytes(b"123456789")
+        assert main(["crc", "--file", str(path)]) == 0
+        assert "0xCBF43926" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("engine", ["bitwise", "table", "slicing", "gfmac", "derby"])
+    def test_all_engines(self, engine, capsys):
+        assert main(["crc", "--engine", engine]) == 0
+        assert "0xCBF43926" in capsys.readouterr().out
+
+    def test_verify_ok(self, capsys):
+        assert main(["crc", "--verify", "0xCBF43926"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_verify_mismatch_exit_code(self, capsys):
+        assert main(["crc", "--verify", "0xDEADBEEF"]) == 1
+        assert "MISMATCH" in capsys.readouterr().out
+
+
+class TestMapCommand:
+    def test_summary(self, capsys):
+        assert main(["map", "--standard", "CRC-32", "-m", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "M=16" in out
+        assert "II=1" in out
+
+    def test_placement_report(self, capsys):
+        assert main(["map", "-m", "16", "--report"]) == 0
+        out = capsys.readouterr().out
+        assert "row  level  cells" in out
+        assert "crc32_output_M16" in out
+
+    def test_direct_method(self, capsys):
+        assert main(["map", "-m", "16", "--method", "direct"]) == 0
+        assert "direct" in capsys.readouterr().out
+
+
+class TestExploreCommand:
+    def test_sweep_with_infeasible(self, capsys):
+        assert main(["explore", "--factors", "16", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "16" in out
+        assert "infeasible" in out
+
+
+class TestAnalyzeCommand:
+    def test_selected_standards(self, capsys):
+        assert main(["analyze", "--standards", "CRC-32", "CRC-16/ARC"]) == 0
+        out = capsys.readouterr().out
+        assert "1+15" in out  # ARC factor structure
+        assert "4294967295" in out  # CRC-32 period
+
+    def test_default_set(self, capsys):
+        assert main(["analyze"]) == 0
+        out = capsys.readouterr().out
+        assert "CRC-24/OPENPGP" in out
+
+
+class TestPerfCommand:
+    def test_throughput_table(self, capsys):
+        assert main(["perf", "--bits", "12144", "--factors", "32", "128"]) == 0
+        out = capsys.readouterr().out
+        assert "interleaved" in out
+        assert "12144" in out

@@ -1,0 +1,98 @@
+"""Unit tests for repro.crc.codeword (wire-format framing)."""
+
+import numpy as np
+import pytest
+
+from repro.crc import CodewordCodec, ETHERNET_CRC32, get
+
+
+@pytest.fixture(scope="module")
+def messages():
+    rng = np.random.default_rng(44)
+    return [bytes(rng.integers(0, 256, size=n).tolist()) for n in (0, 1, 46, 300)]
+
+
+class TestFraming:
+    def test_byte_multiple_width_required(self):
+        with pytest.raises(ValueError):
+            CodewordCodec(get("CRC-15/CAN"))
+
+    def test_overhead(self):
+        assert CodewordCodec(ETHERNET_CRC32).overhead_bytes == 4
+        assert CodewordCodec(get("CRC-16/X-25")).overhead_bytes == 2
+
+    def test_encode_appends(self, messages):
+        codec = CodewordCodec(ETHERNET_CRC32)
+        for m in messages:
+            assert len(codec.encode(m)) == len(m) + 4
+
+    def test_reflected_wire_order_is_little_endian(self):
+        codec = CodewordCodec(ETHERNET_CRC32)
+        crc = 0x11223344
+        assert codec.crc_to_bytes(crc) == bytes([0x44, 0x33, 0x22, 0x11])
+
+    def test_forward_wire_order_is_big_endian(self):
+        codec = CodewordCodec(get("CRC-16/XMODEM"))
+        assert codec.crc_to_bytes(0x1234) == bytes([0x12, 0x34])
+
+    def test_crc_bytes_roundtrip(self):
+        codec = CodewordCodec(ETHERNET_CRC32)
+        assert codec.crc_from_bytes(codec.crc_to_bytes(0xCBF43926)) == 0xCBF43926
+
+    def test_crc_from_bytes_length_check(self):
+        with pytest.raises(ValueError):
+            CodewordCodec(ETHERNET_CRC32).crc_from_bytes(b"\x00")
+
+
+class TestDecoding:
+    @pytest.mark.parametrize("name", ["CRC-32", "CRC-32/MPEG-2", "CRC-16/X-25", "CRC-8"])
+    def test_roundtrip(self, name, messages):
+        codec = CodewordCodec(get(name))
+        for m in messages:
+            recovered, ok = codec.decode(codec.encode(m))
+            assert ok
+            assert recovered == m
+
+    def test_detects_payload_corruption(self, messages):
+        codec = CodewordCodec(ETHERNET_CRC32)
+        codeword = bytearray(codec.encode(messages[2]))
+        codeword[3] ^= 0x40
+        _, ok = codec.decode(bytes(codeword))
+        assert not ok
+
+    def test_detects_crc_corruption(self, messages):
+        codec = CodewordCodec(ETHERNET_CRC32)
+        codeword = bytearray(codec.encode(messages[2]))
+        codeword[-1] ^= 0x01
+        _, ok = codec.decode(bytes(codeword))
+        assert not ok
+
+    def test_short_codeword_rejected(self):
+        with pytest.raises(ValueError):
+            CodewordCodec(ETHERNET_CRC32).decode(b"\x00\x00")
+
+
+class TestResidueDiscipline:
+    @pytest.mark.parametrize("name", ["CRC-32", "CRC-16/X-25", "CRC-16/XMODEM", "CRC-8"])
+    def test_valid_codewords_hit_residue(self, name, messages):
+        codec = CodewordCodec(get(name))
+        for m in messages:
+            assert codec.check_residue(codec.encode(m))
+
+    def test_corruption_misses_residue(self, messages):
+        codec = CodewordCodec(ETHERNET_CRC32)
+        codeword = bytearray(codec.encode(messages[2]))
+        codeword[0] ^= 0x80
+        assert not codec.check_residue(bytes(codeword))
+
+    def test_mixed_reflection_unsupported(self):
+        # Hypothetical mixed spec at byte-multiple width.
+        from repro.crc import CRCSpec
+
+        mixed = CRCSpec("MIXED-16", 16, 0x1021, 0, False, True, 0)
+        codec = CodewordCodec(mixed)
+        with pytest.raises(ValueError):
+            codec.check_residue(b"\x00\x00\x00")
+
+    def test_too_short_is_invalid(self):
+        assert not CodewordCodec(ETHERNET_CRC32).check_residue(b"\x00")

@@ -1,0 +1,182 @@
+"""Cross-engine equivalence and per-engine behaviour tests."""
+
+import numpy as np
+import pytest
+
+from repro.crc import (
+    BitwiseCRC,
+    DerbyCRC,
+    ETHERNET_CRC32,
+    GFMACCRC,
+    LookaheadCRC,
+    MPEG2_CRC32,
+    SlicingCRC,
+    TableCRC,
+    get,
+)
+from repro.crc.gfmac import chunk_message_bits
+
+SPECS = [ETHERNET_CRC32, MPEG2_CRC32, get("CRC-16/CCITT-FALSE"), get("CRC-16/ARC")]
+
+
+@pytest.fixture(scope="module")
+def messages():
+    rng = np.random.default_rng(2024)
+    lengths = [0, 1, 2, 3, 8, 15, 16, 17, 64, 255]
+    return [bytes(rng.integers(0, 256, size=n).tolist()) for n in lengths]
+
+
+class TestSoftwareEngineEquivalence:
+    @pytest.mark.parametrize("spec", SPECS, ids=lambda s: s.name)
+    def test_table_equals_bitwise(self, spec, messages):
+        bw, tb = BitwiseCRC(spec), TableCRC(spec)
+        for m in messages:
+            assert tb.compute(m) == bw.compute(m)
+
+    @pytest.mark.parametrize("spec", SPECS, ids=lambda s: s.name)
+    @pytest.mark.parametrize("slices", [4, 8, 16])
+    def test_slicing_equals_bitwise(self, spec, slices, messages):
+        bw, sl = BitwiseCRC(spec), SlicingCRC(spec, slices)
+        for m in messages:
+            assert sl.compute(m) == bw.compute(m)
+
+    def test_slicing_fallback_for_odd_width(self, messages):
+        spec = get("CRC-15/CAN")
+        sl = SlicingCRC(spec)
+        assert not sl.supported
+        bw = BitwiseCRC(spec)
+        for m in messages:
+            assert sl.compute(m) == bw.compute(m)
+
+    def test_slicing_rejects_bad_count(self):
+        with pytest.raises(ValueError):
+            SlicingCRC(ETHERNET_CRC32, 0)
+
+    def test_narrow_width_table(self, messages):
+        for name in ("CRC-5/USB", "CRC-7/MMC"):
+            spec = get(name)
+            bw, tb = BitwiseCRC(spec), TableCRC(spec)
+            for m in messages:
+                assert tb.compute(m) == bw.compute(m)
+
+
+class TestMatrixEngines:
+    @pytest.mark.parametrize("M", [1, 4, 8, 32, 64, 128])
+    def test_lookahead_equals_bitwise_crc32(self, M, messages):
+        bw, la = BitwiseCRC(ETHERNET_CRC32), LookaheadCRC(ETHERNET_CRC32, M)
+        for m in messages:
+            assert la.compute(m) == bw.compute(m)
+
+    @pytest.mark.parametrize("M", [1, 4, 8, 32, 64, 128])
+    def test_derby_equals_bitwise_crc32(self, M, messages):
+        bw, db = BitwiseCRC(ETHERNET_CRC32), DerbyCRC(ETHERNET_CRC32, M)
+        for m in messages:
+            assert db.compute(m) == bw.compute(m)
+
+    @pytest.mark.parametrize("spec", SPECS, ids=lambda s: s.name)
+    def test_derby_all_specs(self, spec, messages):
+        bw, db = BitwiseCRC(spec), DerbyCRC(spec, 16)
+        for m in messages:
+            assert db.compute(m) == bw.compute(m)
+
+    def test_tail_not_multiple_of_m(self):
+        """M = 24 never divides 8·len for odd lengths — exercises the
+        serial tail path."""
+        bw, db = BitwiseCRC(ETHERNET_CRC32), DerbyCRC(ETHERNET_CRC32, 24)
+        assert db.compute(b"12345") == bw.compute(b"12345")
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            LookaheadCRC(ETHERNET_CRC32, 0)
+
+    def test_streaming_api(self, messages):
+        db = DerbyCRC(ETHERNET_CRC32, 32)
+        bw = BitwiseCRC(ETHERNET_CRC32)
+        m = messages[-1][:64]  # 512 bits = 16 chunks of 32
+        bits = ETHERNET_CRC32.message_bits(m)
+        state = db.stream_state(ETHERNET_CRC32.init)
+        for off in range(0, len(bits), 32):
+            state = db.stream_block(state, bits[off : off + 32])
+        assert ETHERNET_CRC32.finalize(db.stream_finish(state)) == bw.compute(m)
+
+    def test_paper_128bit_lookahead_exists(self):
+        """§4: 'PiCoGA is able to elaborate up to 128 bit per cycle'."""
+        db = DerbyCRC(ETHERNET_CRC32, 128)
+        assert db.transform.A_Mt.is_companion()
+        assert db.transform.B_Mt.shape == (32, 128)
+
+
+class TestGFMAC:
+    @pytest.mark.parametrize("spec", SPECS, ids=lambda s: s.name)
+    @pytest.mark.parametrize("chunk", [8, 24, 32, 128])
+    def test_equals_bitwise(self, spec, chunk, messages):
+        bw, gm = BitwiseCRC(spec), GFMACCRC(spec, chunk)
+        for m in messages:
+            assert gm.compute(m) == bw.compute(m)
+
+    def test_chunking_weights(self):
+        chunks = chunk_message_bits([1, 0, 1, 1, 0], 2)
+        assert chunks == [(0b10, 3), (0b11, 1), (0b0, 0)]
+
+    def test_chunking_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            chunk_message_bits([1], 0)
+
+    def test_beta_constants(self):
+        gm = GFMACCRC(ETHERNET_CRC32, 32)
+        # weight 0: x^32 mod G = G - x^32 = the low polynomial bits.
+        assert gm.beta(0) == 0x04C11DB7
+
+    def test_gfmac_count_tracks_work(self):
+        gm = GFMACCRC(MPEG2_CRC32, 32)
+        gm.compute(b"\x00" * 16)  # 128 bits -> 4 chunks + 1 init term
+        assert gm.gfmac_count == 5
+
+    def test_reference_cycle_claim_workload(self):
+        """[10]: a 128-bit message needs N/M = 4 GFMACs at M = 32 — with 16
+        units that is a couple of cycles, matching the cited 2-3 cycles."""
+        gm = GFMACCRC(MPEG2_CRC32, 32)
+        gm.compute(b"\xaa" * 16)
+        assert gm.gfmac_count <= 16
+
+
+class TestErrorDetectionProperties:
+    """CRC behaviour guarantees that make it a *check* code."""
+
+    def test_single_bit_errors_detected(self):
+        bw = BitwiseCRC(ETHERNET_CRC32)
+        data = bytearray(b"The quick brown fox")
+        good = bw.compute(bytes(data))
+        for byte_idx in range(len(data)):
+            for bit in range(8):
+                data[byte_idx] ^= 1 << bit
+                assert bw.compute(bytes(data)) != good
+                data[byte_idx] ^= 1 << bit
+
+    def test_burst_errors_detected(self):
+        """Any burst shorter than the width is caught."""
+        bw = BitwiseCRC(ETHERNET_CRC32)
+        data = bytearray(b"payload payload payload")
+        good = bw.compute(bytes(data))
+        for start in range(0, len(data) - 4):
+            corrupted = bytearray(data)
+            corrupted[start] ^= 0xFF
+            corrupted[start + 3] ^= 0x81
+            assert bw.compute(bytes(corrupted)) != good
+
+    def test_linearity_over_gf2(self):
+        """crc0(a ^ b) == crc0(a) ^ crc0(b) for the zero-preset raw CRC."""
+        spec = get("CRC-16/XMODEM")  # init = 0, xorout = 0, no reflection
+        bw = BitwiseCRC(spec)
+        rng = np.random.default_rng(7)
+        for _ in range(10):
+            a = bytes(rng.integers(0, 256, size=20).tolist())
+            b = bytes(rng.integers(0, 256, size=20).tolist())
+            ab = bytes(x ^ y for x, y in zip(a, b))
+            assert bw.compute(ab) == bw.compute(a) ^ bw.compute(b)
+
+    def test_verify_roundtrip(self):
+        for engine_cls in (BitwiseCRC, TableCRC):
+            engine = engine_cls(ETHERNET_CRC32)
+            assert engine.verify(b"data", engine.compute(b"data"))
+            assert not engine.verify(b"data", engine.compute(b"data") ^ 1)

@@ -1,0 +1,99 @@
+"""Unit tests for generator_report and the pipeline trace."""
+
+import pytest
+
+from repro.crc import CATALOG, ETHERNET_CRC32, generator_report, get
+from repro.mapping import map_crc
+from repro.picoga import trace_burst
+
+
+class TestGeneratorReport:
+    def test_crc32_primitive(self):
+        report = generator_report(ETHERNET_CRC32)
+        assert report.irreducible
+        assert report.primitive
+        assert not report.has_parity_factor
+        assert report.period == (1 << 32) - 1
+        assert report.factor_degrees == [32]
+
+    def test_crc16_arc_parity_factor(self):
+        report = generator_report(get("CRC-16/ARC"))
+        assert not report.irreducible
+        assert report.has_parity_factor
+        assert report.detects_all_odd_weight_errors
+        assert report.factor_degrees == [1, 15]
+        assert report.period == (1 << 15) - 1
+
+    def test_ccitt_family_shares_structure(self):
+        a = generator_report(get("CRC-16/CCITT-FALSE"))
+        b = generator_report(get("CRC-16/KERMIT"))
+        assert a.factor_degrees == b.factor_degrees == [1, 15]
+
+    def test_two_bit_error_span(self):
+        """max_codeword_span is the guaranteed 2-bit-error window."""
+        report = generator_report(ETHERNET_CRC32)
+        assert report.max_codeword_span > 12144  # covers any Ethernet frame
+
+    def test_factor_degrees_sum_to_width(self):
+        for spec in CATALOG:
+            if spec.width > 32:
+                continue  # keep the run fast; 64-bit factorization works too
+            report = generator_report(spec)
+            assert sum(report.factor_degrees) == spec.width, spec.name
+
+    def test_parity_factor_iff_even_weight(self):
+        for spec in CATALOG:
+            if spec.width > 32:
+                continue
+            report = generator_report(spec)
+            even_weight = bin((1 << spec.width) | spec.poly).count("1") % 2 == 0
+            assert report.has_parity_factor == even_weight, spec.name
+
+
+class TestPipelineTrace:
+    @pytest.fixture(scope="class")
+    def derby_op(self):
+        return map_crc(ETHERNET_CRC32, 32, method="derby").update_op
+
+    @pytest.fixture(scope="class")
+    def direct_op(self):
+        return map_crc(ETHERNET_CRC32, 64, method="direct").update_op
+
+    def test_trace_shape(self, derby_op):
+        trace = trace_burst(derby_op, 10)
+        assert trace.rows == derby_op.n_rows
+        assert trace.cycles == 9 * 1 + derby_op.n_rows
+
+    def test_ii1_reaches_full_utilization(self, derby_op):
+        trace = trace_burst(derby_op, 200)
+        assert trace.utilization() > 0.9
+
+    def test_ii2_caps_utilization_at_half(self, direct_op):
+        assert direct_op.initiation_interval == 2
+        trace = trace_burst(direct_op, 200)
+        assert trace.utilization() < 0.55
+
+    def test_completion_cycles(self, derby_op):
+        trace = trace_burst(derby_op, 5)
+        assert trace.block_completion_cycle(0) == derby_op.n_rows - 1
+        assert trace.block_completion_cycle(4) == 4 + derby_op.n_rows - 1
+
+    def test_unknown_block(self, derby_op):
+        with pytest.raises(ValueError):
+            trace_burst(derby_op, 2).block_completion_cycle(7)
+
+    def test_render(self, derby_op):
+        text = trace_burst(derby_op, 3).render(max_cycles=5)
+        assert "pipeline trace" in text
+        assert "II=1" in text
+
+    def test_needs_blocks(self, derby_op):
+        with pytest.raises(ValueError):
+            trace_burst(derby_op, 0)
+
+    def test_trace_consistent_with_ledger(self, system_cycles=None):
+        """Trace span == fill + (n-1)*II, matching the array's charges."""
+        op = map_crc(ETHERNET_CRC32, 16).update_op
+        n = 25
+        trace = trace_burst(op, n)
+        assert trace.cycles == op.latency_cycles + (n - 1) * op.initiation_interval

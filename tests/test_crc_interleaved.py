@@ -1,0 +1,59 @@
+"""Unit tests for repro.crc.interleaved (Kong–Parhi interleaving)."""
+
+import numpy as np
+import pytest
+
+from repro.crc import BitwiseCRC, ETHERNET_CRC32, InterleavedCRC, get
+
+
+@pytest.fixture(scope="module")
+def messages():
+    rng = np.random.default_rng(11)
+    return [bytes(rng.integers(0, 256, size=n).tolist()) for n in (4, 46, 64, 100, 9, 16)]
+
+
+class TestBatch:
+    def test_matches_per_message_crc(self, messages):
+        il = InterleavedCRC(ETHERNET_CRC32, 32, ways=8)
+        bw = BitwiseCRC(ETHERNET_CRC32)
+        assert il.compute_batch(messages) == [bw.compute(m) for m in messages]
+
+    def test_mixed_lengths_with_tails(self, messages):
+        """Messages whose bit counts are not multiples of M."""
+        il = InterleavedCRC(ETHERNET_CRC32, 128, ways=8)
+        bw = BitwiseCRC(ETHERNET_CRC32)
+        assert il.compute_batch(messages) == [bw.compute(m) for m in messages]
+
+    def test_batch_size_limit(self, messages):
+        il = InterleavedCRC(ETHERNET_CRC32, 32, ways=2)
+        with pytest.raises(ValueError):
+            il.compute_batch(messages[:3])
+
+    def test_invalid_ways(self):
+        with pytest.raises(ValueError):
+            InterleavedCRC(ETHERNET_CRC32, 32, ways=0)
+
+    def test_paper_configuration(self, messages):
+        """Fig. 5 interleaves 32 messages at once."""
+        il = InterleavedCRC(ETHERNET_CRC32, 32, ways=32)
+        batch = (messages * 6)[:32]
+        bw = BitwiseCRC(ETHERNET_CRC32)
+        assert il.compute_batch(batch) == [bw.compute(m) for m in batch]
+
+
+class TestStream:
+    def test_stream_splits_into_batches(self, messages):
+        il = InterleavedCRC(get("CRC-16/X-25"), 16, ways=2)
+        bw = BitwiseCRC(get("CRC-16/X-25"))
+        stream = messages * 3
+        assert il.compute_stream(stream) == [bw.compute(m) for m in stream]
+
+    def test_empty_stream(self):
+        il = InterleavedCRC(ETHERNET_CRC32, 32)
+        assert il.compute_stream([]) == []
+
+    def test_properties(self):
+        il = InterleavedCRC(ETHERNET_CRC32, 64, ways=16)
+        assert il.M == 64
+        assert il.ways == 16
+        assert il.spec is ETHERNET_CRC32

@@ -1,0 +1,111 @@
+"""Unit tests for repro.crc.properties (error-detection analysis)."""
+
+import pytest
+
+from repro.crc import CRCSpec, ETHERNET_CRC32, get
+from repro.crc.properties import (
+    detects_all_burst_errors,
+    detects_error_pattern,
+    minimum_distance,
+    undetected_fraction_exhaustive,
+    weight_spectrum,
+)
+
+CRC8 = get("CRC-8")
+CRC16 = get("CRC-16/XMODEM")
+
+
+class TestErrorPatterns:
+    def test_zero_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            detects_error_pattern(CRC8, 0)
+
+    def test_single_bit_always_detected(self):
+        for pos in range(64):
+            assert detects_error_pattern(ETHERNET_CRC32, 1 << pos)
+
+    def test_generator_multiple_undetected(self):
+        """An error equal to the generator polynomial itself slips through
+        — the defining failure mode of a CRC."""
+        g = CRC8.generator().coeffs
+        assert not detects_error_pattern(CRC8, g)
+
+    def test_generator_times_x_undetected(self):
+        g = CRC16.generator().coeffs
+        assert not detects_error_pattern(CRC16, g << 3)
+
+    def test_presets_do_not_change_detectability(self):
+        """Detectability is a property of the raw linear code (linearity),
+        so reflected/preset variants agree with their raw cousins."""
+        raw = CRCSpec("RAW", 16, 0x1021)
+        for pattern in (0b1, 0b101 << 7, CRC16.generator().coeffs):
+            assert detects_error_pattern(raw, pattern) == detects_error_pattern(
+                get("CRC-16/CCITT-FALSE"), pattern
+            )
+
+
+class TestBurstCoverage:
+    def test_crc8_catches_bursts_up_to_width(self):
+        assert detects_all_burst_errors(CRC8, burst_length=8, message_bits=24)
+
+    def test_crc16_catches_bursts_up_to_width(self):
+        assert detects_all_burst_errors(CRC16, burst_length=12, message_bits=24)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            detects_all_burst_errors(CRC8, 0, 8)
+
+    def test_weak_generator_misses_long_bursts(self):
+        """g(x) = x^4 + 1 is reducible and misses some short patterns."""
+        weak = CRCSpec("WEAK-4", 4, 0x1)  # x^4 + 1
+        # x^4+1 divides x^8+... specifically pattern (x^4+1) is a burst of
+        # length 5 that it cannot see.
+        assert not detects_error_pattern(weak, 0b10001)
+
+
+class TestMinimumDistance:
+    def test_crc8_distance_over_short_blocks(self):
+        report = minimum_distance(CRC8, message_bits=16, max_weight=4)
+        assert report.hamming_distance is not None
+        assert report.hamming_distance >= 2
+
+    def test_crc32_no_low_weight_codewords_short_block(self):
+        """CRC-32 has Hamming distance >= 5 well beyond this block size."""
+        report = minimum_distance(ETHERNET_CRC32, message_bits=24, max_weight=4)
+        assert report.hamming_distance is None
+        assert report.checked_up_to_weight == 4
+
+    def test_distance_is_even_for_even_weight_generators(self):
+        """Generators divisible by (x+1) — even tap count — detect all
+        odd-weight errors, so the first undetected weight is even."""
+        spec = get("CRC-16/ARC")  # 0x8005: x^16+x^15+x^2+1, divisible by x+1
+        report = minimum_distance(spec, message_bits=20, max_weight=4)
+        if report.hamming_distance is not None:
+            assert report.hamming_distance % 2 == 0
+
+
+class TestUndetectedFraction:
+    def test_matches_closed_form(self):
+        """Fraction = (2^(N-W) - 1) / (2^N - 1) for N > W."""
+        n = 12
+        measured = undetected_fraction_exhaustive(CRC8, n)
+        expected = ((1 << (n - 8)) - 1) / ((1 << n) - 1)
+        assert measured == pytest.approx(expected)
+
+    def test_all_detected_when_shorter_than_width(self):
+        assert undetected_fraction_exhaustive(CRC8, 8) == 0.0
+
+    def test_size_limit(self):
+        with pytest.raises(ValueError):
+            undetected_fraction_exhaustive(CRC8, 20)
+
+
+class TestWeightSpectrum:
+    def test_counts_positions(self):
+        spectrum = weight_spectrum(CRC8, 32)
+        assert sum(spectrum.values()) == 32
+
+    def test_no_zero_weight(self):
+        """Single-bit errors always leave a non-zero syndrome."""
+        spectrum = weight_spectrum(ETHERNET_CRC32, 128)
+        assert 0 not in spectrum

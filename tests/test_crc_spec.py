@@ -1,0 +1,113 @@
+"""Unit tests for repro.crc.spec."""
+
+import pytest
+
+from repro.crc import CRCSpec, ETHERNET_CRC32, MPEG2_CRC32
+from repro.crc.catalog import get
+
+
+class TestValidation:
+    def test_basic_construction(self):
+        spec = CRCSpec("T", 8, 0x07)
+        assert spec.mask == 0xFF
+        assert spec.top_bit == 0x80
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            CRCSpec("T", 0, 0)
+
+    def test_rejects_wide_poly(self):
+        with pytest.raises(ValueError):
+            CRCSpec("T", 8, 0x100)
+
+    def test_rejects_wide_init(self):
+        with pytest.raises(ValueError):
+            CRCSpec("T", 8, 0x07, init=0x1FF)
+
+    def test_rejects_wide_xorout(self):
+        with pytest.raises(ValueError):
+            CRCSpec("T", 8, 0x07, xorout=0x100)
+
+    def test_rejects_wide_check(self):
+        with pytest.raises(ValueError):
+            CRCSpec("T", 8, 0x07, check=0x100)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            ETHERNET_CRC32.width = 16
+
+
+class TestGenerator:
+    def test_full_polynomial(self):
+        assert ETHERNET_CRC32.generator().coeffs == (1 << 32) | 0x04C11DB7
+
+    def test_generator_degree(self):
+        assert ETHERNET_CRC32.generator().degree == 32
+
+    def test_reflected_poly(self):
+        assert ETHERNET_CRC32.reflected_poly() == 0xEDB88320
+
+    def test_ethernet_and_mpeg2_share_generator(self):
+        """The paper: 'the same defined for MPEG-2'."""
+        assert ETHERNET_CRC32.generator() == MPEG2_CRC32.generator()
+
+
+class TestBitPreparation:
+    def test_reflected_message_bits(self):
+        assert ETHERNET_CRC32.message_bits(b"\x80") == [0, 0, 0, 0, 0, 0, 0, 1]
+
+    def test_forward_message_bits(self):
+        assert MPEG2_CRC32.message_bits(b"\x80") == [1, 0, 0, 0, 0, 0, 0, 0]
+
+
+class TestFinalize:
+    def test_finalize_unfinalize_roundtrip(self):
+        for spec in (ETHERNET_CRC32, MPEG2_CRC32, get("CRC-16/X-25")):
+            for reg in (0, 1, spec.mask, 0x5A5A5A5A & spec.mask):
+                assert spec.unfinalize(spec.finalize(reg)) == reg
+
+    def test_finalize_range_check(self):
+        with pytest.raises(ValueError):
+            ETHERNET_CRC32.finalize(1 << 32)
+
+    def test_non_reflected_no_xorout_is_identity(self):
+        spec = get("CRC-16/XMODEM")
+        assert spec.finalize(0x1234) == 0x1234
+
+    def test_xorout_applied(self):
+        spec = get("CRC-16/GENIBUS")
+        assert spec.finalize(0) == 0xFFFF
+
+
+class TestResidue:
+    def test_residue_is_message_independent(self):
+        from repro.crc.bitwise import BitwiseCRC
+
+        spec = get("CRC-16/X-25")
+        engine = BitwiseCRC(spec)
+        values = set()
+        for message in (b"", b"a", b"hello world", bytes(range(50))):
+            crc = engine.compute(message)
+            codeword = message + crc.to_bytes(2, "little")
+            values.add(engine.raw_register(codeword))
+        assert len(values) == 1
+
+    def test_residue_helper_matches_manual(self):
+        from repro.crc.bitwise import BitwiseCRC
+
+        spec = get("CRC-16/X-25")
+        engine = BitwiseCRC(spec)
+        crc = engine.compute(b"\x01\x02\x03")
+        manual = engine.raw_register(b"\x01\x02\x03" + crc.to_bytes(2, "little"))
+        assert spec.residue() == manual
+
+    def test_residue_rejects_odd_widths(self):
+        with pytest.raises(ValueError):
+            get("CRC-15/CAN").residue()
+
+    def test_x25_known_residue(self):
+        # CRC-16/X-25 residue is the well-known 0xF0B8 constant — in the
+        # reflected register domain; our raw register is its reflection.
+        from repro.gf2.bits import reflect_bits
+
+        assert reflect_bits(get("CRC-16/X-25").residue(), 16) == 0xF0B8

@@ -1,0 +1,148 @@
+"""Unit tests for WordwiseCRC, routing estimation and the workload
+scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.crc import BitwiseCRC, CATALOG, ETHERNET_CRC32, WordwiseCRC, get
+from repro.dream import Job, WorkloadScheduler
+from repro.mapping import map_crc, map_scrambler
+from repro.picoga import estimate_routing
+from repro.scrambler import IEEE80216E
+
+
+@pytest.fixture(scope="module")
+def messages():
+    rng = np.random.default_rng(0xAB)
+    return [bytes(rng.integers(0, 256, size=n).tolist()) for n in (0, 3, 46, 200)]
+
+
+class TestWordwiseCRC:
+    @pytest.mark.parametrize("word_bits", [8, 16, 32, 64])
+    def test_equals_bitwise_crc32(self, word_bits, messages):
+        engine = WordwiseCRC(ETHERNET_CRC32, word_bits)
+        bw = BitwiseCRC(ETHERNET_CRC32)
+        for m in messages:
+            assert engine.compute(m) == bw.compute(m)
+
+    def test_across_catalog_sample(self, messages):
+        for name in ("CRC-16/CCITT-FALSE", "CRC-32/MPEG-2", "CRC-8", "CRC-24/OPENPGP"):
+            spec = get(name)
+            engine = WordwiseCRC(spec, 16)
+            bw = BitwiseCRC(spec)
+            for m in messages:
+                assert engine.compute(m) == bw.compute(m), name
+
+    def test_check_values(self):
+        for spec in CATALOG[:10]:
+            assert WordwiseCRC(spec, 32).compute(b"123456789") == spec.check, spec.name
+
+    def test_invalid_word_size(self):
+        with pytest.raises(ValueError):
+            WordwiseCRC(ETHERNET_CRC32, 0)
+
+    def test_verify(self):
+        engine = WordwiseCRC(ETHERNET_CRC32)
+        assert engine.verify(b"123456789", 0xCBF43926)
+
+
+class TestRoutingEstimate:
+    def test_boundaries_count(self):
+        op = map_crc(ETHERNET_CRC32, 32).update_op
+        report = estimate_routing(op)
+        assert len(report.boundaries) == op.n_rows - 1
+
+    def test_paper_design_point_not_congested(self):
+        """M = 128 fits the channel model — consistent with it being the
+        paper's realizable maximum."""
+        op = map_crc(ETHERNET_CRC32, 128).update_op
+        report = estimate_routing(op)
+        assert not report.congested
+        assert 0 < report.peak_utilization <= 1
+
+    def test_demand_grows_with_m(self):
+        small = estimate_routing(map_crc(ETHERNET_CRC32, 16).update_op)
+        large = estimate_routing(map_crc(ETHERNET_CRC32, 128).update_op)
+        assert large.peak_crossings > small.peak_crossings
+
+    def test_bundles_granularity(self):
+        report = estimate_routing(map_crc(ETHERNET_CRC32, 32).update_op)
+        for crossings, bundles in zip(report.boundaries, report.bundles()):
+            assert bundles == -(-crossings // 2)
+
+    def test_empty_op_report(self):
+        from repro.picoga import Net, PicogaOperation, xor_cell
+
+        op = PicogaOperation(
+            name="tiny", n_inputs=1, n_state=0,
+            cells=[xor_cell(0, [Net.input(0)])],
+            outputs=[Net.cell(0)], next_state=[],
+        )
+        report = estimate_routing(op)
+        assert report.boundaries == []
+        assert report.peak_crossings == 0
+
+
+class TestWorkloadScheduler:
+    @pytest.fixture(scope="class")
+    def personalities(self):
+        return {
+            "eth": map_crc(ETHERNET_CRC32, 64),
+            "ccitt": map_crc(get("CRC-16/CCITT-FALSE"), 64),
+            "x25": map_crc(get("CRC-16/X-25"), 64),
+            "wimax": map_scrambler(IEEE80216E, 64),
+        }
+
+    def test_single_personality_no_reload_churn(self, personalities):
+        scheduler = WorkloadScheduler({"eth": personalities["eth"]})
+        report = scheduler.run([Job("eth", 1024)] * 10)
+        assert report.jobs == 10
+        assert report.reloads == 1  # initial load only
+        assert report.switches == 0
+
+    def test_two_crc_personalities_exceed_contexts(self, personalities):
+        """Two Derby CRCs need 4 contexts total — they fit; adding a third
+        personality starts thrashing."""
+        scheduler = WorkloadScheduler(
+            {"eth": personalities["eth"], "ccitt": personalities["ccitt"]}
+        )
+        trace = [Job("eth", 1024), Job("ccitt", 1024)] * 5
+        report = scheduler.run(trace)
+        assert report.reloads == 2  # one initial load each, then resident
+
+    def test_three_crc_personalities_thrash(self, personalities):
+        scheduler = WorkloadScheduler(
+            {k: personalities[k] for k in ("eth", "ccitt", "x25")}
+        )
+        trace = [Job("eth", 512), Job("ccitt", 512), Job("x25", 512)] * 4
+        report = scheduler.run(trace)
+        assert report.reloads > 3  # round-robin over 6 needed contexts
+        assert report.configuration_overhead > 0.2
+
+    def test_scrambler_plus_crc_fit(self, personalities):
+        scheduler = WorkloadScheduler(
+            {"eth": personalities["eth"], "wimax": personalities["wimax"]}
+        )
+        trace = [Job("eth", 2048), Job("wimax", 2048)] * 6
+        report = scheduler.run(trace)
+        assert report.reloads == 2
+        assert report.switches >= 10
+
+    def test_unknown_personality(self, personalities):
+        scheduler = WorkloadScheduler({"eth": personalities["eth"]})
+        with pytest.raises(KeyError):
+            scheduler.run([Job("ghost", 100)])
+
+    def test_job_validation(self):
+        with pytest.raises(ValueError):
+            Job("x", 0)
+
+    def test_empty_personalities(self):
+        with pytest.raises(ValueError):
+            WorkloadScheduler({})
+
+    def test_throughput_accounting(self, personalities):
+        scheduler = WorkloadScheduler({"eth": personalities["eth"]})
+        report = scheduler.run([Job("eth", 12144)] * 8)
+        bps = report.throughput_bps(8 * 12144, 200e6)
+        assert 1e9 < bps < 12.8e9  # below the M=64 kernel, above a Gbit/s

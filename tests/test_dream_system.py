@@ -1,0 +1,183 @@
+"""Unit tests for repro.dream: system model, drivers, processor."""
+
+import numpy as np
+import pytest
+
+from repro.crc import BitwiseCRC, ETHERNET_CRC32, MPEG2_CRC32
+from repro.dream import (
+    CRCAccelerator,
+    DreamSystem,
+    RiscControlModel,
+    ScramblerAccelerator,
+)
+from repro.mapping import map_crc, map_scrambler
+from repro.scrambler import AdditiveScrambler, IEEE80216E
+
+
+@pytest.fixture(scope="module")
+def system():
+    return DreamSystem()
+
+
+@pytest.fixture(scope="module")
+def mapped128():
+    return map_crc(ETHERNET_CRC32, 128)
+
+
+@pytest.fixture(scope="module")
+def mapped32():
+    return map_crc(ETHERNET_CRC32, 32)
+
+
+@pytest.fixture(scope="module")
+def messages():
+    rng = np.random.default_rng(2)
+    return [bytes(rng.integers(0, 256, size=n).tolist()) for n in (46, 100, 1518)]
+
+
+class TestExecutedCRC:
+    def test_crc_correct(self, system, mapped128, messages):
+        bw = BitwiseCRC(ETHERNET_CRC32)
+        for m in messages:
+            crc, _ = system.execute_crc(mapped128, m)
+            assert crc == bw.compute(m)
+
+    def test_non_reflected_with_init_correction(self, system, messages):
+        mapped = map_crc(MPEG2_CRC32, 64)
+        bw = BitwiseCRC(MPEG2_CRC32)
+        for m in messages:
+            crc, _ = system.execute_crc(mapped, m)
+            assert crc == bw.compute(m)
+
+    def test_partial_chunk_head_padding(self, system, mapped128):
+        """46-byte minimum Ethernet frame: 368 bits, not a multiple of 128."""
+        bw = BitwiseCRC(ETHERNET_CRC32)
+        data = bytes(range(46))
+        crc, _ = system.execute_crc(mapped128, data)
+        assert crc == bw.compute(data)
+
+    def test_empty_message_rejected(self, system, mapped128):
+        with pytest.raises(ValueError):
+            system.execute_crc(mapped128, b"")
+
+    def test_analytic_matches_executed(self, system, mapped128, messages):
+        for m in messages:
+            _, executed = system.execute_crc(mapped128, m)
+            predicted = system.crc_single_performance(mapped128, 8 * len(m))
+            assert executed.total_cycles == predicted.total_cycles, len(m)
+
+    def test_analytic_matches_executed_direct_method(self, system, messages):
+        mapped = map_crc(ETHERNET_CRC32, 32, method="direct")
+        bw = BitwiseCRC(ETHERNET_CRC32)
+        for m in messages:
+            crc, executed = system.execute_crc(mapped, m)
+            assert crc == bw.compute(m)
+            predicted = system.crc_single_performance(mapped, 8 * len(m))
+            assert executed.total_cycles == predicted.total_cycles
+
+
+class TestExecutedInterleaved:
+    def test_batch_correct(self, system, mapped128, messages):
+        bw = BitwiseCRC(ETHERNET_CRC32)
+        batch = messages * 4  # 12 messages, mixed lengths
+        crcs, _ = system.execute_crc_interleaved(mapped128, batch)
+        assert crcs == [bw.compute(m) for m in batch]
+
+    def test_analytic_matches_executed_equal_lengths(self, system, mapped32):
+        batch = [bytes(range(46))] * 8
+        _, executed = system.execute_crc_interleaved(mapped32, batch)
+        predicted = system.crc_interleaved_performance(mapped32, 368, 8)
+        assert executed.total_cycles == predicted.total_cycles
+
+    def test_interleaving_beats_single_for_short_messages(self, system, mapped128):
+        single = system.crc_single_performance(mapped128, 368)
+        batch = system.crc_interleaved_performance(mapped128, 368, 32)
+        assert batch.throughput_bps > 3 * single.throughput_bps
+
+    def test_empty_batch_rejected(self, system, mapped128):
+        with pytest.raises(ValueError):
+            system.execute_crc_interleaved(mapped128, [])
+
+
+class TestExecutedScrambler:
+    def test_bits_correct(self, system):
+        mapped = map_scrambler(IEEE80216E, 64)
+        rng = np.random.default_rng(4)
+        bits = [int(b) for b in rng.integers(0, 2, size=999)]
+        out, _ = system.execute_scrambler(mapped, bits)
+        assert out == AdditiveScrambler(IEEE80216E).scramble_bits(bits)
+
+    def test_analytic_matches_executed(self, system):
+        mapped = map_scrambler(IEEE80216E, 64)
+        bits = [1] * 640
+        _, executed = system.execute_scrambler(mapped, bits)
+        predicted = system.scrambler_performance(mapped, 640)
+        assert executed.total_cycles == predicted.total_cycles
+
+
+class TestAnalyticShapes:
+    def test_peak_bandwidth_25gbps(self, system, mapped128):
+        perf = system.crc_kernel_performance(mapped128, 128 * 100000)
+        assert perf.throughput_gbps == pytest.approx(25.6)
+
+    def test_throughput_monotone_in_length(self, system, mapped128):
+        values = [
+            system.crc_single_performance(mapped128, bits).throughput_bps
+            for bits in (368, 1024, 4096, 12144, 65536)
+        ]
+        assert values == sorted(values)
+
+    def test_gbps_inside_ethernet_window(self, system):
+        """§5: Gbit/s speeds for M = 32/64/128 across 368..12144 bits."""
+        for M in (32, 64, 128):
+            mapped = map_crc(ETHERNET_CRC32, M)
+            for bits in (368, 12144):
+                perf = system.crc_single_performance(mapped, bits)
+                assert perf.throughput_bps > 0.5e9, (M, bits)
+
+    def test_larger_m_wins_at_long_messages(self, system, mapped32, mapped128):
+        p32 = system.crc_single_performance(mapped32, 65536)
+        p128 = system.crc_single_performance(mapped128, 65536)
+        assert p128.throughput_bps > 2 * p32.throughput_bps
+
+    def test_invalid_lengths(self, system, mapped32):
+        with pytest.raises(ValueError):
+            system.crc_single_performance(mapped32, 0)
+        with pytest.raises(ValueError):
+            system.crc_interleaved_performance(mapped32, 100, 0)
+
+
+class TestAccelerators:
+    def test_crc_accelerator_end_to_end(self, messages):
+        acc = CRCAccelerator(ETHERNET_CRC32, M=32)
+        bw = BitwiseCRC(ETHERNET_CRC32)
+        for m in messages:
+            assert acc.compute(m) == bw.compute(m)
+
+    def test_crc_accelerator_batch(self, messages):
+        acc = CRCAccelerator(ETHERNET_CRC32, M=32)
+        bw = BitwiseCRC(ETHERNET_CRC32)
+        assert acc.compute_batch(messages) == [bw.compute(m) for m in messages]
+
+    def test_kernel_bandwidth(self):
+        acc = CRCAccelerator(ETHERNET_CRC32, M=128)
+        assert acc.kernel_bandwidth_gbps() == pytest.approx(25.6)
+
+    def test_scrambler_accelerator(self):
+        acc = ScramblerAccelerator(IEEE80216E, M=32)
+        bits = [1, 0, 1] * 50
+        assert acc.scramble_bits(bits) == AdditiveScrambler(IEEE80216E).scramble_bits(bits)
+        assert acc.kernel_bandwidth_gbps() == pytest.approx(6.4)
+
+
+class TestControlModel:
+    def test_defaults(self):
+        model = RiscControlModel()
+        assert model.single_message_control() == 60
+        assert model.interleaved_control(32) == 60 + 32 * 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RiscControlModel(message_setup_cycles=-1)
+        with pytest.raises(ValueError):
+            RiscControlModel().interleaved_control(0)

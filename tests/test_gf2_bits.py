@@ -1,0 +1,115 @@
+"""Unit tests for repro.gf2.bits."""
+
+import pytest
+
+from repro.gf2.bits import (
+    bits_to_bytes,
+    bits_to_int,
+    bytes_to_bits,
+    chunk_bits,
+    hamming_weight_distribution,
+    int_to_bits,
+    parity,
+    popcount,
+    reflect_bits,
+)
+
+
+class TestPopcountParity:
+    def test_popcount_zero(self):
+        assert popcount(0) == 0
+
+    def test_popcount_all_ones(self):
+        assert popcount(0xFF) == 8
+
+    def test_popcount_sparse(self):
+        assert popcount(1 << 100) == 1
+
+    def test_popcount_negative_raises(self):
+        with pytest.raises(ValueError):
+            popcount(-1)
+
+    def test_parity_even(self):
+        assert parity(0b1010) == 0
+
+    def test_parity_odd(self):
+        assert parity(0b1011) == 1
+
+
+class TestReflect:
+    def test_reflect_nibble(self):
+        assert reflect_bits(0b1101, 4) == 0b1011
+
+    def test_reflect_identity_palindrome(self):
+        assert reflect_bits(0b1001, 4) == 0b1001
+
+    def test_reflect_involution(self):
+        for v in range(256):
+            assert reflect_bits(reflect_bits(v, 8), 8) == v
+
+    def test_reflect_width_zero(self):
+        assert reflect_bits(0, 0) == 0
+
+    def test_reflect_overflow_raises(self):
+        with pytest.raises(ValueError):
+            reflect_bits(0x100, 8)
+
+    def test_reflect_crc32_constant(self):
+        # The reflected form of the Ethernet polynomial is well known.
+        assert reflect_bits(0x04C11DB7, 32) == 0xEDB88320
+
+
+class TestIntBits:
+    def test_int_to_bits_lsb_first(self):
+        assert int_to_bits(0b1101, 4) == [1, 0, 1, 1]
+
+    def test_roundtrip(self):
+        for v in (0, 1, 0xDEADBEEF, (1 << 63) | 5):
+            assert bits_to_int(int_to_bits(v, 64)) == v
+
+    def test_int_to_bits_overflow(self):
+        with pytest.raises(ValueError):
+            int_to_bits(16, 4)
+
+    def test_bits_to_int_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            bits_to_int([0, 2, 1])
+
+
+class TestByteBits:
+    def test_msb_first_expansion(self):
+        assert bytes_to_bits(b"\x80") == [1, 0, 0, 0, 0, 0, 0, 0]
+
+    def test_lsb_first_expansion(self):
+        assert bytes_to_bits(b"\x80", reflect=True) == [0, 0, 0, 0, 0, 0, 0, 1]
+
+    def test_roundtrip_msb(self):
+        data = bytes(range(256))
+        assert bits_to_bytes(bytes_to_bits(data)) == data
+
+    def test_roundtrip_reflected(self):
+        data = b"\x01\x02\xfe\xff"
+        assert bits_to_bytes(bytes_to_bits(data, reflect=True), reflect=True) == data
+
+    def test_bits_to_bytes_requires_multiple_of_8(self):
+        with pytest.raises(ValueError):
+            bits_to_bytes([1] * 7)
+
+
+class TestChunking:
+    def test_even_chunks(self):
+        chunks = list(chunk_bits([1, 0, 1, 1], 2))
+        assert chunks == [[1, 0], [1, 1]]
+
+    def test_ragged_tail(self):
+        chunks = list(chunk_bits([1, 0, 1], 2))
+        assert chunks[-1] == [1]
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            list(chunk_bits([1], 0))
+
+
+def test_hamming_weight_distribution():
+    hist = hamming_weight_distribution([0b0, 0b1, 0b11, 0b111, 0b101])
+    assert hist == {0: 1, 1: 1, 2: 2, 3: 1}

@@ -1,0 +1,109 @@
+"""Unit tests for repro.gf2.clmul (carry-less polynomial arithmetic)."""
+
+import pytest
+
+from repro.gf2.clmul import (
+    cldeg,
+    cldivmod,
+    clgcd,
+    clmod,
+    clmul,
+    clmulmod,
+    clpowmod,
+)
+
+
+class TestClmul:
+    def test_times_zero(self):
+        assert clmul(0b1011, 0) == 0
+        assert clmul(0, 0b1011) == 0
+
+    def test_times_one(self):
+        assert clmul(0xDEAD, 1) == 0xDEAD
+
+    def test_times_x_is_shift(self):
+        assert clmul(0b1011, 0b10) == 0b10110
+
+    def test_known_product(self):
+        # (x+1)(x+1) = x^2 + 1 over GF(2)
+        assert clmul(0b11, 0b11) == 0b101
+
+    def test_known_product_2(self):
+        # (x^2+x+1)(x+1) = x^3 + 1
+        assert clmul(0b111, 0b11) == 0b1001
+
+    def test_commutative(self):
+        assert clmul(0b110101, 0b1001) == clmul(0b1001, 0b110101)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            clmul(-1, 2)
+
+
+class TestDegree:
+    def test_zero_polynomial(self):
+        assert cldeg(0) == -1
+
+    def test_constant(self):
+        assert cldeg(1) == 0
+
+    def test_general(self):
+        assert cldeg(0b100101) == 5
+
+
+class TestDivMod:
+    def test_exact_division(self):
+        a, b = 0b110101, 0b1011
+        prod = clmul(a, b)
+        q, r = cldivmod(prod, b)
+        assert (q, r) == (a, 0)
+
+    def test_division_invariant(self):
+        a, b = 0xABCDEF, 0x11D
+        q, r = cldivmod(a, b)
+        assert clmul(q, b) ^ r == a
+        assert cldeg(r) < cldeg(b)
+
+    def test_divide_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            cldivmod(5, 0)
+
+    def test_mod_smaller_dividend(self):
+        assert clmod(0b101, 0b10000) == 0b101
+
+
+class TestGcd:
+    def test_gcd_of_coprime(self):
+        # x^3+x+1 and x^3+x^2+1 are distinct irreducibles
+        assert clgcd(0b1011, 0b1101) == 1
+
+    def test_gcd_common_factor(self):
+        f = 0b111  # x^2+x+1 irreducible
+        a = clmul(f, 0b1011)
+        b = clmul(f, 0b1101)
+        assert clgcd(a, b) == f
+
+    def test_gcd_with_zero(self):
+        assert clgcd(0b1011, 0) == 0b1011
+
+
+class TestModExp:
+    def test_mulmod(self):
+        assert clmulmod(0b11, 0b11, 0b111) == clmod(0b101, 0b111)
+
+    def test_powmod_matches_repeated_mul(self):
+        mod = (1 << 8) | 0x1D  # AES polynomial
+        acc = 1
+        for e in range(10):
+            assert clpowmod(0b10, e, mod) == acc
+            acc = clmulmod(acc, 0b10, mod)
+
+    def test_powmod_fermat(self):
+        # In GF(2^8): a^(2^8 - 1) == 1 for non-zero a (AES field).
+        mod = (1 << 8) | 0x1B
+        for a in (1, 2, 3, 0x53, 0xFF):
+            assert clpowmod(a, 255, mod) == 1
+
+    def test_powmod_negative_exponent(self):
+        with pytest.raises(ValueError):
+            clpowmod(2, -1, 0b111)

@@ -1,0 +1,137 @@
+"""Unit tests for repro.gf2.factor (polynomial factorization)."""
+
+import random
+
+import pytest
+
+from repro.gf2 import GF2Polynomial, factorize, is_square_free, polynomial_order, product
+from repro.gf2.factor import derivative, poly_sqrt
+
+
+class TestDerivative:
+    def test_constant(self):
+        assert derivative(1) == 0
+
+    def test_x(self):
+        assert derivative(0b10) == 1
+
+    def test_even_exponents_vanish(self):
+        # d/dx (x^4 + x^2 + 1) = 0 over GF(2)
+        assert derivative(0b10101) == 0
+
+    def test_mixed(self):
+        # d/dx (x^3 + x^2 + x) = x^2 + 1
+        assert derivative(0b1110) == 0b101
+
+
+class TestSqrt:
+    def test_perfect_square(self):
+        # (x^2 + x + 1)^2 = x^4 + x^2 + 1
+        assert poly_sqrt(0b10101) == 0b111
+
+    def test_not_a_square(self):
+        with pytest.raises(ValueError):
+            poly_sqrt(0b110)
+
+
+class TestFactorize:
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            factorize(GF2Polynomial(0))
+
+    def test_unit(self):
+        assert factorize(GF2Polynomial(1)) == {}
+
+    def test_x_powers(self):
+        factors = factorize(GF2Polynomial(0b1000))  # x^3
+        assert factors == {GF2Polynomial(0b10): 3}
+
+    def test_square(self):
+        factors = factorize(GF2Polynomial(0b101))  # (x+1)^2
+        assert factors == {GF2Polynomial(0b11): 2}
+
+    def test_cube(self):
+        # (x+1)^3 = x^3 + x^2 + x + 1
+        factors = factorize(GF2Polynomial(0b1111))
+        assert factors == {GF2Polynomial(0b11): 3}
+
+    def test_distinct_irreducibles(self):
+        # (x^3+x+1)(x^3+x^2+1)
+        p = GF2Polynomial(0b1011) * GF2Polynomial(0b1101)
+        factors = factorize(p)
+        assert factors == {GF2Polynomial(0b1011): 1, GF2Polynomial(0b1101): 1}
+
+    def test_equal_degree_split(self):
+        """Two degree-4 irreducibles — exercises Cantor–Zassenhaus."""
+        a, b = GF2Polynomial(0b10011), GF2Polynomial(0b11001)
+        assert a.is_irreducible() and b.is_irreducible()
+        factors = factorize(a * b)
+        assert factors == {a: 1, b: 1}
+
+    def test_crc16_arc_structure(self):
+        """0x18005 = (x + 1)(x^15 + x + 1) — the classic CRC-16 split."""
+        factors = factorize(GF2Polynomial(0x18005))
+        assert factors == {
+            GF2Polynomial(0b11): 1,
+            GF2Polynomial.from_exponents([15, 1, 0]): 1,
+        }
+
+    def test_crc32_irreducible(self):
+        factors = factorize(GF2Polynomial((1 << 32) | 0x04C11DB7))
+        assert list(factors.values()) == [1]
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_random_roundtrip(self, seed):
+        rng = random.Random(seed)
+        for _ in range(30):
+            value = rng.getrandbits(20)
+            if value < 2:
+                continue
+            poly = GF2Polynomial(value)
+            factors = factorize(poly)
+            assert product(factors) == poly
+            for factor in factors:
+                assert factor.degree >= 1
+                assert factor.is_irreducible()
+
+    def test_deterministic_for_fixed_seed(self):
+        p = GF2Polynomial(0xDEAD)
+        assert factorize(p, seed=5) == factorize(p, seed=5)
+
+
+class TestSquareFree:
+    def test_squarefree(self):
+        assert is_square_free(GF2Polynomial(0b1011))
+
+    def test_not_squarefree(self):
+        assert not is_square_free(GF2Polynomial(0b101))
+
+    def test_constant(self):
+        assert is_square_free(GF2Polynomial(1))
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            is_square_free(GF2Polynomial(0))
+
+
+class TestPolynomialOrder:
+    def test_matches_direct_computation(self):
+        for coeffs in (0b1011, 0b111, 0b11111, 0x18005):
+            poly = GF2Polynomial(coeffs)
+            assert polynomial_order(poly) == poly.order()
+
+    def test_large_reducible_is_fast(self):
+        """CRC-24/OPENPGP's reducible generator: order via factorization
+        (brute search would take ~8M iterations)."""
+        poly = GF2Polynomial((1 << 24) | 0x864CFB)
+        order = polynomial_order(poly)
+        assert order == (1 << 23) - 1  # (x+1) * primitive degree-23 factor
+
+    def test_squared_factor_lifting(self):
+        # (x^3+x+1)^2: order = 7 * 2
+        p = GF2Polynomial(0b1011)
+        assert polynomial_order(p * p) == 14
+
+    def test_requires_constant_term(self):
+        with pytest.raises(ValueError):
+            polynomial_order(GF2Polynomial(0b110))

@@ -1,0 +1,101 @@
+"""Unit tests for repro.gf2.field (GF(2^m) and GFMAC)."""
+
+import pytest
+
+from repro.gf2 import GF2Polynomial, GF2mField
+
+AES_FIELD = GF2mField(GF2Polynomial((1 << 8) | 0x1B))
+
+
+class TestConstruction:
+    def test_degree_and_size(self):
+        assert AES_FIELD.degree == 8
+        assert AES_FIELD.size == 256
+
+    def test_rejects_reducible_modulus(self):
+        with pytest.raises(ValueError):
+            GF2mField(GF2Polynomial(0b101))  # (x+1)^2
+
+    def test_rejects_constant(self):
+        with pytest.raises(ValueError):
+            GF2mField(GF2Polynomial(1))
+
+    def test_skip_irreducibility_check(self):
+        f = GF2mField(GF2Polynomial(0b101), check_irreducible=False)
+        assert f.degree == 2
+
+
+class TestArithmetic:
+    def test_add_is_xor(self):
+        assert AES_FIELD.add(0x57, 0x83) == 0xD4
+
+    def test_known_aes_product(self):
+        # The canonical AES example: 0x57 * 0x83 = 0xC1 in GF(2^8)/0x11B.
+        assert AES_FIELD.mul(0x57, 0x83) == 0xC1
+
+    def test_mul_identity(self):
+        for a in (1, 0x53, 0xFF):
+            assert AES_FIELD.mul(a, 1) == a
+
+    def test_mul_zero(self):
+        assert AES_FIELD.mul(0xAB, 0) == 0
+
+    def test_mac(self):
+        acc, a, b = 0x10, 0x57, 0x83
+        assert AES_FIELD.mac(acc, a, b) == (0x10 ^ 0xC1)
+
+    def test_element_out_of_range(self):
+        with pytest.raises(ValueError):
+            AES_FIELD.mul(0x100, 1)
+
+    def test_inverse(self):
+        # Another canonical AES pair: inverse of 0x53 is 0xCA.
+        assert AES_FIELD.inverse(0x53) == 0xCA
+        assert AES_FIELD.mul(0x53, 0xCA) == 1
+
+    def test_inverse_of_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            AES_FIELD.inverse(0)
+
+    def test_inverse_roundtrip_many(self):
+        for a in range(1, 64):
+            assert AES_FIELD.mul(a, AES_FIELD.inverse(a)) == 1
+
+    def test_pow(self):
+        assert AES_FIELD.pow(2, 0) == 1
+        assert AES_FIELD.pow(2, 1) == 2
+        assert AES_FIELD.pow(2, 8) == 0x1B  # x^8 = modulus tail
+
+    def test_x_power_matches_pow(self):
+        for e in (0, 1, 7, 8, 100):
+            assert AES_FIELD.x_power(e) == AES_FIELD.pow(2, e)
+
+
+class TestGroupStructure:
+    def test_fermat(self):
+        for a in (1, 2, 0x53, 0xFE):
+            assert AES_FIELD.pow(a, 255) == 1
+
+    def test_element_order_divides_group(self):
+        field = GF2mField(GF2Polynomial(0b1011))  # GF(8)
+        for a in range(1, 8):
+            assert 7 % field.element_order(a) == 0
+
+    def test_element_order_of_one(self):
+        assert AES_FIELD.element_order(1) == 1
+
+    def test_element_order_zero_raises(self):
+        with pytest.raises(ValueError):
+            AES_FIELD.element_order(0)
+
+    def test_log_table_generator(self):
+        field = GF2mField(GF2Polynomial(0b1011))  # x is primitive in GF(8)
+        table = field.log_table(2)
+        assert table[1] == 0
+        assert table[2] == 1
+        # log is a bijection on non-zero elements
+        assert sorted(table[1:]) == list(range(7))
+
+    def test_log_table_non_generator_raises(self):
+        with pytest.raises(ValueError):
+            AES_FIELD.log_table(1)

@@ -1,0 +1,198 @@
+"""Unit tests for repro.gf2.matrix."""
+
+import numpy as np
+import pytest
+
+from repro.gf2 import GF2Matrix, GF2Polynomial
+from repro.lfsr.companion import companion_matrix
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestConstruction:
+    def test_from_lists(self):
+        m = GF2Matrix([[1, 0], [0, 1]])
+        assert m.shape == (2, 2)
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            GF2Matrix([[0, 2]])
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            GF2Matrix(np.zeros(3, dtype=np.uint8))
+
+    def test_identity(self):
+        assert GF2Matrix.identity(3) == GF2Matrix([[1, 0, 0], [0, 1, 0], [0, 0, 1]])
+
+    def test_zeros(self):
+        assert GF2Matrix.zeros(2, 3).nnz() == 0
+
+    def test_from_columns(self):
+        m = GF2Matrix.from_columns([[1, 0], [1, 1]])
+        assert m.column(0).tolist() == [1, 0]
+        assert m.column(1).tolist() == [1, 1]
+
+    def test_from_int_rows_roundtrip(self):
+        rows = [0b101, 0b011, 0b110]
+        m = GF2Matrix.from_int_rows(rows, 3)
+        assert m.rows_as_ints() == rows
+
+    def test_from_int_rows_overflow(self):
+        with pytest.raises(ValueError):
+            GF2Matrix.from_int_rows([0b1000], 3)
+
+
+class TestArithmetic:
+    def test_addition_is_xor(self):
+        a = GF2Matrix([[1, 1], [0, 1]])
+        b = GF2Matrix([[1, 0], [1, 1]])
+        assert (a + b) == GF2Matrix([[0, 1], [1, 0]])
+
+    def test_addition_self_is_zero(self, rng):
+        a = GF2Matrix.random(5, 5, rng)
+        assert (a + a).nnz() == 0
+
+    def test_addition_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            GF2Matrix.identity(2) + GF2Matrix.identity(3)
+
+    def test_matmul_identity(self, rng):
+        a = GF2Matrix.random(4, 4, rng)
+        assert a @ GF2Matrix.identity(4) == a
+        assert GF2Matrix.identity(4) @ a == a
+
+    def test_matmul_mod2(self):
+        # [1 1] @ [1; 1] = 2 = 0 over GF(2)
+        a = GF2Matrix([[1, 1]])
+        v = np.array([1, 1], dtype=np.uint8)
+        assert (a @ v).tolist() == [0]
+
+    def test_matmul_inner_mismatch(self):
+        with pytest.raises(ValueError):
+            GF2Matrix.identity(2) @ GF2Matrix.zeros(3, 2)
+
+    def test_matvec_wrong_length(self):
+        with pytest.raises(ValueError):
+            GF2Matrix.identity(3) @ np.array([1, 0])
+
+    def test_power_zero_is_identity(self, rng):
+        a = GF2Matrix.random(4, 4, rng)
+        assert a ** 0 == GF2Matrix.identity(4)
+
+    def test_power_matches_repeated_product(self, rng):
+        a = GF2Matrix.random(5, 5, rng)
+        expected = GF2Matrix.identity(5)
+        for _ in range(7):
+            expected = expected @ a
+        assert a ** 7 == expected
+
+    def test_power_requires_square(self):
+        with pytest.raises(ValueError):
+            GF2Matrix.zeros(2, 3) ** 2
+
+    def test_negative_power_is_inverse_power(self):
+        a = companion_matrix(GF2Polynomial(0b1011))  # x^3+x+1, invertible
+        assert a ** -1 == a.inverse()
+        assert (a ** -2) @ (a ** 2) == GF2Matrix.identity(3)
+
+    def test_transpose(self):
+        m = GF2Matrix([[1, 0, 1], [0, 1, 1]])
+        assert m.transpose() == GF2Matrix([[1, 0], [0, 1], [1, 1]])
+
+    def test_stacking(self):
+        a = GF2Matrix.identity(2)
+        assert a.hstack(a).shape == (2, 4)
+        assert a.vstack(a).shape == (4, 2)
+
+
+class TestLinearAlgebra:
+    def test_rank_identity(self):
+        assert GF2Matrix.identity(6).rank() == 6
+
+    def test_rank_zero(self):
+        assert GF2Matrix.zeros(4, 4).rank() == 0
+
+    def test_rank_dependent_rows(self):
+        m = GF2Matrix([[1, 0, 1], [0, 1, 1], [1, 1, 0]])  # row3 = row1+row2
+        assert m.rank() == 2
+
+    def test_inverse_roundtrip(self):
+        a = companion_matrix(GF2Polynomial((1 << 8) | 0x1D))
+        assert a @ a.inverse() == GF2Matrix.identity(8)
+        assert a.inverse() @ a == GF2Matrix.identity(8)
+
+    def test_inverse_singular_raises(self):
+        with pytest.raises(ValueError):
+            GF2Matrix([[1, 1], [1, 1]]).inverse()
+
+    def test_inverse_requires_square(self):
+        with pytest.raises(ValueError):
+            GF2Matrix.zeros(2, 3).inverse()
+
+    def test_solve(self):
+        a = companion_matrix(GF2Polynomial(0b10011))
+        x = np.array([1, 0, 1, 1], dtype=np.uint8)
+        rhs = a @ x
+        assert (a.solve(rhs) == x).all()
+
+    def test_null_space_of_singular(self):
+        m = GF2Matrix([[1, 1], [1, 1]])
+        basis = m.null_space_basis()
+        assert len(basis) == 1
+        assert (m @ basis[0]).tolist() == [0, 0]
+
+    def test_null_space_trivial_for_invertible(self):
+        a = companion_matrix(GF2Polynomial(0b1011))
+        assert a.null_space_basis() == []
+
+
+class TestStructure:
+    def test_companion_detection(self):
+        a = companion_matrix(GF2Polynomial((1 << 32) | 0x04C11DB7))
+        assert a.is_companion()
+
+    def test_identity_not_companion(self):
+        assert not GF2Matrix.identity(3).is_companion()
+
+    def test_non_square_not_companion(self):
+        assert not GF2Matrix.zeros(2, 3).is_companion()
+
+    def test_characteristic_polynomial_of_companion(self):
+        poly = GF2Polynomial((1 << 16) | 0x1021)
+        a = companion_matrix(poly)
+        assert a.characteristic_polynomial() == poly.coeffs
+
+    def test_characteristic_polynomial_identity(self):
+        # det(xI + I) = (x+1)^n
+        n = 4
+        expected = GF2Polynomial(0b11)
+        acc = GF2Polynomial(1)
+        for _ in range(n):
+            acc = acc * expected
+        assert GF2Matrix.identity(n).characteristic_polynomial() == acc.coeffs
+
+    def test_similarity_invariant(self):
+        poly = GF2Polynomial((1 << 8) | 0x07)
+        a = companion_matrix(poly)
+        p = companion_matrix(GF2Polynomial((1 << 8) | 0x1D))  # invertible basis change
+        b = p.inverse() @ a @ p
+        assert a.is_similar_to(b)
+
+    def test_row_as_int(self):
+        m = GF2Matrix([[1, 0, 1]])
+        assert m.row_as_int(0) == 0b101
+
+    def test_density_and_nnz(self):
+        m = GF2Matrix([[1, 0], [0, 1]])
+        assert m.nnz() == 2
+        assert m.density() == pytest.approx(0.5)
+
+    def test_hash_consistent_with_eq(self):
+        a = GF2Matrix.identity(3)
+        b = GF2Matrix.identity(3)
+        assert hash(a) == hash(b)
+        assert a == b

@@ -1,0 +1,151 @@
+"""Unit tests for repro.gf2.polynomial."""
+
+import pytest
+
+from repro.gf2 import GF2Polynomial
+
+CRC32_POLY = GF2Polynomial((1 << 32) | 0x04C11DB7)
+
+
+class TestBasics:
+    def test_from_exponents(self):
+        p = GF2Polynomial.from_exponents([3, 1, 0])
+        assert p.coeffs == 0b1011
+
+    def test_from_exponents_crc32(self):
+        exps = [32, 26, 23, 22, 16, 12, 11, 10, 8, 7, 5, 4, 2, 1, 0]
+        assert GF2Polynomial.from_exponents(exps) == CRC32_POLY
+
+    def test_degree(self):
+        assert GF2Polynomial(0b1011).degree == 3
+        assert GF2Polynomial.zero().degree == -1
+
+    def test_coefficient(self):
+        p = GF2Polynomial(0b1011)
+        assert [p.coefficient(i) for i in range(4)] == [1, 1, 0, 1]
+
+    def test_exponents_descending(self):
+        assert GF2Polynomial(0b1011).exponents() == [3, 1, 0]
+
+    def test_str(self):
+        assert str(GF2Polynomial(0b1011)) == "x^3 + x + 1"
+        assert str(GF2Polynomial.zero()) == "0"
+        assert str(GF2Polynomial(0b10)) == "x"
+
+    def test_iter_lsb_first(self):
+        assert list(GF2Polynomial(0b1011)) == [1, 1, 0, 1]
+
+    def test_eq_with_int(self):
+        assert GF2Polynomial(5) == 5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            GF2Polynomial(-1)
+
+
+class TestArithmetic:
+    def test_add_is_xor(self):
+        assert GF2Polynomial(0b1010) + GF2Polynomial(0b0110) == GF2Polynomial(0b1100)
+
+    def test_sub_equals_add(self):
+        a, b = GF2Polynomial(0b1010), GF2Polynomial(0b0110)
+        assert a - b == a + b
+
+    def test_mul(self):
+        assert GF2Polynomial(0b11) * GF2Polynomial(0b111) == GF2Polynomial(0b1001)
+
+    def test_divmod_invariant(self):
+        a = GF2Polynomial(0xDEADBEEF)
+        b = GF2Polynomial(0x11D)
+        q, r = a.divmod(b)
+        assert q * b + r == a
+        assert r.degree < b.degree
+
+    def test_mod_and_floordiv(self):
+        a = GF2Polynomial(0b11011)
+        b = GF2Polynomial(0b101)
+        assert (a // b) * b + (a % b) == a
+
+    def test_gcd(self):
+        f = GF2Polynomial(0b111)
+        a = f * GF2Polynomial(0b1011)
+        b = f * GF2Polynomial(0b1101)
+        assert a.gcd(b) == f
+
+    def test_pow_mod(self):
+        mod = GF2Polynomial(0b111)
+        assert GF2Polynomial.x().pow_mod(2, mod) == GF2Polynomial(0b11)  # x^2 = x+1 mod x^2+x+1
+
+    def test_evaluate(self):
+        p = GF2Polynomial(0b1011)  # x^3+x+1
+        assert p.evaluate(0) == 1
+        assert p.evaluate(1) == 1  # 3 terms -> parity 1
+        with pytest.raises(ValueError):
+            p.evaluate(2)
+
+
+class TestIrreducibility:
+    def test_known_irreducibles(self):
+        for coeffs in (0b111, 0b1011, 0b1101, 0b10011, (1 << 8) | 0x1B):
+            assert GF2Polynomial(coeffs).is_irreducible(), bin(coeffs)
+
+    def test_known_reducibles(self):
+        # x^2+1 = (x+1)^2; x^4+x^2+1 = (x^2+x+1)^2
+        for coeffs in (0b101, 0b10101):
+            assert not GF2Polynomial(coeffs).is_irreducible(), bin(coeffs)
+
+    def test_degree_one_always_irreducible(self):
+        assert GF2Polynomial(0b10).is_irreducible()  # x
+        assert GF2Polynomial(0b11).is_irreducible()  # x + 1
+
+    def test_crc32_poly_is_primitive(self):
+        # The Ethernet CRC-32 generator is a primitive degree-32 polynomial.
+        assert CRC32_POLY.is_irreducible()
+        assert CRC32_POLY.is_primitive()
+
+    def test_constant_not_irreducible(self):
+        assert not GF2Polynomial(1).is_irreducible()
+
+
+class TestOrderPeriod:
+    def test_primitive_trinomial_order(self):
+        # x^7 + x + 1 is primitive -> order 127 (the 802.11 scrambler poly
+        # is x^7 + x^4 + 1, also primitive).
+        p = GF2Polynomial.from_exponents([7, 1, 0])
+        assert p.is_primitive()
+        assert p.order() == 127
+
+    def test_wifi_scrambler_poly_primitive(self):
+        p = GF2Polynomial.from_exponents([7, 4, 0])
+        assert p.is_primitive()
+
+    def test_wimax_scrambler_poly_primitive(self):
+        # 802.16 / DVB randomizer: 1 + x^14 + x^15
+        p = GF2Polynomial.from_exponents([15, 14, 0])
+        assert p.is_primitive()
+        assert p.order() == (1 << 15) - 1
+
+    def test_irreducible_non_primitive(self):
+        # x^4 + x^3 + x^2 + x + 1 is irreducible with order 5 (divides 15).
+        p = GF2Polynomial(0b11111)
+        assert p.is_irreducible()
+        assert p.order() == 5
+        assert not p.is_primitive()
+
+    def test_order_requires_constant_term(self):
+        with pytest.raises(ValueError):
+            GF2Polynomial(0b110).order()
+
+
+class TestReciprocal:
+    def test_reciprocal_reverses(self):
+        p = GF2Polynomial(0b1011)  # x^3+x+1
+        assert p.reciprocal() == GF2Polynomial(0b1101)  # x^3+x^2+1
+
+    def test_reciprocal_involution(self):
+        p = GF2Polynomial(0b110101)
+        assert p.reciprocal().reciprocal() == p
+
+    def test_reciprocal_preserves_primitivity(self):
+        p = GF2Polynomial.from_exponents([7, 4, 0])
+        assert p.reciprocal().is_primitive()

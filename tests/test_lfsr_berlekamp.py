@@ -1,0 +1,114 @@
+"""Unit tests for repro.lfsr.berlekamp (Berlekamp–Massey synthesis)."""
+
+import numpy as np
+import pytest
+
+from repro.cipher import A51, E0
+from repro.gf2 import GF2Polynomial
+from repro.lfsr import (
+    FibonacciLFSR,
+    berlekamp_massey,
+    linear_complexity,
+    linear_complexity_profile,
+)
+
+WIFI = GF2Polynomial.from_exponents([7, 4, 0])
+
+
+class TestBasics:
+    def test_zero_sequence(self):
+        result = berlekamp_massey([0] * 20)
+        assert result.linear_complexity == 0
+        assert result.connection == GF2Polynomial(1)
+
+    def test_single_one_needs_full_length(self):
+        # 0...01 has complexity n for a length-n prefix ending in the 1.
+        seq = [0] * 9 + [1]
+        assert linear_complexity(seq) == 10
+
+    def test_alternating_sequence(self):
+        # 1,0,1,0,... satisfies s[n] = s[n-2]; BM finds complexity 2.
+        assert linear_complexity([1, 0] * 10) == 2
+
+    def test_constant_ones(self):
+        # 1,1,1,... satisfies s[n] = s[n-1].
+        assert linear_complexity([1] * 16) == 1
+
+
+class TestLFSRRecovery:
+    @pytest.mark.parametrize("exponents", [[3, 1, 0], [7, 4, 0], [9, 5, 0]])
+    def test_recovers_generator_degree(self, exponents):
+        poly = GF2Polynomial.from_exponents(exponents)
+        k = poly.degree
+        ks = FibonacciLFSR(poly, 1).keystream(4 * k)
+        result = berlekamp_massey(ks)
+        assert result.linear_complexity == k
+
+    def test_recovers_exact_polynomial(self):
+        """For a Fibonacci LFSR the synthesized generator is the
+        reciprocal of the feedback polynomial (shift-direction duality)."""
+        ks = FibonacciLFSR(WIFI, 1).keystream(64)
+        result = berlekamp_massey(ks)
+        assert result.generator() in (WIFI, WIFI.reciprocal())
+
+    def test_prediction_continues_keystream(self):
+        full = FibonacciLFSR(WIFI, 0x55).keystream(200)
+        result = berlekamp_massey(full[:50])
+        predicted = result.predict(full[:50], 150)
+        assert predicted == full[50:]
+
+    def test_prediction_needs_history(self):
+        result = berlekamp_massey(FibonacciLFSR(WIFI, 1).keystream(64))
+        with pytest.raises(ValueError):
+            result.predict([1, 0], 10)
+
+    def test_feedback_taps(self):
+        ks = FibonacciLFSR(GF2Polynomial(0b1011), 1).keystream(24)
+        result = berlekamp_massey(ks)
+        assert result.linear_complexity == 3
+        assert all(1 <= t <= 3 for t in result.feedback_taps())
+
+
+class TestProfile:
+    def test_profile_monotone(self):
+        rng = np.random.default_rng(6)
+        seq = [int(b) for b in rng.integers(0, 2, size=100)]
+        profile = linear_complexity_profile(seq)
+        assert all(a <= b for a, b in zip(profile, profile[1:]))
+        assert profile[-1] == linear_complexity(seq)
+
+    def test_random_profile_tracks_half_n(self):
+        rng = np.random.default_rng(13)
+        seq = [int(b) for b in rng.integers(0, 2, size=400)]
+        profile = linear_complexity_profile(seq)
+        assert abs(profile[-1] - 200) < 20
+
+    def test_lfsr_profile_saturates(self):
+        ks = FibonacciLFSR(WIFI, 1).keystream(300)
+        profile = linear_complexity_profile(ks)
+        assert profile[-1] == 7  # complexity stops growing at the register size
+
+
+class TestCipherComplexity:
+    """Why stream ciphers combine LFSRs: linear complexity explodes."""
+
+    def test_a51_exceeds_any_single_register(self):
+        key = bytes([0x12, 0x23, 0x45, 0x67, 0x89, 0xAB, 0xCD, 0xEF])
+        ks = A51(key, 0x134).keystream(600)
+        lc = linear_complexity(ks)
+        assert lc > 64  # far beyond the 19/22/23-bit registers
+
+    def test_e0_exceeds_register_sum_fraction(self):
+        ks = E0.from_seed(bytes(range(16))).keystream(600)
+        lc = linear_complexity(ks)
+        assert lc > 128  # beyond the total linear state
+
+    def test_scrambler_is_linear_hence_weak(self):
+        """The contrast: a scrambler keystream is fully predictable from
+        2k bits — the reason scrambling is not encryption (paper §1)."""
+        from repro.scrambler import AdditiveScrambler, IEEE80216E
+
+        ks = AdditiveScrambler(IEEE80216E).keystream(500)
+        result = berlekamp_massey(ks[:60])  # 4k bits suffice
+        assert result.linear_complexity == 15
+        assert result.predict(ks[:60], 440) == ks[60:]

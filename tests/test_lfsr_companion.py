@@ -1,0 +1,82 @@
+"""Unit tests for repro.lfsr.companion."""
+
+import numpy as np
+import pytest
+
+from repro.gf2 import GF2Matrix, GF2Polynomial
+from repro.lfsr.companion import companion_matrix, companion_taps, poly_from_companion
+
+CRC32 = GF2Polynomial((1 << 32) | 0x04C11DB7)
+
+
+class TestCompanionMatrix:
+    def test_shape(self):
+        assert companion_matrix(CRC32).shape == (32, 32)
+
+    def test_is_companion(self):
+        assert companion_matrix(CRC32).is_companion()
+
+    def test_matches_paper_layout(self):
+        # degree-3 example g(x) = x^3 + x + 1: g0=1, g1=1, g2=0
+        a = companion_matrix(GF2Polynomial(0b1011))
+        expected = GF2Matrix([
+            [0, 0, 1],
+            [1, 0, 1],
+            [0, 1, 0],
+        ])
+        assert a == expected
+
+    def test_rejects_constant(self):
+        with pytest.raises(ValueError):
+            companion_matrix(GF2Polynomial(1))
+
+    def test_charpoly_recovers_generator(self):
+        for coeffs in (0b1011, 0b10011, (1 << 16) | 0x1021, CRC32.coeffs):
+            poly = GF2Polynomial(coeffs)
+            assert companion_matrix(poly).characteristic_polynomial() == coeffs
+
+    def test_invertible_iff_constant_term(self):
+        with_const = companion_matrix(GF2Polynomial(0b1011))
+        assert with_const.is_invertible()
+        without_const = companion_matrix(GF2Polynomial(0b1010))
+        assert not without_const.is_invertible()
+
+    def test_step_equals_shift(self):
+        """Applying A to state e_i yields e_{i+1} for i < k-1 (pure shift)."""
+        a = companion_matrix(CRC32)
+        for i in range(31):
+            e = np.zeros(32, dtype=np.uint8)
+            e[i] = 1
+            out = a @ e
+            expected = np.zeros(32, dtype=np.uint8)
+            expected[i + 1] = 1
+            assert (out == expected).all()
+
+    def test_feedback_row(self):
+        """Applying A to e_{k-1} injects the generator taps."""
+        a = companion_matrix(CRC32)
+        e = np.zeros(32, dtype=np.uint8)
+        e[31] = 1
+        out = a @ e
+        assert (out == companion_taps(CRC32)).all()
+
+
+class TestCompanionTaps:
+    def test_taps_vector(self):
+        taps = companion_taps(GF2Polynomial(0b1011))
+        assert taps.tolist() == [1, 1, 0]
+
+    def test_taps_equal_last_column(self):
+        a = companion_matrix(CRC32)
+        assert (companion_taps(CRC32) == a.column(31)).all()
+
+
+class TestPolyFromCompanion:
+    def test_roundtrip(self):
+        for coeffs in (0b1011, 0b11111, CRC32.coeffs):
+            poly = GF2Polynomial(coeffs)
+            assert poly_from_companion(companion_matrix(poly)) == poly
+
+    def test_rejects_non_companion(self):
+        with pytest.raises(ValueError):
+            poly_from_companion(GF2Matrix.identity(3))

@@ -1,0 +1,125 @@
+"""Unit tests for repro.lfsr.correlation (PN-sequence statistics)."""
+
+import numpy as np
+import pytest
+
+from repro.gf2 import GF2Polynomial
+from repro.lfsr import GaloisLFSR
+from repro.lfsr.correlation import (
+    autocorrelation_profile,
+    golomb_check,
+    periodic_autocorrelation,
+    periodic_cross_correlation,
+    run_lengths,
+)
+
+WIFI = GF2Polynomial.from_exponents([7, 4, 0])
+PERIOD = 127
+
+
+@pytest.fixture(scope="module")
+def m_sequence():
+    return GaloisLFSR(WIFI, 1).keystream(PERIOD)
+
+
+class TestAutocorrelation:
+    def test_zero_shift_is_one(self, m_sequence):
+        assert periodic_autocorrelation(m_sequence, 0) == pytest.approx(1.0)
+
+    def test_m_sequence_two_valued(self, m_sequence):
+        """The defining PN property: -1/N at every non-zero shift."""
+        for shift in range(1, PERIOD):
+            assert periodic_autocorrelation(m_sequence, shift) == pytest.approx(-1 / PERIOD)
+
+    def test_profile_length(self, m_sequence):
+        profile = autocorrelation_profile(m_sequence)
+        assert len(profile) == PERIOD
+        assert profile[0] == pytest.approx(1.0)
+
+    def test_shift_wraps(self, m_sequence):
+        assert periodic_autocorrelation(m_sequence, PERIOD) == pytest.approx(1.0)
+
+    def test_non_pn_sequence_is_not_two_valued(self):
+        bits = [0, 0, 1, 1, 0, 1, 0, 0]
+        values = {round(periodic_autocorrelation(bits, k), 6) for k in range(1, 8)}
+        assert len(values) > 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            periodic_autocorrelation([], 0)
+
+
+class TestCrossCorrelation:
+    def test_self_cross_equals_auto(self, m_sequence):
+        for shift in (0, 5, 60):
+            assert periodic_cross_correlation(
+                m_sequence, m_sequence, shift
+            ) == pytest.approx(periodic_autocorrelation(m_sequence, shift))
+
+    def test_shifted_phase_low_correlation(self, m_sequence):
+        other = m_sequence[13:] + m_sequence[:13]
+        assert periodic_cross_correlation(m_sequence, other, 0) == pytest.approx(-1 / PERIOD)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            periodic_cross_correlation([1, 0], [1], 0)
+
+
+class TestRunLengths:
+    def test_m_sequence_run_structure(self, m_sequence):
+        """2^(k-1) cyclic runs; counts halve per extra length."""
+        hist = run_lengths(m_sequence)
+        assert sum(hist.values()) == 64
+        assert hist[1] == 32
+        assert hist[2] == 16
+        assert hist[3] == 8
+
+    def test_longest_runs(self, m_sequence):
+        hist = run_lengths(m_sequence)
+        assert hist[7] == 1  # the run of 7 ones
+        assert hist[6] == 1  # the run of 6 zeros
+
+    def test_constant_sequence(self):
+        assert run_lengths([1, 1, 1]) == {3: 1}
+
+    def test_cyclic_counting(self):
+        # 1,1,0,1 cyclically: runs are (1,1,1) and (0) -> {3:1, 1:1}
+        assert run_lengths([1, 1, 0, 1]) == {3: 1, 1: 1}
+
+
+class TestGolomb:
+    def test_m_sequence_is_pseudo_noise(self, m_sequence):
+        report = golomb_check(m_sequence)
+        assert report.balanced
+        assert report.run_distribution_ok
+        assert report.two_valued_autocorrelation
+        assert report.is_pseudo_noise
+        assert report.ones == 64
+        assert report.zeros == 63
+
+    def test_all_catalog_scramblers_are_pn(self):
+        """Every scrambler polynomial in the catalog generates a true PN
+        sequence — the §1 'statistical properties' claim, verified."""
+        from repro.scrambler import IEEE80211, PRBS9, SONET
+
+        for spec in (IEEE80211, PRBS9, SONET):
+            period = (1 << spec.degree) - 1
+            seq = GaloisLFSR(spec.poly, 1).keystream(period)
+            assert golomb_check(seq).is_pseudo_noise, spec.name
+
+    def test_biased_sequence_fails_balance(self):
+        report = golomb_check([1, 1, 1, 1, 0, 1, 1])
+        assert not report.balanced
+
+    def test_alternating_fails_runs(self):
+        report = golomb_check([1, 0, 1, 0, 1, 0])
+        assert not report.run_distribution_ok or not report.two_valued_autocorrelation
+
+    def test_short_sequence_rejected(self):
+        with pytest.raises(ValueError):
+            golomb_check([1, 0])
+
+    def test_random_data_usually_fails_g3(self):
+        rng = np.random.default_rng(5)
+        bits = [int(b) for b in rng.integers(0, 2, size=127)]
+        assert not golomb_check(bits).two_valued_autocorrelation

@@ -1,0 +1,125 @@
+"""Unit tests for repro.lfsr.lookahead."""
+
+import numpy as np
+import pytest
+
+from repro.gf2 import GF2Polynomial
+from repro.lfsr import (
+    crc_statespace,
+    expand_lookahead,
+    scrambler_output_matrix,
+    scrambler_statespace,
+)
+from repro.lfsr.lookahead import input_matrix, output_matrices
+
+CRC32 = GF2Polynomial((1 << 32) | 0x04C11DB7)
+CRC16 = GF2Polynomial((1 << 16) | 0x1021)
+WIMAX = GF2Polynomial.from_exponents([15, 14, 0])
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(123)
+
+
+class TestExpansion:
+    def test_m1_is_serial(self):
+        ss = crc_statespace(CRC16)
+        la = expand_lookahead(ss, 1)
+        assert la.A_M == ss.A
+        assert la.B_M.column(0).tolist() == ss.b.tolist()
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            expand_lookahead(crc_statespace(CRC16), 0)
+
+    def test_b_matrix_columns(self):
+        ss = crc_statespace(CRC16)
+        bm = input_matrix(ss, 4)
+        assert bm.shape == (16, 4)
+        # Column j is A^j b.
+        v = ss.b.copy()
+        for j in range(4):
+            assert (bm.column(j) == v).all()
+            v = ss.A @ v
+
+    def test_paper_two_step_identity(self, rng):
+        """x(n+2) = A^2 x + A b u(n) + b u(n+1) — the worked example in §2."""
+        ss = crc_statespace(CRC16)
+        x = rng.integers(0, 2, size=16).astype(np.uint8)
+        u0, u1 = 1, 1
+        serial1, _ = ss.step(x, u0)
+        serial2, _ = ss.step(serial1, u1)
+        la = expand_lookahead(ss, 2)
+        block = la.block_step(x, [u0, u1])
+        assert (block == serial2).all()
+
+
+class TestBlockEquivalence:
+    @pytest.mark.parametrize("M", [2, 4, 8, 16, 32])
+    def test_crc_block_equals_serial(self, M, rng):
+        ss = crc_statespace(CRC32)
+        la = expand_lookahead(ss, M)
+        bits = [int(b) for b in rng.integers(0, 2, size=4 * M)]
+        x0 = rng.integers(0, 2, size=32).astype(np.uint8)
+        serial, _ = ss.simulate(x0, bits)
+        assert (la.run(x0, bits) == serial).all()
+
+    @pytest.mark.parametrize("M", [4, 16, 64])
+    def test_scrambler_state_block_equals_serial(self, M, rng):
+        ss = scrambler_statespace(WIMAX)
+        la = expand_lookahead(ss, M)
+        x0 = rng.integers(0, 2, size=15).astype(np.uint8)
+        serial, _ = ss.run_autonomous(x0, 2 * M)
+        assert (la.run(x0, [0] * (2 * M)) == serial).all()
+
+    def test_chunk_length_validation(self):
+        la = expand_lookahead(crc_statespace(CRC16), 8)
+        with pytest.raises(ValueError):
+            la.block_step(np.zeros(16, dtype=np.uint8), [0] * 7)
+
+    def test_run_length_validation(self):
+        la = expand_lookahead(crc_statespace(CRC16), 8)
+        with pytest.raises(ValueError):
+            la.run(np.zeros(16, dtype=np.uint8), [0] * 12)
+
+    def test_input_vector_is_latest_first(self):
+        la = expand_lookahead(crc_statespace(CRC16), 4)
+        u = la.input_vector([1, 0, 0, 0])  # u(n)=1 is the *oldest* bit
+        assert u.tolist() == [0, 0, 0, 1]
+
+
+class TestFeedbackComplexity:
+    def test_density_grows_with_m(self):
+        ss = crc_statespace(CRC32)
+        nnz_small = expand_lookahead(ss, 2).feedback_complexity()[0]
+        nnz_big = expand_lookahead(ss, 64).feedback_complexity()[0]
+        assert nnz_big > nnz_small
+
+    def test_serial_feedback_is_sparse(self):
+        ss = crc_statespace(CRC32)
+        nnz, density = expand_lookahead(ss, 1).feedback_complexity()
+        # Companion matrix: k-1 sub-diagonal + popcount(g) taps.
+        assert nnz == 31 + 14
+        assert density < 0.05
+
+
+class TestOutputMatrices:
+    def test_crc_output_expansion_trivial(self):
+        ss = crc_statespace(CRC16)
+        C_M, D_M = output_matrices(ss, 8)
+        assert C_M == ss.C  # identity^M = identity
+        assert D_M.nnz() == 0  # d = 0 for CRC
+
+    def test_scrambler_output_requires_square(self):
+        with pytest.raises(ValueError):
+            output_matrices(scrambler_statespace(WIMAX), 4)
+
+    def test_scrambler_output_matrix_rows(self, rng):
+        """Row j of the M×k output matrix gives keystream bit at offset j."""
+        ss = scrambler_statespace(WIMAX)
+        Y = scrambler_output_matrix(ss, 16)
+        x0 = rng.integers(0, 2, size=15).astype(np.uint8)
+        _, outs = ss.run_autonomous(x0, 16)
+        block = Y @ x0
+        assert [int(b) for b in block] == [int(o[0]) for o in outs]

@@ -1,0 +1,63 @@
+"""Unit tests for repro.lfsr.pei (direct look-ahead baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.gf2 import GF2Polynomial
+from repro.lfsr import crc_statespace, derby_transform
+from repro.lfsr.pei import pei_lookahead, pei_speedup_bound
+
+CRC32 = GF2Polynomial((1 << 32) | 0x04C11DB7)
+
+
+class TestFunctional:
+    def test_matches_serial(self):
+        ss = crc_statespace(CRC32)
+        engine = pei_lookahead(ss, 16)
+        rng = np.random.default_rng(3)
+        bits = [int(b) for b in rng.integers(0, 2, size=64)]
+        x0 = ss.state_from_int(0xFFFFFFFF)
+        serial, _ = ss.simulate(x0, bits)
+        assert (engine.run(x0, bits) == serial).all()
+
+    def test_m_property(self):
+        assert pei_lookahead(crc_statespace(CRC32), 32).M == 32
+
+
+class TestLoopComplexity:
+    def test_fanin_grows_with_m(self):
+        ss = crc_statespace(CRC32)
+        f8 = pei_lookahead(ss, 8).loop_fanin()
+        f64 = pei_lookahead(ss, 64).loop_fanin()
+        assert f64 > f8
+
+    def test_depth_grows_with_m(self):
+        ss = crc_statespace(CRC32)
+        d2 = pei_lookahead(ss, 2).loop_depth_xor2()
+        d128 = pei_lookahead(ss, 128).loop_depth_xor2()
+        assert d128 > d2
+
+    def test_serial_depth_is_minimal(self):
+        # Serial loop: shifted bit XOR feedback tap XOR input -> 2 levels.
+        ss = crc_statespace(CRC32)
+        assert pei_lookahead(ss, 1).loop_depth_xor2() == 2
+
+    def test_direct_loop_deeper_than_derby(self):
+        """The motivation for the transform: Derby's loop fan-in is the
+        companion tap count, independent of M; Pei's grows toward k/2·M."""
+        ss = crc_statespace(CRC32)
+        for M in (32, 64, 128):
+            pei = pei_lookahead(ss, M)
+            derby = derby_transform(ss, M)
+            derby_fanin = int(derby.A_Mt.to_array().sum(axis=1).max())
+            assert pei.loop_fanin() > derby_fanin
+
+
+class TestSpeedupBound:
+    def test_half_m(self):
+        assert pei_speedup_bound(32) == 16.0
+        assert pei_speedup_bound(128) == 64.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            pei_speedup_bound(0)

@@ -1,0 +1,116 @@
+"""Unit tests for repro.lfsr.reference (Fibonacci/Galois LFSRs)."""
+
+import pytest
+
+from repro.gf2 import GF2Polynomial
+from repro.lfsr import FibonacciLFSR, GaloisLFSR
+
+TRINOMIAL = GF2Polynomial(0b1011)  # x^3 + x + 1, primitive
+WIFI = GF2Polynomial.from_exponents([7, 4, 0])
+
+
+class TestGaloisLFSR:
+    def test_rejects_constant_poly(self):
+        with pytest.raises(ValueError):
+            GaloisLFSR(GF2Polynomial(1))
+
+    def test_state_width_check(self):
+        with pytest.raises(ValueError):
+            GaloisLFSR(TRINOMIAL, state=0b1000)
+
+    def test_maximal_period(self):
+        assert GaloisLFSR(TRINOMIAL, 1).period() == 7
+
+    def test_wifi_scrambler_period(self):
+        assert GaloisLFSR(WIFI, 1).period() == 127
+
+    def test_zero_state_period_undefined(self):
+        with pytest.raises(ValueError):
+            GaloisLFSR(TRINOMIAL, 0).period()
+
+    def test_clock_with_input_is_crc_step(self):
+        # state 0, input 1: fb = 1, register becomes the tap pattern.
+        reg = GaloisLFSR(TRINOMIAL, 0)
+        fb = reg.clock(1)
+        assert fb == 1
+        assert reg.state == 0b011  # g0, g1 set
+
+    def test_keystream_visits_all_nonzero_states(self):
+        reg = GaloisLFSR(TRINOMIAL, 1)
+        states = set(reg.iter_states(7))
+        assert len(states) == 7
+        assert 0 not in states
+
+    def test_keystream_length(self):
+        assert len(GaloisLFSR(WIFI, 1).keystream(50)) == 50
+
+    def test_period_limit(self):
+        with pytest.raises(ArithmeticError):
+            GaloisLFSR(WIFI, 1).period(limit=5)
+
+
+class TestFibonacciLFSR:
+    def test_requires_constant_term(self):
+        with pytest.raises(ValueError):
+            FibonacciLFSR(GF2Polynomial(0b1010))
+
+    def test_maximal_period(self):
+        assert FibonacciLFSR(TRINOMIAL, 1).period() == 7
+
+    def test_same_period_as_galois(self):
+        assert FibonacciLFSR(WIFI, 1).period() == GaloisLFSR(WIFI, 1).period()
+
+    def test_output_sequence_periodicity(self):
+        reg = FibonacciLFSR(TRINOMIAL, 0b001)
+        ks = reg.keystream(14)
+        assert ks[:7] == ks[7:]
+
+    def test_m_sequence_balance(self):
+        """A maximal-length sequence of period 2^k - 1 has 2^(k-1) ones."""
+        ks = FibonacciLFSR(WIFI, 1).keystream(127)
+        assert sum(ks) == 64
+
+    def test_galois_m_sequence_balance(self):
+        ks = GaloisLFSR(WIFI, 1).keystream(127)
+        assert sum(ks) == 64
+
+    def test_galois_matches_fibonacci_of_reciprocal(self):
+        """With these shift conventions the Galois form of g(x) produces the
+        same m-sequence (up to phase) as the Fibonacci form of the
+        *reciprocal* polynomial — the classic duality between the two
+        configurations."""
+        period = 127
+        fib = FibonacciLFSR(WIFI.reciprocal(), 1).keystream(period)
+        gal = GaloisLFSR(WIFI, 1).keystream(period)
+        doubled = fib + fib
+        assert any(doubled[s : s + period] == gal for s in range(period))
+
+    def test_galois_is_time_reversed_fibonacci(self):
+        """Equivalently: the Galois sequence of g(x) is the time-reversed
+        Fibonacci sequence of g(x), up to phase."""
+        period = 127
+        fib = FibonacciLFSR(WIFI, 1).keystream(period)
+        gal = GaloisLFSR(WIFI, 1).keystream(period)
+        doubled = fib + fib
+        assert any(doubled[s : s + period] == gal[::-1] for s in range(period))
+
+
+class TestRunLengthStatistics:
+    """Golomb's postulates for m-sequences — a statistical sanity net."""
+
+    def test_run_property(self):
+        ks = GaloisLFSR(WIFI, 1).keystream(127)
+        # Count runs: half of length 1, quarter of length 2, ...
+        runs = []
+        current = ks[0]
+        length = 1
+        for b in ks[1:]:
+            if b == current:
+                length += 1
+            else:
+                runs.append(length)
+                current = b
+                length = 1
+        runs.append(length)
+        # 2^(k-1) cyclic runs; a linear scan may split one run at the seam.
+        assert len(runs) in (64, 65)

@@ -1,0 +1,121 @@
+"""Unit tests for repro.lfsr.statespace."""
+
+import numpy as np
+import pytest
+
+from repro.gf2 import GF2Matrix, GF2Polynomial
+from repro.lfsr import crc_statespace, scrambler_statespace
+from repro.lfsr.reference import GaloisLFSR
+from repro.lfsr.statespace import LFSRStateSpace
+
+CRC32 = GF2Polynomial((1 << 32) | 0x04C11DB7)
+WIMAX = GF2Polynomial.from_exponents([15, 14, 0])
+
+
+class TestConstruction:
+    def test_crc_shape(self):
+        ss = crc_statespace(CRC32)
+        assert ss.order == 32
+        assert ss.output_width == 32
+        assert ss.C == GF2Matrix.identity(32)
+        assert not ss.d.any()
+
+    def test_scrambler_shape(self):
+        ss = scrambler_statespace(WIMAX)
+        assert ss.order == 15
+        assert ss.output_width == 1
+        assert not ss.b.any()
+        assert ss.d.tolist() == [1]
+
+    def test_scrambler_custom_tap(self):
+        ss = scrambler_statespace(WIMAX, output_tap=3)
+        assert ss.C.to_array()[0].tolist() == [0, 0, 0, 1] + [0] * 11
+
+    def test_scrambler_bad_tap(self):
+        with pytest.raises(ValueError):
+            scrambler_statespace(WIMAX, output_tap=15)
+
+    def test_validation_rejects_bad_b(self):
+        ss = crc_statespace(CRC32)
+        with pytest.raises(ValueError):
+            LFSRStateSpace(A=ss.A, b=np.zeros(3, dtype=np.uint8), C=ss.C, d=ss.d)
+
+    def test_validation_rejects_bad_c(self):
+        ss = crc_statespace(CRC32)
+        with pytest.raises(ValueError):
+            LFSRStateSpace(A=ss.A, b=ss.b, C=GF2Matrix.identity(5), d=np.zeros(5, dtype=np.uint8))
+
+
+class TestCRCStepping:
+    def test_step_matches_galois_register(self):
+        ss = crc_statespace(CRC32)
+        reg = GaloisLFSR(CRC32, 0xFFFFFFFF)
+        state = ss.state_from_int(0xFFFFFFFF)
+        rng = np.random.default_rng(7)
+        for u in rng.integers(0, 2, size=200):
+            state, _ = ss.step(state, int(u))
+            reg.clock(int(u))
+            assert ss.state_to_int(state) == reg.state
+
+    def test_zero_state_zero_input_is_fixed_point(self):
+        ss = crc_statespace(CRC32)
+        state = np.zeros(32, dtype=np.uint8)
+        nxt, _ = ss.step(state, 0)
+        assert not nxt.any()
+
+    def test_output_is_state(self):
+        ss = crc_statespace(CRC32)
+        state = ss.state_from_int(0x12345678)
+        _, y = ss.step(state, 1)
+        # CRC output map is the identity on the *current* state
+        assert (y == state).all()
+
+    def test_simulate_returns_outputs_per_step(self):
+        ss = crc_statespace(CRC32)
+        state = ss.state_from_int(1)
+        final, outs = ss.simulate(state, [1, 0, 1])
+        assert len(outs) == 3
+        assert final.shape == (32,)
+
+
+class TestScramblerStepping:
+    def test_keystream_matches_galois_msb(self):
+        ss = scrambler_statespace(WIMAX)
+        seed = 0x4A80
+        state = ss.state_from_int(seed)
+        expected = GaloisLFSR(WIMAX, seed).keystream(64)
+        _, outs = ss.simulate(state, [0] * 64)
+        assert [int(o[0]) for o in outs] == expected
+
+    def test_output_xors_input(self):
+        ss = scrambler_statespace(WIMAX)
+        state = ss.state_from_int(0x1234)
+        _, y0 = ss.step(state, 0)
+        _, y1 = ss.step(state, 1)
+        assert int(y0[0]) ^ int(y1[0]) == 1
+
+    def test_autonomous_state_independent_of_input(self):
+        ss = scrambler_statespace(WIMAX)
+        state = ss.state_from_int(0x7FFF)
+        n0, _ = ss.step(state, 0)
+        n1, _ = ss.step(state, 1)
+        assert (n0 == n1).all()
+
+    def test_run_autonomous(self):
+        ss = scrambler_statespace(WIMAX)
+        state = ss.state_from_int(1)
+        final, outs = ss.run_autonomous(state, 15)
+        assert len(outs) == 15
+
+
+class TestStatePacking:
+    def test_roundtrip(self):
+        ss = crc_statespace(CRC32)
+        for v in (0, 1, 0xFFFFFFFF, 0xDEADBEEF):
+            assert ss.state_to_int(ss.state_from_int(v)) == v
+
+    def test_msb_is_last_element(self):
+        ss = crc_statespace(CRC32)
+        state = ss.state_from_int(1 << 31)
+        assert state[31] == 1
+        assert state[:31].sum() == 0

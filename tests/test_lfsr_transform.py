@@ -1,0 +1,135 @@
+"""Unit tests for repro.lfsr.transform (Derby state-space transformation)."""
+
+import numpy as np
+import pytest
+
+from repro.gf2 import GF2Matrix, GF2Polynomial
+from repro.lfsr import crc_statespace, derby_transform, expand_lookahead
+from repro.lfsr.transform import TransformError, krylov_matrix
+
+CRC32 = GF2Polynomial((1 << 32) | 0x04C11DB7)
+CRC16 = GF2Polynomial((1 << 16) | 0x1021)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(99)
+
+
+class TestKrylov:
+    def test_columns_are_iterated_powers(self):
+        ss = crc_statespace(CRC16)
+        A_M = ss.A ** 8
+        f = np.zeros(16, dtype=np.uint8)
+        f[0] = 1
+        T = krylov_matrix(A_M, f)
+        v = f.copy()
+        for j in range(16):
+            assert (T.column(j) == v).all()
+            v = A_M @ v
+
+    def test_invertible_for_primitive_poly(self):
+        ss = crc_statespace(CRC32)
+        f = np.zeros(32, dtype=np.uint8)
+        f[0] = 1
+        assert krylov_matrix(ss.A ** 32, f).is_invertible()
+
+
+class TestDerbyConstruction:
+    @pytest.mark.parametrize("M", [2, 8, 32, 128])
+    def test_transformed_loop_is_companion(self, M):
+        dt = derby_transform(crc_statespace(CRC32), M)
+        assert dt.A_Mt.is_companion()
+
+    @pytest.mark.parametrize("M", [8, 32])
+    def test_similarity(self, M):
+        """T^-1 A^M T must be similar to A^M (same characteristic poly)."""
+        dt = derby_transform(crc_statespace(CRC32), M)
+        assert dt.A_Mt.is_similar_to(dt.lookahead.A_M)
+
+    def test_paper_f_choice_works(self):
+        """The paper empirically selected f = [1 0 ... 0] for CRC-32."""
+        f = np.zeros(32, dtype=np.uint8)
+        f[0] = 1
+        dt = derby_transform(crc_statespace(CRC32), 128, f=f)
+        assert dt.A_Mt.is_companion()
+
+    def test_supplied_f_shape_checked(self):
+        with pytest.raises(ValueError):
+            derby_transform(crc_statespace(CRC32), 8, f=np.ones(5, dtype=np.uint8))
+
+    def test_bad_f_raises(self):
+        with pytest.raises(TransformError):
+            derby_transform(crc_statespace(CRC32), 8, f=np.zeros(32, dtype=np.uint8))
+
+    def test_t_inverse_consistent(self):
+        dt = derby_transform(crc_statespace(CRC32), 16)
+        assert dt.T @ dt.T_inv == GF2Matrix.identity(32)
+
+    def test_b_mt_definition(self):
+        dt = derby_transform(crc_statespace(CRC32), 16)
+        assert dt.B_Mt == dt.T_inv @ dt.lookahead.B_M
+
+
+class TestDerbyEquivalence:
+    @pytest.mark.parametrize("M", [2, 4, 8, 16, 32, 64, 128])
+    def test_matches_serial_crc(self, M, rng):
+        ss = crc_statespace(CRC32)
+        dt = derby_transform(ss, M)
+        bits = [int(b) for b in rng.integers(0, 2, size=2 * M)]
+        x0 = ss.state_from_int(0xFFFFFFFF)
+        serial, _ = ss.simulate(x0, bits)
+        assert (dt.run(x0, bits) == serial).all()
+
+    @pytest.mark.parametrize("M", [8, 32])
+    def test_matches_plain_lookahead(self, M, rng):
+        ss = crc_statespace(CRC16)
+        dt = derby_transform(ss, M)
+        la = expand_lookahead(ss, M)
+        bits = [int(b) for b in rng.integers(0, 2, size=3 * M)]
+        x0 = rng.integers(0, 2, size=16).astype(np.uint8)
+        assert (dt.run(x0, bits) == la.run(x0, bits)).all()
+
+    def test_transform_roundtrip(self, rng):
+        dt = derby_transform(crc_statespace(CRC32), 32)
+        x = rng.integers(0, 2, size=32).astype(np.uint8)
+        assert (dt.from_transformed(dt.to_transformed(x)) == x).all()
+
+    def test_stepwise_commutation(self, rng):
+        """One transformed block step == transform(one natural block step)."""
+        ss = crc_statespace(CRC32)
+        M = 16
+        dt = derby_transform(ss, M)
+        la = dt.lookahead
+        x = rng.integers(0, 2, size=32).astype(np.uint8)
+        chunk = [int(b) for b in rng.integers(0, 2, size=M)]
+        natural = la.block_step(x, chunk)
+        transformed = dt.block_step(dt.to_transformed(x), chunk)
+        assert (dt.from_transformed(transformed) == natural).all()
+
+    def test_run_length_validation(self):
+        dt = derby_transform(crc_statespace(CRC16), 8)
+        with pytest.raises(ValueError):
+            dt.run(np.zeros(16, dtype=np.uint8), [0] * 9)
+
+
+class TestComplexityTradeoff:
+    """The whole point of Derby: constant loop cost, feed-forward growth."""
+
+    def test_loop_complexity_constant_in_m(self):
+        ss = crc_statespace(CRC32)
+        costs = {M: derby_transform(ss, M).loop_complexity() for M in (8, 32, 128)}
+        assert len(set(costs.values())) == 1
+
+    def test_loop_cheaper_than_direct_lookahead(self):
+        ss = crc_statespace(CRC32)
+        for M in (32, 64, 128):
+            dt = derby_transform(ss, M)
+            direct_nnz = dt.lookahead.A_M.nnz()
+            assert dt.loop_complexity() < direct_nnz
+
+    def test_feedforward_grows_with_m(self):
+        ss = crc_statespace(CRC32)
+        small = derby_transform(ss, 8).feedforward_complexity()
+        big = derby_transform(ss, 128).feedforward_complexity()
+        assert big > small

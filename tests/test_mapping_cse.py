@@ -1,0 +1,164 @@
+"""Unit tests for repro.mapping.xor_network and repro.mapping.cse."""
+
+import numpy as np
+import pytest
+
+from repro.gf2 import GF2Matrix
+from repro.mapping.cse import extract_common_patterns, no_cse
+from repro.mapping.xor_network import (
+    XorEquation,
+    equations_from_matrix,
+    recurrence_equations,
+    split_by_kind,
+    total_xor_taps,
+    weight_histogram,
+)
+from repro.picoga.cell import Net, NetKind
+
+
+def _eq(name, *nets):
+    return XorEquation(name=name, leaves=frozenset(nets))
+
+
+class TestXorNetwork:
+    def test_equations_from_matrix(self):
+        m = GF2Matrix([[1, 0, 1], [0, 1, 1]])
+        eqs = equations_from_matrix(m, NetKind.INPUT, "r")
+        assert eqs[0].leaves == {Net.input(0), Net.input(2)}
+        assert eqs[1].leaves == {Net.input(1), Net.input(2)}
+
+    def test_recurrence_equations_merge(self):
+        s = GF2Matrix([[1, 0], [0, 1]])
+        b = GF2Matrix([[1, 1], [0, 0]])
+        eqs = recurrence_equations(s, b)
+        assert eqs[0].leaves == {Net.state(0), Net.input(0), Net.input(1)}
+        assert eqs[1].leaves == {Net.state(1)}
+
+    def test_recurrence_shape_check(self):
+        with pytest.raises(ValueError):
+            recurrence_equations(GF2Matrix.identity(2), GF2Matrix.zeros(3, 2))
+
+    def test_total_taps(self):
+        eqs = [_eq("a", Net.input(0), Net.input(1), Net.input(2)), _eq("b", Net.input(0))]
+        assert total_xor_taps(eqs) == 2
+
+    def test_split_by_kind(self):
+        state, other = split_by_kind(
+            frozenset({Net.state(1), Net.input(0), Net.state(0), Net.cell(2)})
+        )
+        assert [n.index for n in state] == [0, 1]
+        assert len(other) == 2
+
+    def test_weight_histogram(self):
+        eqs = [_eq("a", Net.input(0)), _eq("b", Net.input(0), Net.input(1))]
+        assert weight_histogram(eqs) == {1: 1, 2: 1}
+
+
+def _verify_semantics(original, result, n_inputs, n_state=0, trials=20):
+    """The optimized DAG must compute the same parities as the originals."""
+    rng = np.random.default_rng(5)
+    for _ in range(trials):
+        inputs = rng.integers(0, 2, size=max(n_inputs, 1))
+        states = rng.integers(0, 2, size=max(n_state, 1))
+
+        def leaf_value(net, shared_values):
+            if net.kind is NetKind.INPUT:
+                return int(inputs[net.index])
+            if net.kind is NetKind.STATE:
+                return int(states[net.index])
+            return shared_values[net]
+
+        shared_values = {}
+        for term in result.shared:
+            v = 0
+            for net in term.operands:
+                v ^= leaf_value(net, shared_values)
+            shared_values[term.net] = v
+
+        for orig, opt in zip(original, result.equations):
+            expected = 0
+            for net in orig.leaves:
+                expected ^= leaf_value(net, shared_values)
+            got = 0
+            for net in opt.leaves:
+                got ^= leaf_value(net, shared_values)
+            assert got == expected, orig.name
+
+
+class TestCSE:
+    def test_simple_shared_pair(self):
+        eqs = [
+            _eq("a", Net.input(0), Net.input(1), Net.input(2)),
+            _eq("b", Net.input(0), Net.input(1), Net.input(3)),
+        ]
+        result = extract_common_patterns(eqs)
+        assert len(result.shared) == 1
+        assert result.shared[0].operands == {Net.input(0), Net.input(1)}
+        assert result.savings == 1
+        _verify_semantics(eqs, result, n_inputs=4)
+
+    def test_wide_pattern_preferred(self):
+        common = [Net.input(i) for i in range(5)]
+        eqs = [
+            _eq("a", *common, Net.input(10)),
+            _eq("b", *common, Net.input(11)),
+            _eq("c", *common, Net.input(12)),
+        ]
+        result = extract_common_patterns(eqs)
+        assert any(len(t.operands) == 5 for t in result.shared)
+        assert result.savings == 8  # (5-1) * (3-1)
+        _verify_semantics(eqs, result, n_inputs=13)
+
+    def test_pattern_width_capped(self):
+        common = [Net.input(i) for i in range(15)]
+        eqs = [_eq("a", *common, Net.input(20)), _eq("b", *common, Net.input(21))]
+        result = extract_common_patterns(eqs, max_width=10)
+        assert all(len(t.operands) <= 10 for t in result.shared)
+        _verify_semantics(eqs, result, n_inputs=22)
+
+    def test_state_leaves_not_shared_by_default(self):
+        eqs = [
+            _eq("a", Net.state(0), Net.state(1), Net.input(0)),
+            _eq("b", Net.state(0), Net.state(1), Net.input(1)),
+        ]
+        result = extract_common_patterns(eqs)
+        for term in result.shared:
+            assert all(n.kind is not NetKind.STATE for n in term.operands)
+        _verify_semantics(eqs, result, n_inputs=2, n_state=2)
+
+    def test_state_sharing_opt_in(self):
+        eqs = [
+            _eq("a", Net.state(0), Net.state(1), Net.input(0)),
+            _eq("b", Net.state(0), Net.state(1), Net.input(1)),
+        ]
+        result = extract_common_patterns(eqs, share_state=True)
+        assert result.savings == 1
+        _verify_semantics(eqs, result, n_inputs=2, n_state=2)
+
+    def test_no_sharing_possible(self):
+        eqs = [_eq("a", Net.input(0), Net.input(1)), _eq("b", Net.input(2), Net.input(3))]
+        result = extract_common_patterns(eqs)
+        assert result.shared == []
+        assert result.savings == 0
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            extract_common_patterns([], max_width=1)
+
+    def test_no_cse_identity(self):
+        eqs = [_eq("a", Net.input(0), Net.input(1))]
+        result = no_cse(eqs)
+        assert result.savings == 0
+        assert result.equations == eqs
+
+    def test_crc32_b_matrix_savings(self):
+        """On the real B_Mt the paper's pattern sharing must pay off."""
+        from repro.crc import ETHERNET_CRC32
+        from repro.lfsr import crc_statespace, derby_transform
+        from repro.mapping.xor_network import equations_from_matrix
+
+        dt = derby_transform(crc_statespace(ETHERNET_CRC32.generator()), 32)
+        eqs = equations_from_matrix(dt.B_Mt, NetKind.INPUT, "b")
+        result = extract_common_patterns(eqs)
+        assert result.savings > 0.2 * result.taps_before  # >20% reduction
+        _verify_semantics(eqs, result, n_inputs=32)

@@ -1,0 +1,183 @@
+"""Unit tests for repro.mapping.packing, mapper and explorer."""
+
+import numpy as np
+import pytest
+
+from repro.crc import BitwiseCRC, ETHERNET_CRC32, MPEG2_CRC32, get
+from repro.mapping import (
+    DesignSpaceExplorer,
+    extract_common_patterns,
+    map_crc,
+    map_scrambler,
+    pack_equations,
+)
+from repro.mapping.xor_network import XorEquation
+from repro.picoga.cell import Net
+from repro.scrambler import AdditiveScrambler, IEEE80211, IEEE80216E
+
+
+@pytest.fixture(scope="module")
+def messages():
+    rng = np.random.default_rng(77)
+    return [bytes(rng.integers(0, 256, size=n).tolist()) for n in (4, 46, 100, 257)]
+
+
+class TestPacking:
+    def test_wide_equation_tree(self):
+        eq = XorEquation(name="w", leaves=frozenset(Net.input(i) for i in range(25)))
+        cse = extract_common_patterns([eq])
+        packed = pack_equations(cse, fanin=10)
+        assert all(c.fanin <= 10 for c in packed.cells)
+        # 25 leaves -> 3 first-level cells + 1 combiner.
+        assert len(packed.cells) == 4
+
+    def test_state_terms_stay_at_final_cell(self):
+        eq = XorEquation(
+            name="x",
+            leaves=frozenset([Net.state(0), Net.state(1)] + [Net.input(i) for i in range(20)]),
+        )
+        packed = pack_equations(extract_common_patterns([eq]), fanin=10)
+        final = packed.cells[-1]
+        state_inputs = [n for n in final.inputs if n.kind.value == "state"]
+        assert len(state_inputs) == 2
+
+    def test_empty_equation_rejected_without_zero_net(self):
+        eq = XorEquation(name="z", leaves=frozenset())
+        with pytest.raises(ValueError):
+            pack_equations(extract_common_patterns([eq]), fanin=10)
+
+
+class TestCRCMapping:
+    @pytest.mark.parametrize("method", ["derby", "direct"])
+    @pytest.mark.parametrize("M", [8, 32])
+    def test_netlist_matches_software(self, method, M, messages):
+        mapped = map_crc(ETHERNET_CRC32, M, method=method)
+        bw = BitwiseCRC(ETHERNET_CRC32)
+        for m in messages:
+            assert mapped.compute(m) == bw.compute(m)
+
+    def test_non_reflected_spec(self, messages):
+        mapped = map_crc(MPEG2_CRC32, 16)
+        bw = BitwiseCRC(MPEG2_CRC32)
+        for m in messages:
+            assert mapped.compute(m) == bw.compute(m)
+
+    def test_crc16_mapping(self, messages):
+        spec = get("CRC-16/CCITT-FALSE")
+        mapped = map_crc(spec, 64)
+        bw = BitwiseCRC(spec)
+        for m in messages:
+            assert mapped.compute(m) == bw.compute(m)
+
+    def test_derby_loop_is_single_cell(self):
+        """The paper's central property: II = 1 at every look-ahead."""
+        for M in (8, 32, 64, 128):
+            mapped = map_crc(ETHERNET_CRC32, M, method="derby")
+            assert mapped.update_op.initiation_interval == 1, M
+
+    def test_direct_loop_deepens(self):
+        """Pei-style mapping pays in the loop: II = 2 once A^M rows exceed
+        the 10-input cell."""
+        assert map_crc(ETHERNET_CRC32, 64, method="direct").update_op.initiation_interval > 1
+
+    def test_two_operation_partitioning(self):
+        """§4: CRC partitioned into a status-update op and an output op."""
+        mapped = map_crc(ETHERNET_CRC32, 32, method="derby")
+        assert mapped.output_op is not None
+        assert mapped.update_op.n_state == 32
+        assert mapped.output_op.n_state == 0
+
+    def test_direct_method_single_operation(self):
+        assert map_crc(ETHERNET_CRC32, 32, method="direct").output_op is None
+
+    def test_cse_reduces_cells(self):
+        with_cse = map_crc(ETHERNET_CRC32, 32, use_cse=True)
+        without = map_crc(ETHERNET_CRC32, 32, use_cse=False)
+        assert with_cse.report.taps_after_cse < without.report.taps_after_cse
+
+    def test_cse_preserves_function(self, messages):
+        bw = BitwiseCRC(ETHERNET_CRC32)
+        mapped = map_crc(ETHERNET_CRC32, 32, use_cse=False)
+        for m in messages:
+            assert mapped.compute(m) == bw.compute(m)
+
+    def test_m128_fits_the_array(self):
+        """§4: 'PiCoGA is able to elaborate up to 128 bit per cycle'."""
+        mapped = map_crc(ETHERNET_CRC32, 128)
+        assert mapped.update_op.n_rows <= 24
+        assert mapped.report.total_cells <= 384
+
+    def test_invalid_method(self):
+        with pytest.raises(ValueError):
+            map_crc(ETHERNET_CRC32, 8, method="magic")
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            map_crc(ETHERNET_CRC32, 0)
+
+    def test_report_contents(self):
+        report = map_crc(ETHERNET_CRC32, 32).report
+        assert report.M == 32
+        assert report.method == "derby"
+        assert report.cse_savings > 0
+        assert report.total_cells == report.update_cells + report.output_cells
+
+
+class TestScramblerMapping:
+    @pytest.mark.parametrize("M", [8, 32, 128])
+    def test_matches_serial_scrambler(self, M):
+        rng = np.random.default_rng(9)
+        bits = [int(b) for b in rng.integers(0, 2, size=777)]
+        mapped = map_scrambler(IEEE80216E, M)
+        assert mapped.scramble_bits(bits) == AdditiveScrambler(IEEE80216E).scramble_bits(bits)
+
+    def test_untransformed_variant(self):
+        rng = np.random.default_rng(10)
+        bits = [int(b) for b in rng.integers(0, 2, size=300)]
+        mapped = map_scrambler(IEEE80211, 16, use_transform=False)
+        assert mapped.scramble_bits(bits) == AdditiveScrambler(IEEE80211).scramble_bits(bits)
+
+    def test_single_operation(self):
+        """§5: the scrambler 'requires a single operation on PiCoGA'."""
+        mapped = map_scrambler(IEEE80216E, 128)
+        assert mapped.op.initiation_interval == 1
+        assert mapped.op.n_rows <= 24
+
+    def test_seed_override(self):
+        mapped = map_scrambler(IEEE80216E, 32)
+        bits = [0] * 64
+        assert mapped.scramble_bits(bits, seed=0x1234) == AdditiveScrambler(
+            IEEE80216E, seed=0x1234
+        ).scramble_bits(bits)
+
+
+class TestExplorer:
+    @pytest.fixture(scope="class")
+    def explorer(self):
+        return DesignSpaceExplorer(ETHERNET_CRC32)
+
+    def test_paper_max_factor(self, explorer):
+        """The sweep must discover the paper's M = 128 ceiling."""
+        assert explorer.max_feasible_m((32, 64, 128, 256)) == 128
+
+    def test_m256_infeasible(self, explorer):
+        point = explorer.evaluate(256)
+        assert not point.feasible
+        assert point.reason
+
+    def test_kernel_bandwidth(self, explorer):
+        point = explorer.evaluate(128)
+        assert point.kernel_gbps == pytest.approx(25.6)
+
+    def test_sweep_structure(self, explorer):
+        points = explorer.sweep((8, 16, 32))
+        assert [p.M for p in points] == [8, 16, 32]
+        assert all(p.feasible for p in points)
+
+    def test_f_vector_study_low_spread(self, explorer):
+        """§4: different f vectors give no significant complexity change."""
+        results = explorer.f_vector_study(32, candidates=5)
+        assert len(results) >= 3
+        values = list(results.values())
+        spread = (max(values) - min(values)) / min(values)
+        assert spread < 0.25

@@ -1,0 +1,187 @@
+"""Unit tests for repro.picoga.activity, report and serialize."""
+
+import numpy as np
+import pytest
+
+from repro.crc import BitwiseCRC, ETHERNET_CRC32
+from repro.mapping import map_crc
+from repro.picoga import (
+    ActivityMonitor,
+    Net,
+    PicogaArchitecture,
+    PicogaOperation,
+    config_size_bytes,
+    describe,
+    measure_crc_activity,
+    op_dumps,
+    op_loads,
+    operation_from_dict,
+    operation_to_dict,
+    placement,
+    utilization,
+    xor_cell,
+)
+from repro.picoga.cell import lut_cell
+
+
+def _toggle_op() -> PicogaOperation:
+    """state' = state ^ in0; output mirrors the state bit."""
+    cells = [xor_cell(0, [Net.state(0), Net.input(0)])]
+    return PicogaOperation(
+        name="t", n_inputs=1, n_state=1, cells=cells,
+        outputs=[Net.cell(0)], next_state=[Net.cell(0)],
+    )
+
+
+class TestActivityMonitor:
+    def test_functional_equivalence(self):
+        op = _toggle_op()
+        monitor = ActivityMonitor(op)
+        state = [0]
+        for bit in (1, 0, 1, 1):
+            expected = op.evaluate(state, [bit])
+            got = monitor.step(state, [bit])
+            assert got == expected
+            state = expected[1]
+
+    def test_constant_input_settles(self):
+        """After the first block, feeding constant zeros toggles nothing."""
+        monitor = ActivityMonitor(_toggle_op())
+        state = [0]
+        for _ in range(10):
+            _, state = monitor.step(state, [0])
+        # First block charged fully; the other 9 toggle nothing.
+        assert monitor.report.cell_toggles == 1
+        assert monitor.report.blocks == 10
+
+    def test_alternating_input_toggles_every_block(self):
+        monitor = ActivityMonitor(_toggle_op())
+        state = [0]
+        for bit in (1, 1, 1, 1):  # state alternates 1,0,1,0
+            _, state = monitor.step(state, [bit])
+        assert monitor.report.cell_toggles == 4
+
+    def test_activity_factor_bounds(self):
+        rng = np.random.default_rng(1)
+        mapped = map_crc(ETHERNET_CRC32, 32)
+        data = bytes(rng.integers(0, 256, size=256).tolist())
+        report = measure_crc_activity(mapped, data)
+        assert 0.0 < report.activity_factor <= 1.0
+
+    def test_random_data_activity_near_half(self):
+        """XOR networks over random data toggle ~50% of nets per block."""
+        rng = np.random.default_rng(2)
+        mapped = map_crc(ETHERNET_CRC32, 64)
+        data = bytes(rng.integers(0, 256, size=2048).tolist())
+        report = measure_crc_activity(mapped, data)
+        assert 0.35 < report.activity_factor < 0.65
+
+    def test_zero_data_low_activity(self):
+        mapped = map_crc(ETHERNET_CRC32, 64)
+        report = measure_crc_activity(mapped, bytes(2048))
+        # Zero stream from zero state: the datapath stays quiet.
+        assert report.activity_factor < 0.1
+
+    def test_reset(self):
+        monitor = ActivityMonitor(_toggle_op())
+        monitor.step([0], [1])
+        monitor.reset()
+        assert monitor.report.blocks == 0
+
+    def test_merge(self):
+        from repro.picoga import ActivityReport
+
+        a = ActivityReport(blocks=1, cell_evaluations=10, cell_toggles=5)
+        b = ActivityReport(blocks=2, cell_evaluations=20, cell_toggles=5)
+        merged = a.merge(b)
+        assert merged.blocks == 3
+        assert merged.activity_factor == pytest.approx(10 / 30)
+
+
+class TestPlacementReport:
+    @pytest.fixture(scope="class")
+    def mapped(self):
+        return map_crc(ETHERNET_CRC32, 32)
+
+    def test_placement_covers_all_cells(self, mapped):
+        rows = placement(mapped.update_op)
+        assert sum(r.cells for r in rows) == mapped.update_op.n_cells
+        assert len(rows) == mapped.update_op.n_rows
+
+    def test_row_width_respected(self, mapped):
+        for row in placement(mapped.update_op):
+            assert row.cells <= mapped.update_op.arch.cells_per_row
+
+    def test_loop_rows_flagged(self, mapped):
+        rows = placement(mapped.update_op)
+        assert any(r.is_loop_row for r in rows)
+
+    def test_output_op_has_no_loop_rows(self, mapped):
+        rows = placement(mapped.output_op)
+        assert not any(r.is_loop_row for r in rows)
+
+    def test_utilization_fractions(self, mapped):
+        util = utilization(mapped.update_op)
+        assert 0 < util["cells"] <= 1
+        assert 0 < util["rows"] <= 1
+        assert util["outputs"] == 0  # derby update op drives no ports
+
+    def test_config_size_positive_and_monotone(self):
+        small = map_crc(ETHERNET_CRC32, 8).update_op
+        large = map_crc(ETHERNET_CRC32, 128).update_op
+        assert 0 < config_size_bytes(small) < config_size_bytes(large)
+
+    def test_describe_text(self, mapped):
+        text = describe(mapped.update_op)
+        assert mapped.update_op.name in text
+        assert "II=1" in text
+        assert "LOOP" in text
+
+
+class TestSerialization:
+    def test_roundtrip_identity(self):
+        op = _toggle_op()
+        clone = op_loads(op_dumps(op))
+        assert clone.name == op.name
+        assert clone.n_cells == op.n_cells
+        assert clone.evaluate([1], [1]) == op.evaluate([1], [1])
+
+    def test_roundtrip_real_mapping(self):
+        mapped = map_crc(ETHERNET_CRC32, 32)
+        clone = op_loads(op_dumps(mapped.update_op))
+        rng = np.random.default_rng(3)
+        state = [int(b) for b in rng.integers(0, 2, size=32)]
+        chunk = [int(b) for b in rng.integers(0, 2, size=32)]
+        assert clone.evaluate(state, chunk) == mapped.update_op.evaluate(state, chunk)
+        assert clone.initiation_interval == mapped.update_op.initiation_interval
+
+    def test_lut_cells_roundtrip(self):
+        cells = [lut_cell(0, [Net.input(0), Net.input(1)], 0b1000)]
+        op = PicogaOperation(
+            name="and", n_inputs=2, n_state=0, cells=cells,
+            outputs=[Net.cell(0)], next_state=[],
+        )
+        clone = op_loads(op_dumps(op))
+        assert clone.evaluate([], [1, 1]) == ([1], [])
+        assert clone.evaluate([], [1, 0]) == ([0], [])
+
+    def test_version_check(self):
+        data = operation_to_dict(_toggle_op())
+        data["version"] = 99
+        with pytest.raises(ValueError):
+            operation_from_dict(data)
+
+    def test_bad_token_rejected(self):
+        data = operation_to_dict(_toggle_op())
+        data["outputs"] = ["z0"]
+        with pytest.raises(ValueError):
+            operation_from_dict(data)
+
+    def test_validation_still_applies(self):
+        """Deserialization revalidates against the target architecture."""
+        op = _toggle_op()
+        data = operation_to_dict(op)
+        tiny = PicogaArchitecture(rows=24, cells_per_row=16, input_ports=12,
+                                  output_ports=4, xor_fanin=1)
+        with pytest.raises(ValueError):
+            operation_from_dict(data, arch=tiny)

@@ -1,0 +1,56 @@
+"""Unit tests for repro.picoga.architecture."""
+
+import pytest
+
+from repro.picoga import DREAM_PICOGA, PicogaArchitecture
+
+
+class TestDreamInstance:
+    def test_paper_parameters(self):
+        """§3: 24-row pipelined matrix, 4 contexts, 2-cycle switch, 200 MHz."""
+        assert DREAM_PICOGA.rows == 24
+        assert DREAM_PICOGA.cells_per_row == 16
+        assert DREAM_PICOGA.contexts == 4
+        assert DREAM_PICOGA.context_switch_cycles == 2
+        assert DREAM_PICOGA.clock_hz == 200e6
+
+    def test_io_bandwidth(self):
+        assert DREAM_PICOGA.input_bits == 384
+        assert DREAM_PICOGA.output_bits == 128
+
+    def test_total_cells(self):
+        assert DREAM_PICOGA.total_cells == 384
+
+    def test_xor_primitive(self):
+        """§4: a 10-bit XOR fits a single logic cell."""
+        assert DREAM_PICOGA.xor_fanin == 10
+
+    def test_cycle_time(self):
+        assert DREAM_PICOGA.cycle_seconds == pytest.approx(5e-9)
+
+    def test_area_and_tech(self):
+        assert DREAM_PICOGA.area_mm2 == pytest.approx(11.0)
+        assert "90nm" in DREAM_PICOGA.technology
+
+    def test_peak_bandwidth_at_128(self):
+        """The paper's headline: 128 bits/cycle at 200 MHz ≈ 25.6 Gbit/s."""
+        assert DREAM_PICOGA.peak_bandwidth_bps(128) == pytest.approx(25.6e9)
+
+
+class TestValidation:
+    def test_rejects_zero_rows(self):
+        with pytest.raises(ValueError):
+            PicogaArchitecture(rows=0)
+
+    def test_rejects_negative_switch(self):
+        with pytest.raises(ValueError):
+            PicogaArchitecture(context_switch_cycles=-1)
+
+    def test_rejects_zero_clock(self):
+        with pytest.raises(ValueError):
+            PicogaArchitecture(clock_hz=0)
+
+    def test_custom_instance(self):
+        big = PicogaArchitecture(rows=48, input_ports=24)
+        assert big.total_cells == 768
+        assert big.input_bits == 768

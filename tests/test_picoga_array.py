@@ -1,0 +1,170 @@
+"""Unit tests for repro.picoga.array and repro.picoga.config."""
+
+import pytest
+
+from repro.picoga import (
+    BUS_LOAD_CYCLES,
+    ConfigCache,
+    Net,
+    PicogaArray,
+    PicogaOperation,
+    xor_cell,
+)
+
+
+def _op(name: str) -> PicogaOperation:
+    cells = [xor_cell(0, [Net.state(0), Net.input(0)])]
+    return PicogaOperation(
+        name=name, n_inputs=1, n_state=1, cells=cells,
+        outputs=[Net.cell(0)], next_state=[Net.cell(0)],
+    )
+
+
+class TestConfigCache:
+    def test_load_and_lookup(self):
+        cache = ConfigCache()
+        cost = cache.load(_op("a"), slot=0)
+        assert cost == BUS_LOAD_CYCLES
+        assert cache.slot_of("a") == 0
+
+    def test_first_activation_free(self):
+        cache = ConfigCache()
+        cache.load(_op("a"), slot=0)
+        assert cache.activate("a") == 0
+
+    def test_cached_switch_costs_two_cycles(self):
+        cache = ConfigCache()
+        cache.load(_op("a"), slot=0)
+        cache.load(_op("b"), slot=1)
+        cache.activate("a")
+        assert cache.activate("b") == 2
+        assert cache.activate("b") == 0  # already active
+
+    def test_switch_count(self):
+        cache = ConfigCache()
+        cache.load(_op("a"), slot=0)
+        cache.load(_op("b"), slot=1)
+        cache.activate("a")
+        cache.activate("b")
+        cache.activate("a")
+        assert cache.switch_count == 2
+
+    def test_four_contexts(self):
+        cache = ConfigCache()
+        for i in range(4):
+            cache.load(_op(f"op{i}"), slot=i)
+        assert len(cache.loaded_ops()) == 4
+
+    def test_eviction_on_fifth_load(self):
+        cache = ConfigCache()
+        for i in range(4):
+            cache.load(_op(f"op{i}"))
+        cache.activate("op3")
+        cache.load(_op("op4"))
+        assert cache.slot_of("op4") is not None
+        assert len(cache.loaded_ops()) == 4
+        assert cache.slot_of("op3") is not None  # active op survives
+
+    def test_activate_missing_raises(self):
+        with pytest.raises(KeyError):
+            ConfigCache().activate("ghost")
+
+    def test_bad_slot(self):
+        with pytest.raises(ValueError):
+            ConfigCache().load(_op("a"), slot=9)
+
+
+class TestArrayExecution:
+    def test_burst_functional(self):
+        array = PicogaArray()
+        array.load_operation(_op("acc"), slot=0)
+        array.set_state("acc", [0])
+        outs = array.run_burst("acc", [[1], [0], [1]])
+        assert [o[0] for o in outs] == [1, 1, 0]
+        assert array.get_state("acc") == [0]
+
+    def test_state_persists_between_bursts(self):
+        array = PicogaArray()
+        array.load_operation(_op("acc"), slot=0)
+        array.set_state("acc", [0])
+        array.run_burst("acc", [[1]])
+        array.run_burst("acc", [[0]])
+        assert array.get_state("acc") == [1]
+
+    def test_ledger_fill_and_issue(self):
+        array = PicogaArray()
+        array.load_operation(_op("acc"), slot=0)
+        array.reset_ledger()
+        array.run_burst("acc", [[1], [1], [1]])
+        assert array.ledger.fill == 1  # 1-row op
+        assert array.ledger.issue == 3  # II = 1
+        assert array.ledger.switch == 0  # first activation is free
+
+    def test_ledger_switch_on_op_change(self):
+        array = PicogaArray()
+        array.load_operation(_op("a"), slot=0)
+        array.load_operation(_op("b"), slot=1)
+        array.reset_ledger()
+        array.run_burst("a", [[1]])
+        array.run_burst("b", [[1]])
+        assert array.ledger.switch == 2
+
+    def test_control_charge(self):
+        array = PicogaArray()
+        array.charge_control(40)
+        assert array.ledger.control == 40
+        with pytest.raises(ValueError):
+            array.charge_control(-1)
+
+    def test_elapsed_seconds(self):
+        array = PicogaArray()
+        array.charge_control(200)
+        assert array.elapsed_seconds() == pytest.approx(1e-6)
+
+    def test_unknown_op(self):
+        with pytest.raises(KeyError):
+            PicogaArray().run_burst("ghost", [[1]])
+
+    def test_set_state_arity(self):
+        array = PicogaArray()
+        array.load_operation(_op("acc"), slot=0)
+        with pytest.raises(ValueError):
+            array.set_state("acc", [0, 1])
+
+    def test_empty_burst_costs_nothing(self):
+        array = PicogaArray()
+        array.load_operation(_op("acc"), slot=0)
+        array.reset_ledger()
+        assert array.run_burst("acc", []) == []
+        assert array.ledger.issue == 0
+
+    def test_ledger_arithmetic(self):
+        from repro.picoga import CycleLedger
+
+        a = CycleLedger(fill=1, issue=2)
+        b = CycleLedger(switch=3, control=4)
+        total = a + b
+        assert total.total == 10
+        assert total.as_dict()["total"] == 10
+
+
+class TestInterleavedExecution:
+    def test_slot_states_isolated(self):
+        array = PicogaArray()
+        array.load_operation(_op("acc"), slot=0)
+        array.reset_ledger()
+        states = {0: [0], 1: [0]}
+        results = array.run_interleaved_burst(
+            "acc", [(0, [1]), (1, [1]), (0, [1]), (1, [0])], states
+        )
+        assert states[0] == [0]  # two ones -> parity 0
+        assert states[1] == [1]
+        assert len(results) == 4
+
+    def test_interleaved_issue_is_one_per_block(self):
+        array = PicogaArray()
+        array.load_operation(_op("acc"), slot=0)
+        array.reset_ledger()
+        states = {0: [0], 1: [0]}
+        array.run_interleaved_burst("acc", [(0, [1]), (1, [1])], states)
+        assert array.ledger.issue == 2

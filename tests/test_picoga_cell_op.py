@@ -1,0 +1,216 @@
+"""Unit tests for repro.picoga.cell and repro.picoga.op."""
+
+import pytest
+
+from repro.picoga import Net, PicogaOperation, lut_cell, xor_cell
+from repro.picoga.cell import CellKind, NetKind
+
+
+class TestNet:
+    def test_constructors(self):
+        assert Net.input(3).kind is NetKind.INPUT
+        assert Net.state(0).kind is NetKind.STATE
+        assert Net.cell(7).kind is NetKind.CELL
+
+    def test_rejects_negative_index(self):
+        with pytest.raises(ValueError):
+            Net.input(-1)
+
+    def test_hashable(self):
+        assert len({Net.input(0), Net.input(0), Net.input(1)}) == 2
+
+
+class TestCell:
+    def test_xor_parity(self):
+        cell = xor_cell(0, [Net.input(0), Net.input(1), Net.input(2)])
+        assert cell.evaluate([1, 1, 0]) == 0
+        assert cell.evaluate([1, 1, 1]) == 1
+
+    def test_xor_single_input_passthrough(self):
+        cell = xor_cell(0, [Net.input(0)])
+        assert cell.evaluate([1]) == 1
+        assert cell.evaluate([0]) == 0
+
+    def test_lut_truth_table(self):
+        # AND of two inputs: output 1 only for pattern 0b11 -> table 0b1000
+        cell = lut_cell(0, [Net.input(0), Net.input(1)], 0b1000)
+        assert cell.evaluate([1, 1]) == 1
+        assert cell.evaluate([1, 0]) == 0
+
+    def test_lut_requires_table(self):
+        with pytest.raises(ValueError):
+            from repro.picoga.cell import Cell
+
+            Cell(index=0, kind=CellKind.LUT, inputs=(Net.input(0),))
+
+    def test_xor_rejects_table(self):
+        from repro.picoga.cell import Cell
+
+        with pytest.raises(ValueError):
+            Cell(index=0, kind=CellKind.XOR, inputs=(Net.input(0),), truth_table=1)
+
+    def test_no_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            xor_cell(0, [])
+
+    def test_eval_arity_check(self):
+        cell = xor_cell(0, [Net.input(0), Net.input(1)])
+        with pytest.raises(ValueError):
+            cell.evaluate([1])
+
+
+def _toy_op():
+    """next_state0 = state0 ^ in0; out = cell0."""
+    cells = [xor_cell(0, [Net.state(0), Net.input(0)])]
+    return PicogaOperation(
+        name="toy", n_inputs=1, n_state=1, cells=cells,
+        outputs=[Net.cell(0)], next_state=[Net.cell(0)],
+    )
+
+
+class TestOperationValidation:
+    def test_toy_constructs(self):
+        op = _toy_op()
+        assert op.n_cells == 1
+
+    def test_out_of_range_input(self):
+        with pytest.raises(ValueError):
+            PicogaOperation(
+                name="bad", n_inputs=1, n_state=0,
+                cells=[xor_cell(0, [Net.input(5)])],
+                outputs=[Net.cell(0)], next_state=[],
+            )
+
+    def test_forward_reference_rejected(self):
+        cells = [xor_cell(0, [Net.cell(1)]), xor_cell(1, [Net.input(0)])]
+        with pytest.raises(ValueError):
+            PicogaOperation(
+                name="bad", n_inputs=1, n_state=0, cells=cells,
+                outputs=[Net.cell(1)], next_state=[],
+            )
+
+    def test_non_topological_index_rejected(self):
+        with pytest.raises(ValueError):
+            PicogaOperation(
+                name="bad", n_inputs=1, n_state=0,
+                cells=[xor_cell(3, [Net.input(0)])],
+                outputs=[], next_state=[],
+            )
+
+    def test_fanin_limit_enforced(self):
+        wide = xor_cell(0, [Net.input(i) for i in range(11)])
+        with pytest.raises(ValueError):
+            PicogaOperation(
+                name="bad", n_inputs=11, n_state=0, cells=[wide],
+                outputs=[Net.cell(0)], next_state=[],
+            )
+
+    def test_io_limits_enforced(self):
+        with pytest.raises(ValueError):
+            PicogaOperation(
+                name="bad", n_inputs=385, n_state=0,
+                cells=[xor_cell(0, [Net.input(0)])],
+                outputs=[Net.cell(0)], next_state=[],
+            )
+
+    def test_next_state_arity(self):
+        with pytest.raises(ValueError):
+            PicogaOperation(
+                name="bad", n_inputs=1, n_state=2,
+                cells=[xor_cell(0, [Net.input(0)])],
+                outputs=[], next_state=[Net.cell(0)],
+            )
+
+
+class TestAnalyses:
+    def test_levels(self):
+        cells = [
+            xor_cell(0, [Net.input(0), Net.input(1)]),
+            xor_cell(1, [Net.input(2), Net.input(3)]),
+            xor_cell(2, [Net.cell(0), Net.cell(1)]),
+        ]
+        op = PicogaOperation(
+            name="tree", n_inputs=4, n_state=0, cells=cells,
+            outputs=[Net.cell(2)], next_state=[],
+        )
+        assert op.n_levels == 2
+        assert op.n_rows == 2
+        assert op.initiation_interval == 1  # no loop at all
+
+    def test_single_cell_loop_has_ii_1(self):
+        assert _toy_op().initiation_interval == 1
+        assert _toy_op().loop_depth == 1
+
+    def test_two_cell_loop_chain_has_ii_2(self):
+        cells = [
+            xor_cell(0, [Net.state(0), Net.input(0)]),
+            xor_cell(1, [Net.cell(0), Net.state(0)]),
+        ]
+        op = PicogaOperation(
+            name="deep", n_inputs=1, n_state=1, cells=cells,
+            outputs=[], next_state=[Net.cell(1)],
+        )
+        assert op.loop_depth == 2
+        assert op.initiation_interval == 2
+
+    def test_stream_tree_does_not_deepen_loop(self):
+        """Input-only reduction ahead of the state XOR keeps II = 1 — the
+        Derby property the packing relies on."""
+        cells = [
+            xor_cell(0, [Net.input(0), Net.input(1)]),  # stream
+            xor_cell(1, [Net.cell(0), Net.input(2)]),  # stream
+            xor_cell(2, [Net.state(0), Net.cell(1)]),  # loop
+        ]
+        op = PicogaOperation(
+            name="derbyish", n_inputs=3, n_state=1, cells=cells,
+            outputs=[], next_state=[Net.cell(2)],
+        )
+        assert op.loop_cells == {2}
+        assert op.initiation_interval == 1
+        assert op.n_levels == 3  # latency is deeper than the loop
+
+    def test_wide_level_needs_multiple_rows(self):
+        cells = [xor_cell(i, [Net.input(i)]) for i in range(20)]
+        op = PicogaOperation(
+            name="wide", n_inputs=20, n_state=0, cells=cells,
+            outputs=[Net.cell(i) for i in range(20)], next_state=[],
+        )
+        assert op.n_levels == 1
+        assert op.n_rows == 2  # 20 cells / 16 per row
+
+    def test_row_capacity_enforced(self):
+        """25 serial levels exceed the 24-row array."""
+        cells = [xor_cell(0, [Net.input(0), Net.input(1)])]
+        for i in range(1, 25):
+            cells.append(xor_cell(i, [Net.cell(i - 1), Net.input(0)]))
+        with pytest.raises(ValueError):
+            PicogaOperation(
+                name="toodeep", n_inputs=2, n_state=0, cells=cells,
+                outputs=[Net.cell(24)], next_state=[],
+            )
+
+    def test_stats_snapshot(self):
+        stats = _toy_op().stats()
+        assert stats.n_cells == 1
+        assert stats.initiation_interval == 1
+        assert stats.max_fanin == 2
+        assert stats.n_state == 1
+
+
+class TestEvaluation:
+    def test_accumulator_behaviour(self):
+        op = _toy_op()
+        state = [0]
+        seen = []
+        for bit in (1, 0, 1, 1):
+            outs, state = op.evaluate(state, [bit])
+            seen.append(outs[0])
+        assert seen == [1, 1, 0, 1]  # running parity
+
+    def test_state_arity_check(self):
+        with pytest.raises(ValueError):
+            _toy_op().evaluate([0, 0], [1])
+
+    def test_input_arity_check(self):
+        with pytest.raises(ValueError):
+            _toy_op().evaluate([0], [1, 1])

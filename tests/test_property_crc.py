@@ -1,0 +1,110 @@
+"""Property-based tests for the CRC engine family.
+
+The central claim: all engines implement the same function for *any*
+well-formed spec — not just the cataloged ones — and CRC composes the way
+the algebra says it must.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crc import BitwiseCRC, CRCSpec, DerbyCRC, GFMACCRC, SlicingCRC, TableCRC
+
+
+@st.composite
+def crc_specs(draw):
+    width = draw(st.sampled_from([8, 16, 24, 32]))
+    mask = (1 << width) - 1
+    poly = draw(st.integers(min_value=1, max_value=mask)) | 1  # constant term
+    init = draw(st.integers(min_value=0, max_value=mask))
+    xorout = draw(st.integers(min_value=0, max_value=mask))
+    reflected = draw(st.booleans())
+    return CRCSpec(
+        name=f"RAND-{width}",
+        width=width,
+        poly=poly,
+        init=init,
+        refin=reflected,
+        refout=reflected,
+        xorout=xorout,
+    )
+
+
+messages = st.binary(min_size=0, max_size=64)
+
+
+class TestEngineEquivalenceOnRandomSpecs:
+    @given(spec=crc_specs(), data=messages)
+    @settings(max_examples=60, deadline=None)
+    def test_table_equals_bitwise(self, spec, data):
+        assert TableCRC(spec).compute(data) == BitwiseCRC(spec).compute(data)
+
+    @given(spec=crc_specs(), data=messages)
+    @settings(max_examples=40, deadline=None)
+    def test_slicing_equals_bitwise(self, spec, data):
+        assert SlicingCRC(spec, 8).compute(data) == BitwiseCRC(spec).compute(data)
+
+    @given(spec=crc_specs(), data=messages, chunk=st.sampled_from([8, 24, 32]))
+    @settings(max_examples=40, deadline=None)
+    def test_gfmac_equals_bitwise(self, spec, data, chunk):
+        assert GFMACCRC(spec, chunk).compute(data) == BitwiseCRC(spec).compute(data)
+
+    @given(spec=crc_specs(), data=messages)
+    @settings(max_examples=15, deadline=None)
+    def test_derby_equals_bitwise(self, spec, data):
+        from hypothesis import assume
+
+        from repro.lfsr.transform import TransformError
+
+        try:
+            engine = DerbyCRC(spec, 16)
+        except TransformError:
+            # A^M is not cyclic for this (generator, M): the transform
+            # legitimately does not exist.  Real CRC generators (constant
+            # term, typically primitive) always admit it — see the catalog
+            # tests — so skip rather than fail.
+            assume(False)
+            return
+        assert engine.compute(data) == BitwiseCRC(spec).compute(data)
+
+
+class TestAlgebraicProperties:
+    @given(spec=crc_specs(), a=messages, b=messages)
+    @settings(max_examples=60, deadline=None)
+    def test_incremental_equals_whole(self, spec, a, b):
+        """Streaming: raw_register(a) continued over b == raw over a+b."""
+        engine = BitwiseCRC(spec)
+        whole = engine.raw_register(a + b)
+        reg = engine.raw_register(a)
+        assert engine.raw_register(b, reg) == whole
+
+    @given(spec=crc_specs(), data=messages)
+    @settings(max_examples=60, deadline=None)
+    def test_finalize_unfinalize(self, spec, data):
+        engine = BitwiseCRC(spec)
+        crc = engine.compute(data)
+        assert spec.finalize(spec.unfinalize(crc)) == crc
+
+    @given(spec=crc_specs(), a=messages, b=messages)
+    @settings(max_examples=40, deadline=None)
+    def test_raw_crc_linearity(self, spec, a, b):
+        """With init forced to zero, the raw register is GF(2)-linear in
+        the message (equal lengths)."""
+        n = min(len(a), len(b))
+        a, b = a[:n], b[:n]
+        zero_spec = CRCSpec(spec.name, spec.width, spec.poly, 0, spec.refin, spec.refout, 0)
+        engine = BitwiseCRC(zero_spec)
+        ab = bytes(x ^ y for x, y in zip(a, b))
+        assert engine.raw_register(ab) == engine.raw_register(a) ^ engine.raw_register(b)
+
+    @given(spec=crc_specs(), data=st.binary(min_size=1, max_size=64),
+           pos=st.integers(min_value=0, max_value=511))
+    @settings(max_examples=60, deadline=None)
+    def test_single_bit_errors_always_detected(self, spec, data, pos):
+        """Any generator with a constant term detects all 1-bit errors."""
+        engine = BitwiseCRC(spec)
+        bit = pos % (8 * len(data))
+        corrupted = bytearray(data)
+        corrupted[bit // 8] ^= 1 << (7 - (bit % 8))
+        assert engine.compute(bytes(corrupted)) != engine.compute(data)

@@ -1,0 +1,123 @@
+"""Property-based tests (hypothesis) for the GF(2) substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf2 import GF2Matrix, GF2Polynomial, bits_to_int, int_to_bits, reflect_bits
+from repro.gf2.clmul import cldeg, cldivmod, clgcd, clmod, clmul
+
+polys = st.integers(min_value=0, max_value=(1 << 64) - 1)
+nonzero_polys = st.integers(min_value=1, max_value=(1 << 64) - 1)
+dims = st.integers(min_value=1, max_value=8)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def _random_matrix(n: int, seed: int) -> GF2Matrix:
+    return GF2Matrix.random(n, n, np.random.default_rng(seed))
+
+
+class TestClmulProperties:
+    @given(a=polys, b=polys)
+    def test_commutative(self, a, b):
+        assert clmul(a, b) == clmul(b, a)
+
+    @given(a=polys, b=polys, c=polys)
+    @settings(max_examples=50)
+    def test_distributive_over_xor(self, a, b, c):
+        assert clmul(a, b ^ c) == clmul(a, b) ^ clmul(a, c)
+
+    @given(a=polys, b=nonzero_polys)
+    def test_divmod_invariant(self, a, b):
+        q, r = cldivmod(a, b)
+        assert clmul(q, b) ^ r == a
+        assert cldeg(r) < cldeg(b)
+
+    @given(a=nonzero_polys, b=nonzero_polys)
+    @settings(max_examples=50)
+    def test_gcd_divides_both(self, a, b):
+        g = clgcd(a, b)
+        assert clmod(a, g) == 0
+        assert clmod(b, g) == 0
+
+    @given(a=polys, b=polys)
+    @settings(max_examples=50)
+    def test_degree_of_product(self, a, b):
+        if a and b:
+            assert cldeg(clmul(a, b)) == cldeg(a) + cldeg(b)
+
+
+class TestBitProperties:
+    @given(v=st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_reflect_involution(self, v):
+        assert reflect_bits(reflect_bits(v, 32), 32) == v
+
+    @given(v=st.integers(min_value=0, max_value=(1 << 48) - 1))
+    def test_int_bits_roundtrip(self, v):
+        assert bits_to_int(int_to_bits(v, 48)) == v
+
+    @given(a=st.integers(min_value=0, max_value=255), b=st.integers(min_value=0, max_value=255))
+    def test_reflect_is_gf2_linear(self, a, b):
+        assert reflect_bits(a ^ b, 8) == reflect_bits(a, 8) ^ reflect_bits(b, 8)
+
+
+class TestMatrixProperties:
+    @given(n=dims, s1=seeds, s2=seeds)
+    @settings(max_examples=40)
+    def test_matmul_associative(self, n, s1, s2):
+        a, b = _random_matrix(n, s1), _random_matrix(n, s2)
+        c = GF2Matrix.identity(n)
+        assert (a @ b) @ c == a @ (b @ c)
+
+    @given(n=dims, s1=seeds, s2=seeds)
+    @settings(max_examples=40)
+    def test_transpose_antihomomorphism(self, n, s1, s2):
+        a, b = _random_matrix(n, s1), _random_matrix(n, s2)
+        assert (a @ b).transpose() == b.transpose() @ a.transpose()
+
+    @given(n=dims, s=seeds, e=st.integers(min_value=0, max_value=16))
+    @settings(max_examples=40)
+    def test_power_additivity(self, n, s, e):
+        a = _random_matrix(n, s)
+        assert (a ** e) @ (a ** 3) == a ** (e + 3)
+
+    @given(n=dims, s=seeds)
+    @settings(max_examples=40)
+    def test_rank_bounds(self, n, s):
+        a = _random_matrix(n, s)
+        assert 0 <= a.rank() <= n
+
+    @given(n=dims, s=seeds)
+    @settings(max_examples=30)
+    def test_inverse_when_full_rank(self, n, s):
+        a = _random_matrix(n, s)
+        if a.is_invertible():
+            assert a @ a.inverse() == GF2Matrix.identity(n)
+
+    @given(n=dims, s=seeds)
+    @settings(max_examples=30)
+    def test_null_space_dimension(self, n, s):
+        a = _random_matrix(n, s)
+        assert len(a.null_space_basis()) == n - a.rank()
+
+
+class TestPolynomialProperties:
+    @given(a=polys, b=polys)
+    @settings(max_examples=50)
+    def test_mul_degree(self, a, b):
+        pa, pb = GF2Polynomial(a), GF2Polynomial(b)
+        if a and b:
+            assert (pa * pb).degree == pa.degree + pb.degree
+
+    @given(a=nonzero_polys)
+    def test_reciprocal_involution_when_constant_term(self, a):
+        p = GF2Polynomial(a | 1)  # force constant term so degree is stable
+        assert p.reciprocal().reciprocal() == p
+
+    @given(a=st.integers(min_value=2, max_value=(1 << 16) - 1))
+    @settings(max_examples=30)
+    def test_irreducible_has_no_small_roots(self, a):
+        p = GF2Polynomial(a)
+        if p.degree >= 2 and p.is_irreducible():
+            assert p.evaluate(0) == 1  # x is not a factor
+            assert p.evaluate(1) == 1  # x+1 is not a factor

@@ -1,0 +1,124 @@
+"""Property-based tests for the LFSR state-space machinery.
+
+These pin the paper's §2 algebra as executable properties: M serial steps
+== one block step, the Derby transform commutes with the dynamics, and
+the transformed loop is always companion when it exists.
+"""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.gf2 import GF2Polynomial
+from repro.lfsr import (
+    crc_statespace,
+    derby_transform,
+    expand_lookahead,
+    scrambler_statespace,
+)
+from repro.lfsr.transform import TransformError
+
+# Monic polynomials of degree 3..12 with a constant term (invertible A).
+@st.composite
+def lfsr_polys(draw):
+    degree = draw(st.integers(min_value=3, max_value=12))
+    body = draw(st.integers(min_value=0, max_value=(1 << (degree - 1)) - 1))
+    return GF2Polynomial((1 << degree) | (body << 1) | 1)
+
+
+@st.composite
+def poly_and_state(draw):
+    poly = draw(lfsr_polys())
+    state = draw(st.integers(min_value=0, max_value=(1 << poly.degree) - 1))
+    return poly, state
+
+
+class TestLookaheadProperties:
+    @given(ps=poly_and_state(), M=st.integers(min_value=1, max_value=24), seed=st.integers(0, 2**16))
+    @settings(max_examples=40, deadline=None)
+    def test_block_equals_serial_crc(self, ps, M, seed):
+        poly, state_int = ps
+        ss = crc_statespace(poly)
+        rng = np.random.default_rng(seed)
+        bits = [int(b) for b in rng.integers(0, 2, size=2 * M)]
+        x0 = ss.state_from_int(state_int)
+        serial, _ = ss.simulate(x0, bits)
+        la = expand_lookahead(ss, M)
+        assert (la.run(x0, bits) == serial).all()
+
+    @given(ps=poly_and_state(), M=st.integers(min_value=1, max_value=24))
+    @settings(max_examples=40, deadline=None)
+    def test_autonomous_block_step(self, ps, M):
+        poly, state_int = ps
+        ss = scrambler_statespace(poly)
+        x0 = ss.state_from_int(state_int)
+        serial, _ = ss.run_autonomous(x0, M)
+        la = expand_lookahead(ss, M)
+        assert (la.block_step(x0, [0] * M) == serial).all()
+
+    @given(poly=lfsr_polys(), M=st.integers(min_value=1, max_value=16))
+    @settings(max_examples=40, deadline=None)
+    def test_power_consistency(self, poly, M):
+        """A^M computed by repeated squaring equals M applications of A."""
+        ss = crc_statespace(poly)
+        la = expand_lookahead(ss, M)
+        acc = ss.A ** 0
+        for _ in range(M):
+            acc = ss.A @ acc
+        assert la.A_M == acc
+
+
+class TestDerbyProperties:
+    @given(ps=poly_and_state(), M=st.integers(min_value=1, max_value=16), seed=st.integers(0, 2**16))
+    @settings(max_examples=30, deadline=None)
+    def test_transform_preserves_dynamics(self, ps, M, seed):
+        poly, state_int = ps
+        ss = crc_statespace(poly)
+        try:
+            dt = derby_transform(ss, M)
+        except TransformError:
+            assume(False)  # A^M not cyclic for this poly/M; skip
+            return
+        rng = np.random.default_rng(seed)
+        bits = [int(b) for b in rng.integers(0, 2, size=3 * M)]
+        x0 = ss.state_from_int(state_int)
+        serial, _ = ss.simulate(x0, bits)
+        assert (dt.run(x0, bits) == serial).all()
+
+    @given(poly=lfsr_polys(), M=st.integers(min_value=1, max_value=16))
+    @settings(max_examples=30, deadline=None)
+    def test_transformed_loop_companion_and_similar(self, poly, M):
+        ss = crc_statespace(poly)
+        try:
+            dt = derby_transform(ss, M)
+        except TransformError:
+            assume(False)
+            return
+        assert dt.A_Mt.is_companion()
+        assert dt.A_Mt.is_similar_to(dt.lookahead.A_M)
+
+    @given(poly=lfsr_polys(), M=st.integers(min_value=1, max_value=16), seed=st.integers(0, 2**16))
+    @settings(max_examples=30, deadline=None)
+    def test_basis_change_roundtrip(self, poly, M, seed):
+        ss = crc_statespace(poly)
+        try:
+            dt = derby_transform(ss, M)
+        except TransformError:
+            assume(False)
+            return
+        rng = np.random.default_rng(seed)
+        x = rng.integers(0, 2, size=poly.degree).astype(np.uint8)
+        assert (dt.from_transformed(dt.to_transformed(x)) == x).all()
+
+    @given(poly=lfsr_polys(), M=st.integers(min_value=1, max_value=16))
+    @settings(max_examples=30, deadline=None)
+    def test_loop_complexity_bounded(self, poly, M):
+        """Companion loops have at most k-1 + popcount(charpoly) taps."""
+        ss = crc_statespace(poly)
+        try:
+            dt = derby_transform(ss, M)
+        except TransformError:
+            assume(False)
+            return
+        k = poly.degree
+        assert dt.loop_complexity() <= (k - 1) + k

@@ -1,0 +1,114 @@
+"""Property-based tests for scramblers, spreading and ciphers."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.cipher import CSS, E0
+from repro.gf2.polynomial import GF2Polynomial
+from repro.lfsr.jump import jump_back, jump_state
+from repro.scrambler import (
+    AdditiveScrambler,
+    CATALOG,
+    DirectSequenceSpreader,
+    MultiplicativeScrambler,
+    ParallelScrambler,
+)
+
+spec_idx = st.integers(min_value=0, max_value=len(CATALOG) - 1)
+bit_lists = st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=300)
+
+
+class TestScramblerProperties:
+    @given(idx=spec_idx, bits=bit_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_additive_involution(self, idx, bits):
+        spec = CATALOG[idx]
+        out = AdditiveScrambler(spec).scramble_bits(bits)
+        assert AdditiveScrambler(spec).scramble_bits(out) == bits
+
+    @given(idx=spec_idx, bits=bit_lists, M=st.sampled_from([1, 3, 8, 17, 64]))
+    @settings(max_examples=30, deadline=None)
+    def test_parallel_equals_serial(self, idx, bits, M):
+        spec = CATALOG[idx]
+        assert (
+            ParallelScrambler(spec, M).scramble_bits(bits)
+            == AdditiveScrambler(spec).scramble_bits(bits)
+        )
+
+    @given(idx=spec_idx, seed_raw=st.integers(min_value=1, max_value=(1 << 31) - 1),
+           bits=bit_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_multiplicative_self_sync(self, idx, seed_raw, bits):
+        spec = CATALOG[idx]
+        k = spec.degree
+        wrong_state = seed_raw & ((1 << k) - 1)
+        scrambled = MultiplicativeScrambler(spec.poly, 0).scramble_bits(bits)
+        rx = MultiplicativeScrambler(spec.poly, wrong_state)
+        out = rx.descramble_bits(scrambled)
+        assert out[k:] == bits[k:]
+
+    @given(idx=spec_idx, bits=bit_lists, factor=st.integers(min_value=1, max_value=16))
+    @settings(max_examples=30, deadline=None)
+    def test_spreading_roundtrip(self, idx, bits, factor):
+        spec = CATALOG[idx]
+        spreader = DirectSequenceSpreader(spec, factor)
+        result = spreader.despread(spreader.spread(bits))
+        assert result.bits == bits
+
+
+class TestJumpProperties:
+    @given(idx=spec_idx,
+           seed_raw=st.integers(min_value=1, max_value=(1 << 31) - 1),
+           a=st.integers(min_value=0, max_value=10**6),
+           b=st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_jump_additivity(self, idx, seed_raw, a, b):
+        poly = CATALOG[idx].poly
+        seed = seed_raw & ((1 << poly.degree) - 1)
+        assume(seed != 0)
+        one_hop = jump_state(poly, seed, a + b)
+        two_hops = jump_state(poly, jump_state(poly, seed, a), b)
+        assert one_hop == two_hops
+
+    @given(idx=spec_idx,
+           seed_raw=st.integers(min_value=1, max_value=(1 << 31) - 1),
+           steps=st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_jump_back_inverts(self, idx, seed_raw, steps):
+        poly = CATALOG[idx].poly
+        seed = seed_raw & ((1 << poly.degree) - 1)
+        assume(seed != 0)
+        assert jump_back(poly, jump_state(poly, seed, steps), steps) == seed
+
+
+class TestCipherProperties:
+    @given(seed=st.binary(min_size=16, max_size=16), data=st.binary(min_size=1, max_size=64))
+    @settings(max_examples=30, deadline=None)
+    def test_e0_roundtrip(self, seed, data):
+        encrypted = E0.from_seed(seed).encrypt(data)
+        assert E0.from_seed(seed).encrypt(encrypted) == data
+
+    @given(key=st.binary(min_size=5, max_size=5), data=st.binary(min_size=1, max_size=64))
+    @settings(max_examples=30, deadline=None)
+    def test_css_roundtrip(self, key, data):
+        scrambled = CSS(key).scramble(data)
+        assert CSS(key).descramble(scrambled) == data
+
+    @given(key=st.binary(min_size=5, max_size=5))
+    @settings(max_examples=30, deadline=None)
+    def test_css_registers_never_null(self, key):
+        cipher = CSS(key)
+        r17, r25 = cipher.registers
+        assert r17 != 0 and r25 != 0
+        cipher.keystream_bytes(32)
+        r17, r25 = cipher.registers
+        assert r17 != 0 and r25 != 0
+
+    @given(seed=st.binary(min_size=16, max_size=16))
+    @settings(max_examples=20, deadline=None)
+    def test_e0_carry_stays_two_bits(self, seed):
+        cipher = E0.from_seed(seed)
+        for _ in range(200):
+            cipher.clock()
+            assert 0 <= cipher.carry <= 3

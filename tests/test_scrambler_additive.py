@@ -1,0 +1,117 @@
+"""Unit tests for repro.scrambler.additive and the scrambler spec catalog."""
+
+import numpy as np
+import pytest
+
+from repro.scrambler import (
+    AdditiveScrambler,
+    CATALOG,
+    DVB,
+    IEEE80211,
+    IEEE80216E,
+    ScramblerSpec,
+    get,
+)
+from repro.gf2.polynomial import GF2Polynomial
+
+
+class TestSpecs:
+    def test_catalog_lookup(self):
+        assert get("IEEE-802.16e") is IEEE80216E
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            get("IEEE-802.99")
+
+    def test_wimax_polynomial(self):
+        """Fig. 8 test case: 1 + x^14 + x^15."""
+        assert IEEE80216E.poly.coeffs == (1 << 15) | (1 << 14) | 1
+        assert IEEE80216E.degree == 15
+
+    def test_dvb_shares_wimax_generator(self):
+        assert DVB.poly == IEEE80216E.poly
+
+    def test_all_catalog_polys_primitive(self):
+        """Every standard scrambler generator is primitive -> maximal
+        keystream period 2^k - 1."""
+        for spec in CATALOG:
+            assert spec.poly.is_primitive(), spec.name
+
+    def test_zero_seed_rejected(self):
+        with pytest.raises(ValueError):
+            ScramblerSpec("bad", GF2Polynomial(0b1011), 0)
+
+    def test_wide_seed_rejected(self):
+        with pytest.raises(ValueError):
+            ScramblerSpec("bad", GF2Polynomial(0b1011), 0b1000)
+
+
+class TestScrambleDescramble:
+    @pytest.mark.parametrize("spec", CATALOG, ids=lambda s: s.name)
+    def test_involution(self, spec):
+        rng = np.random.default_rng(1)
+        bits = [int(b) for b in rng.integers(0, 2, size=300)]
+        scrambler = AdditiveScrambler(spec)
+        descrambler = AdditiveScrambler(spec)
+        assert descrambler.descramble_bits(scrambler.scramble_bits(bits)) == bits
+
+    def test_byte_interface_roundtrip(self):
+        data = bytes(range(64))
+        assert (
+            AdditiveScrambler(IEEE80211).descramble_bytes(
+                AdditiveScrambler(IEEE80211).scramble_bytes(data)
+            )
+            == data
+        )
+
+    def test_byte_interface_bit_orders_differ(self):
+        data = b"\x01" * 8
+        lsb = AdditiveScrambler(IEEE80211).scramble_bytes(data, lsb_first=True)
+        msb = AdditiveScrambler(IEEE80211).scramble_bytes(data, lsb_first=False)
+        assert lsb != msb
+
+    def test_scrambling_changes_data(self):
+        bits = [0] * 100
+        out = AdditiveScrambler(IEEE80216E).scramble_bits(bits)
+        assert out != bits  # zeros become the keystream itself
+        assert out == AdditiveScrambler(IEEE80216E).keystream(100)
+
+    def test_seed_override(self):
+        a = AdditiveScrambler(IEEE80216E, seed=0x1234)
+        b = AdditiveScrambler(IEEE80216E, seed=0x4321)
+        assert a.keystream(50) != b.keystream(50)
+
+    def test_zero_seed_override_rejected(self):
+        with pytest.raises(ValueError):
+            AdditiveScrambler(IEEE80216E, seed=0)
+
+    def test_wide_seed_override_rejected(self):
+        with pytest.raises(ValueError):
+            AdditiveScrambler(IEEE80216E, seed=1 << 15)
+
+
+class TestKeystreamProperties:
+    def test_wimax_period(self):
+        assert AdditiveScrambler(IEEE80216E).period() == (1 << 15) - 1
+
+    def test_wifi_period(self):
+        assert AdditiveScrambler(IEEE80211).period() == 127
+
+    def test_keystream_repeats_at_period(self):
+        s = AdditiveScrambler(IEEE80211)
+        ks = s.keystream(254)
+        assert ks[:127] == ks[127:]
+
+    def test_balance(self):
+        ks = AdditiveScrambler(IEEE80211).keystream(127)
+        assert sum(ks) == 64
+
+    def test_no_long_zero_runs(self):
+        """The design purpose: break up long constant runs (paper §1)."""
+        ks = AdditiveScrambler(IEEE80216E).keystream(1000)
+        longest = 0
+        current = 0
+        for bit in ks:
+            current = current + 1 if bit == 0 else 0
+            longest = max(longest, current)
+        assert longest <= 15  # cannot exceed the register width

@@ -1,0 +1,79 @@
+"""Unit tests for repro.scrambler.multiplicative."""
+
+import numpy as np
+import pytest
+
+from repro.gf2.polynomial import GF2Polynomial
+from repro.scrambler import MultiplicativeScrambler
+
+V34 = GF2Polynomial.from_exponents([23, 18, 0])  # ITU V.34 GPC polynomial
+SONET_PAYLOAD = GF2Polynomial.from_exponents([43, 0])  # x^43 + 1
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(17)
+
+
+class TestRoundtrip:
+    def test_synchronized_roundtrip(self, rng):
+        bits = [int(b) for b in rng.integers(0, 2, size=500)]
+        tx = MultiplicativeScrambler(V34, state=0)
+        rx = MultiplicativeScrambler(V34, state=0)
+        assert rx.descramble_bits(tx.scramble_bits(bits)) == bits
+
+    def test_x43_roundtrip(self, rng):
+        bits = [int(b) for b in rng.integers(0, 2, size=200)]
+        tx = MultiplicativeScrambler(SONET_PAYLOAD, state=0)
+        rx = MultiplicativeScrambler(SONET_PAYLOAD, state=0)
+        assert rx.descramble_bits(tx.scramble_bits(bits)) == bits
+
+    def test_self_synchronization(self, rng):
+        """A descrambler with a *wrong* initial state recovers after
+        exactly `degree` correct input bits."""
+        bits = [int(b) for b in rng.integers(0, 2, size=300)]
+        tx = MultiplicativeScrambler(V34, state=0)
+        scrambled = tx.scramble_bits(bits)
+        rx = MultiplicativeScrambler(V34, state=0x5A5A5A & ((1 << 23) - 1))
+        recovered = rx.descramble_bits(scrambled)
+        sync = rx.sync_length()
+        assert recovered[sync:] == bits[sync:]
+        assert recovered[:sync] != bits[:sync]  # garbage during resync
+
+    def test_error_propagation_is_bounded(self, rng):
+        """A single channel error corrupts at most popcount(g) output bits
+        within the next `degree` positions, then dies out."""
+        bits = [int(b) for b in rng.integers(0, 2, size=400)]
+        scrambled = MultiplicativeScrambler(V34, 0).scramble_bits(bits)
+        corrupted = list(scrambled)
+        corrupted[100] ^= 1
+        out = MultiplicativeScrambler(V34, 0).descramble_bits(corrupted)
+        diff = [i for i, (a, b) in enumerate(zip(out, bits)) if a != b]
+        assert diff  # the error is visible...
+        assert max(diff) <= 100 + 23  # ...but bounded by the memory length
+        assert len(diff) == 3  # popcount of x^23 + x^18 + 1
+
+
+class TestValidation:
+    def test_rejects_constant_poly(self):
+        with pytest.raises(ValueError):
+            MultiplicativeScrambler(GF2Polynomial(1))
+
+    def test_rejects_wide_state(self):
+        with pytest.raises(ValueError):
+            MultiplicativeScrambler(GF2Polynomial(0b1011), state=0b1000)
+
+    def test_properties(self):
+        s = MultiplicativeScrambler(V34)
+        assert s.degree == 23
+        assert s.sync_length() == 23
+        assert s.poly == V34
+
+
+class TestWhitening:
+    def test_constant_input_is_whitened(self):
+        """Scrambling all-zeros from a non-zero state yields a non-constant
+        stream — the anti-repetition purpose from the paper's intro."""
+        s = MultiplicativeScrambler(V34, state=1)
+        out = s.scramble_bits([0] * 200)
+        assert 0 < sum(out) < 200

@@ -1,0 +1,66 @@
+"""Unit tests for repro.scrambler.prbs."""
+
+import pytest
+
+from repro.scrambler import PRBS7, PRBS9, PRBS15, PRBSChecker, prbs_sequence
+
+
+class TestGeneration:
+    def test_length(self):
+        assert len(prbs_sequence(PRBS7, 200)) == 200
+
+    def test_period(self):
+        seq = prbs_sequence(PRBS7, 254)
+        assert seq[:127] == seq[127:]
+
+    def test_prbs9_period(self):
+        seq = prbs_sequence(PRBS9, 2 * 511)
+        assert seq[:511] == seq[511:]
+
+    def test_balance(self):
+        assert sum(prbs_sequence(PRBS7, 127)) == 64
+
+    def test_custom_seed(self):
+        assert prbs_sequence(PRBS7, 50, seed=1) != prbs_sequence(PRBS7, 50, seed=0x55)
+
+
+class TestChecker:
+    def test_clean_stream(self):
+        stream = prbs_sequence(PRBS15, 1000)
+        result = PRBSChecker(PRBS15).check(stream)
+        assert result.synchronized
+        assert result.checked_bits == 1000 - 15
+        assert result.error_bits == 0
+        assert result.bit_error_rate == 0.0
+
+    def test_detects_injected_errors(self):
+        stream = prbs_sequence(PRBS15, 1000)
+        for pos in (100, 500, 900):
+            stream[pos] ^= 1
+        result = PRBSChecker(PRBS15).check(stream)
+        assert result.synchronized
+        assert result.error_bits == 3
+
+    def test_error_in_sync_window_causes_burst(self):
+        """An error inside the seed window corrupts synchronization, so
+        many mismatches follow — the checker still reports a high BER."""
+        stream = prbs_sequence(PRBS15, 1000)
+        stream[3] ^= 1
+        result = PRBSChecker(PRBS15).check(stream)
+        assert result.error_bits > 3
+
+    def test_too_short_stream(self):
+        result = PRBSChecker(PRBS15).check([1] * 10)
+        assert not result.synchronized
+        assert result.bit_error_rate == 0.0
+
+    def test_all_zero_window_rejected(self):
+        result = PRBSChecker(PRBS7).check([0] * 100)
+        assert not result.synchronized
+
+    def test_works_from_arbitrary_stream_offset(self):
+        """Self-synchronization: checking may start mid-stream."""
+        stream = prbs_sequence(PRBS9, 2000)[777:]
+        result = PRBSChecker(PRBS9).check(stream)
+        assert result.synchronized
+        assert result.error_bits == 0

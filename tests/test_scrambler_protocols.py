@@ -1,0 +1,161 @@
+"""Unit tests for the protocol layers: DVB-TS, 802.11 frames, Bluetooth."""
+
+import numpy as np
+import pytest
+
+from repro.scrambler.bluetooth import (
+    dewhiten_bits,
+    dewhiten_bytes,
+    whiten_bits,
+    whiten_bytes,
+    whitening_seed,
+    whitening_sequence,
+)
+from repro.scrambler.dvb_ts import (
+    INVERTED_SYNC_BYTE,
+    SUPERFRAME_PACKETS,
+    SYNC_BYTE,
+    TS_PACKET_BYTES,
+    TransportStreamDescrambler,
+    TransportStreamScrambler,
+    make_transport_stream,
+)
+from repro.scrambler.ieee80211_frame import (
+    Ieee80211Scrambler,
+    descramble_frame,
+    recover_seed,
+)
+
+
+def _payloads(count, seed=0):
+    rng = np.random.default_rng(seed)
+    return [bytes(rng.integers(0, 256, size=TS_PACKET_BYTES - 1).tolist()) for _ in range(count)]
+
+
+class TestTransportStream:
+    def test_framing(self):
+        packets = make_transport_stream(_payloads(3))
+        assert all(p[0] == SYNC_BYTE and len(p) == TS_PACKET_BYTES for p in packets)
+
+    def test_framing_validation(self):
+        with pytest.raises(ValueError):
+            make_transport_stream([b"\x00" * 10])
+
+    def test_superframe_sync_inversion(self):
+        packets = make_transport_stream(_payloads(17))
+        scrambled = TransportStreamScrambler().scramble_stream(packets)
+        for i, pkt in enumerate(scrambled):
+            if i % SUPERFRAME_PACKETS == 0:
+                assert pkt[0] == INVERTED_SYNC_BYTE
+            else:
+                assert pkt[0] == SYNC_BYTE
+
+    def test_roundtrip(self):
+        packets = make_transport_stream(_payloads(24, seed=1))
+        scrambled = TransportStreamScrambler().scramble_stream(packets)
+        restored = TransportStreamDescrambler().descramble_stream(scrambled)
+        assert restored == packets
+
+    def test_receiver_joins_mid_stream(self):
+        """A receiver tuning in mid-stream recovers at the next superframe."""
+        packets = make_transport_stream(_payloads(24, seed=2))
+        scrambled = TransportStreamScrambler().scramble_stream(packets)
+        rx = TransportStreamDescrambler()
+        # Join 3 packets late: packets 3..7 stay garbled, 8 onward recover.
+        out = rx.descramble_stream(scrambled[3:])
+        assert out[5:] == packets[8:]
+        assert out[0] != packets[3]
+
+    def test_payload_is_whitened(self):
+        packets = make_transport_stream([bytes(TS_PACKET_BYTES - 1)])
+        scrambled = TransportStreamScrambler().scramble_stream(packets)
+        payload = scrambled[0][1:]
+        ones = sum(bin(b).count("1") for b in payload)
+        assert 0.35 < ones / (8 * len(payload)) < 0.65
+
+    def test_packet_length_checked(self):
+        with pytest.raises(ValueError):
+            TransportStreamScrambler().scramble_packet(b"\x47" + b"\x00" * 10)
+
+    def test_sync_byte_checked(self):
+        with pytest.raises(ValueError):
+            TransportStreamScrambler().scramble_packet(b"\x00" * TS_PACKET_BYTES)
+
+
+class TestIeee80211Frames:
+    @pytest.fixture
+    def psdu(self):
+        rng = np.random.default_rng(4)
+        return [int(b) for b in rng.integers(0, 2, size=500)]
+
+    @pytest.mark.parametrize("seed", [1, 0x5D, 0x7F])
+    def test_seed_recovery(self, seed, psdu):
+        frame = Ieee80211Scrambler(seed).scramble_frame(psdu)
+        assert recover_seed(frame) == seed
+
+    def test_blind_descramble(self, psdu):
+        frame = Ieee80211Scrambler(0x2B).scramble_frame(psdu)
+        seed, recovered = descramble_frame(frame)
+        assert seed == 0x2B
+        assert recovered == psdu
+
+    def test_every_seed_recoverable(self):
+        psdu = [1, 0, 1]
+        for seed in range(1, 128):
+            frame = Ieee80211Scrambler(seed).scramble_frame(psdu)
+            assert recover_seed(frame) == seed
+
+    def test_zero_seed_rejected(self):
+        with pytest.raises(ValueError):
+            Ieee80211Scrambler(0)
+
+    def test_short_frame_rejected(self):
+        with pytest.raises(ValueError):
+            recover_seed([1, 0, 1])
+
+    def test_corrupted_reserved_service_detected(self, psdu):
+        """Flipping one of the 9 reserved SERVICE bits breaks the
+        descrambled-to-zero check deterministically."""
+        frame = Ieee80211Scrambler(0x11).scramble_frame(psdu)
+        frame[10] ^= 1
+        with pytest.raises(ValueError):
+            descramble_frame(frame)
+
+    def test_corrupted_seed_bit_changes_recovery(self, psdu):
+        frame = Ieee80211Scrambler(0x11).scramble_frame(psdu)
+        frame[2] ^= 1
+        assert recover_seed(frame) != 0x11
+
+
+class TestBluetoothWhitening:
+    def test_seed_rule(self):
+        assert whitening_seed(0) == 0b1000000
+        assert whitening_seed(37) == 0b1000000 | 37
+
+    def test_channel_range(self):
+        with pytest.raises(ValueError):
+            whitening_seed(40)
+
+    def test_bit_involution(self):
+        rng = np.random.default_rng(5)
+        bits = [int(b) for b in rng.integers(0, 2, size=320)]
+        assert dewhiten_bits(whiten_bits(bits, 17), 17) == bits
+
+    def test_byte_involution(self):
+        data = bytes(range(64))
+        assert dewhiten_bytes(whiten_bytes(data, 5), 5) == data
+
+    def test_channels_differ(self):
+        assert whitening_sequence(0, 64) != whitening_sequence(1, 64)
+
+    def test_byte_and_bit_paths_agree(self):
+        data = b"\xa5\x3c"
+        bits = [(data[i // 8] >> (i % 8)) & 1 for i in range(16)]
+        via_bits = whiten_bits(bits, 9)
+        via_bytes = whiten_bytes(data, 9)
+        packed = [(via_bytes[i // 8] >> (i % 8)) & 1 for i in range(16)]
+        assert packed == via_bits
+
+    def test_period_127(self):
+        seq = whitening_sequence(3, 254)
+        assert seq[:127] == seq[127:]

@@ -1,0 +1,91 @@
+"""Unit tests for repro.scrambler.spreading (DSSS spreading)."""
+
+import numpy as np
+import pytest
+
+from repro.scrambler import DirectSequenceSpreader, PRBS9, PRBS15
+
+
+@pytest.fixture
+def data_bits():
+    rng = np.random.default_rng(21)
+    return [int(b) for b in rng.integers(0, 2, size=100)]
+
+
+class TestConstruction:
+    def test_bad_factor(self):
+        with pytest.raises(ValueError):
+            DirectSequenceSpreader(PRBS9, 0)
+
+    def test_bad_seed(self):
+        with pytest.raises(ValueError):
+            DirectSequenceSpreader(PRBS9, 8, seed=0)
+
+    def test_processing_gain(self):
+        assert DirectSequenceSpreader(PRBS9, 10).processing_gain_db() == pytest.approx(10.0)
+        assert DirectSequenceSpreader(PRBS9, 100).processing_gain_db() == pytest.approx(20.0)
+
+
+class TestSpreadDespread:
+    @pytest.mark.parametrize("factor", [1, 4, 8, 11, 16])
+    def test_clean_roundtrip(self, factor, data_bits):
+        spreader = DirectSequenceSpreader(PRBS15, factor)
+        chips = spreader.spread(data_bits)
+        assert len(chips) == factor * len(data_bits)
+        result = spreader.despread(chips)
+        assert result.bits == data_bits
+        assert all(c == factor for c in result.correlations)
+
+    def test_chip_rate_exceeds_bit_rate(self, data_bits):
+        """The defining property of spreading vs scrambling (paper §1)."""
+        spreader = DirectSequenceSpreader(PRBS15, 8)
+        assert len(spreader.spread(data_bits)) == 8 * len(data_bits)
+
+    def test_spread_output_is_whitened(self):
+        spreader = DirectSequenceSpreader(PRBS15, 16)
+        chips = spreader.spread([0] * 64)  # constant input
+        assert 0.3 < sum(chips) / len(chips) < 0.7
+
+    def test_despread_length_check(self):
+        with pytest.raises(ValueError):
+            DirectSequenceSpreader(PRBS15, 8).despread([0] * 9)
+
+
+class TestProcessingGain:
+    def test_tolerates_chip_errors_below_half(self, data_bits):
+        """Up to floor((factor-1)/2) chip errors per bit are corrected."""
+        factor = 11
+        spreader = DirectSequenceSpreader(PRBS15, factor)
+        chips = spreader.spread(data_bits)
+        rng = np.random.default_rng(5)
+        corrupted = list(chips)
+        for bit_idx in range(len(data_bits)):
+            positions = rng.choice(factor, size=5, replace=False)  # 5 < 11/2 + 1
+            for p in positions:
+                corrupted[bit_idx * factor + p] ^= 1
+        result = spreader.despread(corrupted)
+        assert result.bits == data_bits
+        assert all(c == factor - 5 for c in result.correlations)
+
+    def test_fails_beyond_half(self, data_bits):
+        factor = 8
+        spreader = DirectSequenceSpreader(PRBS15, factor)
+        chips = spreader.spread(data_bits)
+        corrupted = [c ^ 1 for c in chips]  # invert everything
+        result = spreader.despread(corrupted)
+        assert result.bits == [b ^ 1 for b in data_bits]  # fully flipped
+
+    def test_correlation_reports_degradation(self, data_bits):
+        spreader = DirectSequenceSpreader(PRBS15, 16)
+        chips = spreader.spread(data_bits)
+        chips[3] ^= 1  # one chip error in bit 0
+        result = spreader.despread(chips)
+        assert result.correlations[0] == 15
+        assert result.correlations[1] == 16
+
+    def test_seed_mismatch_destroys_correlation(self, data_bits):
+        tx = DirectSequenceSpreader(PRBS15, 16, seed=0x1111)
+        rx = DirectSequenceSpreader(PRBS15, 16, seed=0x2222)
+        result = rx.despread(tx.spread(data_bits))
+        errors = sum(a != b for a, b in zip(result.bits, data_bits))
+        assert errors > len(data_bits) // 4  # essentially uncorrelated
