@@ -12,6 +12,8 @@ Commands
     Sweep look-ahead factors for a standard (the paper's §4 study).
 ``perf``
     Predict DREAM throughput for a message length across factors.
+``batch-bench``
+    Time the vectorized batch engine against the per-message Derby loop.
 """
 
 from __future__ import annotations
@@ -31,12 +33,19 @@ from repro.crc import (
     get,
 )
 
+def _batch_engine(spec):
+    from repro.engine import BatchCRC
+
+    return BatchCRC(spec, 32)
+
+
 ENGINES = {
     "bitwise": BitwiseCRC,
     "table": TableCRC,
     "slicing": lambda spec: SlicingCRC(spec, 8),
     "gfmac": lambda spec: GFMACCRC(spec, 32),
     "derby": lambda spec: DerbyCRC(spec, 32),
+    "batch": _batch_engine,
 }
 
 
@@ -155,6 +164,56 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_batch_bench(args: argparse.Namespace) -> int:
+    import time
+
+    import numpy as np
+
+    from repro.engine import BatchCRC, default_cache
+
+    spec = get(args.standard)
+    rng = np.random.default_rng(args.seed)
+    messages = [
+        bytes(rng.integers(0, 256, size=args.bytes).tolist()) for _ in range(args.batch)
+    ]
+    cache = default_cache()
+
+    derby = DerbyCRC(spec, args.m)
+    sample = messages[: min(args.baseline_sample, len(messages))]
+    t0 = time.perf_counter()
+    expected = [derby.compute(m) for m in sample]
+    loop_rate = len(sample) / (time.perf_counter() - t0)
+
+    engine = BatchCRC(spec, args.m, method=args.method)
+    engine.compute_batch(messages[:2])  # warm the compile cache and numpy
+    best = float("inf")
+    for _ in range(args.repeats):
+        t0 = time.perf_counter()
+        crcs = engine.compute_batch(messages)
+        best = min(best, time.perf_counter() - t0)
+    batch_rate = len(messages) / best
+
+    if crcs[: len(sample)] != expected:
+        print("MISMATCH: batch engine disagrees with DerbyCRC")
+        return 1
+    rows = [
+        [f"DerbyCRC loop (x{len(sample)})", f"{loop_rate:,.0f}", "1.0x"],
+        [
+            f"BatchCRC[{args.method}] (B={args.batch})",
+            f"{batch_rate:,.0f}",
+            f"{batch_rate / loop_rate:.1f}x",
+        ],
+    ]
+    print(format_table(
+        ["engine", "messages/s", "speedup"], rows,
+        title=f"{spec.name}, {args.bytes}-byte messages, M={args.m}",
+    ))
+    stats = cache.stats
+    print(f"compile cache: {stats.hits} hits / {stats.misses} misses "
+          f"({stats.hit_rate:.0%} hit rate, {len(cache)}/{cache.capacity} entries)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -196,6 +255,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bits", type=int, default=12144)
     p.add_argument("--factors", type=int, nargs="+", default=[32, 64, 128])
     p.set_defaults(func=cmd_perf)
+
+    p = sub.add_parser("batch-bench", help="time the vectorized batch engine")
+    p.add_argument("--standard", default="CRC-32")
+    p.add_argument("-m", "--m", type=int, default=32, help="look-ahead factor")
+    p.add_argument("--method", choices=("lookahead", "derby"), default="lookahead")
+    p.add_argument("--batch", type=int, default=1024, help="messages per batch")
+    p.add_argument("--bytes", type=int, default=64, help="message size in bytes")
+    p.add_argument("--baseline-sample", type=int, default=32,
+                   help="messages timed through the per-message Derby loop")
+    p.add_argument("--repeats", type=int, default=3, help="batch timing repeats")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_batch_bench)
     return parser
 
 

@@ -29,8 +29,8 @@ from dataclasses import dataclass
 from math import ceil
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.gf2.clmul import clmulmod, clpowmod
 from repro.dream.processor import RiscControlModel
+from repro.engine.cache import CompileCache, default_cache
 from repro.mapping.mapper import MappedCRC, MappedScrambler
 from repro.picoga.architecture import DREAM_PICOGA, PicogaArchitecture
 from repro.picoga.array import PicogaArray
@@ -71,13 +71,49 @@ class DreamSystem:
         self,
         arch: PicogaArchitecture = DREAM_PICOGA,
         control: Optional[RiscControlModel] = None,
+        cache: Optional[CompileCache] = None,
     ):
         self.arch = arch
         self.control = control or RiscControlModel(clock_hz=arch.clock_hz)
+        self.cache = cache if cache is not None else default_cache()
+
+    # ==================================================================
+    # Compilation (shared LRU cache)
+    # ==================================================================
+    def compile_crc(self, spec, M: int, method: str = "derby") -> MappedCRC:
+        """Map a CRC onto this system's array through the compile cache.
+
+        Repeated requests for the same ``(spec, M, method)`` return the
+        identical :class:`MappedCRC` (and thus identical netlists) — the
+        software analogue of a PiCoGA configuration-cache hit.
+        """
+        return self.cache.mapped_crc(spec, M, method=method, arch=self.arch)
+
+    def compile_scrambler(self, spec, M: int) -> MappedScrambler:
+        return self.cache.mapped_scrambler(spec, M, arch=self.arch)
 
     # ==================================================================
     # Analytic mode
     # ==================================================================
+    def predict_crc(
+        self, spec, M: int, message_bits: int, method: str = "derby"
+    ) -> PerformanceResult:
+        """Spec-level analytic shortcut: cached compile + Fig. 4 model."""
+        return self.crc_single_performance(self.compile_crc(spec, M, method), message_bits)
+
+    def predict_crc_interleaved(
+        self, spec, M: int, message_bits: int, n_messages: int = 32, method: str = "derby"
+    ) -> PerformanceResult:
+        """Spec-level analytic shortcut: cached compile + Fig. 5 model."""
+        return self.crc_interleaved_performance(
+            self.compile_crc(spec, M, method), message_bits, n_messages
+        )
+
+    def predict_scrambler(
+        self, spec, M: int, block_bits: int, n_blocks: int = 1
+    ) -> PerformanceResult:
+        """Spec-level analytic shortcut: cached compile + Fig. 8 model."""
+        return self.scrambler_performance(self.compile_scrambler(spec, M), block_bits, n_blocks)
     def crc_single_performance(self, mapped: MappedCRC, message_bits: int) -> PerformanceResult:
         """Fig. 4 model: one message, including control and the
         configuration-switch pipeline break."""
@@ -187,16 +223,15 @@ class DreamSystem:
         return blocks, len(bits)
 
     def _init_correction(self, mapped: MappedCRC, raw0: int, n_bits: int) -> int:
-        spec = mapped.spec
-        if spec.init == 0:
-            return raw0
-        g = spec.generator().coeffs
-        return raw0 ^ clmulmod(spec.init, clpowmod(2, n_bits, g), g)
+        return raw0 ^ self.cache.init_fold(mapped.spec, n_bits)
 
     def execute_crc(self, mapped: MappedCRC, data: bytes) -> Tuple[int, PerformanceResult]:
-        """Run one message through the netlists; return (crc, timing)."""
-        if not data:
-            raise ValueError("executed mode needs a non-empty message")
+        """Run one message through the netlists; return (crc, timing).
+
+        Zero-length messages are legal: no blocks issue, the zero start
+        register passes through untouched, and the init-fold correction
+        reduces to the spec's init — exactly ``finalize(init)``.
+        """
         array = self._prepare_array(mapped)
         array.charge_control(self.control.single_message_control())
         blocks, n_bits = self._head_padded_blocks(mapped, data)
@@ -266,8 +301,6 @@ class DreamSystem:
         self, mapped: MappedScrambler, bits: Sequence[int], seed: Optional[int] = None
     ) -> Tuple[List[int], PerformanceResult]:
         """Scramble a block through the netlist; returns (bits, timing)."""
-        if not bits:
-            raise ValueError("need at least one bit")
         array = PicogaArray(self.arch)
         array.load_operation(mapped.op, slot=0)
         array.reset_ledger()

@@ -1,0 +1,42 @@
+"""repro.engine — the vectorized batch/streaming execution subsystem.
+
+Three layers, each reusable on its own:
+
+* :mod:`repro.engine.cache` — a bounded LRU compile cache for the linear-
+  algebra artifacts every engine needs (state spaces, look-ahead systems,
+  Derby transforms, mapped PiCoGA netlists), keyed by ``(spec, M, method)``
+  with hit/miss counters for the benchmark harness.
+* :mod:`repro.engine.batch` — bit-packed numpy kernels that run the
+  ``x(n+M) = A^M x(n) + B_M u_M(n)`` recurrence over B independent messages
+  simultaneously (CRC, additive and multiplicative scramblers), with the
+  same head-zero-padding + init-fold tail contract as
+  :class:`repro.dream.system.DreamSystem`.
+* :mod:`repro.engine.pipeline` — a chunked feed/finalize streaming API so
+  long messages and many concurrent streams share the cache and the
+  vectorized kernels.
+"""
+
+from repro.engine.batch import (
+    BatchAdditiveScrambler,
+    BatchCRC,
+    BatchMultiplicativeScrambler,
+    gf2_mul_packed,
+    pack_bits,
+    unpack_bits,
+)
+from repro.engine.cache import CacheStats, CompileCache, default_cache
+from repro.engine.pipeline import CRCPipeline, ScramblerPipeline
+
+__all__ = [
+    "BatchAdditiveScrambler",
+    "BatchCRC",
+    "BatchMultiplicativeScrambler",
+    "CacheStats",
+    "CompileCache",
+    "CRCPipeline",
+    "ScramblerPipeline",
+    "default_cache",
+    "gf2_mul_packed",
+    "pack_bits",
+    "unpack_bits",
+]

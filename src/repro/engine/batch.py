@@ -1,0 +1,378 @@
+"""Bit-packed numpy batch kernels for LFSR applications.
+
+The paper exploits the linearity of the M-bit recurrence *spatially* — one
+PiCoGA operation computes ``x(n+M) = A^M x(n) + B_M u_M(n)`` in a single
+pipeline slot.  This module exploits the same structure *temporally*: B
+independent messages advance through the recurrence simultaneously, with
+the batch dimension bit-sliced into 64-bit machine words.
+
+Layout: a batch of B bit-streams is a ``(n_bits, W)`` ``uint64`` array with
+``W = ceil(B/64)`` — bit *b* of word ``row[b // 64]`` belongs to stream
+*b*.  A GF(2) matrix-vector product over the whole batch is then ``r``
+XOR-reductions of W-word rows (:func:`gf2_mul_packed`), so one numpy call
+advances all B streams by M bits.
+
+Tail contract (identical to :class:`repro.dream.system.DreamSystem`):
+streams are zero-padded **at the head** to a multiple of M and run from a
+zero register, which makes the pad transparent (leading zeros do not change
+the message polynomial); the spec's ``init`` preset is folded back in with
+the linear correction ``reg = raw0 ^ (init * x^N mod G)`` per stream, using
+each stream's true bit length N.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.crc.spec import CRCSpec
+from repro.engine.cache import CompileCache, default_cache
+from repro.gf2.polynomial import GF2Polynomial
+from repro.scrambler.specs import ScramblerSpec
+
+WORD_BITS = 64
+
+
+def _n_words(batch: int) -> int:
+    return (batch + WORD_BITS - 1) // WORD_BITS
+
+
+def pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack a ``(n, B)`` 0/1 array into ``(n, ceil(B/64))`` uint64 words.
+
+    Stream *b* occupies bit ``b % 64`` of word ``b // 64`` in each row.
+    """
+    bits = np.ascontiguousarray(bits, dtype=np.uint8)
+    if bits.ndim != 2:
+        raise ValueError(f"expected a 2-D (n_bits, batch) array, got shape {bits.shape}")
+    n, batch = bits.shape
+    words = _n_words(batch)
+    packed8 = np.packbits(bits, axis=1, bitorder="little")
+    padded = np.zeros((n, words * 8), dtype=np.uint8)
+    padded[:, : packed8.shape[1]] = packed8
+    return padded.view("<u8")
+
+
+def unpack_bits(packed: np.ndarray, batch: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits` — recover the ``(n, batch)`` bit array."""
+    packed = np.ascontiguousarray(packed, dtype="<u8")
+    if packed.ndim != 2:
+        raise ValueError(f"expected a 2-D (n_bits, words) array, got shape {packed.shape}")
+    as_bytes = packed.view(np.uint8)
+    return np.unpackbits(as_bytes, axis=1, count=batch, bitorder="little")
+
+
+def gf2_mul_packed(matrix: np.ndarray, packed: np.ndarray) -> np.ndarray:
+    """GF(2) product of an ``(r, c)`` 0/1 matrix with packed ``(c, W)`` rows.
+
+    Row *i* of the result is the XOR of the packed rows selected by the ones
+    in matrix row *i* — one vectorized select-and-reduce, no per-stream loop.
+    """
+    mask = np.ascontiguousarray(matrix, dtype=bool)
+    if mask.ndim != 2 or packed.ndim != 2 or mask.shape[1] != packed.shape[0]:
+        raise ValueError(
+            f"shape mismatch: matrix {matrix.shape} @ packed {packed.shape}"
+        )
+    selected = np.where(mask[:, :, None], packed[None, :, :], np.uint64(0))
+    return np.bitwise_xor.reduce(selected, axis=1)
+
+
+def _registers_from_packed(state: np.ndarray, batch: int) -> List[int]:
+    """Per-stream register integers from a packed ``(k, W)`` state."""
+    bits = unpack_bits(state, batch)  # (k, batch), row i = x_i
+    by_stream = np.packbits(bits, axis=0, bitorder="little")  # (ceil(k/8), batch)
+    return [int.from_bytes(by_stream[:, b].tobytes(), "little") for b in range(batch)]
+
+
+class BatchCRC:
+    """CRC over B independent messages in one vectorized pass.
+
+    ``method`` selects the recurrence basis: ``"lookahead"`` steps the
+    natural-basis ``(A^M, B_M)`` system; ``"derby"`` steps the transformed
+    ``(A_Mt, B_Mt)`` system and anti-transforms once at the end — both are
+    bit-for-bit identical to :class:`repro.crc.bitwise.BitwiseCRC`.
+    """
+
+    def __init__(
+        self,
+        spec: CRCSpec,
+        M: int,
+        method: str = "lookahead",
+        cache: Optional[CompileCache] = None,
+    ):
+        if M < 1:
+            raise ValueError("look-ahead factor M must be >= 1")
+        if method not in ("lookahead", "derby"):
+            raise ValueError("method must be 'lookahead' or 'derby'")
+        self._spec = spec
+        self._M = M
+        self._method = method
+        self._cache = cache if cache is not None else default_cache()
+        if method == "derby":
+            dt = self._cache.derby(spec, M)
+            update, inject = dt.A_Mt, dt.B_Mt
+            self._anti = dt.T.to_array()
+        else:
+            la = self._cache.lookahead(spec, M)
+            update, inject = la.A_M, la.B_M
+            self._anti = None
+        # One fused step matrix [A | B'] with B's columns reversed so the
+        # input block can be supplied in stream order (u(n) first).
+        self._step = np.hstack([update.to_array(), inject.to_array()[:, ::-1]])
+        self._k = spec.width
+
+    @property
+    def spec(self) -> CRCSpec:
+        return self._spec
+
+    @property
+    def M(self) -> int:
+        return self._M
+
+    @property
+    def method(self) -> str:
+        return self._method
+
+    @property
+    def cache(self) -> CompileCache:
+        return self._cache
+
+    # ------------------------------------------------------------------
+    def _raw_from_stream(self, stream: np.ndarray, lengths: Sequence[int]) -> List[int]:
+        """Registers for a head-aligned ``(padded_len, batch)`` bit matrix."""
+        batch = len(lengths)
+        state = np.zeros((self._k, _n_words(batch)), dtype=np.uint64)
+        if stream.shape[0]:
+            packed = pack_bits(stream)
+            for off in range(0, stream.shape[0], self._M):
+                stacked = np.vstack([state, packed[off : off + self._M]])
+                state = gf2_mul_packed(self._step, stacked)
+        if self._anti is not None:
+            state = gf2_mul_packed(self._anti, state)
+        raw0 = _registers_from_packed(state, batch)
+        folds = {n: self._cache.init_fold(self._spec, n) for n in set(lengths)}
+        return [raw ^ folds[n] for raw, n in zip(raw0, lengths)]
+
+    def _padded_length(self, longest: int) -> int:
+        return -(-longest // self._M) * self._M if longest else 0
+
+    def raw_registers_bits(self, bit_streams: Sequence[Sequence[int]]) -> List[int]:
+        """Raw (pre-finalize) registers for raw bit streams of any lengths."""
+        batch = len(bit_streams)
+        if batch == 0:
+            return []
+        lengths = [len(bits) for bits in bit_streams]
+        padded_len = self._padded_length(max(lengths))
+        stream = np.zeros((padded_len, batch), dtype=np.uint8)
+        for b, bits in enumerate(bit_streams):
+            if lengths[b]:
+                stream[padded_len - lengths[b] :, b] = np.asarray(bits, dtype=np.uint8)
+        return self._raw_from_stream(stream, lengths)
+
+    def compute_bits_batch(self, bit_streams: Sequence[Sequence[int]]) -> List[int]:
+        """Finalized CRCs of raw bit streams (transmission order)."""
+        return [self._spec.finalize(r) for r in self.raw_registers_bits(bit_streams)]
+
+    def raw_registers(self, messages: Sequence[bytes]) -> List[int]:
+        """Raw registers for byte messages, bypassing per-bit Python lists.
+
+        Byte-to-bit expansion runs through :func:`numpy.unpackbits` (with the
+        spec's per-byte reflection), and equal-length batches expand in one
+        reshaped call — this is the production hot path.
+        """
+        batch = len(messages)
+        if batch == 0:
+            return []
+        lengths = [8 * len(m) for m in messages]
+        padded_len = self._padded_length(max(lengths))
+        stream = np.zeros((padded_len, batch), dtype=np.uint8)
+        bitorder = "little" if self._spec.refin else "big"
+        if len(set(lengths)) == 1 and lengths[0]:
+            flat = np.frombuffer(b"".join(messages), dtype=np.uint8)
+            bits = np.unpackbits(flat.reshape(batch, -1), axis=1, bitorder=bitorder)
+            stream[padded_len - lengths[0] :, :] = bits.T
+        else:
+            for b, m in enumerate(messages):
+                if m:
+                    stream[padded_len - lengths[b] :, b] = np.unpackbits(
+                        np.frombuffer(m, dtype=np.uint8), bitorder=bitorder
+                    )
+        return self._raw_from_stream(stream, lengths)
+
+    def compute_batch(self, messages: Sequence[bytes]) -> List[int]:
+        """Finalized CRCs of B byte messages (lengths may differ)."""
+        return [self._spec.finalize(r) for r in self.raw_registers(messages)]
+
+    def compute(self, data: bytes) -> int:
+        """Single-message convenience (a batch of one)."""
+        return self.compute_batch([data])[0]
+
+
+class BatchAdditiveScrambler:
+    """Frame-synchronous scrambling of B independent streams at once.
+
+    Per-stream seeds are supported (each column of the packed state holds
+    one stream's register); the keystream block is ``Y @ state`` and the
+    autonomous update ``A^M @ state``, both batched through
+    :func:`gf2_mul_packed`.  Scrambling is an involution, so descrambling
+    is the same call.
+    """
+
+    def __init__(
+        self,
+        spec: ScramblerSpec,
+        M: int,
+        cache: Optional[CompileCache] = None,
+    ):
+        if M < 1:
+            raise ValueError("block factor M must be >= 1")
+        self._spec = spec
+        self._M = M
+        self._cache = cache if cache is not None else default_cache()
+        A_M, Y = self._cache.scrambler_block(spec, M)
+        self._A = A_M.to_array()
+        self._Y = Y.to_array()
+        self._ss = self._cache.scrambler_statespace(spec)
+
+    @property
+    def spec(self) -> ScramblerSpec:
+        return self._spec
+
+    @property
+    def M(self) -> int:
+        return self._M
+
+    # ------------------------------------------------------------------
+    def _initial_state(self, batch: int, seeds: Optional[Sequence[int]]) -> np.ndarray:
+        if seeds is None:
+            seeds = [self._spec.seed] * batch
+        if len(seeds) != batch:
+            raise ValueError(f"need {batch} seeds, got {len(seeds)}")
+        cols = [self._ss.state_from_int(s) for s in seeds]
+        return pack_bits(np.stack(cols, axis=1))
+
+    def keystream_batch(self, nbits: int, batch: int, seeds: Optional[Sequence[int]] = None) -> np.ndarray:
+        """``(nbits, batch)`` keystream bits, one column per stream."""
+        state = self._initial_state(batch, seeds)
+        blocks = -(-nbits // self._M) if nbits else 0
+        out = np.zeros((blocks * self._M, state.shape[1]), dtype=np.uint64)
+        for i in range(blocks):
+            out[i * self._M : (i + 1) * self._M] = gf2_mul_packed(self._Y, state)
+            state = gf2_mul_packed(self._A, state)
+        return unpack_bits(out, batch)[:nbits] if blocks else np.zeros((0, batch), dtype=np.uint8)
+
+    def scramble_batch(
+        self,
+        bit_streams: Sequence[Sequence[int]],
+        seeds: Optional[Sequence[int]] = None,
+    ) -> List[List[int]]:
+        batch = len(bit_streams)
+        if batch == 0:
+            return []
+        lengths = [len(bits) for bits in bit_streams]
+        longest = max(lengths)
+        if longest == 0:
+            return [[] for _ in bit_streams]
+        # Tail padding is safe here: the keystream never depends on the data.
+        data = np.zeros((longest, batch), dtype=np.uint8)
+        for b, bits in enumerate(bit_streams):
+            if lengths[b]:
+                data[: lengths[b], b] = np.asarray(bits, dtype=np.uint8)
+        ks = self.keystream_batch(longest, batch, seeds)
+        out = data ^ ks
+        return [out[: lengths[b], b].tolist() for b in range(batch)]
+
+    def descramble_batch(
+        self,
+        bit_streams: Sequence[Sequence[int]],
+        seeds: Optional[Sequence[int]] = None,
+    ) -> List[List[int]]:
+        return self.scramble_batch(bit_streams, seeds)
+
+
+class BatchMultiplicativeScrambler:
+    """Self-synchronizing scrambler over B streams, bit-serial in time but
+    word-parallel across the batch.
+
+    The feedback taps read the *scrambled* stream, so time stays serial —
+    but each clock is a handful of W-word XORs instead of B Python-level
+    shifts.  Matches :class:`repro.scrambler.multiplicative.MultiplicativeScrambler`
+    bit-for-bit per stream.
+    """
+
+    def __init__(self, poly: GF2Polynomial):
+        if poly.degree < 1:
+            raise ValueError("polynomial degree must be >= 1")
+        self._poly = poly
+        self._k = poly.degree
+        # Delay positions, as in the serial engine: exponent t reads the
+        # stream bit from t clocks ago (delay-line slot t-1).
+        self._taps = [
+            t - 1 for t in range(1, self._k + 1) if t == self._k or poly.coefficient(t)
+        ]
+
+    @property
+    def poly(self) -> GF2Polynomial:
+        return self._poly
+
+    # ------------------------------------------------------------------
+    def _delay_lines(self, batch: int, states: Optional[Sequence[int]]) -> deque:
+        if states is None:
+            states = [0] * batch
+        if len(states) != batch:
+            raise ValueError(f"need {batch} states, got {len(states)}")
+        rows = np.zeros((self._k, batch), dtype=np.uint8)
+        for b, s in enumerate(states):
+            if s >> self._k:
+                raise ValueError(f"state {s:#x} wider than {self._k} bits")
+            for j in range(self._k):
+                rows[j, b] = (s >> j) & 1
+        packed = pack_bits(rows)
+        return deque(packed[j].copy() for j in range(self._k))
+
+    def _run(
+        self,
+        bit_streams: Sequence[Sequence[int]],
+        states: Optional[Sequence[int]],
+        descramble: bool,
+    ) -> List[List[int]]:
+        batch = len(bit_streams)
+        if batch == 0:
+            return []
+        lengths = [len(bits) for bits in bit_streams]
+        longest = max(lengths)
+        if longest == 0:
+            return [[] for _ in bit_streams]
+        data = np.zeros((longest, batch), dtype=np.uint8)
+        for b, bits in enumerate(bit_streams):
+            if lengths[b]:
+                data[: lengths[b], b] = np.asarray(bits, dtype=np.uint8)
+        packed = pack_bits(data)
+        line = self._delay_lines(batch, states)
+        out = np.zeros_like(packed)
+        for n in range(longest):
+            fb = line[self._taps[0]].copy()
+            for pos in self._taps[1:]:
+                fb ^= line[pos]
+            if descramble:
+                shift_in = packed[n]  # the received (scrambled) bit
+                out[n] = packed[n] ^ fb
+            else:
+                out[n] = packed[n] ^ fb
+                shift_in = out[n]
+            line.pop()
+            line.appendleft(shift_in.copy())
+        bits_out = unpack_bits(out, batch)
+        return [bits_out[: lengths[b], b].tolist() for b in range(batch)]
+
+    def scramble_batch(
+        self, bit_streams: Sequence[Sequence[int]], states: Optional[Sequence[int]] = None
+    ) -> List[List[int]]:
+        return self._run(bit_streams, states, descramble=False)
+
+    def descramble_batch(
+        self, bit_streams: Sequence[Sequence[int]], states: Optional[Sequence[int]] = None
+    ) -> List[List[int]]:
+        return self._run(bit_streams, states, descramble=True)

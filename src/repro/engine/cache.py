@@ -1,0 +1,197 @@
+"""Bounded LRU compile cache for LFSR engine artifacts.
+
+Every parallel engine in this library starts from the same expensive
+compiles: the state-space quadruple, the M-level look-ahead expansion, the
+Derby change of basis (a Krylov basis plus a GF(2) inversion) and — for the
+co-simulation path — the mapped PiCoGA netlists (CSE + packing + routing).
+At production batch sizes these dominate end-to-end latency whenever a spec
+is seen for the first time, and they are pure functions of
+``(spec, M, method)``; :class:`CompileCache` memoizes them behind one
+bounded LRU so repeated specs recompile at dictionary-lookup cost.
+
+The cache is deliberately generic (``get(key, builder)``) with typed
+helpers for each artifact family, and it exposes hit/miss/eviction
+counters so the benchmark harness can assert near-zero recompile cost.
+
+A module-level :func:`default_cache` instance is shared by
+:class:`~repro.engine.batch.BatchCRC`, the streaming pipelines and
+:class:`~repro.dream.system.DreamSystem`'s analytic mode, so heterogeneous
+workloads touching the same standards share one compile.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Optional, Tuple
+
+from repro.crc.spec import CRCSpec
+from repro.gf2.matrix import GF2Matrix
+from repro.lfsr.lookahead import (
+    LookaheadSystem,
+    expand_lookahead,
+    scrambler_output_matrix,
+)
+from repro.lfsr.statespace import LFSRStateSpace, crc_statespace, scrambler_statespace
+from repro.lfsr.transform import DerbyTransform, derby_transform
+from repro.scrambler.specs import ScramblerSpec
+
+
+@dataclass
+class CacheStats:
+    """Counters exposed for benchmarks and capacity tuning."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.evictions = 0
+
+
+class CompileCache:
+    """Bounded LRU cache over ``(artifact kind, spec, M, method)`` keys.
+
+    Thread-safe: a single lock guards the LRU order and the counters (the
+    builders themselves run outside the lock, so two threads racing on the
+    same cold key may both compile — last writer wins, which is harmless
+    because the artifacts are immutable pure functions of the key).
+    """
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self._capacity = capacity
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def keys(self):
+        """Current keys, least-recently-used first."""
+        with self._lock:
+            return list(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.stats.reset()
+
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable, builder: Callable[[], Any]) -> Any:
+        """Return the cached artifact for ``key``, compiling on first use."""
+        with self._lock:
+            if key in self._entries:
+                self.stats.hits += 1
+                self._entries.move_to_end(key)
+                return self._entries[key]
+            self.stats.misses += 1
+        value = builder()
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+        return value
+
+    # ------------------------------------------------------------------
+    # Typed helpers — one per artifact family
+    # ------------------------------------------------------------------
+    def crc_statespace(self, spec: CRCSpec) -> LFSRStateSpace:
+        return self.get(("statespace", spec), lambda: crc_statespace(spec.generator()))
+
+    def scrambler_statespace(self, spec: ScramblerSpec) -> LFSRStateSpace:
+        return self.get(
+            ("scrambler-statespace", spec), lambda: scrambler_statespace(spec.poly)
+        )
+
+    def lookahead(self, spec: CRCSpec, M: int) -> LookaheadSystem:
+        return self.get(
+            ("lookahead", spec, M),
+            lambda: expand_lookahead(self.crc_statespace(spec), M),
+        )
+
+    def derby(self, spec: CRCSpec, M: int) -> DerbyTransform:
+        return self.get(
+            ("derby", spec, M),
+            lambda: derby_transform(self.crc_statespace(spec), M),
+        )
+
+    def scrambler_block(self, spec: ScramblerSpec, M: int) -> Tuple[GF2Matrix, GF2Matrix]:
+        """``(A^M, Y)`` for an additive scrambler — the autonomous block
+        update and the M×k output matrix (row j = C A^j, stream order)."""
+
+        def build() -> Tuple[GF2Matrix, GF2Matrix]:
+            ss = self.scrambler_statespace(spec)
+            return ss.A ** M, scrambler_output_matrix(ss, M)
+
+        return self.get(("scrambler-block", spec, M), build)
+
+    def mapped_crc(self, spec: CRCSpec, M: int, method: str = "derby", arch=None):
+        """The compiled PiCoGA netlists for a CRC (see ``mapping.map_crc``).
+
+        The returned :class:`~repro.mapping.mapper.MappedCRC` is the *same
+        object* on every hit, so a :class:`~repro.picoga.array.PicogaArray`
+        loading it resolves to the identical netlist — configuration reuse
+        in the model mirrors configuration-cache reuse in the hardware.
+        """
+        from repro.mapping.mapper import map_crc
+        from repro.picoga.architecture import DREAM_PICOGA
+
+        arch = arch or DREAM_PICOGA
+        return self.get(
+            ("mapped-crc", spec, M, method, arch),
+            lambda: map_crc(spec, M, method=method, arch=arch),
+        )
+
+    def mapped_scrambler(self, spec: ScramblerSpec, M: int, arch=None):
+        from repro.mapping.mapper import map_scrambler
+        from repro.picoga.architecture import DREAM_PICOGA
+
+        arch = arch or DREAM_PICOGA
+        return self.get(
+            ("mapped-scrambler", spec, M, arch),
+            lambda: map_scrambler(spec, M, arch=arch),
+        )
+
+    def init_fold(self, spec: CRCSpec, n_bits: int) -> int:
+        """``init * x^n_bits mod G`` — the linear correction that folds the
+        spec's preset back into a register computed from a zero start."""
+        from repro.gf2.clmul import clmulmod, clpowmod
+
+        if spec.init == 0:
+            return 0
+        g = spec.generator().coeffs
+        return self.get(
+            ("init-fold", spec, n_bits),
+            lambda: clmulmod(spec.init, clpowmod(2, n_bits, g), g),
+        )
+
+
+_DEFAULT = CompileCache(capacity=128)
+
+
+def default_cache() -> CompileCache:
+    """The process-wide shared compile cache."""
+    return _DEFAULT

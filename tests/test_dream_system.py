@@ -56,9 +56,10 @@ class TestExecutedCRC:
         crc, _ = system.execute_crc(mapped128, data)
         assert crc == bw.compute(data)
 
-    def test_empty_message_rejected(self, system, mapped128):
-        with pytest.raises(ValueError):
-            system.execute_crc(mapped128, b"")
+    def test_empty_message_supported(self, system, mapped128):
+        crc, perf = system.execute_crc(mapped128, b"")
+        assert crc == BitwiseCRC(ETHERNET_CRC32).compute(b"")
+        assert perf.payload_bits == 0
 
     def test_analytic_matches_executed(self, system, mapped128, messages):
         for m in messages:
@@ -145,6 +146,66 @@ class TestAnalyticShapes:
             system.crc_single_performance(mapped32, 0)
         with pytest.raises(ValueError):
             system.crc_interleaved_performance(mapped32, 100, 0)
+
+
+class TestLedgerEquivalenceSweep:
+    """Randomized analytic-vs-executed equivalence: for any draw of
+    (spec, M, message length, batch size) the Fig. 4/5/8 closed-form
+    cycle totals must equal the co-simulated ledger exactly — the
+    analytic mode is a shortcut, never an approximation."""
+
+    SPECS = (ETHERNET_CRC32, MPEG2_CRC32)
+    FACTORS = (8, 32, 64)
+
+    def test_single_message_sweep(self, system):
+        rng = np.random.default_rng(0x5EED)
+        bw = {s.name: BitwiseCRC(s) for s in self.SPECS}
+        for _ in range(12):
+            spec = self.SPECS[int(rng.integers(len(self.SPECS)))]
+            M = int(self.FACTORS[int(rng.integers(len(self.FACTORS)))])
+            data = bytes(rng.integers(0, 256, size=int(rng.integers(1, 300))).tolist())
+            mapped = system.compile_crc(spec, M)
+            crc, executed = system.execute_crc(mapped, data)
+            assert crc == bw[spec.name].compute(data), (spec.name, M)
+            predicted = system.crc_single_performance(mapped, 8 * len(data))
+            assert executed.total_cycles == predicted.total_cycles, (
+                spec.name,
+                M,
+                len(data),
+            )
+
+    def test_interleaved_sweep(self, system):
+        rng = np.random.default_rng(0xBA7C)
+        for _ in range(8):
+            spec = self.SPECS[int(rng.integers(len(self.SPECS)))]
+            M = int(self.FACTORS[int(rng.integers(len(self.FACTORS)))])
+            n = int(rng.integers(2, 13))
+            nbytes = int(rng.integers(1, 200))
+            batch = [
+                bytes(rng.integers(0, 256, size=nbytes).tolist()) for _ in range(n)
+            ]
+            mapped = system.compile_crc(spec, M)
+            crcs, executed = system.execute_crc_interleaved(mapped, batch)
+            assert crcs == [BitwiseCRC(spec).compute(m) for m in batch]
+            predicted = system.crc_interleaved_performance(mapped, 8 * nbytes, n)
+            assert executed.total_cycles == predicted.total_cycles, (
+                spec.name,
+                M,
+                n,
+                nbytes,
+            )
+
+    def test_scrambler_sweep(self, system):
+        rng = np.random.default_rng(0x5C2A)
+        serial = AdditiveScrambler(IEEE80216E)
+        for M in (16, 64):
+            mapped = system.compile_scrambler(IEEE80216E, M)
+            for _ in range(4):
+                bits = [int(b) for b in rng.integers(0, 2, size=int(rng.integers(1, 700)))]
+                out, executed = system.execute_scrambler(mapped, bits)
+                assert out == serial.scramble_bits(bits)
+                predicted = system.scrambler_performance(mapped, len(bits))
+                assert executed.total_cycles == predicted.total_cycles, (M, len(bits))
 
 
 class TestAccelerators:

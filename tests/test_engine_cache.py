@@ -1,0 +1,135 @@
+"""Behavioral contract of :class:`repro.engine.cache.CompileCache`.
+
+Covers the LRU discipline (touch order, eviction order, bounded size),
+the hit/miss/eviction counters the benchmarks assert on, and the
+same-object guarantee: a cached compile handed to a
+:class:`~repro.picoga.array.PicogaArray` is the identical netlist object
+on every hit — the model analogue of the DREAM configuration cache
+serving the same bitstream to repeated contexts.
+"""
+
+import pytest
+
+from repro.crc import ETHERNET_CRC32, get as get_crc
+from repro.dream.system import DreamSystem
+from repro.engine import BatchCRC, CompileCache, default_cache
+from repro.picoga.array import PicogaArray
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        CompileCache(capacity=0)
+
+
+def test_builder_runs_once_and_result_is_identical():
+    cache = CompileCache(capacity=4)
+    calls = []
+
+    def build():
+        calls.append(1)
+        return object()
+
+    first = cache.get("k", build)
+    second = cache.get("k", build)
+    assert first is second
+    assert len(calls) == 1
+    assert cache.stats.hits == 1 and cache.stats.misses == 1
+    assert cache.stats.hit_rate == 0.5
+
+
+def test_lru_eviction_order():
+    cache = CompileCache(capacity=3)
+    for key in "abc":
+        cache.get(key, lambda k=key: k.upper())
+    assert cache.keys() == ["a", "b", "c"]  # LRU first
+
+    # Touching "a" promotes it; inserting "d" must evict "b", the LRU.
+    cache.get("a", lambda: pytest.fail("hit must not rebuild"))
+    cache.get("d", lambda: "D")
+    assert cache.keys() == ["c", "a", "d"]
+    assert "b" not in cache
+    assert cache.stats.evictions == 1
+
+    # Two more inserts evict in strict LRU order: "c" then "a".
+    cache.get("e", lambda: "E")
+    cache.get("f", lambda: "F")
+    assert cache.keys() == ["d", "e", "f"]
+    assert cache.stats.evictions == 3
+    assert len(cache) == 3
+
+
+def test_counters_and_reset():
+    cache = CompileCache(capacity=2)
+    cache.get("x", lambda: 1)
+    cache.get("x", lambda: 1)
+    cache.get("y", lambda: 2)
+    assert (cache.stats.hits, cache.stats.misses) == (1, 2)
+    assert cache.stats.lookups == 3
+    cache.stats.reset()
+    assert cache.stats.lookups == 0 and cache.stats.hit_rate == 0.0
+    cache.clear()
+    assert len(cache) == 0
+
+
+def test_typed_helpers_share_sub_compiles():
+    cache = CompileCache(capacity=32)
+    spec = get_crc("CRC-16/ARC")
+    la = cache.lookahead(spec, 8)
+    assert cache.lookahead(spec, 8) is la
+    # The look-ahead builder reuses the cached state space.
+    assert cache.crc_statespace(spec) is cache.crc_statespace(spec)
+    # Different method/M are distinct entries.
+    assert cache.derby(spec, 8) is not la
+    assert cache.lookahead(spec, 16) is not la
+
+
+def test_mapped_crc_same_object_reaches_picoga_array():
+    cache = CompileCache(capacity=16)
+    mapped = cache.mapped_crc(ETHERNET_CRC32, 8)
+    assert cache.mapped_crc(ETHERNET_CRC32, 8) is mapped
+
+    array = PicogaArray()
+    array.load_operation(mapped.update_op, slot=0)
+    array.run_burst(mapped.update_op.name, [[0] * 8])
+    # The op resident and active in the array IS the cached netlist object.
+    assert array.cache.active_op is mapped.update_op
+    assert array.cache.slot_of(mapped.update_op.name) == 0
+
+
+def test_dream_system_reuses_cached_compile():
+    cache = CompileCache(capacity=16)
+    system = DreamSystem(cache=cache)
+    mapped = system.compile_crc(ETHERNET_CRC32, 16)
+    assert system.compile_crc(ETHERNET_CRC32, 16) is mapped
+    assert cache.stats.hits > 0
+    # The analytic shortcut rides the same entry: no new misses.
+    misses = cache.stats.misses
+    system.predict_crc(ETHERNET_CRC32, 16, message_bits=512)
+    assert cache.stats.misses == misses
+
+
+def test_empty_explicit_cache_is_respected():
+    """Regression: an empty CompileCache is falsy (it defines __len__), so
+    ``cache or default_cache()`` would silently discard it."""
+    cache = CompileCache(capacity=8)
+    BatchCRC(ETHERNET_CRC32, 8, cache=cache)
+    assert cache.stats.misses > 0
+    assert len(cache) > 0
+
+
+def test_default_cache_is_shared_singleton():
+    assert default_cache() is default_cache()
+
+
+def test_init_fold_zero_init_short_circuits():
+    import dataclasses
+
+    cache = CompileCache(capacity=4)
+    spec = get_crc("CRC-32/MPEG-2")  # init = 0xFFFFFFFF
+    folded = cache.init_fold(spec, 64)
+    assert cache.init_fold(spec, 64) == folded
+    assert cache.stats.hits == 1
+    zero_spec = dataclasses.replace(get_crc("CRC-32C"), init=0)
+    lookups = cache.stats.lookups
+    assert cache.init_fold(zero_spec, 64) == 0
+    assert cache.stats.lookups == lookups  # early return, no lookup
