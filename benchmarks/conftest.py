@@ -19,6 +19,7 @@ import pytest
 from repro.crc import ETHERNET_CRC32
 from repro.dream import DreamSystem
 from repro.mapping import map_crc
+from repro.telemetry import BenchReport
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -36,6 +37,23 @@ def save_result(results_dir):
     def _save(name: str, text: str) -> None:
         (results_dir / f"{name}.txt").write_text(text + "\n")
         print(f"\n{text}")
+
+    return _save
+
+
+@pytest.fixture(scope="session")
+def save_report(results_dir):
+    """Persist one artifact's structured twin: benchmarks/results/<name>.json.
+
+    Machine-readable (schema ``repro-bench/1``) so the perf trajectory is
+    diffable run over run; the human-readable table still goes through
+    ``save_result``.
+    """
+
+    def _save(report: BenchReport) -> Path:
+        path = report.write(results_dir)
+        print(f"\n[bench-report] {path.name}")
+        return path
 
     return _save
 

@@ -17,6 +17,7 @@ from repro.analysis import format_table
 from repro.crc import BitwiseCRC, DerbyCRC, ETHERNET_CRC32
 from repro.engine import BatchAdditiveScrambler, BatchCRC, CompileCache
 from repro.scrambler import AdditiveScrambler, IEEE80216E
+from repro.telemetry import BenchReport
 
 M = 32
 MESSAGE_BYTES = 64
@@ -72,7 +73,7 @@ def _timed(fn, subset, expected):
     return elapsed
 
 
-def test_engine_batch_sweep(derby_rate, batch_rates, save_result):
+def test_engine_batch_sweep(derby_rate, batch_rates, save_result, save_report):
     rows = [[f"DerbyCRC loop (sample {BASELINE_SAMPLE})", f"{derby_rate:,.0f}", "1.0x"]]
     for batch, rate in sorted(batch_rates.items()):
         rows.append([f"BatchCRC B={batch}", f"{rate:,.0f}", f"{rate / derby_rate:.1f}x"])
@@ -85,6 +86,25 @@ def test_engine_batch_sweep(derby_rate, batch_rates, save_result):
         ),
     )
     save_result("engine_batch", text)
+    save_report(BenchReport(
+        name="engine_batch",
+        title=f"Batch engine throughput vs per-message Derby loop (M={M})",
+        params={
+            "standard": ETHERNET_CRC32.name,
+            "M": M,
+            "message_bytes": MESSAGE_BYTES,
+            "baseline_sample": BASELINE_SAMPLE,
+            "batch_sizes": list(BATCH_SIZES),
+        },
+        metrics={
+            "derby_msgs_per_s": derby_rate,
+            "speedup_b1024": batch_rates[1024] / derby_rate,
+            "gate_min_speedup": 10.0,
+        },
+        series={
+            "batch_msgs_per_s": {str(b): r for b, r in sorted(batch_rates.items())},
+        },
+    ))
     assert batch_rates[1024] >= 10 * derby_rate, (
         f"batch engine {batch_rates[1024]:.0f} msg/s is below 10x the "
         f"Derby loop {derby_rate:.0f} msg/s"

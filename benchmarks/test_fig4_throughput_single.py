@@ -15,6 +15,7 @@ from repro.analysis import (
     format_multi_series,
     message_length_sweep,
 )
+from repro.telemetry import BenchReport
 
 FACTORS = (8, 16, 32, 64, 128)
 LENGTHS = message_length_sweep(128, 65536, points_per_octave=1)
@@ -31,7 +32,7 @@ def curves(system, crc_mappings):
     }
 
 
-def test_fig4_regenerate(curves, save_result):
+def test_fig4_regenerate(curves, save_result, save_report):
     text = format_multi_series(
         LENGTHS,
         curves,
@@ -42,6 +43,20 @@ def test_fig4_regenerate(curves, save_result):
         ),
     )
     save_result("fig4_throughput_single", text)
+    save_report(BenchReport(
+        name="fig4_throughput_single",
+        title="Fig. 4: single-message throughput (Gbit/s) vs message length",
+        params={
+            "factors": list(FACTORS),
+            "lengths": list(LENGTHS),
+            "ethernet_window_bits": [ETHERNET_MIN_BITS, ETHERNET_MAX_BITS],
+        },
+        metrics={"peak_gbps_m128": max(curves["M=128"].values())},
+        series={
+            name: {str(bits): gbps for bits, gbps in series.items()}
+            for name, series in curves.items()
+        },
+    ))
 
 
 def test_curves_monotone_in_length(curves):

@@ -8,6 +8,7 @@ end of the curve lifts dramatically relative to Fig. 4.
 import pytest
 
 from repro.analysis import format_multi_series, message_length_sweep
+from repro.telemetry import BenchReport
 
 FACTORS = (8, 16, 32, 64, 128)
 WAYS = 32
@@ -27,7 +28,7 @@ def curves(system, crc_mappings):
     }
 
 
-def test_fig5_regenerate(curves, save_result):
+def test_fig5_regenerate(curves, save_result, save_report):
     text = format_multi_series(
         LENGTHS,
         curves,
@@ -35,6 +36,16 @@ def test_fig5_regenerate(curves, save_result):
         title=f"Fig. 5: throughput (Gbit/s) with {WAYS} interleaved messages",
     )
     save_result("fig5_throughput_interleaved", text)
+    save_report(BenchReport(
+        name="fig5_throughput_interleaved",
+        title=f"Fig. 5: throughput (Gbit/s) with {WAYS} interleaved messages",
+        params={"factors": list(FACTORS), "ways": WAYS, "lengths": list(LENGTHS)},
+        metrics={"peak_gbps_m128": max(curves["M=128"].values())},
+        series={
+            name: {str(bits): gbps for bits, gbps in series.items()}
+            for name, series in curves.items()
+        },
+    ))
 
 
 def test_interleaving_dominates_single(curves, system, crc_mappings):

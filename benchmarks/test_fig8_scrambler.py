@@ -13,6 +13,7 @@ import pytest
 from repro.analysis import format_multi_series
 from repro.mapping import map_scrambler
 from repro.scrambler import AdditiveScrambler, IEEE80216E
+from repro.telemetry import BenchReport
 
 FACTORS = (8, 16, 32, 64, 128)
 BLOCK_BITS = (96, 384, 1152, 4608, 18432)
@@ -34,7 +35,7 @@ def curves(system, scrambler_mappings):
     }
 
 
-def test_fig8_regenerate(curves, save_result):
+def test_fig8_regenerate(curves, save_result, save_report):
     text = format_multi_series(
         BLOCK_BITS,
         curves,
@@ -42,6 +43,16 @@ def test_fig8_regenerate(curves, save_result):
         title="Fig. 8: 802.16e scrambler throughput (Gbit/s) vs block length",
     )
     save_result("fig8_scrambler", text)
+    save_report(BenchReport(
+        name="fig8_scrambler",
+        title="Fig. 8: 802.16e scrambler throughput (Gbit/s) vs block length",
+        params={"factors": list(FACTORS), "block_bits": list(BLOCK_BITS)},
+        metrics={"peak_gbps_m128": max(curves["M=128"].values())},
+        series={
+            name: {str(bits): gbps for bits, gbps in series.items()}
+            for name, series in curves.items()
+        },
+    ))
 
 
 def test_single_operation_no_switch(system, scrambler_mappings):

@@ -14,6 +14,13 @@ Commands
     Predict DREAM throughput for a message length across factors.
 ``batch-bench``
     Time the vectorized batch engine against the per-message Derby loop.
+``stats``
+    Dump the telemetry registry as JSON or Prometheus text.
+
+``crc``, ``perf`` and ``batch-bench`` accept ``--telemetry``: the run is
+traced, a span-tree summary prints afterwards, and the metrics registry
+is snapshotted to ``$REPRO_TELEMETRY_PATH`` (default
+``.repro-telemetry.jsonl``) where a later ``stats`` invocation finds it.
 """
 
 from __future__ import annotations
@@ -125,12 +132,11 @@ def cmd_explore(args: argparse.Namespace) -> int:
 
 def cmd_perf(args: argparse.Namespace) -> int:
     from repro.dream import DreamSystem
-    from repro.mapping import map_crc
 
     system = DreamSystem()
     rows = []
     for M in args.factors:
-        mapped = map_crc(get(args.standard), M)
+        mapped = system.compile_crc(get(args.standard), M)
         single = system.crc_single_performance(mapped, args.bits)
         batch = system.crc_interleaved_performance(mapped, args.bits, 32)
         rows.append([M, single.total_cycles, f"{single.throughput_gbps:.2f}",
@@ -214,6 +220,50 @@ def cmd_batch_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stats(args: argparse.Namespace) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro.telemetry import default_registry, read_json_lines, render_prometheus
+    from repro.telemetry.export import default_snapshot_path
+
+    path = Path(args.input) if args.input else default_snapshot_path()
+    if path.exists():
+        registry = read_json_lines(path)
+    else:
+        # No snapshot on disk: fall back to this process's live registry.
+        registry = default_registry()
+    if args.format == "prometheus":
+        text = render_prometheus(registry)
+        print(text if text else "# (no metrics recorded)")
+    else:
+        print(_json.dumps(registry.snapshot(), indent=2, sort_keys=True))
+    return 0
+
+
+def _run_with_telemetry(args: argparse.Namespace) -> int:
+    """Enable metrics + tracing, run the command, print the span tree and
+    persist the registry snapshot for a later ``stats`` invocation."""
+    from repro.telemetry import (
+        default_registry,
+        default_tracer,
+        format_span_tree,
+        write_json_lines,
+    )
+    from repro.telemetry.export import default_snapshot_path
+
+    registry, tracer = default_registry(), default_tracer()
+    registry.enable()
+    tracer.enable()
+    with tracer.span(f"cli.{args.command}"):
+        rc = args.func(args)
+    print("\ntelemetry spans:")
+    print(format_span_tree(tracer.roots()))
+    path = write_json_lines(registry, default_snapshot_path())
+    print(f"telemetry: metrics snapshot written to {path}")
+    return rc
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -232,6 +282,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--file", help="payload from a file")
     p.add_argument("--text", help="payload as UTF-8 text")
     p.add_argument("--verify", help="expected CRC (exit 1 on mismatch)")
+    p.add_argument("--telemetry", action="store_true",
+                   help="trace the run and snapshot the metrics registry")
     p.set_defaults(func=cmd_crc)
 
     p = sub.add_parser("map", help="compile a CRC onto PiCoGA")
@@ -254,6 +306,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--standard", default="CRC-32")
     p.add_argument("--bits", type=int, default=12144)
     p.add_argument("--factors", type=int, nargs="+", default=[32, 64, 128])
+    p.add_argument("--telemetry", action="store_true",
+                   help="trace the run and snapshot the metrics registry")
     p.set_defaults(func=cmd_perf)
 
     p = sub.add_parser("batch-bench", help="time the vectorized batch engine")
@@ -266,12 +320,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="messages timed through the per-message Derby loop")
     p.add_argument("--repeats", type=int, default=3, help="batch timing repeats")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--telemetry", action="store_true",
+                   help="trace the run and snapshot the metrics registry")
     p.set_defaults(func=cmd_batch_bench)
+
+    p = sub.add_parser("stats", help="dump the telemetry registry")
+    p.add_argument("--format", choices=("json", "prometheus"), default="json")
+    p.add_argument("--input", help="metrics snapshot to read "
+                   "(default: $REPRO_TELEMETRY_PATH or .repro-telemetry.jsonl)")
+    p.set_defaults(func=cmd_stats)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "telemetry", False):
+        return _run_with_telemetry(args)
     return args.func(args)
 
 

@@ -34,6 +34,8 @@ from repro.engine.cache import CompileCache, default_cache
 from repro.mapping.mapper import MappedCRC, MappedScrambler
 from repro.picoga.architecture import DREAM_PICOGA, PicogaArchitecture
 from repro.picoga.array import PicogaArray
+from repro.telemetry import default_tracer
+from repro.telemetry.instrument import record_burst_utilization, record_run_cycles
 
 
 @dataclass(frozen=True)
@@ -87,10 +89,14 @@ class DreamSystem:
         identical :class:`MappedCRC` (and thus identical netlists) — the
         software analogue of a PiCoGA configuration-cache hit.
         """
-        return self.cache.mapped_crc(spec, M, method=method, arch=self.arch)
+        with default_tracer().span(
+            "dream.compile_crc", standard=spec.name, M=M, method=method
+        ):
+            return self.cache.mapped_crc(spec, M, method=method, arch=self.arch)
 
     def compile_scrambler(self, spec, M: int) -> MappedScrambler:
-        return self.cache.mapped_scrambler(spec, M, arch=self.arch)
+        with default_tracer().span("dream.compile_scrambler", M=M):
+            return self.cache.mapped_scrambler(spec, M, arch=self.arch)
 
     # ==================================================================
     # Analytic mode
@@ -232,27 +238,35 @@ class DreamSystem:
         register passes through untouched, and the init-fold correction
         reduces to the spec's init — exactly ``finalize(init)``.
         """
-        array = self._prepare_array(mapped)
-        array.charge_control(self.control.single_message_control())
-        blocks, n_bits = self._head_padded_blocks(mapped, data)
-        zero_state = [0] * mapped.update_op.n_state  # raw register 0 transforms to 0
-        array.set_state(mapped.update_op.name, zero_state)
-        array.run_burst(mapped.update_op.name, blocks)
-        state = array.get_state(mapped.update_op.name)
-        if mapped.output_op is not None:
-            outs = array.run_burst(mapped.output_op.name, [state])
-            raw0 = _bits_to_int(outs[0])
-        else:
-            raw0 = _bits_to_int(state)
-        register = self._init_correction(mapped, raw0, n_bits)
-        crc = mapped.spec.finalize(register)
-        ledger = array.ledger.as_dict()
-        ledger.pop("total")
-        result = PerformanceResult(
-            workload=f"crc-single-M{mapped.M}-executed",
-            payload_bits=n_bits,
-            cycles=ledger,
-            clock_hz=self.arch.clock_hz,
+        with default_tracer().span(
+            "dream.execute_crc", standard=mapped.spec.name, M=mapped.M
+        ):
+            array = self._prepare_array(mapped)
+            array.charge_control(self.control.single_message_control())
+            blocks, n_bits = self._head_padded_blocks(mapped, data)
+            zero_state = [0] * mapped.update_op.n_state  # raw register 0 transforms to 0
+            array.set_state(mapped.update_op.name, zero_state)
+            array.run_burst(mapped.update_op.name, blocks)
+            state = array.get_state(mapped.update_op.name)
+            if mapped.output_op is not None:
+                outs = array.run_burst(mapped.output_op.name, [state])
+                raw0 = _bits_to_int(outs[0])
+            else:
+                raw0 = _bits_to_int(state)
+            register = self._init_correction(mapped, raw0, n_bits)
+            crc = mapped.spec.finalize(register)
+            ledger = array.ledger.as_dict()
+            ledger.pop("total")
+            result = PerformanceResult(
+                workload=f"crc-single-M{mapped.M}-executed",
+                payload_bits=n_bits,
+                cycles=ledger,
+                clock_hz=self.arch.clock_hz,
+            )
+        record_run_cycles("crc-single", ledger, n_bits)
+        op = mapped.update_op
+        record_burst_utilization(
+            op.name, op.n_rows, op.initiation_interval, len(blocks)
         )
         return crc, result
 
@@ -262,67 +276,84 @@ class DreamSystem:
         """Kong–Parhi batch through the netlists; returns (crcs, timing)."""
         if not messages:
             raise ValueError("need at least one message")
-        array = self._prepare_array(mapped)
-        array.charge_control(self.control.interleaved_control(len(messages)))
-        per_message = [self._head_padded_blocks(mapped, m) for m in messages]
-        slot_states: Dict[int, List[int]] = {
-            i: [0] * mapped.update_op.n_state for i in range(len(messages))
-        }
-        # Round-robin schedule: one block per live message per round.
-        schedule: List[Tuple[int, Sequence[int]]] = []
-        max_blocks = max(len(blocks) for blocks, _ in per_message)
-        for round_idx in range(max_blocks):
-            for slot, (blocks, _) in enumerate(per_message):
-                if round_idx < len(blocks):
-                    schedule.append((slot, blocks[round_idx]))
-        array.run_interleaved_burst(mapped.update_op.name, schedule, slot_states)
-        crcs: List[int] = []
-        if mapped.output_op is not None:
-            finals = array.run_burst(
-                mapped.output_op.name, [slot_states[i] for i in range(len(messages))]
+        with default_tracer().span(
+            "dream.execute_crc_interleaved",
+            standard=mapped.spec.name,
+            M=mapped.M,
+            n_messages=len(messages),
+        ):
+            array = self._prepare_array(mapped)
+            array.charge_control(self.control.interleaved_control(len(messages)))
+            per_message = [self._head_padded_blocks(mapped, m) for m in messages]
+            slot_states: Dict[int, List[int]] = {
+                i: [0] * mapped.update_op.n_state for i in range(len(messages))
+            }
+            # Round-robin schedule: one block per live message per round.
+            schedule: List[Tuple[int, Sequence[int]]] = []
+            max_blocks = max(len(blocks) for blocks, _ in per_message)
+            for round_idx in range(max_blocks):
+                for slot, (blocks, _) in enumerate(per_message):
+                    if round_idx < len(blocks):
+                        schedule.append((slot, blocks[round_idx]))
+            array.run_interleaved_burst(mapped.update_op.name, schedule, slot_states)
+            crcs: List[int] = []
+            if mapped.output_op is not None:
+                finals = array.run_burst(
+                    mapped.output_op.name, [slot_states[i] for i in range(len(messages))]
+                )
+                raws = [_bits_to_int(bits) for bits in finals]
+            else:
+                raws = [_bits_to_int(slot_states[i]) for i in range(len(messages))]
+            for raw0, (_, n_bits) in zip(raws, per_message):
+                register = self._init_correction(mapped, raw0, n_bits)
+                crcs.append(mapped.spec.finalize(register))
+            ledger = array.ledger.as_dict()
+            ledger.pop("total")
+            result = PerformanceResult(
+                workload=f"crc-interleaved{len(messages)}-M{mapped.M}-executed",
+                payload_bits=sum(n for _, n in per_message),
+                cycles=ledger,
+                clock_hz=self.arch.clock_hz,
             )
-            raws = [_bits_to_int(bits) for bits in finals]
-        else:
-            raws = [_bits_to_int(slot_states[i]) for i in range(len(messages))]
-        for raw0, (_, n_bits) in zip(raws, per_message):
-            register = self._init_correction(mapped, raw0, n_bits)
-            crcs.append(mapped.spec.finalize(register))
-        ledger = array.ledger.as_dict()
-        ledger.pop("total")
-        result = PerformanceResult(
-            workload=f"crc-interleaved{len(messages)}-M{mapped.M}-executed",
-            payload_bits=sum(n for _, n in per_message),
-            cycles=ledger,
-            clock_hz=self.arch.clock_hz,
-        )
+        record_run_cycles("crc-interleaved", ledger, result.payload_bits)
+        op = mapped.update_op
+        # Interleaved issue fills every slot: blocks from different messages
+        # hide the loop, so the effective initiation interval is 1.
+        record_burst_utilization(op.name, op.n_rows, 1, len(schedule))
         return crcs, result
 
     def execute_scrambler(
         self, mapped: MappedScrambler, bits: Sequence[int], seed: Optional[int] = None
     ) -> Tuple[List[int], PerformanceResult]:
         """Scramble a block through the netlist; returns (bits, timing)."""
-        array = PicogaArray(self.arch)
-        array.load_operation(mapped.op, slot=0)
-        array.reset_ledger()
-        array.charge_control(self.control.block_setup_cycles)
-        array.set_state(mapped.op.name, mapped.initial_state_bits(seed))
-        blocks = []
-        for off in range(0, len(bits), mapped.M):
-            chunk = list(bits[off : off + mapped.M])
-            chunk += [0] * (mapped.M - len(chunk))
-            blocks.append(chunk)
-        outs = array.run_burst(mapped.op.name, blocks)
-        flat: List[int] = []
-        for block_out in outs:
-            flat.extend(block_out)
-        ledger = array.ledger.as_dict()
-        ledger.pop("total")
-        result = PerformanceResult(
-            workload=f"scrambler-M{mapped.M}-executed",
-            payload_bits=len(bits),
-            cycles=ledger,
-            clock_hz=self.arch.clock_hz,
-        )
+        with default_tracer().span(
+            "dream.execute_scrambler", M=mapped.M, n_bits=len(bits)
+        ):
+            array = PicogaArray(self.arch)
+            array.load_operation(mapped.op, slot=0)
+            array.reset_ledger()
+            array.charge_control(self.control.block_setup_cycles)
+            array.set_state(mapped.op.name, mapped.initial_state_bits(seed))
+            blocks = []
+            for off in range(0, len(bits), mapped.M):
+                chunk = list(bits[off : off + mapped.M])
+                chunk += [0] * (mapped.M - len(chunk))
+                blocks.append(chunk)
+            outs = array.run_burst(mapped.op.name, blocks)
+            flat: List[int] = []
+            for block_out in outs:
+                flat.extend(block_out)
+            ledger = array.ledger.as_dict()
+            ledger.pop("total")
+            result = PerformanceResult(
+                workload=f"scrambler-M{mapped.M}-executed",
+                payload_bits=len(bits),
+                cycles=ledger,
+                clock_hz=self.arch.clock_hz,
+            )
+        record_run_cycles("scrambler", ledger, len(bits))
+        op = mapped.op
+        record_burst_utilization(op.name, op.n_rows, op.initiation_interval, len(blocks))
         return flat[: len(bits)], result
 
 

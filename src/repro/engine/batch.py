@@ -23,6 +23,7 @@ each stream's true bit length N.
 from __future__ import annotations
 
 from collections import deque
+from time import perf_counter
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -31,8 +32,38 @@ from repro.crc.spec import CRCSpec
 from repro.engine.cache import CompileCache, default_cache
 from repro.gf2.polynomial import GF2Polynomial
 from repro.scrambler.specs import ScramblerSpec
+from repro.telemetry import default_registry
 
 WORD_BITS = 64
+
+_REGISTRY = default_registry()
+_CALLS = _REGISTRY.counter(
+    "engine_batch_calls_total", "Vectorized batch kernel invocations",
+    labels=("kernel",),
+)
+_BITS_TOTAL = _REGISTRY.counter(
+    "engine_batch_bits_total", "Payload bits processed by the batch kernels",
+    labels=("kernel",),
+)
+_CALL_BITS = _REGISTRY.histogram(
+    "engine_batch_call_bits", "Payload bits per batch kernel call",
+    labels=("kernel",),
+    buckets=(64, 256, 1024, 4096, 16384, 65536, 262144, 1 << 20, 1 << 22, 1 << 24),
+)
+_THROUGHPUT = _REGISTRY.histogram(
+    "engine_batch_throughput_mbps", "Per-call bit throughput (Mbit/s)",
+    labels=("kernel",),
+    buckets=(1, 5, 10, 50, 100, 500, 1000, 5000, 10000, 50000),
+)
+
+
+def _observe_kernel(kernel: str, bits: int, seconds: float) -> None:
+    """Publish one batch call's size and rate (registry already enabled)."""
+    _CALLS.labels(kernel=kernel).inc()
+    _BITS_TOTAL.labels(kernel=kernel).inc(bits)
+    _CALL_BITS.labels(kernel=kernel).observe(bits)
+    if seconds > 0:
+        _THROUGHPUT.labels(kernel=kernel).observe(bits / seconds / 1e6)
 
 
 def _n_words(batch: int) -> int:
@@ -163,13 +194,18 @@ class BatchCRC:
         batch = len(bit_streams)
         if batch == 0:
             return []
+        telemetry = _REGISTRY.enabled
+        t0 = perf_counter() if telemetry else 0.0
         lengths = [len(bits) for bits in bit_streams]
         padded_len = self._padded_length(max(lengths))
         stream = np.zeros((padded_len, batch), dtype=np.uint8)
         for b, bits in enumerate(bit_streams):
             if lengths[b]:
                 stream[padded_len - lengths[b] :, b] = np.asarray(bits, dtype=np.uint8)
-        return self._raw_from_stream(stream, lengths)
+        registers = self._raw_from_stream(stream, lengths)
+        if telemetry:
+            _observe_kernel(f"crc-{self._method}", sum(lengths), perf_counter() - t0)
+        return registers
 
     def compute_bits_batch(self, bit_streams: Sequence[Sequence[int]]) -> List[int]:
         """Finalized CRCs of raw bit streams (transmission order)."""
@@ -185,6 +221,8 @@ class BatchCRC:
         batch = len(messages)
         if batch == 0:
             return []
+        telemetry = _REGISTRY.enabled
+        t0 = perf_counter() if telemetry else 0.0
         lengths = [8 * len(m) for m in messages]
         padded_len = self._padded_length(max(lengths))
         stream = np.zeros((padded_len, batch), dtype=np.uint8)
@@ -199,7 +237,10 @@ class BatchCRC:
                     stream[padded_len - lengths[b] :, b] = np.unpackbits(
                         np.frombuffer(m, dtype=np.uint8), bitorder=bitorder
                     )
-        return self._raw_from_stream(stream, lengths)
+        registers = self._raw_from_stream(stream, lengths)
+        if telemetry:
+            _observe_kernel(f"crc-{self._method}", sum(lengths), perf_counter() - t0)
+        return registers
 
     def compute_batch(self, messages: Sequence[bytes]) -> List[int]:
         """Finalized CRCs of B byte messages (lengths may differ)."""
@@ -255,12 +296,16 @@ class BatchAdditiveScrambler:
 
     def keystream_batch(self, nbits: int, batch: int, seeds: Optional[Sequence[int]] = None) -> np.ndarray:
         """``(nbits, batch)`` keystream bits, one column per stream."""
+        telemetry = _REGISTRY.enabled
+        t0 = perf_counter() if telemetry else 0.0
         state = self._initial_state(batch, seeds)
         blocks = -(-nbits // self._M) if nbits else 0
         out = np.zeros((blocks * self._M, state.shape[1]), dtype=np.uint64)
         for i in range(blocks):
             out[i * self._M : (i + 1) * self._M] = gf2_mul_packed(self._Y, state)
             state = gf2_mul_packed(self._A, state)
+        if telemetry:
+            _observe_kernel("scrambler-additive", nbits * batch, perf_counter() - t0)
         return unpack_bits(out, batch)[:nbits] if blocks else np.zeros((0, batch), dtype=np.uint8)
 
     def scramble_batch(
@@ -341,6 +386,8 @@ class BatchMultiplicativeScrambler:
         batch = len(bit_streams)
         if batch == 0:
             return []
+        telemetry = _REGISTRY.enabled
+        t0 = perf_counter() if telemetry else 0.0
         lengths = [len(bits) for bits in bit_streams]
         longest = max(lengths)
         if longest == 0:
@@ -365,6 +412,10 @@ class BatchMultiplicativeScrambler:
             line.pop()
             line.appendleft(shift_in.copy())
         bits_out = unpack_bits(out, batch)
+        if telemetry:
+            _observe_kernel(
+                "scrambler-multiplicative", sum(lengths), perf_counter() - t0
+            )
         return [bits_out[: lengths[b], b].tolist() for b in range(batch)]
 
     def scramble_batch(

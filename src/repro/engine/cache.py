@@ -23,7 +23,6 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass
 from typing import Any, Callable, Hashable, Optional, Tuple
 
 from repro.crc.spec import CRCSpec
@@ -36,26 +35,94 @@ from repro.lfsr.lookahead import (
 from repro.lfsr.statespace import LFSRStateSpace, crc_statespace, scrambler_statespace
 from repro.lfsr.transform import DerbyTransform, derby_transform
 from repro.scrambler.specs import ScramblerSpec
+from repro.telemetry import default_registry
+
+_REGISTRY = default_registry()
+_LOOKUPS = _REGISTRY.counter(
+    "engine_compile_cache_lookups_total",
+    "Compile-cache lookups by result",
+    labels=("result",),
+)
+_EVICTIONS = _REGISTRY.counter(
+    "engine_compile_cache_evictions_total", "Compile-cache LRU evictions"
+)
+_ENTRIES = _REGISTRY.gauge(
+    "engine_compile_cache_entries", "Compiled artifacts resident across caches"
+)
 
 
-@dataclass
 class CacheStats:
-    """Counters exposed for benchmarks and capacity tuning."""
+    """Counters exposed for benchmarks and capacity tuning.
 
-    hits: int = 0
-    misses: int = 0
-    evictions: int = 0
+    Increments take an internal lock so the counters stay exact when the
+    pipelines drive one cache from several threads — readers see a
+    consistent value regardless of who holds the cache's own lock.
+    """
+
+    __slots__ = ("_lock", "_hits", "_misses", "_evictions")
+
+    def __init__(self, hits: int = 0, misses: int = 0, evictions: int = 0):
+        self._lock = threading.Lock()
+        self._hits = hits
+        self._misses = misses
+        self._evictions = evictions
+
+    @property
+    def hits(self) -> int:
+        with self._lock:
+            return self._hits
+
+    @property
+    def misses(self) -> int:
+        with self._lock:
+            return self._misses
+
+    @property
+    def evictions(self) -> int:
+        with self._lock:
+            return self._evictions
 
     @property
     def lookups(self) -> int:
-        return self.hits + self.misses
+        with self._lock:
+            return self._hits + self._misses
 
     @property
     def hit_rate(self) -> float:
-        return self.hits / self.lookups if self.lookups else 0.0
+        with self._lock:
+            lookups = self._hits + self._misses
+            return self._hits / lookups if lookups else 0.0
+
+    def record_hit(self) -> None:
+        with self._lock:
+            self._hits += 1
+
+    def record_miss(self) -> None:
+        with self._lock:
+            self._misses += 1
+
+    def record_eviction(self) -> None:
+        with self._lock:
+            self._evictions += 1
 
     def reset(self) -> None:
-        self.hits = self.misses = self.evictions = 0
+        with self._lock:
+            self._hits = self._misses = self._evictions = 0
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+            }
+
+    def __repr__(self) -> str:
+        snap = self.snapshot()
+        return (
+            f"CacheStats(hits={snap['hits']}, misses={snap['misses']}, "
+            f"evictions={snap['evictions']})"
+        )
 
 
 class CompileCache:
@@ -94,6 +161,7 @@ class CompileCache:
 
     def clear(self) -> None:
         with self._lock:
+            _ENTRIES.dec(len(self._entries))
             self._entries.clear()
             self.stats.reset()
 
@@ -102,17 +170,23 @@ class CompileCache:
         """Return the cached artifact for ``key``, compiling on first use."""
         with self._lock:
             if key in self._entries:
-                self.stats.hits += 1
+                self.stats.record_hit()
+                _LOOKUPS.labels(result="hit").inc()
                 self._entries.move_to_end(key)
                 return self._entries[key]
-            self.stats.misses += 1
+            self.stats.record_miss()
+            _LOOKUPS.labels(result="miss").inc()
         value = builder()
         with self._lock:
+            if key not in self._entries:
+                _ENTRIES.inc()
             self._entries[key] = value
             self._entries.move_to_end(key)
             while len(self._entries) > self._capacity:
                 self._entries.popitem(last=False)
-                self.stats.evictions += 1
+                self.stats.record_eviction()
+                _EVICTIONS.inc()
+                _ENTRIES.dec()
         return value
 
     # ------------------------------------------------------------------

@@ -28,6 +28,29 @@ from repro.crc.spec import CRCSpec
 from repro.engine.batch import gf2_mul_packed, pack_bits, unpack_bits
 from repro.engine.cache import CompileCache, default_cache
 from repro.scrambler.specs import ScramblerSpec
+from repro.telemetry import default_registry
+
+_REGISTRY = default_registry()
+# Aggregate gauges: incremented/decremented by deltas so any number of
+# concurrent pipeline instances sum correctly into one series per kind.
+_STREAMS = _REGISTRY.gauge(
+    "engine_pipeline_streams", "Streams currently open across pipelines",
+    labels=("kind",),
+)
+_PENDING = _REGISTRY.gauge(
+    "engine_pipeline_pending_bits",
+    "Input bits buffered and awaiting a full M-bit block",
+    labels=("kind",),
+)
+_BLOCKS = _REGISTRY.counter(
+    "engine_pipeline_blocks_total", "M-bit blocks advanced by pump rounds",
+    labels=("kind",),
+)
+_PUMP_BLOCKS = _REGISTRY.histogram(
+    "engine_pipeline_blocks_per_pump", "Blocks advanced per pump() call",
+    labels=("kind",),
+    buckets=(0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 1024),
+)
 
 
 @dataclass
@@ -84,6 +107,22 @@ class CRCPipeline:
     def __len__(self) -> int:
         return len(self._streams)
 
+    @property
+    def stream_count(self) -> int:
+        """Number of streams currently open."""
+        return len(self._streams)
+
+    def pending_bits(self, stream_id: Optional[Hashable] = None) -> int:
+        """Buffered input bits awaiting processing — the pipeline backlog.
+
+        With ``stream_id`` the count is that stream's alone; without it,
+        the total across every open stream.  Bits below one full M-bit
+        block stay pending until ``finalize`` drains them serially.
+        """
+        if stream_id is not None:
+            return len(self._streams[stream_id].buffer)
+        return sum(len(s.buffer) for s in self._streams.values())
+
     # ------------------------------------------------------------------
     def open(self, stream_id: Optional[Hashable] = None, register: Optional[int] = None) -> Hashable:
         """Start a stream; returns its id (auto-allocated when omitted)."""
@@ -96,6 +135,7 @@ class CRCPipeline:
         if self._into_basis is not None:
             state = ((self._into_basis.astype(np.int64) @ state) & 1).astype(np.uint8)
         self._streams[stream_id] = _CRCStream(state=state)
+        _STREAMS.labels(kind="crc").inc()
         return stream_id
 
     def feed(self, stream_id: Hashable, data: bytes, pump: bool = True) -> None:
@@ -103,7 +143,10 @@ class CRCPipeline:
         self.feed_bits(stream_id, self._spec.message_bits(data), pump=pump)
 
     def feed_bits(self, stream_id: Hashable, bits: Sequence[int], pump: bool = True) -> None:
-        self._streams[stream_id].buffer.extend(int(b) & 1 for b in bits)
+        buffer = self._streams[stream_id].buffer
+        before = len(buffer)
+        buffer.extend(int(b) & 1 for b in bits)
+        _PENDING.labels(kind="crc").inc(len(buffer) - before)
         if pump:
             self.pump()
 
@@ -121,6 +164,10 @@ class CRCPipeline:
                 (sid, s) for sid, s in self._streams.items() if len(s.buffer) >= self._M
             ]
             if not ready:
+                if _REGISTRY.enabled:
+                    _BLOCKS.labels(kind="crc").inc(processed)
+                    _PENDING.labels(kind="crc").dec(processed * self._M)
+                    _PUMP_BLOCKS.labels(kind="crc").observe(processed)
                 return processed
             states = pack_bits(np.stack([s.state for _, s in ready], axis=1))
             blocks = np.empty((self._M, len(ready)), dtype=np.uint8)
@@ -137,6 +184,8 @@ class CRCPipeline:
         """Drain the stream (serial sub-block tail) and return its CRC."""
         self.pump()
         stream = self._streams.pop(stream_id)
+        _STREAMS.labels(kind="crc").dec()
+        _PENDING.labels(kind="crc").dec(len(stream.buffer))
         state = stream.state
         if self._from_basis is not None:
             state = ((self._from_basis.astype(np.int64) @ state) & 1).astype(np.uint8)
@@ -146,7 +195,9 @@ class CRCPipeline:
 
     def abort(self, stream_id: Hashable) -> None:
         """Drop a stream without computing its CRC."""
-        del self._streams[stream_id]
+        stream = self._streams.pop(stream_id)
+        _STREAMS.labels(kind="crc").dec()
+        _PENDING.labels(kind="crc").dec(len(stream.buffer))
 
 
 @dataclass
@@ -193,6 +244,15 @@ class ScramblerPipeline:
     def __len__(self) -> int:
         return len(self._streams)
 
+    @property
+    def stream_count(self) -> int:
+        """Number of streams currently open."""
+        return len(self._streams)
+
+    def pending_keystream_bits(self, stream_id: Hashable) -> int:
+        """Generated-but-unused keystream bits carried to the next chunk."""
+        return len(self._streams[stream_id].keystream)
+
     # ------------------------------------------------------------------
     def open(self, stream_id: Optional[Hashable] = None, seed: Optional[int] = None) -> Hashable:
         if stream_id is None:
@@ -201,18 +261,23 @@ class ScramblerPipeline:
             raise KeyError(f"stream {stream_id!r} is already open")
         state = self._ss.state_from_int(self._spec.seed if seed is None else seed)
         self._streams[stream_id] = _ScramblerStream(state=state)
+        _STREAMS.labels(kind="scrambler").inc()
         return stream_id
 
     def feed(self, stream_id: Hashable, bits: Sequence[int]) -> List[int]:
         """Scramble (or descramble) one chunk; returns the output bits."""
         stream = self._streams[stream_id]
+        generated = 0
         while len(stream.keystream) < len(bits):
             block = (self._Y @ stream.state.astype(np.int64)) & 1
             stream.keystream.extend(int(b) for b in block)
             stream.state = ((self._A @ stream.state.astype(np.int64)) & 1).astype(np.uint8)
+            generated += 1
+        _BLOCKS.labels(kind="scrambler").inc(generated)
         out = [(int(b) ^ k) & 1 for b, k in zip(bits, stream.keystream)]
         del stream.keystream[: len(bits)]
         return out
 
     def close(self, stream_id: Hashable) -> None:
         del self._streams[stream_id]
+        _STREAMS.labels(kind="scrambler").dec()

@@ -1,0 +1,75 @@
+"""repro.telemetry — unified metrics, tracing, and structured reporting.
+
+A zero-dependency observability layer shared by every hot path in the
+repo: the compile cache, the bit-sliced batch kernels, the streaming
+pipelines, DREAM executed mode, and the PiCoGA instruments
+(:mod:`repro.picoga.trace`, :mod:`repro.picoga.activity`) all publish
+into one process-wide :class:`MetricsRegistry` and one :class:`Tracer`.
+
+* :mod:`repro.telemetry.registry` — thread-safe Counter/Gauge/Histogram
+  families with bounded label cardinality; near-zero overhead when the
+  registry is disabled.
+* :mod:`repro.telemetry.tracing` — nestable ``span()`` context manager
+  with wall-clock timings and a bounded in-memory trace buffer.
+* :mod:`repro.telemetry.export` — JSON-lines snapshots (lossless round
+  trip), Prometheus text exposition, and the :class:`BenchReport`
+  writer behind ``benchmarks/results/*.json``.
+* :mod:`repro.telemetry.instrument` — an ``@instrumented`` decorator
+  plus explicit bridges from the pre-existing instruments.
+
+See ``docs/OBSERVABILITY.md`` for the tour; ``repro stats`` and the
+``--telemetry`` CLI flag are the command-line surface.
+"""
+
+from repro.telemetry.export import (
+    BenchReport,
+    default_snapshot_path,
+    parse_json_lines,
+    read_json_lines,
+    render_prometheus,
+    to_json_lines,
+    write_json_lines,
+)
+from repro.telemetry.instrument import (
+    instrumented,
+    record_activity_report,
+    record_burst_utilization,
+    record_pipeline_trace,
+    record_run_cycles,
+)
+from repro.telemetry.registry import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    default_registry,
+)
+from repro.telemetry.tracing import Span, Tracer, default_tracer, format_span_tree
+
+__all__ = [
+    "BenchReport",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "default_registry",
+    "default_snapshot_path",
+    "default_tracer",
+    "format_span_tree",
+    "instrumented",
+    "parse_json_lines",
+    "read_json_lines",
+    "record_activity_report",
+    "record_burst_utilization",
+    "record_pipeline_trace",
+    "record_run_cycles",
+    "render_prometheus",
+    "to_json_lines",
+    "write_json_lines",
+]

@@ -1,0 +1,183 @@
+"""Exporters: JSON-lines snapshots, Prometheus text, structured bench reports.
+
+Three consumers, one registry:
+
+* :func:`write_json_lines` / :func:`read_json_lines` — a lossless
+  snapshot format (one family per line) so a CLI run can persist its
+  metrics and a later ``repro stats`` invocation, in a fresh process,
+  can render them.  Round-trip is exact: restoring a snapshot yields an
+  identical :meth:`~repro.telemetry.registry.MetricsRegistry.snapshot`.
+* :func:`render_prometheus` — the text exposition format, for scraping
+  or eyeballing (``# HELP`` / ``# TYPE`` per family, cumulative
+  ``_bucket``/``_sum``/``_count`` series per histogram).
+* :class:`BenchReport` — a machine-readable companion to the plain-text
+  artifacts under ``benchmarks/results/``: named scalar metrics, named
+  series, parameters and environment, written as ``<name>.json`` so the
+  perf trajectory is diffable run over run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.telemetry.registry import MetricsRegistry
+
+TELEMETRY_SCHEMA = "repro-telemetry/1"
+BENCH_SCHEMA = "repro-bench/1"
+TELEMETRY_PATH_ENV = "REPRO_TELEMETRY_PATH"
+
+
+def default_snapshot_path() -> Path:
+    """Where CLI runs drop their metrics snapshot (``$REPRO_TELEMETRY_PATH``
+    or ``.repro-telemetry.jsonl`` in the working directory)."""
+    return Path(os.environ.get(TELEMETRY_PATH_ENV, ".repro-telemetry.jsonl"))
+
+
+# ----------------------------------------------------------------------
+# JSON lines
+# ----------------------------------------------------------------------
+def to_json_lines(registry: MetricsRegistry) -> str:
+    """One header line plus one line per metric family."""
+    lines = [json.dumps({"schema": TELEMETRY_SCHEMA, "generated_unix": time.time()})]
+    for name, family in registry.snapshot().items():
+        lines.append(json.dumps({"name": name, **family}, sort_keys=True))
+    return "\n".join(lines) + "\n"
+
+
+def write_json_lines(registry: MetricsRegistry, path: Union[str, Path]) -> Path:
+    path = Path(path)
+    path.write_text(to_json_lines(registry))
+    return path
+
+
+def parse_json_lines(text: str) -> MetricsRegistry:
+    """Rebuild a registry from :func:`to_json_lines` output."""
+    registry = MetricsRegistry()
+    snapshot: Dict[str, dict] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        if "schema" in record and "name" not in record:
+            if record["schema"] != TELEMETRY_SCHEMA:
+                raise ValueError(f"unsupported telemetry schema {record['schema']!r}")
+            continue
+        snapshot[record["name"]] = record
+    registry.restore(snapshot)
+    return registry
+
+
+def read_json_lines(path: Union[str, Path]) -> MetricsRegistry:
+    return parse_json_lines(Path(path).read_text())
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+def _escape(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _fmt_labels(labels: Dict[str, str], extra: Optional[Dict[str, str]] = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(f'{k}="{_escape(str(v))}"' for k, v in merged.items())
+    return "{" + body + "}"
+
+
+def _fmt_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format."""
+    lines: List[str] = []
+    for name, family in registry.snapshot().items():
+        if family.get("help"):
+            lines.append(f"# HELP {name} {_escape(family['help'])}")
+        lines.append(f"# TYPE {name} {family['kind']}")
+        for sample in family["samples"]:
+            labels = sample.get("labels", {})
+            if family["kind"] == "histogram":
+                running = 0
+                for edge, count in zip(sample["edges"], sample["bucket_counts"]):
+                    running += count
+                    le = _fmt_labels(labels, {"le": _fmt_value(edge)})
+                    lines.append(f"{name}_bucket{le} {running}")
+                total = running + sample["bucket_counts"][-1]
+                lines.append(f'{name}_bucket{_fmt_labels(labels, {"le": "+Inf"})} {total}')
+                lines.append(f"{name}_sum{_fmt_labels(labels)} {_fmt_value(sample['sum'])}")
+                lines.append(f"{name}_count{_fmt_labels(labels)} {sample['count']}")
+            else:
+                lines.append(f"{name}{_fmt_labels(labels)} {_fmt_value(sample['value'])}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+# ----------------------------------------------------------------------
+# Structured bench reports
+# ----------------------------------------------------------------------
+@dataclass
+class BenchReport:
+    """Machine-readable record of one benchmark artifact.
+
+    ``metrics`` holds named scalars (rates, speedups, gate values);
+    ``series`` holds named ``{x: y}`` curves (the Fig. 4/5/8 sweeps);
+    ``params`` records the configuration that produced them.  ``write``
+    emits ``<results_dir>/<name>.json`` alongside the existing ``.txt``
+    artifact of the same name.
+    """
+
+    name: str
+    title: str = ""
+    params: Dict[str, object] = field(default_factory=dict)
+    metrics: Dict[str, float] = field(default_factory=dict)
+    series: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": BENCH_SCHEMA,
+            "name": self.name,
+            "title": self.title,
+            "created_unix": time.time(),
+            "environment": {
+                "python": platform.python_version(),
+                "platform": platform.platform(),
+            },
+            "params": dict(self.params),
+            "metrics": dict(self.metrics),
+            "series": {k: dict(v) for k, v in self.series.items()},
+        }
+
+    def write(self, results_dir: Union[str, Path]) -> Path:
+        results_dir = Path(results_dir)
+        results_dir.mkdir(parents=True, exist_ok=True)
+        path = results_dir / f"{self.name}.json"
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "BenchReport":
+        data = json.loads(Path(path).read_text())
+        if data.get("schema") != BENCH_SCHEMA:
+            raise ValueError(f"unsupported bench schema {data.get('schema')!r}")
+        return cls(
+            name=data["name"],
+            title=data.get("title", ""),
+            params=data.get("params", {}),
+            metrics=data.get("metrics", {}),
+            series=data.get("series", {}),
+        )

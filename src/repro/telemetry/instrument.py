@@ -1,0 +1,206 @@
+"""Instrumentation hooks: a decorator plus explicit bridges.
+
+Two flavors:
+
+* :func:`instrumented` — wrap any callable in a call counter, a duration
+  histogram, and (when the tracer is enabled) a span.  When both the
+  registry and the tracer are disabled the wrapper short-circuits to the
+  raw call after two attribute checks.
+* explicit bridges — :func:`record_run_cycles`,
+  :func:`record_burst_utilization`, :func:`record_pipeline_trace` and
+  :func:`record_activity_report` publish the repo's existing ad-hoc
+  instruments (DREAM cycle ledgers, PiCoGA occupancy traces and toggle
+  counts) as registry metrics.  They are duck-typed on purpose: the
+  telemetry package imports nothing from the rest of ``repro``, so it
+  can be imported from any layer without cycles.
+"""
+
+from __future__ import annotations
+
+import functools
+from time import perf_counter
+from typing import Callable, Mapping, Optional
+
+from repro.telemetry.registry import MetricsRegistry, default_registry
+from repro.telemetry.tracing import Tracer, default_tracer
+
+_CALL_BUCKETS = (
+    1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
+    1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+def instrumented(
+    name: Optional[str] = None,
+    registry: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
+) -> Callable:
+    """Decorator: count calls, time them, and open a span around them.
+
+    Publishes ``<name>_calls_total`` and ``<name>_seconds`` (histogram);
+    the span is named ``<name>``.  ``name`` defaults to the function's
+    qualified name with dots normalized to underscores for the metrics.
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        label = name or fn.__qualname__.lower().replace(".", "_")
+        reg = registry if registry is not None else default_registry()
+        tr = tracer if tracer is not None else default_tracer()
+        calls = reg.counter(f"{label}_calls_total", f"Calls to {fn.__qualname__}")
+        seconds = reg.histogram(
+            f"{label}_seconds", f"Wall-clock seconds per {fn.__qualname__} call",
+            buckets=_CALL_BUCKETS,
+        )
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            metrics_on = reg.enabled
+            spans_on = tr.enabled
+            if not metrics_on and not spans_on:
+                return fn(*args, **kwargs)
+            t0 = perf_counter()
+            if spans_on:
+                with tr.span(label):
+                    result = fn(*args, **kwargs)
+            else:
+                result = fn(*args, **kwargs)
+            if metrics_on:
+                calls.inc()
+                seconds.observe(perf_counter() - t0)
+            return result
+
+        wrapper.__wrapped__ = fn
+        return wrapper
+
+    return decorate
+
+
+# ----------------------------------------------------------------------
+# Bridges from the repo's existing instruments
+# ----------------------------------------------------------------------
+def record_run_cycles(
+    workload: str,
+    cycles: Mapping[str, int],
+    payload_bits: int,
+    registry: Optional[MetricsRegistry] = None,
+) -> None:
+    """Publish one executed/analytic run's cycle ledger.
+
+    ``workload`` should be a low-cardinality kind (``crc-single``,
+    ``crc-interleaved``, ``scrambler``), not the full per-run workload
+    string — label sets are bounded and sweeps vary M freely.
+    """
+    reg = registry if registry is not None else default_registry()
+    if not reg.enabled:
+        return
+    runs = reg.counter(
+        "dream_executed_runs_total", "DREAM runs by workload kind", labels=("workload",)
+    )
+    cyc = reg.counter(
+        "dream_executed_cycles_total",
+        "DREAM cycles charged, by workload kind and ledger phase",
+        labels=("workload", "phase"),
+    )
+    bits = reg.counter(
+        "dream_executed_payload_bits_total",
+        "Payload bits pushed through DREAM runs",
+        labels=("workload",),
+    )
+    runs.labels(workload=workload).inc()
+    bits.labels(workload=workload).inc(payload_bits)
+    for phase, count in cycles.items():
+        cyc.labels(workload=workload, phase=phase).inc(count)
+
+
+def record_burst_utilization(
+    op_name: str,
+    rows: int,
+    initiation_interval: int,
+    n_blocks: int,
+    registry: Optional[MetricsRegistry] = None,
+) -> None:
+    """Closed-form occupancy accounting for a burst of ``n_blocks``.
+
+    Matches :meth:`repro.picoga.trace.PipelineTrace.utilization` without
+    materializing the occupancy matrix: block *b* issues at ``b * II``
+    and holds one row per cycle for ``rows`` cycles.
+    """
+    reg = registry if registry is not None else default_registry()
+    if not reg.enabled or n_blocks < 1:
+        return
+    rows = max(rows, 1)
+    cycles = (n_blocks - 1) * initiation_interval + rows
+    utilization = (n_blocks * rows) / (cycles * rows)
+    reg.counter(
+        "picoga_blocks_issued_total", "Blocks issued through PiCoGA bursts",
+        labels=("op",),
+    ).labels(op=op_name).inc(n_blocks)
+    reg.counter(
+        "picoga_burst_cycles_total", "Pipeline cycles spanned by PiCoGA bursts",
+        labels=("op",),
+    ).labels(op=op_name).inc(cycles)
+    reg.gauge(
+        "picoga_pipeline_utilization",
+        "Fraction of (cycle, row) slots busy in the most recent burst",
+        labels=("op",),
+    ).labels(op=op_name).set(utilization)
+
+
+def record_pipeline_trace(trace, registry: Optional[MetricsRegistry] = None) -> None:
+    """Publish a :class:`repro.picoga.trace.PipelineTrace` (duck-typed:
+    needs ``op_name``, ``rows``, ``initiation_interval``, ``cycles``,
+    ``utilization()``)."""
+    reg = registry if registry is not None else default_registry()
+    if not reg.enabled:
+        return
+    reg.counter(
+        "picoga_blocks_issued_total", "Blocks issued through PiCoGA bursts",
+        labels=("op",),
+    ).labels(op=trace.op_name).inc(
+        (trace.cycles - trace.rows) // max(trace.initiation_interval, 1) + 1
+    )
+    reg.counter(
+        "picoga_burst_cycles_total", "Pipeline cycles spanned by PiCoGA bursts",
+        labels=("op",),
+    ).labels(op=trace.op_name).inc(trace.cycles)
+    reg.gauge(
+        "picoga_pipeline_utilization",
+        "Fraction of (cycle, row) slots busy in the most recent burst",
+        labels=("op",),
+    ).labels(op=trace.op_name).set(trace.utilization())
+
+
+def record_activity_report(
+    op_name: str, report, registry: Optional[MetricsRegistry] = None
+) -> None:
+    """Publish an :class:`repro.picoga.activity.ActivityReport` (duck-typed:
+    needs ``blocks``, ``cell_evaluations``, ``cell_toggles``,
+    ``output_toggles``, ``activity_factor``)."""
+    reg = registry if registry is not None else default_registry()
+    if not reg.enabled:
+        return
+    blocks = reg.counter(
+        "picoga_activity_blocks_total", "Blocks measured for switching activity",
+        labels=("op",),
+    )
+    evals = reg.counter(
+        "picoga_cell_evaluations_total", "Cell evaluations during activity bursts",
+        labels=("op",),
+    )
+    toggles = reg.counter(
+        "picoga_cell_toggles_total", "Cell-output toggles during activity bursts",
+        labels=("op",),
+    )
+    out_toggles = reg.counter(
+        "picoga_output_toggles_total", "Operation-output toggles during activity bursts",
+        labels=("op",),
+    )
+    factor = reg.gauge(
+        "picoga_activity_factor", "Most recent measured switching-activity factor",
+        labels=("op",),
+    )
+    blocks.labels(op=op_name).inc(report.blocks)
+    evals.labels(op=op_name).inc(report.cell_evaluations)
+    toggles.labels(op=op_name).inc(report.cell_toggles)
+    out_toggles.labels(op=op_name).inc(report.output_toggles)
+    factor.labels(op=op_name).set(report.activity_factor)

@@ -1,0 +1,379 @@
+"""Thread-safe metrics registry: Counter / Gauge / Histogram with labels.
+
+The runtime's hot paths (batch kernels, streaming pipelines, the compile
+cache, DREAM executed mode) publish into one process-wide
+:class:`MetricsRegistry` so a single exporter pass can answer "what has
+this process done" — the software counterpart of the cycle ledgers the
+PiCoGA model keeps per array.  Design constraints, in order:
+
+* **zero dependencies** — stdlib only, importable from anywhere in the
+  package without cycles;
+* **near-zero overhead when disabled** — every mutating call checks one
+  boolean attribute and returns, so instrumented code pays a branch, not
+  a lock, when telemetry is off;
+* **bounded label cardinality** — each metric family caps its distinct
+  label sets (default :data:`MAX_LABEL_SETS`); once full, unseen label
+  sets collapse into a shared ``__overflow__`` child and are counted in
+  ``dropped_label_sets`` rather than growing memory without bound.
+
+Naming follows Prometheus conventions (counters end in ``_total``,
+histograms get ``_bucket``/``_sum``/``_count`` series at export time) so
+:func:`repro.telemetry.export.render_prometheus` is a direct rendering.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+MAX_LABEL_SETS = 64
+OVERFLOW_LABEL = "__overflow__"
+
+#: Latency-flavored default bucket upper bounds, in seconds.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class _Child:
+    """One (metric family, label set) time series."""
+
+    __slots__ = ("_registry", "_lock")
+
+    def __init__(self, registry: "MetricsRegistry"):
+        self._registry = registry
+        self._lock = threading.Lock()
+
+
+class Counter(_Child):
+    """Monotonically increasing count."""
+
+    __slots__ = ("_value",)
+    kind = "counter"
+
+    def __init__(self, registry: "MetricsRegistry"):
+        super().__init__(registry)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if not self._registry._enabled:
+            return
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge(_Child):
+    """A value that can go up and down (open streams, buffered bits)."""
+
+    __slots__ = ("_value",)
+    kind = "gauge"
+
+    def __init__(self, registry: "MetricsRegistry"):
+        super().__init__(registry)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        if not self._registry._enabled:
+            return
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        if not self._registry._enabled:
+            return
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram(_Child):
+    """Fixed-bucket distribution with Prometheus ``le`` edge semantics.
+
+    ``observe(v)`` lands in the first bucket whose upper bound is ``>= v``
+    (a value exactly on an edge belongs to that edge's bucket); values
+    above the last edge land in the implicit ``+Inf`` bucket.
+    """
+
+    __slots__ = ("_edges", "_counts", "_sum", "_count")
+    kind = "histogram"
+
+    def __init__(self, registry: "MetricsRegistry", edges: Sequence[float]):
+        super().__init__(registry)
+        self._edges = tuple(float(e) for e in edges)
+        if list(self._edges) != sorted(set(self._edges)):
+            raise ValueError("histogram bucket edges must be strictly increasing")
+        self._counts = [0] * (len(self._edges) + 1)  # last slot = +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        if not self._registry._enabled:
+            return
+        idx = bisect_left(self._edges, value)
+        with self._lock:
+            self._counts[idx] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def edges(self) -> Tuple[float, ...]:
+        return self._edges
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def total(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def bucket_counts(self) -> List[int]:
+        """Raw (non-cumulative) per-bucket counts; last entry is +Inf."""
+        with self._lock:
+            return list(self._counts)
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, +Inf last."""
+        with self._lock:
+            out, running = [], 0
+            for edge, c in zip(self._edges, self._counts):
+                running += c
+                out.append((edge, running))
+            out.append((float("inf"), running + self._counts[-1]))
+            return out
+
+
+_CHILD_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricFamily:
+    """A named metric plus its per-label-set children.
+
+    Label-less families delegate the child API (``inc``/``set``/
+    ``observe``/``value``/…) straight to their single default child, so
+    ``registry.counter("x_total").inc()`` works without a ``labels()``
+    hop.
+    """
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        kind: str,
+        help: str = "",
+        label_names: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+        max_label_sets: int = MAX_LABEL_SETS,
+    ):
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.label_names = tuple(label_names)
+        self._registry = registry
+        self._buckets = tuple(float(b) for b in buckets) if buckets is not None else None
+        if self._buckets is not None and list(self._buckets) != sorted(set(self._buckets)):
+            raise ValueError("histogram bucket edges must be strictly increasing")
+        self._max_label_sets = max_label_sets
+        self._lock = threading.Lock()
+        self._children: "Dict[Tuple[str, ...], _Child]" = {}
+        self.dropped_label_sets = 0
+
+    # ------------------------------------------------------------------
+    def _new_child(self) -> _Child:
+        if self.kind == "histogram":
+            return Histogram(self._registry, self._buckets or DEFAULT_BUCKETS)
+        return _CHILD_KINDS[self.kind](self._registry)
+
+    def labels(self, **labels: str):
+        """The child for one label set, created (or capped) on first use."""
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"{self.name} expects labels {self.label_names}, got {tuple(labels)}"
+            )
+        key = tuple(str(labels[n]) for n in self.label_names)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                if len(self._children) >= max(self._max_label_sets, 1) and not all(
+                    v == OVERFLOW_LABEL for v in key
+                ):
+                    self.dropped_label_sets += 1
+                    key = (OVERFLOW_LABEL,) * len(self.label_names)
+                    child = self._children.get(key)
+                if child is None:
+                    child = self._children[key] = self._new_child()
+            return child
+
+    def samples(self) -> List[Tuple[Dict[str, str], _Child]]:
+        """``(label dict, child)`` pairs, insertion order."""
+        with self._lock:
+            items = list(self._children.items())
+        return [(dict(zip(self.label_names, key)), child) for key, child in items]
+
+    # Delegate the child API for label-less families.
+    def __getattr__(self, item: str):
+        if not self.label_names:
+            return getattr(self.labels(), item)
+        raise AttributeError(
+            f"{self.name!r} is labeled by {self.label_names}; call .labels(...) first"
+        )
+
+
+class MetricsRegistry:
+    """Process-wide, thread-safe collection of metric families."""
+
+    def __init__(self, enabled: bool = True, max_label_sets: int = MAX_LABEL_SETS):
+        self._enabled = enabled
+        self._max_label_sets = max_label_sets
+        self._lock = threading.Lock()
+        self._families: "Dict[str, MetricFamily]" = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self) -> None:
+        self._enabled = True
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    def set_enabled(self, flag: bool) -> None:
+        self._enabled = bool(flag)
+
+    # ------------------------------------------------------------------
+    def _family(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        labels: Sequence[str],
+        buckets: Optional[Sequence[float]] = None,
+    ) -> MetricFamily:
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None:
+                if family.kind != kind or family.label_names != tuple(labels):
+                    raise ValueError(
+                        f"metric {name!r} already registered as {family.kind}"
+                        f"{family.label_names}, requested {kind}{tuple(labels)}"
+                    )
+                return family
+            family = MetricFamily(
+                self, name, kind, help=help, label_names=labels,
+                buckets=buckets, max_label_sets=self._max_label_sets,
+            )
+            self._families[name] = family
+            return family
+
+    def counter(self, name: str, help: str = "", labels: Sequence[str] = ()) -> MetricFamily:
+        return self._family(name, "counter", help, labels)
+
+    def gauge(self, name: str, help: str = "", labels: Sequence[str] = ()) -> MetricFamily:
+        return self._family(name, "gauge", help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> MetricFamily:
+        return self._family(name, "histogram", help, labels, buckets=buckets)
+
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> Optional[MetricFamily]:
+        with self._lock:
+            return self._families.get(name)
+
+    def families(self) -> List[MetricFamily]:
+        with self._lock:
+            return [self._families[n] for n in sorted(self._families)]
+
+    def reset(self) -> None:
+        """Drop every family (and its values).  Instrument sites holding a
+        family reference keep working: re-registration under the same name
+        recreates it, but references obtained *before* the reset publish
+        into orphaned families — prefer resetting only in tests/CLI."""
+        with self._lock:
+            self._families.clear()
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, dict]:
+        """JSON-able dump of every family, sufficient to rebuild exactly."""
+        out: Dict[str, dict] = {}
+        for family in self.families():
+            samples = []
+            for label_dict, child in family.samples():
+                if family.kind == "histogram":
+                    samples.append({
+                        "labels": label_dict,
+                        "count": child.count,
+                        "sum": child.total,
+                        "edges": list(child.edges),
+                        "bucket_counts": child.bucket_counts(),
+                    })
+                else:
+                    samples.append({"labels": label_dict, "value": child.value})
+            entry = {
+                "kind": family.kind,
+                "help": family.help,
+                "labels": list(family.label_names),
+                "samples": samples,
+            }
+            if family.kind == "histogram":
+                entry["buckets"] = list(family._buckets or DEFAULT_BUCKETS)
+            out[family.name] = entry
+        return out
+
+    def restore(self, snapshot: Mapping[str, dict]) -> None:
+        """Merge a :meth:`snapshot` back in (used by the JSONL importer)."""
+        for name, fam in snapshot.items():
+            kind, labels = fam["kind"], fam.get("labels", [])
+            help_text = fam.get("help", "")
+            if kind == "histogram":
+                family = self.histogram(
+                    name, help_text, labels,
+                    buckets=fam.get("buckets", DEFAULT_BUCKETS),
+                )
+            elif kind == "counter":
+                family = self.counter(name, help_text, labels)
+            else:
+                family = self.gauge(name, help_text, labels)
+            for sample in fam.get("samples", []):
+                child = family.labels(**sample.get("labels", {}))
+                if kind == "histogram":
+                    with child._lock:
+                        child._counts = list(sample["bucket_counts"])
+                        child._sum = float(sample["sum"])
+                        child._count = int(sample["count"])
+                else:
+                    with child._lock:
+                        child._value = float(sample["value"])
+
+
+_DEFAULT_REGISTRY = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide shared registry all built-in instrumentation uses."""
+    return _DEFAULT_REGISTRY

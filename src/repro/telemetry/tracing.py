@@ -1,0 +1,152 @@
+"""Nestable wall-clock spans with a bounded in-memory trace buffer.
+
+A :class:`Tracer` records how long named regions take and how they nest
+— ``dream.execute_crc`` inside ``cli.perf``, compile inside execute —
+the software analogue of the pipeline occupancy traces
+:mod:`repro.picoga.trace` draws for the array.  Spans are per-thread
+(nesting follows each thread's own call stack) and finished roots land
+in a bounded buffer, so a long-running process can leave tracing on
+without unbounded growth.
+
+The default tracer starts **disabled**: ``span()`` then costs one flag
+check and yields ``None``.  The CLI's ``--telemetry`` flag (and tests)
+enable it explicitly.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Dict, Iterator, List, Optional, Sequence
+
+
+@dataclass
+class Span:
+    """One finished (or in-flight) timed region."""
+
+    name: str
+    attributes: Dict[str, object] = field(default_factory=dict)
+    start: float = 0.0  # perf_counter seconds; meaningful only relatively
+    duration: float = 0.0
+    children: List["Span"] = field(default_factory=list)
+
+    @property
+    def duration_ms(self) -> float:
+        return self.duration * 1e3
+
+    def subtree_size(self) -> int:
+        return 1 + sum(child.subtree_size() for child in self.children)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "attributes": dict(self.attributes),
+            "duration_s": self.duration,
+            "children": [c.to_dict() for c in self.children],
+        }
+
+
+class Tracer:
+    """Collects spans per thread; finished roots go to a bounded buffer."""
+
+    def __init__(self, max_spans: int = 4096, max_roots: int = 256, enabled: bool = False):
+        if max_spans < 1 or max_roots < 1:
+            raise ValueError("span buffer bounds must be >= 1")
+        self._enabled = enabled
+        self._max_spans = max_spans
+        self._roots: "deque[Span]" = deque()
+        self._max_roots = max_roots
+        self._stored = 0
+        self.dropped = 0
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self) -> None:
+        self._enabled = True
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def span(self, name: str, **attributes: object) -> Iterator[Optional[Span]]:
+        """Time a region; nests under the thread's innermost open span."""
+        if not self._enabled:
+            yield None
+            return
+        stack: List[Span] = getattr(self._local, "stack", None) or []
+        self._local.stack = stack
+        sp = Span(name=name, attributes=attributes, start=perf_counter())
+        stack.append(sp)
+        try:
+            yield sp
+        finally:
+            sp.duration = perf_counter() - sp.start
+            stack.pop()
+            if stack:
+                stack[-1].children.append(sp)
+            else:
+                self._record_root(sp)
+
+    def _record_root(self, sp: Span) -> None:
+        size = sp.subtree_size()
+        with self._lock:
+            if self._stored + size > self._max_spans:
+                self.dropped += size
+                return
+            self._roots.append(sp)
+            self._stored += size
+            while len(self._roots) > self._max_roots:
+                evicted = self._roots.popleft()
+                self._stored -= evicted.subtree_size()
+
+    # ------------------------------------------------------------------
+    def roots(self) -> List[Span]:
+        with self._lock:
+            return list(self._roots)
+
+    @property
+    def span_count(self) -> int:
+        """Spans currently held in the buffer (all depths)."""
+        with self._lock:
+            return self._stored
+
+    def clear(self) -> None:
+        with self._lock:
+            self._roots.clear()
+            self._stored = 0
+            self.dropped = 0
+
+
+def format_span_tree(roots: Sequence[Span], indent: str = "  ") -> str:
+    """ASCII rendering of finished span trees, one line per span."""
+    if not roots:
+        return "(no spans recorded)"
+    lines: List[str] = []
+
+    def walk(sp: Span, depth: int) -> None:
+        attrs = " ".join(f"{k}={v}" for k, v in sp.attributes.items())
+        suffix = f"  [{attrs}]" if attrs else ""
+        lines.append(f"{indent * depth}{sp.name}  {sp.duration_ms:.3f} ms{suffix}")
+        for child in sp.children:
+            walk(child, depth + 1)
+
+    for root in roots:
+        walk(root, 0)
+    return "\n".join(lines)
+
+
+_DEFAULT_TRACER = Tracer()
+
+
+def default_tracer() -> Tracer:
+    """The process-wide shared tracer (disabled until explicitly enabled)."""
+    return _DEFAULT_TRACER

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cli import main
+from repro.telemetry import MetricsRegistry, default_tracer, write_json_lines
 
 
 class TestStandards:
@@ -91,3 +92,69 @@ class TestPerfCommand:
         out = capsys.readouterr().out
         assert "interleaved" in out
         assert "12144" in out
+
+
+@pytest.fixture
+def snapshot_env(tmp_path, monkeypatch):
+    """Point the telemetry snapshot at a temp file and restore the default
+    tracer afterward (``--telemetry`` leaves it enabled for the process)."""
+    path = tmp_path / "telemetry.jsonl"
+    monkeypatch.setenv("REPRO_TELEMETRY_PATH", str(path))
+    tracer = default_tracer()
+    was_enabled = tracer.enabled
+    yield path
+    tracer.clear()
+    if not was_enabled:
+        tracer.disable()
+
+
+class TestStatsCommand:
+    def test_reads_snapshot_as_prometheus(self, snapshot_env, capsys):
+        reg = MetricsRegistry()
+        reg.counter("demo_total", "demo counter").inc(3)
+        write_json_lines(reg, snapshot_env)
+        assert main(["stats", "--format", "prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE demo_total counter" in out
+        assert "demo_total 3" in out
+
+    def test_reads_snapshot_as_json(self, snapshot_env, capsys):
+        reg = MetricsRegistry()
+        reg.gauge("demo_gauge").set(7)
+        write_json_lines(reg, snapshot_env)
+        assert main(["stats"]) == 0
+        out = capsys.readouterr().out
+        assert '"demo_gauge"' in out and '"value": 7.0' in out
+
+    def test_empty_snapshot_prometheus_placeholder(self, snapshot_env, capsys):
+        write_json_lines(MetricsRegistry(), snapshot_env)
+        assert main(["stats", "--format", "prometheus"]) == 0
+        assert "# (no metrics recorded)" in capsys.readouterr().out
+
+    def test_explicit_input_path(self, tmp_path, capsys):
+        reg = MetricsRegistry()
+        reg.counter("explicit_total").inc()
+        path = write_json_lines(reg, tmp_path / "snap.jsonl")
+        assert main(["stats", "--input", str(path), "--format", "prometheus"]) == 0
+        assert "explicit_total 1" in capsys.readouterr().out
+
+
+class TestTelemetryFlag:
+    def test_crc_prints_span_tree_and_writes_snapshot(self, snapshot_env, capsys):
+        assert main(["crc", "--telemetry"]) == 0
+        out = capsys.readouterr().out
+        assert "0xCBF43926" in out
+        assert "telemetry spans:" in out
+        assert "cli.crc" in out
+        assert snapshot_env.exists()
+
+    def test_batch_bench_snapshot_feeds_stats(self, snapshot_env, capsys):
+        assert main([
+            "batch-bench", "--batch", "8", "--bytes", "8",
+            "--baseline-sample", "4", "--repeats", "1", "--telemetry",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["stats", "--format", "prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "engine_compile_cache_lookups_total" in out
+        assert "engine_batch_throughput_mbps_count" in out

@@ -1,0 +1,344 @@
+"""Unit contract of :mod:`repro.telemetry` — registry, spans, exporters.
+
+Uses private :class:`MetricsRegistry`/:class:`Tracer` instances throughout
+so the process-wide defaults (shared with the instrumented engine code)
+are never perturbed.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.telemetry import (
+    BenchReport,
+    MetricsRegistry,
+    Tracer,
+    format_span_tree,
+    instrumented,
+    parse_json_lines,
+    record_activity_report,
+    record_burst_utilization,
+    render_prometheus,
+    to_json_lines,
+)
+from repro.telemetry.registry import OVERFLOW_LABEL
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+class TestCounter:
+    def test_inc_and_value(self):
+        reg = MetricsRegistry()
+        c = reg.counter("requests_total", "requests")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("x_total").inc(-1)
+
+    def test_disabled_registry_is_a_noop(self):
+        reg = MetricsRegistry(enabled=False)
+        c = reg.counter("x_total")
+        c.inc(100)
+        assert c.value == 0
+        reg.enable()
+        c.inc()
+        assert c.value == 1
+
+    def test_concurrent_increments_are_exact(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x_total")
+
+        def worker():
+            for _ in range(2000):
+                c.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 16000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("open_streams")
+        g.set(5)
+        g.inc(3)
+        g.dec(2)
+        assert g.value == 6
+
+
+class TestLabels:
+    def test_children_are_distinct_series(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("lookups_total", labels=("result",))
+        fam.labels(result="hit").inc(3)
+        fam.labels(result="miss").inc()
+        assert fam.labels(result="hit").value == 3
+        assert fam.labels(result="miss").value == 1
+
+    def test_same_label_set_is_same_child(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("x_total", labels=("a", "b"))
+        assert fam.labels(a="1", b="2") is fam.labels(b="2", a="1")
+
+    def test_wrong_label_names_rejected(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("x_total", labels=("a",))
+        with pytest.raises(ValueError):
+            fam.labels(b="1")
+
+    def test_kind_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total")
+        with pytest.raises(ValueError):
+            reg.gauge("x_total")
+
+    def test_reregistration_is_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x_total") is reg.counter("x_total")
+
+    def test_cardinality_bound_collapses_to_overflow(self):
+        reg = MetricsRegistry(max_label_sets=4)
+        fam = reg.counter("x_total", labels=("id",))
+        for i in range(10):
+            fam.labels(id=str(i)).inc()
+        samples = fam.samples()
+        assert len(samples) == 5  # 4 real children + the shared overflow child
+        assert fam.dropped_label_sets == 6
+        overflow = [s for labels, s in samples if labels["id"] == OVERFLOW_LABEL]
+        assert len(overflow) == 1 and overflow[0].value == 6
+        # Bounded: further unseen labels keep landing on the same child.
+        fam.labels(id="zzz").inc()
+        assert len(fam.samples()) == 5
+
+
+class TestHistogram:
+    def test_bucket_edges_use_le_semantics(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(1.0, 2.0, 5.0))
+        h.observe(1.0)   # exactly on an edge -> that edge's bucket
+        h.observe(0.5)   # below first edge -> first bucket
+        h.observe(2.0)   # exactly on second edge
+        h.observe(3.0)   # between 2 and 5
+        h.observe(99.0)  # above the last edge -> +Inf bucket
+        assert h.bucket_counts() == [2, 1, 1, 1]
+        assert h.count == 5
+        assert h.total == pytest.approx(105.5)
+        assert h.cumulative() == [(1.0, 2), (2.0, 3), (5.0, 4), (float("inf"), 5)]
+
+    def test_unsorted_buckets_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.histogram("h", buckets=(2.0, 1.0))
+
+    def test_disabled_observe_is_noop(self):
+        reg = MetricsRegistry(enabled=False)
+        h = reg.histogram("h", buckets=(1.0,))
+        h.observe(0.5)
+        assert h.count == 0
+
+
+# ----------------------------------------------------------------------
+# Tracing
+# ----------------------------------------------------------------------
+class TestTracer:
+    def test_disabled_by_default_yields_none(self):
+        tr = Tracer()
+        with tr.span("x") as sp:
+            assert sp is None
+        assert tr.roots() == []
+
+    def test_span_nesting(self):
+        tr = Tracer(enabled=True)
+        with tr.span("outer", kind="root"):
+            with tr.span("inner-1"):
+                with tr.span("leaf"):
+                    pass
+            with tr.span("inner-2"):
+                pass
+        roots = tr.roots()
+        assert [r.name for r in roots] == ["outer"]
+        outer = roots[0]
+        assert [c.name for c in outer.children] == ["inner-1", "inner-2"]
+        assert [c.name for c in outer.children[0].children] == ["leaf"]
+        assert outer.attributes == {"kind": "root"}
+        # Wall-clock sanity: a parent covers its children.
+        assert outer.duration >= outer.children[0].duration
+        assert tr.span_count == 4
+
+    def test_buffer_bound_drops_excess(self):
+        tr = Tracer(max_spans=3, max_roots=100, enabled=True)
+        for i in range(5):
+            with tr.span(f"s{i}"):
+                pass
+        assert tr.span_count == 3
+        assert tr.dropped == 2
+
+    def test_root_bound_evicts_oldest(self):
+        tr = Tracer(max_spans=1000, max_roots=2, enabled=True)
+        for i in range(4):
+            with tr.span(f"s{i}"):
+                pass
+        assert [r.name for r in tr.roots()] == ["s2", "s3"]
+
+    def test_format_tree(self):
+        tr = Tracer(enabled=True)
+        with tr.span("parent", M=32):
+            with tr.span("child"):
+                pass
+        text = format_span_tree(tr.roots())
+        lines = text.splitlines()
+        assert lines[0].startswith("parent") and "M=32" in lines[0]
+        assert lines[1].startswith("  child")
+        assert format_span_tree([]) == "(no spans recorded)"
+
+    def test_clear(self):
+        tr = Tracer(enabled=True)
+        with tr.span("x"):
+            pass
+        tr.clear()
+        assert tr.roots() == [] and tr.span_count == 0
+
+
+# ----------------------------------------------------------------------
+# Exporters
+# ----------------------------------------------------------------------
+def _populated_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("hits_total", "hits", labels=("result",)).labels(result="hit").inc(7)
+    reg.gauge("open_streams", "streams").set(3)
+    h = reg.histogram("latency_seconds", "latency", buckets=(0.1, 1.0))
+    h.observe(0.05)
+    h.observe(0.5)
+    h.observe(5.0)
+    reg.counter("untouched_total", "registered but never incremented")
+    return reg
+
+
+class TestJsonLines:
+    def test_round_trip_is_exact(self):
+        reg = _populated_registry()
+        restored = parse_json_lines(to_json_lines(reg))
+        assert restored.snapshot() == reg.snapshot()
+
+    def test_lines_are_individually_parseable(self):
+        for line in to_json_lines(_populated_registry()).strip().splitlines():
+            json.loads(line)
+
+    def test_schema_header_checked(self):
+        with pytest.raises(ValueError):
+            parse_json_lines('{"schema": "other/9"}\n')
+
+
+class TestPrometheus:
+    def test_exposition_format(self):
+        text = render_prometheus(_populated_registry())
+        assert '# TYPE hits_total counter' in text
+        assert 'hits_total{result="hit"} 7' in text
+        assert '# TYPE open_streams gauge' in text
+        assert 'open_streams 3' in text
+        assert '# TYPE latency_seconds histogram' in text
+        assert 'latency_seconds_bucket{le="0.1"} 1' in text
+        assert 'latency_seconds_bucket{le="1"} 2' in text
+        assert 'latency_seconds_bucket{le="+Inf"} 3' in text
+        assert 'latency_seconds_count 3' in text
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", labels=("p",)).labels(p='a"b\\c\nd').inc()
+        text = render_prometheus(reg)
+        assert r'x_total{p="a\"b\\c\nd"} 1' in text
+
+
+class TestBenchReport:
+    def test_write_and_load(self, tmp_path):
+        report = BenchReport(
+            name="demo",
+            title="demo bench",
+            params={"M": 32},
+            metrics={"rate": 123.4},
+            series={"curve": {"128": 1.0, "256": 2.0}},
+        )
+        path = report.write(tmp_path)
+        assert path == tmp_path / "demo.json"
+        data = json.loads(path.read_text())
+        assert data["schema"] == "repro-bench/1"
+        assert data["created_unix"] > 0
+        assert data["environment"]["python"]
+        loaded = BenchReport.load(path)
+        assert loaded == report
+
+    def test_load_rejects_other_schemas(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": "nope/1", "name": "bad"}')
+        with pytest.raises(ValueError):
+            BenchReport.load(path)
+
+
+# ----------------------------------------------------------------------
+# Instrumentation hooks
+# ----------------------------------------------------------------------
+class TestInstrumented:
+    def test_counts_times_and_traces(self):
+        reg = MetricsRegistry()
+        tr = Tracer(enabled=True)
+
+        @instrumented(name="work", registry=reg, tracer=tr)
+        def work(x):
+            return x + 1
+
+        assert work(1) == 2
+        assert work(2) == 3
+        assert reg.get("work_calls_total").value == 2
+        assert reg.get("work_seconds").count == 2
+        assert [r.name for r in tr.roots()] == ["work", "work"]
+
+    def test_fully_disabled_short_circuits(self):
+        reg = MetricsRegistry(enabled=False)
+        tr = Tracer(enabled=False)
+
+        @instrumented(name="work", registry=reg, tracer=tr)
+        def work():
+            return 42
+
+        assert work() == 42
+        assert reg.get("work_calls_total").value == 0
+        assert tr.roots() == []
+
+
+class TestBridges:
+    def test_burst_utilization_matches_trace(self):
+        from repro.picoga.trace import trace_burst
+        from repro.mapping import map_crc
+        from repro.crc import ETHERNET_CRC32
+
+        reg = MetricsRegistry()
+        op = map_crc(ETHERNET_CRC32, 8).update_op
+        trace = trace_burst(op, 6)
+        record_burst_utilization(
+            op.name, op.n_rows, op.initiation_interval, 6, registry=reg
+        )
+        gauge = reg.get("picoga_pipeline_utilization").labels(op=op.name)
+        assert gauge.value == pytest.approx(trace.utilization())
+        assert reg.get("picoga_blocks_issued_total").labels(op=op.name).value == 6
+        assert reg.get("picoga_burst_cycles_total").labels(op=op.name).value == trace.cycles
+
+    def test_activity_report_bridge(self):
+        from repro.picoga.activity import ActivityReport
+
+        reg = MetricsRegistry()
+        report = ActivityReport(
+            blocks=4, cell_evaluations=100, cell_toggles=40, output_toggles=10
+        )
+        record_activity_report("op1", report, registry=reg)
+        assert reg.get("picoga_cell_toggles_total").labels(op="op1").value == 40
+        assert reg.get("picoga_activity_factor").labels(op="op1").value == pytest.approx(0.4)
