@@ -14,6 +14,11 @@ Package map
 ``repro.dream``      DREAM system model (RISC control + PiCoGA execution).
 ``repro.baselines``  Software-CRC, ASIC (UCRC) and theory baselines.
 ``repro.analysis``   Throughput / speed-up / energy reporting helpers.
+``repro.engine``     Batch/streaming execution layer with a compile cache.
+``repro.telemetry``  Metrics registry, span tracing, exporters.
+``repro.errors``     Typed exception taxonomy rooted at ``ReproError``.
+``repro.validation`` Argument checking shared by every public entry point.
+``repro.verify``     Cross-engine differential fuzzing and shrinking.
 """
 
 __version__ = "1.0.0"

@@ -241,6 +241,27 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.verify import run_fuzz
+
+    seconds = args.seconds
+    if seconds is None and args.cases is None:
+        seconds = 5.0
+    report = run_fuzz(
+        seed=args.seed,
+        seconds=seconds,
+        max_cases=args.cases,
+        max_failures=args.max_failures,
+        shrink_failures=not args.no_shrink,
+    )
+    for line in report.summary_lines():
+        print(line)
+    if args.json:
+        report.save(args.json)
+        print(f"report written to {args.json}")
+    return 0 if report.ok else 1
+
+
 def _run_with_telemetry(args: argparse.Namespace) -> int:
     """Enable metrics + tracing, run the command, print the span tree and
     persist the registry snapshot for a later ``stats`` invocation."""
@@ -323,6 +344,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--telemetry", action="store_true",
                    help="trace the run and snapshot the metrics registry")
     p.set_defaults(func=cmd_batch_bench)
+
+    p = sub.add_parser(
+        "fuzz", help="cross-check all engines with differential fuzzing"
+    )
+    p.add_argument("--seconds", type=float, default=None,
+                   help="wall-clock budget (default: 5s unless --cases given)")
+    p.add_argument("--cases", type=int, default=None,
+                   help="case budget (combined with --seconds: first exhausted wins)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="generator seed; same seed + --cases replays exactly")
+    p.add_argument("--json", metavar="PATH",
+                   help="write the machine-readable report to PATH")
+    p.add_argument("--max-failures", type=int, default=5,
+                   help="stop after this many confirmed mismatches")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="skip minimizing failing cases")
+    p.add_argument("--telemetry", action="store_true",
+                   help="trace the run and snapshot the metrics registry")
+    p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser("stats", help="dump the telemetry registry")
     p.add_argument("--format", choices=("json", "prometheus"), default="json")

@@ -53,4 +53,7 @@ class BitwiseCRC:
 
     def compute_bits(self, bits: Iterable[int]) -> int:
         """CRC of a raw bit stream (already in transmission order)."""
-        return self._spec.finalize(self.process_bits(self._spec.init, bits))
+        from repro.validation import check_bits
+
+        checked = check_bits(list(bits), what="bits")
+        return self._spec.finalize(self.process_bits(self._spec.init, checked.tolist()))

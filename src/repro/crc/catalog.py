@@ -111,4 +111,8 @@ def get(name: str) -> CRCSpec:
     try:
         return BY_NAME[name]
     except KeyError:
-        raise KeyError(f"unknown CRC standard {name!r}; known: {sorted(BY_NAME)}") from None
+        from repro.errors import SpecError
+
+        raise SpecError(
+            f"unknown CRC standard {name!r}; known: {sorted(BY_NAME)}"
+        ) from None

@@ -28,16 +28,15 @@ from repro.crc.spec import CRCSpec
 from repro.lfsr.statespace import LFSRStateSpace, crc_statespace
 from repro.lfsr.lookahead import LookaheadSystem, expand_lookahead
 from repro.lfsr.transform import DerbyTransform, derby_transform
+from repro.validation import check_factor
 
 
 class _MatrixCRCBase:
     """Shared spec plumbing for the matrix engines."""
 
     def __init__(self, spec: CRCSpec, M: int):
-        if M < 1:
-            raise ValueError("look-ahead factor M must be >= 1")
         self._spec = spec
-        self._M = M
+        self._M = check_factor(M, what="look-ahead factor M")
         self._statespace = crc_statespace(spec.generator())
         self._serial = BitwiseCRC(spec)
 

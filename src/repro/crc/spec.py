@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro.errors import SpecError, ValidationError
 from repro.gf2.bits import bytes_to_bits, reflect_bits
 from repro.gf2.polynomial import GF2Polynomial
 
@@ -59,14 +60,14 @@ class CRCSpec:
 
     def __post_init__(self):
         if self.width < 1:
-            raise ValueError("width must be >= 1")
+            raise SpecError("width must be >= 1")
         mask = self.mask
         for field_name in ("poly", "init", "xorout"):
             value = getattr(self, field_name)
             if not 0 <= value <= mask:
-                raise ValueError(f"{field_name} {value:#x} does not fit in {self.width} bits")
+                raise SpecError(f"{field_name} {value:#x} does not fit in {self.width} bits")
         if self.check is not None and not 0 <= self.check <= mask:
-            raise ValueError(f"check {self.check:#x} does not fit in {self.width} bits")
+            raise SpecError(f"check {self.check:#x} does not fit in {self.width} bits")
 
     # ------------------------------------------------------------------
     @property
@@ -88,12 +89,16 @@ class CRCSpec:
     # ------------------------------------------------------------------
     def message_bits(self, data: bytes) -> List[int]:
         """The serial input bit stream for ``data`` under this spec."""
-        return bytes_to_bits(data, reflect=self.refin)
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            raise ValidationError(
+                f"message must be bytes-like, got {type(data).__name__}"
+            )
+        return bytes_to_bits(bytes(data), reflect=self.refin)
 
     def finalize(self, register: int) -> int:
         """Map the raw register value to the published CRC value."""
         if not 0 <= register <= self.mask:
-            raise ValueError(f"register {register:#x} outside {self.width} bits")
+            raise ValidationError(f"register {register:#x} outside {self.width} bits")
         if self.refout:
             register = reflect_bits(register, self.width)
         return register ^ self.xorout

@@ -30,9 +30,17 @@ import numpy as np
 
 from repro.crc.spec import CRCSpec
 from repro.engine.cache import CompileCache, default_cache
+from repro.errors import SpecError
 from repro.gf2.polynomial import GF2Polynomial
 from repro.scrambler.specs import ScramblerSpec
 from repro.telemetry import default_registry
+from repro.validation import (
+    check_bit_streams,
+    check_factor,
+    check_messages,
+    check_method,
+    check_register_list,
+)
 
 WORD_BITS = 64
 
@@ -133,13 +141,9 @@ class BatchCRC:
         method: str = "lookahead",
         cache: Optional[CompileCache] = None,
     ):
-        if M < 1:
-            raise ValueError("look-ahead factor M must be >= 1")
-        if method not in ("lookahead", "derby"):
-            raise ValueError("method must be 'lookahead' or 'derby'")
         self._spec = spec
-        self._M = M
-        self._method = method
+        self._M = check_factor(M, what="look-ahead factor M")
+        self._method = check_method(method)
         self._cache = cache if cache is not None else default_cache()
         if method == "derby":
             dt = self._cache.derby(spec, M)
@@ -191,17 +195,18 @@ class BatchCRC:
 
     def raw_registers_bits(self, bit_streams: Sequence[Sequence[int]]) -> List[int]:
         """Raw (pre-finalize) registers for raw bit streams of any lengths."""
-        batch = len(bit_streams)
+        checked = check_bit_streams(bit_streams)
+        batch = len(checked)
         if batch == 0:
             return []
         telemetry = _REGISTRY.enabled
         t0 = perf_counter() if telemetry else 0.0
-        lengths = [len(bits) for bits in bit_streams]
+        lengths = [len(bits) for bits in checked]
         padded_len = self._padded_length(max(lengths))
         stream = np.zeros((padded_len, batch), dtype=np.uint8)
-        for b, bits in enumerate(bit_streams):
+        for b, bits in enumerate(checked):
             if lengths[b]:
-                stream[padded_len - lengths[b] :, b] = np.asarray(bits, dtype=np.uint8)
+                stream[padded_len - lengths[b] :, b] = bits
         registers = self._raw_from_stream(stream, lengths)
         if telemetry:
             _observe_kernel(f"crc-{self._method}", sum(lengths), perf_counter() - t0)
@@ -218,6 +223,7 @@ class BatchCRC:
         spec's per-byte reflection), and equal-length batches expand in one
         reshaped call — this is the production hot path.
         """
+        messages = check_messages(messages)
         batch = len(messages)
         if batch == 0:
             return []
@@ -267,10 +273,8 @@ class BatchAdditiveScrambler:
         M: int,
         cache: Optional[CompileCache] = None,
     ):
-        if M < 1:
-            raise ValueError("block factor M must be >= 1")
         self._spec = spec
-        self._M = M
+        self._M = check_factor(M, what="block factor M")
         self._cache = cache if cache is not None else default_cache()
         A_M, Y = self._cache.scrambler_block(spec, M)
         self._A = A_M.to_array()
@@ -286,11 +290,15 @@ class BatchAdditiveScrambler:
         return self._M
 
     # ------------------------------------------------------------------
-    def _initial_state(self, batch: int, seeds: Optional[Sequence[int]]) -> np.ndarray:
+    def _check_seeds(self, batch: int, seeds: Optional[Sequence[int]]) -> List[int]:
+        """Validated per-stream seeds (spec default when omitted)."""
         if seeds is None:
-            seeds = [self._spec.seed] * batch
-        if len(seeds) != batch:
-            raise ValueError(f"need {batch} seeds, got {len(seeds)}")
+            return [self._spec.seed] * batch
+        return check_register_list(
+            seeds, batch, self._ss.order, what="seeds", allow_zero=False
+        )
+
+    def _initial_state(self, seeds: Sequence[int]) -> np.ndarray:
         cols = [self._ss.state_from_int(s) for s in seeds]
         return pack_bits(np.stack(cols, axis=1))
 
@@ -298,7 +306,7 @@ class BatchAdditiveScrambler:
         """``(nbits, batch)`` keystream bits, one column per stream."""
         telemetry = _REGISTRY.enabled
         t0 = perf_counter() if telemetry else 0.0
-        state = self._initial_state(batch, seeds)
+        state = self._initial_state(self._check_seeds(batch, seeds))
         blocks = -(-nbits // self._M) if nbits else 0
         out = np.zeros((blocks * self._M, state.shape[1]), dtype=np.uint64)
         for i in range(blocks):
@@ -313,18 +321,22 @@ class BatchAdditiveScrambler:
         bit_streams: Sequence[Sequence[int]],
         seeds: Optional[Sequence[int]] = None,
     ) -> List[List[int]]:
-        batch = len(bit_streams)
+        # Validate arguments *before* any early return, so an invalid seed
+        # list is rejected even when every stream happens to be empty.
+        checked = check_bit_streams(bit_streams)
+        batch = len(checked)
+        seeds = self._check_seeds(batch, seeds)
         if batch == 0:
             return []
-        lengths = [len(bits) for bits in bit_streams]
+        lengths = [len(bits) for bits in checked]
         longest = max(lengths)
         if longest == 0:
-            return [[] for _ in bit_streams]
+            return [[] for _ in checked]
         # Tail padding is safe here: the keystream never depends on the data.
         data = np.zeros((longest, batch), dtype=np.uint8)
-        for b, bits in enumerate(bit_streams):
+        for b, bits in enumerate(checked):
             if lengths[b]:
-                data[: lengths[b], b] = np.asarray(bits, dtype=np.uint8)
+                data[: lengths[b], b] = bits
         ks = self.keystream_batch(longest, batch, seeds)
         out = data ^ ks
         return [out[: lengths[b], b].tolist() for b in range(batch)]
@@ -349,7 +361,7 @@ class BatchMultiplicativeScrambler:
 
     def __init__(self, poly: GF2Polynomial):
         if poly.degree < 1:
-            raise ValueError("polynomial degree must be >= 1")
+            raise SpecError("polynomial degree must be >= 1")
         self._poly = poly
         self._k = poly.degree
         # Delay positions, as in the serial engine: exponent t reads the
@@ -363,15 +375,17 @@ class BatchMultiplicativeScrambler:
         return self._poly
 
     # ------------------------------------------------------------------
-    def _delay_lines(self, batch: int, states: Optional[Sequence[int]]) -> deque:
+    def _check_states(self, batch: int, states: Optional[Sequence[int]]) -> List[int]:
+        """Validated per-stream delay-line presets (zero when omitted)."""
         if states is None:
-            states = [0] * batch
-        if len(states) != batch:
-            raise ValueError(f"need {batch} states, got {len(states)}")
-        rows = np.zeros((self._k, batch), dtype=np.uint8)
+            return [0] * batch
+        return check_register_list(
+            states, batch, self._k, what="states", allow_zero=True
+        )
+
+    def _delay_lines(self, states: Sequence[int]) -> deque:
+        rows = np.zeros((self._k, len(states)), dtype=np.uint8)
         for b, s in enumerate(states):
-            if s >> self._k:
-                raise ValueError(f"state {s:#x} wider than {self._k} bits")
             for j in range(self._k):
                 rows[j, b] = (s >> j) & 1
         packed = pack_bits(rows)
@@ -383,21 +397,25 @@ class BatchMultiplicativeScrambler:
         states: Optional[Sequence[int]],
         descramble: bool,
     ) -> List[List[int]]:
-        batch = len(bit_streams)
+        # Validate arguments *before* any early return, so an invalid state
+        # list is rejected even when every stream happens to be empty.
+        checked = check_bit_streams(bit_streams)
+        batch = len(checked)
+        states = self._check_states(batch, states)
         if batch == 0:
             return []
         telemetry = _REGISTRY.enabled
         t0 = perf_counter() if telemetry else 0.0
-        lengths = [len(bits) for bits in bit_streams]
+        lengths = [len(bits) for bits in checked]
         longest = max(lengths)
         if longest == 0:
-            return [[] for _ in bit_streams]
+            return [[] for _ in checked]
         data = np.zeros((longest, batch), dtype=np.uint8)
-        for b, bits in enumerate(bit_streams):
+        for b, bits in enumerate(checked):
             if lengths[b]:
-                data[: lengths[b], b] = np.asarray(bits, dtype=np.uint8)
+                data[: lengths[b], b] = bits
         packed = pack_bits(data)
-        line = self._delay_lines(batch, states)
+        line = self._delay_lines(states)
         out = np.zeros_like(packed)
         for n in range(longest):
             fb = line[self._taps[0]].copy()

@@ -26,6 +26,7 @@ from collections import OrderedDict
 from typing import Any, Callable, Hashable, Optional, Tuple
 
 from repro.crc.spec import CRCSpec
+from repro.errors import CompileError, ReproError, ValidationError
 from repro.gf2.matrix import GF2Matrix
 from repro.lfsr.lookahead import (
     LookaheadSystem,
@@ -128,15 +129,19 @@ class CacheStats:
 class CompileCache:
     """Bounded LRU cache over ``(artifact kind, spec, M, method)`` keys.
 
-    Thread-safe: a single lock guards the LRU order and the counters (the
+    Thread-safe: a single lock guards the LRU order and the counters.  The
     builders themselves run outside the lock, so two threads racing on the
-    same cold key may both compile — last writer wins, which is harmless
-    because the artifacts are immutable pure functions of the key).
+    same cold key may both compile — but the *first* insert wins and the
+    loser's artifact is discarded, preserving the same-object identity
+    guarantee that :meth:`mapped_crc` documents (a
+    :class:`~repro.picoga.array.PicogaArray` must resolve repeated loads
+    to the identical netlist object, like the hardware configuration
+    cache serving one bitstream).
     """
 
     def __init__(self, capacity: int = 64):
         if capacity < 1:
-            raise ValueError("cache capacity must be >= 1")
+            raise ValidationError("cache capacity must be >= 1")
         self._capacity = capacity
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
         self._lock = threading.Lock()
@@ -167,7 +172,12 @@ class CompileCache:
 
     # ------------------------------------------------------------------
     def get(self, key: Hashable, builder: Callable[[], Any]) -> Any:
-        """Return the cached artifact for ``key``, compiling on first use."""
+        """Return the cached artifact for ``key``, compiling on first use.
+
+        Builder failures are reported as
+        :class:`~repro.errors.CompileError` (library-typed errors pass
+        through unchanged); nothing is cached on failure.
+        """
         with self._lock:
             if key in self._entries:
                 self.stats.record_hit()
@@ -176,12 +186,20 @@ class CompileCache:
                 return self._entries[key]
             self.stats.record_miss()
             _LOOKUPS.labels(result="miss").inc()
-        value = builder()
+        try:
+            value = builder()
+        except ReproError:
+            raise
+        except Exception as exc:
+            raise CompileError(f"compiling cache entry {key!r} failed: {exc}") from exc
         with self._lock:
-            if key not in self._entries:
-                _ENTRIES.inc()
+            if key in self._entries:
+                # Another thread compiled the same cold key first; keep its
+                # artifact so every caller holds the identical object.
+                self._entries.move_to_end(key)
+                return self._entries[key]
+            _ENTRIES.inc()
             self._entries[key] = value
-            self._entries.move_to_end(key)
             while len(self._entries) > self._capacity:
                 self._entries.popitem(last=False)
                 self.stats.record_eviction()

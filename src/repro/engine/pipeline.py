@@ -13,6 +13,18 @@ re-enacted in numpy.
 Streams keep their state in the engine's working basis (natural for
 ``"lookahead"``, transformed for ``"derby"``); sub-block tails are finished
 serially at ``finalize`` like :class:`repro.crc.parallel.DerbyCRC` does.
+
+Error semantics: unknown / duplicate stream ids raise
+:class:`repro.errors.StreamError`; malformed arguments (non-bit values,
+wrong-width registers or seeds, bad factors) raise
+:class:`repro.errors.ValidationError`.
+
+Telemetry: the ``engine_pipeline_streams`` / ``engine_pipeline_pending_bits``
+gauges are published by *reconciliation* — after every mutation each
+pipeline pushes the delta between its true totals and what it last
+published.  That keeps increments and decrements symmetric even when the
+registry is toggled mid-stream (a naive inc-on-feed/dec-on-pump pairing
+drifts permanently if telemetry flips between the two calls).
 """
 
 from __future__ import annotations
@@ -27,11 +39,13 @@ from repro.crc.bitwise import BitwiseCRC
 from repro.crc.spec import CRCSpec
 from repro.engine.batch import gf2_mul_packed, pack_bits, unpack_bits
 from repro.engine.cache import CompileCache, default_cache
+from repro.errors import StreamError
 from repro.scrambler.specs import ScramblerSpec
 from repro.telemetry import default_registry
+from repro.validation import check_bits, check_factor, check_method, check_register, check_seed
 
 _REGISTRY = default_registry()
-# Aggregate gauges: incremented/decremented by deltas so any number of
+# Aggregate gauges: published by per-instance deltas so any number of
 # concurrent pipeline instances sum correctly into one series per kind.
 _STREAMS = _REGISTRY.gauge(
     "engine_pipeline_streams", "Streams currently open across pipelines",
@@ -53,6 +67,33 @@ _PUMP_BLOCKS = _REGISTRY.histogram(
 )
 
 
+class _GaugePublisher:
+    """Reconciles one pipeline's stream/pending totals into the gauges.
+
+    Remembers what this instance last pushed and publishes only the
+    difference, so toggling the registry between a feed and the matching
+    pump can never leave the shared gauges negative or inflated: the next
+    mutation while telemetry is enabled re-syncs them.
+    """
+
+    __slots__ = ("_kind", "_streams", "_pending")
+
+    def __init__(self, kind: str):
+        self._kind = kind
+        self._streams = 0
+        self._pending = 0
+
+    def publish(self, streams: int, pending: int) -> None:
+        if not _REGISTRY.enabled:
+            return
+        if streams != self._streams:
+            _STREAMS.labels(kind=self._kind).inc(streams - self._streams)
+            self._streams = streams
+        if pending != self._pending:
+            _PENDING.labels(kind=self._kind).inc(pending - self._pending)
+            self._pending = pending
+
+
 @dataclass
 class _CRCStream:
     state: np.ndarray  # (k,) uint8, in the engine's working basis
@@ -69,13 +110,9 @@ class CRCPipeline:
         method: str = "lookahead",
         cache: Optional[CompileCache] = None,
     ):
-        if M < 1:
-            raise ValueError("look-ahead factor M must be >= 1")
-        if method not in ("lookahead", "derby"):
-            raise ValueError("method must be 'lookahead' or 'derby'")
         self._spec = spec
-        self._M = M
-        self._method = method
+        self._M = check_factor(M, what="look-ahead factor M")
+        self._method = check_method(method)
         self._cache = cache if cache is not None else default_cache()
         self._ss = self._cache.crc_statespace(spec)
         if method == "derby":
@@ -91,6 +128,7 @@ class CRCPipeline:
         self._serial = BitwiseCRC(spec)
         self._streams: Dict[Hashable, _CRCStream] = {}
         self._auto_ids = count()
+        self._gauges = _GaugePublisher("crc")
 
     @property
     def spec(self) -> CRCSpec:
@@ -112,6 +150,21 @@ class CRCPipeline:
         """Number of streams currently open."""
         return len(self._streams)
 
+    def _stream(self, stream_id: Hashable) -> _CRCStream:
+        try:
+            return self._streams[stream_id]
+        except KeyError:
+            raise StreamError(
+                f"unknown CRC stream {stream_id!r}: open() it first "
+                f"({len(self._streams)} streams currently open)"
+            ) from None
+
+    def _publish(self) -> None:
+        self._gauges.publish(
+            len(self._streams),
+            sum(len(s.buffer) for s in self._streams.values()),
+        )
+
     def pending_bits(self, stream_id: Optional[Hashable] = None) -> int:
         """Buffered input bits awaiting processing — the pipeline backlog.
 
@@ -120,7 +173,7 @@ class CRCPipeline:
         block stay pending until ``finalize`` drains them serially.
         """
         if stream_id is not None:
-            return len(self._streams[stream_id].buffer)
+            return len(self._stream(stream_id).buffer)
         return sum(len(s.buffer) for s in self._streams.values())
 
     # ------------------------------------------------------------------
@@ -129,13 +182,16 @@ class CRCPipeline:
         if stream_id is None:
             stream_id = next(self._auto_ids)
         if stream_id in self._streams:
-            raise KeyError(f"stream {stream_id!r} is already open")
-        reg = self._spec.init if register is None else register
+            raise StreamError(f"stream {stream_id!r} is already open")
+        if register is None:
+            reg = self._spec.init
+        else:
+            reg = check_register(register, self._spec.width, what="register")
         state = self._ss.state_from_int(reg)
         if self._into_basis is not None:
             state = ((self._into_basis.astype(np.int64) @ state) & 1).astype(np.uint8)
         self._streams[stream_id] = _CRCStream(state=state)
-        _STREAMS.labels(kind="crc").inc()
+        self._publish()
         return stream_id
 
     def feed(self, stream_id: Hashable, data: bytes, pump: bool = True) -> None:
@@ -143,10 +199,9 @@ class CRCPipeline:
         self.feed_bits(stream_id, self._spec.message_bits(data), pump=pump)
 
     def feed_bits(self, stream_id: Hashable, bits: Sequence[int], pump: bool = True) -> None:
-        buffer = self._streams[stream_id].buffer
-        before = len(buffer)
-        buffer.extend(int(b) & 1 for b in bits)
-        _PENDING.labels(kind="crc").inc(len(buffer) - before)
+        stream = self._stream(stream_id)
+        stream.buffer.extend(check_bits(bits).tolist())
+        self._publish()
         if pump:
             self.pump()
 
@@ -164,9 +219,9 @@ class CRCPipeline:
                 (sid, s) for sid, s in self._streams.items() if len(s.buffer) >= self._M
             ]
             if not ready:
+                self._publish()
                 if _REGISTRY.enabled:
                     _BLOCKS.labels(kind="crc").inc(processed)
-                    _PENDING.labels(kind="crc").dec(processed * self._M)
                     _PUMP_BLOCKS.labels(kind="crc").observe(processed)
                 return processed
             states = pack_bits(np.stack([s.state for _, s in ready], axis=1))
@@ -183,9 +238,9 @@ class CRCPipeline:
     def finalize(self, stream_id: Hashable) -> int:
         """Drain the stream (serial sub-block tail) and return its CRC."""
         self.pump()
-        stream = self._streams.pop(stream_id)
-        _STREAMS.labels(kind="crc").dec()
-        _PENDING.labels(kind="crc").dec(len(stream.buffer))
+        stream = self._stream(stream_id)
+        del self._streams[stream_id]
+        self._publish()
         state = stream.state
         if self._from_basis is not None:
             state = ((self._from_basis.astype(np.int64) @ state) & 1).astype(np.uint8)
@@ -195,9 +250,9 @@ class CRCPipeline:
 
     def abort(self, stream_id: Hashable) -> None:
         """Drop a stream without computing its CRC."""
-        stream = self._streams.pop(stream_id)
-        _STREAMS.labels(kind="crc").dec()
-        _PENDING.labels(kind="crc").dec(len(stream.buffer))
+        self._stream(stream_id)
+        del self._streams[stream_id]
+        self._publish()
 
 
 @dataclass
@@ -221,10 +276,8 @@ class ScramblerPipeline:
         M: int,
         cache: Optional[CompileCache] = None,
     ):
-        if M < 1:
-            raise ValueError("block factor M must be >= 1")
         self._spec = spec
-        self._M = M
+        self._M = check_factor(M, what="block factor M")
         self._cache = cache if cache is not None else default_cache()
         A_M, Y = self._cache.scrambler_block(spec, M)
         self._A = A_M.to_array().astype(np.int64)
@@ -232,6 +285,7 @@ class ScramblerPipeline:
         self._ss = self._cache.scrambler_statespace(spec)
         self._streams: Dict[Hashable, _ScramblerStream] = {}
         self._auto_ids = count()
+        self._gauges = _GaugePublisher("scrambler")
 
     @property
     def spec(self) -> ScramblerSpec:
@@ -249,35 +303,53 @@ class ScramblerPipeline:
         """Number of streams currently open."""
         return len(self._streams)
 
+    def _stream(self, stream_id: Hashable) -> _ScramblerStream:
+        try:
+            return self._streams[stream_id]
+        except KeyError:
+            raise StreamError(
+                f"unknown scrambler stream {stream_id!r}: open() it first "
+                f"({len(self._streams)} streams currently open)"
+            ) from None
+
+    def _publish(self) -> None:
+        self._gauges.publish(len(self._streams), 0)
+
     def pending_keystream_bits(self, stream_id: Hashable) -> int:
         """Generated-but-unused keystream bits carried to the next chunk."""
-        return len(self._streams[stream_id].keystream)
+        return len(self._stream(stream_id).keystream)
 
     # ------------------------------------------------------------------
     def open(self, stream_id: Optional[Hashable] = None, seed: Optional[int] = None) -> Hashable:
         if stream_id is None:
             stream_id = next(self._auto_ids)
         if stream_id in self._streams:
-            raise KeyError(f"stream {stream_id!r} is already open")
-        state = self._ss.state_from_int(self._spec.seed if seed is None else seed)
+            raise StreamError(f"stream {stream_id!r} is already open")
+        if seed is None:
+            seed = self._spec.seed
+        else:
+            seed = check_seed(seed, self._spec.degree, allow_zero=False)
+        state = self._ss.state_from_int(seed)
         self._streams[stream_id] = _ScramblerStream(state=state)
-        _STREAMS.labels(kind="scrambler").inc()
+        self._publish()
         return stream_id
 
     def feed(self, stream_id: Hashable, bits: Sequence[int]) -> List[int]:
         """Scramble (or descramble) one chunk; returns the output bits."""
-        stream = self._streams[stream_id]
+        stream = self._stream(stream_id)
+        checked = check_bits(bits).tolist()
         generated = 0
-        while len(stream.keystream) < len(bits):
+        while len(stream.keystream) < len(checked):
             block = (self._Y @ stream.state.astype(np.int64)) & 1
             stream.keystream.extend(int(b) for b in block)
             stream.state = ((self._A @ stream.state.astype(np.int64)) & 1).astype(np.uint8)
             generated += 1
         _BLOCKS.labels(kind="scrambler").inc(generated)
-        out = [(int(b) ^ k) & 1 for b, k in zip(bits, stream.keystream)]
-        del stream.keystream[: len(bits)]
+        out = [(b ^ k) & 1 for b, k in zip(checked, stream.keystream)]
+        del stream.keystream[: len(checked)]
         return out
 
     def close(self, stream_id: Hashable) -> None:
+        self._stream(stream_id)
         del self._streams[stream_id]
-        _STREAMS.labels(kind="scrambler").dec()
+        self._publish()

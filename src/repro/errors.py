@@ -1,0 +1,60 @@
+"""Typed exception taxonomy for the repro library.
+
+Every public engine, pipeline and spec entry point raises one of these
+types for invalid input or failed compilation, so callers can distinguish
+"you passed garbage" (:class:`ValidationError`), "this parameter set is
+not a valid spec" (:class:`SpecError`), "that stream does not exist"
+(:class:`StreamError`) and "the artifact could not be compiled"
+(:class:`CompileError`) without string-matching messages.
+
+For backward compatibility each class also subclasses the builtin the
+library historically raised in that situation (``ValueError``,
+``KeyError``, ``RuntimeError``), so existing ``except ValueError`` /
+``except KeyError`` call sites keep working unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every error raised by the repro library."""
+
+    def __str__(self) -> str:
+        # KeyError-derived subclasses would otherwise repr() the message
+        # (quotes around the text); render the plain message everywhere.
+        if len(self.args) == 1:
+            return str(self.args[0])
+        return ", ".join(str(a) for a in self.args)
+
+
+class SpecError(ReproError, ValueError, KeyError):
+    """A CRC/scrambler parameter set is malformed, or a catalog lookup
+    named an unknown standard.
+
+    Subclasses both ``ValueError`` (malformed parameters) and ``KeyError``
+    (unknown catalog name) — the two builtins these paths used to raise.
+    """
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument to a public engine/pipeline API is invalid: non-bit
+    values, a wrong-width seed/state/register, mismatched batch lengths,
+    a bad block factor, and so on."""
+
+
+class StreamError(ReproError, KeyError):
+    """A pipeline stream id is unknown, already open, or already closed."""
+
+
+class CompileError(ReproError, RuntimeError):
+    """An engine artifact (look-ahead system, Derby transform, PiCoGA
+    netlist) could not be compiled for the requested ``(spec, M, method)``."""
+
+
+__all__ = [
+    "CompileError",
+    "ReproError",
+    "SpecError",
+    "StreamError",
+    "ValidationError",
+]

@@ -22,13 +22,19 @@ from typing import Iterator, Optional, Sequence
 
 import numpy as np
 
+from repro.errors import CompileError
 from repro.gf2.matrix import GF2Matrix
 from repro.lfsr.lookahead import LookaheadSystem, expand_lookahead
 from repro.lfsr.statespace import LFSRStateSpace
 
 
-class TransformError(ValueError):
-    """Raised when no valid transformation vector ``f`` exists."""
+class TransformError(CompileError, ValueError):
+    """Raised when no valid transformation vector ``f`` exists.
+
+    A :class:`~repro.errors.CompileError`: the Derby change of basis is a
+    compile-time artifact, and specs with non-cyclic generators have none.
+    Still a ``ValueError`` for backward compatibility.
+    """
 
 
 def krylov_matrix(A_M: GF2Matrix, f: np.ndarray) -> GF2Matrix:

@@ -17,7 +17,9 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
+from repro.errors import SpecError
 from repro.gf2.polynomial import GF2Polynomial
+from repro.validation import check_bits, check_register
 
 
 class MultiplicativeScrambler:
@@ -25,7 +27,7 @@ class MultiplicativeScrambler:
 
     def __init__(self, poly: GF2Polynomial, state: int = 0):
         if poly.degree < 1:
-            raise ValueError("polynomial degree must be >= 1")
+            raise SpecError("polynomial degree must be >= 1")
         self._poly = poly
         self._k = poly.degree
         self._mask = (1 << self._k) - 1
@@ -48,9 +50,7 @@ class MultiplicativeScrambler:
 
     @state.setter
     def state(self, value: int) -> None:
-        if value >> self._k:
-            raise ValueError(f"state {value:#x} wider than {self._k} bits")
-        self._state = value
+        self._state = check_register(value, self._k, what="state")
 
     # ------------------------------------------------------------------
     def _feedback(self) -> int:
@@ -64,16 +64,16 @@ class MultiplicativeScrambler:
 
     def scramble_bits(self, bits: Sequence[int]) -> List[int]:
         out = []
-        for u in bits:
-            s = (u & 1) ^ self._feedback()
+        for u in check_bits(bits, what="bits").tolist():
+            s = u ^ self._feedback()
             self._shift_in(s)
             out.append(s)
         return out
 
     def descramble_bits(self, bits: Sequence[int]) -> List[int]:
         out = []
-        for s in bits:
-            u = (s & 1) ^ self._feedback()
+        for s in check_bits(bits, what="bits").tolist():
+            u = s ^ self._feedback()
             self._shift_in(s)
             out.append(u)
         return out

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
+from repro.errors import SpecError
 from repro.gf2.polynomial import GF2Polynomial
 
 
@@ -30,13 +31,13 @@ class ScramblerSpec:
 
     def __post_init__(self):
         if self.poly.degree < 1:
-            raise ValueError("scrambler polynomial must have degree >= 1")
+            raise SpecError("scrambler polynomial must have degree >= 1")
         if self.seed >> self.poly.degree:
-            raise ValueError(
+            raise SpecError(
                 f"seed {self.seed:#x} wider than degree {self.poly.degree}"
             )
         if self.seed == 0:
-            raise ValueError("an all-zero seed locks the LFSR at zero")
+            raise SpecError("an all-zero seed locks the LFSR at zero")
 
     @property
     def degree(self) -> int:
@@ -103,4 +104,6 @@ def get(name: str) -> ScramblerSpec:
     try:
         return BY_NAME[name]
     except KeyError:
-        raise KeyError(f"unknown scrambler {name!r}; known: {sorted(BY_NAME)}") from None
+        raise SpecError(
+            f"unknown scrambler {name!r}; known: {sorted(BY_NAME)}"
+        ) from None

@@ -1,0 +1,37 @@
+"""repro.verify — cross-engine differential fuzzing and property oracles.
+
+Every parallel realization in this library (table, Derby matrix, batch
+bit-sliced, streaming pipeline) claims bit-exact agreement with the serial
+reference engines.  This package turns that claim into a standing,
+machine-checkable battery:
+
+* :mod:`repro.verify.cases` — deterministic random scenario generation
+  (spec × block factor × method × seeds × payloads × chunk/abort
+  schedules) and greedy shrinking to a minimal reproducer.
+* :mod:`repro.verify.oracles` — one differential oracle per engine pair,
+  plus algebraic property checks (scrambler involution, multiplicative
+  descramble round-trip).
+* :mod:`repro.verify.fuzz` — the budgeted driver with telemetry counters.
+* :mod:`repro.verify.report` — JSON-serializable failure reports carrying
+  the exact replay seed and the shrunken case.
+
+Run it from the CLI as ``repro fuzz --seconds 30 --seed 0``.
+"""
+
+from repro.verify.cases import CaseGenerator, FuzzCase, shrink
+from repro.verify.fuzz import DEFAULT_CASES, run_fuzz
+from repro.verify.oracles import Discrepancy, Oracle, default_oracles
+from repro.verify.report import FuzzReport, Mismatch
+
+__all__ = [
+    "CaseGenerator",
+    "DEFAULT_CASES",
+    "Discrepancy",
+    "FuzzCase",
+    "FuzzReport",
+    "Mismatch",
+    "Oracle",
+    "default_oracles",
+    "run_fuzz",
+    "shrink",
+]

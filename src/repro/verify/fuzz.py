@@ -1,0 +1,130 @@
+"""The differential fuzz driver.
+
+:func:`run_fuzz` draws cases from a seeded :class:`CaseGenerator`, runs
+every applicable oracle over each case, shrinks any failure to a minimal
+reproducer, and returns a :class:`FuzzReport`.  The loop is budgeted by
+wall-clock seconds and/or a case count; telemetry counters
+(``verify_fuzz_cases_total`` / ``verify_fuzz_mismatches_total``, labelled
+by oracle pair) let long soak runs be watched from the metrics registry.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Optional, Sequence
+
+from repro.engine import CompileCache
+from repro.telemetry import default_registry
+from repro.verify.cases import CaseGenerator, FuzzCase, shrink
+from repro.verify.oracles import Oracle, default_oracles
+from repro.verify.report import FuzzReport, Mismatch
+
+_REGISTRY = default_registry()
+_CASES = _REGISTRY.counter(
+    "verify_fuzz_cases_total",
+    "Differential fuzz cases checked, by oracle pair",
+    labels=("pair",),
+)
+_MISMATCHES = _REGISTRY.counter(
+    "verify_fuzz_mismatches_total",
+    "Differential fuzz mismatches confirmed, by oracle pair",
+    labels=("pair",),
+)
+
+#: Default case budget when neither ``seconds`` nor ``max_cases`` is given.
+DEFAULT_CASES = 200
+
+
+def run_fuzz(
+    seed: int = 0,
+    seconds: Optional[float] = None,
+    max_cases: Optional[int] = None,
+    oracles: Optional[Sequence[Oracle]] = None,
+    cache: Optional[CompileCache] = None,
+    max_failures: int = 5,
+    shrink_failures: bool = True,
+    shrink_probes: int = 400,
+) -> FuzzReport:
+    """Run the cross-engine differential battery.
+
+    ``seconds`` and ``max_cases`` are both budgets: the run stops when
+    either is exhausted (with neither given, :data:`DEFAULT_CASES` cases
+    are drawn).  ``max_failures`` stops the run early once that many
+    distinct mismatches have been confirmed, so a systematically broken
+    engine doesn't burn the whole budget re-finding the same bug.
+
+    The same ``seed`` with the same ``max_cases`` replays the identical
+    case sequence — a failure's report embeds exactly that pair.
+    """
+    battery = list(default_oracles() if oracles is None else oracles)
+    artifacts = cache if cache is not None else CompileCache(capacity=256)
+    generator = CaseGenerator(seed)
+    if seconds is None and max_cases is None:
+        max_cases = DEFAULT_CASES
+    report = FuzzReport(seed=seed)
+    for oracle in battery:
+        report.pair_cases.setdefault(oracle.name, 0)
+    start = perf_counter()
+    while True:
+        if max_cases is not None and report.cases >= max_cases:
+            break
+        if seconds is not None and perf_counter() - start >= seconds:
+            break
+        if len(report.mismatches) >= max_failures:
+            break
+        case = generator.draw()
+        report.cases += 1
+        for oracle in battery:
+            if not oracle.applies(case):
+                continue
+            report.checks += 1
+            report.pair_cases[oracle.name] += 1
+            _CASES.labels(pair=oracle.name).inc()
+            found = oracle.check(case, artifacts)
+            if found is None:
+                continue
+            _MISMATCHES.labels(pair=oracle.name).inc()
+            report.mismatches.append(
+                _build_mismatch(
+                    oracle,
+                    case,
+                    found,
+                    artifacts,
+                    shrink_failures,
+                    shrink_probes,
+                )
+            )
+            if len(report.mismatches) >= max_failures:
+                break
+    report.elapsed = perf_counter() - start
+    return report
+
+
+def _build_mismatch(
+    oracle: Oracle,
+    case: FuzzCase,
+    found,
+    cache: CompileCache,
+    shrink_failures: bool,
+    shrink_probes: int,
+) -> Mismatch:
+    shrunk, probes = case, 0
+    detail, expected, got = found.detail, found.expected, found.got
+    if shrink_failures:
+        shrunk, probes = shrink(
+            case,
+            lambda c: oracle.check(c, cache) is not None,
+            max_probes=shrink_probes,
+        )
+        final = oracle.check(shrunk, cache)
+        if final is not None:
+            detail, expected, got = final.detail, final.expected, final.got
+    return Mismatch(
+        oracle=oracle.name,
+        case=case,
+        shrunk=shrunk,
+        detail=detail,
+        expected=expected,
+        got=got,
+        probes=probes,
+    )

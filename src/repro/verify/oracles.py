@@ -1,0 +1,329 @@
+"""Differential oracles: one engine pair (or property) per oracle.
+
+Each oracle takes a :class:`~repro.verify.cases.FuzzCase`, runs the same
+inputs through a reference engine and a candidate engine, and returns
+``None`` on agreement or a :class:`Discrepancy` naming the first
+divergence.  Expensive engines (table builds, Derby transforms, batch
+compiles) are memoized per oracle instance and share one
+:class:`~repro.engine.cache.CompileCache`, so a long fuzz run amortizes
+compilation exactly like the production pipelines do.
+
+The reference side is always the bit-serial ground truth
+(:class:`~repro.crc.bitwise.BitwiseCRC`, the serial scramblers), so a
+reported mismatch indicts the parallel/batch/streaming candidate.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.crc import BitwiseCRC, DerbyCRC, TableCRC, get as get_crc
+from repro.engine import (
+    BatchAdditiveScrambler,
+    BatchCRC,
+    BatchMultiplicativeScrambler,
+    CompileCache,
+    CRCPipeline,
+    ScramblerPipeline,
+)
+from repro.gf2.bits import bytes_to_bits
+from repro.gf2.polynomial import GF2Polynomial
+from repro.scrambler import AdditiveScrambler
+from repro.scrambler.multiplicative import MultiplicativeScrambler
+from repro.scrambler.specs import get as get_scrambler
+from repro.verify.cases import (
+    KIND_CRC,
+    KIND_MULTIPLICATIVE,
+    KIND_SCRAMBLER,
+    FuzzCase,
+)
+
+
+@dataclass(frozen=True)
+class Discrepancy:
+    """The first divergence an oracle observed for a case."""
+
+    detail: str
+    expected: str
+    got: str
+
+    def to_dict(self) -> Dict[str, str]:
+        return {"detail": self.detail, "expected": self.expected, "got": self.got}
+
+
+class Oracle:
+    """Base class: ``check`` returns None (agree) or a Discrepancy."""
+
+    name: str = "oracle"
+    kinds: Tuple[str, ...] = ()
+
+    def applies(self, case: FuzzCase) -> bool:
+        return case.kind in self.kinds
+
+    def check(self, case: FuzzCase, cache: CompileCache) -> Optional[Discrepancy]:
+        raise NotImplementedError
+
+
+def _crc_serial(case: FuzzCase) -> Tuple:
+    """(spec, BitwiseCRC) for a CRC case."""
+    spec = get_crc(case.spec)
+    return spec, BitwiseCRC(spec)
+
+
+def _case_seed(case: FuzzCase, index: int, default: int) -> int:
+    if case.seeds:
+        return case.seeds[index]
+    return default
+
+
+class CRCTableOracle(Oracle):
+    """BitwiseCRC vs the byte-at-a-time table engine, per message."""
+
+    name = "crc:bitwise-vs-table"
+    kinds = (KIND_CRC,)
+
+    def __init__(self):
+        self._tables: Dict[str, TableCRC] = {}
+
+    def check(self, case: FuzzCase, cache: CompileCache) -> Optional[Discrepancy]:
+        spec, serial = _crc_serial(case)
+        table = self._tables.get(case.spec)
+        if table is None:
+            table = self._tables[case.spec] = TableCRC(spec)
+        for i, payload in enumerate(case.payloads()):
+            expected = serial.compute(payload)
+            got = table.compute(payload)
+            if got != expected:
+                return Discrepancy(
+                    detail=f"stream {i} ({len(payload)} bytes)",
+                    expected=f"0x{expected:X}",
+                    got=f"0x{got:X}",
+                )
+        return None
+
+
+class CRCDerbyOracle(Oracle):
+    """BitwiseCRC vs the Derby-transformed matrix engine, with per-stream
+    initial registers (seed/basis conversion is exactly where equivalent-
+    looking parallel realizations diverge)."""
+
+    name = "crc:bitwise-vs-derby"
+    kinds = (KIND_CRC,)
+
+    def __init__(self):
+        self._engines: Dict[Tuple[str, int], DerbyCRC] = {}
+
+    def check(self, case: FuzzCase, cache: CompileCache) -> Optional[Discrepancy]:
+        spec, serial = _crc_serial(case)
+        key = (case.spec, case.M)
+        derby = self._engines.get(key)
+        if derby is None:
+            derby = self._engines[key] = DerbyCRC(spec, case.M)
+        for i, payload in enumerate(case.payloads()):
+            register = _case_seed(case, i, spec.init)
+            expected = serial.raw_register(payload, register)
+            got = derby.raw_register(payload, register)
+            if got != expected:
+                return Discrepancy(
+                    detail=f"stream {i} raw register, init=0x{register:X}",
+                    expected=f"0x{expected:X}",
+                    got=f"0x{got:X}",
+                )
+        return None
+
+
+class CRCBatchOracle(Oracle):
+    """BitwiseCRC vs the bit-sliced batch kernel (both byte and bit paths)."""
+
+    name = "crc:bitwise-vs-batch"
+    kinds = (KIND_CRC,)
+
+    def check(self, case: FuzzCase, cache: CompileCache) -> Optional[Discrepancy]:
+        spec, serial = _crc_serial(case)
+        engine = BatchCRC(spec, case.M, method=case.method, cache=cache)
+        payloads = case.payloads()
+        expected = [serial.compute(m) for m in payloads]
+        got = engine.compute_batch(payloads)
+        if got != expected:
+            i = next(j for j, (a, b) in enumerate(zip(expected, got)) if a != b)
+            return Discrepancy(
+                detail=f"compute_batch stream {i} ({len(payloads[i])} bytes, "
+                f"method={case.method})",
+                expected=f"0x{expected[i]:X}",
+                got=f"0x{got[i]:X}",
+            )
+        bit_streams = [spec.message_bits(m) for m in payloads]
+        got_bits = engine.compute_bits_batch(bit_streams)
+        if got_bits != expected:
+            i = next(j for j, (a, b) in enumerate(zip(expected, got_bits)) if a != b)
+            return Discrepancy(
+                detail=f"compute_bits_batch stream {i} (method={case.method})",
+                expected=f"0x{expected[i]:X}",
+                got=f"0x{got_bits[i]:X}",
+            )
+        return None
+
+
+class CRCPipelineOracle(Oracle):
+    """BitwiseCRC vs the streaming pipeline under the case's chunk schedule,
+    interleaved deliveries and ghost-stream aborts."""
+
+    name = "crc:bitwise-vs-pipeline"
+    kinds = (KIND_CRC,)
+
+    def check(self, case: FuzzCase, cache: CompileCache) -> Optional[Discrepancy]:
+        spec, serial = _crc_serial(case)
+        pipe = CRCPipeline(spec, case.M, method=case.method, cache=cache)
+        payloads = case.payloads()
+        ids = []
+        for i in range(len(payloads)):
+            register = _case_seed(case, i, spec.init)
+            ids.append(pipe.open(register=register))
+        ghost_ids = []
+        for nbits in case.aborts:
+            gid = pipe.open()
+            pipe.feed_bits(gid, [1] * nbits, pump=False)
+            ghost_ids.append(gid)
+        # Interleave chunk deliveries round-robin across streams; the
+        # schedule is deterministic from the case so replays are exact.
+        cursors = [(i, 0) for i in range(len(payloads)) if case.chunk_plan(i)]
+        while cursors:
+            nxt = []
+            for i, chunk_idx in cursors:
+                plan = case.chunk_plan(i)
+                offset = sum(plan[:chunk_idx])
+                pipe.feed(ids[i], payloads[i][offset : offset + plan[chunk_idx]])
+                if chunk_idx + 1 < len(plan):
+                    nxt.append((i, chunk_idx + 1))
+            cursors = nxt
+        for gid in ghost_ids:
+            pipe.abort(gid)
+        for i, payload in enumerate(payloads):
+            register = _case_seed(case, i, spec.init)
+            expected = spec.finalize(serial.raw_register(payload, register))
+            got = pipe.finalize(ids[i])
+            if got != expected:
+                return Discrepancy(
+                    detail=f"pipeline stream {i} chunks={case.chunk_plan(i)} "
+                    f"method={case.method} aborts={case.aborts}",
+                    expected=f"0x{expected:X}",
+                    got=f"0x{got:X}",
+                )
+        return None
+
+
+class AdditiveScramblerOracle(Oracle):
+    """Serial AdditiveScrambler vs the batch kernel, plus the involution
+    property (descramble(scramble(x)) == x)."""
+
+    name = "scrambler:serial-vs-batch"
+    kinds = (KIND_SCRAMBLER,)
+
+    def check(self, case: FuzzCase, cache: CompileCache) -> Optional[Discrepancy]:
+        spec = get_scrambler(case.spec)
+        engine = BatchAdditiveScrambler(spec, case.M, cache=cache)
+        streams = [bytes_to_bits(m, reflect=True) for m in case.payloads()]
+        seeds = [
+            _case_seed(case, i, spec.seed) for i in range(len(streams))
+        ]
+        expected = [
+            AdditiveScrambler(spec, seed).scramble_bits(s)
+            for s, seed in zip(streams, seeds)
+        ]
+        got = engine.scramble_batch(streams, seeds=seeds)
+        if got != expected:
+            i = next(j for j, (a, b) in enumerate(zip(expected, got)) if a != b)
+            return Discrepancy(
+                detail=f"scramble_batch stream {i} seed=0x{seeds[i]:X}",
+                expected="".join(map(str, expected[i][:64])),
+                got="".join(map(str, got[i][:64])),
+            )
+        back = engine.descramble_batch(got, seeds=seeds)
+        if back != streams:
+            i = next(j for j, (a, b) in enumerate(zip(streams, back)) if a != b)
+            return Discrepancy(
+                detail=f"involution violated on stream {i}",
+                expected="".join(map(str, streams[i][:64])),
+                got="".join(map(str, back[i][:64])),
+            )
+        return None
+
+
+class ScramblerPipelineOracle(Oracle):
+    """Serial AdditiveScrambler vs the streaming pipeline, chunked feeds."""
+
+    name = "scrambler:serial-vs-pipeline"
+    kinds = (KIND_SCRAMBLER,)
+
+    def check(self, case: FuzzCase, cache: CompileCache) -> Optional[Discrepancy]:
+        spec = get_scrambler(case.spec)
+        pipe = ScramblerPipeline(spec, case.M, cache=cache)
+        for i, payload in enumerate(case.payloads()):
+            bits = bytes_to_bits(payload, reflect=True)
+            seed = _case_seed(case, i, spec.seed)
+            sid = pipe.open(seed=seed)
+            out: List[int] = []
+            offset = 0
+            for nbytes in case.chunk_plan(i):
+                out.extend(pipe.feed(sid, bits[offset : offset + 8 * nbytes]))
+                offset += 8 * nbytes
+            pipe.close(sid)
+            expected = AdditiveScrambler(spec, seed).scramble_bits(bits)
+            if out != expected:
+                return Discrepancy(
+                    detail=f"pipeline stream {i} seed=0x{seed:X} "
+                    f"chunks={case.chunk_plan(i)}",
+                    expected="".join(map(str, expected[:64])),
+                    got="".join(map(str, out[:64])),
+                )
+        return None
+
+
+class MultiplicativeScramblerOracle(Oracle):
+    """Serial MultiplicativeScrambler vs the word-parallel batch engine,
+    plus the self-synchronizing descramble round-trip."""
+
+    name = "multiplicative:serial-vs-batch"
+    kinds = (KIND_MULTIPLICATIVE,)
+
+    def check(self, case: FuzzCase, cache: CompileCache) -> Optional[Discrepancy]:
+        poly = GF2Polynomial.from_exponents(list(case.mult_exponents()))
+        engine = BatchMultiplicativeScrambler(poly)
+        streams = [bytes_to_bits(m, reflect=True) for m in case.payloads()]
+        states = [_case_seed(case, i, 0) for i in range(len(streams))]
+        expected = [
+            MultiplicativeScrambler(poly, state=st).scramble_bits(s)
+            for s, st in zip(streams, states)
+        ]
+        got = engine.scramble_batch(streams, states=states)
+        if got != expected:
+            i = next(j for j, (a, b) in enumerate(zip(expected, got)) if a != b)
+            return Discrepancy(
+                detail=f"scramble_batch stream {i} state=0x{states[i]:X}",
+                expected="".join(map(str, expected[i][:64])),
+                got="".join(map(str, got[i][:64])),
+            )
+        back = engine.descramble_batch(got, states=states)
+        if back != streams:
+            i = next(j for j, (a, b) in enumerate(zip(streams, back)) if a != b)
+            return Discrepancy(
+                detail=f"descramble round-trip violated on stream {i}",
+                expected="".join(map(str, streams[i][:64])),
+                got="".join(map(str, back[i][:64])),
+            )
+        return None
+
+
+def default_oracles() -> List[Oracle]:
+    """The standing cross-engine differential battery (6 engine pairs)."""
+    return [
+        CRCTableOracle(),
+        CRCDerbyOracle(),
+        CRCBatchOracle(),
+        CRCPipelineOracle(),
+        AdditiveScramblerOracle(),
+        ScramblerPipelineOracle(),
+        MultiplicativeScramblerOracle(),
+    ]

@@ -1,0 +1,163 @@
+"""Machine-readable fuzz reports.
+
+A :class:`FuzzReport` records everything needed to reproduce a run — the
+generator seed, case/pair tallies — plus one :class:`Mismatch` record per
+surviving failure, each carrying the original and the shrunken case so a
+developer (or CI) can replay the minimal reproducer directly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ValidationError
+from repro.verify.cases import FuzzCase
+
+#: Bumped when the report schema changes incompatibly.
+REPORT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """One confirmed engine disagreement, with its minimal reproducer."""
+
+    oracle: str
+    case: FuzzCase
+    shrunk: FuzzCase
+    detail: str
+    expected: str
+    got: str
+    probes: int = 0
+
+    def to_dict(self) -> Dict:
+        return {
+            "oracle": self.oracle,
+            "case": self.case.to_dict(),
+            "shrunk": self.shrunk.to_dict(),
+            "detail": self.detail,
+            "expected": self.expected,
+            "got": self.got,
+            "probes": self.probes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "Mismatch":
+        try:
+            return cls(
+                oracle=str(data["oracle"]),
+                case=FuzzCase.from_dict(data["case"]),
+                shrunk=FuzzCase.from_dict(data["shrunk"]),
+                detail=str(data.get("detail", "")),
+                expected=str(data.get("expected", "")),
+                got=str(data.get("got", "")),
+                probes=int(data.get("probes", 0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValidationError(f"malformed mismatch record: {exc}") from None
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate result of one differential fuzz run."""
+
+    seed: int
+    cases: int = 0
+    checks: int = 0
+    elapsed: float = 0.0
+    pair_cases: Dict[str, int] = field(default_factory=dict)
+    mismatches: List[Mismatch] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    @property
+    def pairs_exercised(self) -> int:
+        return sum(1 for n in self.pair_cases.values() if n > 0)
+
+    def repro_command(self) -> str:
+        """CLI invocation that replays this run deterministically."""
+        return f"repro fuzz --cases {self.cases} --seed {self.seed}"
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {
+            "version": REPORT_VERSION,
+            "seed": self.seed,
+            "cases": self.cases,
+            "checks": self.checks,
+            "elapsed": round(self.elapsed, 3),
+            "ok": self.ok,
+            "repro": self.repro_command(),
+            "pair_cases": dict(sorted(self.pair_cases.items())),
+            "mismatches": [m.to_dict() for m in self.mismatches],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FuzzReport":
+        try:
+            version = int(data.get("version", REPORT_VERSION))
+            if version != REPORT_VERSION:
+                raise ValidationError(
+                    f"unsupported fuzz report version {version} "
+                    f"(this build reads version {REPORT_VERSION})"
+                )
+            return cls(
+                seed=int(data["seed"]),
+                cases=int(data.get("cases", 0)),
+                checks=int(data.get("checks", 0)),
+                elapsed=float(data.get("elapsed", 0.0)),
+                pair_cases={
+                    str(k): int(v) for k, v in data.get("pair_cases", {}).items()
+                },
+                mismatches=[
+                    Mismatch.from_dict(m) for m in data.get("mismatches", [])
+                ],
+            )
+        except ValidationError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValidationError(f"malformed fuzz report: {exc}") from None
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FuzzReport":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValidationError(f"fuzz report is not valid JSON: {exc}") from None
+        return cls.from_dict(data)
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "FuzzReport":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(fh.read())
+
+    # ------------------------------------------------------------------
+    def summary_lines(self) -> List[str]:
+        """Human-readable per-pair summary for the CLI."""
+        lines = [
+            f"fuzz: {self.cases} cases, {self.checks} checks, "
+            f"{self.pairs_exercised} engine pairs, {self.elapsed:.1f}s"
+        ]
+        for pair, count in sorted(self.pair_cases.items()):
+            lines.append(f"  {pair:<34} {count:>6} cases")
+        if self.ok:
+            lines.append("result: OK (no mismatches)")
+        else:
+            lines.append(f"result: {len(self.mismatches)} MISMATCH(ES)")
+            for m in self.mismatches:
+                lines.append(f"  [{m.oracle}] {m.detail}")
+                lines.append(f"    expected {m.expected}  got {m.got}")
+                lines.append(f"    minimal case: {m.shrunk.describe()}")
+            lines.append(f"replay: {self.repro_command()}")
+        return lines

@@ -158,3 +158,35 @@ class TestTelemetryFlag:
         out = capsys.readouterr().out
         assert "engine_compile_cache_lookups_total" in out
         assert "engine_batch_throughput_mbps_count" in out
+
+
+class TestFuzzCommand:
+    def test_case_budget_run(self, capsys):
+        assert main(["fuzz", "--cases", "20", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "20 cases" in out
+        assert "OK (no mismatches)" in out
+
+    def test_json_report_written(self, tmp_path, capsys):
+        path = tmp_path / "fuzz.json"
+        assert main(["fuzz", "--cases", "10", "--json", str(path)]) == 0
+        assert "report written" in capsys.readouterr().out
+        from repro.verify import FuzzReport
+
+        report = FuzzReport.load(str(path))
+        assert report.ok
+        assert report.cases == 10
+
+    def test_seed_replay_matches(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["fuzz", "--cases", "15", "--seed", "4", "--json", str(a)]) == 0
+        assert main(["fuzz", "--cases", "15", "--seed", "4", "--json", str(b)]) == 0
+        from repro.verify import FuzzReport
+
+        ra, rb = FuzzReport.load(str(a)), FuzzReport.load(str(b))
+        assert ra.pair_cases == rb.pair_cases
+        assert ra.checks == rb.checks
+
+    def test_seconds_budget_stops(self, capsys):
+        assert main(["fuzz", "--seconds", "0.5", "--seed", "1"]) == 0
+        assert "OK" in capsys.readouterr().out

@@ -133,3 +133,62 @@ def test_init_fold_zero_init_short_circuits():
     lookups = cache.stats.lookups
     assert cache.init_fold(zero_spec, 64) == 0
     assert cache.stats.lookups == lookups  # early return, no lookup
+
+
+def test_racing_cold_key_compiles_keep_one_identity():
+    """Regression: two threads racing on the same cold key used to each
+    insert their own artifact, the second silently replacing the first —
+    so earlier callers held an object the cache no longer served,
+    breaking the same-object netlist guarantee.  The first insert must
+    win and every caller must receive the identical object."""
+    import threading
+
+    cache = CompileCache(capacity=8)
+    gate = threading.Barrier(2)
+    results = []
+
+    def build():
+        # Hold both threads inside the (unlocked) builder section so both
+        # definitely compile before either inserts.
+        gate.wait(timeout=5)
+        return object()
+
+    def worker():
+        results.append(cache.get("hot-key", build))
+
+    threads = [threading.Thread(target=worker) for _ in range(2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=10)
+    assert len(results) == 2
+    assert results[0] is results[1]
+    # Later hits serve that same object too.
+    assert cache.get("hot-key", build) is results[0]
+    assert len(cache) == 1
+
+
+def test_racing_cold_keys_entry_gauge_stays_exact():
+    """The loser of a cold-key race must not bump the resident-entries
+    gauge for an artifact that was never stored."""
+    import threading
+
+    from repro.telemetry import default_registry
+
+    gauge = default_registry().get("engine_compile_cache_entries")
+    before = gauge.value
+    cache = CompileCache(capacity=8)
+    gate = threading.Barrier(2)
+
+    def build():
+        gate.wait(timeout=5)
+        return object()
+
+    threads = [
+        threading.Thread(target=lambda: cache.get("k", build)) for _ in range(2)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=10)
+    assert gauge.value == before + 1

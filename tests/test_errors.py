@@ -1,0 +1,103 @@
+"""The error taxonomy: hierarchy, back-compat parents, and messages.
+
+Every public entry point raises a :mod:`repro.errors` type for invalid
+input, and each type also inherits the builtin exception historically
+raised at that call site — so pre-taxonomy callers catching ValueError or
+KeyError keep working.
+"""
+
+import pytest
+
+from repro.errors import (
+    CompileError,
+    ReproError,
+    SpecError,
+    StreamError,
+    ValidationError,
+)
+from repro.lfsr.transform import TransformError
+
+
+class TestHierarchy:
+    def test_all_subclass_repro_error(self):
+        for exc_type in (SpecError, ValidationError, StreamError, CompileError):
+            assert issubclass(exc_type, ReproError)
+
+    def test_backward_compatible_parents(self):
+        assert issubclass(SpecError, ValueError)
+        assert issubclass(SpecError, KeyError)
+        assert issubclass(ValidationError, ValueError)
+        assert issubclass(StreamError, KeyError)
+        assert issubclass(CompileError, RuntimeError)
+
+    def test_transform_error_reparented(self):
+        # Derby feasibility failures are compile-time errors, but the
+        # historical ValueError contract must keep working.
+        assert issubclass(TransformError, CompileError)
+        assert issubclass(TransformError, ValueError)
+        assert issubclass(TransformError, ReproError)
+
+    def test_one_except_clause_catches_everything(self):
+        for exc in (
+            SpecError("bad spec"),
+            ValidationError("bad value"),
+            StreamError("no stream"),
+            CompileError("no compile"),
+        ):
+            with pytest.raises(ReproError):
+                raise exc
+
+
+class TestMessages:
+    def test_str_is_plain_message(self):
+        # KeyError's repr-quoting must not leak into subclasses that
+        # inherit from it.
+        assert str(SpecError("unknown standard")) == "unknown standard"
+        assert str(StreamError("unknown stream 7")) == "unknown stream 7"
+
+    def test_multi_arg_str(self):
+        assert str(ReproError("a", "b")) == "a, b"
+
+    def test_empty_args(self):
+        assert str(ReproError()) == ""
+
+
+class TestRaisedAtEntryPoints:
+    def test_unknown_crc_standard(self):
+        from repro.crc import get
+
+        with pytest.raises(SpecError, match="unknown CRC standard"):
+            get("CRC-9000")
+        with pytest.raises(KeyError):  # historical contract
+            get("CRC-9000")
+
+    def test_unknown_scrambler_standard(self):
+        from repro.scrambler.specs import get
+
+        with pytest.raises(SpecError):
+            get("NOT-A-SCRAMBLER")
+
+    def test_compile_error_wraps_builder_failure(self):
+        from repro.engine import CompileCache
+
+        cache = CompileCache(capacity=2)
+
+        def boom():
+            raise ZeroDivisionError("kernel exploded")
+
+        with pytest.raises(CompileError, match="kernel exploded"):
+            cache.get("key", boom)
+        # Nothing cached on failure.
+        assert "key" not in cache
+
+    def test_typed_errors_pass_through_cache_unwrapped(self):
+        from repro.engine import CompileCache
+
+        cache = CompileCache(capacity=2)
+
+        def invalid():
+            raise ValidationError("bad M")
+
+        with pytest.raises(ValidationError) as err:
+            cache.get("key", invalid)
+        assert not isinstance(err.value, CompileError)

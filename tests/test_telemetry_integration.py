@@ -167,6 +167,46 @@ class TestPipelineMetrics:
         pipe.feed(sid, b"123456789")
         assert pipe.finalize(sid) == 0xCBF43926
 
+    def test_gauges_survive_telemetry_toggle_mid_stream(self):
+        """Regression: disabling telemetry between feed and pump used to
+        leave the pending-bits gauge permanently drifted, because the inc
+        at feed time was never matched by a dec at pump time.  The
+        reconciling publisher self-heals on the next mutation."""
+        streams0 = _counter_value("engine_pipeline_streams", kind="crc")
+        pending0 = _counter_value("engine_pipeline_pending_bits", kind="crc")
+        pipe = CRCPipeline(ETHERNET_CRC32, 32)
+        sid = pipe.open()
+        pipe.feed_bits(sid, [1] * 60, pump=False)  # gauge now +60
+        REG.disable()
+        try:
+            pipe.pump()  # consumes 32 bits while the registry is off
+        finally:
+            REG.enable()
+        pipe.finalize(sid)  # next enabled mutation reconciles
+        assert _counter_value("engine_pipeline_streams", kind="crc") == streams0
+        assert _counter_value("engine_pipeline_pending_bits", kind="crc") == pending0
+
+    def test_gauges_survive_disabled_feed(self):
+        """The mirror-image toggle: bits fed while the registry is off
+        must not drive the gauge negative once telemetry comes back."""
+        streams0 = _counter_value("engine_pipeline_streams", kind="crc")
+        pending0 = _counter_value("engine_pipeline_pending_bits", kind="crc")
+        pipe = CRCPipeline(ETHERNET_CRC32, 32)
+        REG.disable()
+        try:
+            sid = pipe.open()
+            pipe.feed_bits(sid, [0, 1] * 30, pump=False)
+        finally:
+            REG.enable()
+        pipe.feed_bits(sid, [1] * 4, pump=False)  # reconciles: 1 stream, 64 bits
+        assert _counter_value("engine_pipeline_streams", kind="crc") == streams0 + 1
+        assert (
+            _counter_value("engine_pipeline_pending_bits", kind="crc") == pending0 + 64
+        )
+        pipe.finalize(sid)
+        assert _counter_value("engine_pipeline_streams", kind="crc") == streams0
+        assert _counter_value("engine_pipeline_pending_bits", kind="crc") == pending0
+
 
 # ----------------------------------------------------------------------
 # DREAM spans and bridges

@@ -1,0 +1,220 @@
+"""The differential fuzz harness: determinism, shrinking, reporting.
+
+The battery itself is exercised in CI's fuzz-smoke job; here we pin the
+harness mechanics — a fixed seed replays the identical case sequence, an
+injected fault is caught and shrunk to a minimal reproducer, and reports
+survive a JSON round-trip.
+"""
+
+import pytest
+
+from repro.engine import CompileCache
+from repro.errors import ValidationError
+from repro.telemetry import default_registry
+from repro.verify import (
+    CaseGenerator,
+    Discrepancy,
+    FuzzCase,
+    FuzzReport,
+    Mismatch,
+    Oracle,
+    default_oracles,
+    run_fuzz,
+    shrink,
+)
+from repro.verify.cases import KIND_CRC, KINDS
+
+
+class TestCaseGeneration:
+    def test_same_seed_same_cases(self):
+        a = CaseGenerator(seed=42)
+        b = CaseGenerator(seed=42)
+        assert [a.draw() for _ in range(50)] == [b.draw() for _ in range(50)]
+
+    def test_different_seeds_diverge(self):
+        a = [CaseGenerator(seed=1).draw() for _ in range(20)]
+        b = [CaseGenerator(seed=2).draw() for _ in range(20)]
+        assert a != b
+
+    def test_all_kinds_drawn(self):
+        gen = CaseGenerator(seed=0)
+        kinds = {gen.draw().kind for _ in range(100)}
+        assert kinds == set(KINDS)
+
+    def test_case_dict_round_trip(self):
+        gen = CaseGenerator(seed=7)
+        for _ in range(30):
+            case = gen.draw()
+            assert FuzzCase.from_dict(case.to_dict()) == case
+
+    def test_malformed_case_record(self):
+        with pytest.raises(ValidationError, match="malformed"):
+            FuzzCase.from_dict({"kind": "crc"})  # missing required fields
+
+    def test_chunk_plans_cover_payloads(self):
+        gen = CaseGenerator(seed=3)
+        for _ in range(50):
+            case = gen.draw()
+            if not case.chunks:
+                continue
+            for i, m in enumerate(case.messages):
+                assert sum(case.chunk_plan(i)) == len(m) // 2
+
+
+class _FaultInjector(Oracle):
+    """Test-only oracle: 'fails' whenever the case carries >= `threshold`
+    total payload bytes, so the minimal reproducer is known a priori."""
+
+    name = "test:fault-injector"
+    kinds = KINDS
+
+    def __init__(self, threshold=8):
+        self.threshold = threshold
+        self.calls = 0
+
+    def check(self, case, cache):
+        self.calls += 1
+        total = sum(len(m) // 2 for m in case.messages)
+        if total >= self.threshold:
+            return Discrepancy(
+                detail=f"{total} bytes", expected="<small>", got=f"{total}"
+            )
+        return None
+
+
+class TestShrinking:
+    def test_shrinker_converges_to_threshold(self):
+        oracle = _FaultInjector(threshold=8)
+        cache = CompileCache()
+        gen = CaseGenerator(seed=0)
+        case = gen.draw()
+        while oracle.check(case, cache) is None:
+            case = gen.draw()
+        minimal, probes = shrink(
+            case, lambda c: oracle.check(c, cache) is not None
+        )
+        total = sum(len(m) // 2 for m in minimal.messages)
+        # Locally minimal: exactly at the failure threshold, single stream,
+        # no leftover schedule complexity.
+        assert total == 8
+        assert minimal.batch == 1
+        assert minimal.seeds == ()
+        assert minimal.aborts == ()
+        assert probes > 0
+
+    def test_probe_budget_bounds_work(self):
+        oracle = _FaultInjector(threshold=1)
+        cache = CompileCache()
+        case = CaseGenerator(seed=5).draw()
+        _, probes = shrink(
+            case, lambda c: oracle.check(c, cache) is not None, max_probes=3
+        )
+        assert probes <= 3
+
+    def test_crashing_candidate_does_not_hijack(self):
+        case = CaseGenerator(seed=1).draw()
+
+        def predicate(c):
+            if c is not case and c.batch < case.batch:
+                raise RuntimeError("engine blew up on the variant")
+            return c is case
+
+        minimal, _ = shrink(case, predicate, max_probes=50)
+        assert minimal == case  # crashes treated as not-failing
+
+
+class TestRunFuzz:
+    def test_clean_run_is_deterministic(self):
+        a = run_fuzz(seed=11, max_cases=30)
+        b = run_fuzz(seed=11, max_cases=30)
+        assert a.ok and b.ok
+        assert a.cases == b.cases == 30
+        assert a.pair_cases == b.pair_cases
+        assert a.checks == b.checks
+
+    def test_exercises_at_least_four_pairs(self):
+        report = run_fuzz(seed=0, max_cases=40)
+        assert report.ok
+        assert report.pairs_exercised >= 4
+
+    def test_injected_fault_is_caught_and_shrunk(self):
+        oracle = _FaultInjector(threshold=8)
+        report = run_fuzz(
+            seed=0, max_cases=100, oracles=[oracle], max_failures=1
+        )
+        assert not report.ok
+        assert len(report.mismatches) == 1
+        m = report.mismatches[0]
+        assert m.oracle == "test:fault-injector"
+        shrunk_total = sum(len(s) // 2 for s in m.shrunk.messages)
+        case_total = sum(len(s) // 2 for s in m.case.messages)
+        assert shrunk_total == 8 <= case_total
+        assert m.probes > 0
+
+    def test_max_failures_stops_early(self):
+        oracle = _FaultInjector(threshold=0)  # every case fails
+        report = run_fuzz(
+            seed=0, max_cases=100, oracles=[oracle],
+            max_failures=2, shrink_failures=False,
+        )
+        assert len(report.mismatches) == 2
+        assert report.cases < 100
+
+    def test_telemetry_counters_advance(self):
+        registry = default_registry()
+        pairs = [o.name for o in default_oracles()]
+
+        def total():
+            family = registry.get("verify_fuzz_cases_total")
+            if family is None:
+                return 0.0
+            return sum(family.labels(pair=p).value for p in pairs)
+
+        before = total()
+        report = run_fuzz(seed=0, max_cases=10)
+        assert total() - before == report.checks
+
+    def test_default_battery_names_are_unique(self):
+        names = [o.name for o in default_oracles()]
+        assert len(names) == len(set(names))
+        assert len(names) == 7
+
+
+class TestReports:
+    def _failing_report(self):
+        oracle = _FaultInjector(threshold=4)
+        return run_fuzz(
+            seed=9, max_cases=50, oracles=[oracle], max_failures=1
+        )
+
+    def test_json_round_trip(self):
+        report = self._failing_report()
+        assert not report.ok
+        back = FuzzReport.from_json(report.to_json())
+        assert back.to_dict() == report.to_dict()
+        assert back.mismatches[0].shrunk == report.mismatches[0].shrunk
+
+    def test_save_and_load(self, tmp_path):
+        report = run_fuzz(seed=3, max_cases=5)
+        path = tmp_path / "report.json"
+        report.save(str(path))
+        assert FuzzReport.load(str(path)).to_dict() == report.to_dict()
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(ValidationError, match="not valid JSON"):
+            FuzzReport.from_json("{nope")
+        with pytest.raises(ValidationError, match="version"):
+            FuzzReport.from_json('{"version": 99, "seed": 0}')
+        with pytest.raises(ValidationError, match="malformed"):
+            Mismatch.from_dict({"oracle": "x"})
+
+    def test_summary_lines_name_failures(self):
+        report = self._failing_report()
+        text = "\n".join(report.summary_lines())
+        assert "MISMATCH" in text
+        assert "test:fault-injector" in text
+        assert report.repro_command() in text
+
+    def test_clean_summary(self):
+        report = run_fuzz(seed=2, max_cases=5)
+        assert "OK" in "\n".join(report.summary_lines())
