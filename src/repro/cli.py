@@ -21,6 +21,12 @@ Commands
 traced, a span-tree summary prints afterwards, and the metrics registry
 is snapshotted to ``$REPRO_TELEMETRY_PATH`` (default
 ``.repro-telemetry.jsonl``) where a later ``stats`` invocation finds it.
+
+``crc``, ``batch-bench`` and ``fuzz`` accept ``--backend`` to pick the
+GF(2) kernel set (``reference``, ``packed``, ...) for the whole run; it
+sets the process default, so it also covers engines built internally by
+the fuzzer.  The ``REPRO_GF2_BACKEND`` environment variable does the same
+without a flag.
 """
 
 from __future__ import annotations
@@ -191,6 +197,7 @@ def cmd_batch_bench(args: argparse.Namespace) -> int:
     loop_rate = len(sample) / (time.perf_counter() - t0)
 
     engine = BatchCRC(spec, args.m, method=args.method)
+    backend_name = engine.backend.name
     engine.compute_batch(messages[:2])  # warm the compile cache and numpy
     best = float("inf")
     for _ in range(args.repeats):
@@ -212,7 +219,10 @@ def cmd_batch_bench(args: argparse.Namespace) -> int:
     ]
     print(format_table(
         ["engine", "messages/s", "speedup"], rows,
-        title=f"{spec.name}, {args.bytes}-byte messages, M={args.m}",
+        title=(
+            f"{spec.name}, {args.bytes}-byte messages, M={args.m}, "
+            f"backend={backend_name}"
+        ),
     ))
     stats = cache.stats
     print(f"compile cache: {stats.hits} hits / {stats.misses} misses "
@@ -285,6 +295,18 @@ def _run_with_telemetry(args: argparse.Namespace) -> int:
     return rc
 
 
+def _add_backend_option(p: argparse.ArgumentParser) -> None:
+    from repro.gf2.backend import available_backends
+
+    p.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default=None,
+        help="GF(2) kernel backend for this run (default: "
+        "$REPRO_GF2_BACKEND or 'packed')",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -303,6 +325,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--file", help="payload from a file")
     p.add_argument("--text", help="payload as UTF-8 text")
     p.add_argument("--verify", help="expected CRC (exit 1 on mismatch)")
+    _add_backend_option(p)
     p.add_argument("--telemetry", action="store_true",
                    help="trace the run and snapshot the metrics registry")
     p.set_defaults(func=cmd_crc)
@@ -341,6 +364,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="messages timed through the per-message Derby loop")
     p.add_argument("--repeats", type=int, default=3, help="batch timing repeats")
     p.add_argument("--seed", type=int, default=0)
+    _add_backend_option(p)
     p.add_argument("--telemetry", action="store_true",
                    help="trace the run and snapshot the metrics registry")
     p.set_defaults(func=cmd_batch_bench)
@@ -358,6 +382,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the machine-readable report to PATH")
     p.add_argument("--max-failures", type=int, default=5,
                    help="stop after this many confirmed mismatches")
+    _add_backend_option(p)
     p.add_argument("--no-shrink", action="store_true",
                    help="skip minimizing failing cases")
     p.add_argument("--telemetry", action="store_true",
@@ -374,6 +399,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "backend", None):
+        import os
+
+        from repro.gf2.backend import BACKEND_ENV, set_default_backend
+
+        set_default_backend(args.backend)
+        # The flag must also beat an inherited REPRO_GF2_BACKEND setting.
+        os.environ[BACKEND_ENV] = args.backend
     if getattr(args, "telemetry", False):
         return _run_with_telemetry(args)
     return args.func(args)

@@ -6,11 +6,15 @@ pipeline slot.  This module exploits the same structure *temporally*: B
 independent messages advance through the recurrence simultaneously, with
 the batch dimension bit-sliced into 64-bit machine words.
 
-Layout: a batch of B bit-streams is a ``(n_bits, W)`` ``uint64`` array with
-``W = ceil(B/64)`` — bit *b* of word ``row[b // 64]`` belongs to stream
-*b*.  A GF(2) matrix-vector product over the whole batch is then ``r``
-XOR-reductions of W-word rows (:func:`gf2_mul_packed`), so one numpy call
-advances all B streams by M bits.
+Layout: the batch dimension is delegated to a pluggable GF(2) kernel
+backend (:mod:`repro.gf2.backend`).  Under the default ``"packed"``
+backend a batch of B bit-streams is a ``(n_bits, W)`` ``uint64`` array
+with ``W = ceil(B/64)`` — bit *b* of word ``row[b // 64]`` belongs to
+stream *b* — and a GF(2) matrix-vector product over the whole batch is
+``r`` XOR-reductions of W-word rows, so one numpy call advances all B
+streams by M bits.  The ``"reference"`` backend runs the same contract
+bit-by-bit over Python ints (the auditable ground truth); select with
+the ``backend=`` constructor argument or ``$REPRO_GF2_BACKEND``.
 
 Tail contract (identical to :class:`repro.dream.system.DreamSystem`):
 streams are zero-padded **at the head** to a multiple of M and run from a
@@ -23,14 +27,16 @@ each stream's true bit length N.
 from __future__ import annotations
 
 from collections import deque
+from functools import reduce
 from time import perf_counter
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.crc.spec import CRCSpec
 from repro.engine.cache import CompileCache, default_cache
 from repro.errors import SpecError
+from repro.gf2.backend import GF2Backend, WORD_BITS, get_backend, resolve_backend
 from repro.gf2.polynomial import GF2Polynomial
 from repro.scrambler.specs import ScramblerSpec
 from repro.telemetry import default_registry
@@ -41,8 +47,6 @@ from repro.validation import (
     check_method,
     check_register_list,
 )
-
-WORD_BITS = 64
 
 _REGISTRY = default_registry()
 _CALLS = _REGISTRY.counter(
@@ -75,6 +79,7 @@ def _observe_kernel(kernel: str, bits: int, seconds: float) -> None:
 
 
 def _n_words(batch: int) -> int:
+    """Packed uint64 words per batch row in the numpy layout."""
     return (batch + WORD_BITS - 1) // WORD_BITS
 
 
@@ -82,25 +87,15 @@ def pack_bits(bits: np.ndarray) -> np.ndarray:
     """Pack a ``(n, B)`` 0/1 array into ``(n, ceil(B/64))`` uint64 words.
 
     Stream *b* occupies bit ``b % 64`` of word ``b // 64`` in each row.
+    Kept as the numpy-layout entry point for the streaming pipelines; the
+    canonical implementation lives in :mod:`repro.gf2.backend`.
     """
-    bits = np.ascontiguousarray(bits, dtype=np.uint8)
-    if bits.ndim != 2:
-        raise ValueError(f"expected a 2-D (n_bits, batch) array, got shape {bits.shape}")
-    n, batch = bits.shape
-    words = _n_words(batch)
-    packed8 = np.packbits(bits, axis=1, bitorder="little")
-    padded = np.zeros((n, words * 8), dtype=np.uint8)
-    padded[:, : packed8.shape[1]] = packed8
-    return padded.view("<u8")
+    return get_backend("packed").pack(bits)
 
 
 def unpack_bits(packed: np.ndarray, batch: int) -> np.ndarray:
     """Inverse of :func:`pack_bits` — recover the ``(n, batch)`` bit array."""
-    packed = np.ascontiguousarray(packed, dtype="<u8")
-    if packed.ndim != 2:
-        raise ValueError(f"expected a 2-D (n_bits, words) array, got shape {packed.shape}")
-    as_bytes = packed.view(np.uint8)
-    return np.unpackbits(as_bytes, axis=1, count=batch, bitorder="little")
+    return get_backend("packed").unpack(packed, batch)
 
 
 def gf2_mul_packed(matrix: np.ndarray, packed: np.ndarray) -> np.ndarray:
@@ -109,18 +104,11 @@ def gf2_mul_packed(matrix: np.ndarray, packed: np.ndarray) -> np.ndarray:
     Row *i* of the result is the XOR of the packed rows selected by the ones
     in matrix row *i* — one vectorized select-and-reduce, no per-stream loop.
     """
-    mask = np.ascontiguousarray(matrix, dtype=bool)
-    if mask.ndim != 2 or packed.ndim != 2 or mask.shape[1] != packed.shape[0]:
-        raise ValueError(
-            f"shape mismatch: matrix {matrix.shape} @ packed {packed.shape}"
-        )
-    selected = np.where(mask[:, :, None], packed[None, :, :], np.uint64(0))
-    return np.bitwise_xor.reduce(selected, axis=1)
+    return get_backend("packed").matvec_batch(matrix, packed)
 
 
-def _registers_from_packed(state: np.ndarray, batch: int) -> List[int]:
-    """Per-stream register integers from a packed ``(k, W)`` state."""
-    bits = unpack_bits(state, batch)  # (k, batch), row i = x_i
+def _registers_from_bits(bits: np.ndarray, batch: int) -> List[int]:
+    """Per-stream register integers from a ``(k, batch)`` state bit array."""
     by_stream = np.packbits(bits, axis=0, bitorder="little")  # (ceil(k/8), batch)
     return [int.from_bytes(by_stream[:, b].tobytes(), "little") for b in range(batch)]
 
@@ -132,6 +120,8 @@ class BatchCRC:
     natural-basis ``(A^M, B_M)`` system; ``"derby"`` steps the transformed
     ``(A_Mt, B_Mt)`` system and anti-transforms once at the end — both are
     bit-for-bit identical to :class:`repro.crc.bitwise.BitwiseCRC`.
+    ``backend`` selects the GF(2) kernel set (name, instance, or ``None``
+    for the :mod:`repro.gf2.backend` default).
     """
 
     def __init__(
@@ -140,11 +130,13 @@ class BatchCRC:
         M: int,
         method: str = "lookahead",
         cache: Optional[CompileCache] = None,
+        backend: Union[None, str, GF2Backend] = None,
     ):
         self._spec = spec
         self._M = check_factor(M, what="look-ahead factor M")
         self._method = check_method(method)
         self._cache = cache if cache is not None else default_cache()
+        self._backend = resolve_backend(backend)
         if method == "derby":
             dt = self._cache.derby(spec, M)
             update, inject = dt.A_Mt, dt.B_Mt
@@ -160,33 +152,43 @@ class BatchCRC:
 
     @property
     def spec(self) -> CRCSpec:
+        """The CRC standard this engine computes."""
         return self._spec
 
     @property
     def M(self) -> int:
+        """Look-ahead block factor (bits consumed per block step)."""
         return self._M
 
     @property
     def method(self) -> str:
+        """Block recurrence in use: ``"lookahead"`` or ``"derby"``."""
         return self._method
 
     @property
     def cache(self) -> CompileCache:
+        """The compile cache the block matrices come from."""
         return self._cache
+
+    @property
+    def backend(self) -> GF2Backend:
+        """The GF(2) kernel backend the block loop runs on."""
+        return self._backend
 
     # ------------------------------------------------------------------
     def _raw_from_stream(self, stream: np.ndarray, lengths: Sequence[int]) -> List[int]:
         """Registers for a head-aligned ``(padded_len, batch)`` bit matrix."""
         batch = len(lengths)
-        state = np.zeros((self._k, _n_words(batch)), dtype=np.uint64)
+        be = self._backend
+        state = be.pack(np.zeros((self._k, batch), dtype=np.uint8))
         if stream.shape[0]:
-            packed = pack_bits(stream)
+            packed = be.pack(stream)
             for off in range(0, stream.shape[0], self._M):
-                stacked = np.vstack([state, packed[off : off + self._M]])
-                state = gf2_mul_packed(self._step, stacked)
+                stacked = be.concat([state, packed[off : off + self._M]])
+                state = be.matvec_batch(self._step, stacked)
         if self._anti is not None:
-            state = gf2_mul_packed(self._anti, state)
-        raw0 = _registers_from_packed(state, batch)
+            state = be.matvec_batch(self._anti, state)
+        raw0 = _registers_from_bits(be.unpack(state, batch), batch)
         folds = {n: self._cache.init_fold(self._spec, n) for n in set(lengths)}
         return [raw ^ folds[n] for raw, n in zip(raw0, lengths)]
 
@@ -262,9 +264,9 @@ class BatchAdditiveScrambler:
 
     Per-stream seeds are supported (each column of the packed state holds
     one stream's register); the keystream block is ``Y @ state`` and the
-    autonomous update ``A^M @ state``, both batched through
-    :func:`gf2_mul_packed`.  Scrambling is an involution, so descrambling
-    is the same call.
+    autonomous update ``A^M @ state``, both batched through the selected
+    GF(2) backend's block kernel.  Scrambling is an involution, so
+    descrambling is the same call.
     """
 
     def __init__(
@@ -272,10 +274,12 @@ class BatchAdditiveScrambler:
         spec: ScramblerSpec,
         M: int,
         cache: Optional[CompileCache] = None,
+        backend: Union[None, str, GF2Backend] = None,
     ):
         self._spec = spec
         self._M = check_factor(M, what="block factor M")
         self._cache = cache if cache is not None else default_cache()
+        self._backend = resolve_backend(backend)
         A_M, Y = self._cache.scrambler_block(spec, M)
         self._A = A_M.to_array()
         self._Y = Y.to_array()
@@ -283,11 +287,18 @@ class BatchAdditiveScrambler:
 
     @property
     def spec(self) -> ScramblerSpec:
+        """The scrambler standard (polynomial + default seed)."""
         return self._spec
 
     @property
     def M(self) -> int:
+        """Keystream bits produced per block step."""
         return self._M
+
+    @property
+    def backend(self) -> GF2Backend:
+        """The GF(2) kernel backend the block loop runs on."""
+        return self._backend
 
     # ------------------------------------------------------------------
     def _check_seeds(self, batch: int, seeds: Optional[Sequence[int]]) -> List[int]:
@@ -298,23 +309,26 @@ class BatchAdditiveScrambler:
             seeds, batch, self._ss.order, what="seeds", allow_zero=False
         )
 
-    def _initial_state(self, seeds: Sequence[int]) -> np.ndarray:
+    def _initial_state(self, seeds: Sequence[int]):
         cols = [self._ss.state_from_int(s) for s in seeds]
-        return pack_bits(np.stack(cols, axis=1))
+        return self._backend.pack(np.stack(cols, axis=1))
 
     def keystream_batch(self, nbits: int, batch: int, seeds: Optional[Sequence[int]] = None) -> np.ndarray:
         """``(nbits, batch)`` keystream bits, one column per stream."""
         telemetry = _REGISTRY.enabled
         t0 = perf_counter() if telemetry else 0.0
+        be = self._backend
         state = self._initial_state(self._check_seeds(batch, seeds))
         blocks = -(-nbits // self._M) if nbits else 0
-        out = np.zeros((blocks * self._M, state.shape[1]), dtype=np.uint64)
-        for i in range(blocks):
-            out[i * self._M : (i + 1) * self._M] = gf2_mul_packed(self._Y, state)
-            state = gf2_mul_packed(self._A, state)
+        parts = []
+        for _ in range(blocks):
+            parts.append(be.matvec_batch(self._Y, state))
+            state = be.matvec_batch(self._A, state)
         if telemetry:
             _observe_kernel("scrambler-additive", nbits * batch, perf_counter() - t0)
-        return unpack_bits(out, batch)[:nbits] if blocks else np.zeros((0, batch), dtype=np.uint8)
+        if not blocks:
+            return np.zeros((0, batch), dtype=np.uint8)
+        return be.unpack(be.concat(parts), batch)[:nbits]
 
     def scramble_batch(
         self,
@@ -323,6 +337,7 @@ class BatchAdditiveScrambler:
     ) -> List[List[int]]:
         # Validate arguments *before* any early return, so an invalid seed
         # list is rejected even when every stream happens to be empty.
+        """XOR each stream with its keystream; returns per-stream bit lists."""
         checked = check_bit_streams(bit_streams)
         batch = len(checked)
         seeds = self._check_seeds(batch, seeds)
@@ -346,6 +361,7 @@ class BatchAdditiveScrambler:
         bit_streams: Sequence[Sequence[int]],
         seeds: Optional[Sequence[int]] = None,
     ) -> List[List[int]]:
+        """Identical to :meth:`scramble_batch` (XOR is an involution)."""
         return self.scramble_batch(bit_streams, seeds)
 
 
@@ -359,11 +375,16 @@ class BatchMultiplicativeScrambler:
     bit-for-bit per stream.
     """
 
-    def __init__(self, poly: GF2Polynomial):
+    def __init__(
+        self,
+        poly: GF2Polynomial,
+        backend: Union[None, str, GF2Backend] = None,
+    ):
         if poly.degree < 1:
             raise SpecError("polynomial degree must be >= 1")
         self._poly = poly
         self._k = poly.degree
+        self._backend = resolve_backend(backend)
         # Delay positions, as in the serial engine: exponent t reads the
         # stream bit from t clocks ago (delay-line slot t-1).
         self._taps = [
@@ -372,7 +393,13 @@ class BatchMultiplicativeScrambler:
 
     @property
     def poly(self) -> GF2Polynomial:
+        """The generator polynomial ``g(x)``."""
         return self._poly
+
+    @property
+    def backend(self) -> GF2Backend:
+        """The GF(2) kernel backend the delay lines run on."""
+        return self._backend
 
     # ------------------------------------------------------------------
     def _check_states(self, batch: int, states: Optional[Sequence[int]]) -> List[int]:
@@ -388,8 +415,8 @@ class BatchMultiplicativeScrambler:
         for b, s in enumerate(states):
             for j in range(self._k):
                 rows[j, b] = (s >> j) & 1
-        packed = pack_bits(rows)
-        return deque(packed[j].copy() for j in range(self._k))
+        packed = self._backend.pack(rows)
+        return deque(packed[j] for j in range(self._k))
 
     def _run(
         self,
@@ -414,22 +441,21 @@ class BatchMultiplicativeScrambler:
         for b, bits in enumerate(checked):
             if lengths[b]:
                 data[: lengths[b], b] = bits
-        packed = pack_bits(data)
+        be = self._backend
+        packed = be.pack(data)
         line = self._delay_lines(states)
-        out = np.zeros_like(packed)
+        out_rows = []
         for n in range(longest):
-            fb = line[self._taps[0]].copy()
-            for pos in self._taps[1:]:
-                fb ^= line[pos]
-            if descramble:
-                shift_in = packed[n]  # the received (scrambled) bit
-                out[n] = packed[n] ^ fb
-            else:
-                out[n] = packed[n] ^ fb
-                shift_in = out[n]
+            fb = reduce(lambda acc, pos: acc ^ line[pos], self._taps[1:], line[self._taps[0]])
+            row = packed[n] ^ fb
+            out_rows.append(row)
+            # The delay line shifts in the *scrambled* stream bit on both
+            # sides of the link (received when descrambling, produced when
+            # scrambling) — that is what makes the pair self-synchronizing.
+            shift_in = packed[n] if descramble else row
             line.pop()
-            line.appendleft(shift_in.copy())
-        bits_out = unpack_bits(out, batch)
+            line.appendleft(shift_in)
+        bits_out = be.unpack(be.from_rows(out_rows), batch)
         if telemetry:
             _observe_kernel(
                 "scrambler-multiplicative", sum(lengths), perf_counter() - t0
@@ -439,9 +465,11 @@ class BatchMultiplicativeScrambler:
     def scramble_batch(
         self, bit_streams: Sequence[Sequence[int]], states: Optional[Sequence[int]] = None
     ) -> List[List[int]]:
+        """``s = u ^ taps(delay)``, feeding back ``s`` (1/g(x) transfer)."""
         return self._run(bit_streams, states, descramble=False)
 
     def descramble_batch(
         self, bit_streams: Sequence[Sequence[int]], states: Optional[Sequence[int]] = None
     ) -> List[List[int]]:
+        """``u = s ^ taps(delay)``, feeding forward ``s`` (g(x) transfer)."""
         return self._run(bit_streams, states, descramble=True)

@@ -70,47 +70,57 @@ class CacheStats:
 
     @property
     def hits(self) -> int:
+        """Lookups served from the cache."""
         with self._lock:
             return self._hits
 
     @property
     def misses(self) -> int:
+        """Lookups that had to run the builder."""
         with self._lock:
             return self._misses
 
     @property
     def evictions(self) -> int:
+        """Entries dropped by the LRU policy."""
         with self._lock:
             return self._evictions
 
     @property
     def lookups(self) -> int:
+        """Total lookups (hits + misses)."""
         with self._lock:
             return self._hits + self._misses
 
     @property
     def hit_rate(self) -> float:
+        """hits / lookups (0.0 when never used)."""
         with self._lock:
             lookups = self._hits + self._misses
             return self._hits / lookups if lookups else 0.0
 
     def record_hit(self) -> None:
+        """Count one cache hit."""
         with self._lock:
             self._hits += 1
 
     def record_miss(self) -> None:
+        """Count one cache miss."""
         with self._lock:
             self._misses += 1
 
     def record_eviction(self) -> None:
+        """Count one LRU eviction."""
         with self._lock:
             self._evictions += 1
 
     def reset(self) -> None:
+        """Zero all counters."""
         with self._lock:
             self._hits = self._misses = self._evictions = 0
 
     def snapshot(self) -> dict:
+        """Consistent ``{hits, misses, evictions}`` dict."""
         with self._lock:
             return {
                 "hits": self._hits,
@@ -150,6 +160,7 @@ class CompileCache:
     # ------------------------------------------------------------------
     @property
     def capacity(self) -> int:
+        """Maximum number of cached artifacts."""
         return self._capacity
 
     def __len__(self) -> int:
@@ -165,6 +176,7 @@ class CompileCache:
             return list(self._entries)
 
     def clear(self) -> None:
+        """Drop every entry (stats are kept)."""
         with self._lock:
             _ENTRIES.dec(len(self._entries))
             self._entries.clear()
@@ -211,20 +223,24 @@ class CompileCache:
     # Typed helpers — one per artifact family
     # ------------------------------------------------------------------
     def crc_statespace(self, spec: CRCSpec) -> LFSRStateSpace:
+        """State-space realization of a CRC generator, cached."""
         return self.get(("statespace", spec), lambda: crc_statespace(spec.generator()))
 
     def scrambler_statespace(self, spec: ScramblerSpec) -> LFSRStateSpace:
+        """State-space realization of a scrambler polynomial, cached."""
         return self.get(
             ("scrambler-statespace", spec), lambda: scrambler_statespace(spec.poly)
         )
 
     def lookahead(self, spec: CRCSpec, M: int) -> LookaheadSystem:
+        """M-level look-ahead expansion for a CRC, cached."""
         return self.get(
             ("lookahead", spec, M),
             lambda: expand_lookahead(self.crc_statespace(spec), M),
         )
 
     def derby(self, spec: CRCSpec, M: int) -> DerbyTransform:
+        """Derby transform for a CRC at factor M, cached."""
         return self.get(
             ("derby", spec, M),
             lambda: derby_transform(self.crc_statespace(spec), M),
@@ -258,6 +274,7 @@ class CompileCache:
         )
 
     def mapped_scrambler(self, spec: ScramblerSpec, M: int, arch=None):
+        """Compiled PiCoGA netlists for a scrambler, cached."""
         from repro.mapping.mapper import map_scrambler
         from repro.picoga.architecture import DREAM_PICOGA
 

@@ -132,14 +132,17 @@ class CRCPipeline:
 
     @property
     def spec(self) -> CRCSpec:
+        """The CRC standard every stream in this pipeline computes."""
         return self._spec
 
     @property
     def M(self) -> int:
+        """Block factor: bits consumed per stream per pump step."""
         return self._M
 
     @property
     def cache(self) -> CompileCache:
+        """The compile cache block matrices come from."""
         return self._cache
 
     def __len__(self) -> int:
@@ -199,6 +202,7 @@ class CRCPipeline:
         self.feed_bits(stream_id, self._spec.message_bits(data), pump=pump)
 
     def feed_bits(self, stream_id: Hashable, bits: Sequence[int], pump: bool = True) -> None:
+        """Append raw message bits to a stream (chunked calls compose)."""
         stream = self._stream(stream_id)
         stream.buffer.extend(check_bits(bits).tolist())
         self._publish()
@@ -289,10 +293,12 @@ class ScramblerPipeline:
 
     @property
     def spec(self) -> ScramblerSpec:
+        """The scrambler standard every stream applies."""
         return self._spec
 
     @property
     def M(self) -> int:
+        """Keystream bits generated per block step."""
         return self._M
 
     def __len__(self) -> int:
@@ -321,6 +327,7 @@ class ScramblerPipeline:
 
     # ------------------------------------------------------------------
     def open(self, stream_id: Optional[Hashable] = None, seed: Optional[int] = None) -> Hashable:
+        """Open a stream with its own seed; returns the stream id."""
         if stream_id is None:
             stream_id = next(self._auto_ids)
         if stream_id in self._streams:
@@ -350,6 +357,7 @@ class ScramblerPipeline:
         return out
 
     def close(self, stream_id: Hashable) -> None:
+        """Close a stream and discard its state."""
         self._stream(stream_id)
         del self._streams[stream_id]
         self._publish()

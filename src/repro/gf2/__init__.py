@@ -16,11 +16,30 @@ Public API
     coefficient of ``x**i``).
 :class:`GF2mField`
     Extension field GF(2^m) with a multiply-accumulate (GFMAC) primitive.
+:mod:`repro.gf2.backend`
+    Pluggable kernel registry (``"reference"`` pure-Python bit loops,
+    ``"packed"`` word-packed bit-slicing) behind :func:`get_backend`;
+    selection threads through every engine via the ``backend=``
+    constructor arguments and the ``REPRO_GF2_BACKEND`` environment
+    variable.
 Carry-less multiply helpers (:func:`clmul`, :func:`clmod`, :func:`cldivmod`)
 and bit utilities (:func:`reflect_bits`, :func:`int_to_bits`,
 :func:`bits_to_int`, :func:`bytes_to_bits`).
 """
 
+from repro.gf2.backend import (
+    BACKEND_ENV,
+    GF2Backend,
+    NumpyPackedBackend,
+    PackedIntBackend,
+    ReferenceBackend,
+    available_backends,
+    default_backend_name,
+    get_backend,
+    register_backend,
+    resolve_backend,
+    set_default_backend,
+)
 from repro.gf2.bits import (
     bits_to_bytes,
     bits_to_int,
@@ -37,9 +56,20 @@ from repro.gf2.matrix import GF2Matrix
 from repro.gf2.polynomial import GF2Polynomial
 
 __all__ = [
+    "BACKEND_ENV",
+    "GF2Backend",
     "GF2Matrix",
     "GF2Polynomial",
     "GF2mField",
+    "NumpyPackedBackend",
+    "PackedIntBackend",
+    "ReferenceBackend",
+    "available_backends",
+    "default_backend_name",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+    "set_default_backend",
     "bits_to_bytes",
     "bits_to_int",
     "bytes_to_bits",

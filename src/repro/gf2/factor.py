@@ -156,6 +156,7 @@ def is_square_free(poly: GF2Polynomial) -> bool:
 
 
 def divides(factor: GF2Polynomial, poly: GF2Polynomial) -> bool:
+    """True when ``factor`` divides ``poly`` exactly (zero remainder)."""
     return clmod(poly.coeffs, factor.coeffs) == 0
 
 

@@ -31,14 +31,17 @@ class GF2mField:
 
     @property
     def modulus(self) -> GF2Polynomial:
+        """The irreducible modulus polynomial defining the field."""
         return self._modulus
 
     @property
     def degree(self) -> int:
+        """The extension degree ``m``."""
         return self._m
 
     @property
     def size(self) -> int:
+        """Number of field elements, ``2**m``."""
         return 1 << self._m
 
     def _check(self, a: int) -> int:
@@ -48,9 +51,11 @@ class GF2mField:
 
     # ------------------------------------------------------------------
     def add(self, a: int, b: int) -> int:
+        """Field addition — plain XOR."""
         return self._check(a) ^ self._check(b)
 
     def mul(self, a: int, b: int) -> int:
+        """Carry-less multiply reduced by the modulus."""
         return clmod(clmul(self._check(a), self._check(b)), self._modulus.coeffs)
 
     def mac(self, acc: int, a: int, b: int) -> int:
@@ -58,9 +63,11 @@ class GF2mField:
         return self._check(acc) ^ self.mul(a, b)
 
     def pow(self, a: int, e: int) -> int:
+        """``a**e`` by square-and-multiply modulo the modulus."""
         return clpowmod(self._check(a), e, self._modulus.coeffs)
 
     def inverse(self, a: int) -> int:
+        """``a**-1`` via Fermat (``a**(2^m - 2)``); 0 has none."""
         if self._check(a) == 0:
             raise ZeroDivisionError("0 has no inverse in GF(2^m)")
         # a^(2^m - 2) = a^{-1} in a field of size 2^m.

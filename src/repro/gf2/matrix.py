@@ -39,14 +39,17 @@ class GF2Matrix:
     # ------------------------------------------------------------------
     @classmethod
     def zeros(cls, nrows: int, ncols: int) -> "GF2Matrix":
+        """The all-zero ``nrows x ncols`` matrix."""
         return cls(np.zeros((nrows, ncols), dtype=np.uint8))
 
     @classmethod
     def identity(cls, n: int) -> "GF2Matrix":
+        """The ``n x n`` identity matrix."""
         return cls(np.eye(n, dtype=np.uint8))
 
     @classmethod
     def from_columns(cls, columns: Iterable[Sequence[int]]) -> "GF2Matrix":
+        """Build from an iterable of equal-length column vectors."""
         cols = [np.asarray(c, dtype=np.uint8) for c in columns]
         if not cols:
             raise ValueError("need at least one column")
@@ -65,6 +68,7 @@ class GF2Matrix:
 
     @classmethod
     def random(cls, nrows: int, ncols: int, rng: Optional[np.random.Generator] = None) -> "GF2Matrix":
+        """Uniform random 0/1 matrix (seedable via ``rng``)."""
         rng = rng or np.random.default_rng()
         return cls(rng.integers(0, 2, size=(nrows, ncols), dtype=np.uint8))
 
@@ -73,26 +77,33 @@ class GF2Matrix:
     # ------------------------------------------------------------------
     @property
     def shape(self) -> Tuple[int, int]:
+        """``(nrows, ncols)``."""
         return self._a.shape
 
     @property
     def nrows(self) -> int:
+        """Number of rows."""
         return self._a.shape[0]
 
     @property
     def ncols(self) -> int:
+        """Number of columns."""
         return self._a.shape[1]
 
     def is_square(self) -> bool:
+        """True when ``nrows == ncols``."""
         return self.nrows == self.ncols
 
     def to_array(self) -> np.ndarray:
+        """A defensive uint8 copy of the underlying array."""
         return self._a.copy()
 
     def row(self, i: int) -> np.ndarray:
+        """Copy of row ``i`` as a 1-D uint8 array."""
         return self._a[i].copy()
 
     def column(self, j: int) -> np.ndarray:
+        """Copy of column ``j`` as a 1-D uint8 array."""
         return self._a[:, j].copy()
 
     def row_as_int(self, i: int) -> int:
@@ -100,6 +111,7 @@ class GF2Matrix:
         return int(sum(int(v) << j for j, v in enumerate(self._a[i])))
 
     def rows_as_ints(self) -> List[int]:
+        """Every row packed into an int (see :meth:`row_as_int`)."""
         return [self.row_as_int(i) for i in range(self.nrows)]
 
     def density(self) -> float:
@@ -167,14 +179,17 @@ class GF2Matrix:
         return result
 
     def transpose(self) -> "GF2Matrix":
+        """The transposed matrix."""
         return GF2Matrix(self._a.T)
 
     def hstack(self, other: "GF2Matrix") -> "GF2Matrix":
+        """Concatenate columns (``[self | other]``)."""
         if self.nrows != other.nrows:
             raise ValueError("row count mismatch for hstack")
         return GF2Matrix(np.hstack([self._a, other._a]))
 
     def vstack(self, other: "GF2Matrix") -> "GF2Matrix":
+        """Concatenate rows (``[self / other]``)."""
         if self.ncols != other.ncols:
             raise ValueError("column count mismatch for vstack")
         return GF2Matrix(np.vstack([self._a, other._a]))
@@ -205,10 +220,12 @@ class GF2Matrix:
         return a, pivots
 
     def rank(self) -> int:
+        """Rank over GF(2) via row reduction."""
         _, pivots = self._row_echelon()
         return len(pivots)
 
     def is_invertible(self) -> bool:
+        """True for square matrices of full rank."""
         return self.is_square() and self.rank() == self.nrows
 
     def inverse(self) -> "GF2Matrix":

@@ -57,26 +57,32 @@ class GF2Polynomial:
 
     @classmethod
     def x(cls) -> "GF2Polynomial":
+        """The monomial ``x``."""
         return cls(2)
 
     @classmethod
     def one(cls) -> "GF2Polynomial":
+        """The constant polynomial 1."""
         return cls(1)
 
     @classmethod
     def zero(cls) -> "GF2Polynomial":
+        """The zero polynomial."""
         return cls(0)
 
     # ------------------------------------------------------------------
     @property
     def coeffs(self) -> int:
+        """Coefficient bit-mask (bit ``i`` = coefficient of ``x**i``)."""
         return self._coeffs
 
     @property
     def degree(self) -> int:
+        """Degree of the highest set coefficient (-1 for zero)."""
         return cldeg(self._coeffs)
 
     def coefficient(self, i: int) -> int:
+        """Coefficient of ``x**i`` (0 or 1)."""
         return (self._coeffs >> i) & 1
 
     def exponents(self) -> List[int]:
@@ -84,6 +90,7 @@ class GF2Polynomial:
         return [i for i in range(self.degree, -1, -1) if self.coefficient(i)]
 
     def is_zero(self) -> bool:
+        """True for the zero polynomial."""
         return self._coeffs == 0
 
     def __iter__(self) -> Iterator[int]:
@@ -133,13 +140,16 @@ class GF2Polynomial:
         return GF2Polynomial(cldivmod(self._coeffs, other._coeffs)[0])
 
     def divmod(self, other: "GF2Polynomial"):
+        """``(quotient, remainder)`` of carry-less division."""
         q, r = cldivmod(self._coeffs, other._coeffs)
         return GF2Polynomial(q), GF2Polynomial(r)
 
     def gcd(self, other: "GF2Polynomial") -> "GF2Polynomial":
+        """Greatest common divisor over GF(2)."""
         return GF2Polynomial(clgcd(self._coeffs, other._coeffs))
 
     def pow_mod(self, exponent: int, modulus: "GF2Polynomial") -> "GF2Polynomial":
+        """``self**exponent mod modulus`` by square-and-multiply."""
         return GF2Polynomial(clpowmod(self._coeffs, exponent, modulus._coeffs))
 
     def evaluate(self, point: int) -> int:

@@ -28,6 +28,7 @@ from repro.engine import (
     CRCPipeline,
     ScramblerPipeline,
 )
+from repro.gf2.backend import get_backend
 from repro.gf2.bits import bytes_to_bits
 from repro.gf2.polynomial import GF2Polynomial
 from repro.scrambler import AdditiveScrambler
@@ -316,8 +317,97 @@ class MultiplicativeScramblerOracle(Oracle):
         return None
 
 
+class PackedBackendOracle(Oracle):
+    """Reference vs packed GF(2) backend on the raw kernel operations and
+    on the full batch CRC engine.
+
+    The other oracles pit parallel engines against the bit-serial ground
+    truth under whatever backend is the process default; this one pins the
+    two backends against *each other* on the same look-ahead matrices and
+    payload-derived bit blocks, so a word-packing bug is indicted directly
+    rather than through an engine mismatch.
+    """
+
+    name = "gf2:reference-vs-packed"
+    kinds = (KIND_CRC,)
+
+    def check(self, case: FuzzCase, cache: CompileCache) -> Optional[Discrepancy]:
+        import numpy as np
+
+        spec = get_crc(case.spec)
+        ref = get_backend("reference")
+        packed = get_backend("packed")
+        la = cache.lookahead(spec, case.M)
+        A = la.A_M.to_array()
+        B = la.B_M.to_array()
+
+        # Bit material derived deterministically from the case payloads.
+        payloads = case.payloads()
+        bits = [spec.message_bits(m) for m in payloads]
+        pool = [b for stream in bits for b in stream]
+        k = A.shape[0]
+        vec = np.array([(pool[i % len(pool)] if pool else 0) for i in range(k)], dtype=np.uint8)
+
+        got = packed.matvec(A, vec)
+        expected = ref.matvec(A, vec)
+        if got.tolist() != expected.tolist():
+            return Discrepancy(
+                detail=f"matvec A^{case.M} ({case.spec})",
+                expected="".join(map(str, expected.tolist())),
+                got="".join(map(str, got.tolist())),
+            )
+        got_m = packed.matmul(A, A)
+        exp_m = ref.matmul(A, A)
+        if got_m.tolist() != exp_m.tolist():
+            return Discrepancy(
+                detail=f"matmul A^{case.M} @ A^{case.M} ({case.spec})",
+                expected=f"{exp_m.sum()} ones",
+                got=f"{got_m.sum()} ones",
+            )
+        got_p = packed.matpow(A, 3)
+        exp_p = ref.matpow(A, 3)
+        if got_p.tolist() != exp_p.tolist():
+            return Discrepancy(
+                detail=f"matpow (A^{case.M})^3 ({case.spec})",
+                expected=f"{exp_p.sum()} ones",
+                got=f"{got_p.sum()} ones",
+            )
+
+        # Batched block kernel on a (M, batch) block cut from the payloads.
+        batch = max(1, len(payloads))
+        block = np.array(
+            [
+                [(pool[(r * batch + c) % len(pool)] if pool else 0) for c in range(batch)]
+                for r in range(B.shape[1])
+            ],
+            dtype=np.uint8,
+        )
+        got_b = packed.unpack(packed.matvec_batch(B, packed.pack(block)), batch)
+        exp_b = ref.unpack(ref.matvec_batch(B, ref.pack(block)), batch)
+        if got_b.tolist() != exp_b.tolist():
+            return Discrepancy(
+                detail=f"matvec_batch B_M block ({case.spec}, M={case.M}, B={batch})",
+                expected=f"{int(exp_b.sum())} ones",
+                got=f"{int(got_b.sum())} ones",
+            )
+
+        # Full engine: the same batch CRC under both backends.
+        exp_crcs = BatchCRC(spec, case.M, method=case.method, cache=cache,
+                            backend="reference").compute_batch(payloads)
+        got_crcs = BatchCRC(spec, case.M, method=case.method, cache=cache,
+                            backend="packed").compute_batch(payloads)
+        if got_crcs != exp_crcs:
+            i = next(j for j, (a, b) in enumerate(zip(exp_crcs, got_crcs)) if a != b)
+            return Discrepancy(
+                detail=f"BatchCRC backend pair stream {i} (method={case.method})",
+                expected=f"0x{exp_crcs[i]:X}",
+                got=f"0x{got_crcs[i]:X}",
+            )
+        return None
+
+
 def default_oracles() -> List[Oracle]:
-    """The standing cross-engine differential battery (6 engine pairs)."""
+    """The standing cross-engine differential battery (8 oracle pairs)."""
     return [
         CRCTableOracle(),
         CRCDerbyOracle(),
@@ -326,4 +416,5 @@ def default_oracles() -> List[Oracle]:
         AdditiveScramblerOracle(),
         ScramblerPipelineOracle(),
         MultiplicativeScramblerOracle(),
+        PackedBackendOracle(),
     ]

@@ -177,7 +177,7 @@ class TestRunFuzz:
     def test_default_battery_names_are_unique(self):
         names = [o.name for o in default_oracles()]
         assert len(names) == len(set(names))
-        assert len(names) == 7
+        assert len(names) == 8
 
 
 class TestReports:

@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Docstring-coverage gate for the public API surface.
+
+Walks the Python files under the given paths and fails (exit 1) if any
+module, public class, or public function/method lacks a docstring.  "Public"
+means the name has no leading underscore and none of its enclosing scopes
+do; ``__init__`` and other dunders are exempt, as are trivial overrides
+consisting of a bare ``raise NotImplementedError`` or ``pass`` (their
+contract lives on the base class).
+
+Usage::
+
+    python tools/check_docstrings.py src/repro/engine src/repro/gf2
+
+Run from the repository root; CI runs it over ``src/repro/engine`` and
+``src/repro/gf2`` so the documented subsystems cannot silently grow
+undocumented entry points.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+
+def _is_trivial_body(node: ast.AST) -> bool:
+    """A bare ``pass`` / ``...`` / ``raise NotImplementedError`` body."""
+    body = getattr(node, "body", [])
+    if len(body) != 1:
+        return False
+    stmt = body[0]
+    if isinstance(stmt, ast.Pass):
+        return True
+    if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+        return stmt.value.value is Ellipsis
+    if isinstance(stmt, ast.Raise) and stmt.exc is not None:
+        exc = stmt.exc
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        return isinstance(exc, ast.Name) and exc.id == "NotImplementedError"
+    return False
+
+
+def _walk_scopes(
+    node: ast.AST, qualname: str = ""
+) -> Iterator[Tuple[str, ast.AST]]:
+    """Yield ``(qualified_name, node)`` for public defs under ``node``."""
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            name = child.name
+            if name.startswith("_") and not (
+                name.startswith("__") and name.endswith("__")
+            ):
+                continue  # private scope: skip it and everything inside
+            if name.startswith("__") and name.endswith("__"):
+                continue  # dunders inherit their contract
+            qual = f"{qualname}.{name}" if qualname else name
+            yield qual, child
+            if isinstance(child, ast.ClassDef):
+                yield from _walk_scopes(child, qual)
+
+
+def check_file(path: Path) -> List[str]:
+    """Return a list of human-readable problems found in ``path``."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    problems = []
+    if not ast.get_docstring(tree):
+        problems.append(f"{path}:1: module docstring missing")
+    for qual, node in _walk_scopes(tree):
+        if ast.get_docstring(node):
+            continue
+        if _is_trivial_body(node):
+            continue
+        kind = "class" if isinstance(node, ast.ClassDef) else "function"
+        problems.append(f"{path}:{node.lineno}: {kind} {qual!r} docstring missing")
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    """CLI entry point: check every ``.py`` file under the given paths."""
+    if not argv:
+        print("usage: check_docstrings.py PATH [PATH ...]", file=sys.stderr)
+        return 2
+    files: List[Path] = []
+    for arg in argv:
+        root = Path(arg)
+        if root.is_dir():
+            files.extend(sorted(root.rglob("*.py")))
+        elif root.suffix == ".py":
+            files.append(root)
+        else:
+            print(f"error: {arg} is not a directory or .py file", file=sys.stderr)
+            return 2
+    problems: List[str] = []
+    for path in files:
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem)
+    print(
+        f"check_docstrings: {len(files)} files, {len(problems)} problems",
+        file=sys.stderr,
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
