@@ -12,6 +12,8 @@ Run everything with::
 
 from __future__ import annotations
 
+import json
+import os
 from pathlib import Path
 
 import pytest
@@ -22,6 +24,58 @@ from repro.mapping import map_crc
 from repro.telemetry import BenchReport
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Override the trajectory snapshot index (defaults to the PR number
+#: inferred from CHANGES.md).
+BENCH_INDEX_ENV = "REPRO_BENCH_INDEX"
+
+
+def _bench_index(repo_root: Path) -> int:
+    """This PR's position in the stack, for naming ``BENCH_<n>.json``."""
+    override = os.environ.get(BENCH_INDEX_ENV)
+    if override:
+        return int(override)
+    changes = repo_root / "CHANGES.md"
+    if changes.exists():
+        entries = [
+            line
+            for line in changes.read_text().splitlines()
+            if line.lstrip().startswith(("-", "*"))
+        ]
+        if entries:
+            return len(entries)
+    return 0
+
+
+def write_trajectory_snapshot(results_dir: Path) -> Path:
+    """Fold every ``results/*.json`` report into ``BENCH_<n>.json``.
+
+    The snapshot lives at the repo top level, one file per PR, so the
+    stack accumulates a diffable throughput trajectory: which kernels
+    existed at PR *n* and what each one measured.  Re-running the
+    benches for the same PR overwrites that PR's snapshot in place.
+    """
+    repo_root = results_dir.parent.parent
+    index = _bench_index(repo_root)
+    kernels = {}
+    for path in sorted(results_dir.glob("*.json")):
+        try:
+            report = BenchReport.load(path)
+        except (ValueError, KeyError, json.JSONDecodeError):
+            continue  # foreign or older-schema file: not part of the trajectory
+        kernels[report.name] = {
+            "title": report.title,
+            "params": report.params,
+            "metrics": report.metrics,
+        }
+    snapshot = {
+        "schema": "repro-bench-trajectory/1",
+        "pr": index,
+        "kernels": kernels,
+    }
+    path = repo_root / f"BENCH_{index}.json"
+    path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 @pytest.fixture(scope="session")
@@ -52,7 +106,8 @@ def save_report(results_dir):
 
     def _save(report: BenchReport) -> Path:
         path = report.write(results_dir)
-        print(f"\n[bench-report] {path.name}")
+        snapshot = write_trajectory_snapshot(results_dir)
+        print(f"\n[bench-report] {path.name} -> {snapshot.name}")
         return path
 
     return _save

@@ -14,6 +14,8 @@ Commands
     Predict DREAM throughput for a message length across factors.
 ``batch-bench``
     Time the vectorized batch engine against the per-message Derby loop.
+``cache``
+    Inspect (or clear) the persistent compile-cache directory.
 ``stats``
     Dump the telemetry registry as JSON or Prometheus text.
 
@@ -27,6 +29,12 @@ GF(2) kernel set (``reference``, ``packed``, ...) for the whole run; it
 sets the process default, so it also covers engines built internally by
 the fuzzer.  The ``REPRO_GF2_BACKEND`` environment variable does the same
 without a flag.
+
+``batch-bench`` and ``fuzz`` accept ``--workers`` to shard work across a
+pool (``$REPRO_WORKERS`` without a flag; ``auto`` = cpu count) and
+``--cache-dir`` to persist compiled artifacts across runs
+(``$REPRO_CACHE_DIR`` without a flag) — both flags set the process
+default, so engines built internally inherit them.
 """
 
 from __future__ import annotations
@@ -217,6 +225,33 @@ def cmd_batch_bench(args: argparse.Namespace) -> int:
             f"{batch_rate / loop_rate:.1f}x",
         ],
     ]
+
+    from repro.engine import ParallelBatchCRC, resolve_workers
+
+    workers = resolve_workers(getattr(args, "workers", None))
+    if workers > 1:
+        with ParallelBatchCRC(
+            spec, args.m, method=args.method, workers=workers, min_shard_bits=1
+        ) as par:
+            par.compute_batch(messages[:2])  # start the pool off-clock
+            par_best = float("inf")
+            for _ in range(args.repeats):
+                t0 = time.perf_counter()
+                par_crcs = par.compute_batch(messages)
+                par_best = min(par_best, time.perf_counter() - t0)
+            par_mode = par.mode
+        if par_crcs != crcs:
+            print("MISMATCH: sharded engine disagrees with serial batch engine")
+            return 1
+        par_rate = len(messages) / par_best
+        rows.append(
+            [
+                f"ParallelBatchCRC x{workers} [{par_mode}]",
+                f"{par_rate:,.0f}",
+                f"{par_rate / loop_rate:.1f}x",
+            ]
+        )
+
     print(format_table(
         ["engine", "messages/s", "speedup"], rows,
         title=(
@@ -227,6 +262,28 @@ def cmd_batch_bench(args: argparse.Namespace) -> int:
     stats = cache.stats
     print(f"compile cache: {stats.hits} hits / {stats.misses} misses "
           f"({stats.hit_rate:.0%} hit rate, {len(cache)}/{cache.capacity} entries)")
+    if cache.disk is not None:
+        dstats = cache.disk.stats.snapshot()
+        print(f"disk cache [{cache.disk.root}]: {dstats['hits']} hits / "
+              f"{dstats['misses']} misses / {dstats['stores']} stores "
+              f"({len(cache.disk)} entries, {cache.disk.size_bytes():,} bytes)")
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from repro.engine import DiskCompileCache, default_cache_dir
+
+    root = args.cache_dir or default_cache_dir()
+    if root is None:
+        print("no cache directory: pass --cache-dir or set $REPRO_CACHE_DIR")
+        return 1
+    disk = DiskCompileCache(root)
+    if args.clear:
+        removed = disk.clear()
+        print(f"cleared {removed} entries from {disk.root}")
+        return 0
+    print(f"compile cache at {disk.root} (format v{disk.version}): "
+          f"{len(disk)} entries, {disk.size_bytes():,} bytes")
     return 0
 
 
@@ -307,6 +364,23 @@ def _add_backend_option(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_parallel_options(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--workers",
+        default=None,
+        metavar="N",
+        help="shard work across N workers; 'auto' = cpu count "
+        "(default: $REPRO_WORKERS or 1)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persist compiled artifacts under DIR across runs "
+        "(default: $REPRO_CACHE_DIR or no persistence)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -365,6 +439,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--repeats", type=int, default=3, help="batch timing repeats")
     p.add_argument("--seed", type=int, default=0)
     _add_backend_option(p)
+    _add_parallel_options(p)
     p.add_argument("--telemetry", action="store_true",
                    help="trace the run and snapshot the metrics registry")
     p.set_defaults(func=cmd_batch_bench)
@@ -383,11 +458,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-failures", type=int, default=5,
                    help="stop after this many confirmed mismatches")
     _add_backend_option(p)
+    _add_parallel_options(p)
     p.add_argument("--no-shrink", action="store_true",
                    help="skip minimizing failing cases")
     p.add_argument("--telemetry", action="store_true",
                    help="trace the run and snapshot the metrics registry")
     p.set_defaults(func=cmd_fuzz)
+
+    p = sub.add_parser("cache", help="inspect the persistent compile cache")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="cache directory (default: $REPRO_CACHE_DIR)")
+    p.add_argument("--clear", action="store_true", help="delete every entry")
+    p.set_defaults(func=cmd_cache)
 
     p = sub.add_parser("stats", help="dump the telemetry registry")
     p.add_argument("--format", choices=("json", "prometheus"), default="json")
@@ -407,6 +489,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         set_default_backend(args.backend)
         # The flag must also beat an inherited REPRO_GF2_BACKEND setting.
         os.environ[BACKEND_ENV] = args.backend
+    if getattr(args, "workers", None) is not None:
+        import os
+
+        from repro.engine.parallel import WORKERS_ENV, resolve_workers
+
+        resolve_workers(args.workers)  # fail fast on bad input
+        os.environ[WORKERS_ENV] = str(args.workers)
+    # --cache-dir persists compiles; export it so worker processes and
+    # the lazily-attached default cache all see the same directory.
+    if getattr(args, "cache_dir", None) and args.command != "cache":
+        import os
+
+        from repro.engine.diskcache import CACHE_DIR_ENV
+
+        os.environ[CACHE_DIR_ENV] = str(args.cache_dir)
     if getattr(args, "telemetry", False):
         return _run_with_telemetry(args)
     return args.func(args)

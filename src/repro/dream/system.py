@@ -99,6 +99,53 @@ class DreamSystem:
             return self.cache.mapped_scrambler(spec, M, arch=self.arch)
 
     # ==================================================================
+    # Host-side batch engines (share this system's compile cache)
+    # ==================================================================
+    def attach_disk_cache(self, root) -> None:
+        """Back this system's compile cache with a persistent directory.
+
+        Every artifact compiled afterwards (and every batch engine built
+        by :meth:`batch_crc` / :meth:`batch_scrambler`) stores to and
+        warms from ``root`` — so a second DREAM run for the same
+        standards skips compilation entirely.
+        """
+        from repro.engine.diskcache import DiskCompileCache
+
+        self.cache.attach_disk(DiskCompileCache(root))
+
+    def batch_crc(self, spec, M: int, method: str = "lookahead", workers=None):
+        """A host-side sharded CRC engine wired to this system's cache.
+
+        ``workers`` resolves per :func:`repro.engine.parallel.resolve_workers`
+        (explicit > ``$REPRO_WORKERS`` > 1); ``workers=1`` degenerates to
+        the serial :class:`~repro.engine.batch.BatchCRC` path.  Use this
+        for golden-model throughput runs that mirror a DREAM deployment:
+        the same ``(spec, M, method)`` artifacts the netlists were mapped
+        from drive the software kernels, so cache hits are shared.
+        """
+        from repro.engine.parallel import ParallelBatchCRC
+
+        return ParallelBatchCRC(
+            spec, M, method=method, workers=workers, cache=self.cache
+        )
+
+    def batch_scrambler(self, spec, M: int, workers=None):
+        """A host-side sharded additive scrambler on this system's cache."""
+        from repro.engine.parallel import ParallelBatchAdditiveScrambler
+
+        return ParallelBatchAdditiveScrambler(
+            spec, M, workers=workers, cache=self.cache
+        )
+
+    def crc_pipeline(self, spec, M: int, method: str = "lookahead", workers=None):
+        """A sharded streaming CRC pipeline on this system's cache."""
+        from repro.engine.parallel import ShardedCRCPipeline
+
+        return ShardedCRCPipeline(
+            spec, M, method=method, workers=workers, cache=self.cache
+        )
+
+    # ==================================================================
     # Analytic mode
     # ==================================================================
     def predict_crc(

@@ -14,6 +14,13 @@ Three layers, each reusable on its own:
 * :mod:`repro.engine.pipeline` — a chunked feed/finalize streaming API so
   long messages and many concurrent streams share the cache and the
   vectorized kernels.
+* :mod:`repro.engine.parallel` — a sharded multi-worker execution layer:
+  batch workloads partition across a thread pool (numpy kernels release
+  the GIL) or a process pool (pure-Python backends), single messages
+  time-shard with exact ``x^k mod G`` recombination, and streaming
+  pipelines spread over shard pipelines with a work-stealing scheduler.
+* :mod:`repro.engine.diskcache` — a content-addressed persistent compile
+  cache that warms the in-memory LRU across processes and runs.
 """
 
 from repro.engine.batch import (
@@ -24,19 +31,53 @@ from repro.engine.batch import (
     pack_bits,
     unpack_bits,
 )
-from repro.engine.cache import CacheStats, CompileCache, default_cache
+from repro.engine.cache import (
+    CacheStats,
+    CompileCache,
+    default_cache,
+    estimate_entry_bytes,
+)
+from repro.engine.diskcache import (
+    CACHE_DIR_ENV,
+    DiskCacheStats,
+    DiskCompileCache,
+    default_cache_dir,
+)
+from repro.engine.parallel import (
+    WORKERS_ENV,
+    ParallelBatchAdditiveScrambler,
+    ParallelBatchCRC,
+    ShardedCRCPipeline,
+    ShardScheduler,
+    WorkerPool,
+    plan_shards,
+    resolve_workers,
+)
 from repro.engine.pipeline import CRCPipeline, ScramblerPipeline
 
 __all__ = [
     "BatchAdditiveScrambler",
     "BatchCRC",
     "BatchMultiplicativeScrambler",
+    "CACHE_DIR_ENV",
     "CacheStats",
     "CompileCache",
     "CRCPipeline",
+    "DiskCacheStats",
+    "DiskCompileCache",
+    "ParallelBatchAdditiveScrambler",
+    "ParallelBatchCRC",
     "ScramblerPipeline",
+    "ShardedCRCPipeline",
+    "ShardScheduler",
+    "WorkerPool",
+    "WORKERS_ENV",
     "default_cache",
+    "default_cache_dir",
+    "estimate_entry_bytes",
     "gf2_mul_packed",
     "pack_bits",
+    "plan_shards",
+    "resolve_workers",
     "unpack_bits",
 ]

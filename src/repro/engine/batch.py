@@ -176,7 +176,12 @@ class BatchCRC:
         return self._backend
 
     # ------------------------------------------------------------------
-    def _raw_from_stream(self, stream: np.ndarray, lengths: Sequence[int]) -> List[int]:
+    def _raw_from_stream(
+        self,
+        stream: np.ndarray,
+        lengths: Sequence[int],
+        fold_init: bool = True,
+    ) -> List[int]:
         """Registers for a head-aligned ``(padded_len, batch)`` bit matrix."""
         batch = len(lengths)
         be = self._backend
@@ -189,14 +194,27 @@ class BatchCRC:
         if self._anti is not None:
             state = be.matvec_batch(self._anti, state)
         raw0 = _registers_from_bits(be.unpack(state, batch), batch)
+        if not fold_init:
+            return raw0
         folds = {n: self._cache.init_fold(self._spec, n) for n in set(lengths)}
         return [raw ^ folds[n] for raw, n in zip(raw0, lengths)]
 
     def _padded_length(self, longest: int) -> int:
         return -(-longest // self._M) * self._M if longest else 0
 
-    def raw_registers_bits(self, bit_streams: Sequence[Sequence[int]]) -> List[int]:
-        """Raw (pre-finalize) registers for raw bit streams of any lengths."""
+    def raw_registers_bits(
+        self,
+        bit_streams: Sequence[Sequence[int]],
+        fold_init: bool = True,
+    ) -> List[int]:
+        """Raw (pre-finalize) registers for raw bit streams of any lengths.
+
+        ``fold_init=False`` skips the per-stream init correction and
+        returns zero-start registers — the shard form the parallel
+        layer's ``x^k`` combine (see :mod:`repro.engine.parallel`)
+        composes, since only the *first* shard of a message carries the
+        spec preset.
+        """
         checked = check_bit_streams(bit_streams)
         batch = len(checked)
         if batch == 0:
@@ -209,7 +227,7 @@ class BatchCRC:
         for b, bits in enumerate(checked):
             if lengths[b]:
                 stream[padded_len - lengths[b] :, b] = bits
-        registers = self._raw_from_stream(stream, lengths)
+        registers = self._raw_from_stream(stream, lengths, fold_init=fold_init)
         if telemetry:
             _observe_kernel(f"crc-{self._method}", sum(lengths), perf_counter() - t0)
         return registers

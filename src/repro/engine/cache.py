@@ -12,6 +12,14 @@ bounded LRU so repeated specs recompile at dictionary-lookup cost.
 The cache is deliberately generic (``get(key, builder)``) with typed
 helpers for each artifact family, and it exposes hit/miss/eviction
 counters so the benchmark harness can assert near-zero recompile cost.
+Residency is bounded two ways: by entry count (``capacity``) and — since
+artifact cost scales with matrix area, not count — by an estimated byte
+budget (``max_bytes``, see :func:`estimate_entry_bytes`), published on
+the ``engine_compile_cache_bytes`` gauge.  An optional
+:class:`~repro.engine.diskcache.DiskCompileCache` layer persists the
+pure linear-algebra artifact families across processes, so cold CLI
+invocations and pool workers warm the LRU from disk instead of
+recompiling (see ``docs/PARALLEL.md``).
 
 A module-level :func:`default_cache` instance is shared by
 :class:`~repro.engine.batch.BatchCRC`, the streaming pipelines and
@@ -21,11 +29,15 @@ workloads touching the same standards share one compile.
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 from collections import OrderedDict
 from typing import Any, Callable, Hashable, Optional, Tuple
 
+import numpy as np
+
 from repro.crc.spec import CRCSpec
+from repro.engine.diskcache import DiskCompileCache, default_cache_dir
 from repro.errors import CompileError, ReproError, ValidationError
 from repro.gf2.matrix import GF2Matrix
 from repro.lfsr.lookahead import (
@@ -50,6 +62,64 @@ _EVICTIONS = _REGISTRY.counter(
 _ENTRIES = _REGISTRY.gauge(
     "engine_compile_cache_entries", "Compiled artifacts resident across caches"
 )
+_BYTES = _REGISTRY.gauge(
+    "engine_compile_cache_bytes",
+    "Estimated bytes of compiled artifacts resident across caches",
+)
+
+#: Artifact kinds worth persisting to a :class:`DiskCompileCache`: pure
+#: linear-algebra products of ``(spec, M)`` whose pickles are small and
+#: stable.  Mapped PiCoGA netlists are deliberately absent — they embed
+#: architecture objects and are cheap to re-derive from these inputs.
+PERSISTED_KINDS = frozenset(
+    {
+        "statespace",
+        "scrambler-statespace",
+        "lookahead",
+        "derby",
+        "scrambler-block",
+    }
+)
+
+
+def estimate_entry_bytes(value: Any) -> int:
+    """Estimated resident cost of one cached artifact, in bytes.
+
+    Matrix-bearing artifacts dominate the cache, and their true cost
+    scales with matrix area (an M=256 Derby transform is ~64x an M=32
+    one), so entry-count capacity alone misrepresents residency.  The
+    estimate walks the known artifact shapes — GF(2) matrices at one
+    byte per stored entry (the uint8 backing array), numpy arrays at
+    ``nbytes``, dataclasses/containers recursively — and floors at 64
+    bytes of fixed per-object overhead.
+    """
+    return max(64, _estimate(value, depth=0))
+
+
+def _estimate(value: Any, depth: int) -> int:
+    """Recursive core of :func:`estimate_entry_bytes` (bounded depth)."""
+    if depth > 4 or value is None:
+        return 0
+    if isinstance(value, GF2Matrix):
+        return value.nrows * value.ncols  # uint8 entries
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    if isinstance(value, (bool, float)):
+        return 8
+    if isinstance(value, int):
+        return max(8, (value.bit_length() + 7) // 8)
+    if isinstance(value, (str, bytes)):
+        return len(value)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return sum(
+            _estimate(getattr(value, f.name), depth + 1)
+            for f in dataclasses.fields(value)
+        )
+    if isinstance(value, (tuple, list)):
+        return sum(_estimate(v, depth + 1) for v in value)
+    if isinstance(value, dict):
+        return sum(_estimate(v, depth + 1) for v in value.values())
+    return 64
 
 
 class CacheStats:
@@ -149,12 +219,23 @@ class CompileCache:
     cache serving one bitstream).
     """
 
-    def __init__(self, capacity: int = 64):
+    def __init__(
+        self,
+        capacity: int = 64,
+        max_bytes: Optional[int] = None,
+        disk: Optional["DiskCompileCache"] = None,
+    ):
         if capacity < 1:
             raise ValidationError("cache capacity must be >= 1")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValidationError("cache max_bytes must be >= 1")
         self._capacity = capacity
+        self._max_bytes = max_bytes
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._costs: dict = {}
+        self._bytes = 0
         self._lock = threading.Lock()
+        self._disk = disk
         self.stats = CacheStats()
 
     # ------------------------------------------------------------------
@@ -162,6 +243,32 @@ class CompileCache:
     def capacity(self) -> int:
         """Maximum number of cached artifacts."""
         return self._capacity
+
+    @property
+    def max_bytes(self) -> Optional[int]:
+        """Byte budget for resident artifacts (``None`` = unbounded)."""
+        return self._max_bytes
+
+    @property
+    def size_bytes(self) -> int:
+        """Estimated bytes of resident artifacts (see
+        :func:`estimate_entry_bytes`)."""
+        with self._lock:
+            return self._bytes
+
+    @property
+    def disk(self) -> Optional["DiskCompileCache"]:
+        """The persistent layer consulted on misses, if attached."""
+        return self._disk
+
+    def attach_disk(self, disk: Optional["DiskCompileCache"]) -> None:
+        """Attach (or detach, with ``None``) a persistent layer.
+
+        Later lookups of persistable artifact kinds (see
+        :data:`PERSISTED_KINDS`) try the disk before compiling and
+        write through after compiling.
+        """
+        self._disk = disk
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -176,19 +283,67 @@ class CompileCache:
             return list(self._entries)
 
     def clear(self) -> None:
-        """Drop every entry (stats are kept)."""
+        """Drop every resident entry (stats kept, disk layer untouched)."""
         with self._lock:
             _ENTRIES.dec(len(self._entries))
+            _BYTES.dec(self._bytes)
             self._entries.clear()
+            self._costs.clear()
+            self._bytes = 0
             self.stats.reset()
 
     # ------------------------------------------------------------------
+    def _persistable(self, key: Hashable) -> bool:
+        """Whether a key's artifact family goes through the disk layer."""
+        return (
+            self._disk is not None
+            and isinstance(key, tuple)
+            and bool(key)
+            and key[0] in PERSISTED_KINDS
+        )
+
+    def _insert(self, key: Hashable, value: Any) -> Tuple[Any, bool]:
+        """Insert under the lock; returns ``(resident value, we_won)``.
+
+        The first insert wins any cold-key race, preserving same-object
+        identity for every caller; the byte estimate and both budget
+        bounds (entry count and ``max_bytes``) are enforced here.
+        """
+        with self._lock:
+            if key in self._entries:
+                # Another thread populated the same cold key first; keep
+                # its artifact so every caller holds the identical object.
+                self._entries.move_to_end(key)
+                return self._entries[key], False
+            cost = estimate_entry_bytes(value)
+            _ENTRIES.inc()
+            _BYTES.inc(cost)
+            self._entries[key] = value
+            self._costs[key] = cost
+            self._bytes += cost
+            while len(self._entries) > self._capacity or (
+                self._max_bytes is not None
+                and self._bytes > self._max_bytes
+                and len(self._entries) > 1
+            ):
+                evicted_key, _ = self._entries.popitem(last=False)
+                evicted_cost = self._costs.pop(evicted_key, 0)
+                self._bytes -= evicted_cost
+                self.stats.record_eviction()
+                _EVICTIONS.inc()
+                _ENTRIES.dec()
+                _BYTES.dec(evicted_cost)
+        return value, True
+
     def get(self, key: Hashable, builder: Callable[[], Any]) -> Any:
         """Return the cached artifact for ``key``, compiling on first use.
 
-        Builder failures are reported as
-        :class:`~repro.errors.CompileError` (library-typed errors pass
-        through unchanged); nothing is cached on failure.
+        Misses on persistable artifact kinds consult the attached
+        :class:`DiskCompileCache` (if any) before running the builder,
+        and write freshly compiled artifacts through to it.  Builder
+        failures are reported as :class:`~repro.errors.CompileError`
+        (library-typed errors pass through unchanged); nothing is cached
+        on failure.
         """
         with self._lock:
             if key in self._entries:
@@ -198,26 +353,23 @@ class CompileCache:
                 return self._entries[key]
             self.stats.record_miss()
             _LOOKUPS.labels(result="miss").inc()
+        persistable = self._persistable(key)
+        if persistable:
+            found, value = self._disk.load(key)
+            if found:
+                resident, _ = self._insert(key, value)
+                return resident
         try:
             value = builder()
         except ReproError:
             raise
         except Exception as exc:
             raise CompileError(f"compiling cache entry {key!r} failed: {exc}") from exc
-        with self._lock:
-            if key in self._entries:
-                # Another thread compiled the same cold key first; keep its
-                # artifact so every caller holds the identical object.
-                self._entries.move_to_end(key)
-                return self._entries[key]
-            _ENTRIES.inc()
-            self._entries[key] = value
-            while len(self._entries) > self._capacity:
-                self._entries.popitem(last=False)
-                self.stats.record_eviction()
-                _EVICTIONS.inc()
-                _ENTRIES.dec()
-        return value
+        resident, won = self._insert(key, value)
+        if won and persistable:
+            # Best-effort write-through; a full disk can only cost speed.
+            self._disk.store(key, resident)
+        return resident
 
     # ------------------------------------------------------------------
     # Typed helpers — one per artifact family
@@ -302,5 +454,14 @@ _DEFAULT = CompileCache(capacity=128)
 
 
 def default_cache() -> CompileCache:
-    """The process-wide shared compile cache."""
+    """The process-wide shared compile cache.
+
+    If ``$REPRO_CACHE_DIR`` names a directory and no persistent layer is
+    attached yet, one is attached on first use, so every engine built
+    through the default cache warms from (and feeds) the disk.
+    """
+    if _DEFAULT.disk is None:
+        root = default_cache_dir()
+        if root is not None:
+            _DEFAULT.attach_disk(DiskCompileCache(root))
     return _DEFAULT

@@ -1,0 +1,969 @@
+"""Sharded multi-worker execution layer over the batch kernels.
+
+The paper scales CRC throughput *spatially* — M bits per PiCoGA issue —
+and PR 1–4 scaled it *temporally* — B messages per numpy call.  This
+module adds the third axis: independent data shards on independent
+workers.  Two decomposition theorems make sharding a correctness-
+preserving multiplier rather than an approximation:
+
+* **Per-stream partitioning.**  Batch CRC / scrambler workloads are
+  embarrassingly parallel across streams: any partition of the batch
+  computes exactly the serial result, shard by shard, because streams
+  never interact.
+* **``A^k`` state composition.**  A *single* message also splits: for a
+  zero-start register, feeding ``s1 || s2`` gives
+  ``raw(s1||s2) = raw(s1) · x^{|s2|} ⊕ raw(s2)  (mod G)`` — advancing a
+  register by ``k`` data-free clocks is multiplication by ``A^k``, which
+  in the quotient-ring basis is ``x^k mod G`` (a carry-less multiply).
+  Shards computed independently from zero recombine exactly; the spec's
+  ``init`` preset folds in once at the end, as in the serial tail
+  contract.  The derivation is spelled out in ``docs/PARALLEL.md``.
+
+Worker substrate: the numpy ``"packed"`` backend releases the GIL inside
+its vectorized kernels, so a :class:`~concurrent.futures.ThreadPoolExecutor`
+scales it across cores with zero serialization cost; the pure-Python
+``"reference"`` / ``"packed-int"`` backends hold the GIL, so those fall
+back to a :class:`~concurrent.futures.ProcessPoolExecutor` whose workers
+re-build engines from pickled specs — warming from the persistent
+:class:`~repro.engine.diskcache.DiskCompileCache` instead of recompiling.
+
+Worker count resolution order: explicit ``workers=`` argument, else the
+``REPRO_WORKERS`` environment variable, else ``1`` (serial).  ``0`` or
+``"auto"`` selects :func:`os.cpu_count`.  Any worker failure surfaces as
+:class:`~repro.errors.StreamError` — never a hang.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from itertools import count
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
+
+from repro.crc.spec import CRCSpec
+from repro.engine.batch import BatchAdditiveScrambler, BatchCRC
+from repro.engine.cache import CompileCache, default_cache
+from repro.engine.pipeline import CRCPipeline
+from repro.errors import ReproError, StreamError, ValidationError
+from repro.gf2.backend import GF2Backend, NumpyPackedBackend, resolve_backend
+from repro.scrambler.specs import ScramblerSpec
+from repro.telemetry import default_registry
+
+#: Environment variable consulted when no explicit worker count is given.
+WORKERS_ENV = "REPRO_WORKERS"
+
+_REGISTRY = default_registry()
+_WORKERS = _REGISTRY.gauge(
+    "engine_parallel_workers",
+    "Configured worker slots across live pools",
+    labels=("mode",),
+)
+_BUSY = _REGISTRY.gauge(
+    "engine_parallel_busy_workers",
+    "Shard tasks currently in flight",
+    labels=("mode",),
+)
+_TASKS = _REGISTRY.counter(
+    "engine_parallel_tasks_total",
+    "Shard tasks dispatched to worker pools",
+    labels=("kind",),
+)
+_SHARD_STREAMS = _REGISTRY.histogram(
+    "engine_parallel_shard_streams",
+    "Streams per dispatched shard",
+    labels=("kind",),
+    buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024),
+)
+_SHARD_BITS = _REGISTRY.histogram(
+    "engine_parallel_shard_bits",
+    "Payload bits per dispatched shard",
+    labels=("kind",),
+    buckets=(64, 256, 1024, 4096, 16384, 65536, 262144, 1 << 20, 1 << 22),
+)
+_STEALS = _REGISTRY.counter(
+    "engine_parallel_steals_total",
+    "Streams migrated between pipeline shards by the scheduler",
+    labels=("kind",),
+)
+
+
+def resolve_workers(workers: Union[None, int, str] = None) -> int:
+    """Resolve a worker count: argument, else ``$REPRO_WORKERS``, else 1.
+
+    ``0`` or ``"auto"`` (either source) selects :func:`os.cpu_count`.
+    The result is always >= 1; anything unparseable or negative raises
+    :class:`~repro.errors.ValidationError`.
+    """
+    source: Union[None, int, str] = workers
+    if source is None:
+        env = os.environ.get(WORKERS_ENV)
+        if env is None or not env.strip():
+            return 1
+        source = env.strip()
+    if isinstance(source, str):
+        if source.lower() == "auto":
+            source = 0
+        else:
+            try:
+                source = int(source, 10)
+            except ValueError:
+                raise ValidationError(
+                    f"worker count must be an integer or 'auto', got {source!r}"
+                ) from None
+    if not isinstance(source, int) or isinstance(source, bool):
+        raise ValidationError(f"worker count must be an integer, got {source!r}")
+    if source == 0:
+        return max(1, os.cpu_count() or 1)
+    if source < 0:
+        raise ValidationError(f"worker count must be >= 0, got {source}")
+    return source
+
+
+def plan_shards(n_items: int, shards: int) -> List[Tuple[int, int]]:
+    """Balanced contiguous partition of ``range(n_items)`` into shards.
+
+    Returns ``(start, stop)`` half-open index pairs, at most ``shards``
+    of them, never empty, sizes differing by at most one — the static
+    round-robin plan the batch front-ends use (the streaming scheduler
+    handles dynamic imbalance separately).
+    """
+    if shards < 1:
+        raise ValidationError(f"shard count must be >= 1, got {shards}")
+    if n_items <= 0:
+        return []
+    shards = min(shards, n_items)
+    base, extra = divmod(n_items, shards)
+    bounds = []
+    start = 0
+    for i in range(shards):
+        size = base + (1 if i < extra else 0)
+        bounds.append((start, start + size))
+        start += size
+    return bounds
+
+
+# ----------------------------------------------------------------------
+# Process-pool worker side
+# ----------------------------------------------------------------------
+#: Per-process engine memo for the process-pool fallback: workers are
+#: long-lived, so each (spec, M, method, backend) compiles at most once
+#: per worker — and at most once per *machine* when a disk cache is set.
+_PROC_ENGINES: Dict[Tuple, object] = {}
+
+
+def _proc_initializer(cache_dir: Optional[str]) -> None:
+    """Pool initializer: point the child's default cache at the disk layer."""
+    if cache_dir:
+        os.environ["REPRO_CACHE_DIR"] = cache_dir
+
+
+def _proc_engine(kind: str, spec, M: int, method: str, backend: Optional[str]):
+    """The child-process engine for a shard task, built once per worker."""
+    key = (kind, spec, M, method, backend)
+    engine = _PROC_ENGINES.get(key)
+    if engine is None:
+        if kind == "crc":
+            engine = BatchCRC(spec, M, method=method, backend=backend)
+        else:
+            engine = BatchAdditiveScrambler(spec, M, backend=backend)
+        _PROC_ENGINES[key] = engine
+    return engine
+
+
+def _proc_crc_shard(
+    spec: CRCSpec,
+    M: int,
+    method: str,
+    backend: Optional[str],
+    messages: List[bytes],
+) -> List[int]:
+    """Process-pool task: finalized CRCs for one shard of messages."""
+    return _proc_engine("crc", spec, M, method, backend).compute_batch(messages)
+
+
+def _proc_crc_shard_bits(
+    spec: CRCSpec,
+    M: int,
+    method: str,
+    backend: Optional[str],
+    bit_streams: List[List[int]],
+    fold_init: bool,
+) -> List[int]:
+    """Process-pool task: raw registers for one shard of bit streams."""
+    return _proc_engine("crc", spec, M, method, backend).raw_registers_bits(
+        bit_streams, fold_init=fold_init
+    )
+
+
+def _proc_scrambler_shard(
+    spec: ScramblerSpec,
+    M: int,
+    backend: Optional[str],
+    bit_streams: List[List[int]],
+    seeds: Optional[List[int]],
+) -> List[List[int]]:
+    """Process-pool task: scramble one shard of bit streams."""
+    return _proc_engine("scrambler", spec, M, "", backend).scramble_batch(
+        bit_streams, seeds=seeds
+    )
+
+
+# ----------------------------------------------------------------------
+# Worker pool
+# ----------------------------------------------------------------------
+class WorkerPool:
+    """A lazily started executor with shard-level error containment.
+
+    ``mode`` is ``"thread"`` (GIL-releasing numpy kernels) or
+    ``"process"`` (pure-Python backends).  The pool publishes its slot
+    count and in-flight task gauges, and :meth:`run` converts *any*
+    worker-side failure — including a worker process dying mid-task
+    (``BrokenProcessPool``) — into :class:`~repro.errors.StreamError`,
+    so callers block on results, never on a wedged queue.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        mode: str = "thread",
+        cache_dir: Optional[str] = None,
+    ):
+        if mode not in ("thread", "process"):
+            raise ValidationError(f"pool mode must be thread|process, got {mode!r}")
+        if workers < 1:
+            raise ValidationError(f"pool needs >= 1 worker, got {workers}")
+        self._workers = workers
+        self._mode = mode
+        self._cache_dir = cache_dir
+        self._executor: Optional[Executor] = None
+
+    @property
+    def workers(self) -> int:
+        """Configured worker slots."""
+        return self._workers
+
+    @property
+    def mode(self) -> str:
+        """``"thread"`` or ``"process"``."""
+        return self._mode
+
+    @property
+    def started(self) -> bool:
+        """Whether the underlying executor exists yet."""
+        return self._executor is not None
+
+    def _ensure(self) -> Executor:
+        if self._executor is None:
+            if self._mode == "thread":
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self._workers,
+                    thread_name_prefix="repro-shard",
+                )
+            else:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self._workers,
+                    initializer=_proc_initializer,
+                    initargs=(self._cache_dir,),
+                )
+            if _REGISTRY.enabled:
+                _WORKERS.labels(mode=self._mode).inc(self._workers)
+        return self._executor
+
+    def run(self, fn, shard_args: Sequence[tuple]) -> List:
+        """Run ``fn(*args)`` for every shard; results in shard order.
+
+        All shards are submitted before any result is awaited, so thread
+        shards overlap inside the GIL-releasing kernels and process
+        shards overlap fully.  The first failing shard aborts the call
+        with :class:`~repro.errors.StreamError` (library-typed errors
+        pass through), after every future has been collected or
+        cancelled — no orphaned work, no hang.
+        """
+        executor = self._ensure()
+        telemetry = _REGISTRY.enabled
+        futures = []
+        for args in shard_args:
+            if telemetry:
+                _BUSY.labels(mode=self._mode).inc()
+            future = executor.submit(fn, *args)
+            if telemetry:
+                future.add_done_callback(
+                    lambda _f: _BUSY.labels(mode=self._mode).dec()
+                )
+            futures.append(future)
+        results = []
+        error: Optional[BaseException] = None
+        for future in futures:
+            if error is not None:
+                future.cancel()
+                continue
+            try:
+                results.append(future.result())
+            except BaseException as exc:  # noqa: BLE001 - re-typed below
+                error = exc
+        if error is not None:
+            if isinstance(error, ReproError):
+                raise error
+            raise StreamError(
+                f"worker shard failed in {self._mode} pool "
+                f"({type(error).__name__}: {error})"
+            ) from error
+        return results
+
+    def close(self) -> None:
+        """Shut the executor down (idempotent); pending work completes."""
+        if self._executor is not None:
+            if _REGISTRY.enabled:
+                _WORKERS.labels(mode=self._mode).dec(self._workers)
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "started" if self.started else "idle"
+        return f"WorkerPool(workers={self._workers}, mode={self._mode!r}, {state})"
+
+
+def _pick_mode(backend: GF2Backend) -> str:
+    """Thread pool for GIL-releasing numpy kernels, processes otherwise."""
+    return "thread" if isinstance(backend, NumpyPackedBackend) else "process"
+
+
+def _observe_shards(kind: str, sizes: Sequence[int], bits: Sequence[int]) -> None:
+    """Publish per-dispatch shard shape telemetry."""
+    if not _REGISTRY.enabled:
+        return
+    _TASKS.labels(kind=kind).inc(len(sizes))
+    for size, nbits in zip(sizes, bits):
+        _SHARD_STREAMS.labels(kind=kind).observe(size)
+        _SHARD_BITS.labels(kind=kind).observe(nbits)
+
+
+# ----------------------------------------------------------------------
+# Batch front-ends
+# ----------------------------------------------------------------------
+class ParallelBatchCRC:
+    """:class:`~repro.engine.batch.BatchCRC` sharded over a worker pool.
+
+    Batch calls partition across the stream dimension (exact by stream
+    independence); :meth:`compute` time-shards a single long message and
+    recombines the shard registers with the ``x^k mod G`` composition
+    (exact by linearity).  ``workers=1`` *is* the serial engine: no pool
+    is created and every call delegates object-for-object.
+    """
+
+    def __init__(
+        self,
+        spec: CRCSpec,
+        M: int,
+        method: str = "lookahead",
+        workers: Union[None, int, str] = None,
+        cache: Optional[CompileCache] = None,
+        backend: Union[None, str, GF2Backend] = None,
+        mode: Optional[str] = None,
+        min_shard_bits: int = 4096,
+    ):
+        self._cache = cache if cache is not None else default_cache()
+        self._serial = BatchCRC(
+            spec, M, method=method, cache=self._cache, backend=backend
+        )
+        self._workers = resolve_workers(workers)
+        self._backend_name = None if backend is None else self._serial.backend.name
+        self._mode = mode or _pick_mode(self._serial.backend)
+        self._min_shard_bits = max(1, min_shard_bits)
+        disk = self._cache.disk
+        self._pool = (
+            WorkerPool(
+                self._workers,
+                mode=self._mode,
+                cache_dir=str(disk.root) if disk is not None else None,
+            )
+            if self._workers > 1
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def spec(self) -> CRCSpec:
+        """The CRC standard this engine computes."""
+        return self._serial.spec
+
+    @property
+    def M(self) -> int:
+        """Look-ahead block factor of the underlying kernels."""
+        return self._serial.M
+
+    @property
+    def method(self) -> str:
+        """Block recurrence in use: ``"lookahead"`` or ``"derby"``."""
+        return self._serial.method
+
+    @property
+    def workers(self) -> int:
+        """Resolved worker count (1 = serial delegation)."""
+        return self._workers
+
+    @property
+    def mode(self) -> str:
+        """Worker substrate: ``"thread"`` or ``"process"``."""
+        return self._mode
+
+    @property
+    def serial_engine(self) -> BatchCRC:
+        """The underlying serial batch engine (shared by thread shards)."""
+        return self._serial
+
+    @property
+    def pool(self) -> Optional[WorkerPool]:
+        """The worker pool, or ``None`` when ``workers == 1``."""
+        return self._pool
+
+    @property
+    def cache(self) -> CompileCache:
+        """The compile cache the block matrices come from."""
+        return self._cache
+
+    def close(self) -> None:
+        """Release pool workers (safe to call at any time, repeatedly)."""
+        if self._pool is not None:
+            self._pool.close()
+
+    def __enter__(self) -> "ParallelBatchCRC":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _shard_batch(self, items: Sequence, bits_of) -> Optional[List[Tuple[int, int]]]:
+        """The shard plan for a batch call, or ``None`` to run serially."""
+        if self._pool is None or len(items) < 2:
+            return None
+        total_bits = sum(bits_of(item) for item in items)
+        if total_bits < self._min_shard_bits:
+            return None
+        return plan_shards(len(items), self._workers)
+
+    def compute_batch(self, messages: Sequence[bytes]) -> List[int]:
+        """Finalized CRCs of B byte messages, sharded across workers."""
+        messages = list(messages)
+        bounds = self._shard_batch(messages, lambda m: 8 * len(m))
+        if bounds is None:
+            return self._serial.compute_batch(messages)
+        shards = [messages[a:b] for a, b in bounds]
+        _observe_shards(
+            "crc-batch",
+            [len(s) for s in shards],
+            [sum(8 * len(m) for m in s) for s in shards],
+        )
+        if self._mode == "thread":
+            results = self._pool.run(
+                self._serial.compute_batch, [(s,) for s in shards]
+            )
+        else:
+            results = self._pool.run(
+                _proc_crc_shard,
+                [
+                    (self.spec, self.M, self.method, self._backend_name, s)
+                    for s in shards
+                ],
+            )
+        return [crc for shard in results for crc in shard]
+
+    def raw_registers_bits(
+        self,
+        bit_streams: Sequence[Sequence[int]],
+        fold_init: bool = True,
+    ) -> List[int]:
+        """Raw registers for bit streams, sharded across workers."""
+        streams = [list(s) for s in bit_streams]
+        bounds = self._shard_batch(streams, len)
+        if bounds is None:
+            return self._serial.raw_registers_bits(streams, fold_init=fold_init)
+        shards = [streams[a:b] for a, b in bounds]
+        _observe_shards(
+            "crc-bits",
+            [len(s) for s in shards],
+            [sum(len(bits) for bits in s) for s in shards],
+        )
+        if self._mode == "thread":
+            results = self._pool.run(
+                self._serial.raw_registers_bits,
+                [(s, fold_init) for s in shards],
+            )
+        else:
+            results = self._pool.run(
+                _proc_crc_shard_bits,
+                [
+                    (self.spec, self.M, self.method, self._backend_name, s, fold_init)
+                    for s in shards
+                ],
+            )
+        return [reg for shard in results for reg in shard]
+
+    def compute_bits_batch(self, bit_streams: Sequence[Sequence[int]]) -> List[int]:
+        """Finalized CRCs of raw bit streams, sharded across workers."""
+        return [
+            self.spec.finalize(r) for r in self.raw_registers_bits(bit_streams)
+        ]
+
+    # ------------------------------------------------------------------
+    def _combine_shards(self, raws: Sequence[int], lengths: Sequence[int]) -> int:
+        """Fold zero-start shard registers left-to-right via ``x^k mod G``."""
+        from repro.gf2.clmul import clmulmod
+
+        g = self.spec.generator().coeffs
+        acc = 0
+        for raw, nbits in zip(raws, lengths):
+            acc = clmulmod(acc, self._xpow(nbits), g) ^ raw
+        return acc
+
+    def _xpow(self, n_bits: int) -> int:
+        """``x^n mod G`` — the register-advance multiplier, cached."""
+        from repro.gf2.clmul import clpowmod
+
+        g = self.spec.generator().coeffs
+        return self._cache.get(
+            ("xpow", self.spec, n_bits), lambda: clpowmod(2, n_bits, g)
+        )
+
+    def compute_sharded_bits(self, bits: Sequence[int]) -> int:
+        """One message's CRC via time-axis sharding + ``A^k`` recombination.
+
+        The bit stream (transmission order) splits into ``workers``
+        contiguous shards; each worker computes its shard's zero-start
+        register independently and the shard registers are composed with
+        carry-less multiplies.  Bit-exact for every length, including
+        lengths not divisible by the shard count (the plan just makes
+        the leading shards one bit longer).
+        """
+        bits = list(bits)
+        if (
+            self._pool is None
+            or len(bits) < max(2 * self.M, self._min_shard_bits)
+        ):
+            return self.spec.finalize(
+                self._serial.raw_registers_bits([bits])[0]
+            )
+        bounds = plan_shards(len(bits), self._workers)
+        shards = [bits[a:b] for a, b in bounds]
+        _observe_shards("crc-timeshard", [1] * len(shards), [len(s) for s in shards])
+        if self._mode == "thread":
+            results = self._pool.run(
+                self._serial.raw_registers_bits,
+                [([s], False) for s in shards],
+            )
+        else:
+            results = self._pool.run(
+                _proc_crc_shard_bits,
+                [
+                    (self.spec, self.M, self.method, self._backend_name, [s], False)
+                    for s in shards
+                ],
+            )
+        raw0 = self._combine_shards(
+            [r[0] for r in results], [len(s) for s in shards]
+        )
+        raw = raw0 ^ self._cache.init_fold(self.spec, len(bits))
+        return self.spec.finalize(raw)
+
+    def compute(self, data: bytes) -> int:
+        """Single-message CRC; long messages are time-sharded across workers."""
+        return self.compute_sharded_bits(self.spec.message_bits(data))
+
+
+class ParallelBatchAdditiveScrambler:
+    """:class:`~repro.engine.batch.BatchAdditiveScrambler` sharded by stream.
+
+    Scrambler streams are autonomous (the keystream never reads data), so
+    per-stream partitioning is trivially exact; each shard carries its own
+    seed slice.  Scrambling stays an involution shard-by-shard, so
+    :meth:`descramble_batch` is the same dispatch.
+    """
+
+    def __init__(
+        self,
+        spec: ScramblerSpec,
+        M: int,
+        workers: Union[None, int, str] = None,
+        cache: Optional[CompileCache] = None,
+        backend: Union[None, str, GF2Backend] = None,
+        mode: Optional[str] = None,
+        min_shard_bits: int = 4096,
+    ):
+        self._cache = cache if cache is not None else default_cache()
+        self._serial = BatchAdditiveScrambler(
+            spec, M, cache=self._cache, backend=backend
+        )
+        self._workers = resolve_workers(workers)
+        self._backend_name = None if backend is None else self._serial.backend.name
+        self._mode = mode or _pick_mode(self._serial.backend)
+        self._min_shard_bits = max(1, min_shard_bits)
+        disk = self._cache.disk
+        self._pool = (
+            WorkerPool(
+                self._workers,
+                mode=self._mode,
+                cache_dir=str(disk.root) if disk is not None else None,
+            )
+            if self._workers > 1
+            else None
+        )
+
+    @property
+    def spec(self) -> ScramblerSpec:
+        """The scrambler standard (polynomial + default seed)."""
+        return self._serial.spec
+
+    @property
+    def M(self) -> int:
+        """Keystream bits produced per block step."""
+        return self._serial.M
+
+    @property
+    def workers(self) -> int:
+        """Resolved worker count (1 = serial delegation)."""
+        return self._workers
+
+    @property
+    def serial_engine(self) -> BatchAdditiveScrambler:
+        """The underlying serial batch engine (shared by thread shards)."""
+        return self._serial
+
+    @property
+    def pool(self) -> Optional[WorkerPool]:
+        """The worker pool, or ``None`` when ``workers == 1``."""
+        return self._pool
+
+    def close(self) -> None:
+        """Release pool workers (safe to call at any time, repeatedly)."""
+        if self._pool is not None:
+            self._pool.close()
+
+    def __enter__(self) -> "ParallelBatchAdditiveScrambler":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def scramble_batch(
+        self,
+        bit_streams: Sequence[Sequence[int]],
+        seeds: Optional[Sequence[int]] = None,
+    ) -> List[List[int]]:
+        """XOR each stream with its keystream, shards in parallel."""
+        streams = [list(s) for s in bit_streams]
+        if seeds is not None:
+            seeds = list(seeds)
+        if (
+            self._pool is None
+            or len(streams) < 2
+            or sum(len(s) for s in streams) < self._min_shard_bits
+        ):
+            return self._serial.scramble_batch(streams, seeds=seeds)
+        bounds = plan_shards(len(streams), self._workers)
+        shards = [streams[a:b] for a, b in bounds]
+        shard_seeds = [
+            seeds[a:b] if seeds is not None else None for a, b in bounds
+        ]
+        _observe_shards(
+            "scrambler-batch",
+            [len(s) for s in shards],
+            [sum(len(bits) for bits in s) for s in shards],
+        )
+        if self._mode == "thread":
+            results = self._pool.run(
+                self._serial.scramble_batch,
+                list(zip(shards, shard_seeds)),
+            )
+        else:
+            results = self._pool.run(
+                _proc_scrambler_shard,
+                [
+                    (self.spec, self.M, self._backend_name, s, ss)
+                    for s, ss in zip(shards, shard_seeds)
+                ],
+            )
+        return [bits for shard in results for bits in shard]
+
+    def descramble_batch(
+        self,
+        bit_streams: Sequence[Sequence[int]],
+        seeds: Optional[Sequence[int]] = None,
+    ) -> List[List[int]]:
+        """Identical to :meth:`scramble_batch` (XOR is an involution)."""
+        return self.scramble_batch(bit_streams, seeds=seeds)
+
+
+# ----------------------------------------------------------------------
+# Streaming: work-aware shard scheduler + sharded pipeline
+# ----------------------------------------------------------------------
+class ShardScheduler:
+    """Least-pending assignment with threshold-gated stealing.
+
+    New streams land on the shard with the fewest pending bits (ties
+    break round-robin, so an idle start spreads arrivals evenly).  When
+    the heaviest shard's backlog exceeds ``steal_ratio`` times the
+    lightest's **and** the gap is worth at least one block, the
+    scheduler plans migrations that move whole streams from the heavy
+    shard to the light one until the gap closes — cheap to decide (one
+    pass over pending gauges), and exact because CRC streams are
+    independent and carry their state with them.
+    """
+
+    def __init__(self, shards: int, steal_ratio: float = 2.0):
+        if shards < 1:
+            raise ValidationError(f"scheduler needs >= 1 shard, got {shards}")
+        if steal_ratio < 1.0:
+            raise ValidationError(
+                f"steal ratio must be >= 1.0, got {steal_ratio}"
+            )
+        self._shards = shards
+        self._ratio = steal_ratio
+        self._rr = count()
+
+    @property
+    def shards(self) -> int:
+        """Number of shards being scheduled."""
+        return self._shards
+
+    def assign(self, pending_bits: Sequence[int]) -> int:
+        """Pick the shard for a newly opened stream."""
+        if len(pending_bits) != self._shards:
+            raise ValidationError(
+                f"expected {self._shards} pending gauges, got {len(pending_bits)}"
+            )
+        low = min(pending_bits)
+        candidates = [i for i, p in enumerate(pending_bits) if p == low]
+        return candidates[next(self._rr) % len(candidates)]
+
+    def plan_steals(
+        self,
+        pending_bits: Sequence[int],
+        stream_bits: Sequence[Dict[Hashable, int]],
+        min_gap: int,
+    ) -> List[Tuple[Hashable, int, int]]:
+        """Plan ``(stream_id, src, dst)`` migrations to close a lag gap.
+
+        ``stream_bits`` maps stream id -> buffered bits per shard.  The
+        plan greedily moves the largest streams off the heaviest shard
+        while the imbalance stays above both the ratio and ``min_gap``;
+        it never empties the source below the destination.
+        """
+        pending = list(pending_bits)
+        moves: List[Tuple[Hashable, int, int]] = []
+        for _ in range(sum(len(m) for m in stream_bits)):
+            src = max(range(len(pending)), key=pending.__getitem__)
+            dst = min(range(len(pending)), key=pending.__getitem__)
+            gap = pending[src] - pending[dst]
+            if gap < min_gap or pending[src] < self._ratio * max(pending[dst], 1):
+                break
+            movable = {
+                sid: bits
+                for sid, bits in stream_bits[src].items()
+                if 0 < bits
+                and (bits <= gap // 2 or (bits <= gap and len(stream_bits[src]) > 1))
+            }
+            if not movable:
+                break
+            sid = max(movable, key=movable.__getitem__)
+            bits = stream_bits[src].pop(sid)
+            stream_bits[dst][sid] = bits
+            pending[src] -= bits
+            pending[dst] += bits
+            moves.append((sid, src, dst))
+        return moves
+
+
+class ShardedCRCPipeline:
+    """Many concurrent CRC streams over N pipeline shards and a thread pool.
+
+    Each shard is a full :class:`~repro.engine.pipeline.CRCPipeline`
+    sharing one compile cache, so shards compile once collectively.
+    ``pump`` dispatches every backlogged shard to the pool concurrently
+    (the packed kernels release the GIL); before dispatch the
+    :class:`ShardScheduler` migrates streams off lagging shards.  The
+    public surface mirrors ``CRCPipeline`` — ``open`` / ``feed`` /
+    ``feed_bits`` / ``pump`` / ``finalize`` / ``abort`` — and is
+    bit-exact against it under any delivery schedule, including
+    mid-stream aborts (the ``parallel:workers1-vs-workersN`` fuzz oracle
+    drives exactly that).
+    """
+
+    def __init__(
+        self,
+        spec: CRCSpec,
+        M: int,
+        method: str = "lookahead",
+        workers: Union[None, int, str] = None,
+        cache: Optional[CompileCache] = None,
+        scheduler: Optional[ShardScheduler] = None,
+    ):
+        self._cache = cache if cache is not None else default_cache()
+        self._workers = resolve_workers(workers)
+        self._shards = [
+            CRCPipeline(spec, M, method=method, cache=self._cache)
+            for _ in range(self._workers)
+        ]
+        self._scheduler = scheduler or ShardScheduler(self._workers)
+        if self._scheduler.shards != self._workers:
+            raise ValidationError(
+                f"scheduler plans {self._scheduler.shards} shards but the "
+                f"pipeline has {self._workers}"
+            )
+        self._home: Dict[Hashable, int] = {}
+        self._auto_ids = count()
+        self._pool = (
+            WorkerPool(self._workers, mode="thread") if self._workers > 1 else None
+        )
+        self._spec = spec
+        self._M = M
+
+    # ------------------------------------------------------------------
+    @property
+    def spec(self) -> CRCSpec:
+        """The CRC standard every stream computes."""
+        return self._spec
+
+    @property
+    def M(self) -> int:
+        """Block factor: bits consumed per stream per pump step."""
+        return self._M
+
+    @property
+    def workers(self) -> int:
+        """Number of pipeline shards (= pool width)."""
+        return self._workers
+
+    @property
+    def shards(self) -> List[CRCPipeline]:
+        """The underlying pipeline shards (read-only view)."""
+        return list(self._shards)
+
+    @property
+    def stream_count(self) -> int:
+        """Streams currently open across all shards."""
+        return len(self._home)
+
+    def __len__(self) -> int:
+        return len(self._home)
+
+    def pending_bits(self, stream_id: Optional[Hashable] = None) -> int:
+        """Buffered input bits awaiting processing (one stream or all)."""
+        if stream_id is not None:
+            return self._shard_of(stream_id).pending_bits(stream_id)
+        return sum(s.pending_bits() for s in self._shards)
+
+    def shard_pending(self) -> List[int]:
+        """Per-shard pending-bits gauges (the scheduler's lag signal)."""
+        return [s.pending_bits() for s in self._shards]
+
+    def close(self) -> None:
+        """Release pool workers (open streams stay intact)."""
+        if self._pool is not None:
+            self._pool.close()
+
+    def __enter__(self) -> "ShardedCRCPipeline":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def _shard_of(self, stream_id: Hashable) -> CRCPipeline:
+        try:
+            return self._shards[self._home[stream_id]]
+        except KeyError:
+            raise StreamError(
+                f"unknown CRC stream {stream_id!r}: open() it first "
+                f"({len(self._home)} streams currently open)"
+            ) from None
+
+    # ------------------------------------------------------------------
+    def open(
+        self,
+        stream_id: Optional[Hashable] = None,
+        register: Optional[int] = None,
+    ) -> Hashable:
+        """Open a stream on the least-loaded shard; returns its id."""
+        if stream_id is None:
+            stream_id = f"shard-auto-{next(self._auto_ids)}"
+        if stream_id in self._home:
+            raise StreamError(f"stream {stream_id!r} is already open")
+        shard = self._scheduler.assign(self.shard_pending())
+        self._shards[shard].open(stream_id=stream_id, register=register)
+        self._home[stream_id] = shard
+        return stream_id
+
+    def feed(self, stream_id: Hashable, data: bytes, pump: bool = True) -> None:
+        """Append message bytes to a stream (chunked calls compose)."""
+        self._shard_of(stream_id).feed(stream_id, data, pump=False)
+        if pump:
+            self.pump()
+
+    def feed_bits(
+        self, stream_id: Hashable, bits: Sequence[int], pump: bool = True
+    ) -> None:
+        """Append raw message bits to a stream (chunked calls compose)."""
+        self._shard_of(stream_id).feed_bits(stream_id, bits, pump=False)
+        if pump:
+            self.pump()
+
+    def rebalance(self) -> int:
+        """Steal streams from lagging shards; returns migrations made."""
+        if self._workers < 2:
+            return 0
+        stream_bits: List[Dict[Hashable, int]] = []
+        for idx, shard in enumerate(self._shards):
+            stream_bits.append(
+                {
+                    sid: shard.pending_bits(sid)
+                    for sid, home in self._home.items()
+                    if home == idx
+                }
+            )
+        moves = self._scheduler.plan_steals(
+            self.shard_pending(), stream_bits, min_gap=self._M
+        )
+        for sid, src, dst in moves:
+            self._shards[src].migrate(sid, self._shards[dst])
+            self._home[sid] = dst
+        if moves and _REGISTRY.enabled:
+            _STEALS.labels(kind="crc").inc(len(moves))
+        return len(moves)
+
+    def pump(self) -> int:
+        """Rebalance, then advance every backlogged shard concurrently.
+
+        Returns the total number of M-bit blocks processed across shards.
+        """
+        self.rebalance()
+        busy = [s for s in self._shards if s.pending_bits() >= self._M]
+        if not busy:
+            return 0
+        if self._pool is None or len(busy) == 1:
+            return sum(s.pump() for s in busy)
+        _observe_shards(
+            "crc-pipeline",
+            [s.stream_count for s in busy],
+            [s.pending_bits() for s in busy],
+        )
+        return sum(self._pool.run(CRCPipeline.pump, [(s,) for s in busy]))
+
+    def finalize(self, stream_id: Hashable) -> int:
+        """Drain the stream's shard and return the stream's CRC."""
+        shard = self._shard_of(stream_id)
+        crc = shard.finalize(stream_id)
+        del self._home[stream_id]
+        return crc
+
+    def abort(self, stream_id: Hashable) -> None:
+        """Drop a stream without computing its CRC."""
+        shard = self._shard_of(stream_id)
+        shard.abort(stream_id)
+        del self._home[stream_id]

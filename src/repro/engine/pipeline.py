@@ -258,6 +258,36 @@ class CRCPipeline:
         del self._streams[stream_id]
         self._publish()
 
+    def migrate(self, stream_id: Hashable, target: "CRCPipeline") -> None:
+        """Move one open stream (state + buffered bits) into ``target``.
+
+        Both pipelines must run the same ``(spec, M, method)`` so the
+        stream's working-basis state means the same thing on either side
+        — this is the primitive the sharded execution layer's
+        work-stealing scheduler uses to rebalance shards
+        (:class:`repro.engine.parallel.ShardedCRCPipeline`).
+        """
+        if target is self:
+            return
+        if (
+            target._spec != self._spec
+            or target._M != self._M
+            or target._method != self._method
+        ):
+            raise StreamError(
+                f"cannot migrate stream {stream_id!r}: pipelines disagree on "
+                f"(spec, M, method)"
+            )
+        stream = self._stream(stream_id)
+        if stream_id in target._streams:
+            raise StreamError(
+                f"stream {stream_id!r} is already open in the target pipeline"
+            )
+        del self._streams[stream_id]
+        target._streams[stream_id] = stream
+        self._publish()
+        target._publish()
+
 
 @dataclass
 class _ScramblerStream:

@@ -406,8 +406,132 @@ class PackedBackendOracle(Oracle):
         return None
 
 
+class ParallelWorkersOracle(Oracle):
+    """Serial (workers=1) vs sharded (workers=N) execution, bit-exact.
+
+    Sharding must be invisible: any partition of a batch across workers,
+    any time-axis split of a single message (recombined through
+    ``x^k mod G``), and any shard assignment of pipeline streams — under
+    chunked delivery and mid-stream aborts — must reproduce the serial
+    result exactly.  The oracle drives all three decompositions with the
+    case's own payloads and chunk schedule, so shard boundaries land on
+    arbitrary (non-multiple-of-shard) lengths by construction.
+    """
+
+    name = "parallel:workers1-vs-workersN"
+    kinds = (KIND_CRC,)
+
+    #: Shard count for the candidate side; 3 guarantees uneven splits for
+    #: most batch sizes and exercises the scheduler's tiebreak paths.
+    WORKERS = 3
+
+    def __init__(self):
+        self._engines: Dict[Tuple[str, int, str], "ParallelBatchCRC"] = {}
+
+    def _engine(self, case: FuzzCase, cache: CompileCache) -> "ParallelBatchCRC":
+        from repro.engine import ParallelBatchCRC
+
+        key = (case.spec, case.M, case.method)
+        engine = self._engines.get(key)
+        if engine is None:
+            engine = self._engines[key] = ParallelBatchCRC(
+                get_crc(case.spec),
+                case.M,
+                method=case.method,
+                workers=self.WORKERS,
+                cache=cache,
+                mode="thread",
+                min_shard_bits=1,
+            )
+        return engine
+
+    def check(self, case: FuzzCase, cache: CompileCache) -> Optional[Discrepancy]:
+        from repro.engine import ShardedCRCPipeline
+
+        spec, serial_ref = _crc_serial(case)
+        engine = self._engine(case, cache)
+        serial = BatchCRC(spec, case.M, method=case.method, cache=cache)
+        payloads = case.payloads()
+
+        # 1. Batch-dimension sharding: byte and bit front doors.
+        expected = serial.compute_batch(payloads)
+        got = engine.compute_batch(payloads)
+        if got != expected:
+            i = next(j for j, (a, b) in enumerate(zip(expected, got)) if a != b)
+            return Discrepancy(
+                detail=f"sharded compute_batch stream {i} "
+                f"({len(payloads[i])} bytes, workers={self.WORKERS})",
+                expected=f"0x{expected[i]:X}",
+                got=f"0x{got[i]:X}",
+            )
+        bit_streams = [spec.message_bits(m) for m in payloads]
+        got_bits = engine.compute_bits_batch(bit_streams)
+        if got_bits != expected:
+            i = next(j for j, (a, b) in enumerate(zip(expected, got_bits)) if a != b)
+            return Discrepancy(
+                detail=f"sharded compute_bits_batch stream {i} "
+                f"(workers={self.WORKERS})",
+                expected=f"0x{expected[i]:X}",
+                got=f"0x{got_bits[i]:X}",
+            )
+
+        # 2. Time-axis sharding: one long message split across workers and
+        # recombined with x^k mod G.  Concatenating the payloads makes its
+        # length arbitrary relative to both M and the shard count.
+        joined = b"".join(payloads)
+        expected_one = serial_ref.compute(joined)
+        got_one = engine.compute(joined)
+        if got_one != expected_one:
+            return Discrepancy(
+                detail=f"time-sharded compute ({8 * len(joined)} bits, "
+                f"workers={self.WORKERS})",
+                expected=f"0x{expected_one:X}",
+                got=f"0x{got_one:X}",
+            )
+
+        # 3. Sharded pipeline under the case's chunk schedule with ghost
+        # streams aborted mid-flight (they must leave no residue on any
+        # shard they were scheduled to or stolen by).
+        pipe = ShardedCRCPipeline(
+            spec, case.M, method=case.method, workers=self.WORKERS, cache=cache
+        )
+        try:
+            ids = [pipe.open() for _ in payloads]
+            ghost_ids = []
+            for nbits in case.aborts:
+                gid = pipe.open()
+                pipe.feed_bits(gid, [1] * nbits, pump=False)
+                ghost_ids.append(gid)
+            cursors = [(i, 0) for i in range(len(payloads)) if case.chunk_plan(i)]
+            while cursors:
+                nxt = []
+                for i, chunk_idx in cursors:
+                    plan = case.chunk_plan(i)
+                    offset = sum(plan[:chunk_idx])
+                    pipe.feed(ids[i], payloads[i][offset : offset + plan[chunk_idx]])
+                    if chunk_idx + 1 < len(plan):
+                        nxt.append((i, chunk_idx + 1))
+                cursors = nxt
+            for gid in ghost_ids:
+                pipe.abort(gid)
+            for i, payload in enumerate(payloads):
+                want = serial_ref.compute(payload)
+                have = pipe.finalize(ids[i])
+                if have != want:
+                    return Discrepancy(
+                        detail=f"sharded pipeline stream {i} "
+                        f"chunks={case.chunk_plan(i)} aborts={case.aborts} "
+                        f"(workers={self.WORKERS})",
+                        expected=f"0x{want:X}",
+                        got=f"0x{have:X}",
+                    )
+        finally:
+            pipe.close()
+        return None
+
+
 def default_oracles() -> List[Oracle]:
-    """The standing cross-engine differential battery (8 oracle pairs)."""
+    """The standing cross-engine differential battery (9 oracle pairs)."""
     return [
         CRCTableOracle(),
         CRCDerbyOracle(),
@@ -417,4 +541,5 @@ def default_oracles() -> List[Oracle]:
         ScramblerPipelineOracle(),
         MultiplicativeScramblerOracle(),
         PackedBackendOracle(),
+        ParallelWorkersOracle(),
     ]

@@ -190,3 +190,75 @@ class TestFuzzCommand:
     def test_seconds_budget_stops(self, capsys):
         assert main(["fuzz", "--seconds", "0.5", "--seed", "1"]) == 0
         assert "OK" in capsys.readouterr().out
+
+
+class TestParallelOptions:
+    def test_batch_bench_with_workers_adds_parallel_row(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert main([
+            "batch-bench", "--batch", "16", "--bytes", "8",
+            "--baseline-sample", "4", "--repeats", "1", "--workers", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "ParallelBatchCRC x2" in out
+
+    def test_workers_flag_exports_environment(self, monkeypatch):
+        import os
+
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert main([
+            "batch-bench", "--batch", "4", "--bytes", "4",
+            "--baseline-sample", "2", "--repeats", "1", "--workers", "3",
+        ]) == 0
+        assert os.environ.get("REPRO_WORKERS") == "3"
+
+    def test_invalid_workers_rejected(self):
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            main([
+                "batch-bench", "--batch", "4", "--bytes", "4",
+                "--baseline-sample", "2", "--repeats", "1",
+                "--workers", "many",
+            ])
+
+    def test_cache_dir_flag_persists_compiles(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        cache_dir = tmp_path / "artifacts"
+        # Cold-start the in-process default cache: only cold compiles
+        # reach the disk layer (memory hits are not re-persisted).
+        from repro.engine import default_cache
+
+        default_cache().clear()
+        assert main([
+            "batch-bench", "--batch", "8", "--bytes", "8",
+            "--baseline-sample", "2", "--repeats", "1",
+            "--cache-dir", str(cache_dir),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "disk cache" in out
+        assert any(cache_dir.glob("*.pkl"))
+        # Detach so later tests don't write into this (deleted) tmp dir.
+        default_cache().attach_disk(None)
+
+
+class TestCacheCommand:
+    def test_reports_entries_and_clears(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        from repro.engine import CompileCache, DiskCompileCache
+
+        cache_dir = tmp_path / "cc"
+        CompileCache(disk=DiskCompileCache(cache_dir)).lookahead(
+            __import__("repro.crc", fromlist=["get"]).get("CRC-8"), 8
+        )
+        assert main(["cache", "--cache-dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out and str(cache_dir) in out
+        assert main(["cache", "--cache-dir", str(cache_dir), "--clear"]) == 0
+        assert "cleared" in capsys.readouterr().out
+        assert not any(cache_dir.glob("*.pkl"))
+
+    def test_no_directory_is_an_error(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert main(["cache"]) == 1
+        assert "cache-dir" in capsys.readouterr().out

@@ -168,6 +168,63 @@ def test_racing_cold_key_compiles_keep_one_identity():
     assert len(cache) == 1
 
 
+class TestByteAccounting:
+    """The cache bounds resident *bytes* (matrix cost), not just entries."""
+
+    def test_estimate_scales_with_matrix_size(self):
+        from repro.engine import estimate_entry_bytes
+
+        spec32 = get_crc("CRC-32")
+        cache = CompileCache(capacity=32)
+        small = estimate_entry_bytes(cache.lookahead(spec32, 8))
+        large = estimate_entry_bytes(cache.lookahead(spec32, 128))
+        # An M=128 system carries a 32x128 injection matrix; its byte cost
+        # must dominate the M=8 system's, not collapse to a flat per-entry
+        # constant.
+        assert large > small >= 64
+
+    def test_size_bytes_tracks_inserts_and_clear(self):
+        cache = CompileCache(capacity=8)
+        assert cache.size_bytes == 0
+        cache.get("a", lambda: bytes(1000))
+        first = cache.size_bytes
+        assert first >= 1000
+        cache.get("b", lambda: bytes(3000))
+        assert cache.size_bytes >= first + 3000
+        cache.clear()
+        assert cache.size_bytes == 0
+
+    def test_max_bytes_evicts_lru_until_under_budget(self):
+        cache = CompileCache(capacity=100, max_bytes=5000)
+        cache.get("a", lambda: bytes(2000))
+        cache.get("b", lambda: bytes(2000))
+        cache.get("c", lambda: bytes(2000))  # 6000 > 5000: "a" must go
+        assert "a" not in cache
+        assert "b" in cache and "c" in cache
+        assert cache.size_bytes <= 5000
+        assert cache.stats.evictions == 1
+
+    def test_single_oversized_entry_stays_resident(self):
+        """An artifact larger than the whole budget must still be served
+        (and resident, preserving the same-object guarantee) — the bound
+        trims the tail, it cannot refuse the workload."""
+        cache = CompileCache(capacity=100, max_bytes=100)
+        big = cache.get("big", lambda: bytes(10_000))
+        assert cache.get("big", lambda: pytest.fail("must hit")) is big
+        assert len(cache) == 1
+
+    def test_byte_gauge_reconciles(self):
+        from repro.telemetry import default_registry
+
+        gauge = default_registry().get("engine_compile_cache_bytes")
+        before = gauge.value
+        cache = CompileCache(capacity=4, max_bytes=4096)
+        cache.get("a", lambda: bytes(1024))
+        assert gauge.value == before + cache.size_bytes
+        cache.clear()
+        assert gauge.value == before
+
+
 def test_racing_cold_keys_entry_gauge_stays_exact():
     """The loser of a cold-key race must not bump the resident-entries
     gauge for an artifact that was never stored."""

@@ -1,0 +1,465 @@
+"""Contract of the sharded execution layer and the persistent disk cache.
+
+Three properties matter and each gets direct coverage:
+
+* **Invisibility** — any shard plan (batch-dimension, time-axis, or
+  pipeline assignment) reproduces the serial result bit-exactly,
+  including lengths that do not divide evenly and ``workers=1``
+  degenerating to the serial path object-for-object.
+* **Containment** — a worker crash surfaces as
+  :class:`~repro.errors.StreamError` at the call site, never a hang; a
+  corrupt disk-cache entry degrades to a recompile with the corruption
+  counted, never a wrong artifact.
+* **Persistence** — compile artifacts round-trip through the
+  content-addressed disk cache and a second cache warms from it without
+  invoking the builder.
+"""
+
+import pickle
+import threading
+
+import pytest
+
+from repro.crc import BitwiseCRC, get as get_crc
+from repro.engine import (
+    CompileCache,
+    CRCPipeline,
+    DiskCompileCache,
+    ParallelBatchAdditiveScrambler,
+    ParallelBatchCRC,
+    BatchCRC,
+    BatchAdditiveScrambler,
+    ShardedCRCPipeline,
+    ShardScheduler,
+    WorkerPool,
+    plan_shards,
+    resolve_workers,
+)
+from repro.engine.diskcache import cache_key_string
+from repro.errors import StreamError, ValidationError
+from repro.scrambler.specs import get as get_scrambler
+
+SPEC = get_crc("CRC-32")
+SPEC16 = get_crc("CRC-16/ARC")
+
+
+class TestWorkerResolution:
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "7")
+        assert resolve_workers(3) == 3
+
+    def test_environment_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "5")
+        assert resolve_workers(None) == 5
+        monkeypatch.delenv("REPRO_WORKERS")
+        assert resolve_workers(None) == 1
+
+    def test_auto_maps_to_cpu_count(self, monkeypatch):
+        import os
+
+        assert resolve_workers("auto") == max(1, os.cpu_count() or 1)
+        monkeypatch.setenv("REPRO_WORKERS", "auto")
+        assert resolve_workers(None) >= 1
+
+    @pytest.mark.parametrize("bad", ["three", "-2", -1, 2.5, True])
+    def test_invalid_counts_rejected(self, bad):
+        with pytest.raises(ValidationError):
+            resolve_workers(bad)
+
+
+class TestShardPlanning:
+    def test_balanced_contiguous_cover(self):
+        assert plan_shards(10, 3) == [(0, 4), (4, 7), (7, 10)]
+        assert plan_shards(12, 4) == [(0, 3), (3, 6), (6, 9), (9, 12)]
+
+    def test_more_shards_than_items_drops_empties(self):
+        assert plan_shards(2, 5) == [(0, 1), (1, 2)]
+        assert plan_shards(0, 4) == []
+
+    def test_every_plan_partitions_exactly(self):
+        for n in range(0, 40):
+            for w in range(1, 9):
+                bounds = plan_shards(n, w)
+                covered = [i for a, b in bounds for i in range(a, b)]
+                assert covered == list(range(n))
+                assert all(b > a for a, b in bounds)
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValidationError):
+            plan_shards(4, 0)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    import random
+
+    rng = random.Random(0xD5B)
+    return [
+        bytes(rng.randrange(256) for _ in range(rng.randrange(0, 97)))
+        for _ in range(41)
+    ]
+
+
+class TestParallelBatchCRC:
+    def test_workers1_is_serial_object_for_object(self, corpus):
+        engine = ParallelBatchCRC(SPEC, 16, workers=1)
+        # No pool exists, and the batch path is literally the serial engine.
+        assert engine.pool is None
+        assert engine.workers == 1
+        serial = engine.serial_engine
+        assert isinstance(serial, BatchCRC)
+        assert engine.compute_batch(corpus) == serial.compute_batch(corpus)
+
+    def test_thread_sharding_matches_serial(self, corpus):
+        ref = BitwiseCRC(SPEC)
+        expected = [ref.compute(m) for m in corpus]
+        with ParallelBatchCRC(SPEC, 16, workers=3, min_shard_bits=1) as engine:
+            assert engine.mode == "thread"
+            assert engine.compute_batch(corpus) == expected
+            bit_streams = [SPEC.message_bits(m) for m in corpus]
+            assert engine.compute_bits_batch(bit_streams) == expected
+
+    def test_process_sharding_matches_serial(self, corpus):
+        sample = corpus[:9]
+        expected = [BitwiseCRC(SPEC).compute(m) for m in sample]
+        with ParallelBatchCRC(
+            SPEC, 16, workers=2, mode="process", min_shard_bits=1
+        ) as engine:
+            assert engine.mode == "process"
+            assert engine.compute_batch(sample) == expected
+
+    @pytest.mark.parametrize("n_bits", [1, 17, 64, 127, 333, 1024, 4097])
+    def test_time_axis_sharding_is_exact(self, n_bits):
+        """Single-message sharding with x^k recombination, at lengths that
+        are prime, power-of-two, and everything between — none a multiple
+        of the worker count."""
+        import random
+
+        rng = random.Random(n_bits)
+        bits = [rng.randrange(2) for _ in range(n_bits)]
+        want = BatchCRC(SPEC, 16).compute_bits_batch([bits])[0]
+        with ParallelBatchCRC(SPEC, 16, workers=3, min_shard_bits=1) as engine:
+            assert engine.compute_sharded_bits(bits) == want
+
+    def test_compute_matches_bitwise_reference(self):
+        data = bytes(range(256)) * 9
+        with ParallelBatchCRC(SPEC, 32, workers=4, min_shard_bits=1) as engine:
+            assert engine.compute(data) == BitwiseCRC(SPEC).compute(data)
+
+    def test_small_batches_bypass_the_pool(self, corpus):
+        with ParallelBatchCRC(SPEC, 16, workers=3) as engine:
+            # Default min_shard_bits keeps tiny work serial: the executor
+            # is never started.
+            engine.compute_batch(corpus[:2])
+            assert engine.pool is not None and not engine.pool.started
+
+    def test_worker_crash_surfaces_as_stream_error(self, corpus, monkeypatch):
+        with ParallelBatchCRC(SPEC, 16, workers=2, min_shard_bits=1) as engine:
+            def boom(*_a, **_kw):
+                raise RuntimeError("shard died")
+
+            monkeypatch.setattr(engine.serial_engine, "compute_batch", boom)
+            with pytest.raises(StreamError, match="shard died"):
+                engine.compute_batch(corpus)
+
+
+class TestParallelScrambler:
+    def test_sharded_scramble_matches_serial_and_inverts(self):
+        import random
+
+        rng = random.Random(3)
+        spec = get_scrambler("DVB")
+        streams = [
+            [rng.randrange(2) for _ in range(rng.randrange(1, 150))]
+            for _ in range(17)
+        ]
+        seeds = [rng.randrange(1, 1 << spec.degree) for _ in streams]
+        serial = BatchAdditiveScrambler(spec, 8)
+        with ParallelBatchAdditiveScrambler(
+            spec, 8, workers=3, min_shard_bits=1
+        ) as engine:
+            got = engine.scramble_batch(streams, seeds=seeds)
+            assert got == serial.scramble_batch(streams, seeds=seeds)
+            assert engine.descramble_batch(got, seeds=seeds) == streams
+
+    def test_workers1_has_no_pool(self):
+        engine = ParallelBatchAdditiveScrambler(get_scrambler("DVB"), 8, workers=1)
+        assert engine.pool is None
+
+
+class TestShardScheduler:
+    def test_assign_prefers_least_pending(self):
+        sched = ShardScheduler(3)
+        assert sched.assign([100, 5, 50]) == 1
+
+    def test_assign_breaks_ties_round_robin(self):
+        sched = ShardScheduler(3)
+        picks = [sched.assign([0, 0, 0]) for _ in range(6)]
+        assert sorted(set(picks)) == [0, 1, 2]  # all shards get arrivals
+
+    def test_plan_steals_moves_streams_off_laggard(self):
+        sched = ShardScheduler(2, steal_ratio=2.0)
+        stream_bits = [{"a": 600, "b": 500, "c": 400}, {"d": 100}]
+        moves = sched.plan_steals([1500, 100], stream_bits, min_gap=64)
+        assert moves  # the laggard sheds work
+        for sid, src, dst in moves:
+            assert (src, dst) == (0, 1)
+        # Post-plan imbalance is below the steal threshold.
+        p0 = sum(stream_bits[0].values())
+        p1 = sum(stream_bits[1].values())
+        assert p0 < 2.0 * max(p1, 1) or p0 - p1 < 64
+
+    def test_balanced_load_plans_nothing(self):
+        sched = ShardScheduler(2)
+        moves = sched.plan_steals(
+            [500, 480], [{"a": 500}, {"b": 480}], min_gap=64
+        )
+        assert moves == []
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ShardScheduler(0)
+        with pytest.raises(ValidationError):
+            ShardScheduler(2, steal_ratio=0.5)
+        with pytest.raises(ValidationError):
+            ShardScheduler(2).assign([1, 2, 3])
+
+
+class TestShardedPipeline:
+    def test_matches_serial_pipeline_under_chunked_delivery(self):
+        import random
+
+        rng = random.Random(11)
+        cache = CompileCache()
+        sharded = ShardedCRCPipeline(SPEC16, 8, workers=3, cache=cache)
+        serial = CRCPipeline(SPEC16, 8, cache=cache)
+        ids = [f"s{i}" for i in range(10)]
+        for sid in ids:
+            sharded.open(sid)
+            serial.open(sid)
+        for sid in ids:
+            bits = [rng.randrange(2) for _ in range(rng.randrange(0, 400))]
+            i = 0
+            while i < len(bits):
+                n = rng.randrange(1, 50)
+                sharded.feed_bits(sid, bits[i : i + n], pump=(rng.random() < 0.4))
+                serial.feed_bits(sid, bits[i : i + n], pump=False)
+                i += n
+        sharded.pump()
+        aborted = set(ids[::4])
+        for sid in ids:
+            if sid in aborted:
+                sharded.abort(sid)
+                serial.abort(sid)
+            else:
+                assert sharded.finalize(sid) == serial.finalize(sid)
+        assert sharded.stream_count == 0
+        sharded.close()
+
+    def test_rebalance_steals_from_lagging_shard(self):
+        cache = CompileCache()
+        # steal_ratio=1.0 steals on any worthwhile gap, deterministically.
+        sched = ShardScheduler(2, steal_ratio=1.0)
+        pipe = ShardedCRCPipeline(SPEC16, 8, workers=2, cache=cache, scheduler=sched)
+        # Two arrivals while both shards are empty spread round-robin; two
+        # heavy feeds then pile bits onto stream a's shard via a third
+        # stream routed to the now-lighter shard first.
+        a = pipe.open("a")
+        b = pipe.open("b")
+        pipe.feed_bits(a, [1] * 2000, pump=False)
+        pipe.feed_bits(b, [0] * 64, pump=False)
+        c = pipe.open("c")  # lands on b's shard (lighter)
+        # Force both heavy streams onto one shard to create a laggard.
+        home_a = pipe._home[a]
+        heavy_shard = pipe.shards[home_a]
+        for sid in (b, c):
+            if pipe._home[sid] != home_a:
+                pipe.shards[pipe._home[sid]].migrate(sid, heavy_shard)
+                pipe._home[sid] = home_a
+        pipe.feed_bits(b, [1] * 1500, pump=False)
+        before = pipe.shard_pending()
+        assert min(before) == 0  # all load on one shard
+        moved = pipe.rebalance()
+        assert moved >= 1
+        after = pipe.shard_pending()
+        assert max(after) < max(before)
+        # Results stay exact after migration.
+        pipe.pump()
+        serial = BatchCRC(SPEC16, 8, cache=cache)
+        assert pipe.finalize(a) == serial.compute_bits_batch([[1] * 2000])[0]
+        assert pipe.finalize(b) == serial.compute_bits_batch(
+            [[0] * 64 + [1] * 1500]
+        )[0]
+        pipe.abort(c)
+        pipe.close()
+
+    def test_finalize_after_migration_is_exact(self):
+        cache = CompileCache()
+        pipe = ShardedCRCPipeline(SPEC16, 8, workers=2, cache=cache)
+        sid = pipe.open("x")
+        payload = bytes(range(200))
+        pipe.feed(sid, payload, pump=False)
+        # Migrate mid-stream by hand, then finish.
+        src = pipe._home[sid]
+        dst = 1 - src
+        pipe.shards[src].migrate(sid, pipe.shards[dst])
+        pipe._home[sid] = dst
+        pipe.feed(sid, payload, pump=True)
+        assert pipe.finalize(sid) == BitwiseCRC(SPEC16).compute(payload * 2)
+        pipe.close()
+
+    def test_unknown_stream_raises_stream_error(self):
+        pipe = ShardedCRCPipeline(SPEC16, 8, workers=2)
+        with pytest.raises(StreamError):
+            pipe.finalize("ghost")
+        pipe.open("dup")
+        with pytest.raises(StreamError):
+            pipe.open("dup")
+        pipe.abort("dup")
+        pipe.close()
+
+    def test_scheduler_shard_count_must_match(self):
+        with pytest.raises(ValidationError):
+            ShardedCRCPipeline(SPEC16, 8, workers=2, scheduler=ShardScheduler(3))
+
+
+class TestWorkerPool:
+    def test_crash_is_stream_error_not_hang(self):
+        def boom(x):
+            raise RuntimeError(f"kaboom-{x}")
+
+        with WorkerPool(2, mode="thread") as pool:
+            with pytest.raises(StreamError, match="kaboom"):
+                pool.run(boom, [(1,), (2,), (3,)])
+
+    def test_library_errors_pass_through_untyped(self):
+        def raise_validation(_):
+            raise ValidationError("bad shard input")
+
+        with WorkerPool(2, mode="thread") as pool:
+            with pytest.raises(ValidationError, match="bad shard input"):
+                pool.run(raise_validation, [(1,)])
+
+    def test_results_keep_shard_order(self):
+        with WorkerPool(3, mode="thread") as pool:
+            out = pool.run(lambda x: x * x, [(i,) for i in range(10)])
+        assert out == [i * i for i in range(10)]
+
+    def test_close_is_idempotent(self):
+        pool = WorkerPool(2, mode="thread")
+        pool.run(len, [("ab",)])
+        pool.close()
+        pool.close()
+        assert not pool.started
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            WorkerPool(0)
+        with pytest.raises(ValidationError):
+            WorkerPool(2, mode="fiber")
+
+
+class TestDiskCompileCache:
+    def test_round_trip(self, tmp_path):
+        disk = DiskCompileCache(tmp_path)
+        key = ("lookahead", SPEC, 32)
+        assert disk.load(key) == (False, None)
+        path = disk.store(key, {"payload": list(range(50))})
+        assert path is not None and path.exists()
+        found, value = disk.load(key)
+        assert found and value == {"payload": list(range(50))}
+        assert disk.stats.snapshot()["hits"] == 1
+        assert len(disk) == 1 and disk.size_bytes() > 0
+
+    def test_corruption_degrades_to_counted_miss(self, tmp_path):
+        disk = DiskCompileCache(tmp_path)
+        key = ("lookahead", SPEC, 32)
+        path = disk.store(key, "artifact")
+        path.write_bytes(b"\x80garbage-not-a-pickle")
+        found, value = disk.load(key)
+        assert not found and value is None
+        assert disk.stats.corrupt == 1
+        assert not path.exists()  # bad entry removed for rewrite
+
+    def test_truncated_entry_is_corrupt(self, tmp_path):
+        disk = DiskCompileCache(tmp_path)
+        key = ("derby", SPEC, 64)
+        path = disk.store(key, bytes(4096))
+        path.write_bytes(path.read_bytes()[:100])
+        assert disk.load(key) == (False, None)
+        assert disk.stats.corrupt == 1
+
+    def test_key_mismatch_inside_envelope_is_corrupt(self, tmp_path):
+        """A renamed/copied entry file must not satisfy a different key."""
+        disk = DiskCompileCache(tmp_path)
+        key_a = ("lookahead", SPEC, 8)
+        key_b = ("lookahead", SPEC, 16)
+        path_a = disk.store(key_a, "A")
+        disk.path_for(key_b).write_bytes(path_a.read_bytes())
+        assert disk.load(key_b) == (False, None)
+        assert disk.stats.corrupt == 1
+
+    def test_version_skew_isolates_entries(self, tmp_path):
+        old = DiskCompileCache(tmp_path, version=1)
+        new = DiskCompileCache(tmp_path, version=2)
+        key = ("lookahead", SPEC, 32)
+        old.store(key, "v1-artifact")
+        assert new.load(key) == (False, None)  # different content address
+        assert old.load(key) == (True, "v1-artifact")
+
+    def test_key_string_is_deterministic(self):
+        key = ("lookahead", SPEC, 32)
+        assert cache_key_string(key) == cache_key_string(("lookahead", SPEC, 32))
+        assert cache_key_string(key, version=1) != cache_key_string(key, version=2)
+
+    def test_concurrent_stores_stay_atomic(self, tmp_path):
+        disk = DiskCompileCache(tmp_path)
+        key = ("statespace", SPEC)
+        value = bytes(100_000)
+        threads = [
+            threading.Thread(target=lambda: disk.store(key, value))
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert disk.load(key) == (True, value)
+        assert len(disk) == 1  # one entry, no stray temp leftovers visible
+        assert disk.clear() == 1
+
+
+class TestDiskWarmedCompileCache:
+    def test_second_cache_warms_from_disk_without_builder(self, tmp_path):
+        disk = DiskCompileCache(tmp_path)
+        cold = CompileCache(disk=disk)
+        artifact = cold.lookahead(SPEC, 32)
+        stores = disk.stats.stores
+        assert stores > 0
+
+        warm = CompileCache(disk=DiskCompileCache(tmp_path))
+        loaded = warm.lookahead(SPEC, 32)
+        assert warm.disk.stats.hits > 0
+        # Same mathematical content arrives without recompiling.
+        assert loaded.A_M.to_array().tolist() == artifact.A_M.to_array().tolist()
+
+    def test_corrupt_disk_entry_falls_back_to_recompile(self, tmp_path):
+        disk = DiskCompileCache(tmp_path)
+        CompileCache(disk=disk).lookahead(SPEC, 16)
+        # Garble every entry on disk.
+        for path in tmp_path.glob("*.pkl"):
+            path.write_bytes(b"not a pickle at all")
+        fresh_disk = DiskCompileCache(tmp_path)
+        fresh = CompileCache(disk=fresh_disk)
+        rebuilt = fresh.lookahead(SPEC, 16)  # must not raise
+        assert rebuilt.A_M.to_array().shape == (SPEC.width, SPEC.width)
+        assert fresh_disk.stats.corrupt >= 1  # warning counter fired
+
+    def test_engine_end_to_end_with_disk_cache(self, tmp_path, corpus):
+        expected = [BitwiseCRC(SPEC).compute(m) for m in corpus[:10]]
+        cache = CompileCache(disk=DiskCompileCache(tmp_path))
+        with ParallelBatchCRC(
+            SPEC, 32, workers=2, cache=cache, min_shard_bits=1
+        ) as engine:
+            assert engine.compute_batch(corpus[:10]) == expected
+        assert len(cache.disk) > 0
