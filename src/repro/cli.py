@@ -13,7 +13,13 @@ Commands
 ``perf``
     Predict DREAM throughput for a message length across factors.
 ``batch-bench``
-    Time the vectorized batch engine against the per-message Derby loop.
+    Time the vectorized batch engine against the per-message Derby loop
+    (``--auto`` additionally runs the execution planner's pick and
+    reports predicted vs actual throughput).
+``plan``
+    Run the adaptive execution planner for a workload: probe (or load)
+    the host cost profile and print the chosen backend x workers x M
+    with its decision trace (``--json`` writes the full artifact).
 ``cache``
     Inspect (or clear) the persistent compile-cache directory.
 ``stats``
@@ -252,6 +258,44 @@ def cmd_batch_bench(args: argparse.Namespace) -> int:
             ]
         )
 
+    if getattr(args, "auto", False):
+        from repro.engine import ParallelBatchCRC
+        from repro.engine.planner import WorkloadDescriptor, default_planner
+
+        planner = default_planner()
+        workload = WorkloadDescriptor(
+            kind="crc-batch",
+            standard=spec.name,
+            message_bits=8 * args.bytes,
+            batch=args.batch,
+            M=args.m,
+        )
+        plan = planner.plan(workload)
+        with ParallelBatchCRC(spec, args.m, method=args.method, plan=plan) as auto_eng:
+            auto_eng.compute_batch(messages[:2])  # pool + compile off-clock
+            auto_best = float("inf")
+            for _ in range(args.repeats):
+                t0 = time.perf_counter()
+                auto_crcs = auto_eng.compute_batch(messages)
+                auto_best = min(auto_best, time.perf_counter() - t0)
+        if auto_crcs != crcs:
+            print("MISMATCH: planned engine disagrees with serial batch engine")
+            return 1
+        auto_rate = len(messages) / auto_best
+        ratio = planner.record_actual(plan, auto_best)
+        rows.append(
+            [
+                f"auto plan [{plan.strategy} x{plan.workers}]",
+                f"{auto_rate:,.0f}",
+                f"{auto_rate / loop_rate:.1f}x",
+            ]
+        )
+        print(
+            f"planner: {plan.strategy} backend={plan.backend} "
+            f"workers={plan.workers} (predicted {plan.predicted_speedup:.2f}x "
+            f"vs serial; model accuracy {ratio:.2f})"
+        )
+
     print(format_table(
         ["engine", "messages/s", "speedup"], rows,
         title=(
@@ -267,6 +311,51 @@ def cmd_batch_bench(args: argparse.Namespace) -> int:
         print(f"disk cache [{cache.disk.root}]: {dstats['hits']} hits / "
               f"{dstats['misses']} misses / {dstats['stores']} stores "
               f"({len(cache.disk)} entries, {cache.disk.size_bytes():,} bytes)")
+    return 0
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.engine import DiskCompileCache, default_cache_dir
+    from repro.engine.planner import Planner, WorkloadDescriptor, get_profile
+
+    spec = get(args.standard)
+    workload = WorkloadDescriptor(
+        kind=args.kind,
+        standard=spec.name,
+        message_bits=8 * args.bytes,
+        batch=args.batch,
+        streams=args.streams,
+        M=args.m,
+    )
+    root = args.cache_dir or default_cache_dir()
+    disk = DiskCompileCache(root) if root is not None else None
+    profile = get_profile(disk=disk, refresh=args.refresh)
+    planner = Planner(profile=profile, disk=disk)
+    plan = planner.plan(workload)
+    print(f"host:      {profile.describe()}")
+    for line in plan.describe():
+        print(line)
+    if args.trace:
+        rows = [
+            [c.strategy, c.backend, c.workers, c.mode, c.M,
+             f"{1e3 * c.predicted_s:.4f}"]
+            for c in planner.candidates(workload)
+        ]
+        print(format_table(
+            ["strategy", "backend", "workers", "mode", "M", "predicted ms"],
+            rows, title=f"{len(rows)} candidates explored",
+        ))
+    if args.json:
+        payload = {
+            "plan": plan.to_dict(),
+            "profile": profile.to_dict(),
+            "candidates": [c.to_dict() for c in planner.candidates(workload)],
+        }
+        with open(args.json, "w") as handle:
+            _json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"decision trace written to {args.json}")
     return 0
 
 
@@ -438,11 +527,40 @@ def build_parser() -> argparse.ArgumentParser:
                    help="messages timed through the per-message Derby loop")
     p.add_argument("--repeats", type=int, default=3, help="batch timing repeats")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--auto", action="store_true",
+                   help="also run the execution planner's chosen configuration "
+                   "and report predicted vs actual throughput")
     _add_backend_option(p)
     _add_parallel_options(p)
     p.add_argument("--telemetry", action="store_true",
                    help="trace the run and snapshot the metrics registry")
     p.set_defaults(func=cmd_batch_bench)
+
+    p = sub.add_parser(
+        "plan", help="pick backend x workers x M for a workload (design-space mapper)"
+    )
+    p.add_argument("--standard", default="CRC-32")
+    p.add_argument("--kind", choices=("crc-batch", "crc-stream", "scrambler-batch"),
+                   default="crc-batch", help="workload shape to plan for")
+    p.add_argument("--bytes", type=int, default=256, help="message size in bytes")
+    p.add_argument("--batch", type=int, default=1024, help="messages per batch")
+    p.add_argument("--streams", type=int, default=1,
+                   help="concurrent streams (crc-stream workloads)")
+    p.add_argument("-m", "--m", type=int, default=None,
+                   help="pin the look-ahead factor (default: solver picks)")
+    p.add_argument("--refresh", action="store_true",
+                   help="re-probe the host even if a cached profile matches")
+    p.add_argument("--trace", action="store_true",
+                   help="print every candidate the solver explored")
+    p.add_argument("--json", metavar="PATH",
+                   help="write the full decision trace (plan + profile + "
+                   "candidates) to PATH")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="persist the host profile and plans under DIR "
+                   "(default: $REPRO_CACHE_DIR)")
+    p.add_argument("--telemetry", action="store_true",
+                   help="trace the run and snapshot the metrics registry")
+    p.set_defaults(func=cmd_plan)
 
     p = sub.add_parser(
         "fuzz", help="cross-check all engines with differential fuzzing"

@@ -113,36 +113,135 @@ class DreamSystem:
 
         self.cache.attach_disk(DiskCompileCache(root))
 
-    def batch_crc(self, spec, M: int, method: str = "lookahead", workers=None):
+    def _auto_plan(self, kind, spec, M, workload, planner):
+        """Resolve the execution plan for an ``auto=True`` engine request.
+
+        ``workload`` overrides the default descriptor (2048-bit messages,
+        batch 256 / 8 streams — the telecom frame regime the paper
+        benchmarks); ``planner`` overrides :func:`~repro.engine.planner.
+        default_planner` so tests can inject synthetic host profiles.
+        An explicit ``M`` pins the look-ahead factor the solver may pick.
+        """
+        from repro.engine.planner import WorkloadDescriptor, default_planner
+
+        if workload is None:
+            workload = WorkloadDescriptor(
+                kind=kind,
+                standard=spec.name,
+                message_bits=2048,
+                batch=256 if kind != "crc-stream" else 1,
+                streams=8 if kind == "crc-stream" else 1,
+                M=M,
+            )
+        active = planner if planner is not None else default_planner()
+        return active.plan(workload)
+
+    def batch_crc(
+        self,
+        spec,
+        M: Optional[int] = None,
+        method: str = "lookahead",
+        workers=None,
+        plan=None,
+        auto: bool = False,
+        workload=None,
+        planner=None,
+    ):
         """A host-side sharded CRC engine wired to this system's cache.
 
-        ``workers`` resolves per :func:`repro.engine.parallel.resolve_workers`
+        ``spec`` is a :class:`~repro.crc.CRCSpec` or a catalog name
+        (``"CRC-32"``).  ``workers`` resolves per :func:`repro.engine.parallel.resolve_workers`
         (explicit > ``$REPRO_WORKERS`` > 1); ``workers=1`` degenerates to
         the serial :class:`~repro.engine.batch.BatchCRC` path.  Use this
         for golden-model throughput runs that mirror a DREAM deployment:
         the same ``(spec, M, method)`` artifacts the netlists were mapped
         from drive the software kernels, so cache hits are shared.
+
+        Pass ``auto=True`` (optionally with a ``workload`` descriptor and
+        an injected ``planner``) to let the execution planner pick
+        backend x workers x M — the software analogue of the paper's §2
+        design-space mapper; or hand in a solved ``plan`` directly.
+        Explicit arguments always win over the plan's choices.  ``M``
+        may be omitted when a plan supplies it.
         """
         from repro.engine.parallel import ParallelBatchCRC
 
+        if isinstance(spec, str):
+            from repro.crc import get as _get_crc
+
+            spec = _get_crc(spec)
+        if auto and plan is None:
+            plan = self._auto_plan("crc-batch", spec, M, workload, planner)
+        if M is None:
+            if plan is None:
+                raise ValueError("batch_crc needs M= (or plan=/auto=True)")
+            M = plan.M
         return ParallelBatchCRC(
-            spec, M, method=method, workers=workers, cache=self.cache
+            spec, M, method=method, workers=workers, cache=self.cache, plan=plan
         )
 
-    def batch_scrambler(self, spec, M: int, workers=None):
-        """A host-side sharded additive scrambler on this system's cache."""
+    def batch_scrambler(
+        self,
+        spec,
+        M: Optional[int] = None,
+        workers=None,
+        plan=None,
+        auto: bool = False,
+        workload=None,
+        planner=None,
+    ):
+        """A host-side sharded additive scrambler on this system's cache.
+
+        ``spec`` is a scrambler spec or a registry name (``"DVB"``);
+        ``plan=`` / ``auto=True`` behave exactly as on :meth:`batch_crc`.
+        """
         from repro.engine.parallel import ParallelBatchAdditiveScrambler
 
+        if isinstance(spec, str):
+            from repro.scrambler.specs import get as _get_scrambler
+
+            spec = _get_scrambler(spec)
+        if auto and plan is None:
+            plan = self._auto_plan("scrambler-batch", spec, M, workload, planner)
+        if M is None:
+            if plan is None:
+                raise ValueError("batch_scrambler needs M= (or plan=/auto=True)")
+            M = plan.M
         return ParallelBatchAdditiveScrambler(
-            spec, M, workers=workers, cache=self.cache
+            spec, M, workers=workers, cache=self.cache, plan=plan
         )
 
-    def crc_pipeline(self, spec, M: int, method: str = "lookahead", workers=None):
-        """A sharded streaming CRC pipeline on this system's cache."""
+    def crc_pipeline(
+        self,
+        spec,
+        M: Optional[int] = None,
+        method: str = "lookahead",
+        workers=None,
+        plan=None,
+        auto: bool = False,
+        workload=None,
+        planner=None,
+    ):
+        """A sharded streaming CRC pipeline on this system's cache.
+
+        ``spec`` is a :class:`~repro.crc.CRCSpec` or a catalog name;
+        ``plan=`` / ``auto=True`` behave exactly as on :meth:`batch_crc`
+        (the auto workload defaults to the ``crc-stream`` kind).
+        """
         from repro.engine.parallel import ShardedCRCPipeline
 
+        if isinstance(spec, str):
+            from repro.crc import get as _get_crc
+
+            spec = _get_crc(spec)
+        if auto and plan is None:
+            plan = self._auto_plan("crc-stream", spec, M, workload, planner)
+        if M is None:
+            if plan is None:
+                raise ValueError("crc_pipeline needs M= (or plan=/auto=True)")
+            M = plan.M
         return ShardedCRCPipeline(
-            spec, M, method=method, workers=workers, cache=self.cache
+            spec, M, method=method, workers=workers, cache=self.cache, plan=plan
         )
 
     # ==================================================================

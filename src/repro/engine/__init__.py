@@ -21,6 +21,10 @@ Three layers, each reusable on its own:
   pipelines spread over shard pipelines with a work-stealing scheduler.
 * :mod:`repro.engine.diskcache` — a content-addressed persistent compile
   cache that warms the in-memory LRU across processes and runs.
+* :mod:`repro.engine.planner` — an adaptive execution planner: per-host
+  micro-probed cost tables (persisted under a host fingerprint) and a
+  deterministic solver picking backend x workers x shard plan x M per
+  workload, falling back to serial whenever sharding can't pay.
 """
 
 from repro.engine.batch import (
@@ -54,6 +58,17 @@ from repro.engine.parallel import (
     resolve_workers,
 )
 from repro.engine.pipeline import CRCPipeline, ScramblerPipeline
+from repro.engine.planner import (
+    ExecutionPlan,
+    HostProfile,
+    PlanCandidate,
+    Planner,
+    WorkloadDescriptor,
+    default_planner,
+    get_profile,
+    host_fingerprint,
+    probe_host,
+)
 
 __all__ = [
     "BatchAdditiveScrambler",
@@ -65,19 +80,28 @@ __all__ = [
     "CRCPipeline",
     "DiskCacheStats",
     "DiskCompileCache",
+    "ExecutionPlan",
+    "HostProfile",
     "ParallelBatchAdditiveScrambler",
     "ParallelBatchCRC",
+    "PlanCandidate",
+    "Planner",
     "ScramblerPipeline",
     "ShardedCRCPipeline",
     "ShardScheduler",
     "WorkerPool",
+    "WorkloadDescriptor",
     "WORKERS_ENV",
     "default_cache",
     "default_cache_dir",
+    "default_planner",
     "estimate_entry_bytes",
+    "get_profile",
     "gf2_mul_packed",
+    "host_fingerprint",
     "pack_bits",
     "plan_shards",
+    "probe_host",
     "resolve_workers",
     "unpack_bits",
 ]

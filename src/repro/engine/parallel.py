@@ -38,7 +38,16 @@ from __future__ import annotations
 import os
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from itertools import count
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.crc.spec import CRCSpec
 from repro.engine.batch import BatchAdditiveScrambler, BatchCRC
@@ -48,6 +57,9 @@ from repro.errors import ReproError, StreamError, ValidationError
 from repro.gf2.backend import GF2Backend, NumpyPackedBackend, resolve_backend
 from repro.scrambler.specs import ScramblerSpec
 from repro.telemetry import default_registry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (planner probes us)
+    from repro.engine.planner import ExecutionPlan
 
 #: Environment variable consulted when no explicit worker count is given.
 WORKERS_ENV = "REPRO_WORKERS"
@@ -334,6 +346,24 @@ def _pick_mode(backend: GF2Backend) -> str:
     return "thread" if isinstance(backend, NumpyPackedBackend) else "process"
 
 
+def _apply_plan(plan, workers, backend, mode):
+    """Fill engine knobs from an :class:`~repro.engine.planner.
+    ExecutionPlan`, without overriding anything the caller set explicitly.
+
+    Returns the effective ``(workers, backend, mode)``.  A serial plan
+    leaves ``mode`` alone (no pool is built for ``workers == 1``, so the
+    substrate choice is moot and ``_pick_mode`` keeps its say)."""
+    if plan is None:
+        return workers, backend, mode
+    if workers is None:
+        workers = plan.workers
+    if backend is None:
+        backend = plan.backend
+    if mode is None and plan.mode in ("thread", "process"):
+        mode = plan.mode
+    return workers, backend, mode
+
+
 def _observe_shards(kind: str, sizes: Sequence[int], bits: Sequence[int]) -> None:
     """Publish per-dispatch shard shape telemetry."""
     if not _REGISTRY.enabled:
@@ -367,7 +397,10 @@ class ParallelBatchCRC:
         backend: Union[None, str, GF2Backend] = None,
         mode: Optional[str] = None,
         min_shard_bits: int = 4096,
+        plan: Optional["ExecutionPlan"] = None,
     ):
+        workers, backend, mode = _apply_plan(plan, workers, backend, mode)
+        self._plan = plan
         self._cache = cache if cache is not None else default_cache()
         self._serial = BatchCRC(
             spec, M, method=method, cache=self._cache, backend=backend
@@ -427,6 +460,11 @@ class ParallelBatchCRC:
     def cache(self) -> CompileCache:
         """The compile cache the block matrices come from."""
         return self._cache
+
+    @property
+    def plan(self) -> Optional["ExecutionPlan"]:
+        """The planner decision this engine was built from, if any."""
+        return self._plan
 
     def close(self) -> None:
         """Release pool workers (safe to call at any time, repeatedly)."""
@@ -595,7 +633,10 @@ class ParallelBatchAdditiveScrambler:
         backend: Union[None, str, GF2Backend] = None,
         mode: Optional[str] = None,
         min_shard_bits: int = 4096,
+        plan: Optional["ExecutionPlan"] = None,
     ):
+        workers, backend, mode = _apply_plan(plan, workers, backend, mode)
+        self._plan = plan
         self._cache = cache if cache is not None else default_cache()
         self._serial = BatchAdditiveScrambler(
             spec, M, cache=self._cache, backend=backend
@@ -639,6 +680,11 @@ class ParallelBatchAdditiveScrambler:
     def pool(self) -> Optional[WorkerPool]:
         """The worker pool, or ``None`` when ``workers == 1``."""
         return self._pool
+
+    @property
+    def plan(self) -> Optional["ExecutionPlan"]:
+        """The planner decision this engine was built from, if any."""
+        return self._plan
 
     def close(self) -> None:
         """Release pool workers (safe to call at any time, repeatedly)."""
@@ -804,7 +850,11 @@ class ShardedCRCPipeline:
         workers: Union[None, int, str] = None,
         cache: Optional[CompileCache] = None,
         scheduler: Optional[ShardScheduler] = None,
+        plan: Optional["ExecutionPlan"] = None,
     ):
+        if plan is not None and workers is None:
+            workers = plan.workers
+        self._plan = plan
         self._cache = cache if cache is not None else default_cache()
         self._workers = resolve_workers(workers)
         self._shards = [
@@ -850,6 +900,11 @@ class ShardedCRCPipeline:
     def stream_count(self) -> int:
         """Streams currently open across all shards."""
         return len(self._home)
+
+    @property
+    def plan(self) -> Optional["ExecutionPlan"]:
+        """The planner decision this pipeline was built from, if any."""
+        return self._plan
 
     def __len__(self) -> int:
         return len(self._home)

@@ -1,0 +1,983 @@
+"""Adaptive execution planner: a measured cost model + deterministic solver.
+
+The paper's §2 "Matlab program" explores the design space *before*
+committing a configuration to the PiCoGA: for each candidate parallelism
+degree M it predicts cost and throughput, and only the winning point is
+compiled.  The software stack had no such step, and ``BENCH_5`` shows the
+price: ``engine_parallel`` measured **0.79x vs serial** on a 1-CPU host
+because the user had to hand-pick backend x workers x shard plan x M and
+picked wrong.  This module is that mapper turned into a production
+autotuner, split into the two halves that make it testable:
+
+* **Measurement** (:func:`probe_host`) — per-host micro-probes for
+  backend kernel throughput, worker-pool spawn overhead, per-shard
+  dispatch cost, shard-recombination (``x^k mod G``) cost and pickle
+  bandwidth.  The result is a :class:`HostProfile`: *plain data*,
+  serializable, persisted in the :class:`~repro.engine.diskcache.
+  DiskCompileCache` under a host fingerprint so one probe pass serves
+  every later process on the same machine.  Every probe takes an
+  injectable ``timer``, so tests drive them with a fake clock.
+
+* **Decision** (:class:`Planner`) — a deterministic solver over a
+  :class:`WorkloadDescriptor` (standard, message size, batch, streams).
+  Given a profile it enumerates backend x workers x M candidates,
+  predicts each one's wall time from the cost tables alone (no timing at
+  plan time), and returns an :class:`ExecutionPlan`.  A parallel plan is
+  chosen **only** when it is predicted to beat the best serial plan by
+  ``min_speedup`` (default 1.05x) — so on a 1-CPU profile the planner
+  returns ``workers=1`` by construction, eliminating the BENCH_5
+  regression class rather than detecting it after the fact.
+
+Because profiles are plain data, tests feed synthetic hosts (1-CPU
+laptop, 16-core server, slow-spawn process pool) and assert the chosen
+plan without timing anything; see ``tests/test_engine_planner.py`` and
+``docs/PLANNER.md`` for the cost-model terms and a worked decision trace.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import platform
+import sys
+import time
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ValidationError
+from repro.telemetry import default_registry, default_tracer
+
+_REGISTRY = default_registry()
+_PROBES = _REGISTRY.counter(
+    "engine_planner_probes_total",
+    "Planner micro-probes executed, by probe kind",
+    labels=("kind",),
+)
+_PLANS = _REGISTRY.counter(
+    "engine_planner_plans_total",
+    "Execution plans decided, by strategy",
+    labels=("strategy",),
+)
+_CACHE = _REGISTRY.counter(
+    "engine_planner_cache_total",
+    "Planner cache operations (profile/plan layers), by result",
+    labels=("kind", "result"),
+)
+_PREDICTION = _REGISTRY.histogram(
+    "engine_planner_prediction_ratio",
+    "Actual / predicted throughput ratio for executed plans",
+    labels=("strategy",),
+    buckets=(0.25, 0.5, 0.75, 0.9, 1.0, 1.1, 1.25, 1.5, 2.0, 4.0),
+)
+
+#: Disk-cache envelope key for the persisted host profile.  The profile
+#: embeds its own fingerprint; a mismatch on load (new kernel, different
+#: CPU count, upgraded numpy) is counted and triggers a re-probe.
+PROFILE_KEY = ("planner-profile",)
+
+#: Format version folded into persisted profile/plan payloads; bump on
+#: any cost-model or schema change to orphan stale entries.
+PLANNER_VERSION = 1
+
+#: Look-ahead factors the solver considers when the workload doesn't pin M.
+M_CANDIDATES = (8, 16, 32, 64, 128)
+
+#: Modeling constant: fixed per-block cost of one kernel invocation,
+#: expressed in equivalent payload bits.  Folded into the M-efficiency
+#: term ``M / (M + BLOCK_OVERHEAD_BITS)`` — larger M amortizes the fixed
+#: cost, which is why the paper's mapper pushes M up until area runs out.
+BLOCK_OVERHEAD_BITS = 32.0
+
+#: Conservative default for process-pool spawn when the probe pass runs
+#: without ``full=True`` (forking + interpreter start + engine rebuild).
+DEFAULT_PROCESS_SPAWN_S = 0.25
+
+#: Process-pool per-shard dispatch is dominated by argument pickling and
+#: queue hops; when not measured directly it is scaled off the thread
+#: dispatch probe by this factor.
+PROCESS_DISPATCH_SCALE = 25.0
+
+#: Workload kinds the solver understands.
+KIND_CRC_BATCH = "crc-batch"
+KIND_CRC_STREAM = "crc-stream"
+KIND_SCRAMBLER_BATCH = "scrambler-batch"
+WORKLOAD_KINDS = (KIND_CRC_BATCH, KIND_CRC_STREAM, KIND_SCRAMBLER_BATCH)
+
+#: Plan strategies.
+STRATEGY_SERIAL = "serial"
+STRATEGY_SHARD_BATCH = "shard-batch"
+STRATEGY_SHARD_TIME = "shard-time"
+
+
+def host_fingerprint() -> str:
+    """A stable identity for "this host, this toolchain".
+
+    Cost tables measured under one fingerprint must not be trusted under
+    another: a different CPU count changes the parallel frontier, a
+    different interpreter or numpy changes kernel throughput.  The
+    fingerprint is deliberately coarse — it names the regime, not the
+    exact clock speed (run-to-run noise is the cost model's margin to
+    absorb, see ``min_speedup``).
+    """
+    try:
+        import numpy as np
+
+        numpy_version = np.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dep in practice
+        numpy_version = "none"
+    cpus = os.cpu_count() or 1
+    if hasattr(os, "sched_getaffinity"):
+        try:
+            cpus = len(os.sched_getaffinity(0)) or cpus
+        except OSError:  # pragma: no cover - affinity query denied
+            pass
+    parts = (
+        platform.system(),
+        platform.machine(),
+        f"py{sys.version_info.major}.{sys.version_info.minor}",
+        f"np{numpy_version}",
+        f"cpu{cpus}",
+        f"v{PLANNER_VERSION}",
+    )
+    return "-".join(parts)
+
+
+def _usable_cpus() -> int:
+    """CPUs actually schedulable for this process (affinity-aware)."""
+    if hasattr(os, "sched_getaffinity"):
+        try:
+            return len(os.sched_getaffinity(0)) or 1
+        except OSError:  # pragma: no cover - affinity query denied
+            pass
+    return os.cpu_count() or 1
+
+
+# ----------------------------------------------------------------------
+# Host profile: the cost tables, as plain data
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, eq=True)
+class HostProfile:
+    """Measured (or synthetic) cost tables for one host.
+
+    Every field is a plain float/int/str container so a profile pickles,
+    JSON-serializes and compares by value; the solver consumes nothing
+    else.  Units:
+
+    ``backend_bits_per_s``
+        Steady-state kernel throughput per backend name (payload bits
+        per second through the batched matvec path).
+    ``backend_mode``
+        The pool substrate each backend shards onto: ``"thread"`` for
+        GIL-releasing kernels, ``"process"`` for pure-Python ones.
+    ``spawn_s`` / ``dispatch_s``
+        One-time pool start cost and per-shard submit/collect cost, per
+        mode.
+    ``recombine_s``
+        Per-shard ``x^k mod G`` carry-less-multiply fold cost (paid only
+        by time-axis sharding).
+    ``pickle_bits_per_s``
+        Payload serialization bandwidth (paid round-trip by process
+        pools).
+    """
+
+    fingerprint: str
+    cpus: int
+    backend_bits_per_s: Dict[str, float] = field(default_factory=dict)
+    backend_mode: Dict[str, str] = field(default_factory=dict)
+    spawn_s: Dict[str, float] = field(default_factory=dict)
+    dispatch_s: Dict[str, float] = field(default_factory=dict)
+    recombine_s: float = 0.0
+    pickle_bits_per_s: float = float("inf")
+    block_overhead_bits: float = BLOCK_OVERHEAD_BITS
+
+    def __post_init__(self):
+        if self.cpus < 1:
+            raise ValidationError(f"profile needs >= 1 cpu, got {self.cpus}")
+        if not self.backend_bits_per_s:
+            raise ValidationError("profile needs at least one backend rate")
+        for name, rate in self.backend_bits_per_s.items():
+            if rate <= 0:
+                raise ValidationError(
+                    f"backend {name!r} rate must be > 0, got {rate}"
+                )
+            if self.backend_mode.get(name) not in ("thread", "process"):
+                raise ValidationError(
+                    f"backend {name!r} needs a mode of thread|process"
+                )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def synthetic(
+        cls,
+        cpus: int,
+        fingerprint: str = "synthetic",
+        packed_bits_per_s: float = 2.0e9,
+        reference_bits_per_s: Optional[float] = 8.0e6,
+        thread_spawn_s: float = 2e-4,
+        process_spawn_s: float = DEFAULT_PROCESS_SPAWN_S,
+        thread_dispatch_s: float = 5e-5,
+        process_dispatch_s: float = 2e-3,
+        recombine_s: float = 2e-5,
+        pickle_bits_per_s: float = 4.0e9,
+        block_overhead_bits: float = BLOCK_OVERHEAD_BITS,
+    ) -> "HostProfile":
+        """A ready-made profile for tests and documentation examples.
+
+        Defaults approximate the BENCH_5 container (packed backend ~2
+        Gbit/s, reference ~300x slower); every term is overridable so a
+        test can dial in "slow-spawn pool" or "GIL-bound host" shapes
+        without reciting the whole table.
+        """
+        rates = {"packed": float(packed_bits_per_s)}
+        modes = {"packed": "thread"}
+        if reference_bits_per_s is not None:
+            rates["reference"] = float(reference_bits_per_s)
+            modes["reference"] = "process"
+        return cls(
+            fingerprint=fingerprint,
+            cpus=cpus,
+            backend_bits_per_s=rates,
+            backend_mode=modes,
+            spawn_s={"thread": thread_spawn_s, "process": process_spawn_s},
+            dispatch_s={"thread": thread_dispatch_s, "process": process_dispatch_s},
+            recombine_s=recombine_s,
+            pickle_bits_per_s=pickle_bits_per_s,
+            block_overhead_bits=block_overhead_bits,
+        )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """Plain-dict form, stable across processes (for persistence)."""
+        return {
+            "version": PLANNER_VERSION,
+            "fingerprint": self.fingerprint,
+            "cpus": self.cpus,
+            "backend_bits_per_s": dict(self.backend_bits_per_s),
+            "backend_mode": dict(self.backend_mode),
+            "spawn_s": dict(self.spawn_s),
+            "dispatch_s": dict(self.dispatch_s),
+            "recombine_s": self.recombine_s,
+            "pickle_bits_per_s": self.pickle_bits_per_s,
+            "block_overhead_bits": self.block_overhead_bits,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "HostProfile":
+        """Rebuild a profile; raises ValidationError on schema skew."""
+        try:
+            if int(data["version"]) != PLANNER_VERSION:
+                raise ValidationError(
+                    f"profile version {data['version']} != {PLANNER_VERSION}"
+                )
+            return cls(
+                fingerprint=str(data["fingerprint"]),
+                cpus=int(data["cpus"]),
+                backend_bits_per_s={
+                    str(k): float(v)
+                    for k, v in data["backend_bits_per_s"].items()
+                },
+                backend_mode={
+                    str(k): str(v) for k, v in data["backend_mode"].items()
+                },
+                spawn_s={str(k): float(v) for k, v in data["spawn_s"].items()},
+                dispatch_s={
+                    str(k): float(v) for k, v in data["dispatch_s"].items()
+                },
+                recombine_s=float(data["recombine_s"]),
+                pickle_bits_per_s=float(data["pickle_bits_per_s"]),
+                block_overhead_bits=float(data["block_overhead_bits"]),
+            )
+        except ValidationError:
+            raise
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise ValidationError(f"malformed host profile record: {exc}") from None
+
+    def describe(self) -> str:
+        """One-line human summary for CLI decision traces."""
+        rates = ", ".join(
+            f"{name}={rate:.3g}"
+            for name, rate in sorted(self.backend_bits_per_s.items())
+        )
+        return (
+            f"{self.cpus} cpu(s), backends [{rates}] bits/s, "
+            f"spawn thread={self.spawn_s.get('thread', 0):.2g}s "
+            f"process={self.spawn_s.get('process', 0):.2g}s "
+            f"({self.fingerprint})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Micro-probes
+# ----------------------------------------------------------------------
+def _count_probe(kind: str) -> None:
+    """Publish one probe execution to telemetry (if enabled)."""
+    if _REGISTRY.enabled:
+        _PROBES.labels(kind=kind).inc()
+
+
+def _probe_backend_rate(
+    name: str, timer: Callable[[], float], reps: int
+) -> float:
+    """Payload bits/s through one backend's batched matvec path."""
+    import numpy as np
+
+    from repro.gf2.backend import get_backend
+
+    backend = get_backend(name)
+    k, batch = 32, 256
+    rng = np.random.default_rng(12345)
+    A = rng.integers(0, 2, size=(k, k)).astype(np.uint8)
+    block = rng.integers(0, 2, size=(k, batch)).astype(np.uint8)
+    packed = backend.pack(block)
+    backend.matvec_batch(A, packed)  # warm any lazy setup off the clock
+    t0 = timer()
+    for _ in range(reps):
+        backend.matvec_batch(A, packed)
+    elapsed = max(timer() - t0, 1e-9)
+    _count_probe(f"backend-{name}")
+    return reps * k * batch / elapsed
+
+
+def _probe_thread_costs(
+    timer: Callable[[], float], reps: int
+) -> Tuple[float, float]:
+    """(spawn_s, per-shard dispatch_s) for the thread substrate."""
+    from repro.engine.parallel import WorkerPool
+
+    t0 = timer()
+    pool = WorkerPool(2, mode="thread")
+    pool.run(int, [("0",)])  # forces executor + thread start
+    spawn = max(timer() - t0, 1e-9)
+    t0 = timer()
+    for _ in range(reps):
+        pool.run(int, [("1",), ("2",)])
+    dispatch = max(timer() - t0, 1e-9) / (2 * reps)
+    pool.close()
+    _count_probe("spawn-thread")
+    return spawn, dispatch
+
+
+def _probe_process_spawn(timer: Callable[[], float]) -> float:
+    """One-time process-pool start cost (fork + interpreter + import)."""
+    from repro.engine.parallel import WorkerPool
+
+    t0 = timer()
+    with WorkerPool(1, mode="process") as pool:
+        pool.run(int, [("0",)])
+        spawn = max(timer() - t0, 1e-9)
+    _count_probe("spawn-process")
+    return spawn
+
+
+def _probe_recombine(timer: Callable[[], float], reps: int) -> float:
+    """Per-shard ``x^k mod G`` fold cost (CRC-32 generator, k=4096)."""
+    from repro.gf2.clmul import clmulmod, clpowmod
+
+    g = (1 << 32) | 0x04C11DB7
+    xk = clpowmod(2, 4096, g)
+    acc = 0x12345678
+    t0 = timer()
+    for _ in range(reps):
+        acc = clmulmod(acc, xk, g) ^ 0x9E3779B9
+    elapsed = max(timer() - t0, 1e-9)
+    _count_probe("recombine")
+    return elapsed / reps
+
+
+def _probe_pickle_rate(timer: Callable[[], float], reps: int) -> float:
+    """Bits/s through ``pickle.dumps`` for bulk payload bytes."""
+    payload = bytes(range(256)) * 256  # 64 KiB
+    t0 = timer()
+    for _ in range(reps):
+        pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    elapsed = max(timer() - t0, 1e-9)
+    _count_probe("pickle")
+    return reps * 8 * len(payload) / elapsed
+
+
+def probe_host(
+    backends: Optional[Sequence[str]] = None,
+    timer: Callable[[], float] = time.perf_counter,
+    full: bool = False,
+    reps: int = 3,
+) -> HostProfile:
+    """Measure this host's cost tables with bounded micro-probes.
+
+    ``backends`` defaults to every registered GF(2) backend.  ``full``
+    additionally measures process-pool spawn (expensive: a real fork +
+    interpreter start); without it the conservative
+    :data:`DEFAULT_PROCESS_SPAWN_S` stands in, which can only bias the
+    solver *toward* serial — the safe direction.  ``timer`` is the clock
+    every probe reads; tests inject a fake one to make the whole pass
+    deterministic.  The returned profile embeds the current
+    :func:`host_fingerprint`.
+    """
+    if backends is None:
+        from repro.gf2.backend import available_backends
+
+        backends = available_backends()
+    if reps < 1:
+        raise ValidationError(f"probe reps must be >= 1, got {reps}")
+    rates: Dict[str, float] = {}
+    modes: Dict[str, str] = {}
+    for name in backends:
+        from repro.gf2.backend import NumpyPackedBackend, get_backend
+
+        # The reference bit-loop is ~300x slower; one rep is plenty.
+        backend_reps = reps if name == "packed" else 1
+        rates[name] = _probe_backend_rate(name, timer, backend_reps)
+        modes[name] = (
+            "thread"
+            if isinstance(get_backend(name), NumpyPackedBackend)
+            else "process"
+        )
+    thread_spawn, thread_dispatch = _probe_thread_costs(timer, reps)
+    process_spawn = (
+        _probe_process_spawn(timer) if full else DEFAULT_PROCESS_SPAWN_S
+    )
+    return HostProfile(
+        fingerprint=host_fingerprint(),
+        cpus=_usable_cpus(),
+        backend_bits_per_s=rates,
+        backend_mode=modes,
+        spawn_s={"thread": thread_spawn, "process": process_spawn},
+        dispatch_s={
+            "thread": thread_dispatch,
+            "process": thread_dispatch * PROCESS_DISPATCH_SCALE,
+        },
+        recombine_s=_probe_recombine(timer, max(reps, 8)),
+        pickle_bits_per_s=_probe_pickle_rate(timer, reps),
+    )
+
+
+def get_profile(
+    disk=None,
+    prober: Optional[Callable[[], HostProfile]] = None,
+    refresh: bool = False,
+) -> HostProfile:
+    """The host profile, loading from ``disk`` when it matches this host.
+
+    A stored profile is trusted only if its embedded fingerprint equals
+    the current :func:`host_fingerprint`; any mismatch (new container
+    image, different CPU budget, upgraded numpy) is counted on
+    ``engine_planner_cache_total{kind="profile",result="mismatch"}`` and
+    triggers a fresh probe pass whose result replaces the stale entry.
+    ``prober`` overrides :func:`probe_host` (tests inject a stub);
+    ``refresh=True`` forces a re-probe unconditionally.
+    """
+    fingerprint = host_fingerprint()
+    if disk is not None and not refresh:
+        found, data = disk.load(PROFILE_KEY)
+        if found:
+            try:
+                stored = HostProfile.from_dict(data)
+            except ValidationError:
+                stored = None
+            if stored is not None and stored.fingerprint == fingerprint:
+                if _REGISTRY.enabled:
+                    _CACHE.labels(kind="profile", result="hit").inc()
+                return stored
+            if _REGISTRY.enabled:
+                _CACHE.labels(kind="profile", result="mismatch").inc()
+        elif _REGISTRY.enabled:
+            _CACHE.labels(kind="profile", result="miss").inc()
+    profile = (prober or probe_host)()
+    if disk is not None:
+        disk.store(PROFILE_KEY, profile.to_dict())
+    return profile
+
+
+# ----------------------------------------------------------------------
+# Workload descriptor + execution plan
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WorkloadDescriptor:
+    """What is about to run, in the units the cost model predicts from.
+
+    ``message_bits`` is the (average) payload length per message/stream;
+    ``batch`` the messages per batch call; ``streams`` the concurrent
+    stream count for pipeline workloads.  ``M`` pins the look-ahead
+    factor when the caller has already chosen one (``None`` lets the
+    solver pick from :data:`M_CANDIDATES`).  ``warm_cache`` states
+    whether compile artifacts are expected resident (they are, after the
+    first batch; cold-start costs live in the disk-cache gate, not here).
+    """
+
+    kind: str
+    standard: str
+    message_bits: int
+    batch: int = 1
+    streams: int = 1
+    M: Optional[int] = None
+    warm_cache: bool = True
+
+    def __post_init__(self):
+        if self.kind not in WORKLOAD_KINDS:
+            raise ValidationError(
+                f"workload kind must be one of {WORKLOAD_KINDS}, got {self.kind!r}"
+            )
+        if self.message_bits < 0:
+            raise ValidationError(
+                f"message_bits must be >= 0, got {self.message_bits}"
+            )
+        if self.batch < 1 or self.streams < 1:
+            raise ValidationError("batch and streams must be >= 1")
+        if self.M is not None and self.M < 1:
+            raise ValidationError(f"M must be >= 1, got {self.M}")
+
+    @property
+    def total_bits(self) -> int:
+        """Payload bits one batch call (or pump cycle) moves."""
+        if self.kind == KIND_CRC_STREAM:
+            return self.message_bits * self.streams
+        return self.message_bits * self.batch
+
+    @property
+    def shardable_items(self) -> int:
+        """Independent units the batch dimension can split into."""
+        if self.kind == KIND_CRC_STREAM:
+            return self.streams
+        return self.batch
+
+    def key(self) -> Tuple:
+        """Hashable identity used by the plan caches."""
+        return (
+            self.kind,
+            self.standard,
+            self.message_bits,
+            self.batch,
+            self.streams,
+            self.M,
+            self.warm_cache,
+        )
+
+    def to_dict(self) -> Dict:
+        """Plain-dict form for persistence and reports."""
+        return {
+            "kind": self.kind,
+            "standard": self.standard,
+            "message_bits": self.message_bits,
+            "batch": self.batch,
+            "streams": self.streams,
+            "M": self.M,
+            "warm_cache": self.warm_cache,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "WorkloadDescriptor":
+        """Rebuild a descriptor; raises ValidationError on bad records."""
+        try:
+            return cls(
+                kind=str(data["kind"]),
+                standard=str(data["standard"]),
+                message_bits=int(data["message_bits"]),
+                batch=int(data.get("batch", 1)),
+                streams=int(data.get("streams", 1)),
+                M=None if data.get("M") is None else int(data["M"]),
+                warm_cache=bool(data.get("warm_cache", True)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValidationError(f"malformed workload record: {exc}") from None
+
+    def describe(self) -> str:
+        """One-line human summary for CLI decision traces."""
+        extra = (
+            f" streams={self.streams}"
+            if self.kind == KIND_CRC_STREAM
+            else f" B={self.batch}"
+        )
+        m = f" M={self.M}" if self.M is not None else ""
+        return f"{self.kind} {self.standard}{extra} x {self.message_bits} bits{m}"
+
+
+@dataclass(frozen=True)
+class PlanCandidate:
+    """One point of the explored design space, with its predicted time."""
+
+    backend: str
+    workers: int
+    mode: str
+    M: int
+    strategy: str
+    predicted_s: float
+
+    def to_dict(self) -> Dict:
+        """Plain-dict form for decision traces."""
+        return {
+            "backend": self.backend,
+            "workers": self.workers,
+            "mode": self.mode,
+            "M": self.M,
+            "strategy": self.strategy,
+            "predicted_s": self.predicted_s,
+        }
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """The solver's decision: how one workload should execute.
+
+    ``mode`` is the pool substrate (``"serial"`` when ``workers == 1``).
+    ``predicted_s`` is the chosen plan's modeled wall time per batch
+    call, ``serial_s`` the best serial candidate's — their ratio is the
+    predicted speedup the benchmark gate holds the plan to.
+    """
+
+    workload: WorkloadDescriptor
+    backend: str
+    workers: int
+    mode: str
+    M: int
+    strategy: str
+    predicted_s: float
+    serial_s: float
+    fingerprint: str
+
+    @property
+    def is_serial(self) -> bool:
+        """Whether the plan degenerates to the serial engine."""
+        return self.workers == 1
+
+    @property
+    def predicted_speedup(self) -> float:
+        """Modeled speedup of the plan over the best serial candidate."""
+        if self.predicted_s <= 0:
+            return 1.0
+        return self.serial_s / self.predicted_s
+
+    @property
+    def predicted_rate(self) -> float:
+        """Messages (or streams) per second the model expects."""
+        if self.predicted_s <= 0:
+            return 0.0
+        return self.workload.shardable_items / self.predicted_s
+
+    def to_dict(self) -> Dict:
+        """Plain-dict form for persistence, telemetry and reports."""
+        return {
+            "version": PLANNER_VERSION,
+            "workload": self.workload.to_dict(),
+            "backend": self.backend,
+            "workers": self.workers,
+            "mode": self.mode,
+            "M": self.M,
+            "strategy": self.strategy,
+            "predicted_s": self.predicted_s,
+            "serial_s": self.serial_s,
+            "fingerprint": self.fingerprint,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ExecutionPlan":
+        """Rebuild a plan; raises ValidationError on schema skew."""
+        try:
+            if int(data["version"]) != PLANNER_VERSION:
+                raise ValidationError(
+                    f"plan version {data['version']} != {PLANNER_VERSION}"
+                )
+            return cls(
+                workload=WorkloadDescriptor.from_dict(data["workload"]),
+                backend=str(data["backend"]),
+                workers=int(data["workers"]),
+                mode=str(data["mode"]),
+                M=int(data["M"]),
+                strategy=str(data["strategy"]),
+                predicted_s=float(data["predicted_s"]),
+                serial_s=float(data["serial_s"]),
+                fingerprint=str(data["fingerprint"]),
+            )
+        except ValidationError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValidationError(f"malformed execution plan record: {exc}") from None
+
+    def describe(self) -> List[str]:
+        """Human-readable decision trace lines for the CLI."""
+        lines = [
+            f"workload:  {self.workload.describe()}",
+            (
+                f"decision:  {self.strategy} — backend={self.backend} "
+                f"workers={self.workers} mode={self.mode} M={self.M}"
+            ),
+            (
+                f"predicted: {1e3 * self.predicted_s:.3f} ms/call "
+                f"({self.predicted_rate:,.0f} items/s), "
+                f"{self.predicted_speedup:.2f}x vs best serial "
+                f"({1e3 * self.serial_s:.3f} ms)"
+            ),
+            f"host:      {self.fingerprint}",
+        ]
+        return lines
+
+
+# ----------------------------------------------------------------------
+# The deterministic solver
+# ----------------------------------------------------------------------
+def _worker_ladder(cpus: int, items: int) -> Tuple[int, ...]:
+    """Worker counts worth considering: powers of two up to the core
+    count, the core count itself, all capped by the shardable items.
+
+    A single shardable item (``items == 1``) means the *time axis* is
+    the only parallel dimension — shard count is then bounded by cores,
+    not items, so the cap falls back to ``cpus``."""
+    cap = max(1, min(cpus, items)) if items >= 2 else cpus
+    ladder = {1}
+    w = 2
+    while w <= cap:
+        ladder.add(w)
+        w *= 2
+    ladder.add(cap)
+    return tuple(sorted(ladder))
+
+
+class Planner:
+    """Deterministic plan solver over one host profile.
+
+    ``plan`` is pure given ``(profile, workload)``: it never times
+    anything, so tests assert decisions on synthetic profiles directly.
+    Solved plans memoize in-memory and persist to the disk cache (when
+    one is attached) keyed by the profile fingerprint, so later processes
+    on the same host skip both the probe pass *and* the solve.
+
+    ``min_speedup`` is the commitment threshold: a parallel candidate
+    must beat the best serial candidate by at least this factor of
+    *predicted* time, otherwise the plan stays serial.  This is what
+    turns the BENCH_5 class of regression (0.79x from blind sharding)
+    into a non-event — the model must first claim >= 1.05x, and the
+    benchmark gate then verifies the claim against reality.
+    """
+
+    def __init__(
+        self,
+        profile: Optional[HostProfile] = None,
+        disk=None,
+        m_candidates: Sequence[int] = M_CANDIDATES,
+        min_speedup: float = 1.05,
+        min_shard_bits: int = 4096,
+        prober: Optional[Callable[[], HostProfile]] = None,
+    ):
+        if min_speedup < 1.0:
+            raise ValidationError(
+                f"min_speedup must be >= 1.0, got {min_speedup}"
+            )
+        if not m_candidates:
+            raise ValidationError("need at least one M candidate")
+        self._profile = profile
+        self._disk = disk
+        self._m_candidates = tuple(sorted(set(int(m) for m in m_candidates)))
+        self._min_speedup = float(min_speedup)
+        self._min_shard_bits = max(1, int(min_shard_bits))
+        self._prober = prober
+        self._plans: Dict[Tuple, ExecutionPlan] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def profile(self) -> HostProfile:
+        """The cost tables in force (probing lazily on first use)."""
+        if self._profile is None:
+            self._profile = get_profile(disk=self._disk, prober=self._prober)
+        return self._profile
+
+    @property
+    def min_speedup(self) -> float:
+        """Predicted-speedup threshold a parallel plan must clear."""
+        return self._min_speedup
+
+    # ------------------------------------------------------------------
+    def _predict_serial(self, workload: WorkloadDescriptor, backend: str, M: int) -> float:
+        """Modeled serial wall time for one batch call."""
+        profile = self.profile
+        rate = profile.backend_bits_per_s[backend]
+        eff = M / (M + profile.block_overhead_bits)
+        return max(workload.total_bits, 1) / (rate * eff)
+
+    def _predict_parallel(
+        self,
+        workload: WorkloadDescriptor,
+        backend: str,
+        workers: int,
+        M: int,
+    ) -> Optional[PlanCandidate]:
+        """Modeled parallel wall time, or None when sharding can't apply."""
+        profile = self.profile
+        total = workload.total_bits
+        if total < self._min_shard_bits:
+            return None  # the engines bypass the pool below this floor
+        mode = profile.backend_mode[backend]
+        if workload.shardable_items >= 2:
+            strategy = STRATEGY_SHARD_BATCH
+            shards = min(workers, workload.shardable_items)
+        else:
+            strategy = STRATEGY_SHARD_TIME
+            shards = workers
+            if total < 2 * M * shards:
+                return None  # shards thinner than one block each
+        compute = self._predict_serial(workload, backend, M)
+        t = compute / min(workers, profile.cpus)
+        t += profile.spawn_s.get(mode, 0.0)
+        t += shards * profile.dispatch_s.get(mode, 0.0)
+        if mode == "process":
+            t += total / profile.pickle_bits_per_s
+        if strategy == STRATEGY_SHARD_TIME:
+            t += shards * profile.recombine_s
+        return PlanCandidate(
+            backend=backend,
+            workers=workers,
+            mode=mode,
+            M=M,
+            strategy=strategy,
+            predicted_s=t,
+        )
+
+    def candidates(self, workload: WorkloadDescriptor) -> List[PlanCandidate]:
+        """Every explored design point, fastest-predicted first.
+
+        The iteration order (backend name, then M, then workers — all
+        ascending) plus strict-improvement selection makes the winner
+        deterministic even under exact ties.
+        """
+        profile = self.profile
+        ms = (
+            (workload.M,) if workload.M is not None else self._m_candidates
+        )
+        out: List[PlanCandidate] = []
+        for backend in sorted(profile.backend_bits_per_s):
+            for M in ms:
+                out.append(
+                    PlanCandidate(
+                        backend=backend,
+                        workers=1,
+                        mode="serial",
+                        M=M,
+                        strategy=STRATEGY_SERIAL,
+                        predicted_s=self._predict_serial(workload, backend, M),
+                    )
+                )
+                for workers in _worker_ladder(
+                    profile.cpus, max(workload.shardable_items, workload.streams)
+                ):
+                    if workers == 1:
+                        continue
+                    cand = self._predict_parallel(workload, backend, workers, M)
+                    if cand is not None:
+                        out.append(cand)
+        # Stable sort: candidate list order breaks exact predicted ties.
+        return sorted(out, key=lambda c: c.predicted_s)
+
+    def solve(self, workload: WorkloadDescriptor) -> ExecutionPlan:
+        """Pick the plan for a workload (no caches consulted)."""
+        best_serial: Optional[PlanCandidate] = None
+        best_parallel: Optional[PlanCandidate] = None
+        for cand in self.candidates(workload):
+            if cand.workers == 1:
+                if best_serial is None or cand.predicted_s < best_serial.predicted_s:
+                    best_serial = cand
+            else:
+                if best_parallel is None or cand.predicted_s < best_parallel.predicted_s:
+                    best_parallel = cand
+        assert best_serial is not None  # candidates() always emits serial
+        chosen = best_serial
+        if (
+            best_parallel is not None
+            and best_serial.predicted_s
+            >= self._min_speedup * best_parallel.predicted_s
+        ):
+            chosen = best_parallel
+        return ExecutionPlan(
+            workload=workload,
+            backend=chosen.backend,
+            workers=chosen.workers,
+            mode=chosen.mode,
+            M=chosen.M,
+            strategy=chosen.strategy,
+            predicted_s=chosen.predicted_s,
+            serial_s=best_serial.predicted_s,
+            fingerprint=self.profile.fingerprint,
+        )
+
+    def plan(self, workload: WorkloadDescriptor) -> ExecutionPlan:
+        """The (cached) execution plan for a workload.
+
+        Resolution order: in-memory memo, then the disk cache (keyed by
+        ``("planner-plan", fingerprint, workload key)``), then a fresh
+        :meth:`solve` whose result is written through both layers.  The
+        decision is recorded as a ``planner.plan`` span and counted on
+        ``engine_planner_plans_total{strategy=...}``.
+        """
+        key = workload.key()
+        cached = self._plans.get(key)
+        if cached is not None:
+            if _REGISTRY.enabled:
+                _CACHE.labels(kind="plan", result="hit").inc()
+            return cached
+        disk_key = ("planner-plan", self.profile.fingerprint) + key
+        if self._disk is not None:
+            found, data = self._disk.load(disk_key)
+            if found:
+                try:
+                    plan = ExecutionPlan.from_dict(data)
+                except ValidationError:
+                    plan = None
+                if plan is not None and plan.fingerprint == self.profile.fingerprint:
+                    if _REGISTRY.enabled:
+                        _CACHE.labels(kind="plan", result="hit").inc()
+                    self._plans[key] = plan
+                    return plan
+        if _REGISTRY.enabled:
+            _CACHE.labels(kind="plan", result="miss").inc()
+        with default_tracer().span(
+            "planner.plan",
+            standard=workload.standard,
+            kind=workload.kind,
+        ) as span:
+            plan = self.solve(workload)
+            if span is not None:
+                span.attributes.update(
+                    strategy=plan.strategy,
+                    backend=plan.backend,
+                    workers=plan.workers,
+                    M=plan.M,
+                    predicted_speedup=round(plan.predicted_speedup, 3),
+                )
+        if _REGISTRY.enabled:
+            _PLANS.labels(strategy=plan.strategy).inc()
+        self._plans[key] = plan
+        if self._disk is not None:
+            self._disk.store(disk_key, plan.to_dict())
+        return plan
+
+    def record_actual(self, plan: ExecutionPlan, actual_s: float) -> float:
+        """Publish predicted-vs-actual for an executed plan.
+
+        ``actual_s`` is the measured wall time of one batch call under
+        the plan.  Returns ``actual_rate / predicted_rate`` (above 1.0 =
+        the host beat the model) and observes it on the
+        ``engine_planner_prediction_ratio`` histogram so soak runs can
+        watch model drift.
+        """
+        if actual_s <= 0:
+            raise ValidationError(f"actual_s must be > 0, got {actual_s}")
+        ratio = plan.predicted_s / actual_s
+        if _REGISTRY.enabled:
+            _PREDICTION.labels(strategy=plan.strategy).observe(ratio)
+        return ratio
+
+
+_DEFAULT_PLANNER: Optional[Planner] = None
+
+
+def default_planner(refresh: bool = False) -> Planner:
+    """The process-wide planner, wired to the default disk cache.
+
+    The first call probes the host (or loads a matching persisted
+    profile); later calls reuse the instance.  ``refresh=True`` discards
+    it, forcing a re-probe — the CLI's ``plan --refresh`` escape hatch.
+    """
+    global _DEFAULT_PLANNER
+    if refresh:
+        _DEFAULT_PLANNER = None
+    if _DEFAULT_PLANNER is None:
+        from repro.engine.cache import default_cache
+
+        _DEFAULT_PLANNER = Planner(disk=default_cache().disk)
+    return _DEFAULT_PLANNER

@@ -530,8 +530,121 @@ class ParallelWorkersOracle(Oracle):
         return None
 
 
+class PlannerAutoOracle(Oracle):
+    """Planner-chosen execution vs serial ground truth, bit-exact.
+
+    The adaptive planner decides backend x workers x M from a cost model
+    — this oracle checks that *whatever* it decides, the planned engine
+    is still bit-exact.  Each case is turned into a workload descriptor
+    (the case's own batch shape and payload sizes, M pinned so compiles
+    are shared) and planned against a synthetic host profile drawn
+    deterministically from the case — so across a fuzz run the decision
+    space (serial fallback, thread sharding, wide/narrow ladders) is
+    covered without ever timing anything.  The planned configuration
+    then executes with a thread pool (substrate doesn't affect results,
+    and process pools would blow the fuzz budget) and must reproduce the
+    serial batch result and the bit-serial single-message CRC exactly.
+    """
+
+    name = "planner:auto-vs-serial"
+    kinds = (KIND_CRC,)
+
+    #: Synthetic hosts the cases cycle through: a 1-CPU laptop (always
+    #: plans serial), a 4-core desktop, and a 16-core server with a
+    #: cheap pool (plans wide).  Built lazily to keep import light.
+    PROFILE_CPUS = (1, 4, 16)
+
+    def __init__(self):
+        self._planners: Dict[int, object] = {}
+        self._engines: Dict[Tuple, "ParallelBatchCRC"] = {}
+
+    def _planner(self, cpus: int):
+        from repro.engine.planner import HostProfile, Planner
+
+        planner = self._planners.get(cpus)
+        if planner is None:
+            profile = HostProfile.synthetic(
+                cpus=cpus,
+                fingerprint=f"fuzz-{cpus}cpu",
+                thread_spawn_s=1e-5,
+                thread_dispatch_s=1e-6,
+            )
+            planner = self._planners[cpus] = Planner(
+                profile=profile, min_shard_bits=1
+            )
+        return planner
+
+    def _plan(self, case: FuzzCase):
+        from repro.engine.planner import WorkloadDescriptor
+
+        payloads = case.payloads()
+        total_bits = sum(8 * len(m) for m in payloads)
+        workload = WorkloadDescriptor(
+            kind="crc-batch",
+            standard=case.spec,
+            message_bits=max(1, total_bits // max(len(payloads), 1)),
+            batch=len(payloads),
+            M=case.M,
+        )
+        cpus = self.PROFILE_CPUS[
+            (case.M + len(payloads) + total_bits) % len(self.PROFILE_CPUS)
+        ]
+        return self._planner(cpus).plan(workload)
+
+    def _engine(
+        self, case: FuzzCase, plan, cache: CompileCache
+    ) -> "ParallelBatchCRC":
+        from repro.engine import ParallelBatchCRC
+
+        key = (case.spec, case.M, case.method, plan.workers)
+        engine = self._engines.get(key)
+        if engine is None:
+            engine = self._engines[key] = ParallelBatchCRC(
+                get_crc(case.spec),
+                case.M,
+                method=case.method,
+                cache=cache,
+                mode="thread",
+                min_shard_bits=1,
+                plan=plan,
+            )
+        return engine
+
+    def check(self, case: FuzzCase, cache: CompileCache) -> Optional[Discrepancy]:
+        spec, serial_ref = _crc_serial(case)
+        plan = self._plan(case)
+        engine = self._engine(case, plan, cache)
+        serial = BatchCRC(spec, case.M, method=case.method, cache=cache)
+        payloads = case.payloads()
+
+        expected = serial.compute_batch(payloads)
+        got = engine.compute_batch(payloads)
+        if got != expected:
+            i = next(j for j, (a, b) in enumerate(zip(expected, got)) if a != b)
+            return Discrepancy(
+                detail=f"planned compute_batch stream {i} "
+                f"({plan.strategy}, workers={plan.workers})",
+                expected=f"0x{expected[i]:X}",
+                got=f"0x{got[i]:X}",
+            )
+
+        # Single-message path under the same plan (time-sharded when the
+        # planner went parallel), against the bit-serial ground truth.
+        joined = b"".join(payloads)
+        expected_one = serial_ref.compute(joined)
+        got_one = engine.compute(joined)
+        if got_one != expected_one:
+            return Discrepancy(
+                detail=f"planned compute ({8 * len(joined)} bits, "
+                f"{plan.strategy}, workers={plan.workers})",
+                expected=f"0x{expected_one:X}",
+                got=f"0x{got_one:X}",
+            )
+        return None
+
+
 def default_oracles() -> List[Oracle]:
-    """The standing cross-engine differential battery (9 oracle pairs)."""
+    """The standing cross-engine differential battery (10 oracle pairs)."""
     return [
         CRCTableOracle(),
         CRCDerbyOracle(),
@@ -542,4 +655,5 @@ def default_oracles() -> List[Oracle]:
         MultiplicativeScramblerOracle(),
         PackedBackendOracle(),
         ParallelWorkersOracle(),
+        PlannerAutoOracle(),
     ]

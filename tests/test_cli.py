@@ -242,6 +242,68 @@ class TestParallelOptions:
         default_cache().attach_disk(None)
 
 
+class TestPlanCommand:
+    def test_prints_decision_trace(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert main(["plan", "--standard", "CRC-32", "--bytes", "64",
+                     "--batch", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "decision:" in out
+        assert "predicted:" in out
+        assert "workers=" in out
+
+    def test_json_artifact_has_plan_profile_candidates(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import json
+
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        path = tmp_path / "plan.json"
+        assert main(["plan", "--bytes", "64", "--batch", "32",
+                     "--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert set(payload) == {"plan", "profile", "candidates"}
+        assert payload["plan"]["workers"] >= 1
+        assert payload["profile"]["fingerprint"]
+        assert payload["candidates"]  # the explored design space
+        assert "written" in capsys.readouterr().out
+
+    def test_trace_lists_candidates(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert main(["plan", "--bytes", "64", "--batch", "32",
+                     "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "candidates explored" in out
+        assert "serial" in out
+
+    def test_profile_persists_across_invocations(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        cache_dir = tmp_path / "planner"
+        args = ["plan", "--bytes", "64", "--batch", "32",
+                "--cache-dir", str(cache_dir)]
+        assert main(args) == 0
+        from repro.engine import DiskCompileCache
+
+        disk = DiskCompileCache(cache_dir)
+        stores = len(disk)
+        assert stores >= 2  # profile + plan persisted
+        assert main(args) == 0  # second run loads, doesn't duplicate
+        assert len(DiskCompileCache(cache_dir)) == stores
+
+    def test_batch_bench_auto_adds_plan_row(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert main([
+            "batch-bench", "--batch", "16", "--bytes", "8",
+            "--baseline-sample", "4", "--repeats", "1", "--auto",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "auto plan [" in out
+        assert "planner:" in out
+
+
 class TestCacheCommand:
     def test_reports_entries_and_clears(self, tmp_path, capsys, monkeypatch):
         monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)

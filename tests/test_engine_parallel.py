@@ -153,13 +153,14 @@ class TestParallelBatchCRC:
             engine.compute_batch(corpus[:2])
             assert engine.pool is not None and not engine.pool.started
 
-    def test_worker_crash_surfaces_as_stream_error(self, corpus, monkeypatch):
+    def test_worker_crash_surfaces_as_stream_error(
+        self, corpus, monkeypatch, crashing_worker
+    ):
         with ParallelBatchCRC(SPEC, 16, workers=2, min_shard_bits=1) as engine:
-            def boom(*_a, **_kw):
-                raise RuntimeError("shard died")
-
-            monkeypatch.setattr(engine.serial_engine, "compute_batch", boom)
-            with pytest.raises(StreamError, match="shard died"):
+            monkeypatch.setattr(
+                engine.serial_engine, "compute_batch", crashing_worker
+            )
+            with pytest.raises(StreamError, match="kaboom"):
                 engine.compute_batch(corpus)
 
 
@@ -256,27 +257,11 @@ class TestShardedPipeline:
         assert sharded.stream_count == 0
         sharded.close()
 
-    def test_rebalance_steals_from_lagging_shard(self):
-        cache = CompileCache()
-        # steal_ratio=1.0 steals on any worthwhile gap, deterministically.
-        sched = ShardScheduler(2, steal_ratio=1.0)
-        pipe = ShardedCRCPipeline(SPEC16, 8, workers=2, cache=cache, scheduler=sched)
-        # Two arrivals while both shards are empty spread round-robin; two
-        # heavy feeds then pile bits onto stream a's shard via a third
-        # stream routed to the now-lighter shard first.
-        a = pipe.open("a")
-        b = pipe.open("b")
-        pipe.feed_bits(a, [1] * 2000, pump=False)
-        pipe.feed_bits(b, [0] * 64, pump=False)
-        c = pipe.open("c")  # lands on b's shard (lighter)
-        # Force both heavy streams onto one shard to create a laggard.
-        home_a = pipe._home[a]
-        heavy_shard = pipe.shards[home_a]
-        for sid in (b, c):
-            if pipe._home[sid] != home_a:
-                pipe.shards[pipe._home[sid]].migrate(sid, heavy_shard)
-                pipe._home[sid] = home_a
-        pipe.feed_bits(b, [1] * 1500, pump=False)
+    def test_rebalance_steals_from_lagging_shard(self, lagged_pipeline):
+        # The fixture hand-builds the imbalance (no sleeps, no pump-order
+        # races): streams a and b loaded on one shard, c empty on the
+        # other, steal_ratio=1.0 so any worthwhile gap triggers a steal.
+        pipe, streams = lagged_pipeline(heavy_bits=2000, light_bits=1564)
         before = pipe.shard_pending()
         assert min(before) == 0  # all load on one shard
         moved = pipe.rebalance()
@@ -285,13 +270,29 @@ class TestShardedPipeline:
         assert max(after) < max(before)
         # Results stay exact after migration.
         pipe.pump()
-        serial = BatchCRC(SPEC16, 8, cache=cache)
-        assert pipe.finalize(a) == serial.compute_bits_batch([[1] * 2000])[0]
-        assert pipe.finalize(b) == serial.compute_bits_batch(
+        serial = BatchCRC(SPEC16, 8)
+        assert pipe.finalize(streams["a"]) == serial.compute_bits_batch(
+            [[1] * 2000]
+        )[0]
+        assert pipe.finalize(streams["b"]) == serial.compute_bits_batch(
             [[0] * 64 + [1] * 1500]
         )[0]
-        pipe.abort(c)
-        pipe.close()
+        pipe.abort(streams["c"])
+
+    def test_rebalance_leaves_balanced_load_alone(self, lagged_pipeline):
+        # A steal threshold beyond the total pending load turns the same
+        # imbalance into a no-op: the scheduler only steals past
+        # steal_ratio x the lightest shard (floored at 1 bit), so nothing
+        # moves and nothing is disturbed mid-stream.
+        pipe, streams = lagged_pipeline(steal_ratio=1e6)
+        assert pipe.rebalance() == 0
+        pipe.pump()
+        serial = BatchCRC(SPEC16, 8)
+        assert pipe.finalize(streams["a"]) == serial.compute_bits_batch(
+            [[1] * 2000]
+        )[0]
+        pipe.abort(streams["b"])
+        pipe.abort(streams["c"])
 
     def test_finalize_after_migration_is_exact(self):
         cache = CompileCache()
@@ -324,13 +325,10 @@ class TestShardedPipeline:
 
 
 class TestWorkerPool:
-    def test_crash_is_stream_error_not_hang(self):
-        def boom(x):
-            raise RuntimeError(f"kaboom-{x}")
-
+    def test_crash_is_stream_error_not_hang(self, crashing_worker):
         with WorkerPool(2, mode="thread") as pool:
             with pytest.raises(StreamError, match="kaboom"):
-                pool.run(boom, [(1,), (2,), (3,)])
+                pool.run(crashing_worker, [(1,), (2,), (3,)])
 
     def test_library_errors_pass_through_untyped(self):
         def raise_validation(_):
