@@ -23,12 +23,19 @@ Commands
 ``cache``
     Inspect (or clear) the persistent compile-cache directory.
 ``stats``
-    Dump the telemetry registry as JSON or Prometheus text.
+    Dump the telemetry registry as JSON, JSON lines, Prometheus text or
+    a Chrome trace (``--format chrome``); ``--spans`` prints the
+    recorded span tree instead.
+``dump``
+    Print the flight-recorder event ring (live, or a dump saved by an
+    earlier ``--telemetry`` run).
 
 ``crc``, ``perf`` and ``batch-bench`` accept ``--telemetry``: the run is
-traced, a span-tree summary prints afterwards, and the metrics registry
-is snapshotted to ``$REPRO_TELEMETRY_PATH`` (default
-``.repro-telemetry.jsonl``) where a later ``stats`` invocation finds it.
+traced, a span-tree summary prints afterwards, the metrics registry and
+span trees are snapshotted to ``$REPRO_TELEMETRY_PATH`` (default
+``.repro-telemetry.jsonl``) where a later ``stats`` invocation finds
+them, and the flight-recorder ring is saved to ``$REPRO_FLIGHTREC_PATH``
+(default ``.repro-flightrec.jsonl``) for ``dump``.
 
 ``crc``, ``batch-bench`` and ``fuzz`` accept ``--backend`` to pick the
 GF(2) kernel set (``reference``, ``packed``, ...) for the whole run; it
@@ -380,20 +387,64 @@ def cmd_stats(args: argparse.Namespace) -> int:
     import json as _json
     from pathlib import Path
 
-    from repro.telemetry import default_registry, read_json_lines, render_prometheus
+    from repro.telemetry import (
+        default_registry,
+        default_tracer,
+        format_span_tree,
+        read_json_lines,
+        read_spans,
+        render_chrome_trace,
+        render_prometheus,
+        to_json_lines,
+    )
     from repro.telemetry.export import default_snapshot_path
 
     path = Path(args.input) if args.input else default_snapshot_path()
     if path.exists():
         registry = read_json_lines(path)
+        spans = read_spans(path)
     else:
-        # No snapshot on disk: fall back to this process's live registry.
+        # No snapshot on disk: fall back to this process's live state.
         registry = default_registry()
+        spans = default_tracer().roots()
+    if getattr(args, "spans", False):
+        print(format_span_tree(spans))
+        return 0
     if args.format == "prometheus":
         text = render_prometheus(registry)
         print(text if text else "# (no metrics recorded)")
+    elif args.format == "jsonl":
+        print(to_json_lines(registry), end="")
+    elif args.format == "chrome":
+        print(render_chrome_trace(spans), end="")
     else:
         print(_json.dumps(registry.snapshot(), indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_dump(args: argparse.Namespace) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro.telemetry import (
+        FlightRecorder,
+        default_dump_path,
+        default_flight_recorder,
+        format_events,
+    )
+
+    path = Path(args.input) if args.input else default_dump_path()
+    if path.exists():
+        events = FlightRecorder.load(path)
+        if args.limit is not None:
+            events = events[-args.limit:]
+    else:
+        # No dump on disk: fall back to this process's live recorder.
+        events = default_flight_recorder().events(limit=args.limit)
+    if args.format == "json":
+        print(_json.dumps(events, indent=2, sort_keys=True, default=str))
+    else:
+        print(format_events(events))
     return 0
 
 
@@ -419,9 +470,12 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
 
 
 def _run_with_telemetry(args: argparse.Namespace) -> int:
-    """Enable metrics + tracing, run the command, print the span tree and
-    persist the registry snapshot for a later ``stats`` invocation."""
+    """Enable metrics + tracing + flight recording, run the command, print
+    the span tree and persist the snapshot and event ring for later
+    ``stats`` / ``dump`` invocations."""
     from repro.telemetry import (
+        default_dump_path,
+        default_flight_recorder,
         default_registry,
         default_tracer,
         format_span_tree,
@@ -430,14 +484,19 @@ def _run_with_telemetry(args: argparse.Namespace) -> int:
     from repro.telemetry.export import default_snapshot_path
 
     registry, tracer = default_registry(), default_tracer()
+    recorder = default_flight_recorder()
     registry.enable()
     tracer.enable()
+    recorder.enable()
     with tracer.span(f"cli.{args.command}"):
         rc = args.func(args)
     print("\ntelemetry spans:")
     print(format_span_tree(tracer.roots()))
-    path = write_json_lines(registry, default_snapshot_path())
+    path = write_json_lines(registry, default_snapshot_path(), tracer=tracer)
     print(f"telemetry: metrics snapshot written to {path}")
+    if len(recorder):
+        dump = recorder.save(default_dump_path())
+        print(f"telemetry: flight-recorder dump written to {dump}")
     return rc
 
 
@@ -590,10 +649,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_cache)
 
     p = sub.add_parser("stats", help="dump the telemetry registry")
-    p.add_argument("--format", choices=("json", "prometheus"), default="json")
+    p.add_argument(
+        "--format", choices=("json", "jsonl", "prometheus", "chrome"), default="json",
+        help="json = pretty snapshot, jsonl = lossless snapshot lines, "
+        "prometheus = text exposition, chrome = trace-event JSON "
+        "(load in chrome://tracing or Perfetto)",
+    )
+    p.add_argument("--spans", action="store_true",
+                   help="print the recorded span tree instead of metrics")
     p.add_argument("--input", help="metrics snapshot to read "
                    "(default: $REPRO_TELEMETRY_PATH or .repro-telemetry.jsonl)")
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("dump", help="print the flight-recorder event ring")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--limit", type=int, default=None, metavar="N",
+                   help="only the newest N events")
+    p.add_argument("--input", help="event dump to read "
+                   "(default: $REPRO_FLIGHTREC_PATH or .repro-flightrec.jsonl)")
+    p.set_defaults(func=cmd_dump)
     return parser
 
 

@@ -170,15 +170,18 @@ class DreamSystem:
             from repro.crc import get as _get_crc
 
             spec = _get_crc(spec)
-        if auto and plan is None:
-            plan = self._auto_plan("crc-batch", spec, M, workload, planner)
-        if M is None:
-            if plan is None:
-                raise ValueError("batch_crc needs M= (or plan=/auto=True)")
-            M = plan.M
-        return ParallelBatchCRC(
-            spec, M, method=method, workers=workers, cache=self.cache, plan=plan
-        )
+        with default_tracer().span(
+            "dream.batch_crc", standard=spec.name, method=method, auto=auto
+        ):
+            if auto and plan is None:
+                plan = self._auto_plan("crc-batch", spec, M, workload, planner)
+            if M is None:
+                if plan is None:
+                    raise ValueError("batch_crc needs M= (or plan=/auto=True)")
+                M = plan.M
+            return ParallelBatchCRC(
+                spec, M, method=method, workers=workers, cache=self.cache, plan=plan
+            )
 
     def batch_scrambler(
         self,
@@ -201,15 +204,18 @@ class DreamSystem:
             from repro.scrambler.specs import get as _get_scrambler
 
             spec = _get_scrambler(spec)
-        if auto and plan is None:
-            plan = self._auto_plan("scrambler-batch", spec, M, workload, planner)
-        if M is None:
-            if plan is None:
-                raise ValueError("batch_scrambler needs M= (or plan=/auto=True)")
-            M = plan.M
-        return ParallelBatchAdditiveScrambler(
-            spec, M, workers=workers, cache=self.cache, plan=plan
-        )
+        with default_tracer().span(
+            "dream.batch_scrambler", standard=spec.name, auto=auto
+        ):
+            if auto and plan is None:
+                plan = self._auto_plan("scrambler-batch", spec, M, workload, planner)
+            if M is None:
+                if plan is None:
+                    raise ValueError("batch_scrambler needs M= (or plan=/auto=True)")
+                M = plan.M
+            return ParallelBatchAdditiveScrambler(
+                spec, M, workers=workers, cache=self.cache, plan=plan
+            )
 
     def crc_pipeline(
         self,
@@ -234,15 +240,18 @@ class DreamSystem:
             from repro.crc import get as _get_crc
 
             spec = _get_crc(spec)
-        if auto and plan is None:
-            plan = self._auto_plan("crc-stream", spec, M, workload, planner)
-        if M is None:
-            if plan is None:
-                raise ValueError("crc_pipeline needs M= (or plan=/auto=True)")
-            M = plan.M
-        return ShardedCRCPipeline(
-            spec, M, method=method, workers=workers, cache=self.cache, plan=plan
-        )
+        with default_tracer().span(
+            "dream.crc_pipeline", standard=spec.name, method=method, auto=auto
+        ):
+            if auto and plan is None:
+                plan = self._auto_plan("crc-stream", spec, M, workload, planner)
+            if M is None:
+                if plan is None:
+                    raise ValueError("crc_pipeline needs M= (or plan=/auto=True)")
+                M = plan.M
+            return ShardedCRCPipeline(
+                spec, M, method=method, workers=workers, cache=self.cache, plan=plan
+            )
 
     # ==================================================================
     # Analytic mode

@@ -39,7 +39,7 @@ from repro.errors import SpecError
 from repro.gf2.backend import GF2Backend, WORD_BITS, get_backend, resolve_backend
 from repro.gf2.polynomial import GF2Polynomial
 from repro.scrambler.specs import ScramblerSpec
-from repro.telemetry import default_registry
+from repro.telemetry import bind_families, default_registry
 from repro.validation import (
     check_bit_streams,
     check_factor,
@@ -48,34 +48,38 @@ from repro.validation import (
     check_register_list,
 )
 
-_REGISTRY = default_registry()
-_CALLS = _REGISTRY.counter(
-    "engine_batch_calls_total", "Vectorized batch kernel invocations",
-    labels=("kernel",),
-)
-_BITS_TOTAL = _REGISTRY.counter(
-    "engine_batch_bits_total", "Payload bits processed by the batch kernels",
-    labels=("kernel",),
-)
-_CALL_BITS = _REGISTRY.histogram(
-    "engine_batch_call_bits", "Payload bits per batch kernel call",
-    labels=("kernel",),
-    buckets=(64, 256, 1024, 4096, 16384, 65536, 262144, 1 << 20, 1 << 22, 1 << 24),
-)
-_THROUGHPUT = _REGISTRY.histogram(
-    "engine_batch_throughput_mbps", "Per-call bit throughput (Mbit/s)",
-    labels=("kernel",),
-    buckets=(1, 5, 10, 50, 100, 500, 1000, 5000, 10000, 50000),
-)
+# Bound lazily (see repro.telemetry.bind_families) so swapping the
+# default registry after import is observed by every family below.
+_METRICS = bind_families(lambda reg: {
+    "calls": reg.counter(
+        "engine_batch_calls_total", "Vectorized batch kernel invocations",
+        labels=("kernel",),
+    ),
+    "bits_total": reg.counter(
+        "engine_batch_bits_total", "Payload bits processed by the batch kernels",
+        labels=("kernel",),
+    ),
+    "call_bits": reg.histogram(
+        "engine_batch_call_bits", "Payload bits per batch kernel call",
+        labels=("kernel",),
+        buckets=(64, 256, 1024, 4096, 16384, 65536, 262144, 1 << 20, 1 << 22, 1 << 24),
+    ),
+    "throughput": reg.histogram(
+        "engine_batch_throughput_mbps", "Per-call bit throughput (Mbit/s)",
+        labels=("kernel",),
+        buckets=(1, 5, 10, 50, 100, 500, 1000, 5000, 10000, 50000),
+    ),
+})
 
 
 def _observe_kernel(kernel: str, bits: int, seconds: float) -> None:
     """Publish one batch call's size and rate (registry already enabled)."""
-    _CALLS.labels(kernel=kernel).inc()
-    _BITS_TOTAL.labels(kernel=kernel).inc(bits)
-    _CALL_BITS.labels(kernel=kernel).observe(bits)
+    metrics = _METRICS()
+    metrics["calls"].labels(kernel=kernel).inc()
+    metrics["bits_total"].labels(kernel=kernel).inc(bits)
+    metrics["call_bits"].labels(kernel=kernel).observe(bits)
     if seconds > 0:
-        _THROUGHPUT.labels(kernel=kernel).observe(bits / seconds / 1e6)
+        metrics["throughput"].labels(kernel=kernel).observe(bits / seconds / 1e6)
 
 
 def _n_words(batch: int) -> int:
@@ -219,7 +223,7 @@ class BatchCRC:
         batch = len(checked)
         if batch == 0:
             return []
-        telemetry = _REGISTRY.enabled
+        telemetry = default_registry().enabled
         t0 = perf_counter() if telemetry else 0.0
         lengths = [len(bits) for bits in checked]
         padded_len = self._padded_length(max(lengths))
@@ -247,7 +251,7 @@ class BatchCRC:
         batch = len(messages)
         if batch == 0:
             return []
-        telemetry = _REGISTRY.enabled
+        telemetry = default_registry().enabled
         t0 = perf_counter() if telemetry else 0.0
         lengths = [8 * len(m) for m in messages]
         padded_len = self._padded_length(max(lengths))
@@ -333,7 +337,7 @@ class BatchAdditiveScrambler:
 
     def keystream_batch(self, nbits: int, batch: int, seeds: Optional[Sequence[int]] = None) -> np.ndarray:
         """``(nbits, batch)`` keystream bits, one column per stream."""
-        telemetry = _REGISTRY.enabled
+        telemetry = default_registry().enabled
         t0 = perf_counter() if telemetry else 0.0
         be = self._backend
         state = self._initial_state(self._check_seeds(batch, seeds))
@@ -449,7 +453,7 @@ class BatchMultiplicativeScrambler:
         states = self._check_states(batch, states)
         if batch == 0:
             return []
-        telemetry = _REGISTRY.enabled
+        telemetry = default_registry().enabled
         t0 = perf_counter() if telemetry else 0.0
         lengths = [len(bits) for bits in checked]
         longest = max(lengths)

@@ -48,24 +48,27 @@ from repro.lfsr.lookahead import (
 from repro.lfsr.statespace import LFSRStateSpace, crc_statespace, scrambler_statespace
 from repro.lfsr.transform import DerbyTransform, derby_transform
 from repro.scrambler.specs import ScramblerSpec
-from repro.telemetry import default_registry
+from repro.telemetry import bind_families, default_flight_recorder
 
-_REGISTRY = default_registry()
-_LOOKUPS = _REGISTRY.counter(
-    "engine_compile_cache_lookups_total",
-    "Compile-cache lookups by result",
-    labels=("result",),
-)
-_EVICTIONS = _REGISTRY.counter(
-    "engine_compile_cache_evictions_total", "Compile-cache LRU evictions"
-)
-_ENTRIES = _REGISTRY.gauge(
-    "engine_compile_cache_entries", "Compiled artifacts resident across caches"
-)
-_BYTES = _REGISTRY.gauge(
-    "engine_compile_cache_bytes",
-    "Estimated bytes of compiled artifacts resident across caches",
-)
+# Bound lazily (see repro.telemetry.bind_families) so swapping the
+# default registry after import is observed by every family below.
+_METRICS = bind_families(lambda reg: {
+    "lookups": reg.counter(
+        "engine_compile_cache_lookups_total",
+        "Compile-cache lookups by result",
+        labels=("result",),
+    ),
+    "evictions": reg.counter(
+        "engine_compile_cache_evictions_total", "Compile-cache LRU evictions"
+    ),
+    "entries": reg.gauge(
+        "engine_compile_cache_entries", "Compiled artifacts resident across caches"
+    ),
+    "bytes": reg.gauge(
+        "engine_compile_cache_bytes",
+        "Estimated bytes of compiled artifacts resident across caches",
+    ),
+})
 
 #: Artifact kinds worth persisting to a :class:`DiskCompileCache`: pure
 #: linear-algebra products of ``(spec, M)`` whose pickles are small and
@@ -285,8 +288,9 @@ class CompileCache:
     def clear(self) -> None:
         """Drop every resident entry (stats kept, disk layer untouched)."""
         with self._lock:
-            _ENTRIES.dec(len(self._entries))
-            _BYTES.dec(self._bytes)
+            metrics = _METRICS()
+            metrics["entries"].dec(len(self._entries))
+            metrics["bytes"].dec(self._bytes)
             self._entries.clear()
             self._costs.clear()
             self._bytes = 0
@@ -316,8 +320,9 @@ class CompileCache:
                 self._entries.move_to_end(key)
                 return self._entries[key], False
             cost = estimate_entry_bytes(value)
-            _ENTRIES.inc()
-            _BYTES.inc(cost)
+            metrics = _METRICS()
+            metrics["entries"].inc()
+            metrics["bytes"].inc(cost)
             self._entries[key] = value
             self._costs[key] = cost
             self._bytes += cost
@@ -330,9 +335,9 @@ class CompileCache:
                 evicted_cost = self._costs.pop(evicted_key, 0)
                 self._bytes -= evicted_cost
                 self.stats.record_eviction()
-                _EVICTIONS.inc()
-                _ENTRIES.dec()
-                _BYTES.dec(evicted_cost)
+                metrics["evictions"].inc()
+                metrics["entries"].dec()
+                metrics["bytes"].dec(evicted_cost)
         return value, True
 
     def get(self, key: Hashable, builder: Callable[[], Any]) -> Any:
@@ -348,11 +353,11 @@ class CompileCache:
         with self._lock:
             if key in self._entries:
                 self.stats.record_hit()
-                _LOOKUPS.labels(result="hit").inc()
+                _METRICS()["lookups"].labels(result="hit").inc()
                 self._entries.move_to_end(key)
                 return self._entries[key]
             self.stats.record_miss()
-            _LOOKUPS.labels(result="miss").inc()
+            _METRICS()["lookups"].labels(result="miss").inc()
         persistable = self._persistable(key)
         if persistable:
             found, value = self._disk.load(key)
@@ -365,6 +370,10 @@ class CompileCache:
             raise
         except Exception as exc:
             raise CompileError(f"compiling cache entry {key!r} failed: {exc}") from exc
+        recorder = default_flight_recorder()
+        if recorder.enabled:
+            family = key[0] if isinstance(key, tuple) and key else "artifact"
+            recorder.record("compile", f"built cache entry {family}", artifact=str(family))
         resident, won = self._insert(key, value)
         if won and persistable:
             # Best-effort write-through; a full disk can only cost speed.

@@ -44,7 +44,7 @@ from pathlib import Path
 from typing import Any, Hashable, Optional, Tuple, Union
 
 from repro.errors import ValidationError
-from repro.telemetry import default_registry
+from repro.telemetry import bind_families, default_registry
 
 #: Environment variable naming the persistent cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -54,12 +54,15 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: unreachable (and harmless) rather than wrongly shaped.
 CACHE_VERSION = 1
 
-_REGISTRY = default_registry()
-_OPS = _REGISTRY.counter(
-    "engine_disk_cache_ops_total",
-    "Persistent compile-cache operations by result",
-    labels=("result",),
-)
+# Bound lazily (see repro.telemetry.bind_families) so swapping the
+# default registry after import is observed.
+_METRICS = bind_families(lambda reg: {
+    "ops": reg.counter(
+        "engine_disk_cache_ops_total",
+        "Persistent compile-cache operations by result",
+        labels=("result",),
+    ),
+})
 
 
 class DiskCacheStats:
@@ -83,8 +86,8 @@ class DiskCacheStats:
         """Count one operation outcome and publish it to telemetry."""
         with self._lock:
             setattr(self, result, getattr(self, result) + 1)
-        if _REGISTRY.enabled:
-            _OPS.labels(result=result).inc()
+        if default_registry().enabled:
+            _METRICS()["ops"].labels(result=result).inc()
 
     def snapshot(self) -> dict:
         """Consistent dict of all counters."""

@@ -36,8 +36,10 @@ Worker count resolution order: explicit ``workers=`` argument, else the
 from __future__ import annotations
 
 import os
+import threading
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from itertools import count
+from time import perf_counter, process_time
 from typing import (
     TYPE_CHECKING,
     Dict,
@@ -56,7 +58,17 @@ from repro.engine.pipeline import CRCPipeline
 from repro.errors import ReproError, StreamError, ValidationError
 from repro.gf2.backend import GF2Backend, NumpyPackedBackend, resolve_backend
 from repro.scrambler.specs import ScramblerSpec
-from repro.telemetry import default_registry
+from repro.telemetry import (
+    TraceContext,
+    WorkerCapture,
+    attach_flight_dump,
+    bind_families,
+    default_flight_recorder,
+    default_registry,
+    default_tracer,
+    merge_worker_payload,
+)
+from repro.telemetry.context import worker_id
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (planner probes us)
     from repro.engine.planner import ExecutionPlan
@@ -64,39 +76,77 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (planner probes us)
 #: Environment variable consulted when no explicit worker count is given.
 WORKERS_ENV = "REPRO_WORKERS"
 
-_REGISTRY = default_registry()
-_WORKERS = _REGISTRY.gauge(
-    "engine_parallel_workers",
-    "Configured worker slots across live pools",
-    labels=("mode",),
+#: Bucket edges for the per-phase wall/CPU breakdown histograms.
+PHASE_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
 )
-_BUSY = _REGISTRY.gauge(
-    "engine_parallel_busy_workers",
-    "Shard tasks currently in flight",
-    labels=("mode",),
-)
-_TASKS = _REGISTRY.counter(
-    "engine_parallel_tasks_total",
-    "Shard tasks dispatched to worker pools",
-    labels=("kind",),
-)
-_SHARD_STREAMS = _REGISTRY.histogram(
-    "engine_parallel_shard_streams",
-    "Streams per dispatched shard",
-    labels=("kind",),
-    buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024),
-)
-_SHARD_BITS = _REGISTRY.histogram(
-    "engine_parallel_shard_bits",
-    "Payload bits per dispatched shard",
-    labels=("kind",),
-    buckets=(64, 256, 1024, 4096, 16384, 65536, 262144, 1 << 20, 1 << 22),
-)
-_STEALS = _REGISTRY.counter(
-    "engine_parallel_steals_total",
-    "Streams migrated between pipeline shards by the scheduler",
-    labels=("kind",),
-)
+
+# Families resolve against the *current* default registry at use sites
+# (never snapshotted at import), so swapping/enabling the registry after
+# this module is imported is always observed.
+_METRICS = bind_families(lambda reg: {
+    "workers": reg.gauge(
+        "engine_parallel_workers",
+        "Configured worker slots across live pools",
+        labels=("mode",),
+    ),
+    "busy": reg.gauge(
+        "engine_parallel_busy_workers",
+        "Shard tasks currently in flight",
+        labels=("mode",),
+    ),
+    "tasks": reg.counter(
+        "engine_parallel_tasks_total",
+        "Shard tasks dispatched to worker pools",
+        labels=("kind",),
+    ),
+    "shard_streams": reg.histogram(
+        "engine_parallel_shard_streams",
+        "Streams per dispatched shard",
+        labels=("kind",),
+        buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024),
+    ),
+    "shard_bits": reg.histogram(
+        "engine_parallel_shard_bits",
+        "Payload bits per dispatched shard",
+        labels=("kind",),
+        buckets=(64, 256, 1024, 4096, 16384, 65536, 262144, 1 << 20, 1 << 22),
+    ),
+    "steals": reg.counter(
+        "engine_parallel_steals_total",
+        "Streams migrated between pipeline shards by the scheduler",
+        labels=("kind",),
+    ),
+    "phase": reg.histogram(
+        "engine_phase_seconds",
+        "Wall-clock seconds per execution phase "
+        "(compile / dispatch / shard-execute / recombine)",
+        labels=("phase",),
+        buckets=PHASE_BUCKETS,
+    ),
+    "phase_cpu": reg.histogram(
+        "engine_phase_cpu_seconds",
+        "CPU seconds per execution phase (where measured)",
+        labels=("phase",),
+        buckets=PHASE_BUCKETS,
+    ),
+})
+
+
+def observe_phase(phase: str, wall_s: float, cpu_s: Optional[float] = None) -> None:
+    """Publish one phase timing into the wall/CPU breakdown histograms.
+
+    The planner's ``record_actual`` consumes the same numbers; keeping
+    the publish path here means every front-end (batch engines, pools,
+    DREAM) feeds one consistent ``engine_phase_seconds`` family.
+    """
+    if not default_registry().enabled:
+        return
+    metrics = _METRICS()
+    metrics["phase"].labels(phase=phase).observe(wall_s)
+    if cpu_s is not None:
+        metrics["phase_cpu"].labels(phase=phase).observe(cpu_s)
 
 
 def resolve_workers(workers: Union[None, int, str] = None) -> int:
@@ -220,9 +270,55 @@ def _proc_scrambler_shard(
     )
 
 
+def _ctx_shard_call(ctx_dict: dict, shard: int, fn, args: tuple) -> tuple:
+    """Process-pool wrapper: run a shard task under a propagated
+    :class:`~repro.telemetry.TraceContext` and ship telemetry back.
+
+    The worker enables its local registry/tracer/flight recorder per the
+    context, runs ``fn(*args)`` inside a detached ``worker.shard`` span,
+    and returns a tagged tuple: ``("ok", payload, result)`` on success,
+    ``("err", payload, exc, repr)`` on failure — the payload being the
+    picklable delta (metrics / span / events / timings) the parent
+    merges.  Exceptions are *returned*, not raised, so the worker's
+    flight-recorder tail survives the trip even for unpicklable errors
+    (those degrade to their ``repr``).
+    """
+    ctx = TraceContext.from_dict(ctx_dict)
+    cap = WorkerCapture(ctx, worker=worker_id(), shard=shard)
+    cap.begin()
+    try:
+        result = fn(*args)
+    except Exception as exc:  # noqa: BLE001 - shipped back, re-typed by the pool
+        payload = cap.finish(error=exc)
+        try:
+            import pickle
+
+            pickle.dumps(exc)
+            shippable: Optional[BaseException] = exc
+        except Exception:  # pragma: no cover - exotic unpicklable errors
+            shippable = None
+        return ("err", payload, shippable, f"{type(exc).__name__}: {exc}")
+    return ("ok", cap.finish(), result)
+
+
 # ----------------------------------------------------------------------
 # Worker pool
 # ----------------------------------------------------------------------
+class _ShardFailure(Exception):
+    """Internal envelope for a failed thread shard.
+
+    Carries the worker's name, the captured telemetry payload, and the
+    original exception so :meth:`WorkerPool.run` can merge the partial
+    capture and attribute the crash before re-typing the error.
+    """
+
+    def __init__(self, worker: str, payload: dict, cause: BaseException):
+        super().__init__(str(cause))
+        self.worker = worker
+        self.payload = payload
+        self.cause = cause
+
+
 class WorkerPool:
     """A lazily started executor with shard-level error containment.
 
@@ -277,56 +373,169 @@ class WorkerPool:
                     initializer=_proc_initializer,
                     initargs=(self._cache_dir,),
                 )
-            if _REGISTRY.enabled:
-                _WORKERS.labels(mode=self._mode).inc(self._workers)
+            if default_registry().enabled:
+                _METRICS()["workers"].labels(mode=self._mode).inc(self._workers)
         return self._executor
+
+    def _thread_wrapper(self, ctx: TraceContext, shard: int, fn):
+        """The thread-mode shard harness: spans + crash events in place.
+
+        Thread shards share the parent's registry and flight recorder,
+        so only the span is *captured* (metrics/events publish directly);
+        a failure is recorded before the exception propagates so the
+        parent can name the worker in the :class:`StreamError` dump.
+        """
+
+        def call(*args):
+            worker = threading.current_thread().name
+            cap = WorkerCapture(ctx, worker=worker, shard=shard)
+            cap.begin()
+            try:
+                result = fn(*args)
+            except Exception as exc:
+                payload = cap.finish(error=exc)
+                recorder = default_flight_recorder()
+                if recorder.enabled:
+                    recorder.record(
+                        "worker-crash",
+                        f"{type(exc).__name__}: {exc}",
+                        worker=worker,
+                        shard=shard,
+                    )
+                raise _ShardFailure(worker, payload, exc) from exc
+            return ("ok", cap.finish(), result)
+
+        return call
 
     def run(self, fn, shard_args: Sequence[tuple]) -> List:
         """Run ``fn(*args)`` for every shard; results in shard order.
 
         All shards are submitted before any result is awaited, so thread
         shards overlap inside the GIL-releasing kernels and process
-        shards overlap fully.  The first failing shard aborts the call
-        with :class:`~repro.errors.StreamError` (library-typed errors
-        pass through), after every future has been collected or
-        cancelled — no orphaned work, no hang.
+        shards overlap fully.  While any telemetry default (registry,
+        tracer, flight recorder) is enabled, each dispatch opens a
+        ``pool.dispatch`` span and every shard travels with a
+        :class:`~repro.telemetry.TraceContext`: workers capture spans
+        (and, in process mode, metric deltas and events) that merge back
+        into the parent under ``worker=<id>`` labels as results arrive.
+
+        The first failing shard aborts the call with
+        :class:`~repro.errors.StreamError` (library-typed errors pass
+        through), after every future has been collected or cancelled —
+        no orphaned work, no hang.  The raised error carries a
+        flight-recorder dump in ``error.context["flight_recorder"]``
+        naming the failed worker and its last events.
         """
         executor = self._ensure()
-        telemetry = _REGISTRY.enabled
-        futures = []
-        for args in shard_args:
-            if telemetry:
-                _BUSY.labels(mode=self._mode).inc()
-            future = executor.submit(fn, *args)
-            if telemetry:
-                future.add_done_callback(
-                    lambda _f: _BUSY.labels(mode=self._mode).dec()
+        registry, tracer = default_registry(), default_tracer()
+        recorder = default_flight_recorder()
+        telemetry = registry.enabled
+        metrics = _METRICS() if telemetry else None
+        wrap = telemetry or tracer.enabled or recorder.enabled
+        with tracer.span(
+            "pool.dispatch", mode=self._mode, shards=len(shard_args)
+        ) as dispatch:
+            t0 = perf_counter()
+            if recorder.enabled:
+                recorder.record(
+                    "dispatch", f"{len(shard_args)} shard(s)", mode=self._mode
                 )
-            futures.append(future)
-        results = []
-        error: Optional[BaseException] = None
-        for future in futures:
-            if error is not None:
-                future.cancel()
-                continue
-            try:
-                results.append(future.result())
-            except BaseException as exc:  # noqa: BLE001 - re-typed below
-                error = exc
+            remote = self._mode == "process"
+            ctx = (
+                TraceContext.capture(parent_span=dispatch, remote=remote)
+                if wrap
+                else None
+            )
+            futures = []
+            for shard, args in enumerate(shard_args):
+                if telemetry:
+                    metrics["busy"].labels(mode=self._mode).inc()
+                if ctx is not None and remote:
+                    future = executor.submit(
+                        _ctx_shard_call, ctx.to_dict(), shard, fn, tuple(args)
+                    )
+                elif ctx is not None:
+                    future = executor.submit(
+                        self._thread_wrapper(ctx, shard, fn), *args
+                    )
+                else:
+                    future = executor.submit(fn, *args)
+                if telemetry:
+                    future.add_done_callback(
+                        lambda _f: _METRICS()["busy"].labels(mode=self._mode).dec()
+                    )
+                futures.append(future)
+            results = []
+            error: Optional[BaseException] = None
+            failed_worker = ""
+            failure_events: Optional[List[dict]] = None
+            for future in futures:
+                if error is not None:
+                    future.cancel()
+                    continue
+                try:
+                    value = future.result()
+                except _ShardFailure as failure:
+                    error = failure.cause
+                    failed_worker = failure.worker
+                    failure_events = (failure.payload or {}).get("events")
+                    merge_worker_payload(failure.payload, parent_span=dispatch)
+                except BaseException as exc:  # noqa: BLE001 - re-typed below
+                    error = exc
+                    continue
+                else:
+                    if ctx is None:
+                        results.append(value)
+                        continue
+                    tag, payload, *rest = value
+                    self._absorb(payload, dispatch)
+                    if tag == "ok":
+                        results.append(rest[0])
+                    else:
+                        shipped, text = rest
+                        error = shipped if shipped is not None else StreamError(
+                            f"worker shard failed remotely ({text})"
+                        )
+                        failed_worker = str(payload.get("worker", ""))
+                        failure_events = payload.get("events")
+                        if recorder.enabled and not failure_events:
+                            recorder.record(
+                                "worker-crash", text, worker=failed_worker,
+                            )
+            if telemetry:
+                observe_phase("dispatch", perf_counter() - t0)
         if error is not None:
             if isinstance(error, ReproError):
-                raise error
-            raise StreamError(
-                f"worker shard failed in {self._mode} pool "
-                f"({type(error).__name__}: {error})"
-            ) from error
+                raised = error
+            else:
+                who = f" (worker {failed_worker})" if failed_worker else ""
+                raised = StreamError(
+                    f"worker shard failed in {self._mode} pool{who} "
+                    f"({type(error).__name__}: {error})"
+                )
+                raised.__cause__ = error
+            if recorder.enabled:
+                attach_flight_dump(
+                    raised, worker=failed_worker, events=failure_events or None
+                )
+            raise raised
         return results
+
+    def _absorb(self, payload: dict, dispatch) -> None:
+        """Merge one shard payload into the live defaults + phase series."""
+        merge_worker_payload(payload, parent_span=dispatch)
+        if default_registry().enabled:
+            observe_phase(
+                "shard-execute",
+                float(payload.get("wall_s", 0.0)),
+                float(payload.get("cpu_s", 0.0)),
+            )
 
     def close(self) -> None:
         """Shut the executor down (idempotent); pending work completes."""
         if self._executor is not None:
-            if _REGISTRY.enabled:
-                _WORKERS.labels(mode=self._mode).dec(self._workers)
+            if default_registry().enabled:
+                _METRICS()["workers"].labels(mode=self._mode).dec(self._workers)
             self._executor.shutdown(wait=True)
             self._executor = None
 
@@ -366,12 +575,13 @@ def _apply_plan(plan, workers, backend, mode):
 
 def _observe_shards(kind: str, sizes: Sequence[int], bits: Sequence[int]) -> None:
     """Publish per-dispatch shard shape telemetry."""
-    if not _REGISTRY.enabled:
+    if not default_registry().enabled:
         return
-    _TASKS.labels(kind=kind).inc(len(sizes))
+    metrics = _METRICS()
+    metrics["tasks"].labels(kind=kind).inc(len(sizes))
     for size, nbits in zip(sizes, bits):
-        _SHARD_STREAMS.labels(kind=kind).observe(size)
-        _SHARD_BITS.labels(kind=kind).observe(nbits)
+        metrics["shard_streams"].labels(kind=kind).observe(size)
+        metrics["shard_bits"].labels(kind=kind).observe(nbits)
 
 
 # ----------------------------------------------------------------------
@@ -402,9 +612,11 @@ class ParallelBatchCRC:
         workers, backend, mode = _apply_plan(plan, workers, backend, mode)
         self._plan = plan
         self._cache = cache if cache is not None else default_cache()
+        t0, c0 = perf_counter(), process_time()
         self._serial = BatchCRC(
             spec, M, method=method, cache=self._cache, backend=backend
         )
+        observe_phase("compile", perf_counter() - t0, process_time() - c0)
         self._workers = resolve_workers(workers)
         self._backend_name = None if backend is None else self._serial.backend.name
         self._mode = mode or _pick_mode(self._serial.backend)
@@ -555,10 +767,12 @@ class ParallelBatchCRC:
         """Fold zero-start shard registers left-to-right via ``x^k mod G``."""
         from repro.gf2.clmul import clmulmod
 
+        t0, c0 = perf_counter(), process_time()
         g = self.spec.generator().coeffs
         acc = 0
         for raw, nbits in zip(raws, lengths):
             acc = clmulmod(acc, self._xpow(nbits), g) ^ raw
+        observe_phase("recombine", perf_counter() - t0, process_time() - c0)
         return acc
 
     def _xpow(self, n_bits: int) -> int:
@@ -638,9 +852,11 @@ class ParallelBatchAdditiveScrambler:
         workers, backend, mode = _apply_plan(plan, workers, backend, mode)
         self._plan = plan
         self._cache = cache if cache is not None else default_cache()
+        t0, c0 = perf_counter(), process_time()
         self._serial = BatchAdditiveScrambler(
             spec, M, cache=self._cache, backend=backend
         )
+        observe_phase("compile", perf_counter() - t0, process_time() - c0)
         self._workers = resolve_workers(workers)
         self._backend_name = None if backend is None else self._serial.backend.name
         self._mode = mode or _pick_mode(self._serial.backend)
@@ -988,8 +1204,17 @@ class ShardedCRCPipeline:
         for sid, src, dst in moves:
             self._shards[src].migrate(sid, self._shards[dst])
             self._home[sid] = dst
-        if moves and _REGISTRY.enabled:
-            _STEALS.labels(kind="crc").inc(len(moves))
+        if moves:
+            if default_registry().enabled:
+                _METRICS()["steals"].labels(kind="crc").inc(len(moves))
+            recorder = default_flight_recorder()
+            if recorder.enabled:
+                recorder.record(
+                    "steal",
+                    f"{len(moves)} stream(s) migrated",
+                    pipeline="crc",
+                    moves=[(str(sid), src, dst) for sid, src, dst in moves],
+                )
         return len(moves)
 
     def pump(self) -> int:

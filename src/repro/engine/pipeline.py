@@ -41,30 +41,33 @@ from repro.engine.batch import gf2_mul_packed, pack_bits, unpack_bits
 from repro.engine.cache import CompileCache, default_cache
 from repro.errors import StreamError
 from repro.scrambler.specs import ScramblerSpec
-from repro.telemetry import default_registry
+from repro.telemetry import bind_families, default_registry
 from repro.validation import check_bits, check_factor, check_method, check_register, check_seed
 
-_REGISTRY = default_registry()
 # Aggregate gauges: published by per-instance deltas so any number of
 # concurrent pipeline instances sum correctly into one series per kind.
-_STREAMS = _REGISTRY.gauge(
-    "engine_pipeline_streams", "Streams currently open across pipelines",
-    labels=("kind",),
-)
-_PENDING = _REGISTRY.gauge(
-    "engine_pipeline_pending_bits",
-    "Input bits buffered and awaiting a full M-bit block",
-    labels=("kind",),
-)
-_BLOCKS = _REGISTRY.counter(
-    "engine_pipeline_blocks_total", "M-bit blocks advanced by pump rounds",
-    labels=("kind",),
-)
-_PUMP_BLOCKS = _REGISTRY.histogram(
-    "engine_pipeline_blocks_per_pump", "Blocks advanced per pump() call",
-    labels=("kind",),
-    buckets=(0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 1024),
-)
+# Bound lazily so a registry swapped in via set_default_registry() after
+# import is still observed.
+_METRICS = bind_families(lambda reg: {
+    "streams": reg.gauge(
+        "engine_pipeline_streams", "Streams currently open across pipelines",
+        labels=("kind",),
+    ),
+    "pending": reg.gauge(
+        "engine_pipeline_pending_bits",
+        "Input bits buffered and awaiting a full M-bit block",
+        labels=("kind",),
+    ),
+    "blocks": reg.counter(
+        "engine_pipeline_blocks_total", "M-bit blocks advanced by pump rounds",
+        labels=("kind",),
+    ),
+    "pump_blocks": reg.histogram(
+        "engine_pipeline_blocks_per_pump", "Blocks advanced per pump() call",
+        labels=("kind",),
+        buckets=(0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 1024),
+    ),
+})
 
 
 class _GaugePublisher:
@@ -84,13 +87,14 @@ class _GaugePublisher:
         self._pending = 0
 
     def publish(self, streams: int, pending: int) -> None:
-        if not _REGISTRY.enabled:
+        if not default_registry().enabled:
             return
+        metrics = _METRICS()
         if streams != self._streams:
-            _STREAMS.labels(kind=self._kind).inc(streams - self._streams)
+            metrics["streams"].labels(kind=self._kind).inc(streams - self._streams)
             self._streams = streams
         if pending != self._pending:
-            _PENDING.labels(kind=self._kind).inc(pending - self._pending)
+            metrics["pending"].labels(kind=self._kind).inc(pending - self._pending)
             self._pending = pending
 
 
@@ -224,9 +228,10 @@ class CRCPipeline:
             ]
             if not ready:
                 self._publish()
-                if _REGISTRY.enabled:
-                    _BLOCKS.labels(kind="crc").inc(processed)
-                    _PUMP_BLOCKS.labels(kind="crc").observe(processed)
+                if default_registry().enabled:
+                    metrics = _METRICS()
+                    metrics["blocks"].labels(kind="crc").inc(processed)
+                    metrics["pump_blocks"].labels(kind="crc").observe(processed)
                 return processed
             states = pack_bits(np.stack([s.state for _, s in ready], axis=1))
             blocks = np.empty((self._M, len(ready)), dtype=np.uint8)
@@ -381,7 +386,7 @@ class ScramblerPipeline:
             stream.keystream.extend(int(b) for b in block)
             stream.state = ((self._A @ stream.state.astype(np.int64)) & 1).astype(np.uint8)
             generated += 1
-        _BLOCKS.labels(kind="scrambler").inc(generated)
+        _METRICS()["blocks"].labels(kind="scrambler").inc(generated)
         out = [(b ^ k) & 1 for b, k in zip(checked, stream.keystream)]
         del stream.keystream[: len(checked)]
         return out

@@ -45,30 +45,38 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ValidationError
-from repro.telemetry import default_registry, default_tracer
+from repro.telemetry import (
+    bind_families,
+    default_flight_recorder,
+    default_registry,
+    default_tracer,
+)
 
-_REGISTRY = default_registry()
-_PROBES = _REGISTRY.counter(
-    "engine_planner_probes_total",
-    "Planner micro-probes executed, by probe kind",
-    labels=("kind",),
-)
-_PLANS = _REGISTRY.counter(
-    "engine_planner_plans_total",
-    "Execution plans decided, by strategy",
-    labels=("strategy",),
-)
-_CACHE = _REGISTRY.counter(
-    "engine_planner_cache_total",
-    "Planner cache operations (profile/plan layers), by result",
-    labels=("kind", "result"),
-)
-_PREDICTION = _REGISTRY.histogram(
-    "engine_planner_prediction_ratio",
-    "Actual / predicted throughput ratio for executed plans",
-    labels=("strategy",),
-    buckets=(0.25, 0.5, 0.75, 0.9, 1.0, 1.1, 1.25, 1.5, 2.0, 4.0),
-)
+# Bound lazily (see repro.telemetry.bind_families) so swapping the
+# default registry after import is observed by every counter below.
+_METRICS = bind_families(lambda reg: {
+    "probes": reg.counter(
+        "engine_planner_probes_total",
+        "Planner micro-probes executed, by probe kind",
+        labels=("kind",),
+    ),
+    "plans": reg.counter(
+        "engine_planner_plans_total",
+        "Execution plans decided, by strategy",
+        labels=("strategy",),
+    ),
+    "cache": reg.counter(
+        "engine_planner_cache_total",
+        "Planner cache operations (profile/plan layers), by result",
+        labels=("kind", "result"),
+    ),
+    "prediction": reg.histogram(
+        "engine_planner_prediction_ratio",
+        "Actual / predicted throughput ratio for executed plans",
+        labels=("strategy",),
+        buckets=(0.25, 0.5, 0.75, 0.9, 1.0, 1.1, 1.25, 1.5, 2.0, 4.0),
+    ),
+})
 
 #: Disk-cache envelope key for the persisted host profile.  The profile
 #: embeds its own fingerprint; a mismatch on load (new kernel, different
@@ -311,8 +319,8 @@ class HostProfile:
 # ----------------------------------------------------------------------
 def _count_probe(kind: str) -> None:
     """Publish one probe execution to telemetry (if enabled)."""
-    if _REGISTRY.enabled:
-        _PROBES.labels(kind=kind).inc()
+    if default_registry().enabled:
+        _METRICS()["probes"].labels(kind=kind).inc()
 
 
 def _probe_backend_rate(
@@ -474,13 +482,13 @@ def get_profile(
             except ValidationError:
                 stored = None
             if stored is not None and stored.fingerprint == fingerprint:
-                if _REGISTRY.enabled:
-                    _CACHE.labels(kind="profile", result="hit").inc()
+                if default_registry().enabled:
+                    _METRICS()["cache"].labels(kind="profile", result="hit").inc()
                 return stored
-            if _REGISTRY.enabled:
-                _CACHE.labels(kind="profile", result="mismatch").inc()
-        elif _REGISTRY.enabled:
-            _CACHE.labels(kind="profile", result="miss").inc()
+            if default_registry().enabled:
+                _METRICS()["cache"].labels(kind="profile", result="mismatch").inc()
+        elif default_registry().enabled:
+            _METRICS()["cache"].labels(kind="profile", result="miss").inc()
     profile = (prober or probe_host)()
     if disk is not None:
         disk.store(PROFILE_KEY, profile.to_dict())
@@ -907,8 +915,8 @@ class Planner:
         key = workload.key()
         cached = self._plans.get(key)
         if cached is not None:
-            if _REGISTRY.enabled:
-                _CACHE.labels(kind="plan", result="hit").inc()
+            if default_registry().enabled:
+                _METRICS()["cache"].labels(kind="plan", result="hit").inc()
             return cached
         disk_key = ("planner-plan", self.profile.fingerprint) + key
         if self._disk is not None:
@@ -919,12 +927,12 @@ class Planner:
                 except ValidationError:
                     plan = None
                 if plan is not None and plan.fingerprint == self.profile.fingerprint:
-                    if _REGISTRY.enabled:
-                        _CACHE.labels(kind="plan", result="hit").inc()
+                    if default_registry().enabled:
+                        _METRICS()["cache"].labels(kind="plan", result="hit").inc()
                     self._plans[key] = plan
                     return plan
-        if _REGISTRY.enabled:
-            _CACHE.labels(kind="plan", result="miss").inc()
+        if default_registry().enabled:
+            _METRICS()["cache"].labels(kind="plan", result="miss").inc()
         with default_tracer().span(
             "planner.plan",
             standard=workload.standard,
@@ -939,8 +947,19 @@ class Planner:
                     M=plan.M,
                     predicted_speedup=round(plan.predicted_speedup, 3),
                 )
-        if _REGISTRY.enabled:
-            _PLANS.labels(strategy=plan.strategy).inc()
+        if default_registry().enabled:
+            _METRICS()["plans"].labels(strategy=plan.strategy).inc()
+        recorder = default_flight_recorder()
+        if recorder.enabled:
+            recorder.record(
+                "plan",
+                f"{workload.standard}/{workload.kind} -> {plan.strategy}",
+                strategy=plan.strategy,
+                backend=plan.backend,
+                workers=plan.workers,
+                M=plan.M,
+                predicted_speedup=round(plan.predicted_speedup, 3),
+            )
         self._plans[key] = plan
         if self._disk is not None:
             self._disk.store(disk_key, plan.to_dict())
@@ -958,8 +977,8 @@ class Planner:
         if actual_s <= 0:
             raise ValidationError(f"actual_s must be > 0, got {actual_s}")
         ratio = plan.predicted_s / actual_s
-        if _REGISTRY.enabled:
-            _PREDICTION.labels(strategy=plan.strategy).observe(ratio)
+        if default_registry().enabled:
+            _METRICS()["prediction"].labels(strategy=plan.strategy).observe(ratio)
         return ratio
 
 

@@ -17,7 +17,28 @@ from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class of every error raised by the repro library."""
+    """Base class of every error raised by the repro library.
+
+    Errors can carry structured diagnostic context (``exc.context``):
+    the parallel engine attaches a flight-recorder dump there when a
+    worker shard fails, so the exception itself names the failed worker
+    and its last recorded events (see ``docs/OBSERVABILITY.md``).
+    """
+
+    #: Structured diagnostic context; ``None`` until :meth:`with_context`
+    #: populates a per-instance dict.
+    context = None
+
+    def with_context(self, **entries: object) -> "ReproError":
+        """Attach structured diagnostics to this error; returns ``self``.
+
+        Entries accumulate across calls — later values win on key
+        collision — and live in an instance-level ``context`` dict.
+        """
+        if self.context is None:
+            self.context = {}
+        self.context.update(entries)
+        return self
 
     def __str__(self) -> str:
         # KeyError-derived subclasses would otherwise repr() the message

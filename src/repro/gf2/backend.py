@@ -41,7 +41,7 @@ import numpy as np
 
 from repro.errors import ValidationError
 from repro.gf2.bits import parity
-from repro.telemetry import default_registry
+from repro.telemetry import bind_families, default_registry
 
 #: Environment variable consulted when no explicit backend is given.
 BACKEND_ENV = "REPRO_GF2_BACKEND"
@@ -49,18 +49,22 @@ BACKEND_ENV = "REPRO_GF2_BACKEND"
 #: Bits per packed machine word in the numpy backend.
 WORD_BITS = 64
 
-_REGISTRY = default_registry()
-_OPS = _REGISTRY.counter(
-    "gf2_backend_ops_total",
-    "GF(2) kernel invocations by backend and operation",
-    labels=("backend", "op"),
-)
-_BATCH_BITS = _REGISTRY.histogram(
-    "gf2_backend_matvec_batch_bits",
-    "Bits moved per batched GF(2) block application (rows x batch)",
-    labels=("backend",),
-    buckets=(64, 256, 1024, 4096, 16384, 65536, 262144, 1 << 20, 1 << 22),
-)
+# Bound lazily (see repro.telemetry.bind_families) so swapping the
+# default registry after import is observed — and so worker processes
+# that receive a fresh registry publish into it, not a stale snapshot.
+_METRICS = bind_families(lambda reg: {
+    "ops": reg.counter(
+        "gf2_backend_ops_total",
+        "GF(2) kernel invocations by backend and operation",
+        labels=("backend", "op"),
+    ),
+    "batch_bits": reg.histogram(
+        "gf2_backend_matvec_batch_bits",
+        "Bits moved per batched GF(2) block application (rows x batch)",
+        labels=("backend",),
+        buckets=(64, 256, 1024, 4096, 16384, 65536, 262144, 1 << 20, 1 << 22),
+    ),
+})
 
 
 def _n_words(batch: int) -> int:
@@ -166,11 +170,12 @@ class GF2Backend:
     # -- telemetry ------------------------------------------------------
     def _observe(self, op: str, batch_bits: Optional[int] = None) -> None:
         """Publish one kernel invocation (no-op while telemetry is off)."""
-        if not _REGISTRY.enabled:
+        if not default_registry().enabled:
             return
-        _OPS.labels(backend=self.name, op=op).inc()
+        metrics = _METRICS()
+        metrics["ops"].labels(backend=self.name, op=op).inc()
         if batch_bits is not None:
-            _BATCH_BITS.labels(backend=self.name).observe(batch_bits)
+            metrics["batch_bits"].labels(backend=self.name).observe(batch_bits)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"

@@ -1,34 +1,60 @@
-"""repro.telemetry — unified metrics, tracing, and structured reporting.
+"""repro.telemetry — distributed metrics, tracing, and flight recording.
 
 A zero-dependency observability layer shared by every hot path in the
 repo: the compile cache, the bit-sliced batch kernels, the streaming
 pipelines, DREAM executed mode, and the PiCoGA instruments
 (:mod:`repro.picoga.trace`, :mod:`repro.picoga.activity`) all publish
-into one process-wide :class:`MetricsRegistry` and one :class:`Tracer`.
+into one process-wide :class:`MetricsRegistry`, one :class:`Tracer`, and
+one :class:`FlightRecorder` — and since the v2 rework those defaults
+stitch across worker pools too: a :class:`TraceContext` travels with
+every shard dispatch, workers capture deltas locally, and the parent
+merges them back under ``worker=<id>`` labels.
 
 * :mod:`repro.telemetry.registry` — thread-safe Counter/Gauge/Histogram
-  families with bounded label cardinality; near-zero overhead when the
-  registry is disabled.
+  families with bounded label cardinality, additive snapshot merging,
+  and near-zero overhead when disabled.
 * :mod:`repro.telemetry.tracing` — nestable ``span()`` context manager
-  with wall-clock timings and a bounded in-memory trace buffer.
-* :mod:`repro.telemetry.export` — JSON-lines snapshots (lossless round
-  trip), Prometheus text exposition, and the :class:`BenchReport`
-  writer behind ``benchmarks/results/*.json``.
+  with trace/span ids, serializable span trees, and a bounded buffer.
+* :mod:`repro.telemetry.context` — cross-process context propagation:
+  worker-side capture and parent-side merge.
+* :mod:`repro.telemetry.flightrec` — bounded ring buffer of structured
+  events with dump-on-error crash post-mortems.
+* :mod:`repro.telemetry.chrometrace` — Chrome trace-event JSON export
+  (Perfetto-loadable timelines).
+* :mod:`repro.telemetry.export` — JSON-lines snapshots (metrics + span
+  records, lossless round trip), Prometheus text exposition, and the
+  :class:`BenchReport` writer behind ``benchmarks/results/*.json``.
 * :mod:`repro.telemetry.instrument` — an ``@instrumented`` decorator
   plus explicit bridges from the pre-existing instruments.
 
-See ``docs/OBSERVABILITY.md`` for the tour; ``repro stats`` and the
-``--telemetry`` CLI flag are the command-line surface.
+See ``docs/OBSERVABILITY.md`` for the tour; ``repro stats``, ``repro
+dump`` and the ``--telemetry`` CLI flag are the command-line surface.
 """
 
+from repro.telemetry.chrometrace import render_chrome_trace, spans_to_chrome
+from repro.telemetry.context import (
+    TraceContext,
+    WorkerCapture,
+    attach_flight_dump,
+    merge_worker_payload,
+)
 from repro.telemetry.export import (
     BenchReport,
     default_snapshot_path,
     parse_json_lines,
+    parse_spans,
     read_json_lines,
+    read_spans,
     render_prometheus,
     to_json_lines,
     write_json_lines,
+)
+from repro.telemetry.flightrec import (
+    FlightRecorder,
+    default_dump_path,
+    default_flight_recorder,
+    format_events,
+    set_default_flight_recorder,
 )
 from repro.telemetry.instrument import (
     instrumented,
@@ -44,32 +70,58 @@ from repro.telemetry.registry import (
     Histogram,
     MetricFamily,
     MetricsRegistry,
+    bind_families,
     default_registry,
+    set_default_registry,
+    snapshot_delta,
 )
-from repro.telemetry.tracing import Span, Tracer, default_tracer, format_span_tree
+from repro.telemetry.tracing import (
+    Span,
+    Tracer,
+    default_tracer,
+    format_span_tree,
+    set_default_tracer,
+)
 
 __all__ = [
     "BenchReport",
     "Counter",
     "DEFAULT_BUCKETS",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricFamily",
     "MetricsRegistry",
     "Span",
+    "TraceContext",
     "Tracer",
+    "WorkerCapture",
+    "attach_flight_dump",
+    "bind_families",
+    "default_dump_path",
+    "default_flight_recorder",
     "default_registry",
     "default_snapshot_path",
     "default_tracer",
+    "format_events",
     "format_span_tree",
     "instrumented",
+    "merge_worker_payload",
     "parse_json_lines",
+    "parse_spans",
     "read_json_lines",
+    "read_spans",
     "record_activity_report",
     "record_burst_utilization",
     "record_pipeline_trace",
     "record_run_cycles",
+    "render_chrome_trace",
     "render_prometheus",
+    "set_default_flight_recorder",
+    "set_default_registry",
+    "set_default_tracer",
+    "snapshot_delta",
+    "spans_to_chrome",
     "to_json_lines",
     "write_json_lines",
 ]

@@ -1,0 +1,273 @@
+"""Cross-process trace context propagation and worker telemetry capture.
+
+The parallel engine dispatches shards to thread or process pools; this
+module is how telemetry crosses that boundary so the parent ends up with
+**one** coherent picture:
+
+* :class:`TraceContext` — a small picklable record of the parent's trace
+  ids plus three switches (metrics / spans / events) saying what the
+  worker should capture.  :meth:`TraceContext.capture` builds it from
+  the parent's live defaults at dispatch time.
+* :class:`WorkerCapture` — the worker-side harness.  ``begin()`` enables
+  the worker-local defaults per the context and snapshots a metrics
+  baseline; ``finish()`` produces a picklable *payload*: the registry
+  delta since the baseline, a detached span subtree recorded under the
+  parent's ids, the worker's flight-recorder tail, and wall/CPU timings.
+* :func:`merge_worker_payload` — the parent-side inverse: folds the
+  metrics delta into the parent registry under a ``worker=<id>`` label,
+  grafts the span subtree under the parent's dispatch span, and merges
+  the shipped events into the parent's flight recorder.
+* :func:`attach_flight_dump` — pins a flight-recorder dump (failed
+  worker + its last events) onto an exception's ``context`` so crash
+  post-mortems travel with the error itself.
+
+Everything here is orchestration-frequency code (per shard dispatch,
+never per bit), so clarity beats micro-optimization.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.telemetry.flightrec import default_flight_recorder
+from repro.telemetry.registry import default_registry, snapshot_delta
+from repro.telemetry.tracing import Span, default_tracer
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """What a shard dispatch carries across the process boundary.
+
+    ``trace_id`` / ``span_id`` identify the parent's open dispatch span
+    (empty when the parent tracer is off); the three booleans tell the
+    worker which telemetry layers to capture and ship back.
+    """
+
+    trace_id: str = ""
+    span_id: str = ""
+    metrics: bool = False
+    spans: bool = False
+    events: bool = False
+
+    @property
+    def active(self) -> bool:
+        """Whether the worker has anything to capture at all."""
+        return self.metrics or self.spans or self.events
+
+    def to_dict(self) -> dict:
+        """Picklable/JSON-able form (travels with the shard arguments)."""
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "metrics": self.metrics,
+            "spans": self.spans,
+            "events": self.events,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TraceContext":
+        """Rebuild a context shipped via :meth:`to_dict`."""
+        return cls(
+            trace_id=data.get("trace_id", ""),
+            span_id=data.get("span_id", ""),
+            metrics=bool(data.get("metrics", False)),
+            spans=bool(data.get("spans", False)),
+            events=bool(data.get("events", False)),
+        )
+
+    @classmethod
+    def capture(cls, parent_span: Optional[Span] = None, remote: bool = True) -> "TraceContext":
+        """The context for a dispatch happening *now*, from the live
+        defaults.
+
+        ``parent_span`` is the open span the shard should hang under
+        (usually the pool's dispatch span).  ``remote=True`` (process
+        pools) requests metrics and event capture — worker-local state
+        is invisible to the parent and must ship back; ``remote=False``
+        (thread pools) requests only span capture, because threads
+        already publish metrics and events into the parent's shared
+        defaults and shipping a delta would double-count.
+        """
+        tracer = default_tracer()
+        if parent_span is None and tracer.enabled:
+            parent_span = tracer.current_span()
+        return cls(
+            trace_id=parent_span.trace_id if parent_span else "",
+            span_id=parent_span.span_id if parent_span else "",
+            metrics=remote and default_registry().enabled,
+            spans=tracer.enabled,
+            events=remote and default_flight_recorder().enabled,
+        )
+
+
+def worker_id() -> str:
+    """This worker's label: the process id (unique per pool child)."""
+    return str(os.getpid())
+
+
+class WorkerCapture:
+    """Worker-side capture harness for one shard task.
+
+    Usage (see ``_ctx_shard_call`` in :mod:`repro.engine.parallel`)::
+
+        cap = WorkerCapture(ctx, worker=worker_id(), name="worker.shard")
+        cap.begin()
+        try:
+            result = fn(*args)
+        except Exception as exc:
+            return ("err", cap.finish(error=exc), ...)
+        return ("ok", cap.finish(), result)
+
+    ``finish()`` returns the picklable payload described in
+    :func:`merge_worker_payload`; calling it exactly once is the
+    caller's job (it closes the captured span).
+    """
+
+    def __init__(self, ctx: TraceContext, worker: str, name: str = "worker.shard",
+                 **attributes: object):
+        self._ctx = ctx
+        self._worker = worker
+        self._name = name
+        self._attributes = dict(attributes)
+        self._baseline: Optional[Dict[str, dict]] = None
+        self._span_cm = None
+        self._span: Optional[Span] = None
+        self._cursor: Optional[int] = None
+        self._wall0 = 0.0
+        self._cpu0 = 0.0
+
+    def begin(self) -> None:
+        """Enable worker-local capture per the context; snapshot baselines."""
+        ctx = self._ctx
+        if ctx.metrics:
+            registry = default_registry()
+            registry.enable()
+            self._baseline = registry.snapshot()
+        if ctx.events:
+            recorder = default_flight_recorder()
+            recorder.enable()
+            self._cursor = recorder.cursor()
+        if ctx.spans:
+            tracer = default_tracer()
+            tracer.enable()
+            self._span_cm = tracer.capture(
+                self._name,
+                trace_id=ctx.trace_id,
+                parent_id=ctx.span_id,
+                worker=self._worker,
+                **self._attributes,
+            )
+            self._span = self._span_cm.__enter__()
+        self._wall0 = time.perf_counter()
+        self._cpu0 = time.process_time()
+
+    def finish(self, error: Optional[BaseException] = None) -> dict:
+        """Close the capture and return the picklable payload.
+
+        On ``error`` the failure is recorded as a ``worker-crash`` event
+        (and on the span) first, so the shipped tail explains the crash.
+        """
+        wall = time.perf_counter() - self._wall0
+        cpu = time.process_time() - self._cpu0
+        ctx = self._ctx
+        if error is not None and ctx.events:
+            default_flight_recorder().record(
+                "worker-crash",
+                f"{type(error).__name__}: {error}",
+                worker=self._worker,
+                task=self._name,
+            )
+        if self._span_cm is not None:
+            if self._span is not None and error is not None:
+                self._span.attributes["error"] = f"{type(error).__name__}: {error}"
+            self._span_cm.__exit__(None, None, None)
+            self._span_cm = None
+        payload: dict = {
+            "worker": self._worker,
+            "wall_s": wall,
+            "cpu_s": cpu,
+            "metrics": None,
+            "span": None,
+            "events": None,
+        }
+        if ctx.metrics and self._baseline is not None:
+            registry = default_registry()
+            payload["metrics"] = snapshot_delta(self._baseline, registry.snapshot())
+        if ctx.spans and self._span is not None:
+            payload["span"] = self._span.to_dict()
+        if ctx.events and self._cursor is not None:
+            payload["events"] = default_flight_recorder().events(since=self._cursor)
+        return payload
+
+
+def merge_worker_payload(
+    payload: dict, parent_span: Optional[Span] = None
+) -> Optional[Span]:
+    """Fold one worker payload into the parent's live defaults.
+
+    * ``metrics`` (a :func:`~repro.telemetry.registry.snapshot_delta`)
+      merge additively into the parent registry with a ``worker=<id>``
+      label appended to every sample;
+    * ``span`` (a serialized detached subtree) is re-homed onto the
+      parent's trace and appended under ``parent_span`` (returned; the
+      caller may decorate it further);
+    * ``events`` extend the parent flight recorder, keeping their
+      original ``worker`` attribution.
+    """
+    worker = str(payload.get("worker", ""))
+    metrics = payload.get("metrics")
+    if metrics:
+        default_registry().merge_snapshot(metrics, extra_labels={"worker": worker})
+    events = payload.get("events")
+    if events:
+        default_flight_recorder().extend(events)
+    span_dict = payload.get("span")
+    grafted: Optional[Span] = None
+    if span_dict is not None:
+        grafted = (
+            span_dict if isinstance(span_dict, Span) else Span.from_dict(span_dict)
+        )
+        if parent_span is not None:
+            grafted.retrace(parent_span.trace_id, parent_id=parent_span.span_id)
+            parent_span.children.append(grafted)
+    return grafted
+
+
+def attach_flight_dump(
+    exc: BaseException,
+    worker: str = "",
+    events: Optional[List[dict]] = None,
+    limit: int = 32,
+) -> BaseException:
+    """Attach a flight-recorder dump to an exception and return it.
+
+    The dump lands in the exception's ``context`` dict (see
+    :meth:`repro.errors.ReproError.with_context`; non-Repro exceptions
+    get a plain ``context`` attribute) under ``"flight_recorder"``:
+    ``{"worker": <failed worker>, "events": [...]}`` — the shipped
+    worker tail when available, else the parent's own recent events.
+    """
+    dump_events = list(events) if events else default_flight_recorder().events(limit=limit)
+    dump = {"worker": worker, "events": dump_events[-limit:]}
+    with_context = getattr(exc, "with_context", None)
+    if callable(with_context):
+        with_context(flight_recorder=dump)
+    else:
+        context = getattr(exc, "context", None)
+        if not isinstance(context, dict):
+            context = {}
+            exc.context = context
+        context["flight_recorder"] = dump
+    return exc
+
+
+__all__ = [
+    "TraceContext",
+    "WorkerCapture",
+    "attach_flight_dump",
+    "merge_worker_payload",
+    "worker_id",
+]

@@ -27,8 +27,11 @@ from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.tracing import Span, Tracer
 
-TELEMETRY_SCHEMA = "repro-telemetry/1"
+TELEMETRY_SCHEMA = "repro-telemetry/2"
+#: Schemas :func:`parse_json_lines` accepts (v1 predates span records).
+TELEMETRY_SCHEMAS = ("repro-telemetry/1", "repro-telemetry/2")
 BENCH_SCHEMA = "repro-bench/1"
 TELEMETRY_PATH_ENV = "REPRO_TELEMETRY_PATH"
 
@@ -42,40 +45,74 @@ def default_snapshot_path() -> Path:
 # ----------------------------------------------------------------------
 # JSON lines
 # ----------------------------------------------------------------------
-def to_json_lines(registry: MetricsRegistry) -> str:
-    """One header line plus one line per metric family."""
+def to_json_lines(registry: MetricsRegistry, tracer: Optional[Tracer] = None) -> str:
+    """One header line, one line per metric family, and — when a tracer
+    is given — one ``{"span": ...}`` line per finished root span."""
     lines = [json.dumps({"schema": TELEMETRY_SCHEMA, "generated_unix": time.time()})]
     for name, family in registry.snapshot().items():
         lines.append(json.dumps({"name": name, **family}, sort_keys=True))
+    if tracer is not None:
+        for root in tracer.roots():
+            lines.append(json.dumps({"span": root.to_dict()}, sort_keys=True))
     return "\n".join(lines) + "\n"
 
 
-def write_json_lines(registry: MetricsRegistry, path: Union[str, Path]) -> Path:
+def write_json_lines(
+    registry: MetricsRegistry,
+    path: Union[str, Path],
+    tracer: Optional[Tracer] = None,
+) -> Path:
+    """Write :func:`to_json_lines` output to ``path``; returns the path."""
     path = Path(path)
-    path.write_text(to_json_lines(registry))
+    path.write_text(to_json_lines(registry, tracer=tracer))
     return path
 
 
-def parse_json_lines(text: str) -> MetricsRegistry:
-    """Rebuild a registry from :func:`to_json_lines` output."""
-    registry = MetricsRegistry()
-    snapshot: Dict[str, dict] = {}
+def _iter_records(text: str):
+    """Parsed JSON records from snapshot text, header-validated."""
     for line in text.splitlines():
         line = line.strip()
         if not line:
             continue
         record = json.loads(line)
         if "schema" in record and "name" not in record:
-            if record["schema"] != TELEMETRY_SCHEMA:
+            if record["schema"] not in TELEMETRY_SCHEMAS:
                 raise ValueError(f"unsupported telemetry schema {record['schema']!r}")
+            continue
+        yield record
+
+
+def parse_json_lines(text: str) -> MetricsRegistry:
+    """Rebuild a registry from :func:`to_json_lines` output (span records
+    are skipped; use :func:`parse_spans` for those)."""
+    registry = MetricsRegistry()
+    snapshot: Dict[str, dict] = {}
+    for record in _iter_records(text):
+        if "span" in record and "name" not in record:
             continue
         snapshot[record["name"]] = record
     registry.restore(snapshot)
     return registry
 
 
+def parse_spans(text: str) -> List[Span]:
+    """The root spans embedded in :func:`to_json_lines` output (may be
+    empty — v1 snapshots and metric-only runs carry none)."""
+    return [
+        Span.from_dict(record["span"])
+        for record in _iter_records(text)
+        if "span" in record and "name" not in record
+    ]
+
+
 def read_json_lines(path: Union[str, Path]) -> MetricsRegistry:
+    """Rebuild a registry from a snapshot file."""
     return parse_json_lines(Path(path).read_text())
+
+
+def read_spans(path: Union[str, Path]) -> List[Span]:
+    """The root spans embedded in a snapshot file."""
+    return parse_spans(Path(path).read_text())
 
 
 # ----------------------------------------------------------------------
@@ -148,6 +185,7 @@ class BenchReport:
     series: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     def to_dict(self) -> dict:
+        """The full report document, environment stamped at call time."""
         return {
             "schema": BENCH_SCHEMA,
             "name": self.name,
@@ -163,6 +201,7 @@ class BenchReport:
         }
 
     def write(self, results_dir: Union[str, Path]) -> Path:
+        """Write ``<results_dir>/<name>.json``; returns the path."""
         results_dir = Path(results_dir)
         results_dir.mkdir(parents=True, exist_ok=True)
         path = results_dir / f"{self.name}.json"
@@ -171,6 +210,7 @@ class BenchReport:
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "BenchReport":
+        """Read a report written by :meth:`write`; schema-checked."""
         data = json.loads(Path(path).read_text())
         if data.get("schema") != BENCH_SCHEMA:
             raise ValueError(f"unsupported bench schema {data.get('schema')!r}")

@@ -1,0 +1,206 @@
+"""Flight recorder: a bounded ring buffer of structured runtime events.
+
+Where the metrics registry answers "how much" and the tracer answers
+"how long", the flight recorder answers "what just happened" — the last
+N structured events (compile/cache operations, plan decisions, shard
+dispatches, worker crashes, steals/migrations, validation failures)
+kept in a fixed-size ring so a crash can be explained after the fact
+without any always-on logging cost.
+
+The recorder is **enabled by default**: recording one event is a lock,
+a dict build, and a deque append, and events are emitted at
+orchestration frequency (per dispatch / compile / plan), never per bit,
+so the steady-state cost is negligible.  ``disable()`` reduces
+``record()`` to a single flag check for the paranoid path.
+
+Two consumers matter:
+
+* **dump-on-error** — when a shard fails, the worker's recent events
+  ship back with the failure and
+  :func:`repro.telemetry.context.attach_flight_dump` pins the combined
+  dump onto the raised :class:`~repro.errors.StreamError` (its
+  ``context["flight_recorder"]`` entry), so the exception itself names
+  the failed worker and what it was doing;
+* **``repro dump``** — the CLI prints the live ring (or a ring saved
+  with :meth:`FlightRecorder.save` by an earlier ``--telemetry`` run).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+#: Environment variable naming where CLI runs persist the event ring.
+FLIGHTREC_PATH_ENV = "REPRO_FLIGHTREC_PATH"
+
+#: Default ring capacity — enough to span several dispatch rounds.
+DEFAULT_CAPACITY = 256
+
+
+def default_dump_path() -> Path:
+    """Where CLI runs drop their event ring (``$REPRO_FLIGHTREC_PATH``
+    or ``.repro-flightrec.jsonl`` in the working directory)."""
+    return Path(os.environ.get(FLIGHTREC_PATH_ENV, ".repro-flightrec.jsonl"))
+
+
+class FlightRecorder:
+    """Thread-safe bounded ring of structured events.
+
+    Each event is a plain dict: ``seq`` (monotonic, survives eviction),
+    ``ts`` (unix seconds), ``kind`` (a short category like ``"dispatch"``
+    or ``"worker-crash"``), ``message``, ``worker`` (empty for
+    parent-side events) and free-form ``attrs``.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, enabled: bool = True):
+        if capacity < 1:
+            raise ValueError(f"flight recorder capacity must be >= 1, got {capacity}")
+        self._events: "deque[Dict[str, object]]" = deque(maxlen=capacity)
+        self._enabled = enabled
+        self._seq = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        """Whether ``record()`` stores anything."""
+        return self._enabled
+
+    def enable(self) -> None:
+        """Turn event recording on."""
+        self._enabled = True
+
+    def disable(self) -> None:
+        """Turn event recording off (one flag check per ``record()``)."""
+        self._enabled = False
+
+    @property
+    def capacity(self) -> int:
+        """Maximum events retained."""
+        return self._events.maxlen or 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    # ------------------------------------------------------------------
+    def record(
+        self, kind: str, message: str = "", worker: str = "", **attrs: object
+    ) -> None:
+        """Append one event (no-op while disabled)."""
+        if not self._enabled:
+            return
+        with self._lock:
+            self._seq += 1
+            self._events.append({
+                "seq": self._seq,
+                "ts": time.time(),
+                "kind": kind,
+                "message": message,
+                "worker": worker,
+                "attrs": attrs,
+            })
+
+    def extend(self, events: Iterable[Dict[str, object]]) -> None:
+        """Merge pre-built events (a worker's shipped tail) into the ring.
+
+        Each event is re-sequenced locally so ``seq`` stays monotonic in
+        this ring; the original ``worker`` field is preserved, which is
+        how worker-side events stay attributable after the merge.
+        """
+        if not self._enabled:
+            return
+        with self._lock:
+            for event in events:
+                self._seq += 1
+                merged = dict(event)
+                merged["seq"] = self._seq
+                self._events.append(merged)
+
+    def cursor(self) -> int:
+        """The current sequence number; events recorded after this call
+        have ``seq`` greater than the returned value."""
+        with self._lock:
+            return self._seq
+
+    # ------------------------------------------------------------------
+    def events(
+        self, since: Optional[int] = None, limit: Optional[int] = None
+    ) -> List[Dict[str, object]]:
+        """Buffered events, oldest first.
+
+        ``since`` keeps only events with ``seq`` greater than the given
+        cursor; ``limit`` keeps only the newest N of what remains.
+        """
+        with self._lock:
+            out = [dict(e) for e in self._events]
+        if since is not None:
+            out = [e for e in out if e["seq"] > since]
+        if limit is not None:
+            out = out[-limit:]
+        return out
+
+    def clear(self) -> None:
+        """Drop every buffered event (the sequence counter keeps going)."""
+        with self._lock:
+            self._events.clear()
+
+    # ------------------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the ring as JSON lines (one event per line)."""
+        path = Path(path)
+        lines = [json.dumps(e, sort_keys=True, default=str) for e in self.events()]
+        path.write_text("\n".join(lines) + ("\n" if lines else ""))
+        return path
+
+    @staticmethod
+    def load(path: Union[str, Path]) -> List[Dict[str, object]]:
+        """Read events saved by :meth:`save`, oldest first."""
+        events = []
+        for line in Path(path).read_text().splitlines():
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+        return events
+
+
+def format_events(events: List[Dict[str, object]]) -> str:
+    """Human-readable rendering of a dump, one line per event."""
+    if not events:
+        return "(no events recorded)"
+    lines = []
+    for event in events:
+        worker = event.get("worker") or "-"
+        attrs = event.get("attrs") or {}
+        suffix = (
+            " " + " ".join(f"{k}={v}" for k, v in attrs.items()) if attrs else ""
+        )
+        message = event.get("message", "")
+        lines.append(
+            f"#{event.get('seq', '?'):>4} {event.get('kind', '?'):<16} "
+            f"worker={worker:<8} {message}{suffix}"
+        )
+    return "\n".join(lines)
+
+
+_DEFAULT_RECORDER = FlightRecorder()
+
+
+def default_flight_recorder() -> FlightRecorder:
+    """The process-wide shared flight recorder (enabled by default)."""
+    return _DEFAULT_RECORDER
+
+
+def set_default_flight_recorder(recorder: FlightRecorder) -> FlightRecorder:
+    """Swap the process-wide flight recorder; returns the previous one."""
+    global _DEFAULT_RECORDER
+    if not isinstance(recorder, FlightRecorder):
+        raise TypeError(f"expected a FlightRecorder, got {type(recorder).__name__}")
+    previous = _DEFAULT_RECORDER
+    _DEFAULT_RECORDER = recorder
+    return previous

@@ -16,6 +16,14 @@ PiCoGA model keeps per array.  Design constraints, in order:
   sets collapse into a shared ``__overflow__`` child and are counted in
   ``dropped_label_sets`` rather than growing memory without bound.
 
+Since the distributed-telemetry rework, a family's *declared* label
+names are a floor, not a ceiling: :meth:`MetricFamily.sample` accepts
+label sets carrying extra dimensions (the ``worker=<id>`` label the
+cross-process merge adds), Prometheus-style, and
+:meth:`MetricsRegistry.merge_snapshot` folds a worker's delta snapshot
+into the parent additively.  :func:`snapshot_delta` produces exactly
+those deltas on the worker side.
+
 Naming follows Prometheus conventions (counters end in ``_total``,
 histograms get ``_bucket``/``_sum``/``_count`` series at export time) so
 :func:`repro.telemetry.export.render_prometheus` is a direct rendering.
@@ -25,7 +33,7 @@ from __future__ import annotations
 
 import threading
 from bisect import bisect_left
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 MAX_LABEL_SETS = 64
 OVERFLOW_LABEL = "__overflow__"
@@ -35,6 +43,9 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
     0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
     0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
 )
+
+#: A child key: ``(label name, label value)`` pairs, declared names first.
+_ChildKey = Tuple[Tuple[str, str], ...]
 
 
 class _Child:
@@ -58,6 +69,7 @@ class Counter(_Child):
         self._value = 0.0
 
     def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (default 1); no-op while the registry is off."""
         if not self._registry._enabled:
             return
         if amount < 0:
@@ -67,6 +79,7 @@ class Counter(_Child):
 
     @property
     def value(self) -> float:
+        """Current count."""
         with self._lock:
             return self._value
 
@@ -82,22 +95,26 @@ class Gauge(_Child):
         self._value = 0.0
 
     def set(self, value: float) -> None:
+        """Replace the gauge value; no-op while the registry is off."""
         if not self._registry._enabled:
             return
         with self._lock:
             self._value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (may be negative); no-op while the registry is off."""
         if not self._registry._enabled:
             return
         with self._lock:
             self._value += amount
 
     def dec(self, amount: float = 1.0) -> None:
+        """Subtract ``amount``; no-op while the registry is off."""
         self.inc(-amount)
 
     @property
     def value(self) -> float:
+        """Current gauge value."""
         with self._lock:
             return self._value
 
@@ -123,6 +140,7 @@ class Histogram(_Child):
         self._count = 0
 
     def observe(self, value: float) -> None:
+        """Record one observation; no-op while the registry is off."""
         if not self._registry._enabled:
             return
         idx = bisect_left(self._edges, value)
@@ -133,15 +151,18 @@ class Histogram(_Child):
 
     @property
     def edges(self) -> Tuple[float, ...]:
+        """Bucket upper bounds (excluding the implicit +Inf)."""
         return self._edges
 
     @property
     def count(self) -> int:
+        """Total observations recorded."""
         with self._lock:
             return self._count
 
     @property
     def total(self) -> float:
+        """Sum of all observed values."""
         with self._lock:
             return self._sum
 
@@ -170,7 +191,10 @@ class MetricFamily:
     Label-less families delegate the child API (``inc``/``set``/
     ``observe``/``value``/…) straight to their single default child, so
     ``registry.counter("x_total").inc()`` works without a ``labels()``
-    hop.
+    hop.  Children are keyed by their full ``(name, value)`` label items,
+    so one family can hold samples whose label sets extend the declared
+    names — how worker-merged series gain a ``worker`` dimension without
+    re-registering the family.
     """
 
     def __init__(
@@ -193,7 +217,7 @@ class MetricFamily:
             raise ValueError("histogram bucket edges must be strictly increasing")
         self._max_label_sets = max_label_sets
         self._lock = threading.Lock()
-        self._children: "Dict[Tuple[str, ...], _Child]" = {}
+        self._children: "Dict[_ChildKey, _Child]" = {}
         self.dropped_label_sets = 0
 
     # ------------------------------------------------------------------
@@ -202,31 +226,53 @@ class MetricFamily:
             return Histogram(self._registry, self._buckets or DEFAULT_BUCKETS)
         return _CHILD_KINDS[self.kind](self._registry)
 
-    def labels(self, **labels: str):
-        """The child for one label set, created (or capped) on first use."""
-        if set(labels) != set(self.label_names):
-            raise ValueError(
-                f"{self.name} expects labels {self.label_names}, got {tuple(labels)}"
-            )
-        key = tuple(str(labels[n]) for n in self.label_names)
+    def _child_key(self, labels: Mapping[str, object]) -> _ChildKey:
+        """Canonical child key: declared names first, extras sorted after."""
+        declared = [(n, str(labels[n])) for n in self.label_names if n in labels]
+        extras = sorted(
+            (n, str(v)) for n, v in labels.items() if n not in self.label_names
+        )
+        return tuple(declared + extras)
+
+    def _locate(self, key: _ChildKey) -> _Child:
+        """The child for a key, created (or collapsed to overflow) on miss."""
         with self._lock:
             child = self._children.get(key)
             if child is None:
                 if len(self._children) >= max(self._max_label_sets, 1) and not all(
-                    v == OVERFLOW_LABEL for v in key
+                    v == OVERFLOW_LABEL for _, v in key
                 ):
                     self.dropped_label_sets += 1
-                    key = (OVERFLOW_LABEL,) * len(self.label_names)
+                    key = tuple((n, OVERFLOW_LABEL) for n, _ in key)
                     child = self._children.get(key)
                 if child is None:
                     child = self._children[key] = self._new_child()
             return child
 
+    def labels(self, **labels: str):
+        """The child for one declared label set (validated, created lazily)."""
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"{self.name} expects labels {self.label_names}, got {tuple(labels)}"
+            )
+        return self._locate(self._child_key(labels))
+
+    def sample(self, labels: Mapping[str, object]):
+        """The child for an arbitrary label mapping (lenient variant).
+
+        Unlike :meth:`labels`, the mapping may carry dimensions beyond
+        the declared ``label_names`` — the snapshot importer and the
+        cross-worker merge use this to land ``worker=<id>``-extended
+        series in the same family.  Missing declared names are allowed
+        too (the sample simply omits them).
+        """
+        return self._locate(self._child_key(labels))
+
     def samples(self) -> List[Tuple[Dict[str, str], _Child]]:
         """``(label dict, child)`` pairs, insertion order."""
         with self._lock:
             items = list(self._children.items())
-        return [(dict(zip(self.label_names, key)), child) for key, child in items]
+        return [(dict(key), child) for key, child in items]
 
     # Delegate the child API for label-less families.
     def __getattr__(self, item: str):
@@ -249,15 +295,19 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     @property
     def enabled(self) -> bool:
+        """Whether mutating calls record anything."""
         return self._enabled
 
     def enable(self) -> None:
+        """Turn recording on."""
         self._enabled = True
 
     def disable(self) -> None:
+        """Turn recording off (instrumented code pays one branch)."""
         self._enabled = False
 
     def set_enabled(self, flag: bool) -> None:
+        """Set the recording switch explicitly."""
         self._enabled = bool(flag)
 
     # ------------------------------------------------------------------
@@ -286,9 +336,11 @@ class MetricsRegistry:
             return family
 
     def counter(self, name: str, help: str = "", labels: Sequence[str] = ()) -> MetricFamily:
+        """Get-or-register a counter family."""
         return self._family(name, "counter", help, labels)
 
     def gauge(self, name: str, help: str = "", labels: Sequence[str] = ()) -> MetricFamily:
+        """Get-or-register a gauge family."""
         return self._family(name, "gauge", help, labels)
 
     def histogram(
@@ -298,14 +350,17 @@ class MetricsRegistry:
         labels: Sequence[str] = (),
         buckets: Sequence[float] = DEFAULT_BUCKETS,
     ) -> MetricFamily:
+        """Get-or-register a histogram family with the given bucket edges."""
         return self._family(name, "histogram", help, labels, buckets=buckets)
 
     # ------------------------------------------------------------------
     def get(self, name: str) -> Optional[MetricFamily]:
+        """The family registered under ``name``, or ``None``."""
         with self._lock:
             return self._families.get(name)
 
     def families(self) -> List[MetricFamily]:
+        """Every registered family, sorted by name."""
         with self._lock:
             return [self._families[n] for n in sorted(self._families)]
 
@@ -345,23 +400,26 @@ class MetricsRegistry:
             out[family.name] = entry
         return out
 
+    def _restore_family(self, name: str, fam: Mapping) -> MetricFamily:
+        """Get-or-register the family a snapshot entry describes."""
+        kind, labels = fam["kind"], fam.get("labels", [])
+        help_text = fam.get("help", "")
+        if kind == "histogram":
+            return self.histogram(
+                name, help_text, labels, buckets=fam.get("buckets", DEFAULT_BUCKETS)
+            )
+        if kind == "counter":
+            return self.counter(name, help_text, labels)
+        return self.gauge(name, help_text, labels)
+
     def restore(self, snapshot: Mapping[str, dict]) -> None:
-        """Merge a :meth:`snapshot` back in (used by the JSONL importer)."""
+        """Load a :meth:`snapshot` back in, *setting* sample values (the
+        JSONL importer's path — the target samples are assumed fresh)."""
         for name, fam in snapshot.items():
-            kind, labels = fam["kind"], fam.get("labels", [])
-            help_text = fam.get("help", "")
-            if kind == "histogram":
-                family = self.histogram(
-                    name, help_text, labels,
-                    buckets=fam.get("buckets", DEFAULT_BUCKETS),
-                )
-            elif kind == "counter":
-                family = self.counter(name, help_text, labels)
-            else:
-                family = self.gauge(name, help_text, labels)
+            family = self._restore_family(name, fam)
             for sample in fam.get("samples", []):
-                child = family.labels(**sample.get("labels", {}))
-                if kind == "histogram":
+                child = family.sample(sample.get("labels", {}))
+                if family.kind == "histogram":
                     with child._lock:
                         child._counts = list(sample["bucket_counts"])
                         child._sum = float(sample["sum"])
@@ -370,6 +428,103 @@ class MetricsRegistry:
                     with child._lock:
                         child._value = float(sample["value"])
 
+    def merge_snapshot(
+        self,
+        snapshot: Mapping[str, dict],
+        extra_labels: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        """Fold a snapshot in *additively*, tagging every sample with
+        ``extra_labels`` (the cross-worker merge: counters and histogram
+        buckets add, gauges add their shipped delta).
+
+        Unlike normal instrument calls this bypasses the enabled gate —
+        the caller already decided the delta should land (it captured it
+        in a worker because telemetry was on when the shard dispatched).
+        """
+        extra = dict(extra_labels or {})
+        for name, fam in snapshot.items():
+            family = self._restore_family(name, fam)
+            for sample in fam.get("samples", []):
+                merged = dict(sample.get("labels", {}))
+                merged.update(extra)
+                child = family.sample(merged)
+                if family.kind == "histogram":
+                    counts = list(sample["bucket_counts"])
+                    with child._lock:
+                        if len(child._counts) != len(counts):
+                            raise ValueError(
+                                f"histogram {name!r} bucket shape mismatch: "
+                                f"{len(child._counts)} vs {len(counts)}"
+                            )
+                        child._counts = [
+                            a + b for a, b in zip(child._counts, counts)
+                        ]
+                        child._sum += float(sample["sum"])
+                        child._count += int(sample["count"])
+                else:
+                    with child._lock:
+                        child._value += float(sample["value"])
+
+
+def snapshot_delta(
+    before: Mapping[str, dict], after: Mapping[str, dict]
+) -> Dict[str, dict]:
+    """The additive difference between two :meth:`MetricsRegistry.snapshot`
+    dumps — what a worker publishes back after one shard task.
+
+    Only families/samples that changed appear; counter and histogram
+    deltas are clamped at zero (a reset between snapshots degrades to
+    "everything since the reset" rather than going negative).  The result
+    is shaped exactly like a snapshot, so it feeds
+    :meth:`MetricsRegistry.merge_snapshot` directly.
+    """
+    out: Dict[str, dict] = {}
+    for name, fam in after.items():
+        base = before.get(name, {})
+        base_samples = {
+            frozenset((k, str(v)) for k, v in s.get("labels", {}).items()): s
+            for s in base.get("samples", [])
+        }
+        samples = []
+        for sample in fam.get("samples", []):
+            key = frozenset(
+                (k, str(v)) for k, v in sample.get("labels", {}).items()
+            )
+            prev = base_samples.get(key)
+            if fam["kind"] == "histogram":
+                prev_counts = prev["bucket_counts"] if prev else [0] * len(
+                    sample["bucket_counts"]
+                )
+                counts = [
+                    max(0, a - b)
+                    for a, b in zip(sample["bucket_counts"], prev_counts)
+                ]
+                count = max(0, sample["count"] - (prev["count"] if prev else 0))
+                if count == 0 and not any(counts):
+                    continue
+                samples.append({
+                    "labels": dict(sample.get("labels", {})),
+                    "count": count,
+                    "sum": sample["sum"] - (prev["sum"] if prev else 0.0),
+                    "edges": list(sample["edges"]),
+                    "bucket_counts": counts,
+                })
+            else:
+                delta = sample["value"] - (prev["value"] if prev else 0.0)
+                if fam["kind"] == "counter":
+                    delta = max(0.0, delta)
+                if delta == 0.0:
+                    continue
+                samples.append({
+                    "labels": dict(sample.get("labels", {})),
+                    "value": delta,
+                })
+        if samples:
+            entry = {k: v for k, v in fam.items() if k != "samples"}
+            entry["samples"] = samples
+            out[name] = entry
+    return out
+
 
 _DEFAULT_REGISTRY = MetricsRegistry()
 
@@ -377,3 +532,42 @@ _DEFAULT_REGISTRY = MetricsRegistry()
 def default_registry() -> MetricsRegistry:
     """The process-wide shared registry all built-in instrumentation uses."""
     return _DEFAULT_REGISTRY
+
+
+def set_default_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-wide registry; returns the previous one.
+
+    Instrument sites resolve the default registry lazily (via
+    :func:`bind_families`), so a swap takes effect immediately — tests
+    use this to observe a run in a clean registry, and embedders can
+    route the library's metrics into their own collection.
+    """
+    global _DEFAULT_REGISTRY
+    if not isinstance(registry, MetricsRegistry):
+        raise TypeError(f"expected a MetricsRegistry, got {type(registry).__name__}")
+    previous = _DEFAULT_REGISTRY
+    _DEFAULT_REGISTRY = registry
+    return previous
+
+
+def bind_families(builder: Callable[[MetricsRegistry], object]):
+    """Lazily bind a module's metric families to the *current* default
+    registry.
+
+    ``builder(registry)`` constructs the module's family handles (any
+    container).  The returned zero-arg callable yields that container,
+    rebuilding it iff :func:`default_registry` now returns a different
+    object than last time — so a module pays one identity check per
+    call instead of snapshotting the registry at import time (the bug
+    class where :func:`set_default_registry` was silently ignored).
+    """
+    cell: Dict[str, object] = {"registry": None, "families": None}
+
+    def resolve():
+        registry = default_registry()
+        if cell["registry"] is not registry:
+            cell["families"] = builder(registry)
+            cell["registry"] = registry
+        return cell["families"]
+
+    return resolve

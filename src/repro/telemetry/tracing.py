@@ -1,4 +1,4 @@
-"""Nestable wall-clock spans with a bounded in-memory trace buffer.
+"""Nestable wall-clock spans with IDs and a bounded in-memory buffer.
 
 A :class:`Tracer` records how long named regions take and how they nest
 — ``dream.execute_crc`` inside ``cli.perf``, compile inside execute —
@@ -8,6 +8,15 @@ the software analogue of the pipeline occupancy traces
 in a bounded buffer, so a long-running process can leave tracing on
 without unbounded growth.
 
+Every span carries a ``trace_id`` (shared by the whole tree) and its own
+``span_id``; both are random 64-bit hex strings.  Spans serialize with
+:meth:`Span.to_dict` / :meth:`Span.from_dict`, which is how worker
+processes ship their shard spans back to the parent — the
+:class:`~repro.telemetry.context.TraceContext` carries the parent's IDs
+out, :meth:`Tracer.capture` records a detached subtree under them, and
+the parent grafts the subtree into its own open span
+(:func:`repro.telemetry.context.merge_worker_payload`).
+
 The default tracer starts **disabled**: ``span()`` then costs one flag
 check and yields ``None``.  The CLI's ``--telemetry`` flag (and tests)
 enable it explicitly.
@@ -16,11 +25,17 @@ enable it explicitly.
 from __future__ import annotations
 
 import threading
+import uuid
 from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Dict, Iterator, List, Optional, Sequence
+
+
+def new_id() -> str:
+    """A random 64-bit id as 16 hex digits (span and trace ids)."""
+    return uuid.uuid4().hex[:16]
 
 
 @dataclass
@@ -32,21 +47,62 @@ class Span:
     start: float = 0.0  # perf_counter seconds; meaningful only relatively
     duration: float = 0.0
     children: List["Span"] = field(default_factory=list)
+    trace_id: str = ""
+    span_id: str = ""
+    parent_id: str = ""
 
     @property
     def duration_ms(self) -> float:
+        """Span duration in milliseconds."""
         return self.duration * 1e3
 
     def subtree_size(self) -> int:
+        """Number of spans in this subtree (including this one)."""
         return 1 + sum(child.subtree_size() for child in self.children)
 
     def to_dict(self) -> dict:
+        """JSON-able form; round-trips through :meth:`from_dict`."""
         return {
             "name": self.name,
             "attributes": dict(self.attributes),
+            "start_s": self.start,
             "duration_s": self.duration,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
             "children": [c.to_dict() for c in self.children],
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        """Rebuild a span tree from :meth:`to_dict` output."""
+        return cls(
+            name=data["name"],
+            attributes=dict(data.get("attributes", {})),
+            start=float(data.get("start_s", 0.0)),
+            duration=float(data.get("duration_s", 0.0)),
+            trace_id=data.get("trace_id", ""),
+            span_id=data.get("span_id", ""),
+            parent_id=data.get("parent_id", ""),
+            children=[cls.from_dict(c) for c in data.get("children", [])],
+        )
+
+    def retrace(self, trace_id: str, parent_id: str = "") -> "Span":
+        """Re-home this subtree under a new trace (in place; returns self).
+
+        Used when grafting a worker-recorded subtree into the parent's
+        tree: every span adopts the parent's ``trace_id`` and the root's
+        ``parent_id`` is pointed at the graft site.
+        """
+        self.parent_id = parent_id
+        stack = [self]
+        while stack:
+            sp = stack.pop()
+            sp.trace_id = trace_id
+            for child in sp.children:
+                child.parent_id = sp.span_id
+                stack.append(child)
+        return self
 
 
 class Tracer:
@@ -67,25 +123,40 @@ class Tracer:
     # ------------------------------------------------------------------
     @property
     def enabled(self) -> bool:
+        """Whether ``span()`` records anything."""
         return self._enabled
 
     def enable(self) -> None:
+        """Turn span recording on."""
         self._enabled = True
 
     def disable(self) -> None:
+        """Turn span recording off (one flag check per ``span()``)."""
         self._enabled = False
 
     # ------------------------------------------------------------------
+    def _open(self, name: str, attributes: Dict[str, object]):
+        """Create a span, assign IDs from the thread's stack, and push it;
+        returns ``(span, stack)``."""
+        stack: List[Span] = getattr(self._local, "stack", None) or []
+        self._local.stack = stack
+        sp = Span(name=name, attributes=attributes, start=perf_counter())
+        sp.span_id = new_id()
+        if stack:
+            sp.trace_id = stack[-1].trace_id
+            sp.parent_id = stack[-1].span_id
+        else:
+            sp.trace_id = new_id()
+        stack.append(sp)
+        return sp, stack
+
     @contextmanager
     def span(self, name: str, **attributes: object) -> Iterator[Optional[Span]]:
         """Time a region; nests under the thread's innermost open span."""
         if not self._enabled:
             yield None
             return
-        stack: List[Span] = getattr(self._local, "stack", None) or []
-        self._local.stack = stack
-        sp = Span(name=name, attributes=attributes, start=perf_counter())
-        stack.append(sp)
+        sp, stack = self._open(name, attributes)
         try:
             yield sp
         finally:
@@ -95,6 +166,42 @@ class Tracer:
                 stack[-1].children.append(sp)
             else:
                 self._record_root(sp)
+
+    @contextmanager
+    def capture(
+        self,
+        name: str,
+        trace_id: str = "",
+        parent_id: str = "",
+        **attributes: object,
+    ) -> Iterator[Optional[Span]]:
+        """Like :meth:`span`, but the finished span is *detached*: it is
+        neither appended to an enclosing span nor recorded as a root.
+
+        The caller owns the yielded span — worker shards use this to
+        record a subtree that ships back to the parent process instead
+        of polluting the worker's own root buffer.  ``trace_id`` /
+        ``parent_id`` seed the IDs from a propagated
+        :class:`~repro.telemetry.context.TraceContext`.
+        """
+        if not self._enabled:
+            yield None
+            return
+        sp, stack = self._open(name, attributes)
+        if trace_id:
+            sp.trace_id = trace_id
+        if parent_id:
+            sp.parent_id = parent_id
+        try:
+            yield sp
+        finally:
+            sp.duration = perf_counter() - sp.start
+            stack.pop()
+
+    def current_span(self) -> Optional[Span]:
+        """This thread's innermost open span, or ``None``."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
 
     def _record_root(self, sp: Span) -> None:
         size = sp.subtree_size()
@@ -110,6 +217,7 @@ class Tracer:
 
     # ------------------------------------------------------------------
     def roots(self) -> List[Span]:
+        """Finished root spans currently buffered (oldest first)."""
         with self._lock:
             return list(self._roots)
 
@@ -120,6 +228,7 @@ class Tracer:
             return self._stored
 
     def clear(self) -> None:
+        """Empty the buffer and reset the drop counter."""
         with self._lock:
             self._roots.clear()
             self._stored = 0
@@ -150,3 +259,13 @@ _DEFAULT_TRACER = Tracer()
 def default_tracer() -> Tracer:
     """The process-wide shared tracer (disabled until explicitly enabled)."""
     return _DEFAULT_TRACER
+
+
+def set_default_tracer(tracer: Tracer) -> Tracer:
+    """Swap the process-wide tracer; returns the previous one."""
+    global _DEFAULT_TRACER
+    if not isinstance(tracer, Tracer):
+        raise TypeError(f"expected a Tracer, got {type(tracer).__name__}")
+    previous = _DEFAULT_TRACER
+    _DEFAULT_TRACER = tracer
+    return previous

@@ -14,22 +14,25 @@ from time import perf_counter
 from typing import Optional, Sequence
 
 from repro.engine import CompileCache
-from repro.telemetry import default_registry
+from repro.telemetry import bind_families
 from repro.verify.cases import CaseGenerator, FuzzCase, shrink
 from repro.verify.oracles import Oracle, default_oracles
 from repro.verify.report import FuzzReport, Mismatch
 
-_REGISTRY = default_registry()
-_CASES = _REGISTRY.counter(
-    "verify_fuzz_cases_total",
-    "Differential fuzz cases checked, by oracle pair",
-    labels=("pair",),
-)
-_MISMATCHES = _REGISTRY.counter(
-    "verify_fuzz_mismatches_total",
-    "Differential fuzz mismatches confirmed, by oracle pair",
-    labels=("pair",),
-)
+# Bound lazily (see repro.telemetry.bind_families) so swapping the
+# default registry after import is observed.
+_METRICS = bind_families(lambda reg: {
+    "cases": reg.counter(
+        "verify_fuzz_cases_total",
+        "Differential fuzz cases checked, by oracle pair",
+        labels=("pair",),
+    ),
+    "mismatches": reg.counter(
+        "verify_fuzz_mismatches_total",
+        "Differential fuzz mismatches confirmed, by oracle pair",
+        labels=("pair",),
+    ),
+})
 
 #: Default case budget when neither ``seconds`` nor ``max_cases`` is given.
 DEFAULT_CASES = 200
@@ -79,11 +82,11 @@ def run_fuzz(
                 continue
             report.checks += 1
             report.pair_cases[oracle.name] += 1
-            _CASES.labels(pair=oracle.name).inc()
+            _METRICS()["cases"].labels(pair=oracle.name).inc()
             found = oracle.check(case, artifacts)
             if found is None:
                 continue
-            _MISMATCHES.labels(pair=oracle.name).inc()
+            _METRICS()["mismatches"].labels(pair=oracle.name).inc()
             report.mismatches.append(
                 _build_mismatch(
                     oracle,

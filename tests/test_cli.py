@@ -3,7 +3,13 @@
 import pytest
 
 from repro.cli import main
-from repro.telemetry import MetricsRegistry, default_tracer, write_json_lines
+from repro.telemetry import (
+    MetricsRegistry,
+    Tracer,
+    default_flight_recorder,
+    default_tracer,
+    write_json_lines,
+)
 
 
 class TestStandards:
@@ -96,14 +102,18 @@ class TestPerfCommand:
 
 @pytest.fixture
 def snapshot_env(tmp_path, monkeypatch):
-    """Point the telemetry snapshot at a temp file and restore the default
-    tracer afterward (``--telemetry`` leaves it enabled for the process)."""
+    """Point the telemetry snapshot and flight-recorder dump at temp files
+    and restore the default tracer/recorder afterward (``--telemetry``
+    leaves them enabled for the process)."""
     path = tmp_path / "telemetry.jsonl"
     monkeypatch.setenv("REPRO_TELEMETRY_PATH", str(path))
+    monkeypatch.setenv("REPRO_FLIGHTREC_PATH", str(tmp_path / "flightrec.jsonl"))
     tracer = default_tracer()
+    recorder = default_flight_recorder()
     was_enabled = tracer.enabled
     yield path
     tracer.clear()
+    recorder.clear()
     if not was_enabled:
         tracer.disable()
 
@@ -138,6 +148,83 @@ class TestStatsCommand:
         assert main(["stats", "--input", str(path), "--format", "prometheus"]) == 0
         assert "explicit_total 1" in capsys.readouterr().out
 
+    def _write_traced_snapshot(self, path):
+        reg = MetricsRegistry()
+        reg.counter("traced_total").inc(2)
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer"):
+            with tracer.span("inner", worker="7"):
+                pass
+        write_json_lines(reg, path, tracer=tracer)
+
+    def test_jsonl_format_round_trips(self, snapshot_env, capsys):
+        import json
+
+        self._write_traced_snapshot(snapshot_env)
+        assert main(["stats", "--format", "jsonl"]) == 0
+        out = capsys.readouterr().out
+        records = [json.loads(line) for line in out.splitlines()]
+        assert records[0]["schema"].startswith("repro-telemetry/")
+        assert any(r.get("name") == "traced_total" for r in records)
+
+    def test_chrome_format_loads_as_trace_events(self, snapshot_env, capsys):
+        import json
+
+        self._write_traced_snapshot(snapshot_env)
+        assert main(["stats", "--format", "chrome"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert {"outer", "inner"} <= names
+
+    def test_spans_flag_prints_tree(self, snapshot_env, capsys):
+        self._write_traced_snapshot(snapshot_env)
+        assert main(["stats", "--spans"]) == 0
+        out = capsys.readouterr().out
+        assert "outer" in out and "inner" in out
+
+
+class TestDumpCommand:
+    def _write_dump(self, path, n=3):
+        from repro.telemetry import FlightRecorder
+
+        rec = FlightRecorder()
+        for i in range(n):
+            rec.record("compile", f"built entry {i}", worker=str(i))
+        rec.save(path)
+
+    def test_reads_dump_as_text(self, snapshot_env, tmp_path, capsys):
+        self._write_dump(tmp_path / "flightrec.jsonl")
+        assert main(["dump"]) == 0
+        out = capsys.readouterr().out
+        assert "compile" in out and "built entry 0" in out
+
+    def test_json_format(self, snapshot_env, tmp_path, capsys):
+        import json
+
+        self._write_dump(tmp_path / "flightrec.jsonl")
+        assert main(["dump", "--format", "json"]) == 0
+        events = json.loads(capsys.readouterr().out)
+        assert [e["kind"] for e in events] == ["compile"] * 3
+
+    def test_limit_keeps_most_recent(self, snapshot_env, tmp_path, capsys):
+        self._write_dump(tmp_path / "flightrec.jsonl", n=5)
+        assert main(["dump", "--limit", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "built entry 4" in out and "built entry 0" not in out
+
+    def test_explicit_input_path(self, tmp_path, capsys):
+        path = tmp_path / "elsewhere.jsonl"
+        self._write_dump(path)
+        assert main(["dump", "--input", str(path)]) == 0
+        assert "built entry 2" in capsys.readouterr().out
+
+    def test_no_dump_falls_back_to_live_recorder(self, snapshot_env, capsys):
+        recorder = default_flight_recorder()
+        recorder.clear()
+        recorder.record("probe", "live event")
+        assert main(["dump"]) == 0
+        assert "live event" in capsys.readouterr().out
+
 
 class TestTelemetryFlag:
     def test_crc_prints_span_tree_and_writes_snapshot(self, snapshot_env, capsys):
@@ -158,6 +245,21 @@ class TestTelemetryFlag:
         out = capsys.readouterr().out
         assert "engine_compile_cache_lookups_total" in out
         assert "engine_batch_throughput_mbps_count" in out
+
+    def test_run_writes_flight_recorder_dump(self, snapshot_env, tmp_path, capsys):
+        from repro.engine.cache import default_cache
+
+        default_cache().clear()  # force compile events into the recorder
+        assert main([
+            "batch-bench", "--batch", "8", "--bytes", "8",
+            "--baseline-sample", "4", "--repeats", "1", "--telemetry",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "flight-recorder dump written to" in out
+        dump = tmp_path / "flightrec.jsonl"
+        assert dump.exists()
+        assert main(["dump", "--input", str(dump)]) == 0
+        assert "compile" in capsys.readouterr().out
 
 
 class TestFuzzCommand:

@@ -342,3 +342,304 @@ class TestBridges:
         record_activity_report("op1", report, registry=reg)
         assert reg.get("picoga_cell_toggles_total").labels(op="op1").value == 40
         assert reg.get("picoga_activity_factor").labels(op="op1").value == pytest.approx(0.4)
+
+
+# ----------------------------------------------------------------------
+# v2: snapshot deltas, worker merging, lazy family binding
+# ----------------------------------------------------------------------
+class TestSnapshotDelta:
+    def test_counter_and_histogram_deltas(self):
+        from repro.telemetry import snapshot_delta
+
+        reg = MetricsRegistry()
+        c = reg.counter("ops_total", labels=("op",))
+        h = reg.histogram("lat_seconds", buckets=(1.0, 10.0))
+        c.labels(op="a").inc(2)
+        h.observe(0.5)
+        before = reg.snapshot()
+        c.labels(op="a").inc(3)
+        c.labels(op="b").inc()
+        h.observe(5.0)
+        delta = snapshot_delta(before, reg.snapshot())
+        by_labels = {
+            tuple(sorted(s.get("labels", {}).items())): s
+            for s in delta["ops_total"]["samples"]
+        }
+        assert by_labels[(("op", "a"),)]["value"] == 3
+        assert by_labels[(("op", "b"),)]["value"] == 1
+        (hist,) = delta["lat_seconds"]["samples"]
+        assert hist["count"] == 1 and hist["sum"] == pytest.approx(5.0)
+
+    def test_unchanged_families_omitted(self):
+        from repro.telemetry import snapshot_delta
+
+        reg = MetricsRegistry()
+        reg.counter("steady_total").inc(4)
+        before = reg.snapshot()
+        assert snapshot_delta(before, reg.snapshot()) == {}
+
+
+class TestMergeSnapshot:
+    def test_worker_labels_extend_declared_names(self):
+        reg = MetricsRegistry()
+        reg.counter("ops_total", labels=("op",)).labels(op="x").inc(1)
+
+        worker = MetricsRegistry()
+        worker.counter("ops_total", labels=("op",)).labels(op="x").inc(5)
+        reg.merge_snapshot(worker.snapshot(), extra_labels={"worker": "17"})
+
+        samples = reg.snapshot()["ops_total"]["samples"]
+        by_labels = {tuple(sorted(s["labels"].items())): s["value"] for s in samples}
+        assert by_labels[(("op", "x"),)] == 1
+        assert by_labels[(("op", "x"), ("worker", "17"))] == 5
+
+    def test_merge_is_additive_across_calls(self):
+        reg = MetricsRegistry()
+        worker = MetricsRegistry()
+        worker.counter("ops_total").inc(2)
+        snap = worker.snapshot()
+        reg.merge_snapshot(snap, extra_labels={"worker": "1"})
+        reg.merge_snapshot(snap, extra_labels={"worker": "1"})
+        (sample,) = reg.snapshot()["ops_total"]["samples"]
+        assert sample["value"] == 4
+
+    def test_merged_snapshot_round_trips(self):
+        reg = MetricsRegistry()
+        worker = MetricsRegistry()
+        worker.histogram("lat_seconds", buckets=(1.0,)).observe(0.5)
+        reg.merge_snapshot(worker.snapshot(), extra_labels={"worker": "9"})
+        restored = parse_json_lines(to_json_lines(reg))
+        assert restored.snapshot() == reg.snapshot()
+
+
+class TestLazyFamilyBinding:
+    def test_swapped_default_registry_is_observed(self):
+        """Satellite regression: module-level families must not pin the
+        import-time default registry (fixed via ``bind_families``)."""
+        from repro.telemetry import bind_families, set_default_registry
+
+        families = bind_families(lambda reg: {"c": reg.counter("lazy_total")})
+        first = families()["c"]
+        replacement = MetricsRegistry()
+        previous = set_default_registry(replacement)
+        try:
+            second = families()["c"]
+            assert second is not first
+            second.inc(3)
+            assert replacement.get("lazy_total").value == 3
+        finally:
+            set_default_registry(previous)
+        assert families()["c"] is first
+
+    def test_engine_modules_follow_a_registry_swap(self):
+        """The fixed capture sites (batch/backend/cache/...) publish into
+        a registry swapped in *after* import."""
+        from repro.crc import ETHERNET_CRC32
+        from repro.engine.batch import BatchCRC
+        from repro.telemetry import set_default_registry
+
+        replacement = MetricsRegistry()
+        previous = set_default_registry(replacement)
+        try:
+            engine = BatchCRC(ETHERNET_CRC32, 8)
+            engine.compute_batch([b"123456789"])
+            assert replacement.get("engine_batch_calls_total").labels(
+                kernel="crc-lookahead"
+            ).value >= 1
+            assert replacement.get("gf2_backend_ops_total") is not None
+        finally:
+            set_default_registry(previous)
+
+    def test_set_default_registry_type_checked(self):
+        from repro.telemetry import set_default_registry
+
+        with pytest.raises(TypeError):
+            set_default_registry("not a registry")
+
+
+# ----------------------------------------------------------------------
+# Tracing v2: ids, serialization, detached capture
+# ----------------------------------------------------------------------
+class TestSpanIds:
+    def test_children_share_trace_id(self):
+        tr = Tracer(enabled=True)
+        with tr.span("parent") as parent:
+            with tr.span("child") as child:
+                pass
+        assert parent.trace_id and parent.span_id
+        assert child.trace_id == parent.trace_id
+        assert child.parent_id == parent.span_id
+
+    def test_to_dict_from_dict_round_trip(self):
+        from repro.telemetry import Span
+
+        tr = Tracer(enabled=True)
+        with tr.span("outer", key="v") as outer:
+            with tr.span("inner"):
+                pass
+        (root,) = tr.roots()
+        clone = Span.from_dict(root.to_dict())
+        assert clone.to_dict() == root.to_dict()
+        assert clone.children[0].name == "inner"
+
+    def test_capture_is_detached(self):
+        tr = Tracer(enabled=True)
+        with tr.capture("shard", trace_id="t1", parent_id="p1", worker="3") as span:
+            pass
+        assert tr.roots() == []  # detached: never recorded as a root
+        assert span.trace_id == "t1" and span.parent_id == "p1"
+        assert span.attributes["worker"] == "3"
+
+    def test_retrace_rehomes_subtree(self):
+        tr = Tracer(enabled=True)
+        with tr.capture("shard") as span:
+            pass
+        span.retrace("new-trace", parent_id="new-parent")
+        assert span.trace_id == "new-trace"
+        assert span.parent_id == "new-parent"
+
+
+class TestFlightRecorder:
+    def test_ring_bounds_and_sequencing(self):
+        from repro.telemetry import FlightRecorder
+
+        rec = FlightRecorder(capacity=3)
+        for i in range(5):
+            rec.record("tick", f"event {i}")
+        events = rec.events()
+        assert [e["seq"] for e in events] == [3, 4, 5]
+        assert events[-1]["message"] == "event 4"
+
+    def test_cursor_and_since_filter(self):
+        from repro.telemetry import FlightRecorder
+
+        rec = FlightRecorder()
+        rec.record("before")
+        cursor = rec.cursor()
+        rec.record("after", worker="w1")
+        tail = rec.events(since=cursor)
+        assert [e["kind"] for e in tail] == ["after"]
+
+    def test_extend_preserves_worker_attribution(self):
+        from repro.telemetry import FlightRecorder
+
+        parent, child = FlightRecorder(), FlightRecorder()
+        child.record("compile", "worker-side", worker="42")
+        parent.record("dispatch")
+        parent.extend(child.events())
+        events = parent.events()
+        assert events[-1]["worker"] == "42"
+        assert [e["seq"] for e in events] == [1, 2]  # re-sequenced locally
+
+    def test_disabled_is_noop(self):
+        from repro.telemetry import FlightRecorder
+
+        rec = FlightRecorder(enabled=False)
+        rec.record("tick")
+        assert rec.events() == []
+
+    def test_save_load_round_trip(self, tmp_path):
+        from repro.telemetry import FlightRecorder
+
+        rec = FlightRecorder()
+        rec.record("plan", "chose shard-batch", strategy="shard-batch")
+        path = rec.save(tmp_path / "ring.jsonl")
+        events = FlightRecorder.load(path)
+        assert len(events) == 1
+        assert events[0]["kind"] == "plan"
+        assert events[0]["attrs"]["strategy"] == "shard-batch"
+
+    def test_format_events(self):
+        from repro.telemetry import FlightRecorder, format_events
+
+        rec = FlightRecorder()
+        assert format_events(rec.events()) == "(no events recorded)"
+        rec.record("steal", "2 stream(s) migrated", worker="w0", n=2)
+        text = format_events(rec.events())
+        assert "steal" in text and "worker=w0" in text and "n=2" in text
+
+    def test_attach_flight_dump_names_worker(self):
+        from repro.errors import StreamError
+        from repro.telemetry import attach_flight_dump
+
+        exc = StreamError("shard failed")
+        attach_flight_dump(exc, worker="w3", events=[{"seq": 1, "kind": "x"}])
+        dump = exc.context["flight_recorder"]
+        assert dump["worker"] == "w3"
+        assert dump["events"][0]["kind"] == "x"
+
+
+# ----------------------------------------------------------------------
+# Exporters v2: span records, chrome traces
+# ----------------------------------------------------------------------
+class TestSpanExport:
+    def test_spans_embedded_and_parsed(self):
+        from repro.telemetry import parse_spans
+
+        tr = Tracer(enabled=True)
+        with tr.span("outer"):
+            with tr.span("inner"):
+                pass
+        text = to_json_lines(MetricsRegistry(), tracer=tr)
+        (root,) = parse_spans(text)
+        assert root.name == "outer"
+        assert root.children[0].name == "inner"
+        # Metric parsing skips span records without complaint.
+        assert parse_json_lines(text).snapshot() == {}
+
+    def test_v1_snapshots_still_accepted(self):
+        text = '{"schema": "repro-telemetry/1"}\n'
+        assert parse_json_lines(text).snapshot() == {}
+
+    def test_prometheus_renders_worker_extended_labels(self):
+        reg = MetricsRegistry()
+        worker = MetricsRegistry()
+        worker.counter("ops_total", labels=("op",)).labels(op="m").inc(2)
+        reg.merge_snapshot(worker.snapshot(), extra_labels={"worker": "5"})
+        text = render_prometheus(reg)
+        assert 'ops_total{op="m",worker="5"} 2' in text
+
+    def test_escaping_edge_cases_round_trip(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("edge_total", labels=("v",))
+        for value in ('"', "\\", "\n", '\\"', 'a\\n"b'):
+            fam.labels(v=value).inc()
+        restored = parse_json_lines(to_json_lines(reg))
+        assert restored.snapshot() == reg.snapshot()
+        text = render_prometheus(reg)
+        assert r'edge_total{v="\""}' in text
+        assert r'edge_total{v="\\"}' in text
+        assert r'edge_total{v="\n"}' in text
+
+
+class TestChromeTrace:
+    def test_schema_and_worker_lanes(self):
+        from repro.telemetry import spans_to_chrome
+
+        tr = Tracer(enabled=True)
+        with tr.span("dispatch") as parent:
+            with tr.capture("shard", worker="11") as shard:
+                pass
+            shard.retrace(parent.trace_id, parent_id=parent.span_id)
+            parent.children.append(shard)
+        doc = spans_to_chrome(tr.roots())
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        metas = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert {e["name"] for e in xs} == {"dispatch", "shard"}
+        by_name = {e["name"]: e for e in xs}
+        assert by_name["dispatch"]["tid"] == 0
+        assert by_name["shard"]["tid"] == 1
+        lane_names = {e["tid"]: e["args"]["name"] for e in metas}
+        assert lane_names[0] == "main" and lane_names[1] == "worker 11"
+        for e in xs:
+            assert e["pid"] == 1 and e["ts"] >= 0 and e["dur"] >= 0
+
+    def test_render_is_valid_json(self):
+        from repro.telemetry import render_chrome_trace
+
+        tr = Tracer(enabled=True)
+        with tr.span("root"):
+            pass
+        doc = json.loads(render_chrome_trace(tr))
+        assert "traceEvents" in doc

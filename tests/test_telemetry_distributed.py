@@ -1,0 +1,251 @@
+"""Cross-worker distributed tracing — the telemetry v2 acceptance suite.
+
+Drives real worker pools (thread and process mode) and asserts the
+distributed-observability contract end to end:
+
+* a ``batch_crc(auto=True)`` run on a process-backend plan produces ONE
+  merged span tree — ``planner.plan`` through ``pool.dispatch`` down to
+  per-shard ``worker.shard`` spans labeled ``worker=<pid>``;
+* worker-side kernel counters (``gf2_backend_ops_total``) from child
+  processes land in the parent registry snapshot under ``worker=<id>``
+  labels;
+* the span tree exports as schema-valid Chrome trace-event JSON;
+* a crashing shard raises :class:`~repro.errors.StreamError` carrying a
+  flight-recorder dump that names the failed worker and its last events.
+
+Uses the deterministic ``gil-bound-4cpu`` synthetic host profile from
+``conftest.py`` so the planner reliably chooses a reference-backend
+process plan regardless of the machine running the tests.
+"""
+
+import pytest
+
+from repro.dream.system import DreamSystem
+from repro.engine.parallel import WorkerPool
+from repro.engine.planner import Planner, WorkloadDescriptor
+from repro.errors import StreamError
+from repro.telemetry import (
+    FlightRecorder,
+    MetricsRegistry,
+    TraceContext,
+    Tracer,
+    set_default_flight_recorder,
+    set_default_registry,
+    set_default_tracer,
+    spans_to_chrome,
+)
+
+
+def _boom(x):
+    """Module-level crasher (must be picklable for process pools)."""
+    raise RuntimeError(f"kaboom {x}")
+
+
+def _echo(x):
+    """Module-level identity shard function."""
+    return x
+
+
+@pytest.fixture
+def fresh_defaults():
+    """Swap in fresh default registry/tracer/recorder; restore after."""
+    registry = MetricsRegistry()
+    tracer = Tracer(enabled=True)
+    recorder = FlightRecorder()
+    prev_reg = set_default_registry(registry)
+    prev_tr = set_default_tracer(tracer)
+    prev_rec = set_default_flight_recorder(recorder)
+    yield registry, tracer, recorder
+    set_default_registry(prev_reg)
+    set_default_tracer(prev_tr)
+    set_default_flight_recorder(prev_rec)
+
+
+def _run_auto_batch(host_profiles, tracer):
+    """One planner-chosen process-mode batch CRC run under an outer span."""
+    planner = Planner(host_profiles["gil-bound-4cpu"])
+    workload = WorkloadDescriptor(
+        kind="crc-batch", standard="CRC-32", message_bits=1 << 17, batch=64
+    )
+    system = DreamSystem()
+    with tracer.span("run"):
+        engine = system.batch_crc(
+            "CRC-32", auto=True, planner=planner, workload=workload
+        )
+        assert engine.mode == "process" and engine.workers >= 2
+        messages = [bytes([i % 256] * 128) for i in range(8)]
+        results = engine.compute_batch(messages)
+    engine.close()
+    return engine, results
+
+
+def _find(span, name):
+    """Depth-first search for the first span with the given name."""
+    if span.name == name:
+        return span
+    for child in span.children:
+        found = _find(child, name)
+        if found is not None:
+            return found
+    return None
+
+
+class TestDistributedSpanTree:
+    def test_auto_batch_crc_produces_one_merged_tree(
+        self, fresh_defaults, host_profiles
+    ):
+        registry, tracer, recorder = fresh_defaults
+        engine, results = _run_auto_batch(host_profiles, tracer)
+
+        from repro.engine.batch import BatchCRC
+
+        serial = BatchCRC(engine.spec, engine.M)
+        assert results == serial.compute_batch(
+            [bytes([i % 256] * 128) for i in range(8)]
+        )
+
+        (root,) = tracer.roots()  # ONE tree under the outer span
+        plan_span = _find(root, "planner.plan")
+        dispatch = _find(root, "pool.dispatch")
+        assert plan_span is not None and dispatch is not None
+        assert dispatch.attributes["mode"] == "process"
+
+        shards = [c for c in dispatch.children if c.name == "worker.shard"]
+        assert len(shards) == engine.workers >= 2
+        workers = {s.attributes["worker"] for s in shards}
+        assert len(workers) >= 2  # distinct child processes
+        for shard in shards:
+            assert shard.trace_id == dispatch.trace_id
+            assert shard.parent_id == dispatch.span_id
+
+    def test_worker_counters_merge_into_parent_registry(
+        self, fresh_defaults, host_profiles
+    ):
+        registry, tracer, recorder = fresh_defaults
+        _run_auto_batch(host_profiles, tracer)
+        samples = registry.snapshot()["gf2_backend_ops_total"]["samples"]
+        worker_samples = [s for s in samples if "worker" in s["labels"]]
+        assert len({s["labels"]["worker"] for s in worker_samples}) >= 2
+        for sample in worker_samples:
+            assert sample["labels"]["backend"] == "reference"
+            assert sample["value"] > 0
+
+    def test_phase_histograms_populated(self, fresh_defaults, host_profiles):
+        registry, tracer, recorder = fresh_defaults
+        _run_auto_batch(host_profiles, tracer)
+        samples = registry.snapshot()["engine_phase_seconds"]["samples"]
+        phases = {s["labels"]["phase"] for s in samples if s["count"] > 0}
+        assert {"compile", "dispatch", "shard-execute"} <= phases
+
+    def test_chrome_export_is_schema_valid(self, fresh_defaults, host_profiles):
+        registry, tracer, recorder = fresh_defaults
+        _run_auto_batch(host_profiles, tracer)
+        doc = spans_to_chrome(tracer.roots())
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        metas = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        for event in xs:
+            assert {"name", "cat", "ph", "ts", "dur", "pid", "tid", "args"} <= set(event)
+            assert event["ts"] >= 0 and event["dur"] >= 0
+        # One lane per distinct worker plus the parent lane, all labeled.
+        lanes = {e["tid"] for e in xs}
+        labeled = {e["tid"] for e in metas}
+        assert lanes <= labeled
+        shard_lanes = {
+            e["tid"] for e in xs if e["name"] == "worker.shard"
+        }
+        assert 0 not in shard_lanes and len(shard_lanes) >= 2
+
+    def test_flight_recorder_saw_plan_and_dispatch(
+        self, fresh_defaults, host_profiles
+    ):
+        registry, tracer, recorder = fresh_defaults
+        _run_auto_batch(host_profiles, tracer)
+        kinds = {e["kind"] for e in recorder.events()}
+        assert {"plan", "dispatch"} <= kinds
+
+
+class TestTraceContext:
+    def test_round_trip(self):
+        ctx = TraceContext(
+            trace_id="t", span_id="s", metrics=True, spans=True, events=False
+        )
+        assert TraceContext.from_dict(ctx.to_dict()) == ctx
+        assert ctx.active
+
+    def test_thread_mode_disables_metric_shipping(self, fresh_defaults):
+        """Threads share the parent registry; shipping a delta back would
+        double-count, so remote=False captures spans only."""
+        registry, tracer, recorder = fresh_defaults
+        ctx = TraceContext.capture(remote=False)
+        assert ctx.spans and not ctx.metrics and not ctx.events
+        remote = TraceContext.capture(remote=True)
+        assert remote.metrics and remote.spans and remote.events
+
+    def test_thread_pool_does_not_double_count(self, fresh_defaults):
+        registry, tracer, recorder = fresh_defaults
+        counter = registry.counter("thread_work_total")
+
+        def work(x):
+            counter.inc()
+            return x
+
+        with WorkerPool(2, mode="thread") as pool:
+            assert sorted(pool.run(work, [(i,) for i in range(4)])) == [0, 1, 2, 3]
+        assert registry.get("thread_work_total").value == 4
+        samples = registry.snapshot()["thread_work_total"]["samples"]
+        assert all("worker" not in s.get("labels", {}) for s in samples)
+
+
+class TestCrashContainment:
+    def test_process_crash_dump_names_worker(self, fresh_defaults):
+        registry, tracer, recorder = fresh_defaults
+        with WorkerPool(2, mode="process") as pool:
+            with pytest.raises(StreamError) as excinfo:
+                pool.run(_boom, [(1,), (2,)])
+        exc = excinfo.value
+        assert "worker" in str(exc)
+        dump = exc.context["flight_recorder"]
+        assert dump["worker"]  # names the failed worker (its pid)
+        assert str(dump["worker"]) in str(exc)
+        crash_events = [
+            e for e in dump["events"] if e["kind"] == "worker-crash"
+        ]
+        assert crash_events and "kaboom" in crash_events[-1]["message"]
+        assert isinstance(exc.__cause__, RuntimeError)
+
+    def test_thread_crash_dump_names_worker(self, fresh_defaults):
+        registry, tracer, recorder = fresh_defaults
+        with WorkerPool(2, mode="thread") as pool:
+            with pytest.raises(StreamError) as excinfo:
+                pool.run(_boom, [(1,), (2,)])
+        dump = excinfo.value.context["flight_recorder"]
+        assert dump["worker"]
+        assert any(e["kind"] == "worker-crash" for e in dump["events"])
+
+    def test_healthy_run_attaches_nothing(self, fresh_defaults):
+        registry, tracer, recorder = fresh_defaults
+        with WorkerPool(2, mode="process") as pool:
+            assert sorted(pool.run(_echo, [(i,) for i in range(3)])) == [0, 1, 2]
+
+
+class TestDisabledTelemetryFastPath:
+    def test_all_off_runs_raw_functions(self):
+        """With registry, tracer and recorder all disabled the pool submits
+        the raw shard function — no wrapper, no context, no payloads."""
+        registry = MetricsRegistry(enabled=False)
+        tracer = Tracer(enabled=False)
+        recorder = FlightRecorder(enabled=False)
+        prev_reg = set_default_registry(registry)
+        prev_tr = set_default_tracer(tracer)
+        prev_rec = set_default_flight_recorder(recorder)
+        try:
+            with WorkerPool(2, mode="thread") as pool:
+                assert sorted(pool.run(_echo, [(i,) for i in range(4)])) == [0, 1, 2, 3]
+            assert registry.snapshot() == {}
+            assert tracer.roots() == []
+            assert recorder.events() == []
+        finally:
+            set_default_registry(prev_reg)
+            set_default_tracer(prev_tr)
+            set_default_flight_recorder(prev_rec)
