@@ -26,6 +26,14 @@ Commands
     Dump the telemetry registry as JSON, JSON lines, Prometheus text or
     a Chrome trace (``--format chrome``); ``--spans`` prints the
     recorded span tree instead.
+``serve``
+    Run the async digest server: many client connections multiplexed
+    onto one shared sharded pipeline (planner-sized unless ``-m`` /
+    ``--workers`` pin the shape); SIGTERM drains gracefully.
+``loadgen``
+    Replay an IMIX frame-size mix against a running server and report
+    msgs/s + p50/p99 latency, verifying every digest against a serial
+    oracle (``--min-msgs-per-s`` turns it into a gate).
 ``dump``
     Print the flight-recorder event ring (live, or a dump saved by an
     earlier ``--telemetry`` run).
@@ -469,6 +477,82 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import os
+
+    from repro.serve import ReproServer
+    from repro.telemetry.export import TELEMETRY_PATH_ENV
+    from repro.telemetry.flightrec import FLIGHTREC_PATH_ENV
+
+    spec = get(args.standard)
+    telemetry_path = args.telemetry_snapshot or os.environ.get(TELEMETRY_PATH_ENV)
+    flightrec_path = args.flight_dump or os.environ.get(FLIGHTREC_PATH_ENV)
+    server = ReproServer(
+        spec,
+        M=args.m,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        auto=not args.no_auto,
+        drain_timeout_s=args.drain_timeout,
+        telemetry_path=telemetry_path,
+        flightrec_path=flightrec_path,
+    )
+
+    async def run_server() -> None:
+        await server.start()
+        print(
+            f"serving {spec.name} on {server.host}:{server.port} "
+            f"(M={server.pipeline.M}, workers={server.pipeline.workers}) — "
+            f"SIGTERM drains gracefully",
+            flush=True,
+        )
+        server.install_signal_handlers()
+        if args.drain_after is not None:
+            await asyncio.sleep(args.drain_after)
+            server.request_drain()
+        await server.serve_until_closed()
+        print(
+            f"drained: {server.counters['digests_total']} digests served, "
+            f"{server.counters['protocol_errors_total']} protocol errors",
+            flush=True,
+        )
+
+    asyncio.run(run_server())
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+    import json as _json
+
+    from repro.serve import run_loadgen
+
+    report = asyncio.run(run_loadgen(
+        args.host,
+        args.port,
+        duration_s=args.duration,
+        connections=args.connections,
+        seed=args.seed,
+        chunk_bytes=args.chunk_bytes,
+    ))
+    for line in report.describe():
+        print(line)
+    if args.json:
+        with open(args.json, "w") as handle:
+            _json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        print(f"report written to {args.json}")
+    healthy = report.errors == 0 and report.digest_mismatches == 0
+    if args.min_msgs_per_s is not None and report.msgs_per_s < args.min_msgs_per_s:
+        print(
+            f"FAIL: {report.msgs_per_s:,.0f} msgs/s below the "
+            f"{args.min_msgs_per_s:,.0f} msgs/s floor"
+        )
+        healthy = False
+    return 0 if healthy else 1
+
+
 def _run_with_telemetry(args: argparse.Namespace) -> int:
     """Enable metrics + tracing + flight recording, run the command, print
     the span tree and persist the snapshot and event ring for later
@@ -660,6 +744,51 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--input", help="metrics snapshot to read "
                    "(default: $REPRO_TELEMETRY_PATH or .repro-telemetry.jsonl)")
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser(
+        "serve", help="run the async digest server (repro.serve front door)"
+    )
+    p.add_argument("--standard", default="CRC-32")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7326,
+                   help="listen port (0 = ephemeral)")
+    p.add_argument("-m", "--m", type=int, default=None,
+                   help="pin the look-ahead factor (default: planner picks)")
+    p.add_argument("--workers", default=None, metavar="N",
+                   help="pipeline shards; 'auto' = cpu count "
+                   "(default: planner picks)")
+    p.add_argument("--no-auto", action="store_true",
+                   help="skip the planner; use M=32 unless -m is given")
+    p.add_argument("--drain-timeout", type=float, default=30.0,
+                   help="seconds to wait for open streams on drain")
+    p.add_argument("--drain-after", type=float, default=None, metavar="S",
+                   help="self-drain after S seconds (CI smoke runs)")
+    p.add_argument("--telemetry-snapshot", default=None, metavar="PATH",
+                   help="write a metrics snapshot here on drain "
+                        "(default: $REPRO_TELEMETRY_PATH if set)")
+    p.add_argument("--flight-dump", default=None, metavar="PATH",
+                   help="write the flight-recorder ring here on drain "
+                        "(default: $REPRO_FLIGHTREC_PATH if set)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "loadgen", help="replay an IMIX frame mix against a running server"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7326)
+    p.add_argument("--duration", type=float, default=5.0,
+                   help="seconds of sustained load")
+    p.add_argument("--connections", type=int, default=4,
+                   help="concurrent client connections")
+    p.add_argument("--seed", type=int, default=0,
+                   help="message-population seed (reproducible)")
+    p.add_argument("--chunk-bytes", type=int, default=0,
+                   help="split each message into feeds of this size")
+    p.add_argument("--min-msgs-per-s", type=float, default=None,
+                   help="exit 1 if the sustained rate falls below this floor")
+    p.add_argument("--json", metavar="PATH",
+                   help="write the machine-readable report to PATH")
+    p.set_defaults(func=cmd_loadgen)
 
     p = sub.add_parser("dump", help="print the flight-recorder event ring")
     p.add_argument("--format", choices=("text", "json"), default="text")

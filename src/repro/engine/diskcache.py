@@ -20,11 +20,15 @@ Design constraints, in order:
 * **Atomic writes** — entries are written to a same-directory temp file
   and published with :func:`os.replace`, so readers never observe a
   half-written pickle even when many workers store concurrently.
-* **Corruption tolerance** — a truncated, garbled, or version-skewed
-  entry is treated as a miss: the loader counts it on the
-  ``engine_disk_cache_ops_total{result="corrupt"}`` counter, deletes the
-  bad file best-effort, and lets the caller recompile.  The disk layer
-  can therefore never make a result wrong, only slower.
+* **Corruption tolerance, not error blindness** — a truncated, garbled,
+  or version-skewed entry is treated as a miss: the loader counts it on
+  the ``engine_disk_cache_ops_total{result="corrupt"}`` counter, deletes
+  the bad file best-effort, and lets the caller recompile.  The disk
+  layer can therefore never make a result wrong, only slower.  But the
+  handlers are narrowed to genuine corruption shapes: resource
+  exhaustion propagates, and a store that fails with a disk-level errno
+  (``ENOSPC`` / ``EDQUOT`` / ``EROFS``) re-raises instead of silently
+  turning every future warm start cold (:data:`FATAL_STORE_ERRNOS`).
 
 The directory is resolved from the explicit ``root`` argument, else the
 ``REPRO_CACHE_DIR`` environment variable (see :func:`default_cache_dir`);
@@ -35,6 +39,7 @@ variable warm every engine built afterwards.
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import os
 import pickle
@@ -63,6 +68,42 @@ _METRICS = bind_families(lambda reg: {
         labels=("result",),
     ),
 })
+
+#: Exception types that mean "this entry's bytes are garbage" — the only
+#: failures :meth:`DiskCompileCache.load` may degrade to a miss.  A bare
+#: ``except Exception`` here used to also swallow resource-exhaustion
+#: failures (``MemoryError``-adjacent, ``OSError``) that have nothing to
+#: do with entry corruption and must surface.
+_CORRUPTION_ERRORS = (
+    pickle.UnpicklingError,
+    EOFError,
+    ValueError,          # covers our own envelope-key mismatch
+    KeyError,
+    IndexError,
+    TypeError,
+    AttributeError,
+    ImportError,         # artifact class moved/renamed between versions
+    UnicodeDecodeError,
+)
+
+#: Exception types that mean "this value cannot be pickled" — the only
+#: failures :meth:`DiskCompileCache.store` may degrade to a silent skip.
+_UNPICKLABLE_ERRORS = (pickle.PicklingError, TypeError, AttributeError, ValueError)
+
+#: ``OSError`` errnos that indicate the disk itself failed rather than a
+#: transient per-entry problem: full disk, exceeded quota, read-only
+#: remount.  These re-raise from :meth:`DiskCompileCache.store` — a cache
+#: that silently stops persisting on a full disk turns every warm start
+#: cold with no visible cause.
+FATAL_STORE_ERRNOS = frozenset(
+    errno_value
+    for errno_value in (
+        errno.ENOSPC,
+        getattr(errno, "EDQUOT", None),
+        errno.EROFS,
+    )
+    if errno_value is not None
+)
 
 
 class DiskCacheStats:
@@ -193,7 +234,10 @@ class DiskCompileCache:
 
         A hit requires the envelope to unpickle cleanly *and* carry the
         exact key string requested — anything else deletes the entry
-        (best-effort) and reports ``(False, None)``.
+        (best-effort) and reports ``(False, None)``.  Only genuine
+        corruption shapes (:data:`_CORRUPTION_ERRORS`) are degraded;
+        resource-exhaustion failures (``MemoryError``, ``OSError`` out
+        of the unpickler) propagate to the caller.
         """
         path = self.path_for(key)
         try:
@@ -209,7 +253,7 @@ class DiskCompileCache:
             stored_key, value = envelope
             if stored_key != cache_key_string(key, self._version):
                 raise ValueError("envelope key mismatch")
-        except Exception:
+        except _CORRUPTION_ERRORS:
             # Truncated write, garbage bytes, or a foreign/renamed file:
             # drop it so the next store rewrites a clean entry.
             self.stats.record("corrupt")
@@ -228,12 +272,19 @@ class DiskCompileCache:
         :func:`os.replace` stays on one filesystem and is atomic; a
         concurrent store of the same key simply publishes last-writer-wins
         with both writers having produced identical content.
+
+        Transient per-entry failures stay soft (counted on ``errors``,
+        ``None`` returned), but a disk-level failure — full disk /
+        exceeded quota / read-only filesystem, see
+        :data:`FATAL_STORE_ERRNOS` — re-raises after cleanup: silently
+        dropping every store on a full disk would turn warm starts cold
+        with no visible cause.
         """
         path = self.path_for(key)
         envelope = (cache_key_string(key, self._version), value)
         try:
             payload = pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
-        except Exception:
+        except _UNPICKLABLE_ERRORS:
             self.stats.record("errors")
             return None
         tmp_fd = None
@@ -247,7 +298,7 @@ class DiskCompileCache:
                 handle.write(payload)
             os.replace(tmp_name, path)
             tmp_name = None
-        except OSError:
+        except OSError as exc:
             self.stats.record("errors")
             if tmp_fd is not None:
                 try:
@@ -259,6 +310,8 @@ class DiskCompileCache:
                     os.unlink(tmp_name)
                 except OSError:
                     pass
+            if exc.errno in FATAL_STORE_ERRNOS:
+                raise
             return None
         self.stats.record("stores")
         return path

@@ -328,6 +328,13 @@ class WorkerPool:
     worker-side failure — including a worker process dying mid-task
     (``BrokenProcessPool``) — into :class:`~repro.errors.StreamError`,
     so callers block on results, never on a wedged queue.
+
+    Lifecycle contract (the ``repro.serve`` drain path leans on this):
+    :meth:`close` is idempotent and thread-safe — double-close, close
+    from two threads, and close while shards are in flight all raise
+    nothing and never hang (in-flight shards complete; a dispatch that
+    loses the race surfaces as a contained
+    :class:`~repro.errors.StreamError`, never a wedged queue).
     """
 
     def __init__(
@@ -344,6 +351,10 @@ class WorkerPool:
         self._mode = mode
         self._cache_dir = cache_dir
         self._executor: Optional[Executor] = None
+        # Guards executor creation/teardown so close() racing _ensure()
+        # (or another close()) can neither leak an executor nor double-
+        # decrement the worker-slot gauge.
+        self._lifecycle_lock = threading.Lock()
 
     @property
     def workers(self) -> int:
@@ -361,21 +372,22 @@ class WorkerPool:
         return self._executor is not None
 
     def _ensure(self) -> Executor:
-        if self._executor is None:
-            if self._mode == "thread":
-                self._executor = ThreadPoolExecutor(
-                    max_workers=self._workers,
-                    thread_name_prefix="repro-shard",
-                )
-            else:
-                self._executor = ProcessPoolExecutor(
-                    max_workers=self._workers,
-                    initializer=_proc_initializer,
-                    initargs=(self._cache_dir,),
-                )
-            if default_registry().enabled:
-                _METRICS()["workers"].labels(mode=self._mode).inc(self._workers)
-        return self._executor
+        with self._lifecycle_lock:
+            if self._executor is None:
+                if self._mode == "thread":
+                    self._executor = ThreadPoolExecutor(
+                        max_workers=self._workers,
+                        thread_name_prefix="repro-shard",
+                    )
+                else:
+                    self._executor = ProcessPoolExecutor(
+                        max_workers=self._workers,
+                        initializer=_proc_initializer,
+                        initargs=(self._cache_dir,),
+                    )
+                if default_registry().enabled:
+                    _METRICS()["workers"].labels(mode=self._mode).inc(self._workers)
+            return self._executor
 
     def _thread_wrapper(self, ctx: TraceContext, shard: int, fn):
         """The thread-mode shard harness: spans + crash events in place.
@@ -447,28 +459,40 @@ class WorkerPool:
                 else None
             )
             futures = []
-            for shard, args in enumerate(shard_args):
-                if telemetry:
-                    metrics["busy"].labels(mode=self._mode).inc()
-                if ctx is not None and remote:
-                    future = executor.submit(
-                        _ctx_shard_call, ctx.to_dict(), shard, fn, tuple(args)
-                    )
-                elif ctx is not None:
-                    future = executor.submit(
-                        self._thread_wrapper(ctx, shard, fn), *args
-                    )
-                else:
-                    future = executor.submit(fn, *args)
-                if telemetry:
-                    future.add_done_callback(
-                        lambda _f: _METRICS()["busy"].labels(mode=self._mode).dec()
-                    )
-                futures.append(future)
             results = []
             error: Optional[BaseException] = None
             failed_worker = ""
             failure_events: Optional[List[dict]] = None
+            for shard, args in enumerate(shard_args):
+                try:
+                    if ctx is not None and remote:
+                        future = executor.submit(
+                            _ctx_shard_call, ctx.to_dict(), shard, fn, tuple(args)
+                        )
+                    elif ctx is not None:
+                        future = executor.submit(
+                            self._thread_wrapper(ctx, shard, fn), *args
+                        )
+                    else:
+                        future = executor.submit(fn, *args)
+                except RuntimeError as exc:
+                    # A concurrent close() shut this executor down between
+                    # _ensure() and submit.  Shards already submitted run
+                    # to completion (shutdown waits for them); the rest of
+                    # the dispatch is abandoned and the call surfaces as a
+                    # contained StreamError below — never a hang.
+                    error = StreamError(
+                        f"worker pool closed during dispatch ({exc})"
+                    )
+                    break
+                # Busy accounting only after the submit succeeded, so a
+                # lost close/dispatch race can't strand the gauge high.
+                if telemetry:
+                    metrics["busy"].labels(mode=self._mode).inc()
+                    future.add_done_callback(
+                        lambda _f: _METRICS()["busy"].labels(mode=self._mode).dec()
+                    )
+                futures.append(future)
             for future in futures:
                 if error is not None:
                     future.cancel()
@@ -532,12 +556,22 @@ class WorkerPool:
             )
 
     def close(self) -> None:
-        """Shut the executor down (idempotent); pending work completes."""
-        if self._executor is not None:
+        """Shut the executor down; pending work completes.
+
+        Idempotent and thread-safe: the executor handle is atomically
+        detached under the lifecycle lock (so exactly one closer
+        decrements the slot gauge and shuts it down), and the blocking
+        ``shutdown(wait=True)`` happens outside the lock so a concurrent
+        second close — or a concurrent :meth:`run` — can never deadlock
+        against it.  A later :meth:`run` lazily restarts the pool.
+        """
+        with self._lifecycle_lock:
+            executor, self._executor = self._executor, None
+            if executor is None:
+                return
             if default_registry().enabled:
                 _METRICS()["workers"].labels(mode=self._mode).dec(self._workers)
-            self._executor.shutdown(wait=True)
-            self._executor = None
+        executor.shutdown(wait=True)
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -1056,6 +1090,14 @@ class ShardedCRCPipeline:
     bit-exact against it under any delivery schedule, including
     mid-stream aborts (the ``parallel:workers1-vs-workersN`` fuzz oracle
     drives exactly that).
+
+    Every public mutator is serialized on one re-entrant lock, so
+    concurrent callers (the ``repro.serve`` event loop feeding while a
+    pump or rebalance runs on an executor thread) can never observe a
+    stream mid-migration or a half-advanced shard.  :meth:`close` is
+    idempotent and thread-safe; after close, open streams stay intact
+    and every call still computes bit-exact results — pumps simply run
+    serially instead of re-spawning the worker pool.
     """
 
     def __init__(
@@ -1090,6 +1132,11 @@ class ShardedCRCPipeline:
         )
         self._spec = spec
         self._M = M
+        # Serializes open/feed/pump/rebalance/finalize/abort/close so the
+        # pipeline is safe to drive from multiple threads (the serve
+        # layer pumps on an executor thread while connections feed).
+        self._lock = threading.RLock()
+        self._closed = False
 
     # ------------------------------------------------------------------
     @property
@@ -1127,16 +1174,34 @@ class ShardedCRCPipeline:
 
     def pending_bits(self, stream_id: Optional[Hashable] = None) -> int:
         """Buffered input bits awaiting processing (one stream or all)."""
-        if stream_id is not None:
-            return self._shard_of(stream_id).pending_bits(stream_id)
-        return sum(s.pending_bits() for s in self._shards)
+        with self._lock:
+            if stream_id is not None:
+                return self._shard_of(stream_id).pending_bits(stream_id)
+            return sum(s.pending_bits() for s in self._shards)
 
     def shard_pending(self) -> List[int]:
         """Per-shard pending-bits gauges (the scheduler's lag signal)."""
-        return [s.pending_bits() for s in self._shards]
+        with self._lock:
+            return [s.pending_bits() for s in self._shards]
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (streams stay usable serially)."""
+        return self._closed
 
     def close(self) -> None:
-        """Release pool workers (open streams stay intact)."""
+        """Release pool workers (open streams stay intact).
+
+        Idempotent and thread-safe; callable at any time, including with
+        a pump in flight on another thread (the pool waits for in-flight
+        shards, never hangs).  Afterwards, feeds/finalizes still work and
+        stay bit-exact — pump rounds just run serially, and the worker
+        pool is *not* lazily re-spawned.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
         if self._pool is not None:
             self._pool.close()
 
@@ -1162,31 +1227,38 @@ class ShardedCRCPipeline:
         register: Optional[int] = None,
     ) -> Hashable:
         """Open a stream on the least-loaded shard; returns its id."""
-        if stream_id is None:
-            stream_id = f"shard-auto-{next(self._auto_ids)}"
-        if stream_id in self._home:
-            raise StreamError(f"stream {stream_id!r} is already open")
-        shard = self._scheduler.assign(self.shard_pending())
-        self._shards[shard].open(stream_id=stream_id, register=register)
-        self._home[stream_id] = shard
-        return stream_id
+        with self._lock:
+            if stream_id is None:
+                stream_id = f"shard-auto-{next(self._auto_ids)}"
+            if stream_id in self._home:
+                raise StreamError(f"stream {stream_id!r} is already open")
+            shard = self._scheduler.assign(self.shard_pending())
+            self._shards[shard].open(stream_id=stream_id, register=register)
+            self._home[stream_id] = shard
+            return stream_id
 
     def feed(self, stream_id: Hashable, data: bytes, pump: bool = True) -> None:
         """Append message bytes to a stream (chunked calls compose)."""
-        self._shard_of(stream_id).feed(stream_id, data, pump=False)
-        if pump:
-            self.pump()
+        with self._lock:
+            self._shard_of(stream_id).feed(stream_id, data, pump=False)
+            if pump:
+                self.pump()
 
     def feed_bits(
         self, stream_id: Hashable, bits: Sequence[int], pump: bool = True
     ) -> None:
         """Append raw message bits to a stream (chunked calls compose)."""
-        self._shard_of(stream_id).feed_bits(stream_id, bits, pump=False)
-        if pump:
-            self.pump()
+        with self._lock:
+            self._shard_of(stream_id).feed_bits(stream_id, bits, pump=False)
+            if pump:
+                self.pump()
 
     def rebalance(self) -> int:
         """Steal streams from lagging shards; returns migrations made."""
+        with self._lock:
+            return self._rebalance_locked()
+
+    def _rebalance_locked(self) -> int:
         if self._workers < 2:
             return 0
         stream_bits: List[Dict[Hashable, int]] = []
@@ -1221,29 +1293,34 @@ class ShardedCRCPipeline:
         """Rebalance, then advance every backlogged shard concurrently.
 
         Returns the total number of M-bit blocks processed across shards.
+        After :meth:`close`, pump rounds run serially (same results, no
+        pool re-spawn).
         """
-        self.rebalance()
-        busy = [s for s in self._shards if s.pending_bits() >= self._M]
-        if not busy:
-            return 0
-        if self._pool is None or len(busy) == 1:
-            return sum(s.pump() for s in busy)
-        _observe_shards(
-            "crc-pipeline",
-            [s.stream_count for s in busy],
-            [s.pending_bits() for s in busy],
-        )
-        return sum(self._pool.run(CRCPipeline.pump, [(s,) for s in busy]))
+        with self._lock:
+            self._rebalance_locked()
+            busy = [s for s in self._shards if s.pending_bits() >= self._M]
+            if not busy:
+                return 0
+            if self._pool is None or self._closed or len(busy) == 1:
+                return sum(s.pump() for s in busy)
+            _observe_shards(
+                "crc-pipeline",
+                [s.stream_count for s in busy],
+                [s.pending_bits() for s in busy],
+            )
+            return sum(self._pool.run(CRCPipeline.pump, [(s,) for s in busy]))
 
     def finalize(self, stream_id: Hashable) -> int:
         """Drain the stream's shard and return the stream's CRC."""
-        shard = self._shard_of(stream_id)
-        crc = shard.finalize(stream_id)
-        del self._home[stream_id]
-        return crc
+        with self._lock:
+            shard = self._shard_of(stream_id)
+            crc = shard.finalize(stream_id)
+            del self._home[stream_id]
+            return crc
 
     def abort(self, stream_id: Hashable) -> None:
         """Drop a stream without computing its CRC."""
-        shard = self._shard_of(stream_id)
-        shard.abort(stream_id)
-        del self._home[stream_id]
+        with self._lock:
+            shard = self._shard_of(stream_id)
+            shard.abort(stream_id)
+            del self._home[stream_id]

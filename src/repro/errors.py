@@ -72,8 +72,15 @@ class CompileError(ReproError, RuntimeError):
     netlist) could not be compiled for the requested ``(spec, M, method)``."""
 
 
+class ProtocolError(ReproError, ValueError):
+    """A ``repro.serve`` wire frame is malformed: bad length prefix,
+    oversized frame, non-JSON header, unknown verb, or a binary payload
+    that disagrees with its declared length."""
+
+
 __all__ = [
     "CompileError",
+    "ProtocolError",
     "ReproError",
     "SpecError",
     "StreamError",

@@ -1,0 +1,172 @@
+""":class:`ServeClient` — the asyncio client for the ``repro.serve`` protocol.
+
+A thin, honest mapping of the wire verbs onto coroutines: one method per
+verb, errors from the server re-raised as the matching
+:mod:`repro.errors` class (the ``code`` field selects it), and the
+server's hello recorded so callers can discover the standard, digest
+width and pipeline shape they connected to.  The load generator and the
+test suite both drive the server exclusively through this class, so it
+doubles as the protocol's reference client.
+
+The client is a single-connection, single-caller object: requests and
+responses strictly alternate on the one TCP stream (the protocol has no
+request ids to correlate pipelined replies).  Open several clients for
+concurrency — that is exactly what the server's multiplexing is for.
+
+>>> # doctest-style sketch (the real round-trip needs a running server):
+>>> # async with await ServeClient.connect("127.0.0.1", port) as client:
+>>> #     sid = await client.open_stream()
+>>> #     await client.feed(sid, b"123456789")
+>>> #     digest = await client.read_digest(sid)
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional, Type
+
+from repro.errors import ProtocolError, ReproError, StreamError, ValidationError
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    read_frame,
+    write_frame,
+)
+
+#: Wire error code -> exception class raised client-side.
+ERROR_CLASSES = {
+    "protocol": ProtocolError,
+    "stream": StreamError,
+    "validation": ValidationError,
+    "draining": StreamError,
+    "internal": ReproError,
+}
+
+
+class ServeClient:
+    """One connection to a :class:`~repro.serve.server.ReproServer`.
+
+    Build with :meth:`connect`; use as an async context manager (or call
+    :meth:`aclose`).  Attributes :attr:`standard`, :attr:`width`,
+    :attr:`M` and :attr:`workers` are filled from the server hello.
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        hello: dict,
+        max_frame: int = MAX_FRAME_BYTES,
+    ):
+        self._reader = reader
+        self._writer = writer
+        self._max_frame = max_frame
+        self.hello = hello
+        self.standard: str = hello.get("standard", "")
+        self.width: int = hello.get("width", 0)
+        self.M: int = hello.get("M", 0)
+        self.workers: int = hello.get("workers", 0)
+        #: pipeline-wide pending bits reported by the last feed ack — the
+        #: client-visible backpressure signal.
+        self.last_pending_bits: int = 0
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        max_frame: int = MAX_FRAME_BYTES,
+    ) -> "ServeClient":
+        """Open a connection and consume the server hello."""
+        reader, writer = await asyncio.open_connection(host, port)
+        hello, _ = await read_frame(reader, max_frame)
+        if hello.get("op") != "hello" or not hello.get("ok"):
+            writer.close()
+            raise ProtocolError(f"expected server hello, got {hello!r}")
+        version = hello.get("version")
+        if version != PROTOCOL_VERSION:
+            writer.close()
+            raise ProtocolError(
+                f"server speaks protocol version {version!r}, "
+                f"client speaks {PROTOCOL_VERSION}"
+            )
+        return cls(reader, writer, hello, max_frame)
+
+    # ------------------------------------------------------------------
+    async def _request(self, header: dict, payload: bytes = b"") -> dict:
+        """One request/response round trip; raises on error responses."""
+        await write_frame(self._writer, header, payload)
+        response, _ = await read_frame(self._reader, self._max_frame)
+        if not response.get("ok"):
+            code = response.get("code", "internal")
+            exc_class: Type[ReproError] = ERROR_CLASSES.get(code, ReproError)
+            exc = exc_class(response.get("error", f"server error ({code})"))
+            exc.code = code  # surface the wire code for callers that branch
+            raise exc
+        return response
+
+    async def open_stream(
+        self,
+        stream_id: Optional[str] = None,
+        register: Optional[int] = None,
+    ) -> str:
+        """Open a stream (server assigns an id if none given)."""
+        header = {"op": "open-stream"}
+        if stream_id is not None:
+            header["id"] = stream_id
+        if register is not None:
+            header["register"] = register
+        response = await self._request(header)
+        return response["id"]
+
+    async def feed(self, stream_id: str, data: bytes) -> int:
+        """Append message bytes; returns the server's pending-bits gauge.
+
+        Chunked calls compose — chunk boundaries are invisible to the
+        digest, so callers may split a message any way they like.
+        """
+        response = await self._request(
+            {"op": "feed-chunk", "id": stream_id}, payload=data
+        )
+        self.last_pending_bits = response.get("pending_bits", 0)
+        return self.last_pending_bits
+
+    async def read_digest(self, stream_id: str) -> int:
+        """Finalize the stream and return its digest (closes the stream)."""
+        response = await self._request({"op": "read-digest", "id": stream_id})
+        return response["digest"]
+
+    async def close_stream(self, stream_id: str) -> None:
+        """Abort a stream without computing a digest."""
+        await self._request({"op": "close-stream", "id": stream_id})
+
+    async def stats(self) -> dict:
+        """The server's state snapshot (see the ``stats`` verb)."""
+        return await self._request({"op": "stats"})
+
+    async def compute(self, data: bytes, chunk_bytes: int = 0) -> int:
+        """Convenience: open, feed (optionally chunked), read digest."""
+        stream_id = await self.open_stream()
+        if chunk_bytes and chunk_bytes > 0:
+            for start in range(0, len(data), chunk_bytes):
+                await self.feed(stream_id, data[start:start + chunk_bytes])
+            if not data:
+                await self.feed(stream_id, b"")
+        else:
+            await self.feed(stream_id, data)
+        return await self.read_digest(stream_id)
+
+    # ------------------------------------------------------------------
+    async def aclose(self) -> None:
+        """Close the connection (server aborts any streams left open)."""
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+    async def __aenter__(self) -> "ServeClient":
+        return self
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.aclose()

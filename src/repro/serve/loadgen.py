@@ -1,0 +1,202 @@
+"""IMIX load generator for :mod:`repro.serve` — msgs/s and latency tails.
+
+Real packet populations are not uniform: the classic "Internet mix"
+(IMIX) models the bimodal reality of tiny ACK-sized frames dominating by
+count while near-MTU frames dominate by bytes.  :data:`IMIX_MIX` is the
+standard simple IMIX — 64-byte frames with weight 7, 594-byte with
+weight 4, 1518-byte with weight 1 — and :func:`run_loadgen` replays that
+mix over N concurrent client connections against a running server.
+
+Every message is verified: the generator computes the expected digest
+locally with :class:`~repro.crc.TableCRC` (a deliberately independent
+serial oracle — none of the look-ahead/sharding machinery under test)
+and counts any disagreement in ``digest_mismatches``.  A load test that
+does not check answers only measures how fast a server can be wrong.
+
+Latency is per-message wall time (open → feed × chunks → digest), taken
+with ``perf_counter``; the report carries p50/p99 plus the aggregate
+message and byte rates, and :meth:`LoadgenReport.to_dict` feeds the
+bench artifact the CI smoke gates on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.crc import TableCRC, get
+from repro.serve.client import ServeClient
+
+#: The simple IMIX: (frame bytes, weight).  Weighted mean ~340 bytes.
+IMIX_MIX: Tuple[Tuple[int, int], ...] = ((64, 7), (594, 4), (1518, 1))
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) by linear interpolation.
+
+    Matches ``numpy.percentile`` for the default interpolation; kept
+    dependency-free so the loadgen works wherever the client does.
+    """
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lower = int(rank)
+    upper = min(lower + 1, len(ordered) - 1)
+    frac = rank - lower
+    return ordered[lower] * (1.0 - frac) + ordered[upper] * frac
+
+
+@dataclass
+class LoadgenReport:
+    """What one load-generation run measured.
+
+    ``errors`` counts protocol/transport failures (any exception out of
+    a client call); ``digest_mismatches`` counts answers that disagreed
+    with the serial oracle.  Both must be zero for a healthy run — the
+    CI smoke gates on exactly that.
+    """
+
+    standard: str
+    duration_s: float
+    connections: int
+    messages: int = 0
+    bytes: int = 0
+    errors: int = 0
+    digest_mismatches: int = 0
+    latencies_s: List[float] = field(default_factory=list)
+
+    @property
+    def msgs_per_s(self) -> float:
+        """Aggregate verified-message rate."""
+        return self.messages / self.duration_s if self.duration_s > 0 else 0.0
+
+    @property
+    def bytes_per_s(self) -> float:
+        """Aggregate payload byte rate."""
+        return self.bytes / self.duration_s if self.duration_s > 0 else 0.0
+
+    @property
+    def p50_ms(self) -> float:
+        """Median per-message latency in milliseconds."""
+        return 1e3 * percentile(self.latencies_s, 50.0)
+
+    @property
+    def p99_ms(self) -> float:
+        """99th-percentile per-message latency in milliseconds."""
+        return 1e3 * percentile(self.latencies_s, 99.0)
+
+    def to_dict(self) -> dict:
+        """Flat scalar summary (feeds the bench-report artifact)."""
+        return {
+            "standard": self.standard,
+            "duration_s": self.duration_s,
+            "connections": self.connections,
+            "messages": self.messages,
+            "bytes": self.bytes,
+            "errors": self.errors,
+            "digest_mismatches": self.digest_mismatches,
+            "msgs_per_s": self.msgs_per_s,
+            "bytes_per_s": self.bytes_per_s,
+            "p50_ms": self.p50_ms,
+            "p99_ms": self.p99_ms,
+        }
+
+    def describe(self) -> List[str]:
+        """Human-readable summary lines for the CLI."""
+        return [
+            f"{self.messages} messages / {self.bytes:,} bytes over "
+            f"{self.duration_s:.2f}s on {self.connections} connection(s)",
+            f"rate: {self.msgs_per_s:,.0f} msgs/s ({self.bytes_per_s:,.0f} B/s)",
+            f"latency: p50 {self.p50_ms:.3f} ms, p99 {self.p99_ms:.3f} ms",
+            f"errors: {self.errors}, digest mismatches: {self.digest_mismatches}",
+        ]
+
+
+def _expand_mix(mix: Sequence[Tuple[int, int]]) -> List[int]:
+    """The mix as a flat population to sample from uniformly."""
+    population: List[int] = []
+    for size, weight in mix:
+        population.extend([size] * weight)
+    return population
+
+
+async def _drive_connection(
+    host: str,
+    port: int,
+    deadline: float,
+    rng: random.Random,
+    oracle: TableCRC,
+    sizes: List[int],
+    chunk_bytes: int,
+    report: LoadgenReport,
+) -> None:
+    """One connection's closed loop: generate, send, verify, repeat."""
+    try:
+        client = await ServeClient.connect(host, port)
+    except Exception:  # noqa: BLE001 — count, don't crash the run
+        report.errors += 1
+        return
+    try:
+        while time.perf_counter() < deadline:
+            size = rng.choice(sizes)
+            payload = rng.randbytes(size)
+            expected = oracle.compute(payload)
+            t0 = time.perf_counter()
+            try:
+                digest = await client.compute(payload, chunk_bytes=chunk_bytes)
+            except Exception:  # noqa: BLE001 — any failure is a counted error
+                report.errors += 1
+                break
+            report.latencies_s.append(time.perf_counter() - t0)
+            report.messages += 1
+            report.bytes += size
+            if digest != expected:
+                report.digest_mismatches += 1
+    finally:
+        await client.aclose()
+
+
+async def run_loadgen(
+    host: str,
+    port: int,
+    duration_s: float = 5.0,
+    connections: int = 4,
+    seed: int = 0,
+    mix: Sequence[Tuple[int, int]] = IMIX_MIX,
+    chunk_bytes: int = 0,
+    standard: Optional[str] = None,
+) -> LoadgenReport:
+    """Replay the IMIX against a server; returns the measured report.
+
+    ``connections`` clients run concurrently, each with its own
+    deterministic RNG (``seed + index``), so a given seed reproduces the
+    same message population.  ``standard`` defaults to whatever the
+    server's hello announces; ``chunk_bytes > 0`` splits each message
+    into chunked feeds to exercise reassembly.
+    """
+    if standard is None:
+        probe = await ServeClient.connect(host, port)
+        try:
+            standard = probe.standard
+        finally:
+            await probe.aclose()
+    oracle = TableCRC(get(standard))
+    sizes = _expand_mix(mix)
+    report = LoadgenReport(
+        standard=standard, duration_s=duration_s, connections=connections
+    )
+    deadline = time.perf_counter() + duration_s
+    await asyncio.gather(*(
+        _drive_connection(
+            host, port, deadline, random.Random(seed + index),
+            oracle, sizes, chunk_bytes, report,
+        )
+        for index in range(connections)
+    ))
+    return report

@@ -1,0 +1,619 @@
+""":class:`ReproServer` — the asyncio front door over a shared pipeline.
+
+One server process owns one :class:`~repro.engine.parallel.ShardedCRCPipeline`
+and multiplexes every client connection onto it, which is exactly the
+paper's operating point: a fixed parallel datapath kept saturated by many
+independent message streams arriving interleaved off the wire.  Three
+design rules keep the asyncio layer honest about that shared mutable
+pipeline:
+
+* **One pipeline thread.**  Every pipeline call — open, feed, pump,
+  finalize, abort — is pushed through a single-worker executor, so the
+  event loop never blocks on GF(2) math and pipeline operations have a
+  total order regardless of how many connections interleave.  (The
+  pipeline's own re-entrant lock stays as defense-in-depth for direct
+  library users.)
+* **Backpressure, not buffering.**  Each ``feed-chunk`` ack carries the
+  pipeline-wide pending-bits gauge.  When it crosses the high watermark
+  the connection handler *stops reading frames* until the pump loop
+  drains below the low watermark — unread bytes then back-pressure the
+  client through TCP itself, so a fast client cannot balloon server
+  memory.
+* **Drain, don't drop.**  On :meth:`ReproServer.drain` (wired to
+  ``SIGTERM`` by the CLI) the listener closes, new ``open-stream``
+  requests are refused with code ``"draining"``, open streams may keep
+  feeding and finalize normally, and once the last stream closes (or the
+  drain timeout aborts stragglers) the server flushes a telemetry
+  snapshot and a flight-recorder dump, then closes the pipeline.
+
+Stream ids are namespaced per connection (connection 3's stream ``"a"``
+and connection 7's stream ``"a"`` are distinct pipeline streams), so
+clients never need to coordinate id choice.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from itertools import count
+from pathlib import Path
+from typing import Dict, Optional, Set, Union
+
+from repro.crc.spec import CRCSpec
+from repro.engine.parallel import ShardedCRCPipeline
+from repro.errors import ProtocolError, ReproError, StreamError, ValidationError
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    REQUEST_OPS,
+    error_response,
+    read_frame,
+    write_frame,
+)
+from repro.telemetry import (
+    bind_families,
+    default_flight_recorder,
+    default_registry,
+    default_tracer,
+    write_json_lines,
+)
+
+#: Pause reading a connection once pipeline-wide pending bits exceed this.
+DEFAULT_HIGH_WATERMARK_BITS = 1 << 22  # 512 KiB of buffered message data
+#: Resume paused connections once pending bits fall back below this.
+DEFAULT_LOW_WATERMARK_BITS = 1 << 20
+
+#: Default expectations fed to the planner when ``auto`` sizing is on and
+#: the caller pinned neither M nor workers: an IMIX-weighted mean frame
+#: (~340 bytes) across a moderate stream population.
+AUTO_PLAN_MESSAGE_BITS = 8 * 340
+AUTO_PLAN_STREAMS = 64
+
+# Bound lazily (see repro.telemetry.bind_families) so a registry swapped
+# in after import is still observed.
+_METRICS = bind_families(lambda reg: {
+    "messages": reg.counter(
+        "serve_messages_total", "Request frames handled, by verb",
+        labels=("op",),
+    ),
+    "errors": reg.counter(
+        "serve_errors_total", "Error responses sent, by error code",
+        labels=("code",),
+    ),
+    "connections": reg.gauge(
+        "serve_connections", "Client connections currently open",
+    ),
+    "backpressure": reg.counter(
+        "serve_backpressure_pauses_total",
+        "Times a connection paused reading on the pending-bits watermark",
+    ),
+})
+
+
+class _Connection:
+    """Per-connection book-keeping: id, owned streams, writer."""
+
+    __slots__ = ("conn_id", "writer", "streams", "auto_ids")
+
+    def __init__(self, conn_id: int, writer: asyncio.StreamWriter):
+        self.conn_id = conn_id
+        self.writer = writer
+        #: client-visible stream id -> namespaced pipeline stream id
+        self.streams: Dict[str, str] = {}
+        self.auto_ids = count()
+
+
+class ReproServer:
+    """Serve one shared :class:`ShardedCRCPipeline` over the framed protocol.
+
+    ``auto=True`` (the default) asks the adaptive planner to size the
+    pipeline (workers and block factor M) for a stream workload on this
+    host; pass explicit ``M``/``workers`` to pin either.  ``port=0``
+    binds an ephemeral port (read it back from :attr:`port` after
+    :meth:`start` — the pattern every test uses).
+
+    Lifecycle: :meth:`start` → serve → :meth:`drain` (graceful, what
+    SIGTERM triggers) or :meth:`aclose` (drain with no grace period).
+    :meth:`serve_until_closed` parks until a drain completes.
+    """
+
+    def __init__(
+        self,
+        spec: CRCSpec,
+        M: Optional[int] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        workers: Union[None, int, str] = None,
+        auto: bool = True,
+        high_watermark_bits: int = DEFAULT_HIGH_WATERMARK_BITS,
+        low_watermark_bits: int = DEFAULT_LOW_WATERMARK_BITS,
+        drain_timeout_s: float = 30.0,
+        telemetry_path: Union[None, str, Path] = None,
+        flightrec_path: Union[None, str, Path] = None,
+        max_frame: int = MAX_FRAME_BYTES,
+    ):
+        if low_watermark_bits > high_watermark_bits:
+            raise ValidationError(
+                f"low watermark ({low_watermark_bits}) must not exceed the "
+                f"high watermark ({high_watermark_bits})"
+            )
+        self._spec = spec
+        self._host = host
+        self._requested_port = port
+        self._auto = auto
+        self._M = M
+        self._workers = workers
+        self._high = high_watermark_bits
+        self._low = low_watermark_bits
+        self._drain_timeout = drain_timeout_s
+        self._telemetry_path = Path(telemetry_path) if telemetry_path else None
+        self._flightrec_path = Path(flightrec_path) if flightrec_path else None
+        self._max_frame = max_frame
+
+        self._pipeline: Optional[ShardedCRCPipeline] = None
+        self._bound_port = 0
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._state = "new"  # new -> serving -> draining -> closed
+        self._conn_ids = count(1)
+        self._connections: Set[_Connection] = set()
+        self._pending_bits = 0
+        self._work = asyncio.Event()
+        self._drained = asyncio.Event()
+        self._drained.set()
+        self._no_streams = asyncio.Event()
+        self._no_streams.set()
+        self._closed_event = asyncio.Event()
+        self._pump_task: Optional[asyncio.Task] = None
+        self._drain_task: Optional[asyncio.Task] = None
+        # Deterministic counters mirrored into the stats verb (the
+        # telemetry registry may be disabled; these always count).
+        self.counters = {
+            "connections_total": 0,
+            "messages_total": 0,
+            "bytes_in_total": 0,
+            "digests_total": 0,
+            "protocol_errors_total": 0,
+            "stream_errors_total": 0,
+            "refused_draining_total": 0,
+            "backpressure_pauses_total": 0,
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """``new`` / ``serving`` / ``draining`` / ``closed``."""
+        return self._state
+
+    @property
+    def spec(self) -> CRCSpec:
+        """The CRC standard every served stream computes."""
+        return self._spec
+
+    @property
+    def pipeline(self) -> Optional[ShardedCRCPipeline]:
+        """The shared pipeline (``None`` before :meth:`start`)."""
+        return self._pipeline
+
+    @property
+    def host(self) -> str:
+        """The bind host."""
+        return self._host
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` after :meth:`start`)."""
+        return self._bound_port if self._bound_port else self._requested_port
+
+    @property
+    def stream_count(self) -> int:
+        """Streams currently open across all connections."""
+        return sum(len(conn.streams) for conn in self._connections)
+
+    # ------------------------------------------------------------------
+    def _build_pipeline(self) -> ShardedCRCPipeline:
+        """Size and construct the shared pipeline (runs off the loop)."""
+        plan = None
+        M = self._M
+        if self._auto and (M is None or self._workers is None):
+            from repro.engine.planner import (
+                KIND_CRC_STREAM,
+                WorkloadDescriptor,
+                default_planner,
+            )
+
+            workload = WorkloadDescriptor(
+                kind=KIND_CRC_STREAM,
+                standard=self._spec.name,
+                message_bits=AUTO_PLAN_MESSAGE_BITS,
+                streams=AUTO_PLAN_STREAMS,
+                M=self._M,
+            )
+            plan = default_planner().plan(workload)
+            if M is None:
+                M = plan.M
+            if self._workers is None and plan is not None:
+                return ShardedCRCPipeline(self._spec, M, plan=plan)
+        if M is None:
+            M = 32
+        return ShardedCRCPipeline(self._spec, M, workers=self._workers, plan=plan)
+
+    async def start(self) -> None:
+        """Build the pipeline, bind the listener, start the pump loop."""
+        if self._state != "new":
+            raise ValidationError(f"cannot start a server in state {self._state!r}")
+        loop = asyncio.get_running_loop()
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-pipeline"
+        )
+        self._pipeline = await loop.run_in_executor(
+            self._executor, self._build_pipeline
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self._host, port=self._requested_port
+        )
+        self._bound_port = self._server.sockets[0].getsockname()[1]
+        self._state = "serving"
+        self._pump_task = asyncio.create_task(self._pump_loop())
+        recorder = default_flight_recorder()
+        if recorder.enabled:
+            recorder.record(
+                "serve-start",
+                f"listening on {self._host}:{self.port}",
+                standard=self._spec.name,
+                M=self._pipeline.M,
+                workers=self._pipeline.workers,
+            )
+
+    async def _call(self, fn, *args):
+        """Run one pipeline operation on the dedicated pipeline thread."""
+        return await asyncio.get_running_loop().run_in_executor(
+            self._executor, fn, *args
+        )
+
+    # ------------------------------------------------------------------
+    # Pump loop: coalesces feed signals into pump rounds and maintains
+    # the pending-bits gauge that drives backpressure.
+    # ------------------------------------------------------------------
+    async def _pump_loop(self) -> None:
+        pipeline = self._pipeline
+        while self._state != "closed":
+            await self._work.wait()
+            self._work.clear()
+            if self._state == "closed":
+                return
+            while True:
+                pumped = await self._call(pipeline.pump)
+                self._pending_bits = await self._call(pipeline.pending_bits)
+                if pumped == 0:
+                    break
+            if self._pending_bits <= self._low:
+                self._drained.set()
+
+    def _note_pending(self, pending: int) -> None:
+        """Update the backpressure gauge after a feed's ack round-trip."""
+        self._pending_bits = pending
+        if pending > self._high:
+            self._drained.clear()
+        self._work.set()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = _Connection(next(self._conn_ids), writer)
+        self._connections.add(conn)
+        self.counters["connections_total"] += 1
+        if default_registry().enabled:
+            _METRICS()["connections"].inc()
+        try:
+            await write_frame(writer, {
+                "op": "hello",
+                "ok": True,
+                "version": PROTOCOL_VERSION,
+                "standard": self._spec.name,
+                "width": self._spec.width,
+                "M": self._pipeline.M,
+                "workers": self._pipeline.workers,
+            })
+            await self._serve_frames(conn, reader, writer)
+        except (asyncio.IncompleteReadError, ConnectionResetError,
+                BrokenPipeError):
+            pass  # peer went away; cleanup below
+        finally:
+            self._connections.discard(conn)
+            if default_registry().enabled:
+                _METRICS()["connections"].dec()
+            for pipeline_id in list(conn.streams.values()):
+                try:
+                    await self._call(self._pipeline.abort, pipeline_id)
+                except ReproError:
+                    pass
+            conn.streams.clear()
+            self._check_no_streams()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _serve_frames(
+        self,
+        conn: _Connection,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        while True:
+            try:
+                header, payload = await read_frame(reader, self._max_frame)
+            except ProtocolError as exc:
+                # After a framing error the byte stream has no safe
+                # resynchronization point: answer once, then hang up.
+                self._count_error("protocol")
+                await self._safe_write(
+                    writer, error_response(None, "protocol", str(exc))
+                )
+                return
+            response, pause = await self._dispatch(conn, header, payload)
+            await write_frame(writer, response)
+            if not response.get("ok") and response.get("code") == "protocol":
+                return
+            if pause:
+                # Stop reading until the pump loop drains below the low
+                # watermark; unread frames back-pressure the client via
+                # TCP flow control.
+                self.counters["backpressure_pauses_total"] += 1
+                if default_registry().enabled:
+                    _METRICS()["backpressure"].inc()
+                await self._drained.wait()
+
+    async def _dispatch(self, conn, header: dict, payload: bytes):
+        """Route one request; returns ``(response_header, pause_reading)``."""
+        op = header.get("op")
+        self.counters["messages_total"] += 1
+        if default_registry().enabled:
+            _METRICS()["messages"].labels(op=str(op)).inc()
+        try:
+            if op == "open-stream":
+                return await self._op_open(conn, header), False
+            if op == "feed-chunk":
+                return await self._op_feed(conn, header, payload)
+            if op == "read-digest":
+                return await self._op_digest(conn, header), False
+            if op == "close-stream":
+                return await self._op_close(conn, header), False
+            if op == "stats":
+                return self._op_stats(), False
+            self._count_error("protocol")
+            return error_response(
+                op, "protocol",
+                f"unknown verb {op!r} (expected one of {', '.join(REQUEST_OPS)})",
+            ), False
+        except StreamError as exc:
+            self._count_error("stream")
+            return error_response(op, "stream", str(exc)), False
+        except (ValidationError, ValueError) as exc:
+            self._count_error("validation")
+            return error_response(op, "validation", str(exc)), False
+        except ReproError as exc:
+            self._count_error("internal")
+            return error_response(op, "internal", str(exc)), False
+
+    async def _op_open(self, conn: _Connection, header: dict) -> dict:
+        if self._state != "serving":
+            self.counters["refused_draining_total"] += 1
+            self._count_error("draining")
+            return error_response(
+                "open-stream", "draining",
+                "server is draining: no new streams accepted",
+            )
+        client_id = header.get("id")
+        if client_id is None:
+            client_id = f"auto-{next(conn.auto_ids)}"
+        client_id = str(client_id)
+        if client_id in conn.streams:
+            raise StreamError(f"stream {client_id!r} is already open")
+        register = header.get("register")
+        if register is not None and not isinstance(register, int):
+            raise ValidationError(f"register must be an integer, got {register!r}")
+        pipeline_id = f"c{conn.conn_id}:{client_id}"
+        await self._call(self._pipeline.open, pipeline_id, register)
+        conn.streams[client_id] = pipeline_id
+        self._no_streams.clear()
+        return {"op": "open-stream", "ok": True, "id": client_id}
+
+    def _stream_of(self, conn: _Connection, header: dict) -> str:
+        client_id = str(header.get("id"))
+        try:
+            return conn.streams[client_id]
+        except KeyError:
+            raise StreamError(
+                f"unknown stream {client_id!r} on this connection "
+                f"({len(conn.streams)} open)"
+            ) from None
+
+    async def _op_feed(self, conn: _Connection, header: dict, payload: bytes):
+        pipeline_id = self._stream_of(conn, header)
+        pipeline = self._pipeline
+
+        def _feed() -> int:
+            pipeline.feed(pipeline_id, payload, pump=False)
+            return pipeline.pending_bits()
+
+        pending = await self._call(_feed)
+        self.counters["bytes_in_total"] += len(payload)
+        self._note_pending(pending)
+        response = {
+            "op": "feed-chunk",
+            "ok": True,
+            "id": str(header.get("id")),
+            "pending_bits": pending,
+        }
+        return response, pending > self._high
+
+    async def _op_digest(self, conn: _Connection, header: dict) -> dict:
+        client_id = str(header.get("id"))
+        pipeline_id = self._stream_of(conn, header)
+        digest = await self._call(self._pipeline.finalize, pipeline_id)
+        del conn.streams[client_id]
+        self.counters["digests_total"] += 1
+        self._check_no_streams()
+        return {
+            "op": "read-digest",
+            "ok": True,
+            "id": client_id,
+            "digest": digest,
+            "width": self._spec.width,
+        }
+
+    async def _op_close(self, conn: _Connection, header: dict) -> dict:
+        client_id = str(header.get("id"))
+        pipeline_id = self._stream_of(conn, header)
+        await self._call(self._pipeline.abort, pipeline_id)
+        del conn.streams[client_id]
+        self._check_no_streams()
+        return {"op": "close-stream", "ok": True, "id": client_id}
+
+    def _op_stats(self) -> dict:
+        return {
+            "op": "stats",
+            "ok": True,
+            "state": self._state,
+            "standard": self._spec.name,
+            "M": self._pipeline.M,
+            "workers": self._pipeline.workers,
+            "connections": len(self._connections),
+            "streams": self.stream_count,
+            "pending_bits": self._pending_bits,
+            "counters": dict(self.counters),
+        }
+
+    async def _safe_write(
+        self, writer: asyncio.StreamWriter, header: dict
+    ) -> None:
+        """Best-effort write for error frames (the peer may be gone)."""
+        try:
+            await write_frame(writer, header)
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+    def _count_error(self, code: str) -> None:
+        if code == "protocol":
+            self.counters["protocol_errors_total"] += 1
+        elif code == "stream":
+            self.counters["stream_errors_total"] += 1
+        if default_registry().enabled:
+            _METRICS()["errors"].labels(code=code).inc()
+
+    def _check_no_streams(self) -> None:
+        if self.stream_count == 0:
+            self._no_streams.set()
+
+    # ------------------------------------------------------------------
+    # Drain / shutdown
+    # ------------------------------------------------------------------
+    def install_signal_handlers(self) -> bool:
+        """Wire SIGTERM/SIGINT to :meth:`drain`; False where unsupported."""
+        import signal
+
+        loop = asyncio.get_running_loop()
+        try:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                loop.add_signal_handler(signum, self.request_drain)
+        except (NotImplementedError, RuntimeError):
+            return False
+        return True
+
+    def request_drain(self) -> None:
+        """Schedule :meth:`drain` from sync context (signal handlers)."""
+        if self._drain_task is None and self._state in ("serving", "draining"):
+            self._drain_task = asyncio.get_running_loop().create_task(self.drain())
+
+    async def drain(self, timeout_s: Optional[float] = None) -> None:
+        """Graceful shutdown: finish open streams, refuse new ones, flush.
+
+        Blocks until every open stream has finalized or been closed (or
+        ``timeout_s`` elapses, at which point stragglers are aborted),
+        then writes the telemetry snapshot and flight-recorder dump if
+        paths were configured, closes all connections and the pipeline.
+        Idempotent: a second call awaits the first drain's completion.
+        """
+        if self._state == "closed":
+            return
+        if self._state == "draining":
+            await self._closed_event.wait()
+            return
+        self._state = "draining"
+        recorder = default_flight_recorder()
+        if recorder.enabled:
+            recorder.record(
+                "serve-drain",
+                f"drain requested with {self.stream_count} open stream(s)",
+                connections=len(self._connections),
+            )
+        # Stop accepting new connections; existing ones keep their frames
+        # flowing so open streams can finish.
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self._check_no_streams()
+        timeout = self._drain_timeout if timeout_s is None else timeout_s
+        try:
+            await asyncio.wait_for(self._no_streams.wait(), timeout)
+        except asyncio.TimeoutError:
+            for conn in list(self._connections):
+                for pipeline_id in list(conn.streams.values()):
+                    try:
+                        await self._call(self._pipeline.abort, pipeline_id)
+                    except ReproError:
+                        pass
+                conn.streams.clear()
+            self._no_streams.set()
+        self._state = "closed"
+        # Unblock any handler parked on backpressure so connections close.
+        self._drained.set()
+        self._work.set()
+        if self._pump_task is not None:
+            await self._pump_task
+        for conn in list(self._connections):
+            conn.writer.close()
+        self._flush_observability()
+        await self._call(self._pipeline.close)
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+        self._closed_event.set()
+
+    def _flush_observability(self) -> None:
+        """Write the final telemetry snapshot + flight-recorder dump."""
+        if self._telemetry_path is not None:
+            write_json_lines(
+                default_registry(), self._telemetry_path, tracer=default_tracer()
+            )
+        recorder = default_flight_recorder()
+        if recorder.enabled:
+            recorder.record(
+                "serve-stop",
+                "server closed",
+                counters=dict(self.counters),
+            )
+        if self._flightrec_path is not None and recorder.enabled:
+            recorder.save(self._flightrec_path)
+
+    async def serve_until_closed(self) -> None:
+        """Park until a drain (signal- or call-triggered) completes."""
+        await self._closed_event.wait()
+
+    async def aclose(self) -> None:
+        """Drain with no grace period (open streams are aborted)."""
+        await self.drain(timeout_s=0)
+
+    async def __aenter__(self) -> "ReproServer":
+        if self._state == "new":
+            await self.start()
+        return self
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.aclose()

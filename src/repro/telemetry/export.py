@@ -47,8 +47,18 @@ def default_snapshot_path() -> Path:
 # ----------------------------------------------------------------------
 def to_json_lines(registry: MetricsRegistry, tracer: Optional[Tracer] = None) -> str:
     """One header line, one line per metric family, and — when a tracer
-    is given — one ``{"span": ...}`` line per finished root span."""
-    lines = [json.dumps({"schema": TELEMETRY_SCHEMA, "generated_unix": time.time()})]
+    is given — one ``{"span": ...}`` line per finished root span.
+
+    The header is the snapshot's single wall-clock anchor
+    (``generated_unix``); ``generated_monotonic`` rides along so
+    snapshots written by one process order correctly even across a
+    wall-clock step (NTP) between writes.
+    """
+    lines = [json.dumps({
+        "schema": TELEMETRY_SCHEMA,
+        "generated_unix": time.time(),
+        "generated_monotonic": time.monotonic(),
+    })]
     for name, family in registry.snapshot().items():
         lines.append(json.dumps({"name": name, **family}, sort_keys=True))
     if tracer is not None:
@@ -185,12 +195,18 @@ class BenchReport:
     series: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     def to_dict(self) -> dict:
-        """The full report document, environment stamped at call time."""
+        """The full report document, environment stamped at call time.
+
+        ``created_unix`` is the document's one wall-clock anchor;
+        ``created_monotonic`` orders reports written by the same process
+        even if the wall clock steps between writes.
+        """
         return {
             "schema": BENCH_SCHEMA,
             "name": self.name,
             "title": self.title,
             "created_unix": time.time(),
+            "created_monotonic": time.monotonic(),
             "environment": {
                 "python": platform.python_version(),
                 "platform": platform.platform(),

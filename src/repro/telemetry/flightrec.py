@@ -52,9 +52,20 @@ class FlightRecorder:
     """Thread-safe bounded ring of structured events.
 
     Each event is a plain dict: ``seq`` (monotonic, survives eviction),
-    ``ts`` (unix seconds), ``kind`` (a short category like ``"dispatch"``
-    or ``"worker-crash"``), ``message``, ``worker`` (empty for
-    parent-side events) and free-form ``attrs``.
+    ``ts_mono`` (:func:`time.monotonic` seconds — the ordering/duration
+    clock), ``ts`` (unix seconds *derived* from ``ts_mono`` against one
+    wall-clock anchor captured at construction), ``kind`` (a short
+    category like ``"dispatch"`` or ``"worker-crash"``), ``message``,
+    ``worker`` (empty for parent-side events) and free-form ``attrs``.
+
+    Events are **never** stamped with :func:`time.time` directly: a
+    wall-clock step (NTP slew, manual adjustment) mid-run would reorder
+    the ring and make inter-event deltas negative.  Instead the recorder
+    captures a single ``(wall, monotonic)`` anchor pair when it is
+    created; every event's ``ts`` is ``anchor_wall + (ts_mono -
+    anchor_mono)``, so the sequence stays monotone no matter what the
+    wall clock does, and :meth:`save` persists the anchor with the dump
+    so consumers can still place events in absolute time.
     """
 
     def __init__(self, capacity: int = DEFAULT_CAPACITY, enabled: bool = True):
@@ -64,6 +75,10 @@ class FlightRecorder:
         self._enabled = enabled
         self._seq = 0
         self._lock = threading.Lock()
+        # One wall-clock anchor per recorder lifetime (and per dump):
+        # event wall times are derived, never re-read from time.time().
+        self._anchor_wall = time.time()
+        self._anchor_mono = time.monotonic()
 
     # ------------------------------------------------------------------
     @property
@@ -84,6 +99,11 @@ class FlightRecorder:
         """Maximum events retained."""
         return self._events.maxlen or 0
 
+    @property
+    def anchor(self) -> Dict[str, float]:
+        """The ``(wall, monotonic)`` anchor event wall times derive from."""
+        return {"wall_unix": self._anchor_wall, "monotonic": self._anchor_mono}
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._events)
@@ -95,11 +115,13 @@ class FlightRecorder:
         """Append one event (no-op while disabled)."""
         if not self._enabled:
             return
+        mono = time.monotonic()
         with self._lock:
             self._seq += 1
             self._events.append({
                 "seq": self._seq,
-                "ts": time.time(),
+                "ts_mono": mono,
+                "ts": self._anchor_wall + (mono - self._anchor_mono),
                 "kind": kind,
                 "message": message,
                 "worker": worker,
@@ -112,6 +134,10 @@ class FlightRecorder:
         Each event is re-sequenced locally so ``seq`` stays monotonic in
         this ring; the original ``worker`` field is preserved, which is
         how worker-side events stay attributable after the merge.
+        Shipped ``ts_mono`` stamps are kept as-is: on Linux
+        ``time.monotonic`` is the system-wide ``CLOCK_MONOTONIC``, so
+        same-machine worker events remain comparable, and attribution
+        never depends on timestamps anyway (``seq`` + ``worker`` do).
         """
         if not self._enabled:
             return
@@ -152,21 +178,50 @@ class FlightRecorder:
 
     # ------------------------------------------------------------------
     def save(self, path: Union[str, Path]) -> Path:
-        """Write the ring as JSON lines (one event per line)."""
+        """Write the ring as JSON lines: one anchor line, one event per line.
+
+        The first line carries the recorder's wall-clock anchor (see the
+        class docstring) so a dump contains exactly one wall-time
+        reference; every event line's ``ts_mono`` is relative to that
+        anchor's ``monotonic`` value.
+        """
         path = Path(path)
-        lines = [json.dumps(e, sort_keys=True, default=str) for e in self.events()]
-        path.write_text("\n".join(lines) + ("\n" if lines else ""))
+        lines = [json.dumps({"anchor": self.anchor}, sort_keys=True)]
+        lines += [json.dumps(e, sort_keys=True, default=str) for e in self.events()]
+        path.write_text("\n".join(lines) + "\n")
         return path
 
     @staticmethod
     def load(path: Union[str, Path]) -> List[Dict[str, object]]:
-        """Read events saved by :meth:`save`, oldest first."""
+        """Read events saved by :meth:`save`, oldest first.
+
+        The anchor header line (and any pre-anchor legacy dump lines
+        without one) is filtered out: only event records are returned.
+        """
         events = []
         for line in Path(path).read_text().splitlines():
             line = line.strip()
-            if line:
-                events.append(json.loads(line))
+            if not line:
+                continue
+            record = json.loads(line)
+            if "anchor" in record and "seq" not in record:
+                continue
+            events.append(record)
         return events
+
+    @staticmethod
+    def load_anchor(path: Union[str, Path]) -> Optional[Dict[str, float]]:
+        """The wall-clock anchor stored in a dump, if it has one
+        (dumps written before the anchor line existed return ``None``)."""
+        for line in Path(path).read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if "anchor" in record and "seq" not in record:
+                return {k: float(v) for k, v in record["anchor"].items()}
+            return None
+        return None
 
 
 def format_events(events: List[Dict[str, object]]) -> str:

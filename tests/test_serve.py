@@ -1,0 +1,476 @@
+"""Contract of the async network service layer (:mod:`repro.serve`).
+
+Four properties matter and each gets direct coverage:
+
+* **Framing** — the length-prefixed JSON+binary wire format round-trips
+  exactly and every malformation (truncation, oversize, non-JSON header,
+  bad ``blen``) raises :class:`~repro.errors.ProtocolError`, never
+  garbage decode.
+* **Correctness under multiplexing** — digests served over the wire are
+  bit-exact against a serial oracle, for whole messages, chunked feeds,
+  and many interleaved connections, and stream ids are namespaced per
+  connection.
+* **Backpressure** — a connection that outruns the pipeline pauses on
+  the pending-bits watermark (counted), and resumes; memory never
+  balloons with unread frames.
+* **Drain** — while draining, open streams complete bit-exact and new
+  work is refused with code ``"draining"``; afterwards the server is
+  closed and its pipeline released.
+
+No pytest-asyncio in the toolchain: each test drives its own event loop
+through ``asyncio.run``.
+"""
+
+import asyncio
+import struct
+
+import pytest
+
+from repro.crc import BitwiseCRC, TableCRC, get
+from repro.errors import ProtocolError, StreamError
+from repro.serve import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ReproServer,
+    ServeClient,
+    decode_frame,
+    encode_frame,
+    run_loadgen,
+)
+from repro.serve.loadgen import IMIX_MIX, LoadgenReport, percentile
+from repro.serve.protocol import error_response
+
+SPEC = get("CRC-32")
+ORACLE = TableCRC(SPEC)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_server(**kwargs):
+    kwargs.setdefault("M", 64)
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("auto", False)
+    return ReproServer(SPEC, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+class TestProtocolFraming:
+    def test_round_trip_with_payload(self):
+        frame = encode_frame({"op": "feed-chunk", "id": "s"}, b"\x00\x01payload")
+        header, payload, used = decode_frame(frame)
+        assert header["op"] == "feed-chunk"
+        assert header["blen"] == len(b"\x00\x01payload")
+        assert payload == b"\x00\x01payload"
+        assert used == len(frame)
+
+    def test_round_trip_without_payload(self):
+        frame = encode_frame({"op": "stats"})
+        header, payload, used = decode_frame(frame)
+        assert header == {"op": "stats"}
+        assert payload == b""
+        assert used == len(frame)
+
+    def test_truncations_raise_protocol_error(self):
+        frame = encode_frame({"op": "feed-chunk"}, b"abcdef")
+        for cut in (0, 2, 6, len(frame) - 1):
+            with pytest.raises(ProtocolError):
+                decode_frame(frame[:cut])
+
+    def test_non_json_header_rejected(self):
+        raw = b"not json!!"
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            decode_frame(struct.pack("!I", len(raw)) + raw)
+
+    def test_non_object_header_rejected(self):
+        raw = b"[1,2,3]"
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode_frame(struct.pack("!I", len(raw)) + raw)
+
+    def test_oversize_header_length_rejected(self):
+        with pytest.raises(ProtocolError, match="exceeds"):
+            decode_frame(struct.pack("!I", MAX_FRAME_BYTES + 1) + b"x")
+
+    def test_bad_blen_rejected(self):
+        for blen in (-1, "9", True, MAX_FRAME_BYTES + 1):
+            raw = encode_frame({"op": "feed-chunk"})
+            header, _, _ = decode_frame(raw)
+            header["blen"] = blen
+            import json
+
+            encoded = json.dumps(header).encode()
+            with pytest.raises(ProtocolError):
+                decode_frame(struct.pack("!I", len(encoded)) + encoded)
+
+    def test_oversized_payload_refused_at_encode(self):
+        with pytest.raises(ProtocolError, match="too large"):
+            encode_frame({"op": "feed-chunk"}, b"x" * (MAX_FRAME_BYTES + 1))
+
+    def test_error_response_shape(self):
+        header = error_response("open-stream", "draining", "nope")
+        assert header == {
+            "ok": False, "code": "draining", "error": "nope", "op": "open-stream",
+        }
+
+
+# ----------------------------------------------------------------------
+# Server round trips
+# ----------------------------------------------------------------------
+class TestServerRoundTrip:
+    def test_digest_matches_serial_oracle(self):
+        async def scenario():
+            async with make_server() as server:
+                async with await ServeClient.connect(server.host, server.port) as c:
+                    assert c.standard == SPEC.name
+                    assert c.width == SPEC.width
+                    return await c.compute(b"123456789")
+
+        assert run(scenario()) == ORACLE.compute(b"123456789")
+
+    def test_chunked_feeds_compose(self):
+        payload = bytes(range(256)) * 5
+
+        async def scenario():
+            async with make_server() as server:
+                async with await ServeClient.connect(server.host, server.port) as c:
+                    whole = await c.compute(payload)
+                    chunked = await c.compute(payload, chunk_bytes=17)
+                    return whole, chunked
+
+        whole, chunked = run(scenario())
+        assert whole == chunked == ORACLE.compute(payload)
+
+    def test_empty_message_digest(self):
+        async def scenario():
+            async with make_server() as server:
+                async with await ServeClient.connect(server.host, server.port) as c:
+                    return await c.compute(b"")
+
+        assert run(scenario()) == ORACLE.compute(b"")
+
+    def test_register_override_honoured(self):
+        async def scenario():
+            async with make_server() as server:
+                async with await ServeClient.connect(server.host, server.port) as c:
+                    sid = await c.open_stream(register=0)
+                    await c.feed(sid, b"abc")
+                    return await c.read_digest(sid)
+
+        expected = SPEC.finalize(
+            BitwiseCRC(SPEC).process_bits(0, SPEC.message_bits(b"abc"))
+        )
+        assert run(scenario()) == expected
+
+    def test_stream_ids_namespaced_per_connection(self):
+        async def scenario():
+            async with make_server() as server:
+                a = await ServeClient.connect(server.host, server.port)
+                b = await ServeClient.connect(server.host, server.port)
+                try:
+                    await a.open_stream("same-name")
+                    await b.open_stream("same-name")  # no collision
+                    await a.feed("same-name", b"aaa")
+                    await b.feed("same-name", b"bbbb")
+                    return (
+                        await a.read_digest("same-name"),
+                        await b.read_digest("same-name"),
+                    )
+                finally:
+                    await a.aclose()
+                    await b.aclose()
+
+        da, db = run(scenario())
+        assert da == ORACLE.compute(b"aaa")
+        assert db == ORACLE.compute(b"bbbb")
+
+    def test_many_interleaved_connections_bit_exact(self):
+        messages = [bytes([i]) * (13 * i + 1) for i in range(12)]
+
+        async def one(server, payload):
+            async with await ServeClient.connect(server.host, server.port) as c:
+                sid = await c.open_stream()
+                for start in range(0, len(payload), 97):
+                    await c.feed(sid, payload[start:start + 97])
+                return await c.read_digest(sid)
+
+        async def scenario():
+            async with make_server() as server:
+                return await asyncio.gather(*(one(server, m) for m in messages))
+
+        digests = run(scenario())
+        assert digests == [ORACLE.compute(m) for m in messages]
+
+    def test_stats_verb_reports_counters(self):
+        async def scenario():
+            async with make_server() as server:
+                async with await ServeClient.connect(server.host, server.port) as c:
+                    await c.compute(b"stats-me")
+                    return await c.stats()
+
+        stats = run(scenario())
+        assert stats["state"] == "serving"
+        assert stats["standard"] == SPEC.name
+        assert stats["counters"]["digests_total"] == 1
+        assert stats["counters"]["protocol_errors_total"] == 0
+
+    def test_disconnect_aborts_orphan_streams(self):
+        async def scenario():
+            async with make_server() as server:
+                client = await ServeClient.connect(server.host, server.port)
+                sid = await client.open_stream()
+                await client.feed(sid, b"orphaned")
+                await client.aclose()
+                for _ in range(50):
+                    if server.stream_count == 0:
+                        break
+                    await asyncio.sleep(0.01)
+                return server.stream_count, server.pipeline.stream_count
+
+        serve_streams, pipeline_streams = run(scenario())
+        assert serve_streams == 0
+        assert pipeline_streams == 0
+
+
+# ----------------------------------------------------------------------
+# Error handling
+# ----------------------------------------------------------------------
+class TestServerErrors:
+    def test_unknown_stream_is_recoverable(self):
+        async def scenario():
+            async with make_server() as server:
+                async with await ServeClient.connect(server.host, server.port) as c:
+                    with pytest.raises(StreamError):
+                        await c.feed("never-opened", b"x")
+                    # connection survives the stream error
+                    return await c.compute(b"recovered")
+
+        assert run(scenario()) == ORACLE.compute(b"recovered")
+
+    def test_duplicate_stream_id_is_stream_error(self):
+        async def scenario():
+            async with make_server() as server:
+                async with await ServeClient.connect(server.host, server.port) as c:
+                    await c.open_stream("dup")
+                    with pytest.raises(StreamError):
+                        await c.open_stream("dup")
+
+        run(scenario())
+
+    def test_unknown_verb_drops_connection(self):
+        from repro.serve.protocol import read_frame, write_frame
+
+        async def scenario():
+            async with make_server() as server:
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port
+                )
+                await read_frame(reader)  # hello
+                await write_frame(writer, {"op": "no-such-verb"})
+                response, _ = await read_frame(reader)
+                assert response["ok"] is False
+                assert response["code"] == "protocol"
+                with pytest.raises(asyncio.IncompleteReadError):
+                    await read_frame(reader)
+                writer.close()
+
+        run(scenario())
+
+    def test_close_stream_aborts_without_digest(self):
+        async def scenario():
+            async with make_server() as server:
+                async with await ServeClient.connect(server.host, server.port) as c:
+                    sid = await c.open_stream()
+                    await c.feed(sid, b"to be dropped")
+                    await c.close_stream(sid)
+                    with pytest.raises(StreamError):
+                        await c.read_digest(sid)
+                    stats = await c.stats()
+                    return stats["streams"], stats["counters"]["digests_total"]
+
+        assert run(scenario()) == (0, 0)
+
+
+# ----------------------------------------------------------------------
+# Backpressure
+# ----------------------------------------------------------------------
+class TestBackpressure:
+    def test_watermark_pauses_are_counted_and_recover(self):
+        payload = b"\xa5" * 4096
+
+        async def scenario():
+            async with make_server(
+                high_watermark_bits=1024, low_watermark_bits=256
+            ) as server:
+                async with await ServeClient.connect(server.host, server.port) as c:
+                    digests = []
+                    for _ in range(4):
+                        digests.append(await c.compute(payload, chunk_bytes=512))
+                    stats = await c.stats()
+                    return digests, stats["counters"]["backpressure_pauses_total"]
+
+        digests, pauses = run(scenario())
+        assert digests == [ORACLE.compute(payload)] * 4
+        assert pauses > 0
+
+    def test_feed_ack_carries_pending_gauge(self):
+        async def scenario():
+            async with make_server() as server:
+                async with await ServeClient.connect(server.host, server.port) as c:
+                    sid = await c.open_stream()
+                    pending = await c.feed(sid, b"12345")
+                    await c.read_digest(sid)
+                    return pending
+
+        assert run(scenario()) == 40  # 5 bytes buffered, below one M-block
+
+
+# ----------------------------------------------------------------------
+# Drain
+# ----------------------------------------------------------------------
+class TestDrain:
+    def test_open_streams_finish_bit_exact_while_new_work_refused(self):
+        payload_a = bytes(range(200))
+        payload_b = b"drain me" * 33
+
+        async def scenario():
+            server = make_server()
+            await server.start()
+            client = await ServeClient.connect(server.host, server.port)
+            await client.open_stream("a")
+            await client.open_stream("b")
+            await client.feed("a", payload_a[:100])
+            await client.feed("b", payload_b[:50])
+
+            drain = asyncio.create_task(server.drain())
+            while server.state != "draining":
+                await asyncio.sleep(0.001)
+
+            # New streams are refused with the draining code...
+            with pytest.raises(StreamError, match="draining"):
+                await client.open_stream("c")
+            refused_conn = False
+            try:
+                await ServeClient.connect(server.host, server.port)
+            except (ConnectionRefusedError, OSError, ProtocolError,
+                    asyncio.IncompleteReadError):
+                refused_conn = True
+
+            # ...but in-flight streams keep feeding and finalize exactly.
+            await client.feed("a", payload_a[100:])
+            await client.feed("b", payload_b[50:])
+            digest_a = await client.read_digest("a")
+            digest_b = await client.read_digest("b")
+            await asyncio.wait_for(drain, timeout=10)
+            state = server.state
+            pipeline_closed = server.pipeline.closed
+            await client.aclose()
+            return digest_a, digest_b, refused_conn, state, pipeline_closed
+
+        digest_a, digest_b, refused_conn, state, pipeline_closed = run(scenario())
+        assert digest_a == ORACLE.compute(payload_a)
+        assert digest_b == ORACLE.compute(payload_b)
+        assert refused_conn
+        assert state == "closed"
+        assert pipeline_closed
+
+    def test_drain_timeout_aborts_stragglers(self):
+        async def scenario():
+            server = make_server(drain_timeout_s=0.05)
+            await server.start()
+            client = await ServeClient.connect(server.host, server.port)
+            await client.open_stream("straggler")
+            await client.feed("straggler", b"never finalized")
+            await asyncio.wait_for(server.drain(), timeout=10)
+            await client.aclose()
+            return server.state, server.pipeline.stream_count
+
+        state, streams = run(scenario())
+        assert state == "closed"
+        assert streams == 0
+
+    def test_drain_is_idempotent(self):
+        async def scenario():
+            server = make_server()
+            await server.start()
+            await server.drain()
+            await server.drain()  # second call returns immediately
+            return server.state
+
+        assert run(scenario()) == "closed"
+
+    def test_drain_flushes_telemetry_and_flight_dump(self, tmp_path):
+        from repro.telemetry import (
+            FlightRecorder,
+            default_flight_recorder,
+            read_json_lines,
+            set_default_flight_recorder,
+        )
+
+        telemetry = tmp_path / "telemetry.jsonl"
+        flight = tmp_path / "flight.jsonl"
+
+        async def scenario():
+            server = make_server(
+                telemetry_path=telemetry, flightrec_path=flight
+            )
+            await server.start()
+            async with await ServeClient.connect(server.host, server.port) as c:
+                await c.compute(b"flush me")
+            await server.drain()
+
+        previous = set_default_flight_recorder(FlightRecorder())
+        try:
+            run(scenario())
+        finally:
+            set_default_flight_recorder(previous)
+        assert telemetry.exists()
+        read_json_lines(telemetry)  # parses as a valid snapshot
+        events = FlightRecorder.load(flight)
+        kinds = {e["kind"] for e in events}
+        assert {"serve-start", "serve-drain", "serve-stop"} <= kinds
+        anchor = FlightRecorder.load_anchor(flight)
+        assert anchor is not None and "wall_unix" in anchor
+
+
+# ----------------------------------------------------------------------
+# Load generator
+# ----------------------------------------------------------------------
+class TestLoadgen:
+    def test_percentile_interpolation(self):
+        samples = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(samples, 0) == 1.0
+        assert percentile(samples, 100) == 4.0
+        assert percentile(samples, 50) == pytest.approx(2.5)
+        assert percentile([], 99) == 0.0
+        assert percentile([7.0], 42) == 7.0
+
+    def test_report_rates_and_dict(self):
+        report = LoadgenReport(
+            standard="CRC-32", duration_s=2.0, connections=3,
+            messages=100, bytes=6400, latencies_s=[0.001] * 100,
+        )
+        assert report.msgs_per_s == pytest.approx(50.0)
+        assert report.bytes_per_s == pytest.approx(3200.0)
+        assert report.p50_ms == pytest.approx(1.0)
+        doc = report.to_dict()
+        assert doc["errors"] == 0 and doc["digest_mismatches"] == 0
+
+    def test_imix_mix_shape(self):
+        assert IMIX_MIX == ((64, 7), (594, 4), (1518, 1))
+
+    def test_short_run_verifies_every_digest(self):
+        async def scenario():
+            async with make_server(M=512) as server:
+                return await run_loadgen(
+                    server.host, server.port,
+                    duration_s=0.4, connections=2, seed=11,
+                )
+
+        report = run(scenario())
+        assert report.messages > 0
+        assert report.errors == 0
+        assert report.digest_mismatches == 0
+        assert len(report.latencies_s) == report.messages

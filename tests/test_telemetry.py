@@ -643,3 +643,95 @@ class TestChromeTrace:
             pass
         doc = json.loads(render_chrome_trace(tr))
         assert "traceEvents" in doc
+
+
+class TestFlightRecorderClock:
+    """Satellite regression: event times derive from one monotonic clock.
+
+    A wall-clock step (NTP slew, manual adjustment) mid-run must never
+    reorder the ring: ``ts`` is derived from ``time.monotonic`` against
+    a single anchor captured at construction, and a dump carries exactly
+    one wall-clock reference line.
+    """
+
+    def test_backwards_wall_clock_cannot_reorder_events(self, monkeypatch):
+        import time as time_module
+
+        from repro.telemetry import FlightRecorder
+
+        rec = FlightRecorder()
+        # The wall clock jumps backwards an hour between events; the
+        # recorder must not consult it again after construction.
+        walls = iter([2_000_000_000.0, 1_999_996_400.0, 1_999_992_800.0])
+        monkeypatch.setattr(time_module, "time", lambda: next(walls))
+        rec.record("first")
+        rec.record("second")
+        rec.record("third")
+        events = rec.events()
+        ts = [e["ts"] for e in events]
+        ts_mono = [e["ts_mono"] for e in events]
+        assert ts == sorted(ts)
+        assert ts_mono == sorted(ts_mono)
+        # Derived wall deltas track the monotonic deltas (to float64
+        # resolution at unix-epoch magnitude, ~0.25us).
+        for (a, b) in zip(events, events[1:]):
+            assert b["ts"] - a["ts"] == pytest.approx(
+                b["ts_mono"] - a["ts_mono"], abs=1e-5
+            )
+
+    def test_anchor_is_captured_once_at_construction(self):
+        from repro.telemetry import FlightRecorder
+
+        rec = FlightRecorder()
+        anchor = rec.anchor
+        rec.record("tick")
+        rec.record("tock")
+        assert rec.anchor == anchor  # never re-read
+        event = rec.events()[0]
+        assert event["ts"] == pytest.approx(
+            anchor["wall_unix"] + (event["ts_mono"] - anchor["monotonic"])
+        )
+
+    def test_dump_carries_one_anchor_line(self, tmp_path):
+        import json as json_module
+
+        from repro.telemetry import FlightRecorder
+
+        rec = FlightRecorder()
+        rec.record("plan", "chose shard-batch")
+        rec.record("dispatch")
+        path = rec.save(tmp_path / "ring.jsonl")
+        lines = [json_module.loads(l) for l in path.read_text().splitlines()]
+        anchor_lines = [l for l in lines if "anchor" in l and "seq" not in l]
+        assert len(anchor_lines) == 1
+        assert lines[0] is not None and "anchor" in lines[0]  # first line
+
+        anchor = FlightRecorder.load_anchor(path)
+        assert anchor == {k: pytest.approx(v) for k, v in rec.anchor.items()}
+        events = FlightRecorder.load(path)
+        assert [e["kind"] for e in events] == ["plan", "dispatch"]
+
+    def test_legacy_dump_without_anchor_loads(self, tmp_path):
+        import json as json_module
+
+        from repro.telemetry import FlightRecorder
+
+        path = tmp_path / "legacy.jsonl"
+        path.write_text(json_module.dumps(
+            {"seq": 1, "ts": 123.0, "kind": "old", "message": "",
+             "worker": "", "attrs": {}}
+        ) + "\n")
+        assert FlightRecorder.load_anchor(path) is None
+        events = FlightRecorder.load(path)
+        assert [e["kind"] for e in events] == ["old"]
+
+    def test_snapshot_header_orders_across_wall_steps(self):
+        from repro.telemetry import MetricsRegistry, to_json_lines
+
+        registry = MetricsRegistry()
+        first = json.loads(to_json_lines(registry).splitlines()[0])
+        second = json.loads(to_json_lines(registry).splitlines()[0])
+        assert "generated_monotonic" in first
+        # Monotonic stamps order successive snapshots even if the wall
+        # clock were to step backwards between the two writes.
+        assert second["generated_monotonic"] >= first["generated_monotonic"]
