@@ -1,0 +1,119 @@
+"""Word-oriented LFSR microbenchmark: σ-LFSR keystream vs bit-serial.
+
+The acceptance gate for the Tsaban–Vishne kernel layer: a curated
+word-oriented register (one machine word of keystream per Python-level
+step, :mod:`repro.lfsr.wordlfsr`) must beat the bit-serial
+:class:`~repro.lfsr.reference.FibonacciLFSR` by at least
+``WORD64_SPEEDUP_GATE``x on keystream throughput — the software analogue
+of the paper's "one clock does a word of work" register reorganization.
+The measured ratios persist to ``benchmarks/results/wordlfsr_microbench.json``
+and fold into the ``BENCH_<n>.json`` trajectory, where
+``tools/bench_diff.py`` gates them against regressions.
+
+Bit-exactness is asserted before any timing (fast engine vs the
+state-matrix :class:`~repro.lfsr.wordlfsr.WordLFSRReference`), so the
+speedup can never be bought with a wrong keystream.
+"""
+
+import time
+
+from repro.gf2.polynomial import GF2Polynomial
+from repro.lfsr.reference import FibonacciLFSR
+from repro.lfsr.wordlfsr import (
+    WORD32,
+    WORD64,
+    WordLFSR,
+    WordLFSRReference,
+    seed_words_from_bytes,
+)
+from repro.telemetry import BenchReport
+
+#: Keystream bits per timed iteration (4 KiB of keystream).
+KEYSTREAM_BITS = 32768
+
+#: The bit-serial baseline: a degree-31 scrambler register (PRBS-31
+#: generator), clocked one bit per Python iteration.
+FIB_POLY = GF2Polynomial.from_exponents([31, 28, 0])
+
+#: Primary gate: the 64-bit word engine vs the bit-serial reference.
+WORD64_SPEEDUP_GATE = 20.0
+
+#: Secondary floor for the 32-bit spec (half the word width, so roughly
+#: half the per-step amortization; kept looser to absorb host noise).
+WORD32_SPEEDUP_GATE = 10.0
+
+
+def _best_of(repeats, fn):
+    """Best wall-clock seconds over ``repeats`` runs of ``fn``."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _word_rate(spec):
+    """(bits/s, seconds) for one spec's byte keystream hot path."""
+    seed = seed_words_from_bytes(spec, b"bench")
+    nbytes = KEYSTREAM_BITS // 8
+    engine = WordLFSR(spec, seed)
+    engine.keystream_bytes(64)  # warm the specialized loop off the clock
+    best = _best_of(5, lambda: WordLFSR(spec, seed).keystream_bytes(nbytes))
+    return KEYSTREAM_BITS / best, best
+
+
+def test_wordlfsr_keystream_speedup(save_result, save_report):
+    # Bit-exactness first: the speedup is meaningless if the stream is wrong.
+    for spec in (WORD32, WORD64):
+        seed = seed_words_from_bytes(spec, b"bench")
+        want = WordLFSRReference(spec, seed).keystream_bytes(64)
+        got = WordLFSR(spec, seed).keystream_bytes(64)
+        assert got == want, f"{spec.name} diverges from the state-matrix oracle"
+
+    fib = FibonacciLFSR(FIB_POLY, 1)
+    fib.keystream(64)  # warm-up
+    fib_s = _best_of(3, lambda: FibonacciLFSR(FIB_POLY, 1).keystream(KEYSTREAM_BITS))
+    fib_rate = KEYSTREAM_BITS / fib_s
+
+    w32_rate, w32_s = _word_rate(WORD32)
+    w64_rate, w64_s = _word_rate(WORD64)
+    speedup32 = w32_rate / fib_rate
+    speedup64 = w64_rate / fib_rate
+
+    lines = [
+        f"word-LFSR keystream microbench: {KEYSTREAM_BITS} bits/iteration",
+        f"  fibonacci-31: {fib_rate / 1e6:8.2f} Mbit/s  ({fib_s * 1e3:.2f} ms)",
+        f"  word32:       {w32_rate / 1e6:8.2f} Mbit/s  ({w32_s * 1e3:.2f} ms, "
+        f"{speedup32:5.1f}x, gate >= {WORD32_SPEEDUP_GATE:.0f}x)",
+        f"  word64:       {w64_rate / 1e6:8.2f} Mbit/s  ({w64_s * 1e3:.2f} ms, "
+        f"{speedup64:5.1f}x, gate >= {WORD64_SPEEDUP_GATE:.0f}x)",
+    ]
+    save_result("wordlfsr_microbench", "\n".join(lines))
+    save_report(
+        BenchReport(
+            name="wordlfsr_microbench",
+            title="Word-oriented σ-LFSR keystream speedup vs bit-serial Fibonacci",
+            params={
+                "keystream_bits": KEYSTREAM_BITS,
+                "fibonacci_degree": FIB_POLY.degree,
+                "gate_speedup_word64": WORD64_SPEEDUP_GATE,
+                "gate_speedup_word32": WORD32_SPEEDUP_GATE,
+            },
+            metrics={
+                "fibonacci_bits_per_s": fib_rate,
+                "word32_bits_per_s": w32_rate,
+                "word64_bits_per_s": w64_rate,
+                "speedup_word32": speedup32,
+                "speedup_word64": speedup64,
+            },
+        )
+    )
+    assert speedup64 >= WORD64_SPEEDUP_GATE, (
+        f"word64 keystream only {speedup64:.1f}x faster than bit-serial "
+        f"FibonacciLFSR (gate {WORD64_SPEEDUP_GATE}x)"
+    )
+    assert speedup32 >= WORD32_SPEEDUP_GATE, (
+        f"word32 keystream only {speedup32:.1f}x faster than bit-serial "
+        f"FibonacciLFSR (gate {WORD32_SPEEDUP_GATE}x)"
+    )

@@ -477,6 +477,74 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_keystream(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.engine import DiskCompileCache, default_cache_dir
+    from repro.engine.planner import (
+        KIND_KEYSTREAM,
+        Planner,
+        WorkloadDescriptor,
+        get_profile,
+    )
+    from repro.gf2.polynomial import GF2Polynomial
+    from repro.lfsr.reference import GaloisLFSR
+    from repro.lfsr.wordlfsr import WordLFSR, WordLFSRReference
+    from repro.lfsr.wordlfsr import get as get_wordspec
+    from repro.lfsr.wordlfsr import seed_words_from_bytes
+
+    nbytes = args.bytes
+    material = args.seed.encode()
+    source = args.source
+    plan = None
+    if source == "auto":
+        root = args.cache_dir or default_cache_dir()
+        disk = DiskCompileCache(root) if root is not None else None
+        profile = get_profile(disk=disk)
+        planner = Planner(profile=profile, disk=disk)
+        plan = planner.plan(WorkloadDescriptor(
+            kind=KIND_KEYSTREAM, standard="keystream", message_bits=8 * nbytes,
+        ))
+        source = plan.backend
+        print(f"planner picked {source} "
+              f"(predicted {1e3 * plan.predicted_s:.3f} ms for {nbytes} bytes)")
+    if source == "galois-bitserial":
+        # The PRBS-31 generator, MSB-first bits packed to bytes — the
+        # bit-serial baseline the word engines are gated against.
+        poly = GF2Polynomial.from_exponents([31, 28, 0])
+        seed_int = int.from_bytes(material, "big") % ((1 << 31) - 1) + 1
+        bits = GaloisLFSR(poly, seed_int).keystream(8 * nbytes)
+        data = bytes(
+            int("".join(map(str, bits[i:i + 8])), 2)
+            for i in range(0, len(bits), 8)
+        )
+    else:
+        wspec = get_wordspec(source)
+        seed = seed_words_from_bytes(wspec, material)
+        data = WordLFSR(wspec, seed).keystream_bytes(nbytes)
+        if args.verify:
+            check = min(nbytes, 64)
+            want = WordLFSRReference(wspec, seed).keystream_bytes(check)
+            if data[:check] != want:
+                print(f"VERIFY FAILED: fast engine diverges from the "
+                      f"state-matrix reference within {check} bytes")
+                return 1
+            print(f"verified: first {check} bytes match the bit-serial "
+                  f"state-matrix reference")
+    print(data.hex())
+    if args.json:
+        payload = {
+            "source": source,
+            "bytes": nbytes,
+            "hex": data.hex(),
+            "plan": plan.to_dict() if plan is not None else None,
+        }
+        with open(args.json, "w") as handle:
+            _json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"keystream report written to {args.json}")
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
     import os
@@ -725,6 +793,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--telemetry", action="store_true",
                    help="trace the run and snapshot the metrics registry")
     p.set_defaults(func=cmd_fuzz)
+
+    p = sub.add_parser(
+        "keystream",
+        help="generate keystream bytes from a word-oriented or bit-serial LFSR",
+    )
+    p.add_argument("--source",
+                   choices=("auto", "word8", "word32", "word64",
+                            "galois-bitserial"),
+                   default="auto",
+                   help="keystream engine (auto = planner cost-table pick)")
+    p.add_argument("--bytes", type=int, default=64,
+                   help="keystream bytes to emit")
+    p.add_argument("--seed", default="repro",
+                   help="seed material (stretched across the register words)")
+    p.add_argument("--verify", action="store_true",
+                   help="cross-check the fast word engine against the "
+                   "bit-serial state-matrix reference")
+    p.add_argument("--json", metavar="PATH",
+                   help="write source, hex keystream and plan to PATH")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="persist the host profile under DIR for --source auto "
+                   "(default: $REPRO_CACHE_DIR)")
+    p.set_defaults(func=cmd_keystream)
 
     p = sub.add_parser("cache", help="inspect the persistent compile cache")
     p.add_argument("--cache-dir", default=None, metavar="DIR",

@@ -1,4 +1,4 @@
-"""CRC library: spec catalog plus six interchangeable engines.
+"""CRC library: spec catalog plus seven interchangeable engines.
 
 Engines (all consume :class:`CRCSpec` and agree bit-for-bit):
 
@@ -6,10 +6,11 @@ Engines (all consume :class:`CRCSpec` and agree bit-for-bit):
 :class:`BitwiseCRC`    serial reference (one companion-matrix step per bit)
 :class:`TableCRC`      Sarwate byte table — the paper's "fast software" [8]
 :class:`SlicingCRC`    slicing-by-N software CRC (strongest RISC baseline)
+:class:`WordwiseCRC`   word-at-a-time carry-less-multiply folding
+:class:`GFMACCRC`      chunked Galois-field MAC CRC (Roy / Ji–Killian [9,10])
 :class:`LookaheadCRC`  direct M-bit matrix parallel CRC (Pei–Zukowski [6])
 :class:`DerbyCRC`      state-space-transformed parallel CRC (Derby [7] — the
                        algorithm the paper maps onto PiCoGA)
-:class:`GFMACCRC`      chunked Galois-field MAC CRC (Roy / Ji–Killian [9,10])
 :class:`InterleavedCRC`  Kong–Parhi message interleaving [13] over DerbyCRC
 ================  ===========================================================
 """

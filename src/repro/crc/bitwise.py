@@ -21,6 +21,7 @@ class BitwiseCRC:
 
     @property
     def spec(self) -> CRCSpec:
+        """The :class:`CRCSpec` this engine realizes."""
         return self._spec
 
     # ------------------------------------------------------------------
@@ -34,6 +35,7 @@ class BitwiseCRC:
         return register
 
     def process_bits(self, register: int, bits: Iterable[int]) -> int:
+        """Fold an iterable of message bits into ``register``."""
         for bit in bits:
             register = self.process_bit(register, bit)
         return register
@@ -49,6 +51,7 @@ class BitwiseCRC:
         return self._spec.finalize(self.raw_register(data))
 
     def verify(self, data: bytes, crc: int) -> bool:
+        """True iff ``crc`` is the published CRC of ``data``."""
         return self.compute(data) == crc
 
     def compute_bits(self, bits: Iterable[int]) -> int:

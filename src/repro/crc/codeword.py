@@ -29,10 +29,12 @@ class CodewordCodec:
 
     @property
     def spec(self) -> CRCSpec:
+        """The :class:`CRCSpec` this codec realizes."""
         return self._spec
 
     @property
     def overhead_bytes(self) -> int:
+        """CRC trailer length in bytes."""
         return self._crc_bytes
 
     def crc_to_bytes(self, crc: int) -> bytes:
@@ -41,6 +43,7 @@ class CodewordCodec:
         return crc.to_bytes(self._crc_bytes, order)
 
     def crc_from_bytes(self, data: bytes) -> int:
+        """Parse a wire-order CRC trailer back into an integer."""
         if len(data) != self._crc_bytes:
             raise ValueError(f"expected {self._crc_bytes} CRC bytes")
         order = "little" if self._spec.refout else "big"

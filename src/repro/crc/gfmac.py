@@ -61,10 +61,12 @@ class GFMACCRC:
 
     @property
     def spec(self) -> CRCSpec:
+        """The :class:`CRCSpec` this engine realizes."""
         return self._spec
 
     @property
     def chunk_bits(self) -> int:
+        """Chunk width W in bits per GFMAC operation."""
         return self._chunk_bits
 
     @property
@@ -78,6 +80,7 @@ class GFMACCRC:
         return clpowmod(2, self._spec.width + weight, self._g)
 
     def raw_register(self, data: bytes, register: Optional[int] = None) -> int:
+        """Register contents after folding ``data`` chunkwise (no finalization)."""
         spec = self._spec
         bits = spec.message_bits(data)
         reg = spec.init if register is None else register
@@ -92,7 +95,9 @@ class GFMACCRC:
         return acc
 
     def compute(self, data: bytes) -> int:
+        """The published CRC value of ``data``."""
         return self._spec.finalize(self.raw_register(data))
 
     def verify(self, data: bytes, crc: int) -> bool:
+        """True iff ``crc`` is the published CRC of ``data``."""
         return self.compute(data) == crc

@@ -34,18 +34,22 @@ class InterleavedCRC:
 
     @property
     def spec(self) -> CRCSpec:
+        """The :class:`CRCSpec` this engine realizes."""
         return self._engine.spec
 
     @property
     def M(self) -> int:
+        """Look-ahead block factor of the underlying Derby engine."""
         return self._engine.M
 
     @property
     def ways(self) -> int:
+        """Interleaving depth (messages per round-robin pass)."""
         return self._ways
 
     @property
     def engine(self) -> DerbyCRC:
+        """The shared :class:`DerbyCRC` engine."""
         return self._engine
 
     # ------------------------------------------------------------------

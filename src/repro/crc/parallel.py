@@ -91,6 +91,7 @@ class LookaheadCRC(_MatrixCRCBase):
 
     @property
     def system(self) -> LookaheadSystem:
+        """The expanded ``(A^M, B_M)`` block system."""
         return self._system
 
     def _run_blocks(self, state: np.ndarray, bits: Sequence[int]) -> np.ndarray:
@@ -119,6 +120,7 @@ class DerbyCRC(_MatrixCRCBase):
 
     @property
     def transform(self) -> DerbyTransform:
+        """The Derby similarity transform this engine runs in."""
         return self._transform
 
     def _run_blocks(self, state: np.ndarray, bits: Sequence[int]) -> np.ndarray:

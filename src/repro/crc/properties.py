@@ -134,6 +134,7 @@ class GeneratorReport:
 
     @property
     def detects_all_odd_weight_errors(self) -> bool:
+        """True iff (x+1) divides the generator (parity factor present)."""
         return self.has_parity_factor
 
     @property

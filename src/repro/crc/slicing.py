@@ -59,10 +59,12 @@ class SlicingCRC:
 
     @property
     def spec(self) -> CRCSpec:
+        """The :class:`CRCSpec` this engine realizes."""
         return self._spec
 
     @property
     def slices(self) -> int:
+        """Slice count N — bytes folded per block step."""
         return self._n
 
     @property
@@ -72,6 +74,7 @@ class SlicingCRC:
 
     # ------------------------------------------------------------------
     def raw_register(self, data: bytes, register: int = None) -> int:
+        """Register contents after clocking ``data`` (no finalization)."""
         spec = self._spec
         reg = spec.init if register is None else register
         if not self._supported:
@@ -102,7 +105,9 @@ class SlicingCRC:
         return reg
 
     def compute(self, data: bytes) -> int:
+        """The published CRC value of ``data``."""
         return self._spec.finalize(self.raw_register(data))
 
     def verify(self, data: bytes, crc: int) -> bool:
+        """True iff ``crc`` is the published CRC of ``data``."""
         return self.compute(data) == crc

@@ -72,10 +72,12 @@ class CRCSpec:
     # ------------------------------------------------------------------
     @property
     def mask(self) -> int:
+        """All-ones mask over the register width."""
         return (1 << self.width) - 1
 
     @property
     def top_bit(self) -> int:
+        """Mask of the register MSB (the feedback tap)."""
         return 1 << (self.width - 1)
 
     def generator(self) -> GF2Polynomial:

@@ -66,14 +66,17 @@ class TableCRC:
 
     @property
     def spec(self) -> CRCSpec:
+        """The :class:`CRCSpec` this engine realizes."""
         return self._spec
 
     @property
     def table(self) -> List[int]:
+        """A copy of the 256-entry byte table."""
         return list(self._table)
 
     # ------------------------------------------------------------------
     def raw_register(self, data: bytes, register: int = None) -> int:
+        """Register contents after clocking ``data`` (no finalization)."""
         spec = self._spec
         reg = spec.init if register is None else register
         if spec.refin:
@@ -96,9 +99,11 @@ class TableCRC:
         return reg
 
     def compute(self, data: bytes) -> int:
+        """The published CRC value of ``data``."""
         if self._mixed is not None:
             return self._mixed.compute(data)
         return self._spec.finalize(self.raw_register(data))
 
     def verify(self, data: bytes, crc: int) -> bool:
+        """True iff ``crc`` is the published CRC of ``data``."""
         return self.compute(data) == crc

@@ -47,10 +47,12 @@ class WordwiseCRC:
 
     @property
     def spec(self) -> CRCSpec:
+        """The :class:`CRCSpec` this engine realizes."""
         return self._spec
 
     @property
     def word_bits(self) -> int:
+        """Bits folded per block step."""
         return self._w
 
     # ------------------------------------------------------------------
@@ -67,6 +69,7 @@ class WordwiseCRC:
         return out
 
     def raw_register(self, data: bytes, register: Optional[int] = None) -> int:
+        """Register contents after clocking ``data`` (no finalization)."""
         spec = self._spec
         bits = spec.message_bits(data)
         reg = spec.init if register is None else register
@@ -79,7 +82,9 @@ class WordwiseCRC:
         return self._serial.process_bits(reg, bits[full:])
 
     def compute(self, data: bytes) -> int:
+        """The published CRC value of ``data``."""
         return self._spec.finalize(self.raw_register(data))
 
     def verify(self, data: bytes, crc: int) -> bool:
+        """True iff ``crc`` is the published CRC of ``data``."""
         return self.compute(data) == crc

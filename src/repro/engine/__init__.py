@@ -31,6 +31,7 @@ from repro.engine.batch import (
     BatchAdditiveScrambler,
     BatchCRC,
     BatchMultiplicativeScrambler,
+    BatchWordScrambler,
     gf2_mul_packed,
     pack_bits,
     unpack_bits,
@@ -74,6 +75,7 @@ __all__ = [
     "BatchAdditiveScrambler",
     "BatchCRC",
     "BatchMultiplicativeScrambler",
+    "BatchWordScrambler",
     "CACHE_DIR_ENV",
     "CacheStats",
     "CompileCache",

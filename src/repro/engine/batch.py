@@ -38,6 +38,7 @@ from repro.engine.cache import CompileCache, default_cache
 from repro.errors import SpecError
 from repro.gf2.backend import GF2Backend, WORD_BITS, get_backend, resolve_backend
 from repro.gf2.polynomial import GF2Polynomial
+from repro.lfsr.wordlfsr import WORD64, WordLFSR, WordLFSRSpec, seed_words_from_bytes
 from repro.scrambler.specs import ScramblerSpec
 from repro.telemetry import bind_families, default_registry
 from repro.validation import (
@@ -382,6 +383,99 @@ class BatchAdditiveScrambler:
         self,
         bit_streams: Sequence[Sequence[int]],
         seeds: Optional[Sequence[int]] = None,
+    ) -> List[List[int]]:
+        """Identical to :meth:`scramble_batch` (XOR is an involution)."""
+        return self.scramble_batch(bit_streams, seeds)
+
+
+class BatchWordScrambler:
+    """Frame-synchronous scrambling of B streams on word-oriented keystreams.
+
+    An alternative keystream source to :class:`BatchAdditiveScrambler`:
+    instead of expanding a catalog LFSR through ``Y``/``A^M`` block
+    matrices, each stream gets its own Tsaban–Vishne
+    :class:`~repro.lfsr.wordlfsr.WordLFSR` emitting one machine word per
+    step, and the batch XOR runs as one numpy operation.  Per-stream seeds
+    are word lists or byte material (stretched through
+    :func:`~repro.lfsr.wordlfsr.seed_words_from_bytes`); omitted seeds
+    derive deterministically from the stream index, so repeated calls are
+    reproducible.  Scrambling is an involution — descrambling is the same
+    call with the same seeds.
+    """
+
+    def __init__(self, spec: WordLFSRSpec = WORD64):
+        self._spec = spec
+
+    @property
+    def spec(self) -> WordLFSRSpec:
+        """The word-LFSR configuration every stream's keystream runs."""
+        return self._spec
+
+    # ------------------------------------------------------------------
+    def _check_seeds(self, batch: int, seeds) -> List[List[int]]:
+        """Per-stream word seeds (index-derived defaults when omitted)."""
+        if seeds is None:
+            return [
+                seed_words_from_bytes(self._spec, b"stream-%d" % b)
+                for b in range(batch)
+            ]
+        if len(seeds) != batch:
+            raise SpecError(f"expected {batch} seeds, got {len(seeds)}")
+        out = []
+        for s in seeds:
+            if isinstance(s, (bytes, bytearray, memoryview)):
+                out.append(seed_words_from_bytes(self._spec, bytes(s)))
+            else:
+                out.append(list(s))
+        return out
+
+    def keystream_batch(
+        self, nbits: int, batch: int, seeds=None
+    ) -> np.ndarray:
+        """``(nbits, batch)`` keystream bits, one word-LFSR per column."""
+        telemetry = default_registry().enabled
+        t0 = perf_counter() if telemetry else 0.0
+        seeds = self._check_seeds(batch, seeds)
+        if nbits == 0 or batch == 0:
+            return np.zeros((nbits, batch), dtype=np.uint8)
+        cols = [
+            WordLFSR(self._spec, seed).keystream_bits(nbits) for seed in seeds
+        ]
+        out = np.stack(cols, axis=1)
+        if telemetry:
+            _observe_kernel("scrambler-word", nbits * batch, perf_counter() - t0)
+        return out
+
+    def scramble_batch(
+        self,
+        bit_streams: Sequence[Sequence[int]],
+        seeds=None,
+    ) -> List[List[int]]:
+        """XOR each stream with its keystream; returns per-stream bit lists."""
+        # Validate arguments *before* any early return, so an invalid seed
+        # list is rejected even when every stream happens to be empty.
+        checked = check_bit_streams(bit_streams)
+        batch = len(checked)
+        seeds = self._check_seeds(batch, seeds)
+        if batch == 0:
+            return []
+        lengths = [len(bits) for bits in checked]
+        longest = max(lengths)
+        if longest == 0:
+            return [[] for _ in checked]
+        # Tail padding is safe here: the keystream never depends on the data.
+        data = np.zeros((longest, batch), dtype=np.uint8)
+        for b, bits in enumerate(checked):
+            if lengths[b]:
+                data[: lengths[b], b] = bits
+        ks = self.keystream_batch(longest, batch, seeds)
+        out = data ^ ks
+        return [out[: lengths[b], b].tolist() for b in range(batch)]
+
+    def descramble_batch(
+        self,
+        bit_streams: Sequence[Sequence[int]],
+        seeds=None,
     ) -> List[List[int]]:
         """Identical to :meth:`scramble_batch` (XOR is an involution)."""
         return self.scramble_batch(bit_streams, seeds)

@@ -227,8 +227,11 @@ class CRCPipeline:
                 f"message must be bytes-like, got {type(data).__name__}"
             )
         if len(data):
+            # Zero-copy expansion: np.frombuffer reads bytes, bytearray and
+            # memoryview buffers in place — no intermediate bytes() copy on
+            # the serving hot path.
             bits = np.unpackbits(
-                np.frombuffer(bytes(data), dtype=np.uint8),
+                np.frombuffer(data, dtype=np.uint8),
                 bitorder="little" if self._spec.refin else "big",
             )
             stream.buffer.extend(bits.tolist())

@@ -85,7 +85,9 @@ PROFILE_KEY = ("planner-profile",)
 
 #: Format version folded into persisted profile/plan payloads; bump on
 #: any cost-model or schema change to orphan stale entries.
-PLANNER_VERSION = 1
+#: v2: keystream cost tables (``keystream_bits_per_s``) + the
+#: ``keystream`` workload kind.
+PLANNER_VERSION = 2
 
 #: Look-ahead factors the solver considers when the workload doesn't pin M.
 M_CANDIDATES = (8, 16, 32, 64, 128)
@@ -109,7 +111,18 @@ PROCESS_DISPATCH_SCALE = 25.0
 KIND_CRC_BATCH = "crc-batch"
 KIND_CRC_STREAM = "crc-stream"
 KIND_SCRAMBLER_BATCH = "scrambler-batch"
-WORKLOAD_KINDS = (KIND_CRC_BATCH, KIND_CRC_STREAM, KIND_SCRAMBLER_BATCH)
+KIND_KEYSTREAM = "keystream"
+WORKLOAD_KINDS = (
+    KIND_CRC_BATCH,
+    KIND_CRC_STREAM,
+    KIND_SCRAMBLER_BATCH,
+    KIND_KEYSTREAM,
+)
+
+#: Keystream sources the planner knows how to cost (see
+#: :mod:`repro.lfsr.wordlfsr` and :mod:`repro.lfsr.reference`).  These are
+#: serial generators, so their candidates never shard.
+KEYSTREAM_SOURCES = ("galois-bitserial", "word32", "word64")
 
 #: Plan strategies.
 STRATEGY_SERIAL = "serial"
@@ -186,6 +199,10 @@ class HostProfile:
     ``pickle_bits_per_s``
         Payload serialization bandwidth (paid round-trip by process
         pools).
+    ``keystream_bits_per_s``
+        Serial keystream generator throughput per source name (the
+        :data:`KEYSTREAM_SOURCES` engines: bit-serial Galois reference
+        vs the word-oriented σ-LFSRs).
     """
 
     fingerprint: str
@@ -197,6 +214,7 @@ class HostProfile:
     recombine_s: float = 0.0
     pickle_bits_per_s: float = float("inf")
     block_overhead_bits: float = BLOCK_OVERHEAD_BITS
+    keystream_bits_per_s: Dict[str, float] = field(default_factory=dict)
 
     def __post_init__(self):
         if self.cpus < 1:
@@ -211,6 +229,11 @@ class HostProfile:
             if self.backend_mode.get(name) not in ("thread", "process"):
                 raise ValidationError(
                     f"backend {name!r} needs a mode of thread|process"
+                )
+        for name, rate in self.keystream_bits_per_s.items():
+            if rate <= 0:
+                raise ValidationError(
+                    f"keystream source {name!r} rate must be > 0, got {rate}"
                 )
 
     # ------------------------------------------------------------------
@@ -228,14 +251,23 @@ class HostProfile:
         recombine_s: float = 2e-5,
         pickle_bits_per_s: float = 4.0e9,
         block_overhead_bits: float = BLOCK_OVERHEAD_BITS,
+        keystream_bits_per_s: Optional[Dict[str, float]] = None,
     ) -> "HostProfile":
         """A ready-made profile for tests and documentation examples.
 
         Defaults approximate the BENCH_5 container (packed backend ~2
         Gbit/s, reference ~300x slower); every term is overridable so a
         test can dial in "slow-spawn pool" or "GIL-bound host" shapes
-        without reciting the whole table.
+        without reciting the whole table.  ``keystream_bits_per_s``
+        defaults to the measured ordering on that container: word-oriented
+        σ-LFSRs tens of times faster than the bit-serial register.
         """
+        if keystream_bits_per_s is None:
+            keystream_bits_per_s = {
+                "galois-bitserial": 1.5e6,
+                "word32": 4.0e7,
+                "word64": 8.0e7,
+            }
         rates = {"packed": float(packed_bits_per_s)}
         modes = {"packed": "thread"}
         if reference_bits_per_s is not None:
@@ -251,6 +283,9 @@ class HostProfile:
             recombine_s=recombine_s,
             pickle_bits_per_s=pickle_bits_per_s,
             block_overhead_bits=block_overhead_bits,
+            keystream_bits_per_s={
+                str(k): float(v) for k, v in keystream_bits_per_s.items()
+            },
         )
 
     # ------------------------------------------------------------------
@@ -267,6 +302,7 @@ class HostProfile:
             "recombine_s": self.recombine_s,
             "pickle_bits_per_s": self.pickle_bits_per_s,
             "block_overhead_bits": self.block_overhead_bits,
+            "keystream_bits_per_s": dict(self.keystream_bits_per_s),
         }
 
     @classmethod
@@ -294,6 +330,10 @@ class HostProfile:
                 recombine_s=float(data["recombine_s"]),
                 pickle_bits_per_s=float(data["pickle_bits_per_s"]),
                 block_overhead_bits=float(data["block_overhead_bits"]),
+                keystream_bits_per_s={
+                    str(k): float(v)
+                    for k, v in data["keystream_bits_per_s"].items()
+                },
             )
         except ValidationError:
             raise
@@ -392,6 +432,44 @@ def _probe_recombine(timer: Callable[[], float], reps: int) -> float:
     return elapsed / reps
 
 
+def _probe_keystream_rates(
+    timer: Callable[[], float], reps: int
+) -> Dict[str, float]:
+    """Bits/s of each serial keystream source in :data:`KEYSTREAM_SOURCES`.
+
+    The word-oriented engines are probed through their byte hot path
+    (:meth:`~repro.lfsr.wordlfsr.WordLFSR.keystream_bytes`); the
+    bit-serial baseline walks :class:`~repro.lfsr.reference.GaloisLFSR`
+    for proportionally fewer bits, since it is the one the word engines
+    are gated ≥20x against.
+    """
+    from repro.gf2.polynomial import GF2Polynomial
+    from repro.lfsr.reference import GaloisLFSR
+    from repro.lfsr.wordlfsr import WORD32, WORD64, WordLFSR, seed_words_from_bytes
+
+    rates: Dict[str, float] = {}
+    nbytes = 2048
+    for spec in (WORD32, WORD64):
+        seed = seed_words_from_bytes(spec, b"planner-probe")
+        engine = WordLFSR(spec, seed)
+        engine.keystream_bytes(64)  # warm the specialized loop off the clock
+        t0 = timer()
+        for _ in range(reps):
+            engine.keystream_bytes(nbytes)
+        elapsed = max(timer() - t0, 1e-9)
+        rates[spec.name] = reps * 8 * nbytes / elapsed
+        _count_probe(f"keystream-{spec.name}")
+    poly = GF2Polynomial.from_exponents([31, 28, 0])  # PRBS-31 generator
+    nbits = 2048
+    t0 = timer()
+    for _ in range(reps):
+        GaloisLFSR(poly, 1).keystream(nbits)
+    elapsed = max(timer() - t0, 1e-9)
+    rates["galois-bitserial"] = reps * nbits / elapsed
+    _count_probe("keystream-galois-bitserial")
+    return rates
+
+
 def _probe_pickle_rate(timer: Callable[[], float], reps: int) -> float:
     """Bits/s through ``pickle.dumps`` for bulk payload bytes."""
     payload = bytes(range(256)) * 256  # 64 KiB
@@ -455,6 +533,7 @@ def probe_host(
         },
         recombine_s=_probe_recombine(timer, max(reps, 8)),
         pickle_bits_per_s=_probe_pickle_rate(timer, reps),
+        keystream_bits_per_s=_probe_keystream_rates(timer, reps),
     )
 
 
@@ -837,13 +916,47 @@ class Planner:
             predicted_s=t,
         )
 
+    def _keystream_candidates(
+        self, workload: WorkloadDescriptor
+    ) -> List[PlanCandidate]:
+        """One serial candidate per keystream source, fastest first.
+
+        Keystream generators are sequential by construction (each word
+        depends on the register), so the design space is the *source*
+        axis — bit-serial reference vs the word-oriented σ-LFSRs — not a
+        worker ladder.  The winning candidate's ``backend`` names the
+        source to instantiate.
+        """
+        profile = self.profile
+        if not profile.keystream_bits_per_s:
+            raise ValidationError(
+                "host profile has no keystream rates (re-probe with "
+                "planner version >= 2)"
+            )
+        M = workload.M if workload.M is not None else 1
+        out = [
+            PlanCandidate(
+                backend=source,
+                workers=1,
+                mode="serial",
+                M=M,
+                strategy=STRATEGY_SERIAL,
+                predicted_s=max(workload.total_bits, 1) / rate,
+            )
+            for source, rate in sorted(profile.keystream_bits_per_s.items())
+        ]
+        return sorted(out, key=lambda c: c.predicted_s)
+
     def candidates(self, workload: WorkloadDescriptor) -> List[PlanCandidate]:
         """Every explored design point, fastest-predicted first.
 
         The iteration order (backend name, then M, then workers — all
         ascending) plus strict-improvement selection makes the winner
-        deterministic even under exact ties.
+        deterministic even under exact ties.  Keystream workloads explore
+        the source axis instead (see :meth:`_keystream_candidates`).
         """
+        if workload.kind == KIND_KEYSTREAM:
+            return self._keystream_candidates(workload)
         profile = self.profile
         ms = (
             (workload.M,) if workload.M is not None else self._m_candidates

@@ -13,9 +13,10 @@ This module makes that layout a pluggable choice behind one registry:
     Word-packed bit-slicing: states and matrix columns live in 64-bit
     machine words (numpy ``uint64``), so one XOR advances 64 independent
     streams — the software analogue of the paper's "wide and flat"
-    PiCoGA datapath, following Tsaban & Vishne's word-oriented LFSR
-    construction.  Falls back to :class:`PackedIntBackend` when numpy is
-    unavailable.
+    PiCoGA datapath.  (Tsaban & Vishne's word-oriented σ-LFSR construction
+    proper lives in :mod:`repro.lfsr.wordlfsr`; this backend word-packs the
+    *batch* dimension instead of the register.)  Falls back to
+    :class:`PackedIntBackend` when numpy is unavailable.
 ``"packed-int"``
     The stdlib fallback made explicit: batch rows as arbitrary-width
     Python ints, XOR still word-parallel, no third-party dependencies.

@@ -91,6 +91,7 @@ class GolombReport:
 
     @property
     def is_pseudo_noise(self) -> bool:
+        """True iff all three Golomb postulates hold."""
         return self.balanced and self.run_distribution_ok and self.two_valued_autocorrelation
 
 

@@ -1,0 +1,265 @@
+"""Fibonacci ↔ Galois LFSR transformation with matching initial states.
+
+The paper's Derby transformation (§2) buys a shallow feedback path in
+hardware by moving XOR work off the critical loop; Dubrova's
+transformation (PAPERS.md, *"An Equivalence-Preserving Transformation of
+Shift Registers"* and *"Finding Matching Initial States"*) is the software
+analogue for plain LFSRs: a Fibonacci (many-to-one) register and a Galois
+(one-to-many) register with the same generator polynomial emit the *same*
+output sequence — provided the initial states are matched correctly.  The
+Galois form's feedback fans *out* (one bit XORed into many positions, each
+a 2-input XOR) instead of fanning *in* (a wide XOR tree), which is exactly
+why every fast engine in this library — `GaloisLFSR`, the companion-matrix
+blockwise paths, the CRC kernels — already runs the Galois configuration.
+
+This module supplies the missing bridge.  Both configurations are
+autonomous linear systems over GF(2)::
+
+    x(n+1) = A x(n)        y(n) = c · x(n)
+
+and two observable systems produce identical outputs iff their states map
+through the observability matrices: with ``O`` stacking the rows
+``c·A^t`` for ``t = 0..k-1``, the output sequence from state ``s`` starts
+with ``O s``; since a degree-``k`` LFSR sequence is determined by ``k``
+consecutive bits, matching states solve::
+
+    O_dst · s_dst = O_src · s_src
+
+— one :meth:`~repro.gf2.matrix.GF2Matrix.solve` call.  Both observability
+matrices are invertible whenever the generator has a non-zero constant
+term, so the conversion works in either direction and round-trips exactly.
+
+One wrinkle of this library's register conventions (inherited from the
+classic CRC shift direction): ``FibonacciLFSR(g)`` taps positions straight
+from ``g``'s exponents, which realizes the recurrence of the *reciprocal*
+polynomial — ``tests/test_lfsr_reference.py`` pins this down.  The Galois
+twin of a Fibonacci register therefore runs ``g.reciprocal()`` and vice
+versa; the conversion helpers below take the **source** register's
+polynomial and return a state for the destination register running the
+reciprocal.  (Reciprocal-of-reciprocal is the identity, so round trips
+still compose cleanly.)
+
+Two output taps matter in this library:
+
+* the *keystream* tap ``c = e_{k-1}`` (the MSB both
+  :class:`~repro.lfsr.reference.FibonacciLFSR` and
+  :class:`~repro.lfsr.reference.GaloisLFSR` emit) — used by the additive
+  scramblers;
+* the *feedback sum* tap read by the multiplicative (self-synchronizing)
+  scrambler's delay line, where the zero-input output is the XOR of the
+  tapped delay cells.
+
+Both are handled by the same generic :func:`matching_state`; the
+``fibonacci_to_galois_state`` / ``galois_to_fibonacci_state`` pair covers
+the keystream case and the ``multiplicative_*`` pair covers the scrambler
+case.  `repro.scrambler` uses these to run every catalog spec in
+shallow-feedback Galois form bit-exact against the Fibonacci reference
+(see ``tests/test_lfsr_galois.py`` and the ``galois:fibonacci-vs-galois``
+fuzz oracle).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gf2.bits import bits_to_int, int_to_bits
+from repro.gf2.matrix import GF2Matrix
+from repro.gf2.polynomial import GF2Polynomial
+from repro.lfsr.companion import companion_matrix
+
+__all__ = [
+    "fibonacci_state_matrix",
+    "keystream_output_vector",
+    "multiplicative_output_vector",
+    "observability_matrix",
+    "matching_state",
+    "fibonacci_to_galois_state",
+    "galois_to_fibonacci_state",
+    "multiplicative_fibonacci_to_galois_state",
+    "multiplicative_galois_to_fibonacci_state",
+]
+
+
+def fibonacci_state_matrix(poly: GF2Polynomial) -> GF2Matrix:
+    """State-update matrix of :class:`~repro.lfsr.reference.FibonacciLFSR`.
+
+    That register shifts toward the MSB and feeds the tap XOR into bit 0:
+    new bit ``j`` is old bit ``j-1`` for ``j >= 1`` and new bit 0 is the
+    XOR of the tapped positions ``t-1`` for each tap exponent ``t``.
+    """
+    k = poly.degree
+    if k < 1:
+        raise ValueError("polynomial must have degree >= 1")
+    if not poly.coefficient(0):
+        raise ValueError("Fibonacci form needs a non-zero constant term")
+    a = np.zeros((k, k), dtype=np.uint8)
+    for j in range(1, k):
+        a[j, j - 1] = 1
+    for t in range(1, k + 1):
+        if t == k or poly.coefficient(t):
+            a[0, t - 1] ^= 1
+    return GF2Matrix(a)
+
+
+def keystream_output_vector(poly: GF2Polynomial) -> np.ndarray:
+    """The keystream tap ``c = e_{k-1}``: both reference registers emit
+    their MSB, so the same output vector serves both configurations."""
+    k = poly.degree
+    c = np.zeros(k, dtype=np.uint8)
+    c[k - 1] = 1
+    return c
+
+
+def multiplicative_output_vector(poly: GF2Polynomial) -> np.ndarray:
+    """Zero-input output tap of the Fibonacci multiplicative scrambler.
+
+    The delay-line form computes each output as the XOR of the tapped
+    cells (positions ``t-1`` for tap exponents ``t``), so its autonomous
+    output vector is the sum of those unit vectors rather than a single
+    state bit.
+    """
+    k = poly.degree
+    if not poly.coefficient(0):
+        raise ValueError("multiplicative form needs a non-zero constant term")
+    c = np.zeros(k, dtype=np.uint8)
+    for t in range(1, k + 1):
+        if t == k or poly.coefficient(t):
+            c[t - 1] ^= 1
+    return c
+
+
+def observability_matrix(a: GF2Matrix, c: np.ndarray, rows: int = 0) -> GF2Matrix:
+    """Stack the output rows ``c·A^t`` for ``t = 0..rows-1``.
+
+    Row ``t`` maps a state to the output emitted ``t`` steps later, so
+    ``O s`` is the start of the output sequence from ``s``.  ``rows``
+    defaults to the state dimension, the square case used for matching.
+    """
+    k = a.nrows
+    if rows <= 0:
+        rows = k
+    c = np.asarray(c, dtype=np.uint8) & 1
+    if c.shape != (k,):
+        raise ValueError(f"output vector must have shape ({k},)")
+    out = np.zeros((rows, k), dtype=np.uint8)
+    row = c.copy()
+    at = a.transpose()
+    for t in range(rows):
+        out[t] = row
+        row = at @ row  # c · A^(t+1)  ==  (A^T · (c·A^t)^T)^T
+    return GF2Matrix(out)
+
+
+def matching_state(
+    a_src: GF2Matrix,
+    c_src: np.ndarray,
+    a_dst: GF2Matrix,
+    c_dst: np.ndarray,
+    state: np.ndarray,
+) -> np.ndarray:
+    """Dubrova's matching initial state, as one linear solve.
+
+    Given source and destination systems ``(A, c)`` and a source state,
+    returns the destination state whose output sequence is identical,
+    solving ``O_dst s_dst = O_src s_src`` with
+    :meth:`GF2Matrix.solve <repro.gf2.matrix.GF2Matrix.solve>`.  Raises
+    ``ValueError`` (singular matrix) if the destination system is not
+    observable.
+    """
+    state = np.asarray(state, dtype=np.uint8) & 1
+    o_src = observability_matrix(a_src, c_src)
+    o_dst = observability_matrix(a_dst, c_dst)
+    return o_dst.solve(o_src @ state)
+
+
+def _as_bits(poly: GF2Polynomial, state: int) -> np.ndarray:
+    k = poly.degree
+    if state >> k:
+        raise ValueError(f"state {state:#x} wider than {k} bits")
+    return np.array(int_to_bits(state, k), dtype=np.uint8)
+
+
+def _as_int(bits: np.ndarray) -> int:
+    return bits_to_int([int(v) for v in bits])
+
+
+def galois_to_fibonacci_state(galois_poly: GF2Polynomial, state: int) -> int:
+    """Fibonacci state matching ``GaloisLFSR(galois_poly, state)``.
+
+    The returned register seeds ``FibonacciLFSR(galois_poly.reciprocal())``
+    — the two configurations realize *reciprocal* characteristic
+    polynomials in this library's conventions (see
+    ``tests/test_lfsr_reference.py``), so the Fibonacci twin of a Galois
+    register runs the bit-reversed generator.  With the matched state the
+    keystreams are identical bit-for-bit, forever.
+    """
+    recip = galois_poly.reciprocal()
+    bits = _as_bits(galois_poly, state)
+    out = matching_state(
+        companion_matrix(galois_poly),
+        keystream_output_vector(galois_poly),
+        fibonacci_state_matrix(recip),
+        keystream_output_vector(recip),
+        bits,
+    )
+    return _as_int(out)
+
+
+def fibonacci_to_galois_state(fibonacci_poly: GF2Polynomial, state: int) -> int:
+    """Galois state matching ``FibonacciLFSR(fibonacci_poly, state)``.
+
+    The returned register seeds ``GaloisLFSR(fibonacci_poly.reciprocal())``
+    (the shallow-feedback form); inverse of
+    :func:`galois_to_fibonacci_state`, and an exact round trip.
+    """
+    recip = fibonacci_poly.reciprocal()
+    bits = _as_bits(fibonacci_poly, state)
+    out = matching_state(
+        fibonacci_state_matrix(fibonacci_poly),
+        keystream_output_vector(fibonacci_poly),
+        companion_matrix(recip),
+        keystream_output_vector(recip),
+        bits,
+    )
+    return _as_int(out)
+
+
+def multiplicative_fibonacci_to_galois_state(poly: GF2Polynomial, state: int) -> int:
+    """Galois-scrambler register matching a Fibonacci delay-line state.
+
+    ``state`` is the :class:`~repro.scrambler.multiplicative.MultiplicativeScrambler`
+    register for generator ``poly`` (bit ``j`` = the scrambled bit from
+    ``j+1`` clocks ago); the result seeds the Galois-form scrambler —
+    which runs taps ``poly.reciprocal()``, mirroring the keystream case —
+    so both emit identical bits for *every* input: the transfer functions
+    already agree, and the matched state aligns the free response.
+    """
+    recip = poly.reciprocal()
+    bits = _as_bits(poly, state)
+    out = matching_state(
+        fibonacci_state_matrix(poly),
+        multiplicative_output_vector(poly),
+        companion_matrix(recip),
+        keystream_output_vector(recip),
+        bits,
+    )
+    return _as_int(out)
+
+
+def multiplicative_galois_to_fibonacci_state(galois_poly: GF2Polynomial, state: int) -> int:
+    """Inverse of :func:`multiplicative_fibonacci_to_galois_state`.
+
+    ``galois_poly`` is the polynomial the *Galois* register runs (the
+    reciprocal of the delay line's generator); the result seeds
+    ``MultiplicativeScrambler(galois_poly.reciprocal())``.
+    """
+    recip = galois_poly.reciprocal()
+    bits = _as_bits(galois_poly, state)
+    out = matching_state(
+        companion_matrix(galois_poly),
+        keystream_output_vector(galois_poly),
+        fibonacci_state_matrix(recip),
+        multiplicative_output_vector(recip),
+        bits,
+    )
+    return _as_int(out)

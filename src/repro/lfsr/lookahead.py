@@ -41,6 +41,7 @@ class LookaheadSystem:
 
     @property
     def order(self) -> int:
+        """State dimension k of the base register."""
         return self.base.order
 
     # ------------------------------------------------------------------

@@ -31,9 +31,11 @@ class PeiLookahead:
 
     @property
     def M(self) -> int:
+        """Look-ahead block factor."""
         return self.lookahead.M
 
     def run(self, state: np.ndarray, bits: Sequence[int]) -> np.ndarray:
+        """Advance ``state`` over ``bits`` via the untransformed block form."""
         return self.lookahead.run(state, bits)
 
     # ------------------------------------------------------------------
@@ -55,6 +57,7 @@ class PeiLookahead:
 
 
 def pei_lookahead(base: LFSRStateSpace, M: int) -> PeiLookahead:
+    """Build the direct M-level look-ahead engine for ``base``."""
     return PeiLookahead(lookahead=expand_lookahead(base, M))
 
 

@@ -38,18 +38,22 @@ class GaloisLFSR:
 
     @property
     def poly(self) -> GF2Polynomial:
+        """The generator polynomial g."""
         return self._poly
 
     @property
     def width(self) -> int:
+        """Register width k (degree of g)."""
         return self._k
 
     @property
     def state(self) -> int:
+        """Register contents as a k-bit integer."""
         return self._state
 
     @state.setter
     def state(self, value: int) -> None:
+        """Load the register; rejects values wider than k bits."""
         if value >> self._k:
             raise ValueError(f"state {value:#x} wider than {self._k} bits")
         self._state = value
@@ -69,6 +73,7 @@ class GaloisLFSR:
         return out
 
     def iter_states(self, steps: int) -> Iterator[int]:
+        """Yield the current state, then clock — ``steps`` times."""
         for _ in range(steps):
             yield self._state
             self.clock(0)
@@ -119,18 +124,22 @@ class FibonacciLFSR:
 
     @property
     def poly(self) -> GF2Polynomial:
+        """The generator polynomial g (the register runs its reciprocal's recurrence)."""
         return self._poly
 
     @property
     def width(self) -> int:
+        """Register width k (degree of g)."""
         return self._k
 
     @property
     def state(self) -> int:
+        """Register contents as a k-bit integer."""
         return self._state
 
     @state.setter
     def state(self, value: int) -> None:
+        """Load the register; rejects values wider than k bits."""
         if value >> self._k:
             raise ValueError(f"state {value:#x} wider than {self._k} bits")
         self._state = value
@@ -145,9 +154,11 @@ class FibonacciLFSR:
         return out
 
     def keystream(self, nbits: int) -> List[int]:
+        """Autonomous output bits, one per clock."""
         return [self.clock() for _ in range(nbits)]
 
     def period(self, limit: int = 1 << 24) -> int:
+        """Steps until the start state recurs (bounded by ``limit``)."""
         if self._state == 0:
             raise ValueError("zero state never leaves the origin")
         start = self._state

@@ -61,6 +61,7 @@ class LFSRStateSpace:
 
     @property
     def output_width(self) -> int:
+        """Output bits per clock (rows of C)."""
         return self.C.nrows
 
     # ------------------------------------------------------------------
@@ -95,6 +96,7 @@ class LFSRStateSpace:
         return np.array(int_to_bits(value, self.order), dtype=np.uint8)
 
     def state_to_int(self, state: np.ndarray) -> int:
+        """Pack a state vector back into a register integer (bit i <- x_i)."""
         return bits_to_int([int(v) for v in state])
 
 

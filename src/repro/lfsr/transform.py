@@ -76,10 +76,12 @@ class DerbyTransform:
 
     @property
     def M(self) -> int:
+        """Look-ahead block factor."""
         return self.lookahead.M
 
     @property
     def order(self) -> int:
+        """State dimension k."""
         return self.lookahead.order
 
     # ------------------------------------------------------------------

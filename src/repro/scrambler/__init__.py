@@ -3,11 +3,19 @@
 * :class:`AdditiveScrambler` — frame-synchronous (the paper's Fig. 1 right).
 * :class:`MultiplicativeScrambler` — self-synchronizing variant.
 * :class:`ParallelScrambler` — M-bit block engine (paper §5 / Fig. 8).
+* :mod:`repro.scrambler.galois` — the same scramblers in shallow-feedback
+  Galois form, bit-exact via Dubrova's matching initial states.
+* :class:`WordAdditiveScrambler` — word-oriented (σ-LFSR) keystream path.
 * :mod:`repro.scrambler.prbs` — ITU-T O.150 pattern generation/checking.
 * :mod:`repro.scrambler.specs` — 802.16e, 802.11, DVB, SONET, PRBS catalog.
 """
 
-from repro.scrambler.additive import AdditiveScrambler
+from repro.scrambler.additive import AdditiveScrambler, WordAdditiveScrambler
+from repro.scrambler.galois import (
+    FibonacciAdditiveScrambler,
+    GaloisFormAdditiveScrambler,
+    GaloisMultiplicativeScrambler,
+)
 from repro.scrambler.multiplicative import MultiplicativeScrambler
 from repro.scrambler.parallel import ParallelScrambler
 from repro.scrambler.spreading import DespreadResult, DirectSequenceSpreader
@@ -36,6 +44,9 @@ __all__ = [
     "DirectSequenceSpreader",
     "CATALOG",
     "DVB",
+    "FibonacciAdditiveScrambler",
+    "GaloisFormAdditiveScrambler",
+    "GaloisMultiplicativeScrambler",
     "IEEE80211",
     "IEEE80216E",
     "MultiplicativeScrambler",
@@ -50,6 +61,7 @@ __all__ = [
     "ParallelScrambler",
     "SONET",
     "ScramblerSpec",
+    "WordAdditiveScrambler",
     "get",
     "prbs_sequence",
 ]

@@ -35,6 +35,7 @@ from repro.serve.protocol import (
     PROTOCOL_VERSION,
     decode_frame,
     encode_frame,
+    encode_frame_parts,
     read_frame,
     write_frame,
 )
@@ -49,6 +50,7 @@ __all__ = [
     "ServeClient",
     "decode_frame",
     "encode_frame",
+    "encode_frame_parts",
     "read_frame",
     "run_loadgen",
     "write_frame",

@@ -123,7 +123,9 @@ class ServeClient:
         """Append message bytes; returns the server's pending-bits gauge.
 
         Chunked calls compose — chunk boundaries are invisible to the
-        digest, so callers may split a message any way they like.
+        digest, so callers may split a message any way they like.  Any
+        bytes-like object works (``memoryview`` slices travel to the wire
+        without copying).
         """
         response = await self._request(
             {"op": "feed-chunk", "id": stream_id}, payload=data
@@ -148,8 +150,9 @@ class ServeClient:
         """Convenience: open, feed (optionally chunked), read digest."""
         stream_id = await self.open_stream()
         if chunk_bytes and chunk_bytes > 0:
+            view = memoryview(data)  # chunk without copying the message
             for start in range(0, len(data), chunk_bytes):
-                await self.feed(stream_id, data[start:start + chunk_bytes])
+                await self.feed(stream_id, view[start:start + chunk_bytes])
             if not data:
                 await self.feed(stream_id, b"")
         else:

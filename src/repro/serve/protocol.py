@@ -69,14 +69,17 @@ _PREFIX = struct.Struct("!I")
 REQUEST_OPS = ("open-stream", "feed-chunk", "read-digest", "close-stream", "stats")
 
 
-def encode_frame(header: dict, payload: bytes = b"") -> bytes:
-    """Serialize one frame; declares ``blen`` when a payload rides along.
+def encode_frame_parts(header: dict, payload: bytes = b"") -> Tuple[bytes, bytes]:
+    """Serialize one frame as ``(prefix + header, payload)`` — no payload copy.
 
-    The returned bytes are prefix + header + payload, ready for a single
-    ``write``.  Raises :class:`~repro.errors.ProtocolError` on oversized
-    headers/payloads rather than emitting a frame no peer would accept.
+    The payload rides through untouched (bytes, bytearray and memoryview
+    all work), so writers that support vectored output
+    (:meth:`asyncio.StreamWriter.writelines`) never concatenate the bulk
+    bytes with the framing.  Raises
+    :class:`~repro.errors.ProtocolError` on oversized headers/payloads
+    rather than emitting a frame no peer would accept.
     """
-    if payload:
+    if len(payload):
         header = dict(header)
         header["blen"] = len(payload)
     raw = json.dumps(header, separators=(",", ":"), sort_keys=True).encode()
@@ -84,7 +87,18 @@ def encode_frame(header: dict, payload: bytes = b"") -> bytes:
         raise ProtocolError(f"frame header too large ({len(raw)} bytes)")
     if len(payload) > MAX_FRAME_BYTES:
         raise ProtocolError(f"frame payload too large ({len(payload)} bytes)")
-    return _PREFIX.pack(len(raw)) + raw + payload
+    return _PREFIX.pack(len(raw)) + raw, payload
+
+
+def encode_frame(header: dict, payload: bytes = b"") -> bytes:
+    """Serialize one frame; declares ``blen`` when a payload rides along.
+
+    The returned bytes are prefix + header + payload, ready for a single
+    ``write``.  Hot paths should prefer :func:`encode_frame_parts`, which
+    skips this concatenation copy.
+    """
+    head, body = encode_frame_parts(header, payload)
+    return head + bytes(body) if len(body) else head
 
 
 def decode_frame(buffer: bytes) -> Tuple[dict, bytes, int]:
@@ -133,10 +147,17 @@ async def write_frame(
 ) -> None:
     """Encode and send one frame, honouring transport flow control.
 
-    ``await writer.drain()`` is part of the contract: a slow peer
-    back-pressures the sender instead of ballooning the write buffer.
+    The framing bytes and the payload go out as separate buffers
+    (``writelines``), so the payload — bytes, bytearray or memoryview —
+    is never copied into a concatenated frame.  ``await writer.drain()``
+    is part of the contract: a slow peer back-pressures the sender
+    instead of ballooning the write buffer.
     """
-    writer.write(encode_frame(header, payload))
+    head, body = encode_frame_parts(header, payload)
+    if len(body):
+        writer.writelines((head, body))
+    else:
+        writer.write(head)
     await writer.drain()
 
 

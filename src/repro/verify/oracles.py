@@ -31,7 +31,19 @@ from repro.engine import (
 from repro.gf2.backend import get_backend
 from repro.gf2.bits import bytes_to_bits
 from repro.gf2.polynomial import GF2Polynomial
+from repro.lfsr.galois import galois_to_fibonacci_state
+from repro.lfsr.wordlfsr import (
+    CURATED,
+    WordLFSR,
+    WordLFSRReference,
+    seed_words_from_bytes,
+)
 from repro.scrambler import AdditiveScrambler
+from repro.scrambler.galois import (
+    FibonacciAdditiveScrambler,
+    GaloisFormAdditiveScrambler,
+    GaloisMultiplicativeScrambler,
+)
 from repro.scrambler.multiplicative import MultiplicativeScrambler
 from repro.scrambler.specs import get as get_scrambler
 from repro.verify.cases import (
@@ -643,8 +655,120 @@ class PlannerAutoOracle(Oracle):
         return None
 
 
+class GaloisFormOracle(Oracle):
+    """Fibonacci reference vs Dubrova's Galois-form scramblers.
+
+    For additive cases the many-to-one standards-diagram register
+    (:class:`FibonacciAdditiveScrambler`) is pitted against the
+    shallow-feedback :class:`GaloisFormAdditiveScrambler` with the same
+    seed — any error in the matching-initial-state solve (the
+    observability-matrix algebra in :mod:`repro.lfsr.galois`) shows up as
+    a first-bit divergence.  The state conversion is also round-tripped
+    exactly.  For multiplicative cases the serial delay-line scrambler is
+    checked against :class:`GaloisMultiplicativeScrambler` on the same
+    stream, including the self-synchronizing descramble round trip.
+    """
+
+    name = "galois:fibonacci-vs-galois"
+    kinds = (KIND_SCRAMBLER, KIND_MULTIPLICATIVE)
+
+    def _check_additive(self, case: FuzzCase) -> Optional[Discrepancy]:
+        spec = get_scrambler(case.spec)
+        for i, payload in enumerate(case.payloads()):
+            bits = bytes_to_bits(payload, reflect=True)
+            seed = _case_seed(case, i, spec.seed)
+            galois = GaloisFormAdditiveScrambler(spec, seed)
+            back = galois_to_fibonacci_state(
+                spec.poly.reciprocal(), galois.galois_seed
+            )
+            if back != seed:
+                return Discrepancy(
+                    detail=f"matching-state round trip, stream {i}",
+                    expected=f"0x{seed:X}",
+                    got=f"0x{back:X}",
+                )
+            expected = FibonacciAdditiveScrambler(spec, seed).scramble_bits(bits)
+            got = galois.scramble_bits(bits)
+            if got != expected:
+                return Discrepancy(
+                    detail=f"galois-form scramble, stream {i} seed=0x{seed:X}",
+                    expected="".join(map(str, expected[:64])),
+                    got="".join(map(str, got[:64])),
+                )
+        return None
+
+    def _check_multiplicative(self, case: FuzzCase) -> Optional[Discrepancy]:
+        poly = GF2Polynomial.from_exponents(list(case.mult_exponents()))
+        for i, payload in enumerate(case.payloads()):
+            bits = bytes_to_bits(payload, reflect=True)
+            state = _case_seed(case, i, 0)
+            expected = MultiplicativeScrambler(poly, state=state).scramble_bits(bits)
+            got = GaloisMultiplicativeScrambler(poly, state=state).scramble_bits(bits)
+            if got != expected:
+                return Discrepancy(
+                    detail=f"galois-form mult scramble, stream {i} state=0x{state:X}",
+                    expected="".join(map(str, expected[:64])),
+                    got="".join(map(str, got[:64])),
+                )
+            back = GaloisMultiplicativeScrambler(poly, state=state).descramble_bits(got)
+            if back != bits:
+                return Discrepancy(
+                    detail=f"galois-form mult round trip, stream {i}",
+                    expected="".join(map(str, bits[:64])),
+                    got="".join(map(str, back[:64])),
+                )
+        return None
+
+    def check(self, case: FuzzCase, cache: CompileCache) -> Optional[Discrepancy]:
+        if case.kind == KIND_MULTIPLICATIVE:
+            return self._check_multiplicative(case)
+        return self._check_additive(case)
+
+
+class WordLFSROracle(Oracle):
+    """Fast word-oriented σ-LFSR vs its bit-serial state-matrix oracle.
+
+    The case's payload bytes pick the curated spec and seed the register
+    (through :func:`~repro.lfsr.wordlfsr.seed_words_from_bytes`), then the
+    pure-integer :class:`WordLFSR` hot loop — including its specialized
+    two-word path — must reproduce the :class:`WordLFSRReference`
+    keystream byte-for-byte, and the word-keystream scramble must be an
+    involution.
+    """
+
+    name = "word:wordlfsr-vs-reference"
+    kinds = (KIND_SCRAMBLER,)
+
+    def check(self, case: FuzzCase, cache: CompileCache) -> Optional[Discrepancy]:
+        payloads = case.payloads()
+        material = (payloads[0] if payloads else b"") or b"\x01"
+        total = sum(len(p) for p in payloads)
+        wspec = CURATED[(case.M + total) % len(CURATED)]
+        seed = seed_words_from_bytes(wspec, material)
+        nbytes = max(8, min(48, total))
+        expected = WordLFSRReference(wspec, seed).keystream_bytes(nbytes)
+        got = WordLFSR(wspec, seed).keystream_bytes(nbytes)
+        if got != expected:
+            return Discrepancy(
+                detail=f"{wspec.name} keystream ({nbytes} bytes)",
+                expected=expected.hex(),
+                got=got.hex(),
+            )
+        ks = WordLFSR(wspec, seed).keystream_bytes(nbytes)
+        scrambled = bytes(a ^ b for a, b in zip(expected, ks))
+        if any(scrambled):
+            # Keystream XOR keystream must cancel — a cheap involution
+            # check that the engine restarts deterministically from seed.
+            return Discrepancy(
+                detail=f"{wspec.name} keystream not frame-deterministic",
+                expected="00" * nbytes,
+                got=scrambled.hex(),
+            )
+        return None
+
+
 def default_oracles() -> List[Oracle]:
-    """The standing cross-engine differential battery (10 oracle pairs)."""
+    """The standing cross-engine differential battery (12 oracle pairs)."""
     return [
         CRCTableOracle(),
         CRCDerbyOracle(),
@@ -656,4 +780,6 @@ def default_oracles() -> List[Oracle]:
         PackedBackendOracle(),
         ParallelWorkersOracle(),
         PlannerAutoOracle(),
+        GaloisFormOracle(),
+        WordLFSROracle(),
     ]

@@ -96,6 +96,9 @@ def make_host_profiles():
             dispatch_s={"thread": 5e-5, "process": 2e-3},
             recombine_s=2e-5,
             pickle_bits_per_s=5.0e8,
+            # Reference backend only, so the only keystream source this
+            # host measured is the bit-serial register (partial table).
+            keystream_bits_per_s={"galois-bitserial": 2.0e6},
         ),
     }
 

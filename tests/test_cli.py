@@ -426,3 +426,52 @@ class TestCacheCommand:
         monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
         assert main(["cache"]) == 1
         assert "cache-dir" in capsys.readouterr().out
+
+
+class TestKeystreamCommand:
+    def test_word_source_with_verify(self, capsys):
+        assert main(
+            ["keystream", "--source", "word32", "--bytes", "32", "--verify"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "verified" in out
+        hex_line = out.strip().splitlines()[-1]
+        assert len(hex_line) == 64
+        int(hex_line, 16)  # valid hex
+
+    def test_deterministic_for_a_seed(self, capsys):
+        assert main(["keystream", "--source", "word64", "--seed", "alpha"]) == 0
+        first = capsys.readouterr().out
+        assert main(["keystream", "--source", "word64", "--seed", "alpha"]) == 0
+        assert capsys.readouterr().out == first
+        assert main(["keystream", "--source", "word64", "--seed", "beta"]) == 0
+        assert capsys.readouterr().out != first
+
+    def test_galois_bitserial_source(self, capsys):
+        assert main(
+            ["keystream", "--source", "galois-bitserial", "--bytes", "16"]
+        ) == 0
+        hex_line = capsys.readouterr().out.strip().splitlines()[-1]
+        assert len(hex_line) == 32
+
+    def test_auto_plans_and_reports(self, tmp_path, capsys):
+        assert main(
+            ["keystream", "--source", "auto", "--bytes", "16",
+             "--cache-dir", str(tmp_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "planner picked" in out
+
+    def test_json_artifact(self, tmp_path, capsys):
+        path = tmp_path / "keystream.json"
+        assert main(
+            ["keystream", "--source", "word64", "--bytes", "24",
+             "--json", str(path)]
+        ) == 0
+        import json
+
+        record = json.loads(path.read_text())
+        assert record["source"] == "word64"
+        assert record["bytes"] == 24
+        assert len(record["hex"]) == 48
+        assert record["plan"] is None

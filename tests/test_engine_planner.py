@@ -409,3 +409,72 @@ class TestTelemetry:
             registry.set_enabled(reg_was)
             if not tr_was:
                 tracer.disable()
+
+
+class TestKeystreamWorkloads:
+    """The v2 cost model: keystream rates + the `keystream` workload kind."""
+
+    def _workload(self, message_bits=8 * (1 << 20)):
+        from repro.engine.planner import KIND_KEYSTREAM
+
+        return WorkloadDescriptor(
+            kind=KIND_KEYSTREAM, standard="keystream", message_bits=message_bits
+        )
+
+    def test_synthetic_profile_carries_keystream_rates(self, host_profiles):
+        from repro.engine.planner import KEYSTREAM_SOURCES
+
+        for profile in host_profiles.values():
+            # Every canned host measured at least one source (the
+            # gil-bound host carries a partial, reference-only table).
+            assert profile.keystream_bits_per_s
+            assert set(profile.keystream_bits_per_s) <= set(KEYSTREAM_SOURCES)
+            assert all(r > 0 for r in profile.keystream_bits_per_s.values())
+
+    def test_partial_rate_table_still_plans(self, host_profiles):
+        plan = Planner(host_profiles["gil-bound-4cpu"]).plan(self._workload())
+        assert plan.backend == "galois-bitserial"
+
+    def test_plan_picks_the_fastest_source(self, host_profiles):
+        plan = Planner(host_profiles["bench5-1cpu"]).plan(self._workload())
+        assert plan.strategy == "serial"
+        assert plan.backend == "word64"  # fastest synthetic rate
+
+    def test_plan_follows_the_cost_table(self):
+        slow_word = HostProfile.synthetic(
+            cpus=4,
+            fingerprint="slow-word",
+            keystream_bits_per_s={
+                "galois-bitserial": 5.0e7,
+                "word32": 1.0e6,
+                "word64": 2.0e6,
+            },
+        )
+        plan = Planner(slow_word).plan(self._workload())
+        assert plan.backend == "galois-bitserial"
+
+    def test_candidates_are_sorted_and_serial_only(self, host_profiles):
+        cands = Planner(host_profiles["server-16cpu"]).candidates(
+            self._workload()
+        )
+        assert len(cands) == 3
+        assert all(c.strategy == "serial" and c.workers == 1 for c in cands)
+        predictions = [c.predicted_s for c in cands]
+        assert predictions == sorted(predictions)
+
+    def test_profile_without_rates_raises(self):
+        bare = HostProfile.synthetic(cpus=2, fingerprint="bare")
+        object.__setattr__(bare, "keystream_bits_per_s", {})
+        with pytest.raises(ValidationError, match="keystream rates"):
+            Planner(bare).plan(self._workload())
+
+    def test_profile_round_trip_keeps_rates(self, host_profiles):
+        profile = host_profiles["laptop-2cpu"]
+        back = HostProfile.from_dict(profile.to_dict())
+        assert back.keystream_bits_per_s == profile.keystream_bits_per_s
+
+    def test_version_1_profile_is_rejected(self, host_profiles):
+        record = host_profiles["laptop-2cpu"].to_dict()
+        record["version"] = PLANNER_VERSION - 1
+        with pytest.raises(ValidationError):
+            HostProfile.from_dict(record)

@@ -1,0 +1,100 @@
+"""Fibonacci↔Galois matching-state machinery (`repro.lfsr.galois`).
+
+The contract under test (THEORY.md §7): two similar registers emit the
+same stream iff their states solve ``O_dst x_dst = O_src x_src`` for the
+respective observability matrices — one `GF2Matrix.solve`.  The library
+convention rides along: `FibonacciLFSR(g)` runs the reciprocal's
+recurrence, so its Galois twin is `GaloisLFSR(g.reciprocal())`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gf2.bits import int_to_bits
+from repro.gf2.polynomial import GF2Polynomial
+from repro.lfsr import (
+    FibonacciLFSR,
+    GaloisLFSR,
+    fibonacci_to_galois_state,
+    galois_to_fibonacci_state,
+    multiplicative_fibonacci_to_galois_state,
+    multiplicative_galois_to_fibonacci_state,
+)
+from repro.lfsr.galois import (
+    fibonacci_state_matrix,
+    keystream_output_vector,
+    matching_state,
+    observability_matrix,
+)
+from repro.scrambler import CATALOG
+
+POLYS = sorted({spec.poly for spec in CATALOG}, key=lambda p: (p.degree, p.coeffs))
+
+
+class TestObservability:
+    def test_observability_matrix_is_square_and_invertible(self):
+        for poly in POLYS:
+            a = fibonacci_state_matrix(poly)
+            obs = observability_matrix(a, keystream_output_vector(poly))
+            assert obs.nrows == obs.ncols == poly.degree
+            assert obs.rank() == poly.degree
+
+    def test_matching_state_is_identity_on_same_register(self):
+        poly = GF2Polynomial.from_exponents([7, 1, 0])
+        a = fibonacci_state_matrix(poly)
+        c = keystream_output_vector(poly)
+        for state in (1, 0x55, 0x7F):
+            bits = np.array(int_to_bits(state, poly.degree), dtype=np.uint8)
+            assert list(matching_state(a, c, a, c, bits)) == list(bits)
+
+
+class TestAdditiveConversion:
+    @pytest.mark.parametrize("spec", CATALOG, ids=lambda s: s.name)
+    def test_converted_seed_reproduces_keystream(self, spec):
+        fib = FibonacciLFSR(spec.poly, spec.seed)
+        gal = GaloisLFSR(
+            spec.poly.reciprocal(),
+            fibonacci_to_galois_state(spec.poly, spec.seed),
+        )
+        assert gal.keystream(4 * spec.poly.degree) == fib.keystream(
+            4 * spec.poly.degree
+        )
+
+    @pytest.mark.parametrize("spec", CATALOG, ids=lambda s: s.name)
+    def test_round_trip(self, spec):
+        g_state = fibonacci_to_galois_state(spec.poly, spec.seed)
+        back = galois_to_fibonacci_state(spec.poly.reciprocal(), g_state)
+        assert back == spec.seed
+        # And the other direction composes to the identity too.
+        assert (
+            fibonacci_to_galois_state(
+                spec.poly, galois_to_fibonacci_state(spec.poly.reciprocal(), g_state)
+            )
+            == g_state
+        )
+
+    def test_many_seeds_one_register(self):
+        poly = GF2Polynomial.from_exponents([15, 14, 0])  # 802.16e generator
+        for seed in range(1, 64):
+            fib = FibonacciLFSR(poly, seed)
+            gal = GaloisLFSR(
+                poly.reciprocal(), fibonacci_to_galois_state(poly, seed)
+            )
+            assert gal.keystream(30) == fib.keystream(30)
+
+
+class TestMultiplicativeConversion:
+    @pytest.mark.parametrize("spec", CATALOG, ids=lambda s: s.name)
+    def test_round_trip(self, spec):
+        poly = spec.poly
+        for state in (1, (1 << poly.degree) - 1, 0b1011 % (1 << poly.degree)):
+            g_state = multiplicative_fibonacci_to_galois_state(poly, state)
+            back = multiplicative_galois_to_fibonacci_state(
+                poly.reciprocal(), g_state
+            )
+            assert back == state
+
+    def test_zero_state_maps_to_zero(self):
+        poly = GF2Polynomial.from_exponents([7, 6, 0])
+        assert multiplicative_fibonacci_to_galois_state(poly, 0) == 0
+        assert multiplicative_galois_to_fibonacci_state(poly.reciprocal(), 0) == 0

@@ -1,0 +1,128 @@
+"""Word-oriented σ-LFSR kernels: specs, fast-vs-reference, periods.
+
+The two realizations under test: `WordLFSR` (the integer hot path, one
+machine word of keystream per step) and `WordLFSRReference` (the
+GF(2) state-matrix oracle clocking one bit of the nw-bit state at a
+time).  The `word:wordlfsr-vs-reference` fuzz oracle keeps the pair
+standing on random cases; here the mechanics are pinned.
+"""
+
+import pytest
+
+from repro.errors import SpecError
+from repro.lfsr import (
+    WORD8,
+    WORD32,
+    WORD64,
+    WordLFSR,
+    WordLFSRReference,
+    WordLFSRSpec,
+    check_maximal_period,
+    seed_words_from_bytes,
+    sigma_matrix,
+)
+from repro.lfsr.wordlfsr import CURATED, get
+
+
+class TestSpecs:
+    def test_curated_specs_are_consistent(self):
+        for spec in CURATED:
+            assert spec.sigma_poly.degree == spec.word_bits
+            assert spec.state_bits == spec.words * spec.word_bits
+            assert spec.characteristic_polynomial().degree == spec.state_bits
+
+    def test_get_by_name(self):
+        assert get("word64") is WORD64
+        assert get("WORD32") is WORD32
+        with pytest.raises(SpecError, match="unknown word-LFSR spec"):
+            get("word128")
+
+    def test_word8_is_maximal_period(self):
+        # Small enough to verify the multiplicative order exhaustively.
+        assert check_maximal_period(WORD8)
+        assert WORD8.period == (1 << 16) - 1
+
+    def test_wide_specs_have_primitive_characteristic_polynomials(self):
+        for spec in (WORD32, WORD64):
+            assert check_maximal_period(spec)
+
+    def test_sigma_matrix_matches_shift_xor_step(self):
+        # σ is multiply-by-x mod p: column j of the matrix must equal
+        # x^(j+1) mod p as a bit vector.
+        for spec in CURATED:
+            sig = sigma_matrix(spec.sigma_poly)
+            w = spec.word_bits
+            for j in range(w):
+                value = 1 << j
+                msb = (value >> (w - 1)) & 1
+                shifted = (value << 1) & ((1 << w) - 1)
+                if msb:
+                    shifted ^= spec.sigma_poly.coeffs & ((1 << w) - 1)
+                col = sum(int(sig[i, j]) << i for i in range(w))
+                assert col == shifted
+
+    def test_spec_validation(self):
+        with pytest.raises(SpecError):
+            WordLFSRSpec(
+                name="bad", word_bits=8, words=2,
+                sigma_poly=WORD8.sigma_poly, taps=(),
+            )
+        with pytest.raises(SpecError):
+            WordLFSRSpec(
+                name="bad", word_bits=8, words=2,
+                sigma_poly=WORD8.sigma_poly, taps=((5, 0),),
+            )
+
+
+class TestFastVsReference:
+    @pytest.mark.parametrize("spec", CURATED, ids=lambda s: s.name)
+    def test_keystreams_agree(self, spec):
+        seed = seed_words_from_bytes(spec, b"fast-vs-reference")
+        fast = WordLFSR(spec, seed)
+        oracle = WordLFSRReference(spec, seed)
+        assert fast.keystream_bytes(96) == oracle.keystream_bytes(96)
+
+    def test_bits_words_bytes_are_one_stream(self):
+        seed = seed_words_from_bytes(WORD32, b"views")
+        words = WordLFSR(WORD32, seed).keystream_words(8)
+        data = WordLFSR(WORD32, seed).keystream_bytes(32)
+        bits = WordLFSR(WORD32, seed).keystream_bits(256)
+        assert data == b"".join(w.to_bytes(4, "big") for w in words)
+        packed = bytes(
+            sum(bits[i + j] << (7 - j) for j in range(8))
+            for i in range(0, 256, 8)
+        )
+        assert packed == data
+
+    def test_step_matches_keystream_words(self):
+        seed = seed_words_from_bytes(WORD64, b"step")
+        engine = WordLFSR(WORD64, seed)
+        stepped = [engine.step() for _ in range(6)]
+        assert stepped == WordLFSR(WORD64, seed).keystream_words(6)
+
+    def test_zero_state_rejected(self):
+        with pytest.raises(SpecError):
+            WordLFSR(WORD32, [0] * WORD32.words)
+
+    def test_state_words_out_of_range_rejected(self):
+        with pytest.raises(SpecError):
+            WordLFSR(WORD8, [1 << 8, 1])
+
+
+class TestSeeding:
+    def test_seed_words_are_deterministic_and_in_range(self):
+        for spec in CURATED:
+            a = seed_words_from_bytes(spec, b"material")
+            assert a == seed_words_from_bytes(spec, b"material")
+            assert len(a) == spec.words
+            assert any(a)
+            assert all(0 <= w < (1 << spec.word_bits) for w in a)
+
+    def test_distinct_material_distinct_seeds(self):
+        assert seed_words_from_bytes(WORD64, b"a") != seed_words_from_bytes(
+            WORD64, b"b"
+        )
+
+    def test_empty_material_rejected(self):
+        with pytest.raises(SpecError):
+            seed_words_from_bytes(WORD64, b"")

@@ -27,6 +27,7 @@ import struct
 import pytest
 
 from repro.crc import BitwiseCRC, TableCRC, get
+from repro.engine import CRCPipeline
 from repro.errors import ProtocolError, StreamError
 from repro.serve import (
     MAX_FRAME_BYTES,
@@ -35,6 +36,7 @@ from repro.serve import (
     ServeClient,
     decode_frame,
     encode_frame,
+    encode_frame_parts,
     run_loadgen,
 )
 from repro.serve.loadgen import IMIX_MIX, LoadgenReport, percentile
@@ -474,3 +476,77 @@ class TestLoadgen:
         assert report.errors == 0
         assert report.digest_mismatches == 0
         assert len(report.latencies_s) == report.messages
+
+
+# ----------------------------------------------------------------------
+# Zero-copy feeds
+# ----------------------------------------------------------------------
+class TestZeroCopy:
+    """Bytes-like objects travel the hot paths without an intermediate copy.
+
+    Three layers promise it: `encode_frame_parts` leaves the payload
+    object untouched, `CRCPipeline.feed` expands any buffer in place via
+    `np.frombuffer`, and `ServeClient` ships memoryview slices to the
+    wire.  Digests must stay bit-exact regardless of buffer type.
+    """
+
+    def test_encode_frame_parts_leaves_payload_untouched(self):
+        payload = bytearray(b"bulk payload that must not be copied")
+        head, body = encode_frame_parts({"op": "feed-chunk", "id": "s"}, payload)
+        assert body is payload  # the exact object, not a copy
+        view = memoryview(payload)[4:20]
+        head2, body2 = encode_frame_parts({"op": "feed-chunk", "id": "s"}, view)
+        assert body2 is view
+
+    def test_encode_frame_parts_matches_encode_frame(self):
+        for payload in (b"", b"x", bytes(range(256))):
+            head, body = encode_frame_parts({"op": "feed-chunk", "id": "s"}, payload)
+            assert head + bytes(body) == encode_frame(
+                {"op": "feed-chunk", "id": "s"}, payload
+            )
+        # Empty payload: no blen key, no body part.
+        head, body = encode_frame_parts({"op": "stats"})
+        header, _, _ = decode_frame(head)
+        assert header == {"op": "stats"}
+        assert body == b""
+
+    @pytest.mark.parametrize("standard", ["CRC-32", "CRC-16/CCITT-FALSE"])
+    def test_pipeline_feed_accepts_any_buffer(self, standard):
+        # CRC-32 reflects its input, CCITT-FALSE does not: both unpackbits
+        # orders must read bytearray and memoryview buffers bit-exact.
+        spec = get(standard)
+        message = bytes(range(256)) * 3
+        digests = []
+        for data in (message, bytearray(message), memoryview(message)):
+            pipe = CRCPipeline(spec, 64)
+            sid = pipe.open()
+            pipe.feed(sid, data)
+            digests.append(pipe.finalize(sid))
+        assert len(set(digests)) == 1
+        assert digests[0] == TableCRC(spec).compute(message)
+
+    def test_pipeline_feed_accepts_memoryview_slices(self):
+        message = bytes(range(200))
+        pipe = CRCPipeline(SPEC, 64)
+        sid = pipe.open()
+        view = memoryview(message)
+        for start in range(0, len(message), 33):
+            pipe.feed(sid, view[start:start + 33])
+        assert pipe.finalize(sid) == ORACLE.compute(message)
+
+    def test_client_feeds_memoryview_chunks_over_the_wire(self):
+        payload = bytes(range(256)) * 4
+
+        async def scenario():
+            async with make_server() as server:
+                async with await ServeClient.connect(server.host, server.port) as c:
+                    sid = await c.open_stream()
+                    view = memoryview(payload)
+                    for start in range(0, len(payload), 100):
+                        await c.feed(sid, view[start:start + 100])
+                    direct = await c.read_digest(sid)
+                    mutable = await c.compute(bytearray(payload))
+                    return direct, mutable
+
+        direct, mutable = run(scenario())
+        assert direct == mutable == ORACLE.compute(payload)

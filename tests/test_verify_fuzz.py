@@ -177,9 +177,11 @@ class TestRunFuzz:
     def test_default_battery_names_are_unique(self):
         names = [o.name for o in default_oracles()]
         assert len(names) == len(set(names))
-        assert len(names) == 10
+        assert len(names) == 12
         assert "parallel:workers1-vs-workersN" in names
         assert "planner:auto-vs-serial" in names
+        assert "galois:fibonacci-vs-galois" in names
+        assert "word:wordlfsr-vs-reference" in names
 
 
 class TestReports:
