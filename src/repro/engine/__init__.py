@@ -25,6 +25,10 @@ Three layers, each reusable on its own:
   micro-probed cost tables (persisted under a host fingerprint) and a
   deterministic solver picking backend x workers x shard plan x M per
   workload, falling back to serial whenever sharding can't pay.
+* :mod:`repro.engine.microbatch` — a continuous-batching scheduler that
+  coalesces ops from many concurrent submitters (the serve path's
+  connections) into single wide executor calls, with planner-chosen
+  occupancy and linger windows.
 """
 
 from repro.engine.batch import (
@@ -58,10 +62,18 @@ from repro.engine.parallel import (
     plan_shards,
     resolve_workers,
 )
+from repro.engine.microbatch import (
+    BatcherClosed,
+    MicroBatcher,
+    MicroBatchStats,
+    run_ops,
+    submit_all,
+)
 from repro.engine.pipeline import CRCPipeline, ScramblerPipeline
 from repro.engine.planner import (
     ExecutionPlan,
     HostProfile,
+    MicroBatchPlan,
     PlanCandidate,
     Planner,
     WorkloadDescriptor,
@@ -74,6 +86,7 @@ from repro.engine.planner import (
 __all__ = [
     "BatchAdditiveScrambler",
     "BatchCRC",
+    "BatcherClosed",
     "BatchMultiplicativeScrambler",
     "BatchWordScrambler",
     "CACHE_DIR_ENV",
@@ -84,6 +97,9 @@ __all__ = [
     "DiskCompileCache",
     "ExecutionPlan",
     "HostProfile",
+    "MicroBatcher",
+    "MicroBatchPlan",
+    "MicroBatchStats",
     "ParallelBatchAdditiveScrambler",
     "ParallelBatchCRC",
     "PlanCandidate",
@@ -105,5 +121,7 @@ __all__ = [
     "plan_shards",
     "probe_host",
     "resolve_workers",
+    "run_ops",
+    "submit_all",
     "unpack_bits",
 ]

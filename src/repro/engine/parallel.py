@@ -1318,6 +1318,35 @@ class ShardedCRCPipeline:
             del self._home[stream_id]
             return crc
 
+    def finalize_many(self, stream_ids: Sequence[Hashable]) -> List[int]:
+        """Finalize several streams with one pump round per shard.
+
+        Groups the ids by home shard under the lock and forwards each
+        group to that shard's :meth:`CRCPipeline.finalize_many`, so a
+        round of B digests pays one packed pump per *shard* instead of
+        one per stream.  Validation is all-or-nothing (an unknown or
+        duplicated id raises before any stream is consumed) and results
+        align with ``stream_ids`` order.
+        """
+        ids = list(stream_ids)
+        if len(set(ids)) != len(ids):
+            raise ValidationError(
+                f"finalize_many got duplicate stream ids in {ids!r}"
+            )
+        with self._lock:
+            by_shard: Dict[int, List[Hashable]] = {}
+            for sid in ids:
+                self._shard_of(sid)
+                by_shard.setdefault(self._home[sid], []).append(sid)
+            crcs: Dict[Hashable, int] = {}
+            for shard_idx, group in by_shard.items():
+                for sid, crc in zip(
+                    group, self._shards[shard_idx].finalize_many(group)
+                ):
+                    crcs[sid] = crc
+                    del self._home[sid]
+            return [crcs[sid] for sid in ids]
+
     def abort(self, stream_id: Hashable) -> None:
         """Drop a stream without computing its CRC."""
         with self._lock:

@@ -797,6 +797,56 @@ class ExecutionPlan:
         return lines
 
 
+#: Serve-protocol ops per message (open-stream / feed-chunk / read-digest)
+#: — the unit the micro-batch model spreads a message's engine time over.
+SERVE_OPS_PER_MESSAGE = 3
+
+
+@dataclass(frozen=True)
+class MicroBatchPlan:
+    """The planner's micro-batching decision for a serve workload.
+
+    ``enabled=False`` means the modeled speedup never clears the
+    planner's commitment threshold (engine-bound messages — handoffs are
+    noise) and the server should keep its serial executor path.
+    ``crossover_occupancy`` is the smallest round size that pays: below
+    it the batcher flushes eagerly, so a lone client keeps serial-path
+    latency.  See :meth:`Planner.plan_serve_batch` for the model.
+    """
+
+    enabled: bool
+    max_batch: int
+    linger_s: float
+    crossover_occupancy: int
+    predicted_speedup: float
+    fingerprint: str = ""
+
+    def to_dict(self) -> Dict:
+        """JSON-ready form (flight-recorder events, stats verb)."""
+        return {
+            "enabled": self.enabled,
+            "max_batch": self.max_batch,
+            "linger_s": self.linger_s,
+            "crossover_occupancy": self.crossover_occupancy,
+            "predicted_speedup": round(self.predicted_speedup, 3),
+            "fingerprint": self.fingerprint,
+        }
+
+    def describe(self) -> str:
+        """One decision line for the CLI."""
+        if not self.enabled:
+            return (
+                f"micro-batch: serial (predicted speedup "
+                f"{self.predicted_speedup:.2f}x below threshold)"
+            )
+        return (
+            f"micro-batch: B={self.max_batch} "
+            f"linger={1e6 * self.linger_s:.0f}us "
+            f"crossover={self.crossover_occupancy} "
+            f"({self.predicted_speedup:.2f}x predicted)"
+        )
+
+
 # ----------------------------------------------------------------------
 # The deterministic solver
 # ----------------------------------------------------------------------
@@ -856,6 +906,7 @@ class Planner:
         self._min_shard_bits = max(1, int(min_shard_bits))
         self._prober = prober
         self._plans: Dict[Tuple, ExecutionPlan] = {}
+        self._microbatch: Dict[Tuple, "MicroBatchPlan"] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -1076,6 +1127,82 @@ class Planner:
         self._plans[key] = plan
         if self._disk is not None:
             self._disk.store(disk_key, plan.to_dict())
+        return plan
+
+    def plan_serve_batch(
+        self, workload: WorkloadDescriptor
+    ) -> "MicroBatchPlan":
+        """The micro-batching decision for a serve-path workload.
+
+        Models the serve executor's per-op handoff cost (the profile's
+        thread ``dispatch_s``) against the per-op engine time implied by
+        the workload's message size and the fastest probed backend.  A
+        round of occupancy ``B`` pays one handoff for ``B`` ops, so the
+        modeled speedup at occupancy B is::
+
+            speedup(B) = (dispatch + op_s) / (dispatch / B + op_s)
+
+        The **crossover occupancy** is the smallest B clearing
+        :attr:`min_speedup` — below it the batcher must flush eagerly so
+        a lone client keeps the serial path's p50.  ``max_batch`` is the
+        smallest rung capturing ≥95% of the asymptotic speedup (bigger
+        rounds only add latency), and a non-zero linger is granted only
+        when handoffs dominate engine time (continuous batching already
+        self-lingers for the engine-bound case).  Deterministic: pure
+        arithmetic over the host profile, memoized per workload key.
+        """
+        key = workload.key()
+        cached = self._microbatch.get(key)
+        if cached is not None:
+            return cached
+        profile = self.profile
+        dispatch = profile.dispatch_s.get("thread", 5e-5)
+        rate = max(profile.backend_bits_per_s.values())
+        op_s = max(workload.message_bits, 1) / rate / SERVE_OPS_PER_MESSAGE
+
+        def speedup(B: int) -> float:
+            return (dispatch + op_s) / (dispatch / B + op_s)
+
+        ladder = tuple(2 ** k for k in range(9))  # 1..256
+        crossover = next(
+            (B for B in ladder if speedup(B) >= self._min_speedup), 0
+        )
+        if crossover == 0:
+            plan = MicroBatchPlan(
+                enabled=False,
+                max_batch=1,
+                linger_s=0.0,
+                crossover_occupancy=0,
+                predicted_speedup=speedup(ladder[-1]),
+                fingerprint=profile.fingerprint,
+            )
+        else:
+            asymptote = speedup(ladder[-1])
+            max_batch = next(
+                B for B in ladder if speedup(B) >= 0.95 * asymptote
+            )
+            max_batch = max(max_batch, crossover)
+            # Handoff-dominated ops benefit from a short straggler
+            # window; engine-bound ops get their window for free from
+            # round execution time itself.
+            linger_s = min(2.0 * dispatch, 5e-4) if dispatch > op_s else 0.0
+            plan = MicroBatchPlan(
+                enabled=True,
+                max_batch=max_batch,
+                linger_s=linger_s,
+                crossover_occupancy=crossover,
+                predicted_speedup=speedup(max_batch),
+                fingerprint=profile.fingerprint,
+            )
+        recorder = default_flight_recorder()
+        if recorder.enabled:
+            recorder.record(
+                "plan-microbatch",
+                f"{workload.standard}/{workload.kind} -> "
+                + (f"batch B={plan.max_batch}" if plan.enabled else "serial"),
+                **plan.to_dict(),
+            )
+        self._microbatch[key] = plan
         return plan
 
     def record_actual(self, plan: ExecutionPlan, actual_s: float) -> float:

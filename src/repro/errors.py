@@ -78,8 +78,24 @@ class ProtocolError(ReproError, ValueError):
     that disagrees with its declared length."""
 
 
+class DrainingError(StreamError):
+    """The server refused an ``open-stream`` because it is draining.
+
+    A :class:`StreamError` subclass (``except StreamError`` call sites
+    keep working) that is nonetheless *transient and retryable*: unlike
+    a caller-side id mistake, the request was well-formed — the server
+    is simply shutting down gracefully.  Clients should retry against
+    another replica or after a fresh connection; :attr:`retryable`
+    marks that machine-readably.
+    """
+
+    #: Always True: the same request may succeed elsewhere or later.
+    retryable = True
+
+
 __all__ = [
     "CompileError",
+    "DrainingError",
     "ProtocolError",
     "ReproError",
     "SpecError",

@@ -13,6 +13,16 @@ responses strictly alternate on the one TCP stream (the protocol has no
 request ids to correlate pipelined replies).  Open several clients for
 concurrency — that is exactly what the server's multiplexing is for.
 
+Frames are consumed by one background **reader task** per connection
+rather than inline in each request: the task parks on the socket
+permanently, resolves the in-flight request's future when its response
+lands, and surfaces connection loss or an unsolicited server frame
+*immediately* — including between requests, when an inline read would
+not be running — so a dropped server fails the next request with the
+real cause instead of a timeout.  A ``draining`` refusal raises the
+dedicated :class:`~repro.errors.DrainingError` (retryable; see its
+``retryable`` attribute) rather than a generic stream error.
+
 >>> # doctest-style sketch (the real round-trip needs a running server):
 >>> # async with await ServeClient.connect("127.0.0.1", port) as client:
 >>> #     sid = await client.open_stream()
@@ -25,7 +35,13 @@ from __future__ import annotations
 import asyncio
 from typing import Optional, Type
 
-from repro.errors import ProtocolError, ReproError, StreamError, ValidationError
+from repro.errors import (
+    DrainingError,
+    ProtocolError,
+    ReproError,
+    StreamError,
+    ValidationError,
+)
 from repro.serve.protocol import (
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
@@ -38,7 +54,7 @@ ERROR_CLASSES = {
     "protocol": ProtocolError,
     "stream": StreamError,
     "validation": ValidationError,
-    "draining": StreamError,
+    "draining": DrainingError,
     "internal": ReproError,
 }
 
@@ -61,6 +77,9 @@ class ServeClient:
         self._reader = reader
         self._writer = writer
         self._max_frame = max_frame
+        self._pending: Optional[asyncio.Future] = None
+        self._conn_exc: Optional[BaseException] = None
+        self._reader_task: Optional[asyncio.Task] = None
         self.hello = hello
         self.standard: str = hello.get("standard", "")
         self.width: int = hello.get("width", 0)
@@ -90,17 +109,81 @@ class ServeClient:
                 f"server speaks protocol version {version!r}, "
                 f"client speaks {PROTOCOL_VERSION}"
             )
-        return cls(reader, writer, hello, max_frame)
+        client = cls(reader, writer, hello, max_frame)
+        client._start_reader()
+        return client
 
     # ------------------------------------------------------------------
+    def _start_reader(self) -> None:
+        """Arm the per-connection reader task (idempotent)."""
+        if self._reader_task is None:
+            self._reader_task = asyncio.get_running_loop().create_task(
+                self._read_loop()
+            )
+
+    async def _read_loop(self) -> None:
+        """Pull every frame off the socket; route it to the in-flight
+        request.
+
+        Because requests and responses strictly alternate, exactly one
+        future can be pending; a frame with no pending request means the
+        server broke the protocol.  Any read failure (EOF from a server
+        drain, a reset, an oversized frame) is recorded so the current
+        *and* every subsequent request fail fast with the root cause.
+        """
+        try:
+            while True:
+                response, payload = await read_frame(
+                    self._reader, self._max_frame
+                )
+                future, self._pending = self._pending, None
+                if future is None or future.done():
+                    raise ProtocolError(
+                        f"unsolicited frame from server: {response!r}"
+                    )
+                future.set_result((response, payload))
+        except asyncio.CancelledError:
+            raise
+        except BaseException as exc:  # noqa: BLE001 — recorded, re-raised
+            self._conn_exc = exc
+            future, self._pending = self._pending, None
+            if future is not None and not future.done():
+                future.set_exception(exc)
+
     async def _request(self, header: dict, payload: bytes = b"") -> dict:
         """One request/response round trip; raises on error responses."""
-        await write_frame(self._writer, header, payload)
-        response, _ = await read_frame(self._reader, self._max_frame)
+        if self._conn_exc is not None:
+            raise ProtocolError(
+                f"connection is closed: {self._conn_exc}"
+            ) from self._conn_exc
+        if self._pending is not None:
+            raise ProtocolError(
+                "a request is already in flight on this connection "
+                "(ServeClient is single-caller; open one client per task)"
+            )
+        if self._reader_task is None:
+            # Constructed directly (not via connect()): inline round trip.
+            await write_frame(self._writer, header, payload)
+            response, _ = await read_frame(self._reader, self._max_frame)
+            return self._check_response(response)
+        future = asyncio.get_running_loop().create_future()
+        self._pending = future
+        try:
+            await write_frame(self._writer, header, payload)
+            response, _ = await future
+        finally:
+            if self._pending is future:
+                self._pending = None
+        return self._check_response(response)
+
+    def _check_response(self, response: dict) -> dict:
         if not response.get("ok"):
             code = response.get("code", "internal")
             exc_class: Type[ReproError] = ERROR_CLASSES.get(code, ReproError)
-            exc = exc_class(response.get("error", f"server error ({code})"))
+            message = response.get("error", f"server error ({code})")
+            if exc_class is DrainingError:
+                message += " (retryable: reconnect or try another replica)"
+            exc = exc_class(message)
             exc.code = code  # surface the wire code for callers that branch
             raise exc
         return response
@@ -162,6 +245,13 @@ class ServeClient:
     # ------------------------------------------------------------------
     async def aclose(self) -> None:
         """Close the connection (server aborts any streams left open)."""
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+            self._reader_task = None
         self._writer.close()
         try:
             await self._writer.wait_closed()

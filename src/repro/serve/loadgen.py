@@ -16,7 +16,11 @@ does not check answers only measures how fast a server can be wrong.
 Latency is per-message wall time (open → feed × chunks → digest), taken
 with ``perf_counter``; the report carries p50/p99 plus the aggregate
 message and byte rates, and :meth:`LoadgenReport.to_dict` feeds the
-bench artifact the CI smoke gates on.
+bench artifact the CI smoke gates on.  Latencies are also kept **per
+connection** (:meth:`LoadgenReport.per_connection`): aggregate tails
+hide unfairness — a scheduler that starves one connection while racing
+the rest can post a healthy aggregate p99 — so the report exposes each
+connection's own p50/p99 and message count.
 """
 
 from __future__ import annotations
@@ -70,6 +74,8 @@ class LoadgenReport:
     errors: int = 0
     digest_mismatches: int = 0
     latencies_s: List[float] = field(default_factory=list)
+    #: one latency series per connection index (sums to latencies_s)
+    connection_latencies_s: List[List[float]] = field(default_factory=list)
 
     @property
     def msgs_per_s(self) -> float:
@@ -91,6 +97,24 @@ class LoadgenReport:
         """99th-percentile per-message latency in milliseconds."""
         return 1e3 * percentile(self.latencies_s, 99.0)
 
+    def per_connection(self) -> List[dict]:
+        """Each connection's own latency summary.
+
+        One dict per connection index: message count, p50 and p99 in
+        milliseconds.  A healthy scheduler keeps these mutually close;
+        a starved connection shows up here while staying invisible in
+        the aggregate tail.
+        """
+        return [
+            {
+                "connection": index,
+                "messages": len(series),
+                "p50_ms": 1e3 * percentile(series, 50.0),
+                "p99_ms": 1e3 * percentile(series, 99.0),
+            }
+            for index, series in enumerate(self.connection_latencies_s)
+        ]
+
     def to_dict(self) -> dict:
         """Flat scalar summary (feeds the bench-report artifact)."""
         return {
@@ -105,17 +129,24 @@ class LoadgenReport:
             "bytes_per_s": self.bytes_per_s,
             "p50_ms": self.p50_ms,
             "p99_ms": self.p99_ms,
+            "per_connection": self.per_connection(),
         }
 
     def describe(self) -> List[str]:
         """Human-readable summary lines for the CLI."""
-        return [
+        lines = [
             f"{self.messages} messages / {self.bytes:,} bytes over "
             f"{self.duration_s:.2f}s on {self.connections} connection(s)",
             f"rate: {self.msgs_per_s:,.0f} msgs/s ({self.bytes_per_s:,.0f} B/s)",
             f"latency: p50 {self.p50_ms:.3f} ms, p99 {self.p99_ms:.3f} ms",
             f"errors: {self.errors}, digest mismatches: {self.digest_mismatches}",
         ]
+        for row in self.per_connection():
+            lines.append(
+                f"  conn {row['connection']}: {row['messages']} msgs, "
+                f"p50 {row['p50_ms']:.3f} ms, p99 {row['p99_ms']:.3f} ms"
+            )
+        return lines
 
 
 def _expand_mix(mix: Sequence[Tuple[int, int]]) -> List[int]:
@@ -135,6 +166,7 @@ async def _drive_connection(
     sizes: List[int],
     chunk_bytes: int,
     report: LoadgenReport,
+    latencies: List[float],
 ) -> None:
     """One connection's closed loop: generate, send, verify, repeat."""
     try:
@@ -153,7 +185,9 @@ async def _drive_connection(
             except Exception:  # noqa: BLE001 — any failure is a counted error
                 report.errors += 1
                 break
-            report.latencies_s.append(time.perf_counter() - t0)
+            elapsed = time.perf_counter() - t0
+            latencies.append(elapsed)
+            report.latencies_s.append(elapsed)
             report.messages += 1
             report.bytes += size
             if digest != expected:
@@ -191,11 +225,13 @@ async def run_loadgen(
     report = LoadgenReport(
         standard=standard, duration_s=duration_s, connections=connections
     )
+    report.connection_latencies_s = [[] for _ in range(connections)]
     deadline = time.perf_counter() + duration_s
     await asyncio.gather(*(
         _drive_connection(
             host, port, deadline, random.Random(seed + index),
             oracle, sizes, chunk_bytes, report,
+            report.connection_latencies_s[index],
         )
         for index in range(connections)
     ))

@@ -1,0 +1,402 @@
+"""Contract of the micro-batching scheduler (:mod:`repro.engine.microbatch`).
+
+What matters and gets direct coverage:
+
+* **Coalescing** — concurrent submitters land in one executor round
+  (occupancy tracked), and a lone submitter still completes promptly
+  (eager flush below the linger threshold).
+* **Grouping** — a mixed queue routes each op to the runner registered
+  for its key, results scatter back to exactly the right futures, and
+  per-op failures stay contained to their future.
+* **Lifecycle** — flushing an idle batcher counts an ``empty_flush``;
+  ``aclose`` drains then refuses new work with the dedicated
+  :class:`~repro.engine.microbatch.BatcherClosed`; an abandoned
+  submitter (cancelled mid-round) never wedges the round.
+* **Engine composition** — ``finalize_many`` matches per-stream
+  ``finalize`` bit-exactly on :class:`~repro.engine.CRCPipeline` and on
+  a ``workers>1`` :class:`~repro.engine.ShardedCRCPipeline`, including
+  through the batcher with the server's grouped-runner pattern.
+
+No pytest-asyncio in the toolchain: each test drives its own event loop
+through ``asyncio.run``.
+"""
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.crc import TableCRC, get
+from repro.engine import (
+    CRCPipeline,
+    MicroBatcher,
+    ShardedCRCPipeline,
+    run_ops,
+    submit_all,
+)
+from repro.engine.microbatch import BatcherClosed
+from repro.errors import StreamError, ValidationError
+
+SPEC = get("CRC-32")
+ORACLE = TableCRC(SPEC)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_batcher(**kwargs):
+    executor = ThreadPoolExecutor(max_workers=1)
+    batcher = MicroBatcher(executor, **kwargs)
+    return batcher, executor
+
+
+# ----------------------------------------------------------------------
+# Coalescing and scatter
+# ----------------------------------------------------------------------
+class TestCoalescing:
+    def test_concurrent_submitters_share_rounds(self):
+        async def scenario():
+            batcher, executor = make_batcher(max_batch=64)
+            batcher.register("k", run_ops)
+            batcher.start()
+            try:
+                results = await submit_all(
+                    batcher, "k", [lambda i=i: i * 10 for i in range(32)]
+                )
+            finally:
+                await batcher.aclose()
+                executor.shutdown()
+            return results, batcher.stats
+
+        results, stats = run(scenario())
+        assert results == [i * 10 for i in range(32)]
+        assert stats.ops == 32
+        # Far fewer rounds than ops — work actually coalesced.
+        assert stats.batches < 32
+        assert stats.max_occupancy > 1
+
+    def test_single_submitter_is_not_delayed_by_linger(self):
+        """Below ``linger_min_depth`` the round flushes eagerly, so one
+        caller never waits out the straggler window."""
+        async def scenario():
+            batcher, executor = make_batcher(
+                max_batch=64, linger_s=5.0, linger_min_depth=2
+            )
+            batcher.register("k", run_ops)
+            batcher.start()
+            try:
+                return await asyncio.wait_for(
+                    batcher.submit("k", lambda: "fast"), timeout=1.0
+                )
+            finally:
+                await batcher.aclose()
+                executor.shutdown()
+
+        assert run(scenario()) == "fast"
+
+    def test_max_batch_caps_round_occupancy(self):
+        async def scenario():
+            batcher, executor = make_batcher(max_batch=4)
+            batcher.register("k", run_ops)
+            batcher.start()
+            try:
+                await submit_all(batcher, "k", [lambda: None] * 16)
+            finally:
+                await batcher.aclose()
+                executor.shutdown()
+            return batcher.stats
+
+        stats = run(scenario())
+        assert stats.ops == 16
+        assert stats.max_occupancy <= 4
+
+
+# ----------------------------------------------------------------------
+# Mixed-key grouping and failure containment
+# ----------------------------------------------------------------------
+class TestGrouping:
+    def test_mixed_spec_queue_groups_by_key(self):
+        """Two specs' ops interleave in one queue; each group runs its
+        own runner and results land on the right futures."""
+        seen = {"a": [], "b": []}
+
+        def runner_a(ops):
+            seen["a"].append(len(ops))
+            return [("a", op) for op in ops]
+
+        def runner_b(ops):
+            seen["b"].append(len(ops))
+            return [("b", op) for op in ops]
+
+        async def scenario():
+            batcher, executor = make_batcher(max_batch=64)
+            batcher.register("spec-a", runner_a)
+            batcher.register("spec-b", runner_b)
+            batcher.start()
+            try:
+                results = await asyncio.gather(*(
+                    batcher.submit("spec-a" if i % 2 == 0 else "spec-b", i)
+                    for i in range(20)
+                ))
+            finally:
+                await batcher.aclose()
+                executor.shutdown()
+            return results
+
+        results = run(scenario())
+        for i, (key, op) in enumerate(results):
+            assert key == ("a" if i % 2 == 0 else "b")
+            assert op == i
+        assert sum(seen["a"]) == 10 and sum(seen["b"]) == 10
+
+    def test_unregistered_key_rejected(self):
+        async def scenario():
+            batcher, executor = make_batcher()
+            batcher.register("known", run_ops)
+            batcher.start()
+            try:
+                with pytest.raises(ValidationError, match="no runner"):
+                    await batcher.submit("unknown", lambda: None)
+            finally:
+                await batcher.aclose()
+                executor.shutdown()
+
+        run(scenario())
+
+    def test_per_op_failure_contained_to_its_future(self):
+        def boom():
+            raise StreamError("stream gone")
+
+        async def scenario():
+            batcher, executor = make_batcher()
+            batcher.register("k", run_ops)
+            batcher.start()
+            try:
+                results = await asyncio.gather(
+                    batcher.submit("k", lambda: 1),
+                    batcher.submit("k", boom),
+                    batcher.submit("k", lambda: 3),
+                    return_exceptions=True,
+                )
+            finally:
+                await batcher.aclose()
+                executor.shutdown()
+            return results
+
+        one, err, three = run(scenario())
+        assert one == 1 and three == 3
+        assert isinstance(err, StreamError)
+
+    def test_runner_result_length_mismatch_is_validation_error(self):
+        async def scenario():
+            batcher, executor = make_batcher()
+            batcher.register("bad", lambda ops: [])
+            batcher.start()
+            try:
+                with pytest.raises(ValidationError, match="results for"):
+                    await batcher.submit("bad", lambda: None)
+            finally:
+                await batcher.aclose()
+                executor.shutdown()
+
+        run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Lifecycle: flush, drain, close
+# ----------------------------------------------------------------------
+class TestLifecycle:
+    def test_empty_flush_on_drain_is_counted_and_legal(self):
+        async def scenario():
+            batcher, executor = make_batcher()
+            batcher.register("k", run_ops)
+            batcher.start()
+            await batcher.flush()  # nothing queued: still legal
+            stats_mid = batcher.stats.empty_flushes
+            await batcher.aclose()  # drain path flushes again
+            executor.shutdown()
+            return stats_mid, batcher.stats
+
+        flushed_mid, stats = run(scenario())
+        assert flushed_mid == 1
+        assert stats.empty_flushes >= 2
+        assert stats.batches == 0
+
+    def test_submit_after_close_raises_batcher_closed(self):
+        async def scenario():
+            batcher, executor = make_batcher()
+            batcher.register("k", run_ops)
+            batcher.start()
+            await batcher.aclose()
+            with pytest.raises(BatcherClosed):
+                await batcher.submit("k", lambda: None)
+            executor.shutdown()
+
+        run(scenario())
+
+    def test_submit_before_start_raises_batcher_closed(self):
+        async def scenario():
+            batcher, executor = make_batcher()
+            batcher.register("k", run_ops)
+            with pytest.raises(BatcherClosed):
+                await batcher.submit("k", lambda: None)
+            executor.shutdown()
+
+        run(scenario())
+
+    def test_aclose_drains_queued_work_first(self):
+        done = []
+
+        async def scenario():
+            batcher, executor = make_batcher(max_batch=2)
+            batcher.register("k", run_ops)
+            batcher.start()
+            tasks = [
+                asyncio.create_task(
+                    batcher.submit("k", lambda i=i: done.append(i))
+                )
+                for i in range(8)
+            ]
+            await asyncio.sleep(0)  # let submissions enqueue
+            await batcher.aclose()
+            await asyncio.gather(*tasks)
+            executor.shutdown()
+
+        run(scenario())
+        assert sorted(done) == list(range(8))
+
+    def test_abandoned_submitter_does_not_wedge_the_round(self):
+        """A submitter cancelled while its op is in flight (connection
+        drop mid-batch) must not break the other futures in the round."""
+        import threading
+
+        release = threading.Event()
+
+        def slow():
+            release.wait(timeout=5)
+            return "slow"
+
+        async def scenario():
+            batcher, executor = make_batcher(max_batch=2)
+            batcher.register("k", run_ops)
+            batcher.start()
+            victim = asyncio.create_task(batcher.submit("k", slow))
+            survivor = asyncio.create_task(batcher.submit("k", slow))
+            await asyncio.sleep(0.05)  # round is now executing
+            victim.cancel()
+            release.set()
+            with pytest.raises(asyncio.CancelledError):
+                await victim
+            result = await asyncio.wait_for(survivor, timeout=5)
+            await batcher.aclose()
+            executor.shutdown()
+            return result
+
+        assert run(scenario()) == "slow"
+
+
+# ----------------------------------------------------------------------
+# Engine composition: finalize_many and sharded pipelines
+# ----------------------------------------------------------------------
+class TestEngineComposition:
+    def _messages(self, n):
+        return [bytes([i]) * (17 + 13 * i) for i in range(n)]
+
+    def test_finalize_many_matches_finalize_bit_exact(self):
+        messages = self._messages(12)
+        pipe = CRCPipeline(SPEC, 64)
+        ids = []
+        for i, msg in enumerate(messages):
+            pipe.open(f"s{i}")
+            pipe.feed(f"s{i}", msg, pump=False)
+            ids.append(f"s{i}")
+        digests = pipe.finalize_many(ids)
+        assert digests == [ORACLE.compute(m) for m in messages]
+        assert pipe.stream_count == 0
+
+    def test_finalize_many_validates_before_consuming(self):
+        pipe = CRCPipeline(SPEC, 64)
+        pipe.open("a")
+        pipe.feed("a", b"payload", pump=False)
+        with pytest.raises(StreamError):
+            pipe.finalize_many(["a", "ghost"])
+        with pytest.raises(ValidationError, match="duplicate"):
+            pipe.finalize_many(["a", "a"])
+        # "a" must have survived both failed calls intact.
+        assert pipe.finalize("a") == ORACLE.compute(b"payload")
+
+    def test_sharded_finalize_many_with_workers(self):
+        """workers>1 composition: ids group by home shard, results come
+        back in input order, homes are released."""
+        messages = self._messages(16)
+        with ShardedCRCPipeline(SPEC, 64, workers=2) as pipe:
+            ids = []
+            for i, msg in enumerate(messages):
+                pipe.open(f"s{i}")
+                pipe.feed(f"s{i}", msg, pump=False)
+                ids.append(f"s{i}")
+            digests = pipe.finalize_many(ids)
+            assert digests == [ORACLE.compute(m) for m in messages]
+            assert pipe.stream_count == 0
+            with pytest.raises(StreamError):
+                pipe.finalize_many(["s0"])
+
+    def test_batched_stream_ops_through_sharded_pipeline(self):
+        """The server's grouped-runner pattern over a workers=2 pipeline:
+        abort-inside-a-batch coexists with finalizes, all bit-exact."""
+        messages = self._messages(10)
+
+        def runner(pipe):
+            def _run(ops):
+                results = [None] * len(ops)
+                finals = []
+                for i, (kind, sid, *rest) in enumerate(ops):
+                    try:
+                        if kind == "open":
+                            results[i] = pipe.open(sid)
+                        elif kind == "feed":
+                            pipe.feed(sid, rest[0], pump=False)
+                            results[i] = True
+                        elif kind == "abort":
+                            pipe.abort(sid)
+                            results[i] = True
+                        else:
+                            finals.append((i, sid))
+                    except Exception as exc:  # noqa: BLE001
+                        results[i] = exc
+                if finals:
+                    digests = pipe.finalize_many([sid for _, sid in finals])
+                    for (i, _), digest in zip(finals, digests):
+                        results[i] = digest
+                return results
+            return _run
+
+        async def scenario():
+            with ShardedCRCPipeline(SPEC, 64, workers=2) as pipe:
+                batcher, executor = make_batcher(max_batch=32)
+                batcher.register("crc", runner(pipe))
+                batcher.start()
+                try:
+                    await submit_all(
+                        batcher, "crc",
+                        [("open", f"s{i}") for i in range(len(messages))],
+                    )
+                    await submit_all(
+                        batcher, "crc",
+                        [("feed", f"s{i}", m) for i, m in enumerate(messages)],
+                    )
+                    # One stream aborts in the same round the rest digest.
+                    ops = [("abort", "s0")] + [
+                        ("digest", f"s{i}") for i in range(1, len(messages))
+                    ]
+                    results = await submit_all(batcher, "crc", ops)
+                finally:
+                    await batcher.aclose()
+                    executor.shutdown()
+                return results, pipe.stream_count
+
+        results, leftover = run(scenario())
+        assert results[0] is True  # the abort
+        assert results[1:] == [ORACLE.compute(m) for m in messages[1:]]
+        assert leftover == 0

@@ -28,7 +28,7 @@ import pytest
 
 from repro.crc import BitwiseCRC, TableCRC, get
 from repro.engine import CRCPipeline
-from repro.errors import ProtocolError, StreamError
+from repro.errors import DrainingError, ProtocolError, StreamError
 from repro.serve import (
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
@@ -116,6 +116,101 @@ class TestProtocolFraming:
         assert header == {
             "ok": False, "code": "draining", "error": "nope", "op": "open-stream",
         }
+
+
+# ----------------------------------------------------------------------
+# Frame-size boundary: exactly at the 1 MiB cap and one byte over
+# ----------------------------------------------------------------------
+class TestFrameSizeBoundary:
+    """The cap is inclusive: == MAX_FRAME_BYTES is legal, +1 is typed
+    ProtocolError on every path (encode, decode, async read, live server)."""
+
+    def test_payload_at_exact_cap_round_trips(self):
+        payload = b"\xa5" * MAX_FRAME_BYTES
+        frame = encode_frame({"op": "feed-chunk", "id": "s"}, payload)
+        header, decoded, used = decode_frame(frame)
+        assert header["blen"] == MAX_FRAME_BYTES
+        assert decoded == payload
+        assert used == len(frame)
+
+    def test_payload_one_byte_over_cap_refused_at_encode(self):
+        with pytest.raises(ProtocolError, match="too large"):
+            encode_frame_parts(
+                {"op": "feed-chunk", "id": "s"}, b"\xa5" * (MAX_FRAME_BYTES + 1)
+            )
+
+    def test_declared_blen_one_over_cap_refused_at_decode(self):
+        import json
+
+        raw = json.dumps(
+            {"op": "feed-chunk", "blen": MAX_FRAME_BYTES + 1}
+        ).encode()
+        with pytest.raises(ProtocolError, match="exceeds"):
+            decode_frame(struct.pack("!I", len(raw)) + raw)
+
+    def test_read_frame_boundary(self):
+        """The asyncio reader accepts == cap and rejects cap+1 by header
+        alone, before buffering any payload bytes."""
+        import json
+
+        from repro.serve.protocol import read_frame
+
+        async def scenario():
+            reader = asyncio.StreamReader()
+            payload = b"\x5a" * MAX_FRAME_BYTES
+            reader.feed_data(encode_frame({"op": "feed-chunk"}, payload))
+            header, got = await read_frame(reader)
+            assert header["blen"] == MAX_FRAME_BYTES
+            assert got == payload
+
+            reader = asyncio.StreamReader()
+            raw = json.dumps({"blen": MAX_FRAME_BYTES + 1}).encode()
+            reader.feed_data(struct.pack("!I", len(raw)) + raw)
+            with pytest.raises(ProtocolError, match="exceeds"):
+                await read_frame(reader)
+
+        run(scenario())
+
+    def test_server_digests_exact_cap_payload_bit_exact(self):
+        payload = bytes(range(256)) * (MAX_FRAME_BYTES // 256)
+        assert len(payload) == MAX_FRAME_BYTES
+
+        async def scenario():
+            async with make_server(M=1024) as server:
+                async with await ServeClient.connect(server.host, server.port) as c:
+                    return await c.compute(payload)
+
+        assert run(scenario()) == ORACLE.compute(payload)
+
+    def test_server_refuses_oversized_blen_then_hangs_up(self):
+        """A frame *declaring* cap+1 payload bytes draws one typed
+        ``protocol`` error response and a closed connection."""
+        import json
+
+        async def scenario():
+            async with make_server() as server:
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port
+                )
+                hello, _ = await decode_stream(reader)
+                assert hello["op"] == "hello"
+                raw = json.dumps(
+                    {"op": "feed-chunk", "id": "s", "blen": MAX_FRAME_BYTES + 1}
+                ).encode()
+                writer.write(struct.pack("!I", len(raw)) + raw)
+                await writer.drain()
+                response, _ = await decode_stream(reader)
+                assert response["ok"] is False
+                assert response["code"] == "protocol"
+                assert await reader.read() == b""  # server hung up
+                writer.close()
+
+        async def decode_stream(reader):
+            from repro.serve.protocol import read_frame
+
+            return await read_frame(reader)
+
+        run(scenario())
 
 
 # ----------------------------------------------------------------------
@@ -330,6 +425,117 @@ class TestBackpressure:
 
 
 # ----------------------------------------------------------------------
+# Micro-batched dispatch
+# ----------------------------------------------------------------------
+class TestMicroBatchedServe:
+    def test_default_server_batches_and_stays_bit_exact(self):
+        """32 concurrent connections: every digest matches the oracle
+        and the ops actually flowed through multi-op batch rounds."""
+        payloads = [bytes([i]) * (50 + i) for i in range(32)]
+
+        async def one(server, payload):
+            async with await ServeClient.connect(server.host, server.port) as c:
+                return await c.compute(payload)
+
+        async def scenario():
+            async with make_server() as server:
+                assert server.batching
+                digests = await asyncio.gather(*(
+                    one(server, p) for p in payloads
+                ))
+                stats = server.batcher.stats
+                return digests, stats.ops, stats.max_occupancy
+
+        digests, batched_ops, max_occupancy = run(scenario())
+        assert digests == [ORACLE.compute(p) for p in payloads]
+        assert batched_ops > 0
+        assert max_occupancy > 1  # cross-connection coalescing happened
+
+    def test_no_batch_pin_serves_identically_on_serial_path(self):
+        payload = bytes(range(120))
+
+        async def scenario():
+            async with make_server(batching=False) as server:
+                assert not server.batching
+                assert server.batcher is None
+                async with await ServeClient.connect(server.host, server.port) as c:
+                    digest = await c.compute(payload)
+                    stats = await c.stats()
+                return digest, stats
+
+        digest, stats = run(scenario())
+        assert digest == ORACLE.compute(payload)
+        assert stats["batching"] is False
+        assert stats["counters"]["batches_total"] == 0
+        assert "batch" not in stats
+
+    def test_lone_client_takes_depth_zero_fast_path(self):
+        """A single caller never has anything to coalesce with, so its
+        ops bypass the batcher entirely (serial-path latency) — and the
+        digest is still exact."""
+        payload = bytes(range(90))
+
+        async def scenario():
+            async with make_server() as server:
+                async with await ServeClient.connect(server.host, server.port) as c:
+                    digest = await c.compute(payload)
+                stats = server.batcher.stats
+                return digest, stats.batches, stats.ops
+
+        digest, batches, ops = run(scenario())
+        assert digest == ORACLE.compute(payload)
+        assert batches == 0 and ops == 0  # every op went direct
+
+    def test_stats_verb_reports_batch_block(self):
+        async def scenario():
+            async with make_server(batch_max=16) as server:
+                # A concurrent burst so ops overlap and rounds form (a
+                # lone client would ride the depth-zero fast path).
+                async def one(i):
+                    async with await ServeClient.connect(
+                        server.host, server.port
+                    ) as c:
+                        for _ in range(4):
+                            await c.compute(bytes([i]) * 64)
+
+                await asyncio.gather(*(one(i) for i in range(8)))
+                async with await ServeClient.connect(server.host, server.port) as c:
+                    return await c.stats()
+
+        stats = run(scenario())
+        assert stats["batching"] is True
+        batch = stats["batch"]
+        assert batch["max_batch"] == 16
+        assert batch["ops"] >= 3  # most of the burst flowed through rounds
+        assert batch["depth"] == 0  # idle at stats time
+        assert stats["counters"]["batched_ops_total"] == batch["ops"]
+
+    def test_connection_drop_with_op_in_flight_aborts_cleanly(self):
+        """A client that vanishes mid-stream must not wedge the batcher
+        or leak its stream."""
+        async def scenario():
+            async with make_server() as server:
+                client = await ServeClient.connect(server.host, server.port)
+                sid = await client.open_stream()
+                await client.feed(sid, b"half a message")
+                # Hard-drop the transport (no close-stream, no digest).
+                client._writer.transport.abort()
+                await client.aclose()
+                for _ in range(200):
+                    if server.stream_count == 0:
+                        break
+                    await asyncio.sleep(0.01)
+                # The batcher must still serve new work afterwards.
+                async with await ServeClient.connect(server.host, server.port) as c:
+                    digest = await c.compute(b"still alive")
+                return server.stream_count, digest
+
+        leftover, digest = run(scenario())
+        assert leftover == 0
+        assert digest == ORACLE.compute(b"still alive")
+
+
+# ----------------------------------------------------------------------
 # Drain
 # ----------------------------------------------------------------------
 class TestDrain:
@@ -350,9 +556,13 @@ class TestDrain:
             while server.state != "draining":
                 await asyncio.sleep(0.001)
 
-            # New streams are refused with the draining code...
-            with pytest.raises(StreamError, match="draining"):
+            # New streams are refused with the dedicated retryable type
+            # (a StreamError subclass, so broad handlers still work)...
+            with pytest.raises(DrainingError, match="draining") as exc_info:
                 await client.open_stream("c")
+            assert exc_info.value.retryable is True
+            assert exc_info.value.code == "draining"
+            assert isinstance(exc_info.value, StreamError)
             refused_conn = False
             try:
                 await ServeClient.connect(server.host, server.port)
